@@ -1,0 +1,98 @@
+//! Criterion benches for the planning pipeline: Algorithm 1, amplifier
+//! placement, cut-throughs, and the underlying graph algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iris_bench::{build_region, SweepPoint};
+use iris_netgraph::{dijkstra, hose, Dinic};
+use iris_planner::amplifiers::place_amplifiers;
+use iris_planner::{plan_eps, plan_iris, provision, DesignGoals};
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_provision");
+    for n_dcs in [5usize, 10] {
+        let region = build_region(&SweepPoint {
+            map_seed: 1,
+            n_dcs,
+            f: 16,
+            lambda: 40,
+        });
+        for cuts in [0usize, 1] {
+            let goals = DesignGoals::with_cuts(cuts);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n_dcs}dc"), format!("{cuts}cuts")),
+                &goals,
+                |b, goals| b.iter(|| black_box(provision(&region, goals))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_plans(c: &mut Criterion) {
+    let region = build_region(&SweepPoint {
+        map_seed: 2,
+        n_dcs: 8,
+        f: 16,
+        lambda: 40,
+    });
+    let goals = DesignGoals::with_cuts(1);
+    c.bench_function("plan_iris_8dc_1cut", |b| {
+        b.iter(|| black_box(plan_iris(&region, &goals)))
+    });
+    c.bench_function("plan_eps_8dc_1cut", |b| {
+        b.iter(|| black_box(plan_eps(&region, &goals)))
+    });
+    c.bench_function("amplifier_placement_8dc_1cut", |b| {
+        b.iter(|| black_box(place_amplifiers(&region, &goals)))
+    });
+}
+
+fn bench_graph_primitives(c: &mut Criterion) {
+    let region = build_region(&SweepPoint {
+        map_seed: 3,
+        n_dcs: 10,
+        f: 16,
+        lambda: 40,
+    });
+    let g = region.map.graph();
+    let disabled = vec![false; g.edge_count()];
+    c.bench_function("dijkstra_region_graph", |b| {
+        b.iter(|| black_box(dijkstra(g, region.dcs[0], &disabled)))
+    });
+
+    // Hose max-flow over a 10-DC clique of pairs.
+    let caps: Vec<u64> = (0..10).map(|_| 640u64).collect();
+    let pairs: Vec<(usize, usize)> = (0..10)
+        .flat_map(|i| ((i + 1)..10).map(move |j| (i, j)))
+        .collect();
+    c.bench_function("hose_max_edge_load_45pairs", |b| {
+        b.iter(|| black_box(hose::max_edge_load(&|d| caps[d], &pairs)))
+    });
+
+    c.bench_function("dinic_grid_maxflow", |b| {
+        b.iter(|| {
+            let side = 8;
+            let mut d = Dinic::new(side * side);
+            for y in 0..side {
+                for x in 0..side {
+                    let id = y * side + x;
+                    if x + 1 < side {
+                        d.add_bidirectional_edge(id, id + 1, 7);
+                    }
+                    if y + 1 < side {
+                        d.add_bidirectional_edge(id, id + side, 7);
+                    }
+                }
+            }
+            black_box(d.max_flow(0, side * side - 1))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithm1, bench_full_plans, bench_graph_primitives
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 7 — relative port cost of electrical / electrical-with-SR /
+//! optical DCI networks as the topology becomes more distributed
+//! (group model of §2.4, N = 16 DCs).
+//!
+//! Paper shape: the fully meshed electrical topology costs roughly 7x
+//! the centralized one; SR transceivers shave the intra-group share; the
+//! optical variant's cost stays nearly flat across the whole spectrum.
+
+use iris_cost::{fig7_costs, PriceBook};
+
+fn main() {
+    let n = 16u64;
+    let p = 100u64;
+    let book = PriceBook::paper_2020();
+    let base = fig7_costs(n, p, 1, &book).electrical;
+
+    println!("# G groups: 1 = centralized, {n} = fully distributed");
+    println!("# costs normalized to the centralized all-electrical design");
+    println!("{:>3}  {:>11}  {:>14}  {:>8}", "G", "electrical", "electrical+SR", "optical");
+    let mut rows = Vec::new();
+    for g in [1u64, 2, 4, 8, 16] {
+        let c = fig7_costs(n, p, g, &book);
+        println!(
+            "{g:>3}  {:>11.2}  {:>14.2}  {:>8.2}",
+            c.electrical / base,
+            c.electrical_sr / base,
+            c.optical / base
+        );
+        rows.push(serde_json::json!({
+            "groups": g,
+            "electrical": c.electrical / base,
+            "electrical_sr": c.electrical_sr / base,
+            "optical": c.optical / base,
+        }));
+    }
+    let distributed = fig7_costs(n, p, n, &book);
+    println!(
+        "\nfully-distributed / centralized (electrical): {:.2}x (paper: ~7x)",
+        distributed.electrical / base
+    );
+
+    iris_bench::write_results(
+        "fig07_port_cost",
+        &serde_json::json!({
+            "n_dcs": n,
+            "ports_per_dc": p,
+            "rows": rows,
+            "distributed_over_centralized_electrical": distributed.electrical / base,
+            "paper_claim": "fully meshed distributed topology ~7x the centralized cost",
+        }),
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 9 — OSNR penalty vs. number of on-path amplifiers.
+//!
+//! Paper shape: the first amplifier costs its ~4.5 dB noise figure and
+//! every doubling of the cascade costs ~3 dB more; the ~9 dB amplifier
+//! budget admits at most 3 amplifiers end-to-end (TC2).
+
+use iris_optics::osnr::{cascade_penalty_default_db, max_amplifiers_within_budget};
+use iris_optics::{AMPLIFIER_NOISE_FIGURE_DB, AMPLIFIER_OSNR_BUDGET_DB};
+
+fn main() {
+    println!("# amplifiers  OSNR penalty (dB)");
+    let mut rows = Vec::new();
+    for n in 1..=8 {
+        let p = cascade_penalty_default_db(n);
+        println!("{n:>11}  {p:>6.2}");
+        rows.push(serde_json::json!({ "amplifiers": n, "penalty_db": p }));
+    }
+    let max = max_amplifiers_within_budget(AMPLIFIER_OSNR_BUDGET_DB, AMPLIFIER_NOISE_FIGURE_DB);
+    println!("\namplifier budget: {AMPLIFIER_OSNR_BUDGET_DB:.1} dB");
+    println!("max amplifiers within budget: {max} (paper: 3 end-to-end)");
+    println!(
+        "doubling cost: {:.2} dB (paper: ~3 dB)",
+        cascade_penalty_default_db(4) - cascade_penalty_default_db(2)
+    );
+
+    iris_bench::write_results(
+        "fig09_osnr_cascade",
+        &serde_json::json!({
+            "rows": rows,
+            "budget_db": AMPLIFIER_OSNR_BUDGET_DB,
+            "max_amplifiers": max,
+            "paper_claim": "first amp ~4.5 dB, +3 dB per doubling, max 3 amps end-to-end",
+        }),
+    );
+}

@@ -1,0 +1,85 @@
+//! §3.4's motivating toy example (Fig. 10): the semi-distributed 4-DC
+//! topology implemented electrically vs. all-optically.
+//!
+//! Paper numbers: EPS needs 60 fiber pairs and 4800 transceivers; Iris
+//! needs 1600 transceivers, 78 fiber pairs (we compute 76 — shortest-
+//! path residual routing; see DESIGN.md) and 312 OSS ports (we get 304),
+//! for a ~2.7x electrical/optical cost ratio.
+
+use iris_core::prelude::*;
+use iris_cost::{eps_cost, iris_cost, PriceBook};
+use iris_geo::Point;
+
+fn toy_region() -> Region {
+    let mut map = FiberMap::new();
+    let ha = map.add_site(SiteKind::Hut, Point::new(-10.0, 0.0));
+    let hb = map.add_site(SiteKind::Hut, Point::new(10.0, 0.0));
+    let d1 = map.add_site(SiteKind::DataCenter, Point::new(-18.0, 6.0));
+    let d2 = map.add_site(SiteKind::DataCenter, Point::new(-18.0, -6.0));
+    let d3 = map.add_site(SiteKind::DataCenter, Point::new(18.0, 6.0));
+    let d4 = map.add_site(SiteKind::DataCenter, Point::new(18.0, -6.0));
+    map.add_duct(d1, ha, 12.0);
+    map.add_duct(d2, ha, 12.0);
+    map.add_duct(d3, hb, 12.0);
+    map.add_duct(d4, hb, 12.0);
+    map.add_duct(ha, hb, 24.0);
+    Region {
+        map,
+        dcs: vec![d1, d2, d3, d4],
+        capacity_fibers: vec![10; 4], // 160 Tbps at 40 x 400G
+        wavelengths_per_fiber: 40,
+        gbps_per_wavelength: 400.0,
+    }
+}
+
+fn main() {
+    let region = toy_region();
+    let goals = DesignGoals::with_cuts(0);
+    let eps = plan_eps(&region, &goals);
+    let iris = plan_iris(&region, &goals);
+    let book = PriceBook::paper_2020();
+    let ce = eps_cost(&eps, &book);
+    let co = iris_cost(&iris, &book);
+
+    println!("§3.4 toy example (4 DCs x 160 Tbps, Fig. 10 topology)");
+    println!("{:<28} {:>12} {:>12} {:>8}", "", "electrical", "Iris", "paper");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "transceivers",
+        eps.total_transceivers(),
+        iris.dc_transceivers,
+        "4800/1600"
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "fiber pairs",
+        eps.total_fiber_pair_spans(),
+        iris.total_fiber_pair_spans(),
+        "60/78"
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "OSS ports", 0, iris.oss_ports(), "0/312"
+    );
+    println!(
+        "{:<28} {:>12.0} {:>12.0}",
+        "annual cost ($)",
+        ce.total(),
+        co.total()
+    );
+    let ratio = ce.total() / co.total();
+    println!("\nelectrical / optical cost ratio: {ratio:.2}x (paper: 2.7x)");
+
+    iris_bench::write_results(
+        "tab_toy_example",
+        &serde_json::json!({
+            "eps_transceivers": eps.total_transceivers(),
+            "iris_transceivers": iris.dc_transceivers,
+            "eps_fiber_pairs": eps.total_fiber_pair_spans(),
+            "iris_fiber_pairs": iris.total_fiber_pair_spans(),
+            "iris_oss_ports": iris.oss_ports(),
+            "cost_ratio": ratio,
+            "paper_claim": "electrical design costs 2.7x the optical one",
+        }),
+    );
+}

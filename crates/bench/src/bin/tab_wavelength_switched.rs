@@ -1,0 +1,65 @@
+//! §4.4 / Appendix B — pure wavelength switching vs Iris's fiber
+//! switching: the component bill that makes OXCs "pricier than the n²
+//! additional fibers".
+//!
+//! Paper shape: the wavelength-switched design saves Iris's residual
+//! fiber but its per-wavelength switching ports cost more than the fiber
+//! saved; Iris wins on both cost and simplicity, while both beat EPS.
+
+use iris_cost::{eps_cost, iris_cost, oxc_cost, PriceBook};
+use iris_planner::{plan_eps, plan_iris, plan_oxc, DesignGoals};
+
+fn main() {
+    let points: Vec<_> = iris_bench::sweep_points()
+        .into_iter()
+        .filter(|p| p.f == 16)
+        .collect();
+    let goals = DesignGoals::with_cuts(0);
+    let book = PriceBook::paper_2020();
+
+    println!("# map  n_dcs  lambda  iris_cost  oxc_cost  eps_cost  oxc/iris  color_extra  tc4_viol");
+    let mut oxc_over_iris = Vec::new();
+    let mut eps_over_oxc = Vec::new();
+    let mut rows = Vec::new();
+    for p in &points {
+        let region = iris_bench::build_region(p);
+        let iris = iris_cost(&plan_iris(&region, &goals), &book).total();
+        let oxc_plan = plan_oxc(&region, &goals);
+        let oxc = oxc_cost(&oxc_plan, &book).total();
+        let eps = eps_cost(&plan_eps(&region, &goals), &book).total();
+        println!(
+            "{:4}  {:5}  {:6}  {:9.2}M {:8.2}M {:8.2}M  {:8.2}  {:11}  {:8}",
+            p.map_seed,
+            p.n_dcs,
+            p.lambda,
+            iris / 1e6,
+            oxc / 1e6,
+            eps / 1e6,
+            oxc / iris,
+            oxc_plan.coloring_extra_pairs,
+            oxc_plan.multi_oxc_pairs.len()
+        );
+        oxc_over_iris.push(oxc / iris);
+        eps_over_oxc.push(eps / oxc);
+        rows.push(serde_json::json!({
+            "map": p.map_seed, "n_dcs": p.n_dcs, "lambda": p.lambda,
+            "iris": iris, "oxc": oxc, "eps": eps,
+            "coloring_extra_pairs": oxc_plan.coloring_extra_pairs,
+            "tc4_violations": oxc_plan.multi_oxc_pairs.len(),
+        }));
+    }
+    let med = iris_bench::percentile(&oxc_over_iris, 0.5);
+    let med_eps = iris_bench::percentile(&eps_over_oxc, 0.5);
+    println!("\nmedian OXC/Iris cost: {med:.2}x (paper: wavelength switching is the pricier option)");
+    println!("median EPS/OXC cost:  {med_eps:.2}x (both optical designs beat packet switching)");
+
+    iris_bench::write_results(
+        "tab_wavelength_switched",
+        &serde_json::json!({
+            "rows": rows,
+            "median_oxc_over_iris": med,
+            "median_eps_over_oxc": med_eps,
+            "paper_claim": "wavelength-switching components cost more than the n^2 residual fibers",
+        }),
+    );
+}

@@ -1,0 +1,188 @@
+//! Shared helpers for the Iris figure-regeneration binaries and
+//! Criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper: it prints the same rows/series the paper reports and writes a
+//! JSON record under `results/` for EXPERIMENTS.md. Binaries honour the
+//! `IRIS_QUICK=1` environment variable, which shrinks sweeps for smoke
+//! testing.
+
+use iris_fibermap::synth::{generate_metro, place_dcs};
+use iris_fibermap::{MetroParams, PlacementParams, Region};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Whether the binaries should run reduced sweeps.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("IRIS_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The evaluation's region-scale knobs (§6.1): 10 fiber maps, DC counts,
+/// DC capacities in fibers, wavelengths per fiber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Which synthetic fiber map (seed).
+    pub map_seed: u64,
+    /// DCs placed.
+    pub n_dcs: usize,
+    /// DC capacity, fibers.
+    pub f: u32,
+    /// Wavelengths per fiber.
+    pub lambda: u32,
+}
+
+/// All 240 evaluation combinations of §6.1 (or a reduced set in quick
+/// mode).
+#[must_use]
+pub fn sweep_points() -> Vec<SweepPoint> {
+    let (maps, dcs, fs, lambdas): (Vec<u64>, Vec<usize>, Vec<u32>, Vec<u32>) = if quick_mode() {
+        (vec![1, 2], vec![5, 10], vec![16], vec![40])
+    } else {
+        (
+            (1..=10).collect(),
+            vec![5, 10, 15, 20],
+            vec![8, 16, 32],
+            vec![40, 64],
+        )
+    };
+    let mut points = Vec::new();
+    for &map_seed in &maps {
+        for &n_dcs in &dcs {
+            for &f in &fs {
+                for &lambda in &lambdas {
+                    points.push(SweepPoint {
+                        map_seed,
+                        n_dcs,
+                        f,
+                        lambda,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Build the region for one sweep point (deterministic).
+#[must_use]
+pub fn build_region(p: &SweepPoint) -> Region {
+    let map = generate_metro(&MetroParams {
+        seed: p.map_seed,
+        n_huts: 16,
+        ..MetroParams::default()
+    });
+    place_dcs(
+        map,
+        &PlacementParams {
+            seed: p.map_seed.wrapping_mul(7919).wrapping_add(p.n_dcs as u64),
+            n_dcs: p.n_dcs,
+            capacity_fibers: p.f,
+            wavelengths_per_fiber: p.lambda,
+            ..PlacementParams::default()
+        },
+    )
+}
+
+/// A simple synthetic region used by several figures that only need
+/// topology (no capacity sweep).
+#[must_use]
+pub fn simple_region(seed: u64, n_dcs: usize) -> Region {
+    build_region(&SweepPoint {
+        map_seed: seed,
+        n_dcs,
+        f: 16,
+        lambda: 40,
+    })
+}
+
+/// The `q`-quantile (0-1, nearest-rank) of `values`.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Print a CDF as `value fraction` rows (ascending), decimated to at
+/// most `max_rows`.
+pub fn print_cdf(label: &str, values: &[f64], max_rows: usize) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!("# CDF: {label} ({} samples)", sorted.len());
+    let step = (sorted.len() / max_rows.max(1)).max(1);
+    for (i, v) in sorted.iter().enumerate() {
+        if i % step == 0 || i == sorted.len() - 1 {
+            println!("{v:10.3}  {:6.3}", (i + 1) as f64 / sorted.len() as f64);
+        }
+    }
+}
+
+/// Write a JSON value under `results/<name>.json` (relative to the
+/// workspace root when run via cargo).
+pub fn write_results(name: &str, value: &serde_json::Value) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("warning: could not create {}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(value).expect("serializable")
+            );
+            println!("# results written to {}", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the repo root.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(manifest).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sweep_has_240_points() {
+        // Guard against IRIS_QUICK leaking into the test environment.
+        if !quick_mode() {
+            assert_eq!(sweep_points().len(), 240);
+        }
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+
+    #[test]
+    fn build_region_is_deterministic() {
+        let p = SweepPoint {
+            map_seed: 3,
+            n_dcs: 5,
+            f: 8,
+            lambda: 40,
+        };
+        let a = build_region(&p);
+        let b = build_region(&p);
+        assert_eq!(a.dcs, b.dcs);
+        assert_eq!(a.map.duct_count(), b.map.duct_count());
+    }
+}

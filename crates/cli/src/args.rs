@@ -1,0 +1,91 @@
+//! Minimal `--key value` option parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+}
+
+impl Options {
+    /// Parse a flat list of `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, found '{key}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("--{name} requires a value"));
+            };
+            values.insert(name.to_owned(), value.clone());
+        }
+        Ok(Self { values })
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Options::parse(&strs(&["--seed", "7", "--out", "r.json"])).unwrap();
+        assert_eq!(o.required("seed").unwrap(), "7");
+        assert_eq!(o.get("out"), Some("r.json"));
+        assert_eq!(o.get("missing"), None);
+        assert_eq!(o.num("seed", 0u64).unwrap(), 7);
+        assert_eq!(o.num("dcs", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert!(Options::parse(&strs(&["seed", "7"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Options::parse(&strs(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unparsable_number() {
+        let o = Options::parse(&strs(&["--util", "abc"])).unwrap();
+        assert!(o.num("util", 0.4f64).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.required("region").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The CLI subcommands.
+
+use crate::args::Options;
+use iris_core::prelude::*;
+use iris_core::DesignStudy;
+use iris_fibermap::io::{load_region, save_region};
+use iris_fibermap::siting::{
+    centralized_service_area, distributed_service_area, region_grid,
+};
+use iris_planner::centralized::{plan_centralized, HubHoming};
+use iris_planner::provision;
+use iris_simnet::traffic::ChangeModel;
+use iris_simnet::workloads::FlowSizeDist;
+use std::path::Path;
+
+fn load(opts: &Options) -> Result<Region, String> {
+    load_region(Path::new(opts.required("region")?))
+}
+
+/// `iris gen` — generate a synthetic region.
+pub fn generate(opts: &Options) -> Result<(), String> {
+    let seed: u64 = opts.num("seed", 1)?;
+    let n_dcs: usize = opts.num("dcs", 8)?;
+    let fibers: u32 = opts.num("fibers", 16)?;
+    let lambda: u32 = opts.num("lambda", 40)?;
+    let huts: usize = opts.num("huts", 16)?;
+    let out = opts.required("out")?;
+
+    let map = synth::generate_metro(&MetroParams {
+        seed,
+        n_huts: huts,
+        ..MetroParams::default()
+    });
+    let region = synth::place_dcs(
+        map,
+        &PlacementParams {
+            seed: seed.wrapping_add(1),
+            n_dcs,
+            capacity_fibers: fibers,
+            wavelengths_per_fiber: lambda,
+            ..PlacementParams::default()
+        },
+    );
+    save_region(&region, Path::new(out))?;
+    println!(
+        "wrote {out}: {} DCs x {:.0} Tbps, {} huts, {} ducts",
+        region.dcs.len(),
+        region.capacity_gbps(0) / 1000.0,
+        region.map.huts().len(),
+        region.map.duct_count()
+    );
+    Ok(())
+}
+
+/// `iris plan` — plan Iris and print the bill of materials.
+pub fn plan(opts: &Options) -> Result<(), String> {
+    let region = load(opts)?;
+    let cuts: usize = opts.num("cuts", 2)?;
+    let goals = DesignGoals::with_cuts(cuts);
+    let plan = plan_iris(&region, &goals);
+    let cost = iris_cost(&plan, &PriceBook::paper_2020());
+
+    println!("Iris plan ({} DCs, {} cut tolerance)", region.dcs.len(), cuts);
+    println!("  scenarios examined:   {}", plan.provisioning.scenarios_examined);
+    println!(
+        "  ducts used:           {}/{}",
+        plan.provisioning.used_edges().len(),
+        region.map.duct_count()
+    );
+    println!("  huts lit:             {}", plan.provisioning.used_huts(&region).len());
+    println!("  DC transceivers:      {}", plan.dc_transceivers);
+    println!("  fiber pair-spans:     {}", plan.total_fiber_pair_spans());
+    println!("  OSS ports:            {}", plan.oss_ports());
+    println!("  in-line amplifiers:   {}", plan.total_amps());
+    println!("  cut-through links:    {}", plan.cuts.cuts.len());
+    println!("  annual cost:          ${:.0}", cost.total());
+    if plan.is_feasible() {
+        println!("  status: FEASIBLE — all OC/TC constraints met");
+    } else {
+        println!(
+            "  status: {} SLA-infeasible (pair, scenario) combos, {} unresolved paths, {} optical violations",
+            plan.provisioning.infeasible.len(),
+            plan.cuts.unresolved.len(),
+            plan.violations.len()
+        );
+    }
+    Ok(())
+}
+
+/// `iris compare` — Iris vs EPS vs centralized.
+pub fn compare(opts: &Options) -> Result<(), String> {
+    let region = load(opts)?;
+    let cuts: usize = opts.num("cuts", 1)?;
+    let goals = DesignGoals::with_cuts(cuts);
+    let study = DesignStudy::run(&region, &goals);
+    let hubs = pick_hub_pair(&region.map, 4.0, 24.0);
+    let central = plan_centralized(&region, &goals, hubs, HubHoming::Split);
+    let book = PriceBook::paper_2020();
+    // Centralized electrical cost: transceivers at both ends of every
+    // access fiber, plus switch ports and fiber leases.
+    let central_cost = central.total_transceivers() as f64 * (book.transceiver + book.electrical_port)
+        + central.total_fiber_pair_spans() as f64 * book.fiber_pair_span;
+
+    println!("{:<24} {:>14} {:>14} {:>14}", "", "centralized", "EPS (distr.)", "Iris (distr.)");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "transceivers",
+        central.total_transceivers(),
+        study.eps.total_transceivers(),
+        study.iris.dc_transceivers
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "fiber pair-spans",
+        central.total_fiber_pair_spans(),
+        study.eps.total_fiber_pair_spans(),
+        study.iris.total_fiber_pair_spans()
+    );
+    println!(
+        "{:<24} {:>14.0} {:>14.0} {:>14.0}",
+        "annual cost ($)",
+        central_cost,
+        study.eps_cost.total(),
+        study.iris_cost.total()
+    );
+    // Latency: worst DC-DC distance.
+    let goals0 = DesignGoals::with_cuts(0);
+    let paths = iris_planner::topology::nominal_paths(&region, &goals0);
+    let direct_worst = paths.iter().map(|p| p.length_km).fold(0.0f64, f64::max);
+    println!(
+        "{:<24} {:>14.1} {:>14.1} {:>14.1}",
+        "worst DC-DC fiber (km)",
+        central.worst_pair_km(),
+        direct_worst,
+        direct_worst
+    );
+    println!(
+        "{:<24} {:>14.2} {:>14.2} {:>14.2}",
+        "worst DC-DC RTT (ms)",
+        iris_geo::rtt_ms(central.worst_pair_km()),
+        iris_geo::rtt_ms(direct_worst),
+        iris_geo::rtt_ms(direct_worst)
+    );
+    println!(
+        "\nIris / centralized cost: {:.2}x   EPS / Iris: {:.2}x",
+        study.iris_cost.total() / central_cost,
+        study.eps_iris_cost_ratio()
+    );
+    Ok(())
+}
+
+/// `iris siting` — service-area analysis.
+pub fn siting(opts: &Options) -> Result<(), String> {
+    let region = load(opts)?;
+    let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
+    let grid = region_grid(&region.map, 2.0, 30.0);
+    let central = centralized_service_area(&region.map, &[hubs.0, hubs.1], &grid, 60.0);
+    let distributed = distributed_service_area(&region.map, &region.dcs, &grid, 120.0);
+    println!("service area for one new DC:");
+    println!("  centralized (60 km of both hubs):   {central:8.0} km^2");
+    println!("  distributed (120 km of every DC):   {distributed:8.0} km^2");
+    println!("  flexibility gain:                   {:8.2}x", distributed / central.max(1.0));
+    Ok(())
+}
+
+/// `iris simulate` — paired FCT comparison.
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    let region = load(opts)?;
+    let util: f64 = opts.num("util", 0.4)?;
+    let interval: f64 = opts.num("interval", 5.0)?;
+    let duration: f64 = opts.num("duration", 20.0)?;
+    let workload = match opts.get("workload") {
+        None | Some("web1") => FlowSizeDist::pfabric_web_search(),
+        Some("web2") => FlowSizeDist::facebook_web(),
+        Some("hadoop") => FlowSizeDist::facebook_hadoop(),
+        Some("cache") => FlowSizeDist::facebook_cache(),
+        Some(other) => return Err(format!("unknown workload '{other}'")),
+    };
+    let goals = DesignGoals::with_cuts(0);
+    let prov = provision(&region, &goals);
+    let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
+    let max_cap = raw.links.iter().map(|l| l.capacity_gbps).fold(0.0f64, f64::max);
+    let topo = SimTopology::from_provisioning(&region, &goals, &prov, 2.0 / max_cap);
+    let result = run_comparison(
+        &topo,
+        &ExperimentConfig {
+            duration_s: duration,
+            utilization: util,
+            change_interval_s: interval,
+            change_model: ChangeModel::Bounded(0.5),
+            workload,
+            outage_s: 0.07,
+            seed: 42,
+        },
+    );
+    println!("paired simulation: {duration} s, util {util}, reconfig every {interval} s");
+    println!("  flows completed (EPS/Iris):  {}/{}", result.eps_flows, result.iris_flows);
+    println!("  p99 FCT slowdown, all:       {:.3}", result.slowdown_p99_all);
+    println!("  p99 FCT slowdown, short:     {:.3}", result.slowdown_p99_short);
+    println!("  mean FCT slowdown:           {:.3}", result.slowdown_mean_all);
+    Ok(())
+}
+
+/// `iris testbed` — Fig. 14 replay.
+pub fn testbed(_opts: &Options) -> Result<(), String> {
+    use iris_control::testbed::{run_testbed, summarize, TestbedConfig};
+    let config = TestbedConfig::default();
+    let samples = run_testbed(&config);
+    let summary = summarize(&samples, config.sample_period_ms);
+    println!("testbed replay ({} s, reconfig every {} s):", config.duration_s, config.reconfig_interval_s);
+    println!("  max pre-FEC BER:    {:.2e} (threshold 2e-2)", summary.max_ber);
+    println!("  recovery gap:       {:.0} ms", summary.max_gap_ms);
+    println!("  below threshold:    {:.1}%", summary.below_threshold * 100.0);
+    Ok(())
+}

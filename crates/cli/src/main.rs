@@ -1,0 +1,68 @@
+//! `iris` — command-line front end for the regional DCI planner.
+//!
+//! ```text
+//! iris gen      --seed 7 --dcs 8 --fibers 16 --lambda 40 --out region.json
+//! iris plan     --region region.json [--cuts 2]
+//! iris compare  --region region.json [--cuts 1]
+//! iris siting   --region region.json
+//! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
+//! iris testbed
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = args::Options::parse(&argv[1..])?;
+    match command.as_str() {
+        "gen" => commands::generate(&opts),
+        "plan" => commands::plan(&opts),
+        "compare" => commands::compare(&opts),
+        "siting" => commands::siting(&opts),
+        "simulate" => commands::simulate(&opts),
+        "testbed" => commands::testbed(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `iris help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "iris — regional DCI planning (SIGCOMM'20 Iris reproduction)
+
+USAGE:
+  iris gen      --seed N --dcs N [--fibers F] [--lambda L] [--huts H] --out FILE
+                generate a synthetic metro region and write it as JSON
+  iris plan     --region FILE [--cuts K]
+                plan the region as an Iris all-optical network; print the
+                bill of materials and any constraint violations
+  iris compare  --region FILE [--cuts K]
+                plan Iris, EPS and centralized designs; print the cost and
+                latency comparison table
+  iris siting   --region FILE
+                service-area analysis: where can the next DC go?
+  iris simulate --region FILE [--util U] [--interval S] [--duration S]
+                paired Iris-vs-EPS flow-level simulation
+  iris testbed  replay the Fig. 14 physical-layer experiment
+  iris help     this text"
+    );
+}

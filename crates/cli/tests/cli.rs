@@ -1,0 +1,116 @@
+//! End-to-end tests of the `iris` binary: run the real executable the
+//! way an operator would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn iris(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_iris"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("iris-cli-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = iris(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["gen", "plan", "compare", "siting", "simulate", "testbed"] {
+        assert!(text.contains(cmd), "help missing '{cmd}'");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_succeeds() {
+    let out = iris(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = iris(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_then_plan_round_trip() {
+    let region = tmp("roundtrip.json");
+    let out = iris(&[
+        "gen", "--seed", "3", "--dcs", "5", "--out",
+        region.to_str().expect("utf8 path"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(region.exists());
+
+    let out = iris(&["plan", "--region", region.to_str().unwrap(), "--cuts", "0"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Iris plan"), "{text}");
+    assert!(text.contains("FEASIBLE"), "{text}");
+}
+
+#[test]
+fn plan_without_region_is_a_clean_error() {
+    let out = iris(&["plan"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--region"));
+}
+
+#[test]
+fn plan_with_missing_file_reports_io_error() {
+    let out = iris(&["plan", "--region", "/nonexistent/nowhere.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn siting_reports_flexibility_gain() {
+    let region = tmp("siting.json");
+    iris(&["gen", "--seed", "5", "--dcs", "5", "--out", region.to_str().unwrap()]);
+    let out = iris(&["siting", "--region", region.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("flexibility gain"), "{text}");
+}
+
+#[test]
+fn simulate_reports_slowdowns() {
+    let region = tmp("simulate.json");
+    iris(&["gen", "--seed", "6", "--dcs", "4", "--out", region.to_str().unwrap()]);
+    let out = iris(&[
+        "simulate", "--region", region.to_str().unwrap(), "--duration", "5",
+        "--workload", "web2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("p99 FCT slowdown"), "{text}");
+}
+
+#[test]
+fn simulate_rejects_unknown_workload() {
+    let region = tmp("badworkload.json");
+    iris(&["gen", "--seed", "6", "--dcs", "4", "--out", region.to_str().unwrap()]);
+    let out = iris(&[
+        "simulate", "--region", region.to_str().unwrap(), "--workload", "nope",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn testbed_reports_ber_below_threshold() {
+    let out = iris(&["testbed"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("max pre-FEC BER"), "{text}");
+    assert!(text.contains("100.0%"), "{text}");
+}

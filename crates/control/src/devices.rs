@@ -1,0 +1,306 @@
+//! Simulated optical devices with the testbed's actuation latencies.
+//!
+//! Every device records the simulated time its last operation completes,
+//! so the controller can compute realistic reconfiguration timelines
+//! without wall-clock sleeps. Device state is plain and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Health status returned by a device check (§5.2: the controller
+/// implements "checking that the devices are in expected state").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceHealth {
+    /// Device state matches the controller's intent.
+    Ok,
+    /// Mismatch between intended and actual state.
+    Degraded(String),
+}
+
+/// An optical space switch (e.g. Polatis): a port-to-port crossbar that
+/// moves whole fibers, with per-port power limiting (TC3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpaceSwitch {
+    /// Device name (e.g. `OSS@HUT3`).
+    pub name: String,
+    ports: usize,
+    /// `cross[in] = Some(out)`.
+    cross: Vec<Option<usize>>,
+    /// Per-port input power limit, dBm.
+    pub port_power_limit_dbm: f64,
+    /// Cumulative actuations performed (wear/telemetry counter).
+    pub actuations: u64,
+}
+
+impl SpaceSwitch {
+    /// A switch with `ports` ports, all unconnected.
+    #[must_use]
+    pub fn new(name: &str, ports: usize) -> Self {
+        Self {
+            name: name.to_owned(),
+            ports,
+            cross: vec![None; ports],
+            port_power_limit_dbm: -3.0,
+            actuations: 0,
+        }
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Current output for an input port.
+    #[must_use]
+    pub fn output_of(&self, input: usize) -> Option<usize> {
+        self.cross.get(input).copied().flatten()
+    }
+
+    /// Connect `input -> output`, disconnecting whatever previously drove
+    /// `output`. Returns the actuation time in ms (~20 ms; batched
+    /// changes inside one actuation share it).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either port is out of range.
+    pub fn connect(&mut self, input: usize, output: usize) -> Result<f64, String> {
+        if input >= self.ports || output >= self.ports {
+            return Err(format!(
+                "{}: port out of range ({input} -> {output}, {} ports)",
+                self.name, self.ports
+            ));
+        }
+        // Steal the output from any other input driving it.
+        for c in &mut self.cross {
+            if *c == Some(output) {
+                *c = None;
+            }
+        }
+        self.cross[input] = Some(output);
+        self.actuations += 1;
+        Ok(iris_optics::OSS_SWITCH_TIME_MS)
+    }
+
+    /// Disconnect an input port (no actuation cost worth modeling).
+    pub fn disconnect(&mut self, input: usize) {
+        if let Some(c) = self.cross.get_mut(input) {
+            *c = None;
+        }
+    }
+
+    /// Verify an intended mapping.
+    #[must_use]
+    pub fn check(&self, intended: &[(usize, usize)]) -> DeviceHealth {
+        for &(i, o) in intended {
+            if self.output_of(i) != Some(o) {
+                return DeviceHealth::Degraded(format!(
+                    "{}: expected {i} -> {o}, found {:?}",
+                    self.name,
+                    self.output_of(i)
+                ));
+            }
+        }
+        DeviceHealth::Ok
+    }
+}
+
+/// A tunable coherent transceiver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunableTransceiver {
+    /// Device name.
+    pub name: String,
+    /// Current DWDM channel index (None = laser off).
+    pub channel: Option<u32>,
+    /// Channels supported (λ per fiber: 40 or 64).
+    pub channel_count: u32,
+}
+
+impl TunableTransceiver {
+    /// An off transceiver supporting `channel_count` channels.
+    #[must_use]
+    pub fn new(name: &str, channel_count: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            channel: None,
+            channel_count,
+        }
+    }
+
+    /// Tune to `channel`; returns tuning time in ms (< 1 ms).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the channel is out of range.
+    pub fn tune(&mut self, channel: u32) -> Result<f64, String> {
+        if channel >= self.channel_count {
+            return Err(format!(
+                "{}: channel {channel} out of range ({})",
+                self.name, self.channel_count
+            ));
+        }
+        self.channel = Some(channel);
+        Ok(iris_optics::TRANSCEIVER_TUNE_TIME_MS)
+    }
+
+    /// Turn the laser off.
+    pub fn disable(&mut self) {
+        self.channel = None;
+    }
+}
+
+/// A fixed-gain EDFA behind a power limiter (§5.1's TC3 discipline: no
+/// online gain management, ever).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edfa {
+    /// Fixed gain, dB.
+    pub gain_db: f64,
+    /// Input power cap enforced by the preceding limiter, dBm.
+    pub input_limit_dbm: f64,
+}
+
+impl Default for Edfa {
+    fn default() -> Self {
+        Self {
+            gain_db: iris_optics::AMPLIFIER_GAIN_DB,
+            input_limit_dbm: -3.0,
+        }
+    }
+}
+
+impl Edfa {
+    /// Output power for a given input, dBm: the limiter clamps the input,
+    /// then the fixed gain applies.
+    #[must_use]
+    pub fn output_dbm(&self, input_dbm: f64) -> f64 {
+        input_dbm.min(self.input_limit_dbm) + self.gain_db
+    }
+
+    /// Settling time when a dark amplifier starts carrying signal, ms.
+    #[must_use]
+    pub fn settle_ms(&self) -> f64 {
+        iris_optics::AMPLIFIER_SETTLE_TIME_MS
+    }
+}
+
+/// The ASE channel emulator: fills every unused DWDM channel with shaped
+/// noise so the fiber's total power — and thus every amplifier's
+/// operating point — is independent of how many live channels it carries
+/// (§5.1 "Channel emulation").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelEmulator {
+    /// Channels in the band.
+    pub channel_count: u32,
+    /// Which channels carry live data (the rest get ASE filler).
+    live: Vec<bool>,
+}
+
+impl ChannelEmulator {
+    /// An emulator with all channels filled (no live data yet).
+    #[must_use]
+    pub fn new(channel_count: u32) -> Self {
+        Self {
+            channel_count,
+            live: vec![false; channel_count as usize],
+        }
+    }
+
+    /// Mark a channel live (ASE filler removed there).
+    ///
+    /// # Errors
+    ///
+    /// Fails if out of range.
+    pub fn set_live(&mut self, channel: u32, live: bool) -> Result<(), String> {
+        let idx = channel as usize;
+        if idx >= self.live.len() {
+            return Err(format!("channel {channel} out of range"));
+        }
+        self.live[idx] = live;
+        Ok(())
+    }
+
+    /// Channels currently carrying ASE filler.
+    #[must_use]
+    pub fn filler_channels(&self) -> u32 {
+        self.live.iter().filter(|&&l| !l).count() as u32
+    }
+
+    /// The fiber's spectrum is always full: live + filler == all.
+    #[must_use]
+    pub fn spectrum_full(&self) -> bool {
+        self.live.iter().filter(|&&l| l).count() as u32 + self.filler_channels()
+            == self.channel_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oss_connects_and_checks() {
+        let mut s = SpaceSwitch::new("OSS@HUT1", 8);
+        assert_eq!(s.connect(0, 5).unwrap(), 20.0);
+        assert_eq!(s.output_of(0), Some(5));
+        assert_eq!(s.check(&[(0, 5)]), DeviceHealth::Ok);
+        assert!(matches!(s.check(&[(0, 4)]), DeviceHealth::Degraded(_)));
+        assert_eq!(s.actuations, 1);
+    }
+
+    #[test]
+    fn oss_steals_contended_output() {
+        let mut s = SpaceSwitch::new("OSS", 4);
+        s.connect(0, 2).unwrap();
+        s.connect(1, 2).unwrap();
+        assert_eq!(s.output_of(0), None, "output must be stolen");
+        assert_eq!(s.output_of(1), Some(2));
+    }
+
+    #[test]
+    fn oss_rejects_bad_ports() {
+        let mut s = SpaceSwitch::new("OSS", 4);
+        assert!(s.connect(0, 9).is_err());
+        assert!(s.connect(9, 0).is_err());
+    }
+
+    #[test]
+    fn oss_disconnect() {
+        let mut s = SpaceSwitch::new("OSS", 4);
+        s.connect(3, 1).unwrap();
+        s.disconnect(3);
+        assert_eq!(s.output_of(3), None);
+    }
+
+    #[test]
+    fn transceiver_tunes_fast() {
+        let mut t = TunableTransceiver::new("TX0", 40);
+        let ms = t.tune(13).unwrap();
+        assert!(ms <= 1.0);
+        assert_eq!(t.channel, Some(13));
+        assert!(t.tune(40).is_err());
+        t.disable();
+        assert_eq!(t.channel, None);
+    }
+
+    #[test]
+    fn edfa_limits_then_amplifies() {
+        let a = Edfa::default();
+        // Below the limit: straight 20 dB gain.
+        assert!((a.output_dbm(-20.0) - 0.0).abs() < 1e-12);
+        // Above the limit: clamped first (TC3's whole point).
+        assert!((a.output_dbm(5.0) - 17.0).abs() < 1e-12);
+        assert!(a.settle_ms() <= 2.0);
+    }
+
+    #[test]
+    fn channel_emulator_keeps_spectrum_full() {
+        let mut e = ChannelEmulator::new(40);
+        assert_eq!(e.filler_channels(), 40);
+        e.set_live(3, true).unwrap();
+        e.set_live(7, true).unwrap();
+        assert_eq!(e.filler_channels(), 38);
+        assert!(e.spectrum_full());
+        e.set_live(3, false).unwrap();
+        assert_eq!(e.filler_channels(), 39);
+        assert!(e.set_live(40, true).is_err());
+    }
+}

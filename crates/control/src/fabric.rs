@@ -1,0 +1,319 @@
+//! Port-level fabric realization: map a planned Iris network onto
+//! concrete optical space switches.
+//!
+//! The planner decides *what* exists (fibers per duct, amplifiers per
+//! hut, circuits per DC pair); this module decides *where each fiber
+//! lands*: it sizes one OSS per site, allocates trunk ports for every
+//! fiber-pair termination, add/drop ports for DC capacity, loopback
+//! ports for amplifiers, and then threads each DC-pair circuit through
+//! its sites as concrete `input -> output` cross-connects. The result
+//! can be applied to simulated [`SpaceSwitch`] devices and audited with
+//! health checks — the controller's "devices are in expected state"
+//! operation (§5.2), including fault injection.
+
+use crate::devices::{DeviceHealth, SpaceSwitch};
+use iris_fibermap::{Region, SiteId};
+use iris_planner::topology::nominal_paths;
+use iris_planner::{DesignGoals, IrisPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One DC-pair circuit threaded through the fabric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    /// DC indices (into `region.dcs`).
+    pub pair: (usize, usize),
+    /// Fiber pairs this circuit bundles (base allocation of the pair).
+    pub fiber_pairs: u32,
+    /// `(site, input port, output port)` cross-connects, in path order.
+    /// Endpoints appear too: the DC's OSS connects the add/drop side to
+    /// the trunk side.
+    pub cross_connects: Vec<(SiteId, usize, usize)>,
+}
+
+/// A fully port-assigned fabric.
+#[derive(Debug, Clone)]
+pub struct FabricLayout {
+    /// One OSS per site (sites without optical equipment get a 0-port
+    /// switch and never appear in circuits).
+    pub switches: Vec<SpaceSwitch>,
+    /// One circuit per reachable DC pair.
+    pub circuits: Vec<Circuit>,
+    /// Ports consumed per site (for capacity audits).
+    pub ports_used: Vec<usize>,
+}
+
+/// Size and thread the fabric for `plan` on `region`.
+///
+/// Port model: each fiber-pair termination takes one bidirectional port
+/// on the site's OSS (the pair's two strands patch to one logical port
+/// in this abstraction); each amplifier takes two loopback ports; each
+/// DC wavelength-group (fiber) of local capacity takes one add/drop
+/// port.
+#[must_use]
+pub fn build_fabric(region: &Region, goals: &DesignGoals, plan: &IrisPlan) -> FabricLayout {
+    let g = region.map.graph();
+    let n_sites = g.node_count();
+
+    // --- Size each site's OSS. ---
+    let mut trunk_ports = vec![0usize; n_sites]; // fiber-pair terminations
+    for (e, edge) in g.edges().iter().enumerate() {
+        let pairs = plan.base_fiber_pairs[e] + plan.residual_fiber_pairs[e];
+        trunk_ports[edge.u] += pairs as usize;
+        trunk_ports[edge.v] += pairs as usize;
+    }
+    let mut extra_ports = vec![0usize; n_sites];
+    for (&site, &amps) in &plan.amps.amps_per_node {
+        extra_ports[site] += 2 * amps as usize; // loopback in + out
+    }
+    for (i, &dc) in region.dcs.iter().enumerate() {
+        extra_ports[dc] += region.capacity_fibers[i] as usize; // add/drop
+    }
+    let mut switches: Vec<SpaceSwitch> = (0..n_sites)
+        .map(|s| {
+            let ports = trunk_ports[s] + extra_ports[s];
+            SpaceSwitch::new(&region.map.site(s).name, ports)
+        })
+        .collect();
+
+    // --- Allocate trunk port ranges per (site, duct). ---
+    // port_base[site][edge] = first port index of that duct's pairs.
+    let mut next_port = vec![0usize; n_sites];
+    let mut port_base: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_sites];
+    for (e, edge) in g.edges().iter().enumerate() {
+        let pairs = (plan.base_fiber_pairs[e] + plan.residual_fiber_pairs[e]) as usize;
+        if pairs == 0 {
+            continue;
+        }
+        for site in [edge.u, edge.v] {
+            port_base[site].insert(e, next_port[site]);
+            next_port[site] += pairs;
+        }
+    }
+    // Add/drop base per DC (after trunks).
+    let mut adddrop_base = vec![usize::MAX; n_sites];
+    for (i, &dc) in region.dcs.iter().enumerate() {
+        adddrop_base[dc] = next_port[dc];
+        next_port[dc] += region.capacity_fibers[i] as usize;
+    }
+
+    // Per-(site, duct) rolling offset so parallel circuits get distinct
+    // ports.
+    let mut duct_cursor: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_sites];
+    let mut adddrop_cursor = vec![0usize; n_sites];
+    let lambda = u64::from(region.wavelengths_per_fiber);
+
+    // --- Thread circuits along nominal paths. ---
+    let mut circuits = Vec::new();
+    for path in nominal_paths(region, goals) {
+        let demand_wl = region
+            .capacity_wavelengths(path.a)
+            .min(region.capacity_wavelengths(path.b));
+        let fiber_pairs = demand_wl.div_ceil(lambda).min(1).max(1) as u32; // representative strand
+        let mut cross = Vec::new();
+        let mut take_port = |site: usize, edge: usize| -> usize {
+            let base = port_base[site][&edge];
+            let cursor = duct_cursor[site].entry(edge).or_insert(0);
+            let port = base + *cursor;
+            *cursor += 1;
+            port
+        };
+        // Source DC: add/drop -> first duct.
+        let src = path.nodes[0];
+        let src_add = adddrop_base[src] + adddrop_cursor[src];
+        adddrop_cursor[src] += 1;
+        let first_trunk = take_port(src, path.edges[0]);
+        cross.push((src, src_add, first_trunk));
+        // Transit sites: duct in -> duct out.
+        for w in 0..path.edges.len() - 1 {
+            let site = path.nodes[w + 1];
+            let inp = take_port(site, path.edges[w]);
+            let out = take_port(site, path.edges[w + 1]);
+            cross.push((site, inp, out));
+        }
+        // Destination DC: last duct -> add/drop.
+        let dst = *path.nodes.last().expect("non-empty");
+        let last_trunk = take_port(dst, *path.edges.last().expect("non-empty"));
+        let dst_add = adddrop_base[dst] + adddrop_cursor[dst];
+        adddrop_cursor[dst] += 1;
+        cross.push((dst, last_trunk, dst_add));
+
+        circuits.push(Circuit {
+            pair: (path.a, path.b),
+            fiber_pairs,
+            cross_connects: cross,
+        });
+    }
+
+    // --- Apply to the switches. ---
+    for c in &circuits {
+        for &(site, input, output) in &c.cross_connects {
+            switches[site]
+                .connect(input, output)
+                .expect("fabric sizing guarantees port availability");
+        }
+    }
+
+    FabricLayout {
+        ports_used: next_port,
+        switches,
+        circuits,
+    }
+}
+
+impl FabricLayout {
+    /// Health-check every circuit against the actual switch state.
+    #[must_use]
+    pub fn verify(&self) -> Vec<((usize, usize), DeviceHealth)> {
+        let mut out = Vec::new();
+        for c in &self.circuits {
+            let mut health = DeviceHealth::Ok;
+            for &(site, input, output) in &c.cross_connects {
+                if self.switches[site].output_of(input) != Some(output) {
+                    health = DeviceHealth::Degraded(format!(
+                        "{}: circuit {:?} expects {input} -> {output}, found {:?}",
+                        self.switches[site].name,
+                        c.pair,
+                        self.switches[site].output_of(input)
+                    ));
+                    break;
+                }
+            }
+            out.push((c.pair, health));
+        }
+        out
+    }
+
+    /// True when every circuit verifies clean.
+    #[must_use]
+    pub fn all_healthy(&self) -> bool {
+        self.verify().iter().all(|(_, h)| *h == DeviceHealth::Ok)
+    }
+
+    /// Fault injection: disconnect one input port at a site (a tech
+    /// pulled the wrong jumper). Returns whether anything changed.
+    pub fn inject_disconnect(&mut self, site: SiteId, input: usize) -> bool {
+        if self.switches[site].output_of(input).is_some() {
+            self.switches[site].disconnect(input);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Repair: re-apply every circuit's cross-connects (idempotent).
+    pub fn reapply_all(&mut self) {
+        for c in &self.circuits {
+            for &(site, input, output) in &c.cross_connects {
+                let _ = self.switches[site].connect(input, output);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::synth::{generate_metro, place_dcs};
+    use iris_fibermap::{MetroParams, PlacementParams};
+    use iris_planner::plan_iris;
+
+    fn planned() -> (Region, DesignGoals, IrisPlan) {
+        let region = place_dcs(
+            generate_metro(&MetroParams::default()),
+            &PlacementParams {
+                n_dcs: 5,
+                ..PlacementParams::default()
+            },
+        );
+        let goals = DesignGoals::with_cuts(0);
+        let plan = plan_iris(&region, &goals);
+        (region, goals, plan)
+    }
+
+    #[test]
+    fn fabric_builds_and_verifies() {
+        let (region, goals, plan) = planned();
+        let fabric = build_fabric(&region, &goals, &plan);
+        assert_eq!(fabric.circuits.len(), 10); // C(5,2)
+        assert!(fabric.all_healthy());
+    }
+
+    #[test]
+    fn port_allocation_never_exceeds_switch_size() {
+        let (region, goals, plan) = planned();
+        let fabric = build_fabric(&region, &goals, &plan);
+        for (s, sw) in fabric.switches.iter().enumerate() {
+            assert!(
+                fabric.ports_used[s] <= sw.ports(),
+                "site {s} uses {} of {} ports",
+                fabric.ports_used[s],
+                sw.ports()
+            );
+        }
+    }
+
+    #[test]
+    fn circuits_use_distinct_ports_at_every_site() {
+        let (region, goals, plan) = planned();
+        let fabric = build_fabric(&region, &goals, &plan);
+        let mut used: std::collections::HashSet<(usize, usize)> = Default::default();
+        for c in &fabric.circuits {
+            for &(site, input, _) in &c.cross_connects {
+                assert!(
+                    used.insert((site, input)),
+                    "input port {input}@{site} assigned twice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_endpoints_are_the_right_dcs() {
+        let (region, goals, plan) = planned();
+        let fabric = build_fabric(&region, &goals, &plan);
+        for c in &fabric.circuits {
+            let first_site = c.cross_connects.first().unwrap().0;
+            let last_site = c.cross_connects.last().unwrap().0;
+            assert_eq!(first_site, region.dcs[c.pair.0]);
+            assert_eq!(last_site, region.dcs[c.pair.1]);
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_caught_and_repaired() {
+        let (region, goals, plan) = planned();
+        let mut fabric = build_fabric(&region, &goals, &plan);
+        // Pull the first circuit's first jumper.
+        let (site, input, _) = fabric.circuits[0].cross_connects[0];
+        assert!(fabric.inject_disconnect(site, input));
+        assert!(!fabric.all_healthy(), "fault must be detected");
+        let degraded: Vec<_> = fabric
+            .verify()
+            .into_iter()
+            .filter(|(_, h)| *h != DeviceHealth::Ok)
+            .collect();
+        assert!(!degraded.is_empty());
+        // Repair restores health.
+        fabric.reapply_all();
+        assert!(fabric.all_healthy());
+    }
+
+    #[test]
+    fn transit_sites_appear_between_endpoints() {
+        let (region, goals, plan) = planned();
+        let fabric = build_fabric(&region, &goals, &plan);
+        let multi_hop = fabric
+            .circuits
+            .iter()
+            .find(|c| c.cross_connects.len() > 2)
+            .expect("some circuit transits a hut");
+        for &(site, _, _) in &multi_hop.cross_connects[1..multi_hop.cross_connects.len() - 1] {
+            assert!(
+                region.dc_index(site).is_none()
+                    || site != region.dcs[multi_hop.pair.0] && site != region.dcs[multi_hop.pair.1],
+                "interior cross-connect at an endpoint DC"
+            );
+        }
+    }
+}

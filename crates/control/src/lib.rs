@@ -1,0 +1,38 @@
+//! The Iris control plane (§5).
+//!
+//! A centralized controller gathers DC-DC traffic demands and configures
+//! the network's optical components: space switches (OSS), tunable
+//! transceivers, amplifiers, and the ASE channel emulators that keep
+//! every fiber's spectrum full so amplifier gains never need online
+//! management (TC3). The paper's testbed controller is ~9 K lines of
+//! Python driving real hardware over serial/HTTPS/NetConf; this crate is
+//! its Rust equivalent driving *simulated* devices with the measured
+//! actuation latencies, so the orchestration logic — drain, switch,
+//! retune, verify, undrain — is exercised end-to-end.
+//!
+//! * [`devices`] — device models with realistic actuation times and
+//!   health checks;
+//! * [`wavelength`] — packing a DC's tunable transceivers into outgoing
+//!   fibers (the per-DC "basic wavelength management" of §5.2);
+//! * [`messages`] — a compact binary wire format for controller-to-site
+//!   commands;
+//! * [`controller`] — the reconfiguration orchestrator with its timeline
+//!   and dark-time accounting;
+//! * [`testbed`] — the Fig. 13/14 experiment: periodic path swaps at a
+//!   hut, BER sampled every 10 ms, 50 ms recovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod devices;
+pub mod fabric;
+pub mod messages;
+pub mod testbed;
+pub mod wavelength;
+
+pub use controller::{Controller, ReconfigPlan, ReconfigReport};
+pub use fabric::{build_fabric, Circuit, FabricLayout};
+pub use devices::{ChannelEmulator, DeviceHealth, Edfa, SpaceSwitch, TunableTransceiver};
+pub use testbed::{run_testbed, BerSample, TestbedConfig};
+pub use wavelength::{assign_wavelengths, FiberAssignment};

@@ -1,0 +1,120 @@
+//! Per-DC wavelength management (§5.1–5.2).
+//!
+//! Each DC owns its transceivers and packs them into outgoing fibers via
+//! OSS1: because transceivers are *tunable*, the controller can always
+//! assign channels `0..λ-1` within each fiber with no global coloring
+//! problem — wavelength management is purely DC-local, one of the three
+//! simplifications that keep Iris's control plane trivial.
+
+use serde::{Deserialize, Serialize};
+
+/// The channel assignment of one outgoing fiber.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FiberAssignment {
+    /// Destination DC index.
+    pub destination: usize,
+    /// Channels carrying live data on this fiber (each maps to one
+    /// transceiver at each end); the rest of the spectrum is ASE filler.
+    pub live_channels: Vec<u32>,
+}
+
+impl FiberAssignment {
+    /// Number of live wavelengths.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live_channels.len()
+    }
+}
+
+/// Pack per-destination wavelength demands into fibers of `lambda`
+/// channels: each destination gets `ceil(demand/λ)` fibers, full fibers
+/// first, the fractional remainder on a residual fiber (§4.3).
+///
+/// Returns one [`FiberAssignment`] per fiber, destinations in input
+/// order, channels always starting at 0 within each fiber (tunability
+/// makes this legal).
+///
+/// # Panics
+///
+/// Panics if `lambda` is zero.
+#[must_use]
+pub fn assign_wavelengths(demands_wl: &[(usize, u32)], lambda: u32) -> Vec<FiberAssignment> {
+    assert!(lambda > 0, "lambda must be positive");
+    let mut fibers = Vec::new();
+    for &(destination, demand) in demands_wl {
+        let mut remaining = demand;
+        while remaining > 0 {
+            let take = remaining.min(lambda);
+            fibers.push(FiberAssignment {
+                destination,
+                live_channels: (0..take).collect(),
+            });
+            remaining -= take;
+        }
+    }
+    fibers
+}
+
+/// Count the fibers [`assign_wavelengths`] would produce without building
+/// them: `sum(ceil(demand/λ))`.
+#[must_use]
+pub fn fibers_needed(demands_wl: &[(usize, u32)], lambda: u32) -> u32 {
+    assert!(lambda > 0, "lambda must be positive");
+    demands_wl.iter().map(|&(_, d)| d.div_ceil(lambda)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fiber_fills() {
+        let fibers = assign_wavelengths(&[(1, 40)], 40);
+        assert_eq!(fibers.len(), 1);
+        assert_eq!(fibers[0].destination, 1);
+        assert_eq!(fibers[0].live_count(), 40);
+    }
+
+    #[test]
+    fn fractional_demand_spills_to_residual_fiber() {
+        // §4.3's motivating case: 55 wavelengths = 1 full + 1 residual.
+        let fibers = assign_wavelengths(&[(2, 55)], 40);
+        assert_eq!(fibers.len(), 2);
+        assert_eq!(fibers[0].live_count(), 40);
+        assert_eq!(fibers[1].live_count(), 15);
+    }
+
+    #[test]
+    fn multiple_destinations_keep_separate_fibers() {
+        // Fiber switching cannot mix destinations in one fiber.
+        let fibers = assign_wavelengths(&[(1, 10), (2, 10)], 40);
+        assert_eq!(fibers.len(), 2);
+        assert_ne!(fibers[0].destination, fibers[1].destination);
+    }
+
+    #[test]
+    fn zero_demand_needs_no_fiber() {
+        let fibers = assign_wavelengths(&[(1, 0)], 40);
+        assert!(fibers.is_empty());
+        assert_eq!(fibers_needed(&[(1, 0)], 40), 0);
+    }
+
+    #[test]
+    fn fibers_needed_matches_assignment() {
+        let demands = [(0, 95u32), (1, 40), (2, 1), (3, 0)];
+        assert_eq!(
+            fibers_needed(&demands, 40) as usize,
+            assign_wavelengths(&demands, 40).len()
+        );
+    }
+
+    #[test]
+    fn channels_start_at_zero_every_fiber() {
+        for f in assign_wavelengths(&[(0, 100)], 40) {
+            assert_eq!(f.live_channels.first(), Some(&0));
+            for (i, &c) in f.live_channels.iter().enumerate() {
+                assert_eq!(c, i as u32, "channels must be contiguous from 0");
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The §2.4 analytic port-count model behind Fig. 7.
+//!
+//! `N` DCs of capacity `P` ports each are organized into `G` balanced
+//! groups; DCs in a group interconnect through a group-local hub, and
+//! groups are connected all-pairs. Supporting *any* hose traffic matrix
+//! means each group hub carries the full group capacity downstream plus
+//! `(G-1)/G · N · P` upstream — a total of `N · P` ports per hub
+//! regardless of group size — so the topology needs `(G+1) · N · P` ports
+//! overall. `G = 1` is the centralized hub-and-spoke; `G = N` degenerates
+//! to the fully distributed all-pairs mesh, where the "hub" role collapses
+//! into the DC itself and each DC needs `(N-1) · P` ports to guarantee
+//! any matrix.
+
+use crate::prices::PriceBook;
+use serde::{Deserialize, Serialize};
+
+/// Port counts of the group model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupModelPorts {
+    /// Ports on DC switches facing the DCI.
+    pub dc_ports: u64,
+    /// Ports at group hubs (or at DCs acting as their own hub for G = N).
+    pub hub_ports: u64,
+    /// Of the total, how many terminate group-internal (DC-hub) links —
+    /// candidates for short-reach optics in the "with SR" variant.
+    pub intra_group_ports: u64,
+}
+
+impl GroupModelPorts {
+    /// All DCI ports.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dc_ports + self.hub_ports
+    }
+
+    /// Ports terminating inter-group links.
+    #[must_use]
+    pub fn inter_group_ports(&self) -> u64 {
+        self.total() - self.intra_group_ports
+    }
+}
+
+/// Port counts for `n` DCs of `p` ports each in `g` groups.
+///
+/// # Panics
+///
+/// Panics unless `1 <= g <= n` and `n, p > 0`.
+#[must_use]
+pub fn group_model_ports(n: u64, p: u64, g: u64) -> GroupModelPorts {
+    assert!(n > 0 && p > 0, "need at least one DC and one port");
+    assert!((1..=n).contains(&g), "groups must satisfy 1 <= G <= N");
+    if g == n {
+        // Fully distributed: no hubs; each DC needs (N-1)·P ports to
+        // support any matrix over direct all-pairs links.
+        let dc_ports = n * (n - 1) * p;
+        return GroupModelPorts {
+            dc_ports,
+            hub_ports: 0,
+            intra_group_ports: 0,
+        };
+    }
+    let dc_ports = n * p; // one DC port per unit of capacity
+    // Each hub carries (N/G)·P downstream plus (G-1)·(N/G)·P upstream,
+    // i.e. N·P ports per hub regardless of group size; over the G hubs
+    // that is G·N·P, for the paper's (G+1)·N·P total.
+    let hub_ports = g * n * p;
+    // Intra-group (DC-hub) links terminate N·P ports at the DCs and N·P
+    // downstream ports at the hubs.
+    let intra = 2 * n * p;
+    GroupModelPorts {
+        dc_ports,
+        hub_ports,
+        intra_group_ports: intra,
+    }
+}
+
+/// Annual cost of the Fig. 7 design points, $/year.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Costs {
+    /// All-electrical with DCI transceivers on every port.
+    pub electrical: f64,
+    /// Electrical, but group-internal links use short-reach transceivers.
+    pub electrical_sr: f64,
+    /// Optical: DC ports keep DCI transceivers; in-network ports are
+    /// optical reconfigurable (OSS) ports.
+    pub optical: f64,
+}
+
+/// Cost the three Fig. 7 variants for `n` DCs x `p` ports in `g` groups.
+#[must_use]
+pub fn fig7_costs(n: u64, p: u64, g: u64, book: &PriceBook) -> Fig7Costs {
+    let ports = group_model_ports(n, p, g);
+    let per_dci_port = book.transceiver + book.electrical_port;
+    let per_sr_port = book.transceiver_sr + book.electrical_port;
+
+    let electrical = ports.total() as f64 * per_dci_port;
+    let electrical_sr = ports.intra_group_ports as f64 * per_sr_port
+        + ports.inter_group_ports() as f64 * per_dci_port;
+    // Optical: the DC's own capacity terminates in DCI transceivers; all
+    // in-network (hub) ports become OSS ports with no transceivers.
+    let dc_capacity_ports = n * p;
+    let in_network = ports.total() - dc_capacity_ports.min(ports.total());
+    let optical =
+        dc_capacity_ports as f64 * per_dci_port + in_network as f64 * book.oss_port;
+    Fig7Costs {
+        electrical,
+        electrical_sr,
+        optical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_needs_double_capacity_ports() {
+        // G = 1: N·P at DCs plus N·P at the hub (§2.4).
+        let ports = group_model_ports(16, 100, 1);
+        assert_eq!(ports.dc_ports, 1600);
+        assert_eq!(ports.hub_ports, 1600);
+        assert_eq!(ports.total(), 2 * 16 * 100);
+        // Everything is a DC-hub link.
+        assert_eq!(ports.intra_group_ports, ports.total());
+        assert_eq!(ports.inter_group_ports(), 0);
+    }
+
+    #[test]
+    fn grouped_total_matches_formula() {
+        // (G+1)·N·P for hubbed topologies.
+        for g in [1u64, 2, 4, 8] {
+            let ports = group_model_ports(16, 100, g);
+            assert_eq!(ports.total(), (g + 1) * 16 * 100, "G = {g}");
+        }
+    }
+
+    #[test]
+    fn hub_capacity_is_group_size_independent() {
+        // §2.4: each group hub needs N·P ports irrespective of G.
+        for g in [2u64, 4, 8] {
+            let ports = group_model_ports(16, 100, g);
+            assert_eq!(ports.hub_ports / g, 16 * 100, "G = {g}");
+        }
+    }
+
+    #[test]
+    fn fully_distributed_blows_up_quadratically() {
+        let ports = group_model_ports(16, 100, 16);
+        assert_eq!(ports.total(), 16 * 15 * 100);
+        assert_eq!(ports.hub_ports, 0);
+    }
+
+    #[test]
+    fn fig7_distributed_electrical_is_about_7x_centralized() {
+        // The paper's headline: "roughly 7x the cost of the centralized
+        // topology" for N = 16.
+        let book = PriceBook::paper_2020();
+        let central = fig7_costs(16, 100, 1, &book);
+        let distributed = fig7_costs(16, 100, 16, &book);
+        let ratio = distributed.electrical / central.electrical;
+        assert!((6.5..=8.0).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn fig7_sr_is_cheaper_but_still_above_centralized() {
+        let book = PriceBook::paper_2020();
+        let central = fig7_costs(16, 100, 1, &book);
+        for g in [2u64, 4, 8] {
+            let c = fig7_costs(16, 100, g, &book);
+            assert!(c.electrical_sr < c.electrical, "G = {g}");
+            assert!(
+                c.electrical_sr > central.electrical_sr,
+                "semi-distributed should cost more than centralized even with SR (G = {g})"
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_optical_flattens_the_curve() {
+        // The optical variant's cost barely grows with distribution —
+        // that is the whole point of Iris (Fig. 7's third bars).
+        let book = PriceBook::paper_2020();
+        let central = fig7_costs(16, 100, 1, &book);
+        let distributed = fig7_costs(16, 100, 16, &book);
+        let growth = distributed.optical / central.optical;
+        let growth_electrical = distributed.electrical / central.electrical;
+        assert!(growth < 2.5, "optical growth {growth:.2}");
+        assert!(growth < growth_electrical / 2.0);
+        // Optical always beats full-price electrical; it also beats the
+        // SR variant once there are inter-group links (G >= 2). At G = 1
+        // the SR variant optimistically prices *every* link short-reach,
+        // which the paper itself calls unrealistic for DC-hub distances.
+        for g in [1u64, 2, 4, 8, 16] {
+            let c = fig7_costs(16, 100, g, &book);
+            assert!(c.optical <= c.electrical + 1e-9, "G = {g}");
+            if g >= 2 {
+                assert!(c.optical <= c.electrical_sr + 1e-9, "G = {g}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= G <= N")]
+    fn zero_groups_panics() {
+        let _ = group_model_ports(16, 100, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The component price book (§3.3).
+//!
+//! Prices are amortized $/year so that equipment purchases and fiber
+//! leases can be summed directly (the paper amortizes hardware over 3
+//! years). Only the *ratios* matter for every result reproduced here.
+
+use serde::{Deserialize, Serialize};
+
+/// Amortized component prices, $/year.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBook {
+    /// DCI-reach DWDM switch-pluggable transceiver (400ZR-class).
+    /// ~$10/Gbps purchase => ~$1300/yr amortized (§3.3).
+    pub transceiver: f64,
+    /// Short-reach (< 2 km) transceiver, used in the Fig. 7 "with SR"
+    /// variant and the Fig. 12(b) sensitivity study.
+    pub transceiver_sr: f64,
+    /// One leased fiber pair, per span per year (~$3600, §3.3).
+    pub fiber_pair_span: f64,
+    /// One (unidirectional) OSS port (§3.3: $100-200).
+    pub oss_port: f64,
+    /// One OXC port — "slightly more expensive than OSS ports".
+    pub oxc_port: f64,
+    /// One EDFA — "equivalent in cost to a few transceivers".
+    pub amplifier: f64,
+    /// One electrical switch port — a transceiver costs "roughly 10x an
+    /// electrical port" (§2.4).
+    pub electrical_port: f64,
+}
+
+impl PriceBook {
+    /// The paper's 2020 price structure.
+    #[must_use]
+    pub fn paper_2020() -> Self {
+        Self {
+            transceiver: 1300.0,
+            transceiver_sr: 130.0,
+            fiber_pair_span: 3600.0,
+            oss_port: 150.0,
+            oxc_port: 250.0,
+            amplifier: 3900.0, // 3 transceivers' worth
+            electrical_port: 130.0,
+        }
+    }
+
+    /// The Fig. 12(b) sensitivity variant: DCI transceivers priced
+    /// (unrealistically optimistically) at short-reach levels.
+    #[must_use]
+    pub fn with_sr_transceiver_prices(self) -> Self {
+        Self {
+            transceiver: self.transceiver_sr,
+            ..self
+        }
+    }
+}
+
+impl Default for PriceBook {
+    fn default() -> Self {
+        Self::paper_2020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios_hold() {
+        let p = PriceBook::paper_2020();
+        // Transceiver ~ 10x electrical port.
+        assert!((p.transceiver / p.electrical_port - 10.0).abs() < 0.5);
+        // Fiber lease ~ 3x transceiver per year.
+        assert!((p.fiber_pair_span / p.transceiver - 3.0).abs() < 0.5);
+        // OSS port an order of magnitude below a transceiver.
+        assert!(p.transceiver / p.oss_port >= 5.0);
+        // OXC slightly pricier than OSS but well below a transceiver.
+        assert!(p.oxc_port > p.oss_port && p.oxc_port < p.transceiver);
+        // Amplifier ~ a few transceivers.
+        assert!(p.amplifier / p.transceiver >= 2.0 && p.amplifier / p.transceiver <= 5.0);
+    }
+
+    #[test]
+    fn sr_variant_only_touches_transceiver() {
+        let p = PriceBook::paper_2020();
+        let sr = p.with_sr_transceiver_prices();
+        assert_eq!(sr.transceiver, p.transceiver_sr);
+        assert_eq!(sr.fiber_pair_span, p.fiber_pair_span);
+        assert_eq!(sr.oss_port, p.oss_port);
+    }
+}

@@ -1,0 +1,30 @@
+//! Regional fiber-map model and synthetic metro-region generator.
+//!
+//! The DCI network design problem of §2 of the paper takes three inputs:
+//! DC site locations, DC capacities, and the region's *fiber map* — the
+//! graph of fiber ducts connecting data centers and intermediate "fiber
+//! huts". This crate provides:
+//!
+//! * [`FiberMap`] — the annotated graph (site kinds, planar positions,
+//!   duct lengths) with fiber-distance queries;
+//! * [`synth`] — a deterministic generator of synthetic metro fiber maps.
+//!   Azure's real maps are proprietary; the generator reproduces their
+//!   *stated statistics* (5–20 DC regions spanning tens of km, dense duct
+//!   meshes with abundant dark fiber, hub pairs 4–24 km apart) so that all
+//!   downstream algorithms exercise the same regime. The DC placement
+//!   procedure is the paper's own randomized policy from §6.1;
+//! * [`siting`] — service-area analyses for the centralized vs distributed
+//!   comparison (Figs. 4–6) and the latency-inflation analysis (Fig. 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod map;
+pub mod presets;
+pub mod reliability;
+pub mod siting;
+pub mod synth;
+
+pub use map::{FiberMap, Region, SiteId, SiteKind};
+pub use synth::{MetroParams, PlacementParams};

@@ -1,0 +1,391 @@
+//! The fiber map: an annotated duct graph over DCs and fiber huts.
+
+use iris_geo::Point;
+use iris_netgraph::{dijkstra, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a site (node) on the fiber map.
+pub type SiteId = NodeId;
+
+/// What occupies a site on the fiber map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A data center: terminates transceivers, sources/sinks traffic.
+    DataCenter,
+    /// A fiber hut: houses switching/amplification equipment only.
+    Hut,
+}
+
+/// Static description of one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Site kind.
+    pub kind: SiteKind,
+    /// Planar position, km.
+    pub position: Point,
+    /// Human-readable name (e.g. `DC3`, `HUT7`).
+    pub name: String,
+}
+
+/// A regional fiber map: sites joined by fiber ducts.
+///
+/// Ducts are undirected and carry an effectively unlimited number of
+/// leasable fibers (§2: "each fiber duct contains hundreds of individual
+/// fibers, with typically only a fraction of those lit") — capacity is a
+/// *cost*, not a constraint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FiberMap {
+    graph: Graph,
+    sites: Vec<Site>,
+}
+
+impl FiberMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a site of `kind` at `position`; the name is auto-generated.
+    pub fn add_site(&mut self, kind: SiteKind, position: Point) -> SiteId {
+        let id = self.graph.add_node();
+        let name = match kind {
+            SiteKind::DataCenter => format!("DC{id}"),
+            SiteKind::Hut => format!("HUT{id}"),
+        };
+        self.sites.push(Site {
+            kind,
+            position,
+            name,
+        });
+        id
+    }
+
+    /// Add a duct between two sites with an explicit fiber length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is shorter than the straight-line distance
+    /// (fiber cannot beat geometry) by more than 1 m.
+    pub fn add_duct(&mut self, a: SiteId, b: SiteId, length_km: f64) -> usize {
+        let straight = self.sites[a].position.distance(&self.sites[b].position);
+        assert!(
+            length_km + 1e-3 >= straight,
+            "duct length {length_km} km shorter than straight-line {straight} km"
+        );
+        self.graph.add_edge(a, b, length_km)
+    }
+
+    /// Add a duct whose length is the straight-line distance times a
+    /// street-routing detour factor (≥ 1).
+    pub fn add_duct_detour(&mut self, a: SiteId, b: SiteId, detour: f64) -> usize {
+        assert!(detour >= 1.0, "detour factor must be >= 1");
+        let straight = self.sites[a].position.distance(&self.sites[b].position);
+        self.graph.add_edge(a, b, straight * detour)
+    }
+
+    /// The underlying duct graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Site metadata by id.
+    #[must_use]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id]
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of ducts.
+    #[must_use]
+    pub fn duct_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Ids of all data-center sites, ascending.
+    #[must_use]
+    pub fn dcs(&self) -> Vec<SiteId> {
+        (0..self.sites.len())
+            .filter(|&i| self.sites[i].kind == SiteKind::DataCenter)
+            .collect()
+    }
+
+    /// Ids of all hut sites, ascending.
+    #[must_use]
+    pub fn huts(&self) -> Vec<SiteId> {
+        (0..self.sites.len())
+            .filter(|&i| self.sites[i].kind == SiteKind::Hut)
+            .collect()
+    }
+
+    /// Shortest fiber distance (km) between two sites over the duct graph,
+    /// or `None` if disconnected.
+    #[must_use]
+    pub fn fiber_distance(&self, a: SiteId, b: SiteId) -> Option<f64> {
+        let disabled = vec![false; self.graph.edge_count()];
+        let r = dijkstra(&self.graph, a, &disabled);
+        r.dist[b].is_finite().then_some(r.dist[b])
+    }
+
+    /// Fiber distances (km) from `a` to every site (`f64::INFINITY` where
+    /// disconnected). One Dijkstra, useful for sweeps.
+    #[must_use]
+    pub fn fiber_distances_from(&self, a: SiteId) -> Vec<f64> {
+        let disabled = vec![false; self.graph.edge_count()];
+        dijkstra(&self.graph, a, &disabled).dist
+    }
+
+    /// The site nearest to `p` by straight-line distance, if any.
+    #[must_use]
+    pub fn nearest_site(&self, p: &Point) -> Option<SiteId> {
+        (0..self.sites.len()).min_by(|&a, &b| {
+            self.sites[a]
+                .position
+                .distance_sq(p)
+                .partial_cmp(&self.sites[b].position.distance_sq(p))
+                .expect("positions are finite")
+        })
+    }
+
+    /// The `k` sites nearest to `p`, closest first.
+    #[must_use]
+    pub fn nearest_sites(&self, p: &Point, k: usize) -> Vec<SiteId> {
+        let mut ids: Vec<SiteId> = (0..self.sites.len()).collect();
+        ids.sort_by(|&a, &b| {
+            self.sites[a]
+                .position
+                .distance_sq(p)
+                .partial_cmp(&self.sites[b].position.distance_sq(p))
+                .expect("positions are finite")
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    /// Estimated fiber distance from an arbitrary point `p` (a *candidate*
+    /// DC site not yet on the map) to site `b`.
+    ///
+    /// The candidate is assumed to trench a short lateral to each of its
+    /// `attach_k` nearest existing sites at `detour` times the straight
+    /// distance — the same procedure deployment teams use when assessing
+    /// lots. Returns `None` if the map is empty or `b` unreachable.
+    #[must_use]
+    pub fn fiber_distance_from_point(
+        &self,
+        p: &Point,
+        b: SiteId,
+        attach_k: usize,
+        detour: f64,
+    ) -> Option<f64> {
+        let attach = self.nearest_sites(p, attach_k.max(1));
+        if attach.is_empty() {
+            return None;
+        }
+        let mut best = f64::INFINITY;
+        for a in attach {
+            let lateral = p.distance(&self.sites[a].position) * detour;
+            if let Some(d) = self.fiber_distance(a, b) {
+                best = best.min(lateral + d);
+            }
+        }
+        best.is_finite().then_some(best)
+    }
+}
+
+/// A fully specified planning instance: the fiber map plus which sites are
+/// the region's DCs and each DC's hose capacity in *fibers*.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// The fiber map (contains both DCs and huts).
+    pub map: FiberMap,
+    /// The DC sites, in capacity order.
+    pub dcs: Vec<SiteId>,
+    /// `capacity_fibers[i]` — hose capacity of `dcs[i]`, in fiber counts.
+    pub capacity_fibers: Vec<u32>,
+    /// Wavelengths multiplexed per fiber (λ, 40–64 per §6.1).
+    pub wavelengths_per_fiber: u32,
+    /// Bandwidth per wavelength, Gbps (400 for 400ZR).
+    pub gbps_per_wavelength: f64,
+}
+
+impl Region {
+    /// Capacity of DC index `i` in wavelengths.
+    #[must_use]
+    pub fn capacity_wavelengths(&self, i: usize) -> u64 {
+        u64::from(self.capacity_fibers[i]) * u64::from(self.wavelengths_per_fiber)
+    }
+
+    /// Capacity of DC index `i` in Gbps.
+    #[must_use]
+    pub fn capacity_gbps(&self, i: usize) -> f64 {
+        self.capacity_wavelengths(i) as f64 * self.gbps_per_wavelength
+    }
+
+    /// Index of a site in `dcs`, if it is a DC.
+    #[must_use]
+    pub fn dc_index(&self, site: SiteId) -> Option<usize> {
+        self.dcs.iter().position(|&d| d == site)
+    }
+
+    /// Basic sanity invariants; used by tests and the planner entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if the instance is malformed.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.dcs.len(),
+            self.capacity_fibers.len(),
+            "one capacity per DC"
+        );
+        assert!(!self.dcs.is_empty(), "region must contain at least one DC");
+        assert!(self.wavelengths_per_fiber > 0, "lambda must be positive");
+        for &d in &self.dcs {
+            assert_eq!(
+                self.map.site(d).kind,
+                SiteKind::DataCenter,
+                "site {d} listed as DC but is a hut"
+            );
+        }
+        for (i, &c) in self.capacity_fibers.iter().enumerate() {
+            assert!(c > 0, "DC {i} has zero capacity");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two DCs and a hut in a line: DC0 --10km-- HUT --15km-- DC1,
+    /// plus a 40 km direct duct.
+    fn line_map() -> (FiberMap, SiteId, SiteId, SiteId) {
+        let mut m = FiberMap::new();
+        let d0 = m.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let h = m.add_site(SiteKind::Hut, Point::new(8.0, 0.0));
+        let d1 = m.add_site(SiteKind::DataCenter, Point::new(20.0, 0.0));
+        m.add_duct(d0, h, 10.0);
+        m.add_duct(h, d1, 15.0);
+        m.add_duct(d0, d1, 40.0);
+        (m, d0, h, d1)
+    }
+
+    #[test]
+    fn site_classification() {
+        let (m, d0, h, d1) = line_map();
+        assert_eq!(m.dcs(), vec![d0, d1]);
+        assert_eq!(m.huts(), vec![h]);
+        assert_eq!(m.site(d0).name, "DC0");
+        assert_eq!(m.site(h).name, "HUT1");
+    }
+
+    #[test]
+    fn fiber_distance_takes_shortest_route() {
+        let (m, d0, _, d1) = line_map();
+        let d = m.fiber_distance(d0, d1).unwrap();
+        assert!((d - 25.0).abs() < 1e-4, "got {d}");
+    }
+
+    #[test]
+    fn fiber_distances_from_matches_pairwise() {
+        let (m, d0, h, d1) = line_map();
+        let all = m.fiber_distances_from(d0);
+        assert!((all[h] - m.fiber_distance(d0, h).unwrap()).abs() < 1e-9);
+        assert!((all[d1] - m.fiber_distance(d0, d1).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_distance_is_none() {
+        let mut m = FiberMap::new();
+        let a = m.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let b = m.add_site(SiteKind::DataCenter, Point::new(5.0, 0.0));
+        assert!(m.fiber_distance(a, b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than straight-line")]
+    fn duct_cannot_beat_geometry() {
+        let mut m = FiberMap::new();
+        let a = m.add_site(SiteKind::Hut, Point::new(0.0, 0.0));
+        let b = m.add_site(SiteKind::Hut, Point::new(10.0, 0.0));
+        m.add_duct(a, b, 5.0);
+    }
+
+    #[test]
+    fn detour_duct_length() {
+        let mut m = FiberMap::new();
+        let a = m.add_site(SiteKind::Hut, Point::new(0.0, 0.0));
+        let b = m.add_site(SiteKind::Hut, Point::new(10.0, 0.0));
+        let e = m.add_duct_detour(a, b, 1.3);
+        assert!((m.graph().edge(e).length_km - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_site_queries() {
+        let (m, d0, h, d1) = line_map();
+        assert_eq!(m.nearest_site(&Point::new(1.0, 1.0)), Some(d0));
+        assert_eq!(m.nearest_site(&Point::new(9.0, 0.0)), Some(h));
+        assert_eq!(m.nearest_sites(&Point::new(19.0, 0.0), 2), vec![d1, h]);
+    }
+
+    #[test]
+    fn candidate_point_distance() {
+        let (m, _, _, d1) = line_map();
+        // Candidate 1 km north of DC0; attaches via nearest sites.
+        let p = Point::new(0.0, 1.0);
+        let d = m.fiber_distance_from_point(&p, d1, 2, 1.4).unwrap();
+        // Via DC0: 1.4 km lateral + 25 km = 26.4 km.
+        assert!((d - 26.4).abs() < 0.2, "got {d}");
+    }
+
+    #[test]
+    fn region_capacity_conversions() {
+        let (map, d0, _, d1) = line_map();
+        let r = Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![10, 8],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        r.validate();
+        assert_eq!(r.capacity_wavelengths(0), 400);
+        assert_eq!(r.capacity_gbps(0), 160_000.0); // 160 Tbps, §3.4's example
+        assert_eq!(r.dc_index(d1), Some(1));
+        assert_eq!(r.dc_index(999).is_none(), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per DC")]
+    fn region_validation_catches_mismatch() {
+        let (map, d0, _, d1) = line_map();
+        let r = Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![10],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        r.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "listed as DC but is a hut")]
+    fn region_validation_catches_hut_as_dc() {
+        let (map, d0, h, _) = line_map();
+        let r = Region {
+            map,
+            dcs: vec![d0, h],
+            capacity_fibers: vec![10, 10],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        r.validate();
+    }
+}

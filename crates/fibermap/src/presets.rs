@@ -1,0 +1,195 @@
+//! Named synthetic metro presets with distinct geographies.
+//!
+//! Real regions differ in shape — coastal corridors, ring roads around a
+//! dense core, rivers splitting a metro into twin clusters — and the
+//! shape changes duct sharing, hub placement and siting areas. These
+//! presets give the evaluation geometric diversity beyond the uniform
+//! scatter of [`crate::synth::generate_metro`]; all remain deterministic
+//! in their seed.
+
+use crate::map::{FiberMap, SiteKind};
+use iris_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A metro built around a ring road: huts on a ring with radial spurs
+/// into the core and chords across it.
+#[must_use]
+pub fn ring_metro(seed: u64, n_ring_huts: usize, radius_km: f64) -> FiberMap {
+    assert!(n_ring_huts >= 4, "a ring needs at least four huts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = FiberMap::new();
+    let core = map.add_site(SiteKind::Hut, Point::new(0.0, 0.0));
+    let mut ring = Vec::with_capacity(n_ring_huts);
+    for i in 0..n_ring_huts {
+        let angle = i as f64 / n_ring_huts as f64 * std::f64::consts::TAU;
+        let jitter = rng.random_range(0.9..1.1);
+        let p = Point::new(
+            radius_km * jitter * angle.cos(),
+            radius_km * jitter * angle.sin(),
+        );
+        ring.push(map.add_site(SiteKind::Hut, p));
+    }
+    // The ring itself.
+    for i in 0..n_ring_huts {
+        map.add_duct_detour(ring[i], ring[(i + 1) % n_ring_huts], 1.15);
+    }
+    // Radials into the core (every other hut) and two cross-chords.
+    for (i, &h) in ring.iter().enumerate() {
+        if i % 2 == 0 {
+            map.add_duct_detour(h, core, 1.25);
+        }
+    }
+    map.add_duct_detour(ring[0], ring[n_ring_huts / 2], 1.3);
+    map.add_duct_detour(ring[n_ring_huts / 4], ring[3 * n_ring_huts / 4], 1.3);
+    map
+}
+
+/// A linear coastal corridor: huts strung along a line (the shoreline)
+/// with a parallel inland backup route.
+#[must_use]
+pub fn corridor_metro(seed: u64, n_huts: usize, length_km: f64) -> FiberMap {
+    assert!(n_huts >= 4 && n_huts % 2 == 0, "corridor wants an even hut count >= 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = FiberMap::new();
+    let per_row = n_huts / 2;
+    let mut coast = Vec::new();
+    let mut inland = Vec::new();
+    for i in 0..per_row {
+        let x = (i as f64 / (per_row - 1) as f64 - 0.5) * length_km;
+        coast.push(map.add_site(
+            SiteKind::Hut,
+            Point::new(x, rng.random_range(-1.0..1.0)),
+        ));
+        inland.push(map.add_site(
+            SiteKind::Hut,
+            Point::new(x + rng.random_range(-2.0..2.0), 8.0 + rng.random_range(-1.0..1.0)),
+        ));
+    }
+    for row in [&coast, &inland] {
+        for w in row.windows(2) {
+            map.add_duct_detour(w[0], w[1], 1.1);
+        }
+    }
+    // Cross-ties every hop keep the two routes failover-capable.
+    for i in 0..per_row {
+        map.add_duct_detour(coast[i], inland[i], 1.2);
+    }
+    map
+}
+
+/// Twin clusters separated by a river: two dense hut meshes joined by
+/// exactly `n_bridges` crossings — the classic correlated-cut hazard.
+#[must_use]
+pub fn twin_cluster_metro(seed: u64, huts_per_side: usize, n_bridges: usize) -> FiberMap {
+    assert!(huts_per_side >= 3, "each bank needs at least three huts");
+    assert!(n_bridges >= 1, "the banks must be connected");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map = FiberMap::new();
+    let bank = |x_center: f64, map: &mut FiberMap, rng: &mut StdRng| -> Vec<usize> {
+        let sites: Vec<usize> = (0..huts_per_side)
+            .map(|_| {
+                map.add_site(
+                    SiteKind::Hut,
+                    Point::new(
+                        x_center + rng.random_range(-8.0..8.0),
+                        rng.random_range(-12.0..12.0),
+                    ),
+                )
+            })
+            .collect();
+        // Chain plus one chord per bank.
+        for w in sites.windows(2) {
+            map.add_duct_detour(w[0], w[1], 1.2);
+        }
+        map.add_duct_detour(sites[0], sites[huts_per_side - 1], 1.3);
+        sites
+    };
+    let west = bank(-20.0, &mut map, &mut rng);
+    let east = bank(20.0, &mut map, &mut rng);
+    for b in 0..n_bridges {
+        let w = west[b * (huts_per_side - 1) / n_bridges.max(1)];
+        let e = east[b * (huts_per_side - 1) / n_bridges.max(1)];
+        map.add_duct_detour(w, e, 1.1);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{place_dcs, PlacementParams};
+
+    fn is_connected(map: &FiberMap) -> bool {
+        map.fiber_distances_from(0).iter().all(|d| d.is_finite())
+    }
+
+    #[test]
+    fn ring_is_connected_and_round() {
+        let map = ring_metro(1, 8, 15.0);
+        assert!(is_connected(&map));
+        assert_eq!(map.huts().len(), 9); // core + ring
+        // Ring huts sit roughly at the radius.
+        for &h in &map.huts()[1..] {
+            let r = map.site(h).position.distance(&iris_geo::Point::ORIGIN);
+            assert!((12.0..=18.0).contains(&r), "hut at {r} km");
+        }
+    }
+
+    #[test]
+    fn corridor_survives_single_cuts() {
+        let map = corridor_metro(2, 12, 50.0);
+        assert!(is_connected(&map));
+        // Parallel routes: cutting any single duct keeps the ends joined.
+        let g = map.graph();
+        let ends = (0, map.huts().len() - 1);
+        for e in 0..g.edge_count() {
+            let mut mask = vec![false; g.edge_count()];
+            mask[e] = true;
+            assert!(
+                g.connected_avoiding(ends.0, ends.1, &mask),
+                "duct {e} is a single point of failure"
+            );
+        }
+    }
+
+    #[test]
+    fn twin_cluster_bridge_count_controls_resilience() {
+        let one = twin_cluster_metro(3, 5, 1);
+        let two = twin_cluster_metro(3, 5, 2);
+        assert!(is_connected(&one) && is_connected(&two));
+        // With 1 bridge, west-east connectivity is 1; with 2 it is >= 2.
+        let west = 0usize;
+        let east = 5usize;
+        assert_eq!(one.graph().edge_connectivity(west, east), 1);
+        assert!(two.graph().edge_connectivity(west, east) >= 2);
+    }
+
+    #[test]
+    fn presets_accept_dc_placement() {
+        for map in [
+            ring_metro(7, 10, 18.0),
+            corridor_metro(7, 12, 45.0),
+            twin_cluster_metro(7, 6, 2),
+        ] {
+            let region = place_dcs(
+                map,
+                &PlacementParams {
+                    n_dcs: 4,
+                    ..PlacementParams::default()
+                },
+            );
+            region.validate();
+            assert_eq!(region.dcs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = ring_metro(9, 8, 15.0);
+        let b = ring_metro(9, 8, 15.0);
+        for i in 0..a.site_count() {
+            assert_eq!(a.site(i).position, b.site(i).position);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Correlated-disaster reliability analysis (§2.2, Fig. 4).
+//!
+//! Placing the two hubs close together maximizes the centralized
+//! design's service area (the intersection of their 60 km reach discs)
+//! — but "if one hub is lost to a catastrophic event, the other is more
+//! likely to be also affected if it is nearby". This module quantifies
+//! that trade-off with the standard geographically-correlated failure
+//! model: a disaster is a disc of radius `r` whose center falls
+//! uniformly over the region; sites inside the disc are lost.
+//!
+//! For any two sites at distance `d`, the set of disaster centers that
+//! destroys *both* is the lens-shaped intersection of two radius-`r`
+//! discs around them — empty as soon as `d > 2r`. The model is used by
+//! the design-space table to show the reliability price of the paper's
+//! "place hubs near each other" service-area optimization.
+
+use crate::map::{FiberMap, SiteId};
+use iris_geo::{service_area, Grid, Point};
+
+/// Area (km²) of the intersection of two radius-`r` discs whose centers
+/// are `d` apart (the classic lens formula).
+#[must_use]
+pub fn lens_area(r: f64, d: f64) -> f64 {
+    assert!(r >= 0.0 && d >= 0.0, "radius and distance must be non-negative");
+    if d >= 2.0 * r {
+        return 0.0;
+    }
+    if d == 0.0 {
+        return std::f64::consts::PI * r * r;
+    }
+    let half = d / 2.0;
+    2.0 * r * r * (half / r).acos() - half * (r * r - half * half).sqrt() * 2.0
+}
+
+/// Probability that one disaster (disc of radius `r`, center uniform
+/// over a region of area `region_km2`) destroys **both** given sites.
+#[must_use]
+pub fn p_both_lost(site_a: Point, site_b: Point, r: f64, region_km2: f64) -> f64 {
+    assert!(region_km2 > 0.0, "region area must be positive");
+    (lens_area(r, site_a.distance(&site_b)) / region_km2).min(1.0)
+}
+
+/// Probability that a disaster destroys at least `k` of the given sites,
+/// estimated by rasterizing the disaster-center space over `grid`.
+#[must_use]
+pub fn p_at_least_k_lost(
+    map: &FiberMap,
+    sites: &[SiteId],
+    k: usize,
+    r: f64,
+    grid: &Grid,
+) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let positions: Vec<Point> = sites.iter().map(|&s| map.site(s).position).collect();
+    let region_area = (grid.max().x - grid.min().x) * (grid.max().y - grid.min().y);
+    let hit_area = service_area(grid, |center| {
+        positions.iter().filter(|p| p.distance(&center) <= r).count() >= k
+    });
+    (hit_area / region_area).min(1.0)
+}
+
+/// The §2.2 trade-off in one struct: service area vs correlated-loss
+/// probability for one hub-pair placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HubPlacementTradeoff {
+    /// Fiber distance between the hubs, km.
+    pub separation_km: f64,
+    /// Centralized service area for new DCs, km².
+    pub service_area_km2: f64,
+    /// Probability a single disaster of the given radius takes out both
+    /// hubs.
+    pub p_both_hubs_lost: f64,
+}
+
+/// Evaluate the trade-off for a hub pair under a disaster radius `r`.
+#[must_use]
+pub fn hub_tradeoff(
+    map: &FiberMap,
+    hubs: (SiteId, SiteId),
+    r: f64,
+    grid: &Grid,
+    max_leg_km: f64,
+) -> HubPlacementTradeoff {
+    let separation_km = map
+        .fiber_distance(hubs.0, hubs.1)
+        .unwrap_or(f64::INFINITY);
+    let service_area_km2 =
+        crate::siting::centralized_service_area(map, &[hubs.0, hubs.1], grid, max_leg_km);
+    let region_area = (grid.max().x - grid.min().x) * (grid.max().y - grid.min().y);
+    let p_both_hubs_lost = p_both_lost(
+        map.site(hubs.0).position,
+        map.site(hubs.1).position,
+        r,
+        region_area,
+    );
+    HubPlacementTradeoff {
+        separation_km,
+        service_area_km2,
+        p_both_hubs_lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_metro, pick_hub_pair, MetroParams};
+
+    #[test]
+    fn lens_area_limits() {
+        let r = 10.0;
+        // Coincident: full disc.
+        assert!((lens_area(r, 0.0) - std::f64::consts::PI * 100.0).abs() < 1e-9);
+        // Touching or beyond: zero.
+        assert_eq!(lens_area(r, 2.0 * r), 0.0);
+        assert_eq!(lens_area(r, 50.0), 0.0);
+        // Monotone decreasing in d.
+        let mut prev = lens_area(r, 0.0);
+        for i in 1..20 {
+            let a = lens_area(r, i as f64);
+            assert!(a <= prev, "lens area must shrink with distance");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn lens_area_half_overlap_reference() {
+        // d = r: known closed form 2r^2*(pi/3 - sqrt(3)/4).
+        let r = 7.0;
+        let expected = 2.0 * r * r * (std::f64::consts::PI / 3.0 - 3f64.sqrt() / 4.0);
+        assert!((lens_area(r, r) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closer_hubs_are_riskier() {
+        let region_km2 = 80.0 * 80.0;
+        let near = p_both_lost(Point::new(0.0, 0.0), Point::new(3.0, 0.0), 5.0, region_km2);
+        let far = p_both_lost(Point::new(0.0, 0.0), Point::new(9.0, 0.0), 5.0, region_km2);
+        assert!(near > far);
+        assert_eq!(
+            p_both_lost(Point::new(0.0, 0.0), Point::new(11.0, 0.0), 5.0, region_km2),
+            0.0,
+            "beyond 2r the hubs cannot share a disaster"
+        );
+    }
+
+    #[test]
+    fn raster_estimate_agrees_with_lens_formula() {
+        let mut map = FiberMap::new();
+        let a = map.add_site(crate::SiteKind::Hut, Point::new(-2.0, 0.0));
+        let b = map.add_site(crate::SiteKind::Hut, Point::new(2.0, 0.0));
+        map.add_duct(a, b, 4.5);
+        let grid = Grid::new(Point::new(-40.0, -40.0), Point::new(40.0, 40.0), 0.25);
+        let raster = p_at_least_k_lost(&map, &[a, b], 2, 6.0, &grid);
+        let exact = p_both_lost(Point::new(-2.0, 0.0), Point::new(2.0, 0.0), 6.0, 80.0 * 80.0);
+        assert!((raster - exact).abs() / exact < 0.05, "raster {raster} exact {exact}");
+    }
+
+    #[test]
+    fn k_zero_is_certain_and_k_huge_is_rare() {
+        let map = generate_metro(&MetroParams::default());
+        let grid = Grid::new(Point::new(-40.0, -40.0), Point::new(40.0, 40.0), 1.0);
+        let all = map.huts();
+        assert_eq!(p_at_least_k_lost(&map, &all, 0, 5.0, &grid), 1.0);
+        let p_many = p_at_least_k_lost(&map, &all, all.len(), 5.0, &grid);
+        assert!(p_many < 0.05, "losing every hut to one 5 km disaster: {p_many}");
+    }
+
+    #[test]
+    fn tradeoff_surface_matches_fig4_story() {
+        // Near hubs: more service area, higher correlated-loss risk.
+        let map = generate_metro(&MetroParams {
+            n_huts: 24,
+            ..MetroParams::default()
+        });
+        let grid = crate::siting::region_grid(&map, 2.0, 30.0);
+        let near = hub_tradeoff(&map, pick_hub_pair(&map, 2.0, 8.0), 10.0, &grid, 60.0);
+        let far = hub_tradeoff(&map, pick_hub_pair(&map, 25.0, 60.0), 10.0, &grid, 60.0);
+        if far.separation_km > near.separation_km + 5.0 {
+            assert!(near.p_both_hubs_lost >= far.p_both_hubs_lost);
+            assert!(near.service_area_km2 >= far.service_area_km2);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Siting-flexibility and latency-inflation analyses (§2.1–2.2 of the
+//! paper, Figs. 3–6).
+//!
+//! * **Latency inflation** — how much longer DC-hub-DC paths are than
+//!   direct DC-DC paths (Fig. 3);
+//! * **Service area** — where a *new* DC may be placed: for the
+//!   centralized design, within 60 km of *both* hubs (so any DC-hub-DC
+//!   path stays ≤ 120 km); for the distributed design, within 120 km of
+//!   *every* existing DC (Figs. 4–6).
+//!
+//! Both analyses use fiber distances over the real duct graph, with
+//! candidate sites attaching to their nearest few sites via short
+//! laterals, mirroring how deployment teams assess lots.
+
+use crate::map::{FiberMap, SiteId};
+use iris_geo::{service_area, Grid, Point};
+
+/// Precomputed fiber distances from one target site to everywhere,
+/// supporting fast distance queries from arbitrary candidate points.
+#[derive(Debug, Clone)]
+pub struct DistanceField {
+    dist: Vec<f64>,
+    /// Lateral-trench detour factor for candidate attachment.
+    detour: f64,
+    /// Number of nearest sites a candidate attaches to.
+    attach_k: usize,
+}
+
+impl DistanceField {
+    /// Build the field for `target` on `map`.
+    #[must_use]
+    pub fn new(map: &FiberMap, target: SiteId) -> Self {
+        Self {
+            dist: map.fiber_distances_from(target),
+            detour: 1.3,
+            attach_k: 3,
+        }
+    }
+
+    /// Fiber distance from candidate point `p` to the target, km
+    /// (`f64::INFINITY` if the target is unreachable).
+    #[must_use]
+    pub fn from_point(&self, map: &FiberMap, p: &Point) -> f64 {
+        let mut best = f64::INFINITY;
+        for s in map.nearest_sites(p, self.attach_k) {
+            let lateral = p.distance(&map.site(s).position) * self.detour;
+            best = best.min(lateral + self.dist[s]);
+        }
+        best
+    }
+}
+
+/// Default grid resolution for service-area rasters, km.
+pub const DEFAULT_GRID_STEP_KM: f64 = 1.0;
+
+/// Build a grid covering the map's extent with `step` km cells plus a
+/// margin so the admissible area is never clipped.
+#[must_use]
+pub fn region_grid(map: &FiberMap, step: f64, margin_km: f64) -> Grid {
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for i in 0..map.site_count() {
+        let p = map.site(i).position;
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    assert!(
+        min.x.is_finite(),
+        "cannot build a grid over an empty fiber map"
+    );
+    Grid::new(
+        Point::new(min.x - margin_km, min.y - margin_km),
+        Point::new(max.x + margin_km, max.y + margin_km),
+        step,
+    )
+}
+
+/// Service area (km²) for a new DC under the **centralized** design: the
+/// candidate must be within `max_leg_km` of *each* hub (60 km by default,
+/// so that any DC-hub-DC path respects the 120 km SLA).
+#[must_use]
+pub fn centralized_service_area(
+    map: &FiberMap,
+    hubs: &[SiteId],
+    grid: &Grid,
+    max_leg_km: f64,
+) -> f64 {
+    let fields: Vec<DistanceField> = hubs.iter().map(|&h| DistanceField::new(map, h)).collect();
+    service_area(grid, |p| {
+        fields.iter().all(|f| f.from_point(map, &p) <= max_leg_km)
+    })
+}
+
+/// Service area (km²) for a new DC under the **distributed** design: the
+/// candidate must be within `max_km` fiber (120 km by default) of *every*
+/// existing DC.
+#[must_use]
+pub fn distributed_service_area(
+    map: &FiberMap,
+    existing_dcs: &[SiteId],
+    grid: &Grid,
+    max_km: f64,
+) -> f64 {
+    let fields: Vec<DistanceField> = existing_dcs
+        .iter()
+        .map(|&d| DistanceField::new(map, d))
+        .collect();
+    service_area(grid, |p| {
+        fields.iter().all(|f| f.from_point(map, &p) <= max_km)
+    })
+}
+
+/// Latency inflation of hub transit for every DC pair (Fig. 3):
+/// `(best DC-hub-DC fiber distance) / (direct DC-DC fiber distance)`,
+/// one entry per unordered pair, unsorted.
+///
+/// Pairs that are disconnected from each other or from every hub are
+/// skipped.
+#[must_use]
+pub fn latency_inflation(map: &FiberMap, dcs: &[SiteId], hubs: &[SiteId]) -> Vec<f64> {
+    let hub_fields: Vec<Vec<f64>> = hubs.iter().map(|&h| map.fiber_distances_from(h)).collect();
+    let mut inflations = Vec::new();
+    for (i, &a) in dcs.iter().enumerate() {
+        let from_a = map.fiber_distances_from(a);
+        for &b in &dcs[i + 1..] {
+            let direct = from_a[b];
+            if !direct.is_finite() || direct <= 0.0 {
+                continue;
+            }
+            let via_hub = hub_fields
+                .iter()
+                .map(|f| f[a] + f[b])
+                .fold(f64::INFINITY, f64::min);
+            if via_hub.is_finite() {
+                inflations.push(via_hub / direct);
+            }
+        }
+    }
+    inflations
+}
+
+/// Empirical CDF helper: fraction of `values` that are `>= threshold`.
+#[must_use]
+pub fn fraction_at_least(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v >= threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::SiteKind;
+    use crate::synth::{generate_metro, pick_hub_pair, place_dcs, MetroParams, PlacementParams};
+
+    fn sample_region() -> crate::map::Region {
+        let map = generate_metro(&MetroParams::default());
+        place_dcs(map, &PlacementParams::default())
+    }
+
+    #[test]
+    fn distance_field_matches_direct_query() {
+        let r = sample_region();
+        let f = DistanceField::new(&r.map, r.dcs[0]);
+        // Querying from exactly another site's position should be close to
+        // the graph distance (plus possibly a free lateral of length 0).
+        let b = r.dcs[1];
+        let p = r.map.site(b).position;
+        let via_field = f.from_point(&r.map, &p);
+        let direct = r.map.fiber_distance(b, r.dcs[0]).unwrap();
+        assert!(via_field <= direct + 1e-6, "{via_field} > {direct}");
+    }
+
+    #[test]
+    fn grid_covers_all_sites() {
+        let r = sample_region();
+        let g = region_grid(&r.map, 2.0, 5.0);
+        for i in 0..r.map.site_count() {
+            let p = r.map.site(i).position;
+            assert!(p.x >= g.min().x && p.x <= g.max().x);
+            assert!(p.y >= g.min().y && p.y <= g.max().y);
+        }
+    }
+
+    #[test]
+    fn distributed_area_exceeds_centralized() {
+        // The paper's headline siting result (Fig. 6): 2-5x more area.
+        let r = sample_region();
+        let (h1, h2) = pick_hub_pair(&r.map, 4.0, 7.0);
+        let grid = region_grid(&r.map, 2.0, 30.0);
+        let central = centralized_service_area(&r.map, &[h1, h2], &grid, 60.0);
+        let distributed = distributed_service_area(&r.map, &r.dcs, &grid, 120.0);
+        assert!(
+            distributed > central,
+            "distributed {distributed} <= centralized {central}"
+        );
+    }
+
+    #[test]
+    fn closer_hubs_give_larger_centralized_area_than_far_hubs() {
+        // Fig. 4's intuition: nearby hubs maximize the lens intersection.
+        let map = generate_metro(&MetroParams {
+            n_huts: 24,
+            ..MetroParams::default()
+        });
+        let grid = region_grid(&map, 2.0, 30.0);
+        let (a1, a2) = pick_hub_pair(&map, 2.0, 8.0);
+        let near = centralized_service_area(&map, &[a1, a2], &grid, 60.0);
+        let (b1, b2) = pick_hub_pair(&map, 25.0, 60.0);
+        let far = centralized_service_area(&map, &[b1, b2], &grid, 60.0);
+        let sep_near = map.fiber_distance(a1, a2).unwrap();
+        let sep_far = map.fiber_distance(b1, b2).unwrap();
+        if sep_far > sep_near + 5.0 {
+            assert!(near >= far, "near {near} < far {far}");
+        }
+    }
+
+    #[test]
+    fn inflation_is_at_least_one() {
+        let r = sample_region();
+        let (h1, h2) = pick_hub_pair(&r.map, 4.0, 24.0);
+        let infl = latency_inflation(&r.map, &r.dcs, &[h1, h2]);
+        assert!(!infl.is_empty());
+        for &x in &infl {
+            assert!(x >= 1.0 - 1e-6, "inflation {x} < 1 violates triangle ineq");
+        }
+    }
+
+    #[test]
+    fn hub_on_dc_site_gives_unit_inflation_for_its_pairs() {
+        // Construct a 3-site line where the hub IS on the middle of the
+        // shortest DC-DC route: inflation exactly 1.
+        let mut m = FiberMap::new();
+        let d0 = m.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let h = m.add_site(SiteKind::Hut, Point::new(10.0, 0.0));
+        let d1 = m.add_site(SiteKind::DataCenter, Point::new(20.0, 0.0));
+        m.add_duct(d0, h, 10.0);
+        m.add_duct(h, d1, 10.0);
+        let infl = latency_inflation(&m, &[d0, d1], &[h]);
+        assert_eq!(infl.len(), 1);
+        assert!((infl[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_hub_inflates_latency() {
+        // Hub hangs 30 km off the direct 10 km DC-DC duct: inflation 7x.
+        let mut m = FiberMap::new();
+        let d0 = m.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let d1 = m.add_site(SiteKind::DataCenter, Point::new(10.0, 0.0));
+        let h = m.add_site(SiteKind::Hut, Point::new(5.0, 30.0));
+        m.add_duct(d0, d1, 10.0);
+        m.add_duct_detour(d0, h, 1.15);
+        m.add_duct_detour(d1, h, 1.15);
+        let infl = latency_inflation(&m, &[d0, d1], &[h]);
+        assert!(infl[0] > 6.0, "inflation {}", infl[0]);
+    }
+
+    #[test]
+    fn fraction_at_least_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_at_least(&v, 2.5), 0.5);
+        assert_eq!(fraction_at_least(&v, 0.0), 1.0);
+        assert_eq!(fraction_at_least(&[], 1.0), 0.0);
+    }
+}

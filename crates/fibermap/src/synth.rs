@@ -1,0 +1,432 @@
+//! Synthetic metro fiber-map generation and randomized DC placement.
+//!
+//! Real regional fiber maps are proprietary, so experiments run on
+//! synthetic metros that match the paper's stated regime: a dense duct
+//! mesh over a few tens of kilometres with intermediate fiber huts, onto
+//! which 5–20 DCs are placed. DC placement follows §6.1 of the paper
+//! verbatim:
+//!
+//! > "the first DC is placed uniformly at random in the service area, and
+//! > each successive DC is placed randomly (in the more restricted service
+//! > area given reach from already placed DCs) with probability of a
+//! > candidate location being inversely proportional to its distance from
+//! > the nearest already placed DC."
+//!
+//! Everything is seeded and deterministic.
+
+use crate::map::{FiberMap, Region, SiteId, SiteKind};
+use iris_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic metro (huts + ducts only).
+#[derive(Debug, Clone)]
+pub struct MetroParams {
+    /// RNG seed: same seed, same map.
+    pub seed: u64,
+    /// Half-width of the square region, km (sites span `[-extent, extent]`).
+    pub extent_km: f64,
+    /// Number of fiber huts.
+    pub n_huts: usize,
+    /// Minimum hut separation, km.
+    pub min_hut_spacing_km: f64,
+    /// How many nearest neighbours each hut trenches ducts to.
+    pub neighbor_ducts: usize,
+    /// Street-routing detour factor applied to duct lengths.
+    pub detour: f64,
+}
+
+impl Default for MetroParams {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            extent_km: 30.0,
+            n_huts: 16,
+            min_hut_spacing_km: 4.0,
+            neighbor_ducts: 3,
+            detour: 1.3,
+        }
+    }
+}
+
+/// Parameters of the §6.1 DC placement procedure.
+#[derive(Debug, Clone)]
+pub struct PlacementParams {
+    /// RNG seed for placement (independent of the map seed).
+    pub seed: u64,
+    /// Number of DCs to place.
+    pub n_dcs: usize,
+    /// Hose capacity of every DC, in fibers (f ∈ {8, 16, 32} in §6.1).
+    pub capacity_fibers: u32,
+    /// Wavelengths per fiber (λ ∈ {40, 64} in §6.1).
+    pub wavelengths_per_fiber: u32,
+    /// Maximum DC-DC fiber distance permitted by the SLA (OC1), km.
+    pub max_fiber_km: f64,
+    /// How many huts each new DC trenches laterals to.
+    pub attach_huts: usize,
+}
+
+impl Default for PlacementParams {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            n_dcs: 8,
+            capacity_fibers: 16,
+            wavelengths_per_fiber: 40,
+            max_fiber_km: 120.0,
+            attach_huts: 3,
+        }
+    }
+}
+
+/// Generate a hut-only metro fiber map.
+///
+/// Huts are scattered with a minimum spacing (dart throwing), joined to
+/// their nearest neighbours, and the duct mesh is then augmented until it
+/// is connected and every hut has degree ≥ 3, approximating the redundant
+/// duct meshes of real metros.
+#[must_use]
+pub fn generate_metro(params: &MetroParams) -> FiberMap {
+    assert!(params.n_huts >= 2, "a metro needs at least two huts");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut map = FiberMap::new();
+    let mut positions: Vec<Point> = Vec::new();
+
+    // Dart-throwing with relaxation: shrink the spacing requirement if the
+    // region is too crowded to satisfy it.
+    let mut spacing = params.min_hut_spacing_km;
+    let mut attempts = 0usize;
+    while positions.len() < params.n_huts {
+        let p = Point::new(
+            rng.random_range(-params.extent_km..params.extent_km),
+            rng.random_range(-params.extent_km..params.extent_km),
+        );
+        if positions.iter().all(|q| q.distance(&p) >= spacing) {
+            positions.push(p);
+        }
+        attempts += 1;
+        if attempts > 1000 * params.n_huts {
+            spacing *= 0.8;
+            attempts = 0;
+        }
+    }
+    for &p in &positions {
+        map.add_site(SiteKind::Hut, p);
+    }
+
+    // Connect each hut to its nearest neighbours.
+    let mut have_duct = std::collections::HashSet::new();
+    for a in 0..params.n_huts {
+        let mut order: Vec<usize> = (0..params.n_huts).filter(|&b| b != a).collect();
+        order.sort_by(|&x, &y| {
+            positions[a]
+                .distance_sq(&positions[x])
+                .partial_cmp(&positions[a].distance_sq(&positions[y]))
+                .expect("finite")
+        });
+        for &b in order.iter().take(params.neighbor_ducts) {
+            let key = (a.min(b), a.max(b));
+            if have_duct.insert(key) {
+                map.add_duct_detour(a, b, params.detour);
+            }
+        }
+    }
+
+    // Augment to a single connected component.
+    loop {
+        let dist = map.fiber_distances_from(0);
+        let Some(orphan) = (0..params.n_huts).find(|&i| !dist[i].is_finite()) else {
+            break;
+        };
+        // Connect the orphan's component to the nearest reachable hut.
+        let nearest = (0..params.n_huts)
+            .filter(|&i| dist[i].is_finite())
+            .min_by(|&x, &y| {
+                positions[orphan]
+                    .distance_sq(&positions[x])
+                    .partial_cmp(&positions[orphan].distance_sq(&positions[y]))
+                    .expect("finite")
+            })
+            .expect("node 0 is always reachable");
+        let key = (orphan.min(nearest), orphan.max(nearest));
+        have_duct.insert(key);
+        map.add_duct_detour(orphan, nearest, params.detour);
+    }
+
+    // Ensure degree >= 3 everywhere so two duct cuts cannot isolate a hut.
+    for a in 0..params.n_huts {
+        while map.graph().degree(a) < 3 {
+            let candidate = (0..params.n_huts)
+                .filter(|&b| b != a && !have_duct.contains(&(a.min(b), a.max(b))))
+                .min_by(|&x, &y| {
+                    positions[a]
+                        .distance_sq(&positions[x])
+                        .partial_cmp(&positions[a].distance_sq(&positions[y]))
+                        .expect("finite")
+                });
+            let Some(b) = candidate else { break };
+            have_duct.insert((a.min(b), a.max(b)));
+            map.add_duct_detour(a, b, params.detour);
+        }
+    }
+
+    map
+}
+
+/// Place `params.n_dcs` data centers on `map` per §6.1 and return the
+/// complete planning [`Region`].
+///
+/// Each new DC trenches lateral ducts to its `attach_huts` nearest huts.
+/// Candidate positions are rejected unless the new DC would be within
+/// `max_fiber_km` of every already-placed DC (the SLA-restricted service
+/// area). If the region is so constrained that no feasible candidate is
+/// found, placement stops early with fewer DCs.
+#[must_use]
+pub fn place_dcs(mut map: FiberMap, params: &PlacementParams) -> Region {
+    assert!(params.n_dcs >= 1, "must place at least one DC");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let huts = map.huts();
+    assert!(!huts.is_empty(), "map must contain huts before DC placement");
+    let extent = huts
+        .iter()
+        .map(|&h| {
+            let p = map.site(h).position;
+            p.x.abs().max(p.y.abs())
+        })
+        .fold(0.0f64, f64::max);
+
+    let mut dcs: Vec<SiteId> = Vec::new();
+    const CANDIDATES_PER_DC: usize = 200;
+
+    while dcs.len() < params.n_dcs {
+        // Sample candidate positions and keep the feasible ones.
+        let mut feasible: Vec<(Point, f64)> = Vec::new(); // (pos, weight)
+        for _ in 0..CANDIDATES_PER_DC {
+            let p = Point::new(
+                rng.random_range(-extent..extent),
+                rng.random_range(-extent..extent),
+            );
+            let within_reach = dcs.iter().all(|&d| {
+                map.fiber_distance_from_point(&p, d, params.attach_huts, 1.3)
+                    .is_some_and(|km| km <= params.max_fiber_km)
+            });
+            if within_reach {
+                let weight = if dcs.is_empty() {
+                    1.0
+                } else {
+                    let nearest = dcs
+                        .iter()
+                        .map(|&d| map.site(d).position.distance(&p))
+                        .fold(f64::INFINITY, f64::min);
+                    1.0 / (nearest + 0.5)
+                };
+                feasible.push((p, weight));
+            }
+        }
+        let Some(pos) = weighted_pick(&mut rng, &feasible) else {
+            break; // region exhausted — return fewer DCs
+        };
+
+        // Add the site and trench laterals to the nearest huts (always
+        // huts, never other DCs: laterals land on the duct mesh).
+        let mut nearest_huts = huts.clone();
+        nearest_huts.sort_by(|&x, &y| {
+            map.site(x)
+                .position
+                .distance_sq(&pos)
+                .partial_cmp(&map.site(y).position.distance_sq(&pos))
+                .expect("finite")
+        });
+        nearest_huts.truncate(params.attach_huts.max(1));
+        let dc = map.add_site(SiteKind::DataCenter, pos);
+        for h in nearest_huts {
+            map.add_duct_detour(dc, h, 1.3);
+        }
+        dcs.push(dc);
+    }
+
+    let n = dcs.len();
+    Region {
+        map,
+        dcs,
+        capacity_fibers: vec![params.capacity_fibers; n],
+        wavelengths_per_fiber: params.wavelengths_per_fiber,
+        gbps_per_wavelength: 400.0,
+    }
+}
+
+/// Pick an index proportionally to weight; `None` if the list is empty.
+fn weighted_pick(rng: &mut StdRng, items: &[(Point, f64)]) -> Option<Point> {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    if items.is_empty() || total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random_range(0.0..total);
+    for &(p, w) in items {
+        if target < w {
+            return Some(p);
+        }
+        target -= w;
+    }
+    Some(items.last().expect("non-empty").0)
+}
+
+/// Pick a hub pair for centralized-topology analyses: two distinct huts
+/// near the map centroid whose mutual *fiber* distance falls within
+/// `[min_km, max_km]` (the paper contrasts 4–7 km and 20–24 km pairs).
+/// Falls back to the closest-to-centroid pair if no pair satisfies the
+/// separation window.
+#[must_use]
+pub fn pick_hub_pair(map: &FiberMap, min_km: f64, max_km: f64) -> (SiteId, SiteId) {
+    let huts = map.huts();
+    assert!(huts.len() >= 2, "need at least two huts for a hub pair");
+    let cx = huts.iter().map(|&h| map.site(h).position.x).sum::<f64>() / huts.len() as f64;
+    let cy = huts.iter().map(|&h| map.site(h).position.y).sum::<f64>() / huts.len() as f64;
+    let centroid = Point::new(cx, cy);
+
+    let mut best: Option<(SiteId, SiteId, f64)> = None;
+    let mut fallback: Option<(SiteId, SiteId, f64)> = None;
+    for (i, &a) in huts.iter().enumerate() {
+        for &b in &huts[i + 1..] {
+            let Some(sep) = map.fiber_distance(a, b) else {
+                continue;
+            };
+            let score = map.site(a).position.distance(&centroid)
+                + map.site(b).position.distance(&centroid);
+            if sep >= min_km && sep <= max_km {
+                if best.as_ref().is_none_or(|&(_, _, s)| score < s) {
+                    best = Some((a, b, score));
+                }
+            }
+            if fallback.as_ref().is_none_or(|&(_, _, s)| score < s) {
+                fallback = Some((a, b, score));
+            }
+        }
+    }
+    let (a, b, _) = best.or(fallback).expect("at least one pair exists");
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metro_is_deterministic() {
+        let p = MetroParams::default();
+        let m1 = generate_metro(&p);
+        let m2 = generate_metro(&p);
+        assert_eq!(m1.site_count(), m2.site_count());
+        assert_eq!(m1.duct_count(), m2.duct_count());
+        for i in 0..m1.site_count() {
+            assert_eq!(m1.site(i).position, m2.site(i).position);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m1 = generate_metro(&MetroParams::default());
+        let m2 = generate_metro(&MetroParams {
+            seed: 99,
+            ..MetroParams::default()
+        });
+        let same = (0..m1.site_count().min(m2.site_count()))
+            .all(|i| m1.site(i).position == m2.site(i).position);
+        assert!(!same);
+    }
+
+    #[test]
+    fn metro_is_connected_with_min_degree_three() {
+        for seed in 0..5 {
+            let m = generate_metro(&MetroParams {
+                seed,
+                ..MetroParams::default()
+            });
+            let dist = m.fiber_distances_from(0);
+            assert!(dist.iter().all(|d| d.is_finite()), "seed {seed} disconnected");
+            for h in m.huts() {
+                assert!(m.graph().degree(h) >= 3, "seed {seed} hut {h} degree < 3");
+            }
+        }
+    }
+
+    #[test]
+    fn huts_respect_spacing() {
+        let p = MetroParams::default();
+        let m = generate_metro(&p);
+        let huts = m.huts();
+        for (i, &a) in huts.iter().enumerate() {
+            for &b in &huts[i + 1..] {
+                let d = m.site(a).position.distance(&m.site(b).position);
+                assert!(d >= p.min_hut_spacing_km - 1e-9, "huts {a},{b} at {d} km");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_produces_requested_dcs() {
+        let map = generate_metro(&MetroParams::default());
+        let region = place_dcs(map, &PlacementParams::default());
+        region.validate();
+        assert_eq!(region.dcs.len(), 8);
+        assert_eq!(region.capacity_fibers.len(), 8);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let p = MetroParams::default();
+        let r1 = place_dcs(generate_metro(&p), &PlacementParams::default());
+        let r2 = place_dcs(generate_metro(&p), &PlacementParams::default());
+        for (&a, &b) in r1.dcs.iter().zip(&r2.dcs) {
+            assert_eq!(r1.map.site(a).position, r2.map.site(b).position);
+        }
+    }
+
+    #[test]
+    fn placed_dcs_respect_sla_reach() {
+        let map = generate_metro(&MetroParams::default());
+        let params = PlacementParams::default();
+        let region = place_dcs(map, &params);
+        for (i, &a) in region.dcs.iter().enumerate() {
+            for &b in &region.dcs[i + 1..] {
+                let d = region.map.fiber_distance(a, b).expect("connected");
+                assert!(
+                    d <= params.max_fiber_km + 15.0,
+                    "DC pair {a},{b} at {d:.1} km exceeds SLA reach"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dcs_attach_to_multiple_huts() {
+        let map = generate_metro(&MetroParams::default());
+        let region = place_dcs(map, &PlacementParams::default());
+        for &d in &region.dcs {
+            assert!(region.map.graph().degree(d) >= 2, "DC {d} poorly attached");
+        }
+    }
+
+    #[test]
+    fn hub_pair_separation_window() {
+        let map = generate_metro(&MetroParams::default());
+        let (a, b) = pick_hub_pair(&map, 4.0, 24.0);
+        assert_ne!(a, b);
+        let sep = map.fiber_distance(a, b).unwrap();
+        assert!((4.0..=24.0).contains(&sep), "separation {sep} km");
+    }
+
+    #[test]
+    fn single_dc_region_is_valid() {
+        let map = generate_metro(&MetroParams::default());
+        let region = place_dcs(
+            map,
+            &PlacementParams {
+                n_dcs: 1,
+                ..PlacementParams::default()
+            },
+        );
+        region.validate();
+        assert_eq!(region.dcs.len(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Raster (grid) based area estimation.
+//!
+//! The siting-flexibility analysis of the paper (§2.2, Figs. 4-6) asks: over
+//! all candidate locations for a *new* data center, which satisfy the fiber
+//! distance SLA to every existing site (distributed) or to both hubs
+//! (centralized)? The permissible region is an irregular shape determined by
+//! real fiber routes, so we estimate its area by rasterizing the region's
+//! bounding box and evaluating the predicate at each cell center — exactly
+//! what a deployment team does with a map and a distance tool.
+
+use crate::Point;
+
+/// A uniform raster of candidate sites covering an axis-aligned box.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    min: Point,
+    max: Point,
+    /// Cell edge length, km.
+    step: f64,
+    nx: usize,
+    ny: usize,
+}
+
+impl Grid {
+    /// Cover the box `[min, max]` with cells of edge `step` km.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive or the box is inverted.
+    #[must_use]
+    pub fn new(min: Point, max: Point, step: f64) -> Self {
+        assert!(step > 0.0, "grid step must be positive");
+        assert!(
+            max.x >= min.x && max.y >= min.y,
+            "grid box must not be inverted"
+        );
+        let nx = ((max.x - min.x) / step).ceil().max(1.0) as usize;
+        let ny = ((max.y - min.y) / step).ceil().max(1.0) as usize;
+        Self {
+            min,
+            max,
+            step,
+            nx,
+            ny,
+        }
+    }
+
+    /// Number of cells along x.
+    #[must_use]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of cells along y.
+    #[must_use]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Cell edge length in km.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Area of one cell, km².
+    #[must_use]
+    pub fn cell_area(&self) -> f64 {
+        self.step * self.step
+    }
+
+    /// Lower-left corner of the covered box.
+    #[must_use]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner of the covered box.
+    #[must_use]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Center of cell `(i, j)`.
+    #[must_use]
+    pub fn cell_center(&self, i: usize, j: usize) -> Point {
+        Point::new(
+            self.min.x + (i as f64 + 0.5) * self.step,
+            self.min.y + (j as f64 + 0.5) * self.step,
+        )
+    }
+
+    /// Iterate over all cell centers, row-major.
+    pub fn centers(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.ny).flat_map(move |j| (0..self.nx).map(move |i| self.cell_center(i, j)))
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid has no cells (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Estimate the area (km²) of the subset of `grid` where `admissible` holds.
+///
+/// `admissible` receives each cell center; the returned area is the number
+/// of admissible cells times the cell area. The estimate converges to the
+/// true area as `step → 0` for any region with a rectifiable boundary.
+///
+/// # Examples
+///
+/// ```
+/// use iris_geo::{service_area, Grid, Point};
+/// // Area of a radius-10 disc, estimated on a 0.25 km raster.
+/// let grid = Grid::new(Point::new(-12.0, -12.0), Point::new(12.0, 12.0), 0.25);
+/// let a = service_area(&grid, |p| p.distance(&Point::ORIGIN) <= 10.0);
+/// let expected = std::f64::consts::PI * 100.0;
+/// assert!((a - expected).abs() / expected < 0.02);
+/// ```
+pub fn service_area<F: FnMut(Point) -> bool>(grid: &Grid, mut admissible: F) -> f64 {
+    let mut cells = 0usize;
+    for p in grid.centers() {
+        if admissible(p) {
+            cells += 1;
+        }
+    }
+    cells as f64 * grid.cell_area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_box() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0), 1.0);
+        assert_eq!(g.nx(), 10);
+        assert_eq!(g.ny(), 5);
+        assert_eq!(g.len(), 50);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn first_cell_center_is_half_step_in() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0), 2.0);
+        assert_eq!(g.cell_center(0, 0), Point::new(1.0, 1.0));
+        assert_eq!(g.cell_center(1, 1), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn full_grid_area_equals_box_area() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(8.0, 6.0), 0.5);
+        let a = service_area(&g, |_| true);
+        assert!((a - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_predicate_gives_zero() {
+        let g = Grid::new(Point::new(0.0, 0.0), Point::new(8.0, 6.0), 0.5);
+        assert_eq!(service_area(&g, |_| false), 0.0);
+    }
+
+    #[test]
+    fn disc_area_converges() {
+        let g = Grid::new(Point::new(-11.0, -11.0), Point::new(11.0, 11.0), 0.1);
+        let a = service_area(&g, |p| p.distance(&Point::ORIGIN) <= 10.0);
+        let expected = std::f64::consts::PI * 100.0;
+        assert!((a - expected).abs() / expected < 0.005, "got {a}");
+    }
+
+    #[test]
+    fn lens_intersection_smaller_than_either_disc() {
+        // Two radius-60 discs with centers 24 km apart: the centralized
+        // service area of Fig. 4 (intersection of hub radii).
+        let h1 = Point::new(-12.0, 0.0);
+        let h2 = Point::new(12.0, 0.0);
+        let g = Grid::new(Point::new(-80.0, -70.0), Point::new(80.0, 70.0), 0.5);
+        let lens = service_area(&g, |p| p.distance(&h1) <= 60.0 && p.distance(&h2) <= 60.0);
+        let disc = service_area(&g, |p| p.distance(&h1) <= 60.0);
+        assert!(lens < disc);
+        assert!(lens > 0.5 * disc, "24 km separation only trims the lens");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid step must be positive")]
+    fn zero_step_panics() {
+        let _ = Grid::new(Point::ORIGIN, Point::new(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_box_panics() {
+        let _ = Grid::new(Point::new(1.0, 1.0), Point::ORIGIN, 0.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! 2-D geometry primitives for regional data-center-interconnect planning.
+//!
+//! Regional DCI planning (SIGCOMM'20 "Beyond the mega-data center") is full
+//! of small geometric questions: how far apart are two sites, what is the
+//! *service area* in which a new data center may be placed given latency
+//! SLAs, how much does that area grow when moving from a centralized
+//! (hub-and-spoke) to a distributed topology (Figs. 4-6 of the paper).
+//!
+//! This crate provides the primitives those analyses are built on:
+//!
+//! * [`Point`] — a point in a local planar coordinate system (kilometres),
+//! * [`Segment`] — a straight fiber-duct segment,
+//! * [`Grid`] — a uniform raster of candidate sites used to estimate areas,
+//! * [`service_area`] — Monte-Carlo-free raster estimation of the region of
+//!   the plane satisfying a set of distance predicates.
+//!
+//! All distances are in kilometres, all areas in square kilometres. The
+//! crate is deliberately `no_std`-shaped (no allocation beyond `Vec`) and
+//! fully deterministic, in the spirit of event-driven network stacks such
+//! as smoltcp: same inputs, same outputs, no hidden global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod point;
+
+pub use grid::{service_area, Grid};
+pub use point::{Point, Segment};
+
+/// Speed of light in fiber, km per millisecond.
+///
+/// Light travels at roughly 2/3 of c in silica fiber; the industry figure
+/// used by the paper is ~200 km/ms one-way, i.e. 100 km of fiber ≈ 1 ms RTT.
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Round-trip propagation latency in milliseconds over `fiber_km` of fiber.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's Tokyo example: a 19 km direct DC-DC run is ~0.2 ms RTT.
+/// let rtt = iris_geo::rtt_ms(19.0);
+/// assert!((rtt - 0.19).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn rtt_ms(fiber_km: f64) -> f64 {
+    2.0 * fiber_km / FIBER_KM_PER_MS
+}
+
+/// The industry rule of thumb used in §2.1 of the paper: fiber distance is
+/// approximately twice the geodesic (straight-line) distance.
+///
+/// Azure's own analyses (and InterTubes) use this factor when the actual
+/// fiber route is unknown.
+pub const FIBER_DETOUR_FACTOR: f64 = 2.0;
+
+/// Estimate fiber distance from straight-line distance using the 2x rule.
+#[must_use]
+pub fn estimate_fiber_km(geo_km: f64) -> f64 {
+    geo_km * FIBER_DETOUR_FACTOR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_of_100km_is_1ms() {
+        assert!((rtt_ms(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokyo_example_matches_paper() {
+        // §2.1: 53-60 km DC-hub legs give a max DC-DC RTT of ~1.2 ms;
+        // a 19 km direct link gives ~0.2 ms, a ~6x reduction.
+        let via_hub = rtt_ms(60.0) + rtt_ms(60.0);
+        let direct = rtt_ms(19.0);
+        assert!((via_hub - 1.2).abs() < 1e-9);
+        assert!(via_hub / direct > 6.0);
+    }
+
+    #[test]
+    fn detour_factor_doubles() {
+        assert_eq!(estimate_fiber_km(10.0), 20.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Points and segments in a local planar (kilometre) coordinate system.
+//!
+//! Regions span only tens of kilometres, so a flat local tangent plane is an
+//! excellent approximation; we never need geodesic math.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the region's local coordinate system, in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate, km.
+    pub x: f64,
+    /// North-south coordinate, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point from kilometre coordinates.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Straight-line (Euclidean) distance to `other`, km.
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared distance; cheaper when only comparisons are needed.
+    #[must_use]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment from `self` to `other`.
+    #[must_use]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    #[must_use]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Rotate around the origin by `radians` counter-clockwise.
+    #[must_use]
+    pub fn rotated(&self, radians: f64) -> Point {
+        let (s, c) = radians.sin_cos();
+        Point::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Translate by the vector `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// A straight segment between two points — e.g. one fiber-duct leg.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Construct a segment between `a` and `b`.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Length of the segment, km.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Shortest distance from `p` to any point of the segment, km.
+    ///
+    /// Used when snapping a candidate DC site onto the nearest fiber duct.
+    #[must_use]
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// The point on the segment closest to `p`.
+    #[must_use]
+    pub fn closest_point(&self, p: &Point) -> Point {
+        let vx = self.b.x - self.a.x;
+        let vy = self.b.y - self.a.y;
+        let len_sq = vx * vx + vy * vy;
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((p.x - self.a.x) * vx + (p.y - self.a.y) * vy) / len_sq;
+        let t = t.clamp(0.0, 1.0);
+        self.a.lerp(&self.b, t)
+    }
+
+    /// Parameter `t in [0, 1]` of the closest point (0 at `a`, 1 at `b`).
+    #[must_use]
+    pub fn closest_t(&self, p: &Point) -> f64 {
+        let vx = self.b.x - self.a.x;
+        let vy = self.b.y - self.a.y;
+        let len_sq = vx * vx + vy * vy;
+        if len_sq == 0.0 {
+            return 0.0;
+        }
+        (((p.x - self.a.x) * vx + (p.y - self.a.y) * vy) / len_sq).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-3.0, 7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -6.0);
+        assert_eq!(a.midpoint(&b), a.lerp(&b, 0.5));
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let p = Point::new(3.0, 4.0);
+        let r = p.rotated(1.234);
+        assert!((r.distance(&Point::ORIGIN) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_closest_point_interior() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let p = Point::new(5.0, 3.0);
+        assert_eq!(s.closest_point(&p), Point::new(5.0, 0.0));
+        assert_eq!(s.distance_to_point(&p), 3.0);
+    }
+
+    #[test]
+    fn segment_closest_point_clamps_to_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.closest_point(&Point::new(-4.0, 0.0)), s.a);
+        assert_eq!(s.closest_point(&Point::new(14.0, 1.0)), s.b);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(2.0, 2.0), Point::new(2.0, 2.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(2.0, 5.0)), 3.0);
+    }
+}

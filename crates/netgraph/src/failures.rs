@@ -1,0 +1,186 @@
+//! Exhaustive enumeration of fiber-cut failure scenarios.
+//!
+//! Operational constraint OC4: the operator specifies a number of tolerated
+//! fiber cuts (a cut destroys a whole duct — all fibers in it). Algorithm 1
+//! and the amplifier/cut-through heuristics enumerate *every* combination
+//! of up to `k` duct cuts; with tens of ducts and `k = 2` (operational
+//! practice) that is at most a few thousand scenarios.
+
+use crate::graph::EdgeId;
+
+/// Iterator over all failure scenarios with **up to** `k` failed ducts,
+/// including the no-failure scenario (an empty set), in deterministic
+/// order: first by cardinality, then lexicographically.
+#[derive(Debug, Clone)]
+pub struct FailureScenarios {
+    num_edges: usize,
+    max_cuts: usize,
+    /// Current combination; `None` before the first call.
+    state: Option<Vec<EdgeId>>,
+    done: bool,
+}
+
+impl FailureScenarios {
+    /// All scenarios over `num_edges` ducts with at most `max_cuts` cuts.
+    #[must_use]
+    pub fn new(num_edges: usize, max_cuts: usize) -> Self {
+        Self {
+            num_edges,
+            max_cuts: max_cuts.min(num_edges),
+            state: None,
+            done: false,
+        }
+    }
+
+    /// Total number of scenarios: `sum_{i=0..=k} C(m, i)`.
+    #[must_use]
+    pub fn count_scenarios(num_edges: usize, max_cuts: usize) -> u64 {
+        let k = max_cuts.min(num_edges);
+        let mut total = 0u64;
+        for i in 0..=k {
+            total += binomial(num_edges as u64, i as u64);
+        }
+        total
+    }
+
+    /// Convert a scenario (list of failed edge ids) to a disabled-edge mask.
+    #[must_use]
+    pub fn to_mask(scenario: &[EdgeId], num_edges: usize) -> Vec<bool> {
+        let mut mask = vec![false; num_edges];
+        for &e in scenario {
+            mask[e] = true;
+        }
+        mask
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+impl Iterator for FailureScenarios {
+    type Item = Vec<EdgeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match &mut self.state {
+            None => {
+                // First scenario: no failures.
+                self.state = Some(Vec::new());
+                Some(Vec::new())
+            }
+            Some(combo) => {
+                // Advance to the next combination of the same size, or grow.
+                let m = self.num_edges;
+                let r = combo.len();
+                // Find rightmost position that can be incremented.
+                let mut i = r;
+                loop {
+                    if i == 0 {
+                        // Start combinations of size r + 1.
+                        let nr = r + 1;
+                        if nr > self.max_cuts || nr > m {
+                            self.done = true;
+                            return None;
+                        }
+                        *combo = (0..nr).collect();
+                        return Some(combo.clone());
+                    }
+                    i -= 1;
+                    if combo[i] < m - (r - i) {
+                        combo[i] += 1;
+                        for j in i + 1..r {
+                            combo[j] = combo[j - 1] + 1;
+                        }
+                        return Some(combo.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cuts_yields_only_empty() {
+        let all: Vec<_> = FailureScenarios::new(5, 0).collect();
+        assert_eq!(all, vec![Vec::<EdgeId>::new()]);
+    }
+
+    #[test]
+    fn single_cuts_enumerate_each_edge() {
+        let all: Vec<_> = FailureScenarios::new(3, 1).collect();
+        assert_eq!(all, vec![vec![], vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn double_cuts_enumerate_pairs() {
+        let all: Vec<_> = FailureScenarios::new(3, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for m in 0..8 {
+            for k in 0..4 {
+                let n = FailureScenarios::new(m, k).count() as u64;
+                assert_eq!(
+                    n,
+                    FailureScenarios::count_scenarios(m, k),
+                    "m={m} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_edges_is_clamped() {
+        let all: Vec<_> = FailureScenarios::new(2, 10).collect();
+        assert_eq!(all.len(), 4); // {}, {0}, {1}, {0,1}
+    }
+
+    #[test]
+    fn scenarios_are_unique() {
+        let all: Vec<_> = FailureScenarios::new(6, 2).collect();
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            assert!(seen.insert(s.clone()), "duplicate scenario {s:?}");
+        }
+    }
+
+    #[test]
+    fn mask_conversion() {
+        let mask = FailureScenarios::to_mask(&[1, 3], 5);
+        assert_eq!(mask, vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn realistic_region_scenario_count_is_tractable() {
+        // 40 ducts, 2-cut tolerance: 1 + 40 + 780 = 821 scenarios.
+        assert_eq!(FailureScenarios::count_scenarios(40, 2), 821);
+    }
+}

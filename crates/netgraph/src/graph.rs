@@ -1,0 +1,270 @@
+//! A compact undirected multigraph with kilometre edge lengths.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node (data center or fiber hut).
+pub type NodeId = usize;
+
+/// Index of an undirected edge (fiber duct).
+pub type EdgeId = usize;
+
+/// One undirected edge of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Length in kilometres.
+    pub length_km: f64,
+}
+
+impl Edge {
+    /// The endpoint of the edge that is not `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an endpoint of this edge.
+    #[must_use]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else if n == self.v {
+            self.u
+        } else {
+            panic!("node {n} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// An undirected multigraph with `f64` kilometre edge lengths.
+///
+/// Nodes are dense indices `0..n`. Parallel edges and self-loops are
+/// permitted (real fiber maps contain parallel ducts), though self-loops
+/// never appear on shortest paths.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// adjacency[u] = list of (edge id, neighbour) pairs.
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl Graph {
+    /// Create a graph with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Add an undirected edge of `length_km` between `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or the length is negative
+    /// or non-finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, length_km: f64) -> EdgeId {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert!(
+            length_km.is_finite() && length_km >= 0.0,
+            "edge length must be finite and non-negative"
+        );
+        let id = self.edges.len();
+        self.edges.push(Edge { u, v, length_km });
+        self.adjacency[u].push((id, v));
+        if u != v {
+            self.adjacency[v].push((id, u));
+        }
+        id
+    }
+
+    /// The edge with id `e`.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e]
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbours of `u` as `(edge id, neighbour)` pairs.
+    #[must_use]
+    pub fn neighbors(&self, u: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.adjacency[u]
+    }
+
+    /// Degree of `u` (counting parallel edges, self-loops once).
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Deterministic per-edge length perturbation that makes shortest paths
+    /// unique without measurably changing any distance.
+    ///
+    /// §4.1 of the paper notes that when shortest paths are unique (as is
+    /// typically true on real fiber maps), Algorithm 1 yields the *unique*
+    /// optimal provisioning. Synthetic maps can contain exact ties; this
+    /// breaks them reproducibly. The epsilon is proportional to `1 + e` so
+    /// distinct edges always differ, and is scaled far below 1 metre.
+    #[must_use]
+    pub fn perturbed_length(&self, e: EdgeId) -> f64 {
+        self.edges[e].length_km + (e as f64 + 1.0) * 1e-7
+    }
+
+    /// True if `u` and `v` are connected ignoring edges in `disabled`.
+    #[must_use]
+    pub fn connected_avoiding(&self, u: NodeId, v: NodeId, disabled: &[bool]) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![u];
+        seen[u] = true;
+        while let Some(x) = stack.pop() {
+            for &(e, y) in &self.adjacency[x] {
+                if disabled.get(e).copied().unwrap_or(false) || seen[y] {
+                    continue;
+                }
+                if y == v {
+                    return true;
+                }
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+        false
+    }
+
+    /// Minimum number of edge-disjoint cuts separating `u` from `v`,
+    /// i.e. edge connectivity between the pair (via unit-capacity max-flow).
+    ///
+    /// Planning for `k` fiber-cut resilience (OC4) is only feasible for a
+    /// DC pair if its edge connectivity exceeds `k`.
+    #[must_use]
+    pub fn edge_connectivity(&self, u: NodeId, v: NodeId) -> u64 {
+        if u == v {
+            return u64::MAX;
+        }
+        let mut flow = crate::maxflow::Dinic::new(self.n);
+        for e in &self.edges {
+            if e.u != e.v {
+                flow.add_bidirectional_edge(e.u, e.v, 1);
+            }
+        }
+        flow.max_flow(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 0, 1.0);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edge(0).other(0), 1);
+        assert_eq!(g.edge(0).other(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let g = triangle();
+        let _ = g.edge(0).other(2);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = triangle();
+        let n = g.add_node();
+        assert_eq!(n, 3);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(n), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1, 1.0);
+        let e2 = g.add_edge(0, 1, 2.0);
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.perturbed_length(e1) < g.perturbed_length(e2));
+    }
+
+    #[test]
+    fn perturbation_breaks_exact_ties() {
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1, 5.0);
+        let e2 = g.add_edge(0, 1, 5.0);
+        assert_ne!(g.perturbed_length(e1), g.perturbed_length(e2));
+        assert!((g.perturbed_length(e1) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn connectivity_with_failures() {
+        let g = triangle();
+        assert!(g.connected_avoiding(0, 2, &[false, false, false]));
+        assert!(g.connected_avoiding(0, 2, &[false, false, true]));
+        assert!(!g.connected_avoiding(0, 2, &[true, false, true]));
+    }
+
+    #[test]
+    fn edge_connectivity_of_triangle_is_two() {
+        let g = triangle();
+        assert_eq!(g.edge_connectivity(0, 2), 2);
+    }
+
+    #[test]
+    fn edge_connectivity_of_path_is_one() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert_eq!(g.edge_connectivity(0, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Worst-case per-edge load under the hose traffic model.
+//!
+//! Operational constraint OC2: the DCI must carry *any* traffic matrix in
+//! which each DC's aggregate ingress/egress stays within its capacity (the
+//! hose model of Duffield et al.). With shortest-path routing fixed, the
+//! load a duct `e` must support is
+//!
+//! ```text
+//!   max  Σ_{(u,v) ∈ P_e} t_uv
+//!   s.t. Σ_{pairs incident on a} t ≤ C_a   for every DC a,  t ≥ 0
+//! ```
+//!
+//! where `P_e` is the set of DC pairs whose shortest path crosses `e`.
+//! §4.1 notes the naive bound (summing `min(C_u, C_v)` over pairs)
+//! over-provisions because a DC in several pairs gets double-counted; the
+//! precise value is a maximum fractional b-matching, solved exactly as half
+//! the max-flow on the bipartite double cover (Juttner et al., INFOCOM'03).
+
+use crate::graph::NodeId;
+use crate::maxflow::Dinic;
+
+/// Worst-case hose-model load on an edge crossed by the DC pairs `pairs`.
+///
+/// `capacity` maps each DC (by [`NodeId`]) to its hose capacity in
+/// wavelength units; pairs must be distinct unordered pairs of DCs with
+/// non-zero capacity. Returns the load in the same units (may be
+/// half-integral, e.g. a triangle of unit-capacity DCs yields 1.5).
+///
+/// # Examples
+///
+/// ```
+/// use iris_netgraph::hose::{max_edge_load, naive_edge_load};
+/// // DC 0 (capacity 5) talks to DCs 1 and 2 over the same duct: its own
+/// // hose cap bounds the duct load at 5, where the naive rule says 10.
+/// let cap = |dc: usize| if dc == 0 { 5 } else { 10 };
+/// assert_eq!(max_edge_load(&cap, &[(0, 1), (0, 2)]), 5.0);
+/// assert_eq!(naive_edge_load(&cap, &[(0, 1), (0, 2)]), 10.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a pair is degenerate (`u == v`).
+#[must_use]
+pub fn max_edge_load(capacity: &impl Fn(NodeId) -> u64, pairs: &[(NodeId, NodeId)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    // Collect the distinct DCs touching this edge and index them densely.
+    let mut dcs: Vec<NodeId> = Vec::new();
+    for &(u, v) in pairs {
+        assert_ne!(u, v, "degenerate DC pair");
+        if !dcs.contains(&u) {
+            dcs.push(u);
+        }
+        if !dcs.contains(&v) {
+            dcs.push(v);
+        }
+    }
+    let index = |n: NodeId| dcs.iter().position(|&d| d == n).expect("indexed above");
+
+    // Bipartite double cover: source -> left_a (cap C_a),
+    // right_a -> sink (cap C_a); each pair contributes left_u -> right_v
+    // and left_v -> right_u with unbounded capacity. The max flow is twice
+    // the maximum fractional b-matching.
+    let k = dcs.len();
+    let source = 2 * k;
+    let sink = 2 * k + 1;
+    let mut dinic = Dinic::new(2 * k + 2);
+    for (i, &dc) in dcs.iter().enumerate() {
+        let c = capacity(dc);
+        dinic.add_edge(source, i, c); // left copy
+        dinic.add_edge(k + i, sink, c); // right copy
+    }
+    for &(u, v) in pairs {
+        let (iu, iv) = (index(u), index(v));
+        dinic.add_edge(iu, k + iv, u64::MAX / 4);
+        dinic.add_edge(iv, k + iu, u64::MAX / 4);
+    }
+    dinic.max_flow(source, sink) as f64 / 2.0
+}
+
+/// The naive per-edge bound of §4.1: sum of `min(C_u, C_v)` over pairs.
+///
+/// Always an upper bound on [`max_edge_load`]; strictly larger whenever a
+/// DC participates in multiple pairs crossing the edge with total demand
+/// exceeding its own hose capacity. Kept as a comparison point for the
+/// over-provisioning ablation.
+#[must_use]
+pub fn naive_edge_load(capacity: &impl Fn(NodeId) -> u64, pairs: &[(NodeId, NodeId)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(u, v)| capacity(u).min(capacity(v)) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pairs_no_load() {
+        let cap = |_: NodeId| 10u64;
+        assert_eq!(max_edge_load(&cap, &[]), 0.0);
+    }
+
+    #[test]
+    fn single_pair_is_min_capacity() {
+        let cap = |n: NodeId| if n == 0 { 4 } else { 9 };
+        assert_eq!(max_edge_load(&cap, &[(0, 1)]), 4.0);
+        assert_eq!(naive_edge_load(&cap, &[(0, 1)]), 4.0);
+    }
+
+    #[test]
+    fn shared_endpoint_not_double_counted() {
+        // §4.1's example: DC A paired with both B and C. A's hose capacity
+        // caps the total; naive would count it twice.
+        let cap = |n: NodeId| match n {
+            0 => 5,  // A
+            1 => 10, // B
+            _ => 10, // C
+        };
+        let pairs = [(0, 1), (0, 2)];
+        assert_eq!(max_edge_load(&cap, &pairs), 5.0);
+        assert_eq!(naive_edge_load(&cap, &pairs), 10.0);
+    }
+
+    #[test]
+    fn disjoint_pairs_sum() {
+        let cap = |_: NodeId| 3u64;
+        let pairs = [(0, 1), (2, 3)];
+        assert_eq!(max_edge_load(&cap, &pairs), 6.0);
+    }
+
+    #[test]
+    fn triangle_is_half_integral() {
+        // Three unit-capacity DCs, all three pairs crossing: LP optimum is
+        // t = 1/2 on each pair, total 1.5.
+        let cap = |_: NodeId| 1u64;
+        let pairs = [(0, 1), (1, 2), (0, 2)];
+        assert_eq!(max_edge_load(&cap, &pairs), 1.5);
+        assert_eq!(naive_edge_load(&cap, &pairs), 3.0);
+    }
+
+    #[test]
+    fn load_bounded_by_half_total_capacity() {
+        let cap = |n: NodeId| [7u64, 3, 5, 2][n];
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let load = max_edge_load(&cap, &pairs);
+        assert!(load <= (7 + 3 + 5 + 2) as f64 / 2.0);
+        assert!(load <= naive_edge_load(&cap, &pairs));
+    }
+
+    #[test]
+    fn star_bounded_by_center() {
+        // Hub DC 0 paired with 4 others, each huge; load = C_0.
+        let cap = |n: NodeId| if n == 0 { 8 } else { 100 };
+        let pairs = [(0, 1), (0, 2), (0, 3), (0, 4)];
+        assert_eq!(max_edge_load(&cap, &pairs), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_pair_panics() {
+        let cap = |_: NodeId| 1u64;
+        let _ = max_edge_load(&cap, &[(3, 3)]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Yen's algorithm: the k shortest loopless paths between two nodes.
+//!
+//! OC3 (strict shortest-path routing) is Iris's most demanding mode; §3.1
+//! notes that "by removing this constraint, simpler designs are easy to
+//! build using the same methodology". Relaxed designs need *alternatives*
+//! to the shortest path — slightly longer routes that avoid an expensive
+//! hut, share an already-provisioned duct, or stay within the latency
+//! SLA while dodging a risky corridor. Yen's algorithm enumerates them
+//! in increasing length order over the perturbed (hence unique) metric.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::shortest::dijkstra;
+
+/// One candidate path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePath {
+    /// Node sequence, source first.
+    pub nodes: Vec<NodeId>,
+    /// Edge sequence.
+    pub edges: Vec<EdgeId>,
+    /// Total perturbed length, km.
+    pub length_km: f64,
+}
+
+fn shortest_between(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    disabled: &[bool],
+) -> Option<CandidatePath> {
+    let r = dijkstra(g, src, disabled);
+    let edges = r.path_edges(g, dst)?;
+    let nodes = r.path_nodes(g, dst)?;
+    Some(CandidatePath {
+        length_km: r.dist[dst],
+        nodes,
+        edges,
+    })
+}
+
+/// The up-to-`k` shortest loopless paths from `src` to `dst`, shortest
+/// first, avoiding edges in `base_disabled`.
+///
+/// Returns fewer than `k` paths when the graph doesn't contain them.
+#[must_use]
+pub fn k_shortest_paths(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    base_disabled: &[bool],
+) -> Vec<CandidatePath> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut accepted: Vec<CandidatePath> = Vec::new();
+    let Some(first) = shortest_between(g, src, dst, base_disabled) else {
+        return Vec::new();
+    };
+    accepted.push(first);
+    let mut candidates: Vec<CandidatePath> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("at least one accepted").clone();
+        // Branch at every node of the previous path (spur node).
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root_edges = &last.edges[..spur_idx];
+            let root_nodes = &last.nodes[..=spur_idx];
+            let root_len: f64 = root_edges.iter().map(|&e| g.perturbed_length(e)).sum();
+
+            let mut disabled = base_disabled.to_vec();
+            // Remove edges that would recreate an already-accepted path
+            // sharing this root.
+            for p in accepted.iter().chain(candidates.iter()) {
+                if p.edges.len() > spur_idx && p.edges[..spur_idx] == *root_edges {
+                    disabled[p.edges[spur_idx]] = true;
+                }
+            }
+            // Loopless: forbid revisiting root nodes (disable all their
+            // edges except those leaving the spur node).
+            for &n in &root_nodes[..spur_idx] {
+                for &(e, _) in g.neighbors(n) {
+                    disabled[e] = true;
+                }
+            }
+
+            if let Some(spur) = shortest_between(g, spur_node, dst, &disabled) {
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur.nodes[1..]);
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur.edges);
+                let candidate = CandidatePath {
+                    length_km: root_len + spur.length_km,
+                    nodes,
+                    edges,
+                };
+                if !candidates.contains(&candidate) && !accepted.contains(&candidate) {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        // Promote the best candidate.
+        let Some(best_idx) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.length_km.partial_cmp(&b.length_km).expect("finite"))
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        accepted.push(candidates.swap_remove(best_idx));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 3 ; 0 -2- 2 -2- 3 ; 0 ----5---- 3
+    fn three_route_graph() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0); // e0
+        g.add_edge(1, 3, 1.0); // e1
+        g.add_edge(0, 2, 2.0); // e2
+        g.add_edge(2, 3, 2.0); // e3
+        g.add_edge(0, 3, 5.0); // e4
+        g
+    }
+
+    #[test]
+    fn enumerates_in_length_order() {
+        let g = three_route_graph();
+        let disabled = vec![false; g.edge_count()];
+        let paths = k_shortest_paths(&g, 0, 3, 3, &disabled);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].edges, vec![0, 1]);
+        assert_eq!(paths[1].edges, vec![2, 3]);
+        assert_eq!(paths[2].edges, vec![4]);
+        assert!(paths[0].length_km < paths[1].length_km);
+        assert!(paths[1].length_km < paths[2].length_km);
+    }
+
+    #[test]
+    fn k_larger_than_available_returns_all() {
+        let g = three_route_graph();
+        let disabled = vec![false; g.edge_count()];
+        let paths = k_shortest_paths(&g, 0, 3, 10, &disabled);
+        assert_eq!(paths.len(), 3, "only 3 loopless routes exist");
+    }
+
+    #[test]
+    fn paths_are_loopless() {
+        let g = three_route_graph();
+        let disabled = vec![false; g.edge_count()];
+        for p in k_shortest_paths(&g, 0, 3, 10, &disabled) {
+            let mut seen = std::collections::HashSet::new();
+            for &n in &p.nodes {
+                assert!(seen.insert(n), "node {n} repeats in {:?}", p.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_base_disabled() {
+        let g = three_route_graph();
+        let mut disabled = vec![false; g.edge_count()];
+        disabled[0] = true; // cut the best route
+        let paths = k_shortest_paths(&g, 0, 3, 3, &disabled);
+        assert_eq!(paths[0].edges, vec![2, 3]);
+        assert!(paths.iter().all(|p| !p.edges.contains(&0)));
+    }
+
+    #[test]
+    fn zero_k_or_disconnected_is_empty() {
+        let g = three_route_graph();
+        let disabled = vec![false; g.edge_count()];
+        assert!(k_shortest_paths(&g, 0, 3, 0, &disabled).is_empty());
+        let mut lonely = Graph::new(2);
+        let _ = lonely.add_node();
+        assert!(k_shortest_paths(&lonely, 0, 1, 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let g = three_route_graph();
+        let disabled = vec![false; g.edge_count()];
+        let yen = &k_shortest_paths(&g, 0, 3, 1, &disabled)[0];
+        let dj = crate::shortest::path_edges(&g, 0, 3, &disabled).unwrap();
+        assert_eq!(yen.edges, dj);
+    }
+
+    #[test]
+    fn grid_graph_alternatives_grow_monotonically() {
+        // 3x3 grid: many alternatives between opposite corners.
+        let side = 3;
+        let mut g = Graph::new(side * side);
+        for y in 0..side {
+            for x in 0..side {
+                let id = y * side + x;
+                if x + 1 < side {
+                    g.add_edge(id, id + 1, 1.0);
+                }
+                if y + 1 < side {
+                    g.add_edge(id, id + side, 1.0);
+                }
+            }
+        }
+        let disabled = vec![false; g.edge_count()];
+        let paths = k_shortest_paths(&g, 0, side * side - 1, 6, &disabled);
+        assert_eq!(paths.len(), 6, "a 3x3 grid has 6 shortest routes");
+        for w in paths.windows(2) {
+            assert!(w[0].length_km <= w[1].length_km + 1e-12);
+        }
+    }
+}

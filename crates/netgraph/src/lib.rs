@@ -1,0 +1,36 @@
+//! Graph substrate for regional DCI planning.
+//!
+//! The Iris planner (SIGCOMM'20) needs four graph ingredients, all provided
+//! here with no external dependencies:
+//!
+//! * [`Graph`] — a compact undirected multigraph whose nodes are data
+//!   centers and fiber huts and whose edges are fiber ducts with a length
+//!   in kilometres;
+//! * [`shortest::dijkstra`] and friends — shortest paths with deterministic
+//!   unique-path tie-breaking (§4.1 relies on shortest paths being unique);
+//! * [`maxflow::Dinic`] — integer max-flow, used both for the hose-model
+//!   capacity computation and in tests as an independent oracle;
+//! * [`failures::FailureScenarios`] — exhaustive enumeration of fiber-duct
+//!   cut combinations up to a tolerance `k` (operational constraint OC4);
+//! * [`hose::max_edge_load`] — the per-edge worst-case load under the hose
+//!   traffic model (Duffield et al.), computed via a bipartite double-cover
+//!   max-flow as in Juttner et al. (INFOCOM'03), referenced by §4.1.
+//!
+//! All algorithms are deterministic: iteration orders are index-based and
+//! edge weights get a stable per-edge epsilon perturbation when requested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod failures;
+pub mod graph;
+pub mod kpaths;
+pub mod hose;
+pub mod maxflow;
+pub mod shortest;
+
+pub use failures::FailureScenarios;
+pub use kpaths::{k_shortest_paths, CandidatePath};
+pub use graph::{EdgeId, Graph, NodeId};
+pub use maxflow::Dinic;
+pub use shortest::{dijkstra, path_edges, PathResult};

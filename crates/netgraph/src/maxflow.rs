@@ -1,0 +1,291 @@
+//! Dinic's maximum-flow algorithm on integer capacities.
+//!
+//! Max-flow appears twice in the paper's planning pipeline:
+//!
+//! 1. §4.1 — the precise hose-model capacity of each fiber duct is "a
+//!    max-flow computation across an appropriately constructed flow graph"
+//!    (Juttner et al.); see [`crate::hose`].
+//! 2. Feasibility checks — a DC pair can only survive `k` duct cuts if its
+//!    edge connectivity exceeds `k`.
+//!
+//! Capacities are `u64` (wavelength or fiber counts are integral), so the
+//! algorithm is exact. Dinic runs in `O(V^2 E)` generally and much faster
+//! on the small unit-capacity graphs used here.
+
+use crate::graph::NodeId;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: NodeId,
+    cap: u64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// A Dinic max-flow solver over a directed graph built incrementally.
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    adjacency: Vec<Vec<usize>>,
+    arcs: Vec<Arc>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Create a solver over `n` nodes and no arcs.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+            arcs: Vec::new(),
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Add a directed arc `from -> to` with capacity `cap`.
+    /// Returns an arc handle usable with [`Dinic::flow_on`].
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> usize {
+        assert!(
+            from < self.adjacency.len() && to < self.adjacency.len(),
+            "arc endpoint out of range"
+        );
+        let a = self.arcs.len();
+        self.arcs.push(Arc {
+            to,
+            cap,
+            rev: a + 1,
+        });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            rev: a,
+        });
+        self.adjacency[from].push(a);
+        self.adjacency[to].push(a + 1);
+        a
+    }
+
+    /// Add an undirected edge: capacity `cap` in both directions.
+    pub fn add_bidirectional_edge(&mut self, u: NodeId, v: NodeId, cap: u64) -> usize {
+        let a = self.arcs.len();
+        self.arcs.push(Arc {
+            to: v,
+            cap,
+            rev: a + 1,
+        });
+        self.arcs.push(Arc {
+            to: u,
+            cap,
+            rev: a,
+        });
+        self.adjacency[u].push(a);
+        self.adjacency[v].push(a + 1);
+        a
+    }
+
+    /// Flow currently pushed through the arc returned by
+    /// [`Dinic::add_edge`] (i.e. capacity consumed).
+    #[must_use]
+    pub fn flow_on(&self, arc: usize) -> u64 {
+        // For a directed arc, pushed flow equals the residual capacity of
+        // the reverse arc.
+        self.arcs[self.arcs[arc].rev].cap
+    }
+
+    fn bfs(&mut self, s: NodeId, t: NodeId) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.adjacency[u] {
+                let arc = &self.arcs[a];
+                if arc.cap > 0 && self.level[arc.to] < 0 {
+                    self.level[arc.to] = self.level[u] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: NodeId, t: NodeId, pushed: u64) -> u64 {
+        if u == t {
+            return pushed;
+        }
+        while self.iter[u] < self.adjacency[u].len() {
+            let a = self.adjacency[u][self.iter[u]];
+            let (to, cap) = (self.arcs[a].to, self.arcs[a].cap);
+            if cap > 0 && self.level[to] == self.level[u] + 1 {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > 0 {
+                    self.arcs[a].cap -= d;
+                    let rev = self.arcs[a].rev;
+                    self.arcs[rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum flow from `s` to `t`. May be called once per
+    /// solver instance (capacities are consumed).
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0u64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, u64::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 7);
+        assert_eq!(d.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn series_takes_min() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 10);
+        d.add_edge(1, 2, 4);
+        assert_eq!(d.max_flow(0, 2), 4);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3);
+        d.add_edge(1, 3, 3);
+        d.add_edge(0, 2, 5);
+        d.add_edge(2, 3, 5);
+        assert_eq!(d.max_flow(0, 3), 8);
+    }
+
+    #[test]
+    fn classic_clrs_example() {
+        // CLRS Figure 26.1 network, max flow 23.
+        let mut d = Dinic::new(6);
+        d.add_edge(0, 1, 16);
+        d.add_edge(0, 2, 13);
+        d.add_edge(1, 2, 10);
+        d.add_edge(2, 1, 4);
+        d.add_edge(1, 3, 12);
+        d.add_edge(3, 2, 9);
+        d.add_edge(2, 4, 14);
+        d.add_edge(4, 3, 7);
+        d.add_edge(3, 5, 20);
+        d.add_edge(4, 5, 4);
+        assert_eq!(d.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 5);
+        assert_eq!(d.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn flow_on_reports_consumed_capacity() {
+        let mut d = Dinic::new(3);
+        let a = d.add_edge(0, 1, 10);
+        let b = d.add_edge(1, 2, 4);
+        assert_eq!(d.max_flow(0, 2), 4);
+        assert_eq!(d.flow_on(a), 4);
+        assert_eq!(d.flow_on(b), 4);
+    }
+
+    #[test]
+    fn bidirectional_edge_carries_either_way() {
+        let mut d = Dinic::new(2);
+        d.add_bidirectional_edge(0, 1, 6);
+        assert_eq!(d.max_flow(1, 0), 6);
+    }
+
+    #[test]
+    fn unit_capacity_connectivity() {
+        // Cycle of 5 nodes: 2 edge-disjoint paths between any pair.
+        let mut d = Dinic::new(5);
+        for i in 0..5 {
+            d.add_bidirectional_edge(i, (i + 1) % 5, 1);
+        }
+        assert_eq!(d.max_flow(0, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_source_sink_panics() {
+        let mut d = Dinic::new(2);
+        d.max_flow(1, 1);
+    }
+
+    /// Brute-force oracle: max-flow on small graphs by enumerating all cuts
+    /// (max-flow = min-cut).
+    fn min_cut_brute(n: usize, arcs: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+        let mut best = u64::MAX;
+        for mask in 0..(1u32 << n) {
+            if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                continue;
+            }
+            let mut cut = 0u64;
+            for &(u, v, c) in arcs {
+                if mask & (1 << u) != 0 && mask & (1 << v) == 0 {
+                    cut = cut.saturating_add(c);
+                }
+            }
+            best = best.min(cut);
+        }
+        best
+    }
+
+    #[test]
+    fn randomized_against_min_cut_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.random_range(3..7usize);
+            let m = rng.random_range(2..12usize);
+            let arcs: Vec<(usize, usize, u64)> = (0..m)
+                .map(|_| {
+                    let u = rng.random_range(0..n);
+                    let mut v = rng.random_range(0..n);
+                    while v == u {
+                        v = rng.random_range(0..n);
+                    }
+                    (u, v, rng.random_range(1..10u64))
+                })
+                .collect();
+            let mut d = Dinic::new(n);
+            for &(u, v, c) in &arcs {
+                d.add_edge(u, v, c);
+            }
+            let flow = d.max_flow(0, n - 1);
+            let cut = min_cut_brute(n, &arcs, 0, n - 1);
+            assert_eq!(flow, cut, "arcs = {arcs:?}");
+        }
+    }
+}

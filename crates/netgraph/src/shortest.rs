@@ -1,0 +1,229 @@
+//! Dijkstra shortest paths over the fiber map.
+//!
+//! Operational constraint OC3 of the paper requires DC-DC traffic to follow
+//! the *shortest available physical path* in every failure scenario, so the
+//! planner runs single-source Dijkstra from each DC for each scenario.
+//! Lengths are the graph's deterministically perturbed edge lengths, which
+//! makes shortest paths unique and the planner's output canonical.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct PathResult {
+    /// `dist[v]` — shortest distance (km) from the source, `f64::INFINITY`
+    /// if unreachable.
+    pub dist: Vec<f64>,
+    /// `prev_edge[v]` — the edge through which `v` is reached on its
+    /// shortest path, `None` for the source and unreachable nodes.
+    pub prev_edge: Vec<Option<EdgeId>>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+impl PathResult {
+    /// Reconstruct the node sequence of the shortest path to `target`,
+    /// starting at the source. Returns `None` if `target` is unreachable.
+    #[must_use]
+    pub fn path_nodes(&self, g: &Graph, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[target].is_finite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while let Some(e) = self.prev_edge[cur] {
+            cur = g.edge(e).other(cur);
+            nodes.push(cur);
+        }
+        debug_assert_eq!(cur, self.source);
+        nodes.reverse();
+        Some(nodes)
+    }
+
+    /// Reconstruct the edge sequence of the shortest path to `target`.
+    /// Returns `None` if `target` is unreachable, `Some(vec![])` if
+    /// `target == source`.
+    #[must_use]
+    pub fn path_edges(&self, g: &Graph, target: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.dist[target].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some(e) = self.prev_edge[cur] {
+            edges.push(e);
+            cur = g.edge(e).other(cur);
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Max-heap entry ordered by *smallest* distance first.
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the smallest distance.
+        // Tie-break on node id for full determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra from `source`, skipping edges for which
+/// `disabled[e]` is true (the current failure scenario) and using the
+/// graph's perturbed lengths so that shortest paths are unique.
+#[must_use]
+pub fn dijkstra(g: &Graph, source: NodeId, disabled: &[bool]) -> PathResult {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(e, v) in g.neighbors(u) {
+            if disabled.get(e).copied().unwrap_or(false) || v == u {
+                continue;
+            }
+            let nd = d + g.perturbed_length(e);
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev_edge[v] = Some(e);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    PathResult {
+        dist,
+        prev_edge,
+        source,
+    }
+}
+
+/// Convenience: the unique shortest path between `u` and `v` as an edge
+/// list, or `None` if disconnected under `disabled`.
+#[must_use]
+pub fn path_edges(g: &Graph, u: NodeId, v: NodeId, disabled: &[bool]) -> Option<Vec<EdgeId>> {
+    dijkstra(g, u, disabled).path_edges(g, v)
+}
+
+/// Sum of (unperturbed) kilometre lengths along a list of edges.
+#[must_use]
+pub fn path_length_km(g: &Graph, edges: &[EdgeId]) -> f64 {
+    edges.iter().map(|&e| g.edge(e).length_km).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 --1km-- 1 --1km-- 2
+    ///  \------3km--------/
+    fn detour_graph() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 3.0);
+        g
+    }
+
+    #[test]
+    fn shortest_takes_two_hop_route() {
+        let g = detour_graph();
+        let r = dijkstra(&g, 0, &[false; 3]);
+        assert!((r.dist[2] - 2.0).abs() < 1e-5);
+        assert_eq!(r.path_nodes(&g, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(r.path_edges(&g, 2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn failure_reroutes_to_direct_edge() {
+        let g = detour_graph();
+        let r = dijkstra(&g, 0, &[true, false, false]);
+        assert!((r.dist[2] - 3.0).abs() < 1e-5);
+        assert_eq!(r.path_edges(&g, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let r = dijkstra(&g, 0, &[false]);
+        assert!(r.dist[2].is_infinite());
+        assert!(r.path_nodes(&g, 2).is_none());
+        assert!(r.path_edges(&g, 2).is_none());
+    }
+
+    #[test]
+    fn path_to_source_is_empty() {
+        let g = detour_graph();
+        let r = dijkstra(&g, 1, &[false; 3]);
+        assert_eq!(r.path_edges(&g, 1).unwrap(), Vec::<EdgeId>::new());
+        assert_eq!(r.path_nodes(&g, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_edge_id() {
+        // Two parallel 5 km ducts: lower edge id wins via perturbation.
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1, 5.0);
+        let _e2 = g.add_edge(0, 1, 5.0);
+        let p = path_edges(&g, 0, 1, &[false, false]).unwrap();
+        assert_eq!(p, vec![e1]);
+    }
+
+    #[test]
+    fn path_length_sums_raw_lengths() {
+        let g = detour_graph();
+        let p = path_edges(&g, 0, 2, &[false; 3]).unwrap();
+        assert!((path_length_km(&g, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_on_grid_matches_manhattan() {
+        // 4x4 grid of unit edges; distance (0,0)->(3,3) is 6.
+        let side = 4;
+        let mut g = Graph::new(side * side);
+        for y in 0..side {
+            for x in 0..side {
+                let id = y * side + x;
+                if x + 1 < side {
+                    g.add_edge(id, id + 1, 1.0);
+                }
+                if y + 1 < side {
+                    g.add_edge(id, id + side, 1.0);
+                }
+            }
+        }
+        let disabled = vec![false; g.edge_count()];
+        let r = dijkstra(&g, 0, &disabled);
+        assert!((r.dist[side * side - 1] - 6.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Rate-adaptive coherent transceiver modes.
+//!
+//! The testbed's Acacia transceivers (§6.2) "support varying baud-rates,
+//! modulation formats, channel grid spacing, etc." — a coherent port can
+//! trade rate for reach by stepping down its modulation (16QAM → 8QAM →
+//! QPSK). The paper plans for the fixed 400ZR operating point, but a
+//! deployment can recover capacity on short paths and keep long paths
+//! alive at reduced rate; this module models that menu and is used by
+//! the rate-vs-distance ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating mode of a coherent transceiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransceiverMode {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Line rate, Gbps.
+    pub rate_gbps: f64,
+    /// Minimum OSNR at the receiver (dB, 0.1 nm).
+    pub min_osnr_db: f64,
+}
+
+/// The standard mode menu for a 400ZR-class DWDM port, fastest first.
+///
+/// OSNR requirements follow the usual ~3 dB per modulation step.
+pub const MODE_MENU: [TransceiverMode; 4] = [
+    TransceiverMode {
+        name: "400G-16QAM",
+        rate_gbps: 400.0,
+        min_osnr_db: 26.0,
+    },
+    TransceiverMode {
+        name: "300G-8QAM",
+        rate_gbps: 300.0,
+        min_osnr_db: 22.5,
+    },
+    TransceiverMode {
+        name: "200G-QPSK",
+        rate_gbps: 200.0,
+        min_osnr_db: 19.0,
+    },
+    TransceiverMode {
+        name: "100G-QPSK",
+        rate_gbps: 100.0,
+        min_osnr_db: 15.5,
+    },
+];
+
+/// The fastest mode whose OSNR requirement is met (with `margin_db` of
+/// headroom), or `None` if even the slowest mode cannot close the link.
+#[must_use]
+pub fn best_mode(osnr_db: f64, margin_db: f64) -> Option<TransceiverMode> {
+    MODE_MENU
+        .iter()
+        .find(|m| osnr_db >= m.min_osnr_db + margin_db)
+        .copied()
+}
+
+/// Deliverable rate over a path with `amplifiers` amplifiers (OSNR from
+/// the cascade model, 400ZR transmit OSNR), Gbps. Zero if unreachable.
+#[must_use]
+pub fn rate_for_cascade(amplifiers: usize, margin_db: f64) -> f64 {
+    let osnr =
+        crate::Transceiver::spec_400zr().tx_osnr_db - crate::osnr::cascade_penalty_default_db(amplifiers);
+    best_mode(osnr, margin_db).map_or(0.0, |m| m.rate_gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menu_is_ordered_fastest_first() {
+        for w in MODE_MENU.windows(2) {
+            assert!(w[0].rate_gbps > w[1].rate_gbps);
+            assert!(w[0].min_osnr_db > w[1].min_osnr_db);
+        }
+    }
+
+    #[test]
+    fn high_osnr_gets_full_rate() {
+        let m = best_mode(35.0, 1.5).unwrap();
+        assert_eq!(m.rate_gbps, 400.0);
+    }
+
+    #[test]
+    fn degraded_osnr_steps_down() {
+        let m = best_mode(24.0, 1.5).unwrap();
+        assert_eq!(m.name, "300G-8QAM".to_string());
+        let m = best_mode(17.5, 1.5).unwrap();
+        assert_eq!(m.rate_gbps, 100.0);
+    }
+
+    #[test]
+    fn hopeless_osnr_gets_nothing() {
+        assert!(best_mode(10.0, 1.5).is_none());
+    }
+
+    #[test]
+    fn margin_is_honored() {
+        // 26.5 dB closes 400G with 0.5 dB margin but not with 1.5 dB.
+        assert_eq!(best_mode(26.5, 0.5).unwrap().rate_gbps, 400.0);
+        assert_eq!(best_mode(26.5, 1.5).unwrap().rate_gbps, 300.0);
+    }
+
+    #[test]
+    fn paper_operating_point_carries_full_rate() {
+        // 3 amplifiers (TC2's limit): 37 - 9.27 = 27.7 dB OSNR -> with
+        // the 1.5 dB impairment margin, 400G still closes, which is why
+        // the paper can plan fixed-rate 400ZR everywhere.
+        assert_eq!(rate_for_cascade(3, crate::IMPAIRMENT_MARGIN_DB), 400.0);
+    }
+
+    #[test]
+    fn deep_cascades_degrade_gracefully() {
+        let mut prev = f64::INFINITY;
+        for amps in 1..50 {
+            let r = rate_for_cascade(amps, 1.5);
+            assert!(r <= prev);
+            prev = r;
+        }
+        // Penalty exceeds 20 dB (OSNR < 17 dB) past ~36 amplifiers.
+        assert_eq!(rate_for_cascade(40, 1.5), 0.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! End-to-end optical link budget evaluation (TC1–TC4).
+//!
+//! A DC-DC light path in Iris is a sequence of fiber spans, switching
+//! elements and amplifiers. The evaluator walks the path and checks the
+//! four technology constraints of §3.2:
+//!
+//! * **TC1** — no unamplified segment may lose more power than one
+//!   amplifier's gain restores (80 km of fiber at 0.25 dB/km for a 20 dB
+//!   EDFA), counting element insertion losses within the segment;
+//! * **TC2** — at most 3 amplifiers end-to-end (≤ 1 in-line), from the
+//!   cascaded-OSNR budget of [`crate::osnr`];
+//! * **TC4** — switching-element insertion loss within the 10 dB
+//!   reconfiguration budget (≤ 6 OSS or ≤ 1 OXC traversals);
+//! * **OC1** — total fiber length within the 120 km latency SLA.
+//!
+//! TC3 (amplifier power management) is a *design* property — fixed gains,
+//! input power limiters and full-spectrum ASE filling — handled by the
+//! control-plane crate; it does not constrain path shape.
+
+use crate::components::{Amplifier, FiberSpan, SwitchElement};
+use serde::{Deserialize, Serialize};
+
+/// One element of an end-to-end optical path, in travel order.
+///
+/// Terminal amplifiers at the sending and receiving DCs are included as
+/// explicit `Amplifier` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathElement {
+    /// A run of fiber.
+    Fiber(FiberSpan),
+    /// A switching element traversal.
+    Switch(SwitchElement),
+    /// An amplification point.
+    Amp(Amplifier),
+}
+
+impl PathElement {
+    /// Convenience constructor for a standard-loss fiber span.
+    #[must_use]
+    pub fn fiber_km(length_km: f64) -> Self {
+        PathElement::Fiber(FiberSpan::new(length_km))
+    }
+
+    /// Convenience constructor for a default EDFA.
+    #[must_use]
+    pub fn default_amp() -> Self {
+        PathElement::Amp(Amplifier::default())
+    }
+}
+
+/// Why a path fails its budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BudgetViolation {
+    /// An unamplified segment loses more than one amplifier can restore.
+    SegmentLossExceeded {
+        /// Index of the segment (0 = from the sending DC).
+        segment: usize,
+        /// Accumulated loss of the segment, dB.
+        loss_db: f64,
+        /// The allowed maximum, dB.
+        limit_db: f64,
+    },
+    /// More amplifiers than the OSNR cascade budget admits (TC2).
+    TooManyAmplifiers {
+        /// Amplifier count found on the path.
+        count: usize,
+        /// Maximum permitted end-to-end.
+        limit: usize,
+    },
+    /// Switching insertion loss exceeds the reconfiguration budget (TC4).
+    SwitchLossExceeded {
+        /// Total switching loss, dB.
+        loss_db: f64,
+        /// The 10 dB budget.
+        limit_db: f64,
+    },
+    /// Total fiber distance breaks the latency SLA (OC1).
+    PathTooLong {
+        /// Total fiber length, km.
+        length_km: f64,
+        /// The SLA limit, km.
+        limit_km: f64,
+    },
+}
+
+impl std::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetViolation::SegmentLossExceeded {
+                segment,
+                loss_db,
+                limit_db,
+            } => write!(
+                f,
+                "segment {segment} loses {loss_db:.1} dB, exceeding the {limit_db:.1} dB amplifier gain (TC1)"
+            ),
+            BudgetViolation::TooManyAmplifiers { count, limit } => write!(
+                f,
+                "{count} amplifiers on path, OSNR cascade budget admits {limit} (TC2)"
+            ),
+            BudgetViolation::SwitchLossExceeded { loss_db, limit_db } => write!(
+                f,
+                "switching loss {loss_db:.1} dB exceeds the {limit_db:.1} dB reconfiguration budget (TC4)"
+            ),
+            BudgetViolation::PathTooLong {
+                length_km,
+                limit_km,
+            } => write!(
+                f,
+                "path length {length_km:.1} km exceeds the {limit_km:.1} km latency SLA (OC1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetViolation {}
+
+/// Summary of a path that passed its budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetReport {
+    /// Total fiber length, km.
+    pub total_km: f64,
+    /// Number of amplifiers (terminal + in-line).
+    pub amplifier_count: usize,
+    /// Total switching-element insertion loss, dB.
+    pub switch_loss_db: f64,
+    /// OSNR penalty of the amplifier cascade, dB.
+    pub osnr_penalty_db: f64,
+    /// Worst unamplified-segment loss, dB.
+    pub worst_segment_loss_db: f64,
+    /// One-way propagation delay contribution, ms.
+    pub propagation_ms: f64,
+}
+
+/// Evaluate an end-to-end path against TC1/TC2/TC4 and OC1.
+///
+/// Returns the budget summary, or the *first* violated constraint in the
+/// order TC1 (per segment, in travel order), TC2, TC4, OC1.
+///
+/// # Examples
+///
+/// ```
+/// use iris_optics::{evaluate_path, PathElement, SwitchElement};
+/// // Booster -> 60 km -> hut OSS + in-line amp -> 55 km -> pre-amp:
+/// // a valid 115 km Iris light path.
+/// let path = [
+///     PathElement::default_amp(),
+///     PathElement::fiber_km(60.0),
+///     PathElement::Switch(SwitchElement::Oss),
+///     PathElement::default_amp(),
+///     PathElement::fiber_km(55.0),
+///     PathElement::default_amp(),
+/// ];
+/// let report = evaluate_path(&path).expect("within budget");
+/// assert_eq!(report.amplifier_count, 3);
+/// assert!(report.total_km <= 120.0);
+///
+/// // 100 km with no in-line amplification violates TC1.
+/// let too_far = [
+///     PathElement::default_amp(),
+///     PathElement::fiber_km(100.0),
+///     PathElement::default_amp(),
+/// ];
+/// assert!(evaluate_path(&too_far).is_err());
+/// ```
+pub fn evaluate_path(elements: &[PathElement]) -> Result<BudgetReport, BudgetViolation> {
+    let mut total_km = 0.0f64;
+    let mut amp_count = 0usize;
+    let mut switch_loss = 0.0f64;
+    let mut segment_loss = 0.0f64;
+    let mut worst_segment = 0.0f64;
+    let mut segment_index = 0usize;
+    let limit_db = crate::AMPLIFIER_GAIN_DB;
+
+    for el in elements {
+        match el {
+            PathElement::Fiber(span) => {
+                total_km += span.length_km;
+                segment_loss += span.loss_db();
+            }
+            PathElement::Switch(sw) => {
+                switch_loss += sw.loss_db();
+                segment_loss += sw.loss_db();
+            }
+            PathElement::Amp(_) => {
+                if segment_loss > limit_db + 1e-9 {
+                    return Err(BudgetViolation::SegmentLossExceeded {
+                        segment: segment_index,
+                        loss_db: segment_loss,
+                        limit_db,
+                    });
+                }
+                worst_segment = worst_segment.max(segment_loss);
+                segment_loss = 0.0;
+                segment_index += 1;
+                amp_count += 1;
+            }
+        }
+    }
+    // Final segment (to the receiving transceiver after the last amp).
+    if segment_loss > limit_db + 1e-9 {
+        return Err(BudgetViolation::SegmentLossExceeded {
+            segment: segment_index,
+            loss_db: segment_loss,
+            limit_db,
+        });
+    }
+    worst_segment = worst_segment.max(segment_loss);
+
+    if amp_count > crate::MAX_AMPLIFIERS_PER_PATH {
+        return Err(BudgetViolation::TooManyAmplifiers {
+            count: amp_count,
+            limit: crate::MAX_AMPLIFIERS_PER_PATH,
+        });
+    }
+    if switch_loss > crate::RECONFIG_LOSS_BUDGET_DB + 1e-9 {
+        return Err(BudgetViolation::SwitchLossExceeded {
+            loss_db: switch_loss,
+            limit_db: crate::RECONFIG_LOSS_BUDGET_DB,
+        });
+    }
+    if total_km > crate::MAX_PATH_KM + 1e-9 {
+        return Err(BudgetViolation::PathTooLong {
+            length_km: total_km,
+            limit_km: crate::MAX_PATH_KM,
+        });
+    }
+
+    Ok(BudgetReport {
+        total_km,
+        amplifier_count: amp_count,
+        switch_loss_db: switch_loss,
+        osnr_penalty_db: crate::osnr::cascade_penalty_default_db(amp_count),
+        worst_segment_loss_db: worst_segment,
+        propagation_ms: total_km / 200.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp() -> PathElement {
+        PathElement::default_amp()
+    }
+
+    fn fiber(km: f64) -> PathElement {
+        PathElement::fiber_km(km)
+    }
+
+    fn oss() -> PathElement {
+        PathElement::Switch(SwitchElement::Oss)
+    }
+
+    #[test]
+    fn simple_80km_link_passes() {
+        // Fig. 8's canonical point-to-point link: amp, 80 km, amp.
+        let r = evaluate_path(&[amp(), fiber(80.0), amp()]).unwrap();
+        assert_eq!(r.amplifier_count, 2);
+        assert!((r.total_km - 80.0).abs() < 1e-12);
+        assert!((r.worst_segment_loss_db - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unamplified_100km_fails_tc1() {
+        let e = evaluate_path(&[amp(), fiber(100.0), amp()]).unwrap_err();
+        assert!(matches!(e, BudgetViolation::SegmentLossExceeded { .. }));
+    }
+
+    #[test]
+    fn inline_amp_extends_reach_to_120km() {
+        // TC2: one extra in-line amplifier reaches 120 km.
+        let r = evaluate_path(&[amp(), fiber(60.0), amp(), fiber(60.0), amp()]).unwrap();
+        assert_eq!(r.amplifier_count, 3);
+        assert!((r.total_km - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_amplifiers_fail_tc2() {
+        let e = evaluate_path(&[
+            amp(),
+            fiber(40.0),
+            amp(),
+            fiber(40.0),
+            amp(),
+            fiber(40.0),
+            amp(),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            e,
+            BudgetViolation::TooManyAmplifiers {
+                count: 4,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn six_oss_hops_pass_seven_fail() {
+        let mut ok: Vec<PathElement> = vec![amp()];
+        for _ in 0..6 {
+            ok.push(oss());
+            ok.push(fiber(5.0));
+        }
+        ok.push(amp());
+        let r = evaluate_path(&ok).unwrap();
+        assert!((r.switch_loss_db - 9.0).abs() < 1e-12);
+
+        let mut bad: Vec<PathElement> = vec![amp()];
+        for _ in 0..7 {
+            bad.push(oss());
+            bad.push(fiber(5.0));
+        }
+        bad.push(amp());
+        let e = evaluate_path(&bad).unwrap_err();
+        assert!(matches!(e, BudgetViolation::SwitchLossExceeded { .. }));
+    }
+
+    #[test]
+    fn one_oxc_passes_two_fail() {
+        let ok = [amp(), PathElement::Switch(SwitchElement::Oxc), fiber(10.0), amp()];
+        assert!(evaluate_path(&ok).is_ok());
+        // 4 km keeps the segment within TC1 (9 + 1 + 9 = 19 dB < 20 dB)
+        // so the TC4 switch-loss check is the one that fires.
+        let bad = [
+            amp(),
+            PathElement::Switch(SwitchElement::Oxc),
+            fiber(4.0),
+            PathElement::Switch(SwitchElement::Oxc),
+            amp(),
+        ];
+        assert!(matches!(
+            evaluate_path(&bad),
+            Err(BudgetViolation::SwitchLossExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn path_over_120km_fails_oc1() {
+        let e = evaluate_path(&[amp(), fiber(70.0), amp(), fiber(70.0), amp()]).unwrap_err();
+        assert!(matches!(e, BudgetViolation::PathTooLong { .. }));
+    }
+
+    #[test]
+    fn switch_loss_counts_toward_segment_budget() {
+        // 75 km of fiber (18.75 dB) + an OSS (1.5 dB) = 20.25 dB > 20 dB.
+        let e = evaluate_path(&[amp(), fiber(75.0), oss(), amp()]).unwrap_err();
+        assert!(matches!(e, BudgetViolation::SegmentLossExceeded { .. }));
+        // 70 km + OSS = 19 dB: fine.
+        assert!(evaluate_path(&[amp(), fiber(70.0), oss(), amp()]).is_ok());
+    }
+
+    #[test]
+    fn report_propagation_delay() {
+        let r = evaluate_path(&[amp(), fiber(60.0), amp(), fiber(60.0), amp()]).unwrap();
+        assert!(matches!(r, BudgetReport { .. }));
+        // 120 km at 200 km/ms one-way.
+        assert!((r.propagation_ms - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let e = evaluate_path(&[amp(), fiber(100.0), amp()]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("TC1"), "{msg}");
+    }
+
+    #[test]
+    fn empty_path_is_trivially_fine() {
+        let r = evaluate_path(&[]).unwrap();
+        assert_eq!(r.amplifier_count, 0);
+        assert_eq!(r.total_km, 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Models of the optical components Iris assembles (§5.1, Fig. 11/13).
+//!
+//! Each component is a small value type exposing the quantities the budget
+//! evaluator needs: insertion loss, gain, and noise contribution. Defaults
+//! come from the paper's testbed hardware (Ciena EDFAs, Polatis OSSes,
+//! Finisar WSSes, Acacia 400ZR-class transceivers).
+
+use serde::{Deserialize, Serialize};
+
+/// A run of single-mode fiber.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiberSpan {
+    /// Length in kilometres.
+    pub length_km: f64,
+    /// Attenuation, dB per km.
+    pub loss_db_per_km: f64,
+}
+
+impl FiberSpan {
+    /// A span of `length_km` with the paper's standard 0.25 dB/km loss.
+    #[must_use]
+    pub fn new(length_km: f64) -> Self {
+        Self {
+            length_km,
+            loss_db_per_km: crate::FIBER_LOSS_DB_PER_KM,
+        }
+    }
+
+    /// Total attenuation of the span, dB.
+    #[must_use]
+    pub fn loss_db(&self) -> f64 {
+        self.length_km * self.loss_db_per_km
+    }
+}
+
+/// An erbium-doped fiber amplifier operated at fixed gain (§5.1).
+///
+/// Iris deliberately runs every amplifier at a fixed gain with a power
+/// limiter on its input, so that reconfigurations never require
+/// region-wide synchronized gain adjustment (TC3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Amplifier {
+    /// Fixed gain, dB.
+    pub gain_db: f64,
+    /// Noise figure, dB.
+    pub noise_figure_db: f64,
+    /// Maximum input power accepted by the preceding power limiter, dBm.
+    pub input_limit_dbm: f64,
+}
+
+impl Default for Amplifier {
+    fn default() -> Self {
+        Self {
+            gain_db: crate::AMPLIFIER_GAIN_DB,
+            noise_figure_db: crate::AMPLIFIER_NOISE_FIGURE_DB,
+            input_limit_dbm: -3.0,
+        }
+    }
+}
+
+/// A reconfigurable switching element on the optical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchElement {
+    /// Optical space switch — whole-fiber granularity, ~1.5 dB loss.
+    Oss,
+    /// Optical cross-connect — wavelength granularity (demux + OSS + mux),
+    /// ~9 dB loss.
+    Oxc,
+    /// A mux or demux stage at a DC edge (wavelengths into/out of fiber).
+    MuxDemux,
+}
+
+impl SwitchElement {
+    /// Insertion loss of one traversal, dB.
+    #[must_use]
+    pub fn loss_db(&self) -> f64 {
+        match self {
+            SwitchElement::Oss => crate::OSS_LOSS_DB,
+            SwitchElement::Oxc => crate::OXC_LOSS_DB,
+            SwitchElement::MuxDemux => 3.0,
+        }
+    }
+
+    /// Reconfiguration actuation time, ms.
+    #[must_use]
+    pub fn switch_time_ms(&self) -> f64 {
+        match self {
+            SwitchElement::Oss => crate::OSS_SWITCH_TIME_MS,
+            SwitchElement::Oxc => crate::OSS_SWITCH_TIME_MS,
+            SwitchElement::MuxDemux => 0.0,
+        }
+    }
+}
+
+/// A coherent DWDM transceiver specification (400ZR-class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transceiver {
+    /// Line rate, Gbps.
+    pub rate_gbps: f64,
+    /// Transmit output power, dBm.
+    pub tx_power_dbm: f64,
+    /// Minimum received power, dBm.
+    pub rx_sensitivity_dbm: f64,
+    /// Minimum required OSNR at the receiver, dB (0.1 nm reference).
+    pub min_osnr_db: f64,
+    /// Back-to-back OSNR of the transmitted signal, dB.
+    pub tx_osnr_db: f64,
+}
+
+impl Transceiver {
+    /// The 400ZR specification used throughout the paper (Fig. 8):
+    /// 400 Gbps DP-16QAM, 11 dB of tolerable OSNR degradation.
+    #[must_use]
+    pub fn spec_400zr() -> Self {
+        Self {
+            rate_gbps: 400.0,
+            tx_power_dbm: -10.0,
+            rx_sensitivity_dbm: -12.0,
+            min_osnr_db: 26.0,
+            tx_osnr_db: 37.0,
+        }
+    }
+
+    /// Today's 100G DWDM switch-pluggable equivalent (§3.3).
+    #[must_use]
+    pub fn spec_100g() -> Self {
+        Self {
+            rate_gbps: 100.0,
+            tx_power_dbm: -6.0,
+            rx_sensitivity_dbm: -14.0,
+            min_osnr_db: 21.0,
+            tx_osnr_db: 35.0,
+        }
+    }
+
+    /// OSNR degradation the transceiver tolerates end-to-end, dB.
+    #[must_use]
+    pub fn osnr_penalty_tolerance_db(&self) -> f64 {
+        self.tx_osnr_db - self.min_osnr_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_loss_scales_with_length() {
+        let s = FiberSpan::new(80.0);
+        assert!((s.loss_db() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eighty_km_span_exactly_matches_default_gain() {
+        let s = FiberSpan::new(crate::MAX_UNAMPLIFIED_SPAN_KM);
+        let a = Amplifier::default();
+        assert!((s.loss_db() - a.gain_db).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_losses_match_paper() {
+        assert_eq!(SwitchElement::Oss.loss_db(), 1.5);
+        assert_eq!(SwitchElement::Oxc.loss_db(), 9.0);
+    }
+
+    #[test]
+    fn zr400_tolerates_11db_osnr_penalty() {
+        let t = Transceiver::spec_400zr();
+        assert!((t.osnr_penalty_tolerance_db() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oss_switching_is_tens_of_ms() {
+        assert!((SwitchElement::Oss.switch_time_ms() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Decibel arithmetic helpers.
+//!
+//! Optical budgets mix three unit families: relative gains/losses in dB,
+//! absolute powers in dBm (dB referenced to 1 mW), and linear powers in mW.
+//! Keeping the conversions in one well-tested module avoids the classic
+//! factor-of-10 and log-base slips.
+
+/// Convert a linear power ratio to decibels.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not strictly positive.
+#[must_use]
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "power ratio must be positive");
+    10.0 * ratio.log10()
+}
+
+/// Convert decibels to a linear power ratio.
+#[must_use]
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert absolute power in milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not strictly positive.
+#[must_use]
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive");
+    10.0 * mw.log10()
+}
+
+/// Convert dBm to absolute power in milliwatts.
+#[must_use]
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Sum two absolute powers expressed in dBm (linear-domain addition).
+///
+/// Useful when combining live channels with ASE filler noise.
+#[must_use]
+pub fn dbm_add(a_dbm: f64, b_dbm: f64) -> f64 {
+    mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((mw_to_dbm(1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_db_is_factor_two() {
+        assert!((db_to_ratio(3.0103) - 2.0).abs() < 1e-4);
+        assert!((ratio_to_db(2.0) - 3.0103).abs() < 1e-4);
+    }
+
+    #[test]
+    fn round_trips() {
+        for &db in &[-30.0, -3.0, 0.0, 0.1, 17.5] {
+            assert!((ratio_to_db(db_to_ratio(db)) - db).abs() < 1e-9);
+            assert!((mw_to_dbm(dbm_to_mw(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adding_equal_powers_gains_3db() {
+        let sum = dbm_add(-10.0, -10.0);
+        assert!((sum - (-10.0 + 3.0103)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adding_much_weaker_power_changes_little() {
+        let sum = dbm_add(0.0, -30.0);
+        assert!(sum - 0.0 < 0.01);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn negative_ratio_panics() {
+        let _ = ratio_to_db(-1.0);
+    }
+}

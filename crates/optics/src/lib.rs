@@ -1,0 +1,127 @@
+//! Physical-layer models for regional data-center interconnects.
+//!
+//! Iris (SIGCOMM'20) keeps traffic entirely in the optical domain between
+//! source and destination DCs, which makes the *physical* layer — optical
+//! power and signal-to-noise budgets — a first-class planning constraint.
+//! This crate models the components and budgets the paper measures on its
+//! testbed (§3.2, §6.2, Appendix C):
+//!
+//! * [`db`] — decibel arithmetic (dB, dBm, mW);
+//! * [`components`] — fiber spans, EDFAs, OSS/OXC/WSS switching elements
+//!   and the 400ZR transceiver specification;
+//! * [`osnr`] — the cascaded-amplifier OSNR penalty model validated by the
+//!   paper's testbed (Fig. 9): the first amplifier costs its noise figure
+//!   (~4.5 dB) and each doubling of the cascade costs ~3 dB more;
+//! * [`budget`] — end-to-end link budget evaluation enforcing the
+//!   technology constraints TC1–TC4;
+//! * [`ber`] — a pre-FEC bit-error-rate model for DP-16QAM used to
+//!   reproduce the reconfiguration transients of Fig. 14.
+//!
+//! All models are closed-form and deterministic; the constants are the
+//! paper's measured/specified values and are exported as named constants
+//! so experiments and tests can reference them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod ber;
+pub mod budget;
+pub mod components;
+pub mod db;
+pub mod osnr;
+pub mod spectrum;
+
+pub use budget::{evaluate_path, BudgetReport, BudgetViolation, PathElement};
+pub use components::{Amplifier, FiberSpan, SwitchElement, Transceiver};
+pub use osnr::{cascade_penalty_db, max_amplifiers_within_budget};
+
+/// Fiber attenuation used throughout the paper: 0.25 dB/km (§3.2, TC1).
+pub const FIBER_LOSS_DB_PER_KM: f64 = 0.25;
+
+/// Typical EDFA gain: 20 dB (§3.2, TC1).
+pub const AMPLIFIER_GAIN_DB: f64 = 20.0;
+
+/// EDFA noise figure measured on the testbed: ~4.5 dB (§3.2, TC2).
+pub const AMPLIFIER_NOISE_FIGURE_DB: f64 = 4.5;
+
+/// Maximum unamplified DC-DC link distance (TC1): `gain / loss` = 80 km.
+pub const MAX_UNAMPLIFIED_SPAN_KM: f64 = AMPLIFIER_GAIN_DB / FIBER_LOSS_DB_PER_KM;
+
+/// Maximum DC-DC fiber distance permitted by the latency SLA (OC1): 120 km.
+pub const MAX_PATH_KM: f64 = 120.0;
+
+/// Tolerable end-to-end OSNR penalty for 400ZR between sites: 11 dB (§3.2).
+pub const OSNR_PENALTY_TOLERANCE_DB: f64 = 11.0;
+
+/// Margin reserved for transmission impairments and amplifier gain ripple
+/// ("an additional couple of dBs", §3.2). 1.5 dB yields the paper's
+/// amplifier budget of ~9 dB and a 3-amplifier end-to-end limit.
+pub const IMPAIRMENT_MARGIN_DB: f64 = 1.5;
+
+/// The amplifier OSNR budget after margin: ~9.5 dB, admitting at most
+/// [`MAX_AMPLIFIERS_PER_PATH`] amplifiers end-to-end (Fig. 9).
+pub const AMPLIFIER_OSNR_BUDGET_DB: f64 = OSNR_PENALTY_TOLERANCE_DB - IMPAIRMENT_MARGIN_DB;
+
+/// Maximum amplifiers on any end-to-end path (TC2): two terminal
+/// amplifiers plus at most one in-line.
+pub const MAX_AMPLIFIERS_PER_PATH: usize = 3;
+
+/// Maximum in-line (non-terminal) amplifiers on a path (TC2).
+pub const MAX_INLINE_AMPLIFIERS: usize = 1;
+
+/// Power budget available for optical reconfiguration elements on a
+/// maximum-length path (TC4): 40 dB total minus 30 dB of fiber loss.
+pub const RECONFIG_LOSS_BUDGET_DB: f64 = 10.0;
+
+/// Insertion loss of an optical space switch traversal: 1.5 dB (TC4).
+pub const OSS_LOSS_DB: f64 = 1.5;
+
+/// Insertion loss of an optical cross-connect traversal: 9 dB (TC4).
+pub const OXC_LOSS_DB: f64 = 9.0;
+
+/// Maximum OSS traversals on a path (TC4): `10 dB / 1.5 dB` = 6.
+pub const MAX_OSS_HOPS: usize = 6;
+
+/// Maximum OXC traversals on a path (TC4): `10 dB / 9 dB` = 1.
+pub const MAX_OXC_HOPS: usize = 1;
+
+/// Soft-decision FEC pre-FEC BER threshold for 400ZR: 2e-2 (§6.2).
+pub const SD_FEC_THRESHOLD: f64 = 2e-2;
+
+/// Optical space switch reconfiguration time (state of the art, §5.2).
+pub const OSS_SWITCH_TIME_MS: f64 = 20.0;
+
+/// Tunable transceiver wavelength switch time (§5.2): < 1 ms.
+pub const TRANSCEIVER_TUNE_TIME_MS: f64 = 1.0;
+
+/// Amplifier gain settling for unused amplifiers (§5.2): < 2 ms.
+pub const AMPLIFIER_SETTLE_TIME_MS: f64 = 2.0;
+
+/// End-to-end signal recovery time measured on the testbed after a
+/// single-hut reconfiguration (Fig. 14): 50 ms.
+pub const RECOVERY_TIME_SINGLE_HUT_MS: f64 = 50.0;
+
+/// Recovery time across two independent huts (§6.2): 70 ms.
+pub const RECOVERY_TIME_TWO_HUT_MS: f64 = 70.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tc1_span_limit_is_80km() {
+        assert!((MAX_UNAMPLIFIED_SPAN_KM - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tc4_budgets_match_paper() {
+        assert_eq!(MAX_OSS_HOPS, (RECONFIG_LOSS_BUDGET_DB / OSS_LOSS_DB) as usize);
+        assert_eq!(MAX_OXC_HOPS, (RECONFIG_LOSS_BUDGET_DB / OXC_LOSS_DB) as usize);
+    }
+
+    #[test]
+    fn amplifier_budget_is_roughly_9db() {
+        assert!((AMPLIFIER_OSNR_BUDGET_DB - 9.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cascaded-amplifier OSNR penalty (the model behind Fig. 9).
+//!
+//! The paper measures, and classical theory (Koch; Essiambre et al.)
+//! predicts, that amplified spontaneous emission accumulates linearly with
+//! the number of equal-gain amplifiers in a cascade: the first amplifier
+//! degrades OSNR by its noise figure (~4.5 dB) and every *doubling* of the
+//! cascade costs a further ~3 dB, i.e.
+//!
+//! ```text
+//!   penalty(N) = NF + 10·log10(N)  dB
+//! ```
+//!
+//! With 400ZR's 11 dB end-to-end tolerance and ~1.5 dB of impairment
+//! margin, the usable amplifier budget is ~9.5 dB — at most **three**
+//! amplifiers end-to-end, hence at most one in-line amplifier between the
+//! two terminal ones (TC2).
+
+/// OSNR penalty in dB of a cascade of `n` equal-gain amplifiers with noise
+/// figure `noise_figure_db`. Zero amplifiers cost nothing.
+#[must_use]
+pub fn cascade_penalty_db(n: usize, noise_figure_db: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    noise_figure_db + 10.0 * (n as f64).log10()
+}
+
+/// OSNR penalty using the paper's measured noise figure.
+#[must_use]
+pub fn cascade_penalty_default_db(n: usize) -> f64 {
+    cascade_penalty_db(n, crate::AMPLIFIER_NOISE_FIGURE_DB)
+}
+
+/// The largest amplifier cascade whose penalty fits within `budget_db`.
+#[must_use]
+pub fn max_amplifiers_within_budget(budget_db: f64, noise_figure_db: f64) -> usize {
+    let mut n = 0usize;
+    while cascade_penalty_db(n + 1, noise_figure_db) <= budget_db {
+        n += 1;
+        if n > 1_000 {
+            break; // guard against absurd budgets
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AMPLIFIER_NOISE_FIGURE_DB, AMPLIFIER_OSNR_BUDGET_DB};
+
+    #[test]
+    fn zero_amplifiers_no_penalty() {
+        assert_eq!(cascade_penalty_db(0, 4.5), 0.0);
+    }
+
+    #[test]
+    fn first_amplifier_costs_noise_figure() {
+        assert!((cascade_penalty_default_db(1) - AMPLIFIER_NOISE_FIGURE_DB).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_costs_three_db() {
+        // Fig. 9's headline observation.
+        for &n in &[1usize, 2, 4] {
+            let d = cascade_penalty_default_db(2 * n) - cascade_penalty_default_db(n);
+            assert!((d - 3.0103).abs() < 1e-3, "doubling {n} cost {d}");
+        }
+    }
+
+    #[test]
+    fn penalty_is_monotone() {
+        for n in 1..16 {
+            assert!(cascade_penalty_default_db(n + 1) > cascade_penalty_default_db(n));
+        }
+    }
+
+    #[test]
+    fn budget_admits_exactly_three_amplifiers() {
+        // §3.2: "a maximum amplifier-count of 3 end-to-end".
+        let max = max_amplifiers_within_budget(AMPLIFIER_OSNR_BUDGET_DB, AMPLIFIER_NOISE_FIGURE_DB);
+        assert_eq!(max, crate::MAX_AMPLIFIERS_PER_PATH);
+    }
+
+    #[test]
+    fn eleven_db_budget_without_margin_admits_four() {
+        let max = max_amplifiers_within_budget(11.0, 4.5);
+        assert_eq!(max, 4);
+    }
+
+    #[test]
+    fn tiny_budget_admits_none() {
+        assert_eq!(max_amplifiers_within_budget(4.0, 4.5), 0);
+    }
+
+    #[test]
+    fn fig9_series_shape() {
+        // Reconstruct Fig. 9's x = 1..8 series and check endpoints.
+        let series: Vec<f64> = (1..=8).map(cascade_penalty_default_db).collect();
+        assert!((series[0] - 4.5).abs() < 1e-12);
+        assert!((series[7] - (4.5 + 9.03)).abs() < 0.01); // 8 = 2^3 → +9 dB
+    }
+}

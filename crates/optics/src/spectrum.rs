@@ -1,0 +1,131 @@
+//! The C-band DWDM spectral grid.
+//!
+//! Iris fills each fiber's full C-band — 40 channels at 100 GHz spacing
+//! or 64 at 75 GHz (§3.2: "40-64 optical signals at different
+//! wavelengths... covering the C-band") — with live signals plus ASE
+//! filler, so every amplifier sees the same total power regardless of
+//! how many channels carry data (TC3). This module maps channel indices
+//! to ITU-grid frequencies/wavelengths and audits spectrum occupancy.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light, m/s.
+const C_M_PER_S: f64 = 299_792_458.0;
+
+/// The ITU C-band anchor frequency, THz (channel 0 of this grid).
+pub const C_BAND_START_THZ: f64 = 191.35;
+
+/// Upper edge of the C-band, THz.
+pub const C_BAND_END_THZ: f64 = 196.10;
+
+/// A fixed DWDM channel grid over the C-band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelGrid {
+    /// Number of channels.
+    pub channels: u32,
+    /// Channel spacing, GHz.
+    pub spacing_ghz: u32,
+}
+
+impl ChannelGrid {
+    /// The 40-channel, 100 GHz grid (today's 100G deployments).
+    pub const WIDE: ChannelGrid = ChannelGrid {
+        channels: 40,
+        spacing_ghz: 100,
+    };
+
+    /// The 64-channel, 75 GHz grid (400ZR-era).
+    pub const DENSE: ChannelGrid = ChannelGrid {
+        channels: 64,
+        spacing_ghz: 75,
+    };
+
+    /// The grid matching a wavelengths-per-fiber figure, if standard.
+    #[must_use]
+    pub fn for_lambda(lambda: u32) -> Option<ChannelGrid> {
+        match lambda {
+            40 => Some(Self::WIDE),
+            64 => Some(Self::DENSE),
+            _ => None,
+        }
+    }
+
+    /// Center frequency of `channel`, THz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is out of range.
+    #[must_use]
+    pub fn frequency_thz(&self, channel: u32) -> f64 {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        C_BAND_START_THZ + f64::from(channel) * f64::from(self.spacing_ghz) / 1000.0
+    }
+
+    /// Center wavelength of `channel`, nm.
+    #[must_use]
+    pub fn wavelength_nm(&self, channel: u32) -> f64 {
+        C_M_PER_S / (self.frequency_thz(channel) * 1e12) * 1e9
+    }
+
+    /// Total occupied spectrum, GHz.
+    #[must_use]
+    pub fn occupied_ghz(&self) -> f64 {
+        f64::from(self.channels) * f64::from(self.spacing_ghz)
+    }
+
+    /// Whether the whole grid fits inside the C-band.
+    #[must_use]
+    pub fn fits_c_band(&self) -> bool {
+        self.frequency_thz(self.channels - 1) <= C_BAND_END_THZ + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grids_fit_the_c_band() {
+        assert!(ChannelGrid::WIDE.fits_c_band());
+        assert!(ChannelGrid::DENSE.fits_c_band());
+        // 40 x 100 GHz = 4 THz; 64 x 75 GHz = 4.8 THz — the C-band's
+        // ~4.75 THz of usable width with the last channel at the edge.
+        assert_eq!(ChannelGrid::WIDE.occupied_ghz(), 4000.0);
+        assert_eq!(ChannelGrid::DENSE.occupied_ghz(), 4800.0);
+    }
+
+    #[test]
+    fn frequencies_ascend_by_spacing() {
+        let g = ChannelGrid::DENSE;
+        for c in 0..g.channels - 1 {
+            let step = g.frequency_thz(c + 1) - g.frequency_thz(c);
+            assert!((step - 0.075).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wavelengths_are_around_1550nm() {
+        for grid in [ChannelGrid::WIDE, ChannelGrid::DENSE] {
+            for c in [0, grid.channels - 1] {
+                let nm = grid.wavelength_nm(c);
+                assert!((1520.0..=1570.0).contains(&nm), "{nm} nm");
+            }
+        }
+        // Higher frequency = shorter wavelength.
+        let g = ChannelGrid::WIDE;
+        assert!(g.wavelength_nm(39) < g.wavelength_nm(0));
+    }
+
+    #[test]
+    fn lambda_lookup() {
+        assert_eq!(ChannelGrid::for_lambda(40), Some(ChannelGrid::WIDE));
+        assert_eq!(ChannelGrid::for_lambda(64), Some(ChannelGrid::DENSE));
+        assert_eq!(ChannelGrid::for_lambda(80), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_channel_panics() {
+        let _ = ChannelGrid::WIDE.frequency_thz(40);
+    }
+}

@@ -1,0 +1,289 @@
+//! Algorithm 2 — greedy in-line amplifier placement (Appendix A).
+//!
+//! Some DC-DC light paths lose more power than the terminal amplifier
+//! pair can restore (long fiber runs, many OSS traversals). Iris fixes
+//! them with at most **one** in-line amplifier per path (TC2), placed at a
+//! hut or transited DC. Since one EDFA amplifies one fiber, a location
+//! needs as many amplifiers as the worst-case number of fibers amplified
+//! there simultaneously — a hose-model quantity, computed exactly like
+//! duct capacities.
+//!
+//! The heuristic scores each candidate location by *constraints resolved
+//! per new amplifier* and places greedily until every path in every
+//! failure scenario is covered, accumulating placements across scenarios
+//! (amplifiers installed for one scenario are reused by others).
+
+use crate::goals::DesignGoals;
+use crate::paths::{scenario_paths, DcPath};
+use iris_fibermap::Region;
+use iris_netgraph::{hose, FailureScenarios, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of amplifier placement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AmpPlacement {
+    /// Amplifiers installed per node (each amplifies one fiber).
+    pub amps_per_node: BTreeMap<NodeId, u32>,
+    /// Paths (as DC index pairs, with the exhibiting scenario) for which
+    /// no single interior amplifier location can satisfy the budget; the
+    /// cut-through stage must reduce their switching loss first.
+    pub unresolved: Vec<UnresolvedPath>,
+}
+
+/// A path Algorithm 2 could not fix on its own.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnresolvedPath {
+    /// DC index pair.
+    pub pair: (usize, usize),
+    /// The failure scenario in which the problem appeared.
+    pub scenario: Vec<usize>,
+}
+
+impl AmpPlacement {
+    /// Total number of amplifiers installed.
+    #[must_use]
+    pub fn total_amps(&self) -> u64 {
+        self.amps_per_node.values().map(|&a| u64::from(a)).sum()
+    }
+
+    /// Interior amplifier locations available on `path` (indices into
+    /// `path.nodes` whose split leaves both segments within budget).
+    ///
+    /// If no split fits with OSS insertion losses included, fall back to
+    /// fiber-only feasibility: the cut-through stage can always splice
+    /// away the switching losses afterwards, but nothing can shorten the
+    /// fiber itself.
+    #[must_use]
+    pub fn feasible_splits(region: &Region, _goals: &DesignGoals, path: &DcPath) -> Vec<usize> {
+        let budget = iris_optics::AMPLIFIER_GAIN_DB;
+        let with_oss: Vec<usize> = (1..path.nodes.len().saturating_sub(1))
+            .filter(|&at| {
+                let (pre, post) = path.split_losses_db(region, at);
+                pre <= budget + 1e-9 && post <= budget + 1e-9
+            })
+            .collect();
+        if !with_oss.is_empty() {
+            return with_oss;
+        }
+        // Best achievable after maximal cut-throughs: only the amplifier
+        // node's own OSS traversal (the loopback entry) is unavoidable.
+        let fiber = iris_optics::FIBER_LOSS_DB_PER_KM;
+        let prefix = path.prefix_km(region);
+        (1..path.nodes.len().saturating_sub(1))
+            .filter(|&at| {
+                let pre = prefix[at] * fiber + iris_optics::OSS_LOSS_DB;
+                let post = (path.length_km - prefix[at]) * fiber;
+                pre <= budget + 1e-9 && post <= budget + 1e-9
+            })
+            .collect()
+    }
+}
+
+/// Run Algorithm 2 over all failure scenarios of `goals`.
+#[must_use]
+pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
+    let m = region.map.graph().edge_count();
+    let caps: Vec<u64> = (0..region.dcs.len())
+        .map(|i| region.capacity_wavelengths(i))
+        .collect();
+    let lambda = f64::from(region.wavelengths_per_fiber);
+
+    let mut placement = AmpPlacement::default();
+
+    for scenario in FailureScenarios::new(m, goals.max_cuts) {
+        let (paths, _) = scenario_paths(region, goals, &scenario);
+        // P <- long paths that require amplification.
+        let mut pending: Vec<&DcPath> = paths.iter().filter(|p| p.needs_amplification()).collect();
+
+        while !pending.is_empty() {
+            // S <- possible amplifier locations for all pending paths:
+            // location -> indices of pending paths it resolves.
+            let mut resolves: HashMap<NodeId, Vec<usize>> = HashMap::new();
+            for (i, p) in pending.iter().enumerate() {
+                for at in AmpPlacement::feasible_splits(region, goals, p) {
+                    resolves.entry(p.nodes[at]).or_default().push(i);
+                }
+            }
+            if resolves.is_empty() {
+                for p in &pending {
+                    placement.unresolved.push(UnresolvedPath {
+                        pair: (p.a, p.b),
+                        scenario: scenario.clone(),
+                    });
+                }
+                break;
+            }
+
+            // Score each location: paths resolved per amplifier to be
+            // placed (Appendix A). Locations needing no new amplifiers
+            // score infinitely well and are taken first.
+            let mut best: Option<(NodeId, f64, u32, Vec<usize>)> = None;
+            let mut locations: Vec<(&NodeId, &Vec<usize>)> = resolves.iter().collect();
+            locations.sort_by_key(|(n, _)| **n); // deterministic order
+            for (&loc, resolved) in locations {
+                // Worst-case fibers simultaneously amplified at `loc`:
+                // hose load of the resolved pairs, in fibers.
+                let pairs: Vec<(usize, usize)> = resolved
+                    .iter()
+                    .map(|&i| (pending[i].a, pending[i].b))
+                    .collect();
+                let noa = (hose::max_edge_load(&|dc| caps[dc], &pairs) / lambda).ceil() as u32;
+                let noea = placement.amps_per_node.get(&loc).copied().unwrap_or(0);
+                let ntbp = noa.saturating_sub(noea);
+                let score = if ntbp == 0 {
+                    f64::INFINITY
+                } else {
+                    resolved.len() as f64 / f64::from(ntbp)
+                };
+                let better = match &best {
+                    None => true,
+                    Some((_, s, ..)) => score > *s,
+                };
+                if better {
+                    best = Some((loc, score, noa, resolved.clone()));
+                }
+            }
+
+            let (loc, _, noa, resolved) = best.expect("resolves is non-empty");
+            let entry = placement.amps_per_node.entry(loc).or_insert(0);
+            *entry = (*entry).max(noa);
+            // Remove resolved paths from the pending set.
+            let resolved_set: std::collections::HashSet<usize> = resolved.into_iter().collect();
+            pending = pending
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !resolved_set.contains(i))
+                .map(|(_, p)| p)
+                .collect();
+        }
+    }
+
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::{FiberMap, SiteKind};
+    use iris_geo::Point;
+
+    /// DC0 --60km-- HUT --55km-- DC1: needs one in-line amplifier.
+    fn long_line_region() -> Region {
+        let mut map = FiberMap::new();
+        let d0 = map.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let h = map.add_site(SiteKind::Hut, Point::new(55.0, 0.0));
+        let d1 = map.add_site(SiteKind::DataCenter, Point::new(100.0, 0.0));
+        map.add_duct(d0, h, 60.0);
+        map.add_duct(h, d1, 55.0);
+        Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![10, 10],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        }
+    }
+
+    #[test]
+    fn long_path_gets_one_amp_at_the_hut() {
+        let r = long_line_region();
+        let goals = DesignGoals::with_cuts(0);
+        let placement = place_amplifiers(&r, &goals);
+        assert!(placement.unresolved.is_empty());
+        assert_eq!(placement.amps_per_node.len(), 1);
+        let (&loc, &count) = placement.amps_per_node.iter().next().unwrap();
+        assert_eq!(loc, 1, "amp should sit at the hut");
+        // The pair's hose demand is 400 wavelengths = 10 fibers.
+        assert_eq!(count, 10);
+        assert_eq!(placement.total_amps(), 10);
+    }
+
+    #[test]
+    fn short_region_needs_no_amps() {
+        let mut map = FiberMap::new();
+        let d0 = map.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let d1 = map.add_site(SiteKind::DataCenter, Point::new(30.0, 0.0));
+        map.add_duct(d0, d1, 35.0);
+        let r = Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![8, 8],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        let placement = place_amplifiers(&r, &DesignGoals::with_cuts(0));
+        assert!(placement.amps_per_node.is_empty());
+        assert!(placement.unresolved.is_empty());
+    }
+
+    #[test]
+    fn shared_hut_amplifiers_are_not_double_counted() {
+        // Two long DC pairs share the same hut; the hut's amplifier pool
+        // is sized by the hose load, not the sum of both pairs' demands.
+        let mut map = FiberMap::new();
+        let h = map.add_site(SiteKind::Hut, Point::new(0.0, 0.0));
+        let mut dcs = Vec::new();
+        for (x, y) in [(-60.0, 0.0), (60.0, 0.0), (0.0, 60.0), (0.0, -60.0)] {
+            let d = map.add_site(SiteKind::DataCenter, Point::new(x, y));
+            map.add_duct(d, h, 60.0);
+            dcs.push(d);
+        }
+        let r = Region {
+            map,
+            dcs,
+            capacity_fibers: vec![10; 4],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        let placement = place_amplifiers(&r, &DesignGoals::with_cuts(0));
+        assert!(placement.unresolved.is_empty());
+        // All 6 pairs (120 km paths) amplify at the hut. Hose load of the
+        // 6-pair clique with 400-wavelength DCs is 800 wavelengths = 20
+        // fibers, not 6 * 10 = 60.
+        assert_eq!(placement.amps_per_node.get(&0), Some(&20));
+    }
+
+    #[test]
+    fn feasible_splits_respect_budget() {
+        let r = long_line_region();
+        let goals = DesignGoals::with_cuts(0);
+        let (paths, _) = scenario_paths(&r, &goals, &[]);
+        let p = &paths[0];
+        let splits = AmpPlacement::feasible_splits(&r, &goals, p);
+        assert_eq!(splits, vec![1]);
+        let (pre, post) = p.split_losses_db(&r, 1);
+        assert!(pre <= 20.0 && post <= 20.0, "pre {pre}, post {post}");
+    }
+
+    #[test]
+    fn unsplittable_path_is_reported() {
+        // 75 + 44 km: total 119 km needs an amp, but splitting at the hut
+        // leaves a 75 km + OSS prefix (20.25 dB) over budget.
+        let mut map = FiberMap::new();
+        let d0 = map.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let h = map.add_site(SiteKind::Hut, Point::new(74.0, 0.0));
+        let d1 = map.add_site(SiteKind::DataCenter, Point::new(110.0, 0.0));
+        map.add_duct(d0, h, 75.0);
+        map.add_duct(h, d1, 44.0);
+        let r = Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![10, 10],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        let placement = place_amplifiers(&r, &DesignGoals::with_cuts(0));
+        assert_eq!(placement.unresolved.len(), 1);
+        assert_eq!(placement.unresolved[0].pair, (0, 1));
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let r = long_line_region();
+        let goals = DesignGoals::with_cuts(0);
+        let p1 = place_amplifiers(&r, &goals);
+        let p2 = place_amplifiers(&r, &goals);
+        assert_eq!(p1.amps_per_node, p2.amps_per_node);
+    }
+}

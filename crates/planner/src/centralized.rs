@@ -1,0 +1,297 @@
+//! The centralized (hub-and-spoke) baseline design (§2, Fig. 1(c)).
+//!
+//! All DCs connect to two hub sites that together provide a non-blocking
+//! "big switch"; there are no direct DC-DC connections. This is the
+//! design Microsoft Azure operated at publication time and the paper's
+//! baseline for every §2 trade-off. The planner here:
+//!
+//! * routes each DC's capacity to both hubs over shortest fiber paths
+//!   (half to each by default — the §2.4 port accounting — or fully
+//!   dual-homed for stricter resilience);
+//! * checks the siting rule: every DC-hub leg within half the SLA
+//!   distance, so any DC-hub-DC path meets OC1;
+//! * reports per-duct fiber, hub switching ports, and DC-DC latencies,
+//!   ready for [`iris_cost`](https://docs.rs/iris-cost)-style accounting.
+
+use crate::goals::DesignGoals;
+use iris_fibermap::{Region, SiteId};
+use iris_netgraph::{dijkstra, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// How each DC's capacity is spread over the two hubs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HubHoming {
+    /// Half the capacity to each hub (§2.4's port model; one hub loss
+    /// halves regional capacity).
+    Split,
+    /// Full capacity to both hubs (2x the access fiber and hub ports;
+    /// survives a hub loss at full capacity).
+    Full,
+}
+
+/// A planned hub-and-spoke network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CentralizedPlan {
+    /// The two hub sites.
+    pub hubs: (SiteId, SiteId),
+    /// Homing policy used.
+    pub homing: HubHoming,
+    /// Fiber pairs leased per duct (indexed by duct id).
+    pub fiber_pairs: Vec<u32>,
+    /// Transceiver count at DC side (one per wavelength of connected
+    /// capacity).
+    pub dc_transceivers: u64,
+    /// Transceiver count at the hubs (electrical realization terminates
+    /// every access fiber there).
+    pub hub_transceivers: u64,
+    /// Electrical switch ports forming the hubs' non-blocking fabric.
+    pub hub_switch_ports: u64,
+    /// DC-hub legs exceeding the siting rule (`leg > sla/2`), as
+    /// `(dc_index, hub, km)` — empty for a conformant region.
+    pub siting_violations: Vec<(usize, SiteId, f64)>,
+    /// Best DC-hub-DC fiber distance per unordered pair (km), triangular
+    /// order.
+    pub pair_distance_km: Vec<f64>,
+}
+
+impl CentralizedPlan {
+    /// Total fiber pairs leased (per span).
+    #[must_use]
+    pub fn total_fiber_pair_spans(&self) -> u64 {
+        self.fiber_pairs.iter().map(|&f| u64::from(f)).sum()
+    }
+
+    /// All transceivers.
+    #[must_use]
+    pub fn total_transceivers(&self) -> u64 {
+        self.dc_transceivers + self.hub_transceivers
+    }
+
+    /// Whether every DC respects the hub-distance siting rule.
+    #[must_use]
+    pub fn meets_siting_rule(&self) -> bool {
+        self.siting_violations.is_empty()
+    }
+
+    /// Worst DC-DC fiber distance via the hubs, km.
+    #[must_use]
+    pub fn worst_pair_km(&self) -> f64 {
+        self.pair_distance_km.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Plan a centralized network on `region` with the given `hubs`.
+///
+/// # Panics
+///
+/// Panics if a DC cannot reach a hub at all (disconnected map).
+#[must_use]
+pub fn plan_centralized(
+    region: &Region,
+    goals: &DesignGoals,
+    hubs: (SiteId, SiteId),
+    homing: HubHoming,
+) -> CentralizedPlan {
+    region.validate();
+    let g = region.map.graph();
+    let disabled = vec![false; g.edge_count()];
+    let lambda = u64::from(region.wavelengths_per_fiber);
+    let max_leg = goals.sla_km / 2.0;
+
+    let mut fiber_pairs = vec![0u32; g.edge_count()];
+    let mut siting_violations = Vec::new();
+    let mut hub_capacity_wl = 0u64; // total wavelengths landing on hubs
+
+    // Shortest-path trees from both hubs.
+    let trees = [dijkstra(g, hubs.0, &disabled), dijkstra(g, hubs.1, &disabled)];
+
+    for (i, &dc) in region.dcs.iter().enumerate() {
+        let cap_wl = region.capacity_wavelengths(i);
+        // Capacity per hub leg.
+        let legs: &[(usize, u64)] = match homing {
+            HubHoming::Split => &[(0, cap_wl / 2 + cap_wl % 2), (1, cap_wl / 2)],
+            HubHoming::Full => &[(0, cap_wl), (1, cap_wl)],
+        };
+        for &(h, leg_wl) in legs {
+            let dist = trees[h].dist[dc];
+            assert!(
+                dist.is_finite(),
+                "DC {dc} cannot reach hub {}",
+                [hubs.0, hubs.1][h]
+            );
+            if dist > max_leg + 1e-9 {
+                siting_violations.push((i, [hubs.0, hubs.1][h], dist));
+            }
+            let fibers = leg_wl.div_ceil(lambda) as u32;
+            if fibers > 0 {
+                let edges: Vec<EdgeId> = trees[h].path_edges(g, dc).expect("reachable");
+                for e in edges {
+                    fiber_pairs[e] += fibers;
+                }
+            }
+            hub_capacity_wl += leg_wl;
+        }
+    }
+
+    // Non-blocking hub fabric: every arriving wavelength terminates in a
+    // transceiver plugged into a switch port; a folded-Clos fabric needs
+    // roughly one more internal port per external one, counted as the
+    // §2.4 model does (hub ports = arriving capacity).
+    let hub_transceivers = hub_capacity_wl;
+    let hub_switch_ports = hub_capacity_wl;
+
+    // Inter-hub trunk for hub-to-hub transit (Split homing: a pair homed
+    // to different hubs crosses it; provision the worst case of half the
+    // region's capacity, like the L5 duct of Fig. 1(e)).
+    if matches!(homing, HubHoming::Split) {
+        if let Some(trunk_edges) = trees[0].path_edges(g, hubs.1) {
+            let total_wl: u64 = (0..region.dcs.len())
+                .map(|i| region.capacity_wavelengths(i))
+                .sum();
+            let trunk_fibers = (total_wl / 2).div_ceil(lambda) as u32;
+            for e in trunk_edges {
+                fiber_pairs[e] += trunk_fibers;
+            }
+        }
+    }
+
+    // DC-DC distances via the better hub.
+    let n = region.dcs.len();
+    let mut pair_distance_km = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (da, db) = (region.dcs[a], region.dcs[b]);
+            let via = (0..2)
+                .map(|h| trees[h].dist[da] + trees[h].dist[db])
+                .fold(f64::INFINITY, f64::min);
+            pair_distance_km.push(via);
+        }
+    }
+
+    let dc_transceivers: u64 = match homing {
+        HubHoming::Split => (0..n).map(|i| region.capacity_wavelengths(i)).sum(),
+        HubHoming::Full => (0..n).map(|i| 2 * region.capacity_wavelengths(i)).sum(),
+    };
+
+    CentralizedPlan {
+        hubs,
+        homing,
+        fiber_pairs,
+        dc_transceivers,
+        hub_transceivers,
+        hub_switch_ports,
+        siting_violations,
+        pair_distance_km,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::synth::{generate_metro, pick_hub_pair, place_dcs};
+    use iris_fibermap::{FiberMap, MetroParams, PlacementParams, SiteKind};
+    use iris_geo::Point;
+
+    fn star_region() -> (Region, SiteId, SiteId) {
+        let mut map = FiberMap::new();
+        let h1 = map.add_site(SiteKind::Hut, Point::new(-2.0, 0.0));
+        let h2 = map.add_site(SiteKind::Hut, Point::new(2.0, 0.0));
+        map.add_duct(h1, h2, 5.0);
+        let mut dcs = Vec::new();
+        for (x, y) in [(-20.0, 10.0), (20.0, 10.0), (0.0, -20.0)] {
+            let d = map.add_site(SiteKind::DataCenter, Point::new(x, y));
+            map.add_duct_detour(d, h1, 1.2);
+            map.add_duct_detour(d, h2, 1.2);
+            dcs.push(d);
+        }
+        (
+            Region {
+                map,
+                dcs,
+                capacity_fibers: vec![10; 3],
+                wavelengths_per_fiber: 40,
+                gbps_per_wavelength: 400.0,
+            },
+            h1,
+            h2,
+        )
+    }
+
+    #[test]
+    fn split_homing_moves_half_capacity_to_each_hub() {
+        let (r, h1, h2) = star_region();
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        // 3 DCs x 400 wl -> 1200 wl land on the hubs.
+        assert_eq!(plan.hub_transceivers, 1200);
+        assert_eq!(plan.dc_transceivers, 1200);
+        assert!(plan.meets_siting_rule());
+        // Each DC has two 5-fiber legs.
+        let dc_access: u32 = plan.fiber_pairs[1..].iter().sum();
+        assert_eq!(dc_access, 6 * 5);
+    }
+
+    #[test]
+    fn full_homing_doubles_access() {
+        let (r, h1, h2) = star_region();
+        let split = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        let full = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Full);
+        assert_eq!(full.hub_transceivers, 2 * split.hub_transceivers);
+        assert_eq!(full.dc_transceivers, 2 * split.dc_transceivers);
+        assert!(full.total_fiber_pair_spans() > split.total_fiber_pair_spans());
+    }
+
+    #[test]
+    fn split_homing_provisions_the_hub_trunk() {
+        let (r, h1, h2) = star_region();
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        // Trunk = duct 0: half of 1200 wl = 600 wl = 15 fibers.
+        assert_eq!(plan.fiber_pairs[0], 15);
+    }
+
+    #[test]
+    fn far_dc_violates_siting_rule() {
+        let (mut r, h1, h2) = star_region();
+        let far = r
+            .map
+            .add_site(SiteKind::DataCenter, Point::new(80.0, 0.0));
+        r.map.add_duct_detour(far, h2, 1.2); // ~93 km > 60 km leg limit
+        r.map.add_duct_detour(far, h1, 1.2);
+        r.dcs.push(far);
+        r.capacity_fibers.push(10);
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        assert!(!plan.meets_siting_rule());
+        assert!(plan
+            .siting_violations
+            .iter()
+            .all(|&(dc, _, km)| dc == 3 && km > 60.0));
+    }
+
+    #[test]
+    fn pair_distances_use_the_better_hub() {
+        let (r, h1, h2) = star_region();
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        assert_eq!(plan.pair_distance_km.len(), 3);
+        for (idx, &via) in plan.pair_distance_km.iter().enumerate() {
+            // Hub transit is never shorter than the direct fiber route.
+            let (a, b) = [(0, 1), (0, 2), (1, 2)][idx];
+            let direct = r.map.fiber_distance(r.dcs[a], r.dcs[b]).unwrap();
+            assert!(via >= direct - 1e-9, "pair {idx}: via {via} < direct {direct}");
+        }
+        assert!(plan.worst_pair_km() <= 120.0);
+    }
+
+    #[test]
+    fn centralized_on_synthetic_region_is_plannable() {
+        let region = place_dcs(
+            generate_metro(&MetroParams::default()),
+            &PlacementParams {
+                n_dcs: 6,
+                ..PlacementParams::default()
+            },
+        );
+        let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
+        let plan = plan_centralized(&region, &DesignGoals::default(), hubs, HubHoming::Split);
+        assert!(plan.total_fiber_pair_spans() > 0);
+        assert_eq!(plan.pair_distance_km.len(), 15);
+    }
+}

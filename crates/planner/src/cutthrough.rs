@@ -1,0 +1,435 @@
+//! Cut-through link placement (Appendix A, second heuristic).
+//!
+//! A cut-through is an uninterrupted run of fiber spliced *through* one or
+//! more switching points: the bypassed huts contribute no OSS insertion
+//! loss to paths riding the cut-through. Cut-throughs fix two problems:
+//!
+//! * segments whose fiber + OSS loss exceeds one amplifier's gain even
+//!   after amplifier placement, and
+//! * paths with more OSS traversals than the TC4 reconfiguration budget
+//!   allows (more than 6).
+//!
+//! Like amplifier placement, the heuristic scores candidates by paths
+//! resolved per fiber leased and accumulates across failure scenarios.
+
+use crate::amplifiers::AmpPlacement;
+use crate::goals::DesignGoals;
+use crate::paths::{scenario_paths, DcPath};
+use iris_fibermap::Region;
+use iris_netgraph::{hose, EdgeId, FailureScenarios, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One cut-through link: fiber spliced through `nodes[1..len-1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutThrough {
+    /// Node sequence, endpoints included (`len >= 3`).
+    pub nodes: Vec<NodeId>,
+    /// Ducts the cut-through fiber occupies.
+    pub edges: Vec<EdgeId>,
+    /// Total length, km.
+    pub length_km: f64,
+    /// Fiber pairs leased along the whole run.
+    pub fiber_pairs: u32,
+}
+
+/// The set of placed cut-throughs plus any paths that remain violating.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CutThroughPlan {
+    /// Placed cut-throughs.
+    pub cuts: Vec<CutThrough>,
+    /// DC index pairs (with scenario) whose paths still violate budgets.
+    pub unresolved: Vec<(usize, usize, Vec<EdgeId>)>,
+}
+
+impl CutThroughPlan {
+    /// Total extra fiber pairs leased, counted per duct traversed (fiber
+    /// leases are per span, §3.3).
+    #[must_use]
+    pub fn total_fiber_pair_spans(&self) -> u64 {
+        self.cuts
+            .iter()
+            .map(|c| u64::from(c.fiber_pairs) * c.edges.len() as u64)
+            .sum()
+    }
+}
+
+/// Which interior nodes of `path` stay switched (not bypassed), given the
+/// cut-throughs placed so far. Cuts are applied greedily left-to-right,
+/// longest-first, never overlapping, and never swallowing the path's
+/// amplifier node (`amp_at`, an index into `path.nodes`).
+///
+/// Returns indices (into `path.nodes`) of interior nodes still traversing
+/// an OSS.
+#[must_use]
+pub fn active_switch_points(
+    path: &DcPath,
+    amp_at: Option<usize>,
+    cuts: &[CutThrough],
+) -> Vec<usize> {
+    let n = path.nodes.len();
+    let mut bypassed = vec![false; n];
+    let mut i = 0usize;
+    while i + 2 < n {
+        // Longest cut starting at node i that matches the path and does
+        // not strictly contain the amplifier node.
+        let mut best_end: Option<usize> = None;
+        for c in cuts {
+            let cl = c.nodes.len();
+            if i + cl > n || path.nodes[i..i + cl] != c.nodes[..] {
+                continue;
+            }
+            let end = i + cl - 1;
+            if let Some(a) = amp_at {
+                if a > i && a < end {
+                    continue;
+                }
+            }
+            if best_end.is_none_or(|b| end > b) {
+                best_end = Some(end);
+            }
+        }
+        if let Some(end) = best_end {
+            for b in bypassed.iter_mut().take(end).skip(i + 1) {
+                *b = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    (1..n - 1).filter(|&i| !bypassed[i]).collect()
+}
+
+/// Loss of each amplifier-delimited segment of `path` given the active
+/// switch points. Returns one entry per segment (1 or 2).
+#[must_use]
+pub fn segment_losses_db(
+    region: &Region,
+    path: &DcPath,
+    amp_at: Option<usize>,
+    cuts: &[CutThrough],
+) -> Vec<f64> {
+    let fiber = iris_optics::FIBER_LOSS_DB_PER_KM;
+    let oss = iris_optics::OSS_LOSS_DB;
+    let active = active_switch_points(path, amp_at, cuts);
+    let prefix = path.prefix_km(region);
+    match amp_at {
+        None => {
+            let switch = active.len() as f64 * oss;
+            vec![path.length_km * fiber + switch]
+        }
+        Some(a) => {
+            // The amp location's own OSS sits on the prefix side.
+            let pre_switch = active.iter().filter(|&&i| i <= a).count() as f64 * oss;
+            let post_switch = active.iter().filter(|&&i| i > a).count() as f64 * oss;
+            vec![
+                prefix[a] * fiber + pre_switch,
+                (path.length_km - prefix[a]) * fiber + post_switch,
+            ]
+        }
+    }
+}
+
+/// Pick the amplifier split for a path, preferring nodes that already
+/// hold amplifiers: the best feasible split by balance.
+#[must_use]
+pub fn choose_amp_split(
+    region: &Region,
+    goals: &DesignGoals,
+    path: &DcPath,
+    amps: &AmpPlacement,
+) -> Option<usize> {
+    if !path.needs_amplification() {
+        return None;
+    }
+    let feasible = AmpPlacement::feasible_splits(region, goals, path);
+    feasible
+        .iter()
+        .copied()
+        .filter(|&at| amps.amps_per_node.contains_key(&path.nodes[at]))
+        .min_by(|&x, &y| {
+            let bx = balance(region, path, x);
+            let by = balance(region, path, y);
+            bx.partial_cmp(&by).expect("finite")
+        })
+}
+
+fn balance(region: &Region, path: &DcPath, at: usize) -> f64 {
+    let (pre, post) = path.split_losses_db(region, at);
+    pre.max(post)
+}
+
+/// Does the realized path meet both the per-segment gain budget and the
+/// TC4 switch-traversal budget?
+fn path_ok(
+    region: &Region,
+    goals: &DesignGoals,
+    path: &DcPath,
+    amp_at: Option<usize>,
+    cuts: &[CutThrough],
+) -> bool {
+    let segs = segment_losses_db(region, path, amp_at, cuts);
+    if segs
+        .iter()
+        .any(|&l| l > iris_optics::AMPLIFIER_GAIN_DB + 1e-9)
+    {
+        return false;
+    }
+    active_switch_points(path, amp_at, cuts).len() <= goals.max_switch_hops
+}
+
+/// Place cut-throughs until every path in every scenario meets its
+/// budgets (or no candidate helps).
+#[must_use]
+pub fn place_cutthroughs(
+    region: &Region,
+    goals: &DesignGoals,
+    amps: &AmpPlacement,
+) -> CutThroughPlan {
+    let g = region.map.graph();
+    let m = g.edge_count();
+    let caps: Vec<u64> = (0..region.dcs.len())
+        .map(|i| region.capacity_wavelengths(i))
+        .collect();
+    let lambda = f64::from(region.wavelengths_per_fiber);
+
+    let mut plan = CutThroughPlan::default();
+
+    for scenario in FailureScenarios::new(m, goals.max_cuts) {
+        let (paths, _) = scenario_paths(region, goals, &scenario);
+        let with_amp: Vec<(DcPath, Option<usize>)> = paths
+            .into_iter()
+            .map(|p| {
+                let a = choose_amp_split(region, goals, &p, amps);
+                (p, a)
+            })
+            .collect();
+
+        loop {
+            let violating: Vec<&(DcPath, Option<usize>)> = with_amp
+                .iter()
+                .filter(|(p, a)| !path_ok(region, goals, p, *a, &plan.cuts))
+                .collect();
+            if violating.is_empty() {
+                break;
+            }
+
+            // Candidate cut-throughs: contiguous interior runs of any
+            // violating path, not containing its amp node strictly inside.
+            #[allow(clippy::type_complexity)]
+            let mut candidates: std::collections::BTreeMap<Vec<NodeId>, (Vec<EdgeId>, f64)> =
+                std::collections::BTreeMap::new();
+            for (p, a) in &violating {
+                let n = p.nodes.len();
+                for i in 0..n.saturating_sub(2) {
+                    for j in (i + 2)..n {
+                        if let Some(amp) = a {
+                            if *amp > i && *amp < j {
+                                continue;
+                            }
+                        }
+                        let nodes = p.nodes[i..=j].to_vec();
+                        let edges = p.edges[i..j].to_vec();
+                        let len: f64 = edges.iter().map(|&e| g.edge(e).length_km).sum();
+                        candidates.entry(nodes).or_insert((edges, len));
+                    }
+                }
+            }
+
+            // Score each candidate: violating paths it resolves per fiber
+            // pair leased (pairs x spans, since leases are per span).
+            let mut best: Option<(Vec<NodeId>, Vec<EdgeId>, f64, u32, f64)> = None;
+            for (nodes, (edges, len)) in &candidates {
+                let trial = CutThrough {
+                    nodes: nodes.clone(),
+                    edges: edges.clone(),
+                    length_km: *len,
+                    fiber_pairs: 0,
+                };
+                let mut trial_cuts = plan.cuts.clone();
+                trial_cuts.push(trial);
+                let resolved: Vec<&(DcPath, Option<usize>)> = violating
+                    .iter()
+                    .filter(|(p, a)| path_ok(region, goals, p, *a, &trial_cuts))
+                    .copied()
+                    .collect();
+                if resolved.is_empty() {
+                    continue;
+                }
+                let pairs: Vec<(usize, usize)> =
+                    resolved.iter().map(|(p, _)| (p.a, p.b)).collect();
+                let fibers =
+                    ((hose::max_edge_load(&|dc| caps[dc], &pairs) / lambda).ceil() as u32).max(1);
+                let cost = f64::from(fibers) * edges.len() as f64;
+                let score = resolved.len() as f64 / cost;
+                if best.as_ref().is_none_or(|(.., s)| score > *s) {
+                    best = Some((nodes.clone(), edges.clone(), *len, fibers, score));
+                }
+            }
+
+            match best {
+                Some((nodes, edges, length_km, fiber_pairs, _)) => {
+                    // Merge with an identical existing cut if present.
+                    if let Some(existing) = plan.cuts.iter_mut().find(|c| c.nodes == nodes) {
+                        existing.fiber_pairs = existing.fiber_pairs.max(fiber_pairs);
+                    } else {
+                        plan.cuts.push(CutThrough {
+                            nodes,
+                            edges,
+                            length_km,
+                            fiber_pairs,
+                        });
+                    }
+                }
+                None => {
+                    for (p, _) in violating {
+                        plan.unresolved.push((p.a, p.b, scenario.clone()));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amplifiers::place_amplifiers;
+    use iris_fibermap::{FiberMap, SiteKind};
+    use iris_geo::Point;
+
+    /// A chain of 8 huts between two DCs, 5 km per hop: loss is fine but
+    /// there are 8 OSS traversals, violating TC4's budget of 6.
+    fn many_hop_region() -> Region {
+        let mut map = FiberMap::new();
+        let d0 = map.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let mut prev = d0;
+        for i in 0..8 {
+            let h = map.add_site(SiteKind::Hut, Point::new(5.0 * (i + 1) as f64, 0.0));
+            map.add_duct(prev, h, 5.0);
+            prev = h;
+        }
+        let d1 = map.add_site(SiteKind::DataCenter, Point::new(45.0, 0.0));
+        map.add_duct(prev, d1, 5.0);
+        Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![8, 8],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        }
+    }
+
+    #[test]
+    fn hop_violation_is_fixed_with_cut_through() {
+        let r = many_hop_region();
+        let goals = DesignGoals::with_cuts(0);
+        let amps = place_amplifiers(&r, &goals);
+        let plan = place_cutthroughs(&r, &goals, &amps);
+        assert!(plan.unresolved.is_empty());
+        assert!(!plan.cuts.is_empty(), "TC4 violation needs a cut-through");
+        // Verify the realized path now meets both budgets.
+        let (paths, _) = scenario_paths(&r, &goals, &[]);
+        let amp_at = choose_amp_split(&r, &goals, &paths[0], &amps);
+        assert!(path_ok(&r, &goals, &paths[0], amp_at, &plan.cuts));
+    }
+
+    #[test]
+    fn active_switch_points_bypass_cut_nodes() {
+        let p = DcPath {
+            a: 0,
+            b: 1,
+            nodes: vec![0, 1, 2, 3, 4, 5],
+            edges: vec![10, 11, 12, 13, 14],
+            length_km: 25.0,
+        };
+        let cut = CutThrough {
+            nodes: vec![1, 2, 3],
+            edges: vec![11, 12],
+            length_km: 10.0,
+            fiber_pairs: 1,
+        };
+        let active = active_switch_points(&p, None, &[cut]);
+        // Node 2 is spliced through; 1, 3, 4 still switch.
+        assert_eq!(active, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn cut_cannot_swallow_amplifier_node() {
+        let p = DcPath {
+            a: 0,
+            b: 1,
+            nodes: vec![0, 1, 2, 3, 4, 5],
+            edges: vec![10, 11, 12, 13, 14],
+            length_km: 25.0,
+        };
+        let cut = CutThrough {
+            nodes: vec![1, 2, 3],
+            edges: vec![11, 12],
+            length_km: 10.0,
+            fiber_pairs: 1,
+        };
+        // Amp at node index 2 (inside the cut): the cut must not apply.
+        let active = active_switch_points(&p, Some(2), &[cut]);
+        assert_eq!(active, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn no_cuts_needed_for_short_direct_paths() {
+        let mut map = FiberMap::new();
+        let d0 = map.add_site(SiteKind::DataCenter, Point::new(0.0, 0.0));
+        let h = map.add_site(SiteKind::Hut, Point::new(10.0, 0.0));
+        let d1 = map.add_site(SiteKind::DataCenter, Point::new(20.0, 0.0));
+        map.add_duct(d0, h, 12.0);
+        map.add_duct(h, d1, 12.0);
+        let r = Region {
+            map,
+            dcs: vec![d0, d1],
+            capacity_fibers: vec![8, 8],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        };
+        let goals = DesignGoals::with_cuts(0);
+        let amps = place_amplifiers(&r, &goals);
+        let plan = place_cutthroughs(&r, &goals, &amps);
+        assert!(plan.cuts.is_empty());
+        assert!(plan.unresolved.is_empty());
+        assert_eq!(plan.total_fiber_pair_spans(), 0);
+    }
+
+    #[test]
+    fn segment_losses_sum_to_path_loss_without_cuts() {
+        let r = many_hop_region();
+        let goals = DesignGoals::with_cuts(0);
+        let (paths, _) = scenario_paths(&r, &goals, &[]);
+        let p = &paths[0];
+        let segs = segment_losses_db(&r, p, None, &[]);
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0] - p.unamplified_loss_db()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_through_fiber_spans_accounted() {
+        let plan = CutThroughPlan {
+            cuts: vec![
+                CutThrough {
+                    nodes: vec![0, 1, 2],
+                    edges: vec![5, 6],
+                    length_km: 10.0,
+                    fiber_pairs: 3,
+                },
+                CutThrough {
+                    nodes: vec![2, 3, 4, 5],
+                    edges: vec![7, 8, 9],
+                    length_km: 15.0,
+                    fiber_pairs: 2,
+                },
+            ],
+            unresolved: vec![],
+        };
+        assert_eq!(plan.total_fiber_pair_spans(), 3 * 2 + 2 * 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! Region expansion (§2.3): what does adding one more DC cost?
+//!
+//! Centralized DCIs must pre-provision their hubs for the maximum
+//! predicted region scale — "accommodating unanticipated growth in a
+//! region is thus difficult" — whereas a distributed/Iris region grows
+//! by adding equipment at the new site plus incremental fiber. This
+//! module quantifies that: plan before, plan after, diff the bill of
+//! materials.
+
+use crate::goals::DesignGoals;
+use crate::plan::{plan_iris, IrisPlan};
+use iris_fibermap::{Region, SiteKind};
+use iris_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Equipment delta from adding one DC to a planned Iris region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionDelta {
+    /// Additional fiber-pair-spans leased.
+    pub fiber_pair_spans: i64,
+    /// Additional DC transceivers (all at the new DC under Iris).
+    pub transceivers: i64,
+    /// Additional OSS ports network-wide.
+    pub oss_ports: i64,
+    /// Additional in-line amplifiers.
+    pub amplifiers: i64,
+    /// Whether the expanded plan still meets every constraint.
+    pub feasible: bool,
+}
+
+/// Grow `region` by one DC at `position` (attached to its `attach_huts`
+/// nearest huts) and return the expanded region plus the incremental
+/// equipment relative to `before`.
+///
+/// # Panics
+///
+/// Panics if the region has no huts to attach to.
+#[must_use]
+pub fn expand_with_dc(
+    region: &Region,
+    goals: &DesignGoals,
+    before: &IrisPlan,
+    position: Point,
+    capacity_fibers: u32,
+    attach_huts: usize,
+) -> (Region, IrisPlan, ExpansionDelta) {
+    let mut expanded = region.clone();
+    let mut huts = expanded.map.huts();
+    assert!(!huts.is_empty(), "cannot attach a DC to a hut-less map");
+    huts.sort_by(|&x, &y| {
+        expanded
+            .map
+            .site(x)
+            .position
+            .distance_sq(&position)
+            .partial_cmp(&expanded.map.site(y).position.distance_sq(&position))
+            .expect("finite")
+    });
+    huts.truncate(attach_huts.max(1));
+    let dc = expanded.map.add_site(SiteKind::DataCenter, position);
+    for h in huts {
+        expanded.map.add_duct_detour(dc, h, 1.3);
+    }
+    expanded.dcs.push(dc);
+    expanded.capacity_fibers.push(capacity_fibers);
+
+    let after = plan_iris(&expanded, goals);
+    let delta = ExpansionDelta {
+        fiber_pair_spans: after.total_fiber_pair_spans() as i64
+            - before.total_fiber_pair_spans() as i64,
+        transceivers: after.dc_transceivers as i64 - before.dc_transceivers as i64,
+        oss_ports: after.oss_ports() as i64 - before.oss_ports() as i64,
+        amplifiers: after.total_amps() as i64 - before.total_amps() as i64,
+        feasible: after.is_feasible(),
+    };
+    (expanded, after, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::synth::{generate_metro, place_dcs};
+    use iris_fibermap::{MetroParams, PlacementParams};
+
+    fn base() -> (Region, DesignGoals, IrisPlan) {
+        let region = place_dcs(
+            generate_metro(&MetroParams::default()),
+            &PlacementParams {
+                n_dcs: 4,
+                ..PlacementParams::default()
+            },
+        );
+        let goals = DesignGoals::with_cuts(0);
+        let plan = plan_iris(&region, &goals);
+        (region, goals, plan)
+    }
+
+    #[test]
+    fn expansion_adds_only_incremental_equipment() {
+        let (region, goals, before) = base();
+        // Place the new DC near the region centroid.
+        let huts = region.map.huts();
+        let cx = huts.iter().map(|&h| region.map.site(h).position.x).sum::<f64>()
+            / huts.len() as f64;
+        let cy = huts.iter().map(|&h| region.map.site(h).position.y).sum::<f64>()
+            / huts.len() as f64;
+        let (expanded, after, delta) = expand_with_dc(
+            &region,
+            &goals,
+            &before,
+            Point::new(cx, cy),
+            16,
+            3,
+        );
+        assert_eq!(expanded.dcs.len(), 5);
+        assert!(delta.feasible, "expanded plan infeasible");
+        // The new DC's transceivers: 16 fibers x 40 wavelengths.
+        assert_eq!(delta.transceivers, 16 * 40);
+        // Fiber and ports grow, but nothing is removed.
+        assert!(delta.fiber_pair_spans > 0);
+        assert!(delta.oss_ports > 0);
+        assert!(after.dc_transceivers > before.dc_transceivers);
+    }
+
+    #[test]
+    fn expansion_cost_is_sublinear_in_region_size() {
+        // Adding the 5th DC to a 4-DC region must cost less fiber than
+        // rebuilding from scratch.
+        let (region, goals, before) = base();
+        let (_, after, delta) = expand_with_dc(
+            &region,
+            &goals,
+            &before,
+            Point::new(0.0, 0.0),
+            16,
+            3,
+        );
+        assert!(
+            (delta.fiber_pair_spans as u64) < after.total_fiber_pair_spans(),
+            "delta {} should be a fraction of total {}",
+            delta.fiber_pair_spans,
+            after.total_fiber_pair_spans()
+        );
+    }
+
+    #[test]
+    fn existing_dc_capacity_is_untouched() {
+        let (region, goals, before) = base();
+        let (expanded, after, _) =
+            expand_with_dc(&region, &goals, &before, Point::new(5.0, 5.0), 8, 2);
+        for i in 0..region.dcs.len() {
+            assert_eq!(expanded.capacity_fibers[i], region.capacity_fibers[i]);
+        }
+        // Existing ducts only gain capacity, never lose it.
+        for e in 0..region.map.duct_count() {
+            assert!(
+                after.base_fiber_pairs[e] + after.residual_fiber_pairs[e]
+                    >= before.base_fiber_pairs[e],
+                "duct {e} shrank"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Operational design goals (OC1–OC4 of §3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The operator-specified goals a plan must meet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignGoals {
+    /// OC4 — number of simultaneous fiber-duct cuts the network must
+    /// tolerate while still meeting OC1–OC3. Operational practice is 2.
+    pub max_cuts: usize,
+    /// OC1 — maximum DC-DC fiber distance implied by the latency SLA, km.
+    pub sla_km: f64,
+    /// TC1 — maximum unamplified fiber-span length, km.
+    pub max_span_km: f64,
+    /// TC4 — maximum optical-switch traversals per end-to-end path.
+    pub max_switch_hops: usize,
+}
+
+impl Default for DesignGoals {
+    /// The paper's operating point: 2-cut tolerance, 120 km SLA, 80 km
+    /// spans, 6 OSS hops.
+    fn default() -> Self {
+        Self {
+            max_cuts: 2,
+            sla_km: iris_optics::MAX_PATH_KM,
+            max_span_km: iris_optics::MAX_UNAMPLIFIED_SPAN_KM,
+            max_switch_hops: iris_optics::MAX_OSS_HOPS,
+        }
+    }
+}
+
+impl DesignGoals {
+    /// Goals with a given cut tolerance and paper defaults otherwise.
+    #[must_use]
+    pub fn with_cuts(max_cuts: usize) -> Self {
+        Self {
+            max_cuts,
+            ..Self::default()
+        }
+    }
+
+    /// A best-effort profile with no failure tolerance (used for the
+    /// Fig. 12(d) comparison: EPS with no guarantees vs Iris with 2).
+    #[must_use]
+    pub fn no_resilience() -> Self {
+        Self::with_cuts(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let g = DesignGoals::default();
+        assert_eq!(g.max_cuts, 2);
+        assert_eq!(g.sla_km, 120.0);
+        assert_eq!(g.max_span_km, 80.0);
+        assert_eq!(g.max_switch_hops, 6);
+    }
+
+    #[test]
+    fn with_cuts_overrides_only_cuts() {
+        let g = DesignGoals::with_cuts(1);
+        assert_eq!(g.max_cuts, 1);
+        assert_eq!(g.sla_km, 120.0);
+        assert_eq!(DesignGoals::no_resilience().max_cuts, 0);
+    }
+}

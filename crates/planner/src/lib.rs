@@ -1,0 +1,45 @@
+//! Iris network planning (§4 and Appendices A–B of the paper).
+//!
+//! Planning a regional DCI takes the region's fiber map, DC sites and
+//! capacities, and produces the *topology* (which ducts are used), the
+//! *capacity* (fibers leased per duct) and the *switching realization*
+//! (amplifiers, cut-through links, residual fibers). The pipeline is:
+//!
+//! 1. [`topology`] — **Algorithm 1**: for every failure scenario up to the
+//!    cut tolerance, route every DC pair over its (unique) shortest path
+//!    and provision each duct for the worst-case hose-model load;
+//! 2. [`amplifiers`] — **Algorithm 2** (Appendix A): greedily place
+//!    in-line amplifiers so that no unamplified segment overruns the
+//!    power budget, preferring locations that fix many paths at once;
+//! 3. [`cutthrough`] — greedily add uninterrupted "cut-through" fibers
+//!    that bypass switching points on paths exceeding the optical
+//!    switching budget (TC4);
+//! 4. [`residual`] — account for the `n·(n-1)` residual fibers that
+//!    fiber-granularity switching requires (§4.3), and the hybrid
+//!    wavelength-switched aggregation of Appendix B that roughly halves
+//!    that overhead;
+//! 5. [`plan`] — assemble everything into an [`IrisPlan`] or [`EpsPlan`]
+//!    and validate each end-to-end light path against the physical-layer
+//!    budget of [`iris_optics`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplifiers;
+pub mod centralized;
+pub mod cutthrough;
+pub mod expansion;
+pub mod goals;
+pub mod oxc;
+pub mod paths;
+pub mod plan;
+pub mod relaxed;
+pub mod residual;
+pub mod topology;
+
+pub use centralized::{plan_centralized, CentralizedPlan, HubHoming};
+pub use goals::DesignGoals;
+pub use oxc::{plan_oxc, OxcPlan};
+pub use plan::{plan_eps, plan_iris, EpsPlan, IrisPlan};
+pub use relaxed::{route_relaxed, RelaxedRouting};
+pub use topology::{provision, Provisioning};

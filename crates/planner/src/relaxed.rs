@@ -1,0 +1,252 @@
+//! Relaxed-OC3 route optimization: trade latency headroom for fiber.
+//!
+//! OC3 pins every DC pair to its shortest path, which is what the paper
+//! evaluates ("Iris's most complex use case: distributed networks that
+//! minimize latency"). §3.1 notes that dropping the constraint admits
+//! simpler/cheaper designs: a pair with latency headroom can take a
+//! slightly longer route that *shares* ducts other pairs already pay
+//! for, turning two partially-filled fibers into one full one.
+//!
+//! The optimizer below works on a representative uniform hose matrix
+//! (each DC splits its capacity evenly — the same model as
+//! [`crate::oxc`]): pairs are routed greedily in decreasing demand order
+//! over their k shortest paths, choosing the candidate that minimizes
+//! the *marginal fiber-pairs leased*, subject to the SLA and a latency
+//! stretch cap.
+
+use crate::goals::DesignGoals;
+use crate::paths::scenario_mask;
+use iris_fibermap::Region;
+use iris_netgraph::{k_shortest_paths, EdgeId};
+use serde::{Deserialize, Serialize};
+
+/// Result of relaxed routing, comparable with shortest-path routing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelaxedRouting {
+    /// Fiber pairs per duct under relaxed routing.
+    pub fiber_pairs: Vec<u32>,
+    /// Fiber pairs per duct under strict shortest-path routing of the
+    /// same demands (the OC3 baseline).
+    pub shortest_fiber_pairs: Vec<u32>,
+    /// Chosen route per pair, as duct lists (triangular pair order).
+    pub routes: Vec<Vec<EdgeId>>,
+    /// Latency stretch per pair: chosen length / shortest length.
+    pub stretch: Vec<f64>,
+}
+
+impl RelaxedRouting {
+    /// Total fiber-pair-spans, relaxed.
+    #[must_use]
+    pub fn total_fiber_pair_spans(&self) -> u64 {
+        self.fiber_pairs.iter().map(|&f| u64::from(f)).sum()
+    }
+
+    /// Total fiber-pair-spans, the OC3 baseline.
+    #[must_use]
+    pub fn shortest_total_fiber_pair_spans(&self) -> u64 {
+        self.shortest_fiber_pairs
+            .iter()
+            .map(|&f| u64::from(f))
+            .sum()
+    }
+
+    /// Fraction of fiber-pair-spans saved by relaxing OC3.
+    #[must_use]
+    pub fn savings_fraction(&self) -> f64 {
+        let base = self.shortest_total_fiber_pair_spans();
+        if base == 0 {
+            return 0.0;
+        }
+        1.0 - self.total_fiber_pair_spans() as f64 / base as f64
+    }
+
+    /// Worst latency stretch across pairs.
+    #[must_use]
+    pub fn max_stretch(&self) -> f64 {
+        self.stretch.iter().copied().fold(1.0, f64::max)
+    }
+}
+
+/// Route the uniform hose matrix with up to `max_stretch` latency
+/// inflation per pair (e.g. `1.3` = 30% longer than shortest), choosing
+/// among `k` candidate paths per pair.
+///
+/// # Panics
+///
+/// Panics if `max_stretch < 1` or `k == 0`.
+#[must_use]
+pub fn route_relaxed(
+    region: &Region,
+    goals: &DesignGoals,
+    k: usize,
+    max_stretch: f64,
+) -> RelaxedRouting {
+    assert!(max_stretch >= 1.0, "stretch cap below 1 is impossible");
+    assert!(k >= 1, "need at least one candidate path");
+    region.validate();
+    let g = region.map.graph();
+    let m = g.edge_count();
+    let lambda = u64::from(region.wavelengths_per_fiber);
+    let mask = scenario_mask(region, goals, &[]);
+    let n = region.dcs.len();
+
+    // Uniform representative demands, largest first.
+    let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let share_a = region.capacity_wavelengths(a) / (n as u64 - 1).max(1);
+            let share_b = region.capacity_wavelengths(b) / (n as u64 - 1).max(1);
+            pairs.push((a, b, share_a.min(share_b)));
+        }
+    }
+    let pair_count = pairs.len();
+    let mut order: Vec<usize> = (0..pair_count).collect();
+    order.sort_by(|&x, &y| pairs[y].2.cmp(&pairs[x].2));
+
+    // Shortest-path baseline loads.
+    let mut shortest_wl = vec![0u64; m];
+    let mut shortest_len = vec![0.0f64; pair_count];
+    let mut candidates: Vec<Vec<iris_netgraph::CandidatePath>> = Vec::with_capacity(pair_count);
+    for &(a, b, wl) in &pairs {
+        let cands = k_shortest_paths(g, region.dcs[a], region.dcs[b], k, &mask);
+        assert!(!cands.is_empty(), "pair ({a},{b}) disconnected");
+        shortest_len[candidates.len()] = cands[0].length_km;
+        for &e in &cands[0].edges {
+            shortest_wl[e] += wl;
+        }
+        candidates.push(cands);
+    }
+    let shortest_fiber_pairs: Vec<u32> = shortest_wl
+        .iter()
+        .map(|&wl| wl.div_ceil(lambda) as u32)
+        .collect();
+
+    // Greedy relaxed assignment.
+    let mut load_wl = vec![0u64; m];
+    let mut routes = vec![Vec::new(); pair_count];
+    let mut stretch = vec![1.0f64; pair_count];
+    for &pi in &order {
+        let (_, _, wl) = pairs[pi];
+        let best = candidates[pi]
+            .iter()
+            .filter(|c| {
+                c.length_km <= goals.sla_km + 1e-9
+                    && c.length_km <= shortest_len[pi] * max_stretch + 1e-9
+            })
+            .min_by_key(|c| {
+                // Marginal fibers this candidate would lease, then length
+                // as the tiebreak (prefer low latency at equal cost).
+                let marginal: u64 = c
+                    .edges
+                    .iter()
+                    .map(|&e| (load_wl[e] + wl).div_ceil(lambda) - load_wl[e].div_ceil(lambda))
+                    .sum();
+                (marginal, (c.length_km * 1000.0) as u64)
+            })
+            .expect("the shortest path always qualifies");
+        for &e in &best.edges {
+            load_wl[e] += wl;
+        }
+        stretch[pi] = best.length_km / shortest_len[pi].max(1e-9);
+        routes[pi] = best.edges.clone();
+    }
+    let fiber_pairs: Vec<u32> = load_wl
+        .iter()
+        .map(|&wl| wl.div_ceil(lambda) as u32)
+        .collect();
+
+    // Greedy is a heuristic; the shortest-path assignment is always a
+    // feasible solution, so never return anything worse than it.
+    let relaxed_total: u64 = fiber_pairs.iter().map(|&f| u64::from(f)).sum();
+    let shortest_total: u64 = shortest_fiber_pairs.iter().map(|&f| u64::from(f)).sum();
+    if relaxed_total > shortest_total {
+        let routes = candidates.iter().map(|c| c[0].edges.clone()).collect();
+        return RelaxedRouting {
+            fiber_pairs: shortest_fiber_pairs.clone(),
+            shortest_fiber_pairs,
+            routes,
+            stretch: vec![1.0; pair_count],
+        };
+    }
+
+    RelaxedRouting {
+        fiber_pairs,
+        shortest_fiber_pairs,
+        routes,
+        stretch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::synth::{generate_metro, place_dcs};
+    use iris_fibermap::{MetroParams, PlacementParams};
+
+    fn region() -> Region {
+        place_dcs(
+            generate_metro(&MetroParams::default()),
+            &PlacementParams {
+                n_dcs: 6,
+                ..PlacementParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn stretch_one_reproduces_shortest_paths() {
+        let r = region();
+        let goals = DesignGoals::with_cuts(0);
+        let routing = route_relaxed(&r, &goals, 4, 1.0);
+        assert_eq!(routing.fiber_pairs, routing.shortest_fiber_pairs);
+        assert!((routing.max_stretch() - 1.0).abs() < 1e-9);
+        assert!(routing.savings_fraction().abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxation_never_costs_more_fiber() {
+        let r = region();
+        let goals = DesignGoals::with_cuts(0);
+        for stretch in [1.1, 1.3, 1.6] {
+            let routing = route_relaxed(&r, &goals, 4, stretch);
+            assert!(
+                routing.total_fiber_pair_spans() <= routing.shortest_total_fiber_pair_spans(),
+                "stretch {stretch}: relaxed {} > shortest {}",
+                routing.total_fiber_pair_spans(),
+                routing.shortest_total_fiber_pair_spans()
+            );
+        }
+    }
+
+    #[test]
+    fn stretch_cap_is_respected() {
+        let r = region();
+        let goals = DesignGoals::with_cuts(0);
+        let routing = route_relaxed(&r, &goals, 5, 1.25);
+        assert!(routing.max_stretch() <= 1.25 + 1e-9);
+        for s in &routing.stretch {
+            assert!(*s >= 1.0 - 1e-9, "stretch below 1 is impossible");
+        }
+    }
+
+    #[test]
+    fn routes_respect_sla() {
+        let r = region();
+        let goals = DesignGoals::with_cuts(0);
+        let routing = route_relaxed(&r, &goals, 5, 2.0);
+        let g = r.map.graph();
+        for route in &routing.routes {
+            let len: f64 = route.iter().map(|&e| g.edge(e).length_km).sum();
+            assert!(len <= goals.sla_km + 1e-6, "route {len:.1} km over SLA");
+        }
+    }
+
+    #[test]
+    fn wider_candidate_sets_help_or_tie() {
+        let r = region();
+        let goals = DesignGoals::with_cuts(0);
+        let narrow = route_relaxed(&r, &goals, 1, 1.5);
+        let wide = route_relaxed(&r, &goals, 6, 1.5);
+        assert!(wide.total_fiber_pair_spans() <= narrow.total_fiber_pair_spans());
+    }
+}

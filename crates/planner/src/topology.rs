@@ -1,0 +1,375 @@
+//! Algorithm 1 — topology & capacity planning (§4.1).
+//!
+//! For every failure scenario up to the cut tolerance, route every DC pair
+//! over its unique shortest path, and set each duct's capacity to the
+//! worst-case hose-model load it must carry across scenarios. Ducts that
+//! end up with zero capacity — and huts with no capacitated ducts — are
+//! simply not part of the topology, so Algorithm 1 answers all three of
+//! the §2 questions at once: which ducts are used, at what capacity, and
+//! which huts house switching equipment.
+
+use crate::goals::DesignGoals;
+use crate::paths::{scenario_paths, DcPath};
+use iris_fibermap::{Region, SiteId, SiteKind};
+use iris_netgraph::{hose, EdgeId, FailureScenarios};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A DC pair that cannot meet the goals in some failure scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfeasiblePair {
+    /// DC indices (into `region.dcs`).
+    pub pair: (usize, usize),
+    /// The failure scenario (failed duct ids) exhibiting the problem.
+    pub scenario: Vec<EdgeId>,
+}
+
+/// The output of Algorithm 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Provisioning {
+    /// Worst-case hose load per duct, in wavelengths (indexed by duct id;
+    /// zero for unused ducts). May be half-integral.
+    pub edge_capacity_wl: Vec<f64>,
+    /// DC pairs that were unreachable (or SLA-violating) in at least one
+    /// scenario. Empty for a feasible instance.
+    pub infeasible: Vec<InfeasiblePair>,
+    /// Number of failure scenarios examined.
+    pub scenarios_examined: u64,
+}
+
+impl Provisioning {
+    /// Ducts with non-zero provisioned capacity.
+    #[must_use]
+    pub fn used_edges(&self) -> Vec<EdgeId> {
+        (0..self.edge_capacity_wl.len())
+            .filter(|&e| self.edge_capacity_wl[e] > 0.0)
+            .collect()
+    }
+
+    /// Fiber pairs to lease per duct: the hose load rounded up to whole
+    /// fibers of `lambda` wavelengths each (zero where unused).
+    #[must_use]
+    pub fn edge_fiber_pairs(&self, lambda: u32) -> Vec<u32> {
+        self.edge_capacity_wl
+            .iter()
+            .map(|&wl| (wl / f64::from(lambda)).ceil() as u32)
+            .collect()
+    }
+
+    /// Huts that terminate at least one used duct — these house switching
+    /// equipment; the rest of the fiber map is not built out.
+    #[must_use]
+    pub fn used_huts(&self, region: &Region) -> Vec<SiteId> {
+        let g = region.map.graph();
+        let mut used = vec![false; g.node_count()];
+        for e in self.used_edges() {
+            let edge = g.edge(e);
+            used[edge.u] = true;
+            used[edge.v] = true;
+        }
+        (0..g.node_count())
+            .filter(|&n| used[n] && region.map.site(n).kind == SiteKind::Hut)
+            .collect()
+    }
+
+    /// Total leased fiber pairs across all ducts.
+    #[must_use]
+    pub fn total_fiber_pairs(&self, lambda: u32) -> u64 {
+        self.edge_fiber_pairs(lambda)
+            .iter()
+            .map(|&f| u64::from(f))
+            .sum()
+    }
+}
+
+/// Run Algorithm 1 on a region.
+///
+/// The hose max-flow for a duct depends only on the set of DC pairs
+/// crossing it, so results are memoized by pair set — across the thousands
+/// of failure scenarios the same sets recur constantly.
+#[must_use]
+pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
+    region.validate();
+    let g = region.map.graph();
+    let m = g.edge_count();
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    let mut scenarios_examined = 0u64;
+
+    // Memoized hose loads, keyed by the sorted pair set.
+    let mut memo: HashMap<Vec<(usize, usize)>, f64> = HashMap::new();
+    let caps: Vec<u64> = (0..region.dcs.len())
+        .map(|i| region.capacity_wavelengths(i))
+        .collect();
+
+    for scenario in FailureScenarios::new(m, goals.max_cuts) {
+        scenarios_examined += 1;
+        let (paths, unreachable) = scenario_paths(region, goals, &scenario);
+        for pair in unreachable {
+            infeasible.push(InfeasiblePair {
+                pair,
+                scenario: scenario.clone(),
+            });
+        }
+        // Group pairs by duct.
+        let mut pairs_on_edge: HashMap<EdgeId, Vec<(usize, usize)>> = HashMap::new();
+        for p in &paths {
+            for &e in &p.edges {
+                pairs_on_edge.entry(e).or_default().push((p.a, p.b));
+            }
+        }
+        for (e, mut pairs) in pairs_on_edge {
+            pairs.sort_unstable();
+            let load = *memo.entry(pairs.clone()).or_insert_with(|| {
+                hose::max_edge_load(&|dc| caps[dc], &pairs)
+            });
+            if load > capacity[e] {
+                capacity[e] = load;
+            }
+        }
+    }
+
+    Provisioning {
+        edge_capacity_wl: capacity,
+        infeasible,
+        scenarios_examined,
+    }
+}
+
+/// The naive §4.1 provisioning (sum of `min(C_u, C_v)` per crossing pair),
+/// kept as an ablation to quantify the over-provisioning it causes.
+#[must_use]
+pub fn provision_naive(region: &Region, goals: &DesignGoals) -> Provisioning {
+    region.validate();
+    let g = region.map.graph();
+    let m = g.edge_count();
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    let mut scenarios_examined = 0u64;
+    let caps: Vec<u64> = (0..region.dcs.len())
+        .map(|i| region.capacity_wavelengths(i))
+        .collect();
+
+    for scenario in FailureScenarios::new(m, goals.max_cuts) {
+        scenarios_examined += 1;
+        let (paths, unreachable) = scenario_paths(region, goals, &scenario);
+        for pair in unreachable {
+            infeasible.push(InfeasiblePair {
+                pair,
+                scenario: scenario.clone(),
+            });
+        }
+        let mut load = vec![0.0f64; m];
+        for p in &paths {
+            let demand = caps[p.a].min(caps[p.b]) as f64;
+            for &e in &p.edges {
+                load[e] += demand;
+            }
+        }
+        for e in 0..m {
+            capacity[e] = capacity[e].max(load[e]);
+        }
+    }
+
+    Provisioning {
+        edge_capacity_wl: capacity,
+        infeasible,
+        scenarios_examined,
+    }
+}
+
+/// Check that provisioned capacities suffice for a *specific* traffic
+/// matrix routed over nominal shortest paths. Used by tests as an
+/// independent oracle of the hose computation.
+///
+/// `demands[i][j]` is in wavelengths; only `i < j` entries are read.
+#[must_use]
+pub fn supports_matrix(
+    region: &Region,
+    goals: &DesignGoals,
+    prov: &Provisioning,
+    demands: &[Vec<f64>],
+) -> bool {
+    let (paths, _) = scenario_paths(region, goals, &[]);
+    let mut load = vec![0.0f64; region.map.graph().edge_count()];
+    for p in &paths {
+        let d = demands[p.a][p.b];
+        for &e in &p.edges {
+            load[e] += d;
+        }
+    }
+    load.iter()
+        .zip(&prov.edge_capacity_wl)
+        .all(|(&l, &c)| l <= c + 1e-6)
+}
+
+/// All nominal-scenario shortest paths (convenience for downstream
+/// consumers that only need the no-failure topology).
+#[must_use]
+pub fn nominal_paths(region: &Region, goals: &DesignGoals) -> Vec<DcPath> {
+    scenario_paths(region, goals, &[]).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_fibermap::{synth, FiberMap, MetroParams, PlacementParams};
+    use iris_geo::Point;
+
+    fn small_region() -> Region {
+        synth::place_dcs(
+            synth::generate_metro(&MetroParams {
+                n_huts: 10,
+                ..MetroParams::default()
+            }),
+            &PlacementParams {
+                n_dcs: 4,
+                ..PlacementParams::default()
+            },
+        )
+    }
+
+    /// Hand-built hub-and-spoke: 4 DCs around one hut.
+    fn star_region(capacity_fibers: u32) -> Region {
+        let mut map = FiberMap::new();
+        let hub = map.add_site(SiteKind::Hut, Point::new(0.0, 0.0));
+        let mut dcs = Vec::new();
+        for (x, y) in [(10.0, 0.0), (-10.0, 0.0), (0.0, 10.0), (0.0, -10.0)] {
+            let d = map.add_site(SiteKind::DataCenter, Point::new(x, y));
+            map.add_duct(d, hub, 12.0);
+            dcs.push(d);
+        }
+        Region {
+            map,
+            dcs,
+            capacity_fibers: vec![capacity_fibers; 4],
+            wavelengths_per_fiber: 40,
+            gbps_per_wavelength: 400.0,
+        }
+    }
+
+    #[test]
+    fn star_provisions_each_spoke_at_dc_capacity() {
+        let r = star_region(10);
+        let prov = provision(&r, &DesignGoals::with_cuts(0));
+        // Every spoke carries its DC's full hose capacity: 400 wavelengths.
+        for e in 0..4 {
+            assert!(
+                (prov.edge_capacity_wl[e] - 400.0).abs() < 1e-6,
+                "spoke {e} = {}",
+                prov.edge_capacity_wl[e]
+            );
+        }
+        assert_eq!(prov.edge_fiber_pairs(40), vec![10, 10, 10, 10]);
+        assert!(prov.infeasible.is_empty());
+        assert_eq!(prov.used_huts(&r), vec![0]);
+    }
+
+    #[test]
+    fn star_with_cut_tolerance_reports_infeasibility() {
+        // A star has no alternate routes: any single cut isolates a DC.
+        let r = star_region(10);
+        let prov = provision(&r, &DesignGoals::with_cuts(1));
+        assert!(!prov.infeasible.is_empty());
+    }
+
+    #[test]
+    fn hose_capacity_never_exceeds_naive() {
+        let r = small_region();
+        let goals = DesignGoals::with_cuts(1);
+        let exact = provision(&r, &goals);
+        let naive = provision_naive(&r, &goals);
+        for e in 0..exact.edge_capacity_wl.len() {
+            assert!(
+                exact.edge_capacity_wl[e] <= naive.edge_capacity_wl[e] + 1e-6,
+                "edge {e}: exact {} > naive {}",
+                exact.edge_capacity_wl[e],
+                naive.edge_capacity_wl[e]
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_supports_uniform_matrix() {
+        let r = small_region();
+        let goals = DesignGoals::with_cuts(0);
+        let prov = provision(&r, &goals);
+        let n = r.dcs.len();
+        // Uniform all-to-all matrix: each DC splits its hose capacity
+        // evenly across the other DCs.
+        let mut demands = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let di = r.capacity_wavelengths(i) as f64 / (n - 1) as f64;
+                let dj = r.capacity_wavelengths(j) as f64 / (n - 1) as f64;
+                demands[i][j] = di.min(dj);
+            }
+        }
+        assert!(supports_matrix(&r, &goals, &prov, &demands));
+    }
+
+    #[test]
+    fn capacity_supports_single_hot_pair() {
+        let r = small_region();
+        let goals = DesignGoals::with_cuts(0);
+        let prov = provision(&r, &goals);
+        let n = r.dcs.len();
+        // The extreme hose matrix: DCs 0 and 1 exchange their full caps.
+        let mut demands = vec![vec![0.0; n]; n];
+        demands[0][1] = r.capacity_wavelengths(0).min(r.capacity_wavelengths(1)) as f64;
+        assert!(supports_matrix(&r, &goals, &prov, &demands));
+    }
+
+    #[test]
+    fn overfull_matrix_is_rejected() {
+        let r = star_region(10);
+        let goals = DesignGoals::with_cuts(0);
+        let prov = provision(&r, &goals);
+        let mut demands = vec![vec![0.0; 4]; 4];
+        demands[0][1] = 800.0; // 2x DC 0's hose capacity
+        assert!(!supports_matrix(&r, &goals, &prov, &demands));
+    }
+
+    #[test]
+    fn more_cut_tolerance_never_shrinks_capacity() {
+        let r = small_region();
+        let p0 = provision(&r, &DesignGoals::with_cuts(0));
+        let p1 = provision(&r, &DesignGoals::with_cuts(1));
+        let total0: f64 = p0.edge_capacity_wl.iter().sum();
+        let total1: f64 = p1.edge_capacity_wl.iter().sum();
+        assert!(total1 >= total0 - 1e-6, "{total1} < {total0}");
+        assert!(p1.scenarios_examined > p0.scenarios_examined);
+    }
+
+    #[test]
+    fn scenario_count_matches_formula() {
+        let r = small_region();
+        let m = r.map.graph().edge_count();
+        let p = provision(&r, &DesignGoals::with_cuts(1));
+        assert_eq!(p.scenarios_examined, 1 + m as u64);
+    }
+
+    #[test]
+    fn unused_ducts_have_zero_capacity() {
+        let r = small_region();
+        let prov = provision(&r, &DesignGoals::with_cuts(0));
+        let used = prov.used_edges();
+        for e in 0..prov.edge_capacity_wl.len() {
+            if !used.contains(&e) {
+                assert_eq!(prov.edge_capacity_wl[e], 0.0);
+                assert_eq!(prov.edge_fiber_pairs(40)[e], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fiber_rounding_is_ceil() {
+        let prov = Provisioning {
+            edge_capacity_wl: vec![0.0, 1.0, 40.0, 40.5, 81.0],
+            infeasible: vec![],
+            scenarios_examined: 1,
+        };
+        assert_eq!(prov.edge_fiber_pairs(40), vec![0, 1, 1, 2, 3]);
+        assert_eq!(prov.total_fiber_pairs(40), 7);
+    }
+}

@@ -1,0 +1,687 @@
+//! The event-driven fluid simulator.
+//!
+//! Flows arrive in a Poisson process, draw a size from the workload
+//! distribution and a DC pair from the (evolving) traffic matrix, and
+//! receive their **max-min fair share** of the links on their route —
+//! recomputed by progressive water-filling at every event. Between
+//! events, rates are constant, so flow progress is exact (no time
+//! stepping).
+//!
+//! Reconfiguration is modeled as the paper measures it: every matrix
+//! change, the circuits being re-homed go dark for the OSS switching
+//! time (~70 ms), reducing each link's available capacity by the moved
+//! traffic fraction. The EPS baseline sees the same arrivals and matrix
+//! changes but never loses capacity.
+
+use crate::topology::SimTopology;
+use crate::traffic::{pair_index, ChangeModel, TrafficMatrix};
+use crate::workloads::FlowSizeDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One completed flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Unordered DC pair (i < j).
+    pub pair: (usize, usize),
+    /// Flow size, bytes.
+    pub size_bytes: f64,
+    /// Arrival time, s.
+    pub start_s: f64,
+    /// Flow completion time, s.
+    pub fct_s: f64,
+}
+
+impl FlowRecord {
+    /// Whether this is a short flow by the paper's threshold (< 50 KB).
+    #[must_use]
+    pub fn is_short(&self) -> bool {
+        self.size_bytes < FlowSizeDist::SHORT_FLOW_BYTES
+    }
+}
+
+/// Reconfiguration behaviour of the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FabricModel {
+    /// Electrical packet switching: capacity is always available.
+    Eps,
+    /// Iris: each traffic-matrix change triggers a reconfiguration that
+    /// removes the moved traffic fraction of every link's capacity for
+    /// `outage_s` seconds.
+    Iris {
+        /// Dark time of the moving circuits (the paper measures 70 ms).
+        outage_s: f64,
+    },
+}
+
+/// A scheduled capacity disturbance: a fiber-cut recovery transient, a
+/// maintenance brownout, a scheduled dark window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityEvent {
+    /// When the disturbance starts, s.
+    pub start_s: f64,
+    /// How long it lasts, s.
+    pub duration_s: f64,
+    /// Remaining capacity fraction during the event (0-1).
+    pub capacity_factor: f64,
+    /// Affected links; `None` = every link.
+    pub links: Option<Vec<crate::topology::LinkId>>,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Target peak link utilization (0-1) under the *initial* matrix.
+    pub utilization: f64,
+    /// Flow-size distribution.
+    pub flow_sizes: FlowSizeDist,
+    /// Seconds between traffic-matrix changes (and, on Iris,
+    /// reconfigurations). `None` = static traffic.
+    pub change_interval_s: Option<f64>,
+    /// How the matrix changes at each interval.
+    pub change_model: ChangeModel,
+    /// Fabric behaviour.
+    pub fabric: FabricModel,
+    /// Scheduled capacity disturbances (cuts, maintenance), applied on
+    /// top of the fabric's reconfiguration outages.
+    pub capacity_events: Vec<CapacityEvent>,
+    /// RNG seed for arrivals and sizes. Two runs with the same seed see
+    /// identical arrival sequences, enabling paired comparisons.
+    pub seed: u64,
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    topo: SimTopology,
+    matrix: TrafficMatrix,
+    config: SimConfig,
+    /// Global flow arrival rate (flows/s), fixed by the utilization
+    /// calibration on the initial matrix.
+    arrival_rate: f64,
+    /// Mean flow size, bits (cached).
+    mean_bits: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    pair: (usize, usize),
+    size_bytes: f64,
+    remaining_bits: f64,
+    start_s: f64,
+    rate_gbps: f64,
+}
+
+impl Simulator {
+    /// Create a simulator; calibrates the arrival rate so that the
+    /// expected load of the most-utilized link matches
+    /// `config.utilization` under the initial matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology and matrix disagree on the DC count or the
+    /// utilization is outside (0, 1).
+    #[must_use]
+    pub fn new(topo: SimTopology, matrix: TrafficMatrix, config: SimConfig) -> Self {
+        assert_eq!(topo.n_dcs, matrix.n_dcs(), "topology/matrix DC mismatch");
+        assert!(
+            config.utilization > 0.0 && config.utilization < 1.0,
+            "utilization must be in (0, 1)"
+        );
+        // Expected per-link load for unit total offered Gbps.
+        let n = topo.n_dcs;
+        let mut unit_load = vec![0.0f64; topo.links.len()];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = matrix.weight(i, j);
+                for &l in topo.route(i, j) {
+                    unit_load[l] += w;
+                }
+            }
+        }
+        let max_rel = unit_load
+            .iter()
+            .zip(&topo.links)
+            .map(|(&u, l)| u / l.capacity_gbps)
+            .fold(0.0f64, f64::max);
+        assert!(max_rel > 0.0, "matrix offers no load to any link");
+        let offered_gbps = config.utilization / max_rel;
+        let mean_bits = config.flow_sizes.mean_bytes() * 8.0;
+        let arrival_rate = offered_gbps * 1e9 / mean_bits;
+        Self {
+            topo,
+            matrix,
+            config,
+            arrival_rate,
+            mean_bits,
+        }
+    }
+
+    /// Clamp the matrix so no link's *expected* offered load exceeds its
+    /// capacity. §6.3 assumes "provisioning is sufficient to handle the
+    /// traffic before and after the reconfiguration"; without this, an
+    /// unbounded matrix change could concentrate more load on one
+    /// circuit than it could ever carry and flows would back up without
+    /// bound. The clamp thins the affected pairs' arrivals (traffic that
+    /// the provisioned circuits genuinely cannot admit).
+    fn clamp_matrix_to_capacity(&mut self) {
+        const HEADROOM: f64 = 0.95;
+        let offered_per_weight = self.arrival_rate * self.mean_bits / 1e9; // Gbps at weight 1
+        let n = self.topo.n_dcs;
+        for _ in 0..32 {
+            let mut load = vec![0.0f64; self.topo.links.len()];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = self.matrix.weight(i, j);
+                    for &l in self.topo.route(i, j) {
+                        load[l] += w * offered_per_weight;
+                    }
+                }
+            }
+            let mut factor = vec![1.0f64; crate::traffic::pair_count(n)];
+            let mut any = false;
+            for (l, &ld) in load.iter().enumerate() {
+                let cap = self.topo.links[l].capacity_gbps * HEADROOM;
+                if ld > cap {
+                    any = true;
+                    let f = cap / ld;
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            if self.topo.route(i, j).contains(&l) {
+                                let idx = pair_index(n, i, j);
+                                factor[idx] = factor[idx].min(f);
+                            }
+                        }
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            self.matrix.rescale(|idx, _| factor[idx]);
+        }
+    }
+
+    /// Calibrated global arrival rate, flows/s.
+    #[must_use]
+    pub fn arrival_rate(&self) -> f64 {
+        self.arrival_rate
+    }
+
+    /// Run to completion, returning all flows that *finished* within the
+    /// simulated duration.
+    #[must_use]
+    pub fn run(mut self) -> Vec<FlowRecord> {
+        self.clamp_matrix_to_capacity();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut records = Vec::new();
+        let mut flows: Vec<ActiveFlow> = Vec::new();
+        let mut now = 0.0f64;
+        let mut next_arrival = sample_exp(&mut rng, self.arrival_rate);
+        let mut next_change = self.config.change_interval_s.unwrap_or(f64::INFINITY);
+        let mut outage_until = f64::NEG_INFINITY;
+        let mut outage_fraction = 0.0f64;
+        let duration = self.config.duration_s;
+
+        // Boundaries at which scheduled capacity events start or end.
+        let mut event_boundaries: Vec<f64> = self
+            .config
+            .capacity_events
+            .iter()
+            .flat_map(|e| [e.start_s, e.start_s + e.duration_s])
+            .collect();
+        event_boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        loop {
+            // Per-link capacity scaling: reconfiguration outage (global)
+            // times any scheduled events covering the link.
+            let outage_scale = if now < outage_until {
+                1.0 - outage_fraction
+            } else {
+                1.0
+            };
+            let mut link_scale = vec![outage_scale; self.topo.links.len()];
+            for ev in &self.config.capacity_events {
+                if now + 1e-12 >= ev.start_s && now < ev.start_s + ev.duration_s {
+                    match &ev.links {
+                        None => {
+                            for s in &mut link_scale {
+                                *s *= ev.capacity_factor;
+                            }
+                        }
+                        Some(ids) => {
+                            for &l in ids {
+                                link_scale[l] *= ev.capacity_factor;
+                            }
+                        }
+                    }
+                }
+            }
+            assign_max_min_rates(&self.topo, &link_scale, &mut flows);
+
+            // Next event time.
+            let next_completion = flows
+                .iter()
+                .filter(|f| f.rate_gbps > 0.0)
+                .map(|f| now + f.remaining_bits / (f.rate_gbps * 1e9))
+                .fold(f64::INFINITY, f64::min);
+            let outage_end = if now < outage_until {
+                outage_until
+            } else {
+                f64::INFINITY
+            };
+            let next_boundary = event_boundaries
+                .iter()
+                .copied()
+                .find(|&b| b > now + 1e-12)
+                .unwrap_or(f64::INFINITY);
+            let t = next_arrival
+                .min(next_completion)
+                .min(next_change)
+                .min(outage_end)
+                .min(next_boundary)
+                .min(duration);
+
+            // Advance flow progress to t.
+            let dt = t - now;
+            if dt > 0.0 {
+                for f in &mut flows {
+                    f.remaining_bits = (f.remaining_bits - f.rate_gbps * 1e9 * dt).max(0.0);
+                }
+            }
+            now = t;
+            if now >= duration {
+                break;
+            }
+
+            if now >= next_completion - 1e-15 && next_completion <= next_arrival.min(next_change) {
+                // Harvest completed flows. Sub-bit residues are float
+                // noise from the rate * dt advance; without forgiving
+                // them, a flow can sit epsilon above zero with a
+                // completion time that rounds back to `now`, spinning
+                // the event loop forever.
+                let before = flows.len();
+                let rtt = |pair: (usize, usize)| {
+                    self.topo.route_rtt_s[pair_index(self.topo.n_dcs, pair.0, pair.1)]
+                };
+                flows.retain(|f| {
+                    if f.remaining_bits <= 1.0 {
+                        records.push(FlowRecord {
+                            pair: f.pair,
+                            size_bytes: f.size_bytes,
+                            start_s: f.start_s,
+                            fct_s: now - f.start_s + rtt(f.pair),
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if flows.len() == before {
+                    // Forced progress: finish the flow the scheduler said
+                    // was done (its residue is pure rounding error).
+                    if let Some(min_idx) = (0..flows.len())
+                        .filter(|&i| flows[i].rate_gbps > 0.0)
+                        .min_by(|&a, &b| {
+                            let ta = flows[a].remaining_bits / flows[a].rate_gbps;
+                            let tb = flows[b].remaining_bits / flows[b].rate_gbps;
+                            ta.partial_cmp(&tb).expect("finite")
+                        })
+                    {
+                        let f = flows.swap_remove(min_idx);
+                        records.push(FlowRecord {
+                            pair: f.pair,
+                            size_bytes: f.size_bytes,
+                            start_s: f.start_s,
+                            fct_s: now - f.start_s + rtt(f.pair),
+                        });
+                    }
+                }
+                continue;
+            }
+
+            if now >= next_arrival - 1e-15 && next_arrival <= next_change {
+                // New flow. `sample_pair` thins arrivals when the clamp
+                // has reduced the total admitted weight below 1.
+                if let Some(pair) = sample_pair(&mut rng, &self.matrix) {
+                    let size = self.config.flow_sizes.sample(&mut rng);
+                    flows.push(ActiveFlow {
+                        pair,
+                        size_bytes: size,
+                        remaining_bits: size * 8.0,
+                        start_s: now,
+                        rate_gbps: 0.0,
+                    });
+                }
+                next_arrival = now + sample_exp(&mut rng, self.arrival_rate);
+                continue;
+            }
+
+            if now >= next_change - 1e-15 {
+                let moved = self.matrix.change(self.config.change_model);
+                self.clamp_matrix_to_capacity();
+                if let FabricModel::Iris { outage_s } = self.config.fabric {
+                    outage_fraction = moved.clamp(0.0, 0.9);
+                    if outage_fraction > 0.0 {
+                        outage_until = now + outage_s;
+                    }
+                }
+                next_change = now + self.config.change_interval_s.expect("change scheduled");
+                continue;
+            }
+            // Otherwise: outage ended; loop back and recompute rates.
+        }
+        records
+    }
+}
+
+/// Progressive water-filling: every flow gets its max-min fair share of
+/// the links on its route, with capacities scaled by `capacity_scale`.
+///
+/// Complexity: `O(L^2 + F * pathlen)` — each round saturates one link
+/// and only touches that link's flow list, so the allocator stays fast
+/// even when queues build up at the paper's high-utilization extremes.
+fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [ActiveFlow]) {
+    let l_count = topo.links.len();
+    let mut residual: Vec<f64> = topo
+        .links
+        .iter()
+        .zip(link_scale)
+        .map(|(l, &s)| l.capacity_gbps * s)
+        .collect();
+    let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); l_count];
+    let mut active_on_link = vec![0usize; l_count];
+    let mut fixed = vec![false; flows.len()];
+    for (fi, f) in flows.iter().enumerate() {
+        let route = topo.route(f.pair.0, f.pair.1);
+        if route.is_empty() {
+            fixed[fi] = true;
+        }
+        for &l in route {
+            link_flows[l].push(fi as u32);
+            active_on_link[l] += 1;
+        }
+    }
+    loop {
+        // Bottleneck link: smallest fair share among links with flows.
+        let mut best: Option<(usize, f64)> = None;
+        for l in 0..l_count {
+            if active_on_link[l] == 0 {
+                continue;
+            }
+            let share = residual[l].max(0.0) / active_on_link[l] as f64;
+            if best.is_none_or(|(_, s)| share < s) {
+                best = Some((l, share));
+            }
+        }
+        let Some((bottleneck, share)) = best else { break };
+        // Fix every unfixed flow crossing the bottleneck at `share`.
+        let members = std::mem::take(&mut link_flows[bottleneck]);
+        for fi in members {
+            let fi = fi as usize;
+            if fixed[fi] {
+                continue;
+            }
+            fixed[fi] = true;
+            let f = &mut flows[fi];
+            f.rate_gbps = share;
+            for &l in topo.route(f.pair.0, f.pair.1) {
+                residual[l] -= share;
+                active_on_link[l] -= 1;
+            }
+        }
+        debug_assert_eq!(active_on_link[bottleneck], 0);
+    }
+}
+
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Sample a DC pair proportionally to weight. Weights may sum to less
+/// than 1 after capacity clamping; the shortfall thins the arrival
+/// process (`None` = this arrival is not admitted).
+fn sample_pair<R: Rng + ?Sized>(rng: &mut R, matrix: &TrafficMatrix) -> Option<(usize, usize)> {
+    let mut target: f64 = rng.random_range(0.0..1.0);
+    let n = matrix.n_dcs();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = matrix.weights()[pair_index(n, i, j)];
+            if target < w {
+                return Some((i, j));
+            }
+            target -= w;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(fabric: FabricModel) -> SimConfig {
+        SimConfig {
+            duration_s: 5.0,
+            utilization: 0.4,
+            flow_sizes: FlowSizeDist::facebook_web(),
+            change_interval_s: Some(1.0),
+            change_model: ChangeModel::Bounded(0.5),
+            fabric,
+            capacity_events: Vec::new(),
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let topo = SimTopology::hub_and_spoke(3, 10.0);
+        let mut flows = vec![ActiveFlow {
+            pair: (0, 1),
+            size_bytes: 1e6,
+            remaining_bits: 8e6,
+            start_s: 0.0,
+            rate_gbps: 0.0,
+        }];
+        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
+        assert!((flows[0].rate_gbps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_common_spoke() {
+        let topo = SimTopology::hub_and_spoke(3, 10.0);
+        let mk = |pair| ActiveFlow {
+            pair,
+            size_bytes: 1e6,
+            remaining_bits: 8e6,
+            start_s: 0.0,
+            rate_gbps: 0.0,
+        };
+        // Both flows use spoke 0.
+        let mut flows = vec![mk((0, 1)), mk((0, 2))];
+        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
+        assert!((flows[0].rate_gbps - 5.0).abs() < 1e-9);
+        assert!((flows[1].rate_gbps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_is_work_conserving_on_disjoint_flows() {
+        let topo = SimTopology::hub_and_spoke(4, 10.0);
+        let mk = |pair| ActiveFlow {
+            pair,
+            size_bytes: 1e6,
+            remaining_bits: 8e6,
+            start_s: 0.0,
+            rate_gbps: 0.0,
+        };
+        let mut flows = vec![mk((0, 1)), mk((2, 3))];
+        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
+        for f in &flows {
+            assert!((f.rate_gbps - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rates_never_exceed_link_capacity() {
+        let topo = SimTopology::hub_and_spoke(4, 10.0);
+        let mk = |pair| ActiveFlow {
+            pair,
+            size_bytes: 1e6,
+            remaining_bits: 8e6,
+            start_s: 0.0,
+            rate_gbps: 0.0,
+        };
+        let mut flows: Vec<ActiveFlow> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (i, j)))
+            .map(mk)
+            .collect();
+        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
+        for l in 0..topo.links.len() {
+            let load: f64 = flows
+                .iter()
+                .filter(|f| topo.route(f.pair.0, f.pair.1).contains(&l))
+                .map(|f| f.rate_gbps)
+                .sum();
+            assert!(load <= 10.0 + 1e-6, "link {l} overloaded: {load}");
+        }
+    }
+
+    #[test]
+    fn simulation_completes_flows() {
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let sim = Simulator::new(topo, matrix, base_config(FabricModel::Eps));
+        let records = sim.run();
+        assert!(records.len() > 100, "only {} flows completed", records.len());
+        for r in &records {
+            assert!(r.fct_s > 0.0);
+            assert!(r.start_s >= 0.0 && r.start_s <= 5.0);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_eps_runs() {
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let a = Simulator::new(topo.clone(), matrix.clone(), base_config(FabricModel::Eps)).run();
+        let b = Simulator::new(topo, matrix, base_config(FabricModel::Eps)).run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pair, y.pair);
+            assert!((x.fct_s - y.fct_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iris_outages_slow_some_flows() {
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let mut cfg = base_config(FabricModel::Iris { outage_s: 0.07 });
+        cfg.utilization = 0.7;
+        cfg.change_model = ChangeModel::Unbounded;
+        let iris = Simulator::new(topo.clone(), matrix.clone(), cfg.clone()).run();
+        cfg.fabric = FabricModel::Eps;
+        let eps = Simulator::new(topo, matrix, cfg).run();
+        let sum_iris: f64 = iris.iter().map(|r| r.fct_s).sum();
+        let sum_eps: f64 = eps.iter().map(|r| r.fct_s).sum();
+        // Same arrivals; Iris can only be equal or slower in aggregate.
+        assert!(sum_iris >= sum_eps * 0.999, "iris {sum_iris} eps {sum_eps}");
+    }
+
+    #[test]
+    fn scheduled_brownout_slows_flows() {
+        // Same arrivals; a 50% brownout for 2 s must increase total FCT.
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let mut cfg = base_config(FabricModel::Eps);
+        cfg.utilization = 0.6;
+        cfg.change_interval_s = None;
+        let clean = Simulator::new(topo.clone(), matrix.clone(), cfg.clone()).run();
+        cfg.capacity_events = vec![CapacityEvent {
+            start_s: 1.0,
+            duration_s: 2.0,
+            capacity_factor: 0.5,
+            links: None,
+        }];
+        let browned = Simulator::new(topo, matrix, cfg).run();
+        let sum = |r: &[FlowRecord]| r.iter().map(|f| f.fct_s).sum::<f64>();
+        assert!(
+            sum(&browned) > sum(&clean),
+            "brownout {} <= clean {}",
+            sum(&browned),
+            sum(&clean)
+        );
+    }
+
+    #[test]
+    fn targeted_event_spares_other_links() {
+        // Full outage on spoke 0 for the whole run: flows between DCs
+        // 1-3 (spokes 1..3 only) still complete; all completed flows
+        // avoid DC 0.
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let mut cfg = base_config(FabricModel::Eps);
+        cfg.change_interval_s = None;
+        cfg.capacity_events = vec![CapacityEvent {
+            start_s: 0.0,
+            duration_s: 100.0,
+            capacity_factor: 0.0,
+            links: Some(vec![0]),
+        }];
+        let records = Simulator::new(topo, matrix, cfg).run();
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(r.pair.0 != 0, "flow {:?} crossed the dead spoke", r.pair);
+        }
+    }
+
+    #[test]
+    fn zero_duration_event_is_harmless() {
+        let topo = SimTopology::hub_and_spoke(3, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(3, 2);
+        let mut cfg = base_config(FabricModel::Eps);
+        cfg.capacity_events = vec![CapacityEvent {
+            start_s: 2.0,
+            duration_s: 0.0,
+            capacity_factor: 0.0,
+            links: None,
+        }];
+        let records = Simulator::new(topo, matrix, cfg).run();
+        assert!(records.len() > 50);
+    }
+
+    #[test]
+    fn utilization_calibration_matches_target() {
+        let topo = SimTopology::hub_and_spoke(4, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(4, 7);
+        let cfg = base_config(FabricModel::Eps);
+        let sim = Simulator::new(topo.clone(), matrix.clone(), cfg);
+        // Reconstruct the expected max link load from the arrival rate.
+        let mean_bits = FlowSizeDist::facebook_web().mean_bytes() * 8.0;
+        let offered_gbps = sim.arrival_rate() * mean_bits / 1e9;
+        let mut unit = vec![0.0f64; 4];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                for &l in topo.route(i, j) {
+                    unit[l] += matrix.weight(i, j);
+                }
+            }
+        }
+        let max_load = unit.iter().fold(0.0f64, |a, &b| a.max(b)) * offered_gbps;
+        assert!((max_load - 0.4).abs() < 1e-9, "max load {max_load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let topo = SimTopology::hub_and_spoke(3, 1.0);
+        let matrix = TrafficMatrix::heavy_tailed(3, 1);
+        let mut cfg = base_config(FabricModel::Eps);
+        cfg.utilization = 1.5;
+        let _ = Simulator::new(topo, matrix, cfg);
+    }
+}

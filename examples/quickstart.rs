@@ -1,0 +1,79 @@
+//! Quickstart: generate a synthetic metro region, plan it as an Iris
+//! all-optical DCI and as a traditional electrical (EPS) fabric, and
+//! compare the two.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use iris_core::prelude::*;
+
+fn main() {
+    // 1. A synthetic metro fiber map: huts + ducts over ~60 x 60 km.
+    let map = synth::generate_metro(&MetroParams {
+        seed: 7,
+        ..MetroParams::default()
+    });
+    println!(
+        "fiber map: {} huts, {} ducts",
+        map.huts().len(),
+        map.duct_count()
+    );
+
+    // 2. Place 8 DCs with the paper's §6.1 procedure (16 fibers of
+    //    40 x 400G wavelengths each = 256 Tbps per DC).
+    let region = synth::place_dcs(
+        map,
+        &PlacementParams {
+            seed: 11,
+            n_dcs: 8,
+            capacity_fibers: 16,
+            wavelengths_per_fiber: 40,
+            ..PlacementParams::default()
+        },
+    );
+    println!(
+        "region: {} DCs of {:.0} Tbps each",
+        region.dcs.len(),
+        region.capacity_gbps(0) / 1000.0
+    );
+
+    // 3. Plan both realizations under a 1-fiber-cut tolerance.
+    let goals = DesignGoals::with_cuts(1);
+    let study = DesignStudy::run(&region, &goals);
+
+    println!("\n               {:>14} {:>14}", "EPS", "Iris");
+    println!(
+        "transceivers   {:>14} {:>14}",
+        study.eps.total_transceivers(),
+        study.iris.dc_transceivers
+    );
+    println!(
+        "fiber pairs    {:>14} {:>14}",
+        study.eps.total_fiber_pair_spans(),
+        study.iris.total_fiber_pair_spans()
+    );
+    println!(
+        "OSS ports      {:>14} {:>14}",
+        0,
+        study.iris.oss_ports()
+    );
+    println!(
+        "amplifiers     {:>14} {:>14}",
+        0,
+        study.iris.total_amps()
+    );
+    println!(
+        "$/year         {:>14.0} {:>14.0}",
+        study.eps_cost.total(),
+        study.iris_cost.total()
+    );
+    println!(
+        "\nIris is {:.1}x cheaper than the electrical design \
+         (and {:.1}x on in-network components alone).",
+        study.eps_iris_cost_ratio(),
+        study.in_network_cost_ratio()
+    );
+    assert!(study.iris.is_feasible(), "plan violates optical constraints");
+    println!("all optical-layer constraints (TC1-TC4, OC1-OC4) verified.");
+}

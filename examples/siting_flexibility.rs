@@ -1,0 +1,102 @@
+//! Siting-flexibility analysis (§2.2 of the paper): where can the next
+//! data center go?
+//!
+//! Renders an ASCII map of the permissible siting area for one new DC
+//! under the centralized design (within 60 km of fiber of both hubs) and
+//! the distributed design (within 120 km of every existing DC), and
+//! reports the area ratio — the paper finds 2-5x in Azure's regions.
+//!
+//! ```text
+//! cargo run --release --example siting_flexibility
+//! ```
+
+use iris_core::prelude::*;
+use iris_fibermap::siting::{region_grid, DistanceField};
+
+fn main() {
+    let map = synth::generate_metro(&MetroParams {
+        seed: 21,
+        ..MetroParams::default()
+    });
+    let region = synth::place_dcs(
+        map,
+        &PlacementParams {
+            seed: 22,
+            n_dcs: 6,
+            ..PlacementParams::default()
+        },
+    );
+    let (h1, h2) = pick_hub_pair(&region.map, 4.0, 7.0);
+    println!(
+        "hubs {} and {} are {:.1} km of fiber apart",
+        region.map.site(h1).name,
+        region.map.site(h2).name,
+        region.map.fiber_distance(h1, h2).expect("connected")
+    );
+
+    let grid = region_grid(&region.map, 3.0, 30.0);
+    let hub_fields = [
+        DistanceField::new(&region.map, h1),
+        DistanceField::new(&region.map, h2),
+    ];
+    let dc_fields: Vec<DistanceField> = region
+        .dcs
+        .iter()
+        .map(|&d| DistanceField::new(&region.map, d))
+        .collect();
+
+    println!("\nlegend: D existing DC, H hub, # both designs, o centralized only,");
+    println!("        + distributed only, . neither\n");
+
+    let mut central_cells = 0u64;
+    let mut distributed_cells = 0u64;
+    for j in (0..grid.ny()).rev() {
+        let mut line = String::new();
+        for i in 0..grid.nx() {
+            let p = grid.cell_center(i, j);
+            let marker = region
+                .dcs
+                .iter()
+                .any(|&d| region.map.site(d).position.distance(&p) <= grid.step() / 2.0);
+            let hub_marker = [h1, h2]
+                .iter()
+                .any(|&h| region.map.site(h).position.distance(&p) <= grid.step() / 2.0);
+            let central = hub_fields
+                .iter()
+                .all(|f| f.from_point(&region.map, &p) <= 60.0);
+            let distributed = dc_fields
+                .iter()
+                .all(|f| f.from_point(&region.map, &p) <= 120.0);
+            if central {
+                central_cells += 1;
+            }
+            if distributed {
+                distributed_cells += 1;
+            }
+            line.push(if marker {
+                'D'
+            } else if hub_marker {
+                'H'
+            } else if central && distributed {
+                '#'
+            } else if distributed {
+                '+'
+            } else if central {
+                'o'
+            } else {
+                '.'
+            });
+        }
+        println!("{line}");
+    }
+
+    let cell = grid.cell_area();
+    let central_km2 = central_cells as f64 * cell;
+    let distributed_km2 = distributed_cells as f64 * cell;
+    println!("\ncentralized service area:  {central_km2:8.0} km^2");
+    println!("distributed service area:  {distributed_km2:8.0} km^2");
+    println!(
+        "area increase:             {:8.2}x  (paper: 2-5x)",
+        distributed_km2 / central_km2.max(1.0)
+    );
+}

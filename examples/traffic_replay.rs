@@ -1,0 +1,67 @@
+//! Flow-level simulation demo (§6.3): run identical traffic over an EPS
+//! fabric and an Iris fabric whose circuits reconfigure every few
+//! seconds, and compare flow completion times.
+//!
+//! ```text
+//! cargo run --release --example traffic_replay
+//! ```
+
+use iris_core::prelude::*;
+use iris_planner::provision;
+use iris_simnet::traffic::ChangeModel;
+use iris_simnet::workloads::FlowSizeDist;
+
+fn main() {
+    // A planned 6-DC region, capacities scaled so the largest simulated
+    // link is 2 Gbps (FCT *ratios* are scale-invariant; see DESIGN.md).
+    let region = synth::place_dcs(
+        synth::generate_metro(&MetroParams {
+            seed: 13,
+            ..MetroParams::default()
+        }),
+        &PlacementParams {
+            seed: 14,
+            n_dcs: 6,
+            ..PlacementParams::default()
+        },
+    );
+    let goals = DesignGoals::with_cuts(0);
+    let prov = provision(&region, &goals);
+    let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
+    let max_cap = raw
+        .links
+        .iter()
+        .map(|l| l.capacity_gbps)
+        .fold(0.0f64, f64::max);
+    let topo = SimTopology::from_provisioning(&region, &goals, &prov, 2.0 / max_cap);
+    println!(
+        "simulated topology: {} links, {} DC pairs",
+        topo.links.len(),
+        topo.routes.len()
+    );
+
+    for (label, util, change) in [
+        ("gentle: 40% util, 10% bounded changes", 0.4, ChangeModel::Bounded(0.1)),
+        ("paper's stress point: 70% util, unbounded changes", 0.7, ChangeModel::Unbounded),
+    ] {
+        let result = run_comparison(
+            &topo,
+            &ExperimentConfig {
+                duration_s: 20.0,
+                utilization: util,
+                change_interval_s: 5.0,
+                change_model: change,
+                workload: FlowSizeDist::pfabric_web_search(),
+                outage_s: 0.07,
+                seed: 3,
+            },
+        );
+        println!("\n{label}");
+        println!("  flows completed (EPS/Iris): {}/{}", result.eps_flows, result.iris_flows);
+        println!("  99th-pct FCT slowdown, all flows:   {:.3}", result.slowdown_p99_all);
+        println!("  99th-pct FCT slowdown, short flows: {:.3}", result.slowdown_p99_short);
+        println!("  mean FCT slowdown:                  {:.3}", result.slowdown_mean_all);
+    }
+    println!("\npaper shape: negligible slowdown at moderate settings; only the");
+    println!("unbounded-change extreme at high utilization shows visible impact.");
+}

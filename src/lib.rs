@@ -1,0 +1,11 @@
+//! `iris-suite` — the workspace's integration-test and example host.
+//!
+//! The library surface lives in the `crates/` members (start at
+//! [`iris_core`]); this crate exists so that the repository-level
+//! `tests/` (cross-crate integration and property suites) and
+//! `examples/` (runnable walkthroughs) have a package to belong to.
+//!
+//! See README.md for the tour and EXPERIMENTS.md for the paper-vs-
+//! measured record.
+
+pub use iris_core;

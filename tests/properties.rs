@@ -1,0 +1,241 @@
+//! Property-based tests over the core invariants (proptest).
+
+use iris_netgraph::{dijkstra, hose, Dinic, FailureScenarios, Graph};
+use proptest::prelude::*;
+
+/// Random small undirected graph: n in 2..8, edges with lengths.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..8).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..50.0), 1..16).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (u, v, len) in edges {
+                if u != v {
+                    g.add_edge(u, v, len);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality(g in arb_graph()) {
+        let disabled = vec![false; g.edge_count()];
+        let n = g.node_count();
+        let dist: Vec<Vec<f64>> = (0..n).map(|s| dijkstra(&g, s, &disabled).dist).collect();
+        for a in 0..n {
+            // Distance to self is zero; symmetry; triangle inequality.
+            prop_assert_eq!(dist[a][a], 0.0);
+            for b in 0..n {
+                prop_assert_eq!(dist[a][b].is_finite(), dist[b][a].is_finite());
+                if dist[a][b].is_finite() {
+                    prop_assert!((dist[a][b] - dist[b][a]).abs() < 1e-9);
+                }
+                for c in 0..n {
+                    if dist[a][b].is_finite() && dist[b][c].is_finite() {
+                        prop_assert!(dist[a][c] <= dist[a][b] + dist[b][c] + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_have_consistent_length(g in arb_graph()) {
+        let disabled = vec![false; g.edge_count()];
+        let r = dijkstra(&g, 0, &disabled);
+        for t in 0..g.node_count() {
+            if let Some(edges) = r.path_edges(&g, t) {
+                let len: f64 = edges.iter().map(|&e| g.perturbed_length(e)).sum();
+                prop_assert!((len - r.dist[t]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn maxflow_is_monotone_in_capacity(caps in proptest::collection::vec(1u64..20, 4)) {
+        // Diamond network: flow grows (weakly) when any capacity grows.
+        let flow = |c: &[u64]| {
+            let mut d = Dinic::new(4);
+            d.add_edge(0, 1, c[0]);
+            d.add_edge(0, 2, c[1]);
+            d.add_edge(1, 3, c[2]);
+            d.add_edge(2, 3, c[3]);
+            d.max_flow(0, 3)
+        };
+        let base = flow(&caps);
+        for i in 0..4 {
+            let mut bigger = caps.clone();
+            bigger[i] += 5;
+            prop_assert!(flow(&bigger) >= base);
+        }
+    }
+
+    #[test]
+    fn hose_load_bounds(
+        caps in proptest::collection::vec(1u64..50, 3..6),
+        pair_selector in proptest::collection::vec(any::<bool>(), 15),
+    ) {
+        let n = caps.len();
+        let mut pairs = Vec::new();
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if *pair_selector.get(k).unwrap_or(&false) {
+                    pairs.push((i, j));
+                }
+                k += 1;
+            }
+        }
+        prop_assume!(!pairs.is_empty());
+        let cap_fn = |d: usize| caps[d];
+        let load = hose::max_edge_load(&cap_fn, &pairs);
+        let naive = hose::naive_edge_load(&cap_fn, &pairs);
+        // Exact load never exceeds the naive bound...
+        prop_assert!(load <= naive + 1e-9);
+        // ...never exceeds half the total capacity of involved DCs...
+        let involved: u64 = (0..n)
+            .filter(|&d| pairs.iter().any(|&(a, b)| a == d || b == d))
+            .map(|d| caps[d])
+            .sum();
+        prop_assert!(load <= involved as f64 / 2.0 + 1e-9);
+        // ...and is at least the largest single pair demand.
+        let best_pair = pairs
+            .iter()
+            .map(|&(a, b)| caps[a].min(caps[b]))
+            .max()
+            .expect("non-empty") as f64;
+        prop_assert!(load >= best_pair - 1e-9);
+    }
+
+    #[test]
+    fn hose_load_is_monotone_in_capacity(
+        caps in proptest::collection::vec(1u64..30, 4),
+    ) {
+        let pairs = [(0usize, 1usize), (0, 2), (1, 3), (2, 3)];
+        let load = |c: &[u64]| hose::max_edge_load(&|d| c[d], &pairs);
+        let base = load(&caps);
+        for i in 0..4 {
+            let mut bigger = caps.clone();
+            bigger[i] += 7;
+            prop_assert!(load(&bigger) >= base - 1e-9);
+        }
+    }
+
+    #[test]
+    fn failure_scenarios_count_and_cardinality(m in 0usize..10, k in 0usize..4) {
+        let all: Vec<_> = FailureScenarios::new(m, k).collect();
+        prop_assert_eq!(all.len() as u64, FailureScenarios::count_scenarios(m, k));
+        for s in &all {
+            prop_assert!(s.len() <= k.min(m));
+            // Strictly increasing edge ids (canonical form).
+            for w in s.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_packing_is_sound(
+        residuals in proptest::collection::vec(0u64..=40, 0..12),
+    ) {
+        let bins = iris_planner::residual::pack_residuals(&residuals, 40);
+        let total: u64 = residuals.iter().sum();
+        // At least the volume bound, at most one bin per demand.
+        prop_assert!(bins as u64 >= total.div_ceil(40).min(residuals.len() as u64));
+        prop_assert!(bins <= residuals.iter().filter(|&&r| r > 0).count());
+    }
+
+    #[test]
+    fn residual_after_base_never_exceeds_demand(
+        demands in proptest::collection::vec(0u64..100, 1..10),
+    ) {
+        let r = iris_planner::residual::residual_after_base(&demands, 40);
+        let total: u64 = demands.iter().sum();
+        prop_assert!(r <= total);
+        // Scaling every demand by a fiber multiple cannot increase the
+        // *fractional* residual share.
+        if total > 0 {
+            prop_assert!(r as f64 <= total as f64);
+        }
+    }
+
+    #[test]
+    fn appendix_b_quadratic_bound(n in 1usize..30, d_frac in 0.0f64..1.0) {
+        // (n - D/λ) · D/n <= λ·n/4 for all feasible D — the key step of
+        // Observation 2.
+        let lambda = 40.0;
+        let d = d_frac * lambda * n as f64;
+        let residual = (n as f64 - d / lambda) * d / n as f64;
+        prop_assert!(residual <= lambda * n as f64 / 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn ber_is_monotone_in_osnr(a in 0.0f64..40.0, delta in 0.0f64..10.0) {
+        let worse = iris_optics::ber::ber_16qam(a);
+        let better = iris_optics::ber::ber_16qam(a + delta);
+        prop_assert!(better <= worse + 1e-15);
+    }
+
+    #[test]
+    fn db_round_trips(db in -50.0f64..50.0) {
+        let mw = iris_optics::db::dbm_to_mw(db);
+        prop_assert!((iris_optics::db::mw_to_dbm(mw) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_report_consistent_when_path_passes(
+        spans in proptest::collection::vec(1.0f64..40.0, 1..4),
+        switches in 0usize..4,
+    ) {
+        use iris_optics::{evaluate_path, PathElement, SwitchElement};
+        let mut elements = vec![PathElement::default_amp()];
+        for (i, &km) in spans.iter().enumerate() {
+            elements.push(PathElement::fiber_km(km));
+            if i < switches {
+                elements.push(PathElement::Switch(SwitchElement::Oss));
+            }
+        }
+        elements.push(PathElement::default_amp());
+        if let Ok(report) = evaluate_path(&elements) {
+            let total: f64 = spans.iter().sum();
+            prop_assert!((report.total_km - total).abs() < 1e-9);
+            prop_assert_eq!(report.amplifier_count, 2);
+            prop_assert!(report.switch_loss_db <= 10.0 + 1e-9);
+            prop_assert!(report.worst_segment_loss_db <= 20.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wavelength_assignment_conserves_demand(
+        demands in proptest::collection::vec((0usize..6, 0u32..200), 0..8),
+    ) {
+        let fibers = iris_control::assign_wavelengths(&demands, 40);
+        let assigned: u64 = fibers.iter().map(|f| f.live_count() as u64).sum();
+        let requested: u64 = demands.iter().map(|&(_, d)| u64::from(d)).sum();
+        prop_assert_eq!(assigned, requested);
+        for f in &fibers {
+            prop_assert!(f.live_count() <= 40);
+        }
+    }
+
+    #[test]
+    fn traffic_matrix_weights_form_distribution(n in 2usize..12, seed in 0u64..500) {
+        let m = iris_simnet::TrafficMatrix::heavy_tailed(n, seed);
+        let total: f64 = m.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(m.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn command_codec_round_trips(
+        switch in any::<u32>(), input in any::<u32>(), output in any::<u32>(),
+    ) {
+        use iris_control::messages::Command;
+        let cmd = Command::SetCross { switch, input, output };
+        let mut buf = cmd.encode();
+        let decoded = Command::decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, cmd);
+    }
+}
