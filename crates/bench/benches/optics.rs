@@ -36,7 +36,9 @@ fn bench_ber_and_osnr(c: &mut Criterion) {
 fn bench_controller_reconfigure(c: &mut Criterion) {
     c.bench_function("controller_reconfigure_20_sites", |b| {
         b.iter(|| {
-            let switches = (0..20).map(|i| SpaceSwitch::new(&format!("S{i}"), 128)).collect();
+            let switches = (0..20)
+                .map(|i| SpaceSwitch::new(&format!("S{i}"), 128))
+                .collect();
             let hops = (0..10)
                 .flat_map(|i| ((i + 1)..10).map(move |j| ((i, j), 2u32)))
                 .collect();

@@ -12,7 +12,10 @@ use iris_optics::{osnr, IMPAIRMENT_MARGIN_DB};
 fn main() {
     println!("# transceiver mode menu:");
     for m in MODE_MENU {
-        println!("  {:<12} {:>5} Gbps  needs {:>5.1} dB OSNR", m.name, m.rate_gbps, m.min_osnr_db);
+        println!(
+            "  {:<12} {:>5} Gbps  needs {:>5.1} dB OSNR",
+            m.name, m.rate_gbps, m.min_osnr_db
+        );
     }
 
     println!("\n# amplifiers  OSNR(dB)  deliverable rate (Gbps)");

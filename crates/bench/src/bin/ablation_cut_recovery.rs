@@ -21,7 +21,11 @@ fn main() {
     let goals = DesignGoals::with_cuts(0);
     let prov = provision(&region, &goals);
     let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
-    let max_cap = raw.links.iter().map(|l| l.capacity_gbps).fold(0.0f64, f64::max);
+    let max_cap = raw
+        .links
+        .iter()
+        .map(|l| l.capacity_gbps)
+        .fold(0.0f64, f64::max);
     let topo = SimTopology::from_provisioning(&region, &goals, &prov, 2.0 / max_cap);
 
     let duration = 30.0;
@@ -75,9 +79,7 @@ fn main() {
             "mean_slowdown": mean / mean_base,
         }));
     }
-    println!(
-        "\neven 1 cut/second (30 cuts in 30 s — far beyond any real failure rate)"
-    );
+    println!("\neven 1 cut/second (30 cuts in 30 s — far beyond any real failure rate)");
     println!("costs only a few percent at the tail: 70 ms recovery windows are cheap.");
 
     iris_bench::write_results(

@@ -23,8 +23,7 @@ fn main() {
     println!("# step  n_dcs  d_fiber_spans  d_transceivers  d_oss_ports  d_amps  feasible");
     let mut rows = Vec::new();
     for (step, &pos) in positions.iter().enumerate() {
-        let (next_region, next_plan, delta) =
-            expand_with_dc(&region, &goals, &plan, pos, 16, 3);
+        let (next_region, next_plan, delta) = expand_with_dc(&region, &goals, &plan, pos, 16, 3);
         println!(
             "{:6}  {:5}  {:13}  {:14}  {:11}  {:6}  {}",
             step + 1,

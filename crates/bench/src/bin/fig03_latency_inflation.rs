@@ -26,7 +26,10 @@ fn main() {
     println!("\nregions analyzed:        {n_regions}");
     println!("DC pairs analyzed:       {}", inflations.len());
     println!("median inflation:        {median:.2}x");
-    println!("pairs with >=2x:         {:.1}% (paper: >20%)", over_2x * 100.0);
+    println!(
+        "pairs with >=2x:         {:.1}% (paper: >20%)",
+        over_2x * 100.0
+    );
     println!("pairs with >=4x:         {:.1}%", over_4x * 100.0);
 
     iris_bench::write_results(

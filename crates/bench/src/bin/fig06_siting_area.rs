@@ -4,9 +4,7 @@
 //! Paper shape: 2-5x across 33 regions with 5-15 existing DCs; regions
 //! with more DCs show smaller (but still >= 2x) gains.
 
-use iris_fibermap::siting::{
-    centralized_service_area, distributed_service_area, region_grid,
-};
+use iris_fibermap::siting::{centralized_service_area, distributed_service_area, region_grid};
 use iris_fibermap::synth::pick_hub_pair;
 
 fn main() {
@@ -27,7 +25,10 @@ fn main() {
         } else {
             f64::INFINITY
         };
-        println!("{seed:8}  {n_dcs:5}  {central:11.0}  {distrib:11.0}  {ratio:5.2}", distrib = distributed);
+        println!(
+            "{seed:8}  {n_dcs:5}  {central:11.0}  {distrib:11.0}  {ratio:5.2}",
+            distrib = distributed
+        );
         ratios.push(ratio);
         rows.push(serde_json::json!({
             "region": seed, "n_dcs": n_dcs,

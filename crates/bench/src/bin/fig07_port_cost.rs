@@ -16,7 +16,10 @@ fn main() {
 
     println!("# G groups: 1 = centralized, {n} = fully distributed");
     println!("# costs normalized to the centralized all-electrical design");
-    println!("{:>3}  {:>11}  {:>14}  {:>8}", "G", "electrical", "electrical+SR", "optical");
+    println!(
+        "{:>3}  {:>11}  {:>14}  {:>8}",
+        "G", "electrical", "electrical+SR", "optical"
+    );
     let mut rows = Vec::new();
     for g in [1u64, 2, 4, 8, 16] {
         let c = fig7_costs(n, p, g, &book);

@@ -43,7 +43,10 @@ fn main() {
     let mut ports_iris = Vec::new();
     let mut ratio_resilience = Vec::new();
 
-    eprintln!("# sweeping {} scenarios (cut tolerance {cuts})...", points.len());
+    eprintln!(
+        "# sweeping {} scenarios (cut tolerance {cuts})...",
+        points.len()
+    );
     for (i, p) in points.iter().enumerate() {
         let region = iris_bench::build_region(p);
         let study = DesignStudy::run(&region, &goals);
@@ -86,13 +89,16 @@ fn main() {
 
     let p20 = iris_bench::percentile(&ratio_eps_iris, 0.2);
     let median = iris_bench::percentile(&ratio_eps_iris, 0.5);
-    let frac_ge_5 = ratio_eps_iris.iter().filter(|&&r| r >= 5.0).count() as f64
-        / ratio_eps_iris.len() as f64;
+    let frac_ge_5 =
+        ratio_eps_iris.iter().filter(|&&r| r >= 5.0).count() as f64 / ratio_eps_iris.len() as f64;
     let in_net_p20 = iris_bench::percentile(&ratio_in_network, 0.2);
     let min_resilience = iris_bench::percentile(&ratio_resilience, 0.0);
     println!("\n== headline numbers ==");
     println!("median EPS/Iris:                      {median:.2}x (paper: ~7x)");
-    println!("EPS >= 5x Iris in                     {:.0}% of scenarios (paper: 80%)", frac_ge_5 * 100.0);
+    println!(
+        "EPS >= 5x Iris in                     {:.0}% of scenarios (paper: 80%)",
+        frac_ge_5 * 100.0
+    );
     println!("20th-pct EPS/Iris:                    {p20:.2}x");
     println!("20th-pct in-network ratio:            {in_net_p20:.2}x (paper: >=10x for 80%)");
     println!("min EPS-0-failures / Iris:            {min_resilience:.2}x (paper: >2x everywhere)");

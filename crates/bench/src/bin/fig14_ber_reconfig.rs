@@ -8,7 +8,11 @@ use iris_control::testbed::{run_testbed, summarize, TestbedConfig};
 
 fn main() {
     let config = TestbedConfig {
-        duration_s: if iris_bench::quick_mode() { 120.0 } else { 600.0 },
+        duration_s: if iris_bench::quick_mode() {
+            120.0
+        } else {
+            600.0
+        },
         ..TestbedConfig::default()
     };
     let samples = run_testbed(&config);
@@ -27,10 +31,22 @@ fn main() {
     }
 
     println!("\nduration:                 {:.0} s", config.duration_s);
-    println!("reconfig interval:        {:.0} s", config.reconfig_interval_s);
-    println!("max pre-FEC BER:          {:.3e} (SD-FEC threshold 2e-2)", summary.max_ber);
-    println!("samples below threshold:  {:.1}% (paper: all)", summary.below_threshold * 100.0);
-    println!("max recovery gap:         {:.0} ms (paper: ~50 ms)", summary.max_gap_ms);
+    println!(
+        "reconfig interval:        {:.0} s",
+        config.reconfig_interval_s
+    );
+    println!(
+        "max pre-FEC BER:          {:.3e} (SD-FEC threshold 2e-2)",
+        summary.max_ber
+    );
+    println!(
+        "samples below threshold:  {:.1}% (paper: all)",
+        summary.below_threshold * 100.0
+    );
+    println!(
+        "max recovery gap:         {:.0} ms (paper: ~50 ms)",
+        summary.max_gap_ms
+    );
 
     iris_bench::write_results(
         "fig14_ber_reconfig",

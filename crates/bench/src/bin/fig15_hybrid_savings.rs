@@ -24,7 +24,11 @@ fn main() {
     for p in &points {
         let region = iris_bench::build_region(p);
         let agg = hybrid_aggregate(&region, &goals);
-        let before: u64 = agg.before_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
+        let before: u64 = agg
+            .before_pairs_per_edge
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum();
         let after: u64 = agg.after_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
         // The paper's metric: residual fibers terminating at the DCs
         // (the n·(n-1) overhead itself), i.e. pairs on DC-adjacent spans.
@@ -68,9 +72,18 @@ fn main() {
     let mean_savings = savings.iter().sum::<f64>() / savings.len() as f64;
     let mean_dc = dc_savings.iter().sum::<f64>() / dc_savings.len() as f64;
     let mean_delta = cost_deltas.iter().sum::<f64>() / cost_deltas.len() as f64;
-    println!("\nmean span-weighted savings:     {:.0}%", mean_savings * 100.0);
-    println!("mean DC-side residual savings:  {:.0}% (paper: ~50%)", mean_dc * 100.0);
-    println!("mean total-cost delta:          {:.2}% (paper: small — not worth the complexity)", mean_delta * 100.0);
+    println!(
+        "\nmean span-weighted savings:     {:.0}%",
+        mean_savings * 100.0
+    );
+    println!(
+        "mean DC-side residual savings:  {:.0}% (paper: ~50%)",
+        mean_dc * 100.0
+    );
+    println!(
+        "mean total-cost delta:          {:.2}% (paper: small — not worth the complexity)",
+        mean_delta * 100.0
+    );
 
     iris_bench::write_results(
         "fig15_hybrid_savings",

@@ -20,8 +20,7 @@ fn main() {
         let plan = plan_iris(&region, &goals);
         let cost = iris_cost(&plan, &book);
         let amp_cost = cost.amplifiers;
-        let cut_fiber_cost =
-            plan.cuts.total_fiber_pair_spans() as f64 * book.fiber_pair_span;
+        let cut_fiber_cost = plan.cuts.total_fiber_pair_spans() as f64 * book.fiber_pair_span;
         let overhead = (amp_cost + cut_fiber_cost) / cost.total();
         overheads.push(overhead);
     }

@@ -10,9 +10,7 @@
 use iris_core::DesignStudy;
 use iris_cost::PriceBook;
 use iris_fibermap::reliability::hub_tradeoff;
-use iris_fibermap::siting::{
-    centralized_service_area, distributed_service_area, region_grid,
-};
+use iris_fibermap::siting::{centralized_service_area, distributed_service_area, region_grid};
 use iris_fibermap::synth::pick_hub_pair;
 use iris_planner::centralized::{plan_centralized, HubHoming};
 use iris_planner::{topology::nominal_paths, DesignGoals};

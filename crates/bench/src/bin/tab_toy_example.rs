@@ -42,7 +42,10 @@ fn main() {
     let co = iris_cost(&iris, &book);
 
     println!("§3.4 toy example (4 DCs x 160 Tbps, Fig. 10 topology)");
-    println!("{:<28} {:>12} {:>12} {:>8}", "", "electrical", "Iris", "paper");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "", "electrical", "Iris", "paper"
+    );
     println!(
         "{:<28} {:>12} {:>12} {:>8}",
         "transceivers",
@@ -59,7 +62,10 @@ fn main() {
     );
     println!(
         "{:<28} {:>12} {:>12} {:>8}",
-        "OSS ports", 0, iris.oss_ports(), "0/312"
+        "OSS ports",
+        0,
+        iris.oss_ports(),
+        "0/312"
     );
     println!(
         "{:<28} {:>12.0} {:>12.0}",

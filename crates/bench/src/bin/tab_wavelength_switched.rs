@@ -17,7 +17,9 @@ fn main() {
     let goals = DesignGoals::with_cuts(0);
     let book = PriceBook::paper_2020();
 
-    println!("# map  n_dcs  lambda  iris_cost  oxc_cost  eps_cost  oxc/iris  color_extra  tc4_viol");
+    println!(
+        "# map  n_dcs  lambda  iris_cost  oxc_cost  eps_cost  oxc/iris  color_extra  tc4_viol"
+    );
     let mut oxc_over_iris = Vec::new();
     let mut eps_over_oxc = Vec::new();
     let mut rows = Vec::new();
@@ -50,7 +52,9 @@ fn main() {
     }
     let med = iris_bench::percentile(&oxc_over_iris, 0.5);
     let med_eps = iris_bench::percentile(&eps_over_oxc, 0.5);
-    println!("\nmedian OXC/Iris cost: {med:.2}x (paper: wavelength switching is the pricier option)");
+    println!(
+        "\nmedian OXC/Iris cost: {med:.2}x (paper: wavelength switching is the pricier option)"
+    );
     println!("median EPS/OXC cost:  {med_eps:.2}x (both optical designs beat packet switching)");
 
     iris_bench::write_results(

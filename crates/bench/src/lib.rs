@@ -15,7 +15,9 @@ use std::path::PathBuf;
 /// Whether the binaries should run reduced sweeps.
 #[must_use]
 pub fn quick_mode() -> bool {
-    std::env::var("IRIS_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("IRIS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The evaluation's region-scale knobs (§6.1): 10 fiber maps, DC counts,
@@ -125,7 +127,11 @@ pub fn print_cdf(label: &str, values: &[f64], max_rows: usize) {
 }
 
 /// Write a JSON value under `results/<name>.json` (relative to the
-/// workspace root when run via cargo).
+/// workspace root when run via cargo). If the process-global telemetry
+/// registry recorded anything, a `results/<name>.metrics.json` sidecar
+/// captures the snapshot — planner work counters, simulator event
+/// counts, control-plane phase latencies — for the run that produced
+/// the figure.
 pub fn write_results(name: &str, value: &serde_json::Value) {
     let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
@@ -143,6 +149,23 @@ pub fn write_results(name: &str, value: &serde_json::Value) {
             println!("# results written to {}", path.display());
         }
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    let snapshot = iris_telemetry::global().snapshot();
+    if snapshot.is_empty() {
+        return;
+    }
+    let metrics_path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::File::create(&metrics_path) {
+        Ok(mut f) => {
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&snapshot.to_json()).expect("serializable")
+            );
+            println!("# metrics sidecar written to {}", metrics_path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", metrics_path.display()),
     }
 }
 

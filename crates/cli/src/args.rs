@@ -44,8 +44,26 @@ impl Options {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+                .map_err(|_| format!("--{name}: cannot parse '{v}' as a number")),
         }
+    }
+
+    /// Reject any parsed option not in `allowed`, naming the offending
+    /// flag and listing what the subcommand accepts.
+    pub fn ensure_known(&self, subcommand: &str, allowed: &[&str]) -> Result<(), String> {
+        for key in self.values.keys() {
+            if !allowed.contains(&key.as_str()) {
+                let accepted = allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(format!(
+                    "unknown option --{key} for 'iris {subcommand}' (accepted: {accepted})"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -80,7 +98,20 @@ mod tests {
     #[test]
     fn rejects_unparsable_number() {
         let o = Options::parse(&strs(&["--util", "abc"])).unwrap();
-        assert!(o.num("util", 0.4f64).is_err());
+        let err = o.num("util", 0.4f64).unwrap_err();
+        assert!(err.contains("--util"), "{err}");
+        assert!(err.contains("'abc'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_names_itself_and_the_accepted_set() {
+        let o = Options::parse(&strs(&["--bogus", "1"])).unwrap();
+        let err = o.ensure_known("simulate", &["region", "util"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(err.contains("simulate"), "{err}");
+        assert!(err.contains("--region"), "{err}");
+        assert!(err.contains("--util"), "{err}");
+        assert!(o.ensure_known("simulate", &["bogus"]).is_ok());
     }
 
     #[test]

@@ -4,9 +4,7 @@ use crate::args::Options;
 use iris_core::prelude::*;
 use iris_core::DesignStudy;
 use iris_fibermap::io::{load_region, save_region};
-use iris_fibermap::siting::{
-    centralized_service_area, distributed_service_area, region_grid,
-};
+use iris_fibermap::siting::{centralized_service_area, distributed_service_area, region_grid};
 use iris_planner::centralized::{plan_centralized, HubHoming};
 use iris_planner::provision;
 use iris_simnet::traffic::ChangeModel;
@@ -60,14 +58,24 @@ pub fn plan(opts: &Options) -> Result<(), String> {
     let plan = plan_iris(&region, &goals);
     let cost = iris_cost(&plan, &PriceBook::paper_2020());
 
-    println!("Iris plan ({} DCs, {} cut tolerance)", region.dcs.len(), cuts);
-    println!("  scenarios examined:   {}", plan.provisioning.scenarios_examined);
+    println!(
+        "Iris plan ({} DCs, {} cut tolerance)",
+        region.dcs.len(),
+        cuts
+    );
+    println!(
+        "  scenarios examined:   {}",
+        plan.provisioning.scenarios_examined
+    );
     println!(
         "  ducts used:           {}/{}",
         plan.provisioning.used_edges().len(),
         region.map.duct_count()
     );
-    println!("  huts lit:             {}", plan.provisioning.used_huts(&region).len());
+    println!(
+        "  huts lit:             {}",
+        plan.provisioning.used_huts(&region).len()
+    );
     println!("  DC transceivers:      {}", plan.dc_transceivers);
     println!("  fiber pair-spans:     {}", plan.total_fiber_pair_spans());
     println!("  OSS ports:            {}", plan.oss_ports());
@@ -98,10 +106,14 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     let book = PriceBook::paper_2020();
     // Centralized electrical cost: transceivers at both ends of every
     // access fiber, plus switch ports and fiber leases.
-    let central_cost = central.total_transceivers() as f64 * (book.transceiver + book.electrical_port)
+    let central_cost = central.total_transceivers() as f64
+        * (book.transceiver + book.electrical_port)
         + central.total_fiber_pair_spans() as f64 * book.fiber_pair_span;
 
-    println!("{:<24} {:>14} {:>14} {:>14}", "", "centralized", "EPS (distr.)", "Iris (distr.)");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "", "centralized", "EPS (distr.)", "Iris (distr.)"
+    );
     println!(
         "{:<24} {:>14} {:>14} {:>14}",
         "transceivers",
@@ -159,7 +171,10 @@ pub fn siting(opts: &Options) -> Result<(), String> {
     println!("service area for one new DC:");
     println!("  centralized (60 km of both hubs):   {central:8.0} km^2");
     println!("  distributed (120 km of every DC):   {distributed:8.0} km^2");
-    println!("  flexibility gain:                   {:8.2}x", distributed / central.max(1.0));
+    println!(
+        "  flexibility gain:                   {:8.2}x",
+        distributed / central.max(1.0)
+    );
     Ok(())
 }
 
@@ -179,9 +194,13 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
     let goals = DesignGoals::with_cuts(0);
     let prov = provision(&region, &goals);
     let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
-    let max_cap = raw.links.iter().map(|l| l.capacity_gbps).fold(0.0f64, f64::max);
+    let max_cap = raw
+        .links
+        .iter()
+        .map(|l| l.capacity_gbps)
+        .fold(0.0f64, f64::max);
     let topo = SimTopology::from_provisioning(&region, &goals, &prov, 2.0 / max_cap);
-    let result = run_comparison(
+    let (result, manifest) = iris_simnet::experiment::run_comparison_recorded(
         &topo,
         &ExperimentConfig {
             duration_s: duration,
@@ -193,12 +212,76 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
             seed: 42,
         },
     );
+    // Drive the control plane through the same reconfiguration cadence
+    // the simulation modeled, so the dark time backing `outage_s` comes
+    // from the orchestrator (and a --telemetry snapshot covers planner,
+    // simulator and controller in one run).
+    let dark_ms = replay_reconfigurations(&region, &goals, duration, interval);
+
     println!("paired simulation: {duration} s, util {util}, reconfig every {interval} s");
-    println!("  flows completed (EPS/Iris):  {}/{}", result.eps_flows, result.iris_flows);
-    println!("  p99 FCT slowdown, all:       {:.3}", result.slowdown_p99_all);
-    println!("  p99 FCT slowdown, short:     {:.3}", result.slowdown_p99_short);
-    println!("  mean FCT slowdown:           {:.3}", result.slowdown_mean_all);
+    println!("  seed:                        {}", manifest.seed);
+    println!("  controller dark time:        {dark_ms:.0} ms worst pair");
+    println!(
+        "  flows completed (EPS/Iris):  {}/{}",
+        result.eps_flows, result.iris_flows
+    );
+    println!(
+        "  p99 FCT slowdown, all:       {:.3}",
+        result.slowdown_p99_all
+    );
+    println!(
+        "  p99 FCT slowdown, short:     {:.3}",
+        result.slowdown_p99_short
+    );
+    println!(
+        "  mean FCT slowdown:           {:.3}",
+        result.slowdown_mean_all
+    );
+    if let Some(out) = opts.get("out") {
+        // Results plus everything needed to reproduce them.
+        let payload = serde_json::json!({
+            "manifest": serde_json::to_value(&manifest).map_err(|e| e.to_string())?,
+            "result": serde_json::to_value(result).map_err(|e| e.to_string())?,
+        });
+        let text = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
+        std::fs::write(out, text + "\n").map_err(|e| format!("--out: cannot write {out}: {e}"))?;
+        println!("  results written to {out}");
+    }
     Ok(())
+}
+
+/// Replay the simulation's reconfiguration schedule through the real
+/// orchestrator: one [`iris_control::Controller::reconfigure`] per change
+/// interval, alternating circuit counts so every DC pair is affected.
+/// Returns the worst per-pair dark time (ms) across the replays.
+fn replay_reconfigurations(
+    region: &Region,
+    goals: &DesignGoals,
+    duration: f64,
+    interval: f64,
+) -> f64 {
+    use iris_control::{Controller, SpaceSwitch};
+
+    let paths = iris_planner::topology::nominal_paths(region, goals);
+    let hops: std::collections::BTreeMap<(usize, usize), u32> = paths
+        .iter()
+        .map(|p| ((p.a, p.b), p.edges.len() as u32))
+        .collect();
+    let switches = (0..region.map.graph().node_count())
+        .map(|i| SpaceSwitch::new(&format!("OSS{i}"), 32))
+        .collect();
+    let controller = Controller::new(switches, hops.clone());
+
+    let reconfigs = ((duration / interval.max(1e-9)) as usize).max(1);
+    let mut worst_dark_ms = 0.0f64;
+    for r in 0..reconfigs {
+        let circuits = 1 + (r as u32 % 2);
+        let target: iris_control::controller::Allocation =
+            hops.keys().map(|&pair| (pair, circuits)).collect();
+        let report = controller.reconfigure(&target);
+        worst_dark_ms = worst_dark_ms.max(report.max_dark_ms());
+    }
+    worst_dark_ms
 }
 
 /// `iris testbed` — Fig. 14 replay.
@@ -207,9 +290,18 @@ pub fn testbed(_opts: &Options) -> Result<(), String> {
     let config = TestbedConfig::default();
     let samples = run_testbed(&config);
     let summary = summarize(&samples, config.sample_period_ms);
-    println!("testbed replay ({} s, reconfig every {} s):", config.duration_s, config.reconfig_interval_s);
-    println!("  max pre-FEC BER:    {:.2e} (threshold 2e-2)", summary.max_ber);
+    println!(
+        "testbed replay ({} s, reconfig every {} s):",
+        config.duration_s, config.reconfig_interval_s
+    );
+    println!(
+        "  max pre-FEC BER:    {:.2e} (threshold 2e-2)",
+        summary.max_ber
+    );
     println!("  recovery gap:       {:.0} ms", summary.max_gap_ms);
-    println!("  below threshold:    {:.1}%", summary.below_threshold * 100.0);
+    println!(
+        "  below threshold:    {:.1}%",
+        summary.below_threshold * 100.0
+    );
     Ok(())
 }

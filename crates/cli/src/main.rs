@@ -24,25 +24,80 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Accepted `--options` per subcommand. `--telemetry` works everywhere:
+/// after the subcommand finishes, the process-global metric registry is
+/// snapshotted to the given path (Prometheus text for `.prom`/`.txt`,
+/// JSON otherwise).
+fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "gen" => &[
+            "seed",
+            "dcs",
+            "fibers",
+            "lambda",
+            "huts",
+            "out",
+            "telemetry",
+        ],
+        "plan" | "compare" => &["region", "cuts", "telemetry"],
+        "siting" => &["region", "telemetry"],
+        "simulate" | "sim" => &[
+            "region",
+            "util",
+            "interval",
+            "duration",
+            "workload",
+            "out",
+            "telemetry",
+        ],
+        "testbed" => &["telemetry"],
+        _ => return None,
+    })
+}
+
 fn run(argv: &[String]) -> Result<(), String> {
     let Some(command) = argv.first() else {
         print_usage();
         return Ok(());
     };
     let opts = args::Options::parse(&argv[1..])?;
+    if let Some(allowed) = accepted_options(command) {
+        opts.ensure_known(command, allowed)?;
+    }
     match command.as_str() {
         "gen" => commands::generate(&opts),
         "plan" => commands::plan(&opts),
         "compare" => commands::compare(&opts),
         "siting" => commands::siting(&opts),
-        "simulate" => commands::simulate(&opts),
+        "simulate" | "sim" => commands::simulate(&opts),
         "testbed" => commands::testbed(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
-            Ok(())
+            return Ok(());
         }
-        other => Err(format!("unknown command '{other}' (try `iris help`)")),
+        other => return Err(format!("unknown command '{other}' (try `iris help`)")),
+    }?;
+    if let Some(path) = opts.get("telemetry") {
+        write_telemetry(path)?;
     }
+    Ok(())
+}
+
+/// Snapshot the global metric registry to `path`.
+fn write_telemetry(path: &str) -> Result<(), String> {
+    let snapshot = iris_telemetry::global().snapshot();
+    let text = if path.ends_with(".prom") || path.ends_with(".txt") {
+        snapshot.to_prometheus_text()
+    } else {
+        let json = snapshot.to_json();
+        let mut s = serde_json::to_string_pretty(&json)
+            .map_err(|e| format!("--telemetry: cannot serialize snapshot: {e}"))?;
+        s.push('\n');
+        s
+    };
+    std::fs::write(path, text).map_err(|e| format!("--telemetry: cannot write {path}: {e}"))?;
+    println!("telemetry snapshot written to {path}");
+    Ok(())
 }
 
 fn print_usage() {
@@ -61,8 +116,15 @@ USAGE:
   iris siting   --region FILE
                 service-area analysis: where can the next DC go?
   iris simulate --region FILE [--util U] [--interval S] [--duration S]
-                paired Iris-vs-EPS flow-level simulation
+                [--workload W] [--out FILE]
+                paired Iris-vs-EPS flow-level simulation (`sim` for short);
+                --out writes the result plus its reproducibility manifest
   iris testbed  replay the Fig. 14 physical-layer experiment
-  iris help     this text"
+  iris help     this text
+
+Every subcommand also accepts --telemetry FILE: after the command runs,
+the process-wide metric registry (simulator event counts, control-plane
+phase latencies, planner work counters) is snapshotted to FILE —
+Prometheus text for .prom/.txt paths, JSON otherwise."
     );
 }

@@ -45,14 +45,27 @@ fn unknown_command_fails_with_message() {
 fn gen_then_plan_round_trip() {
     let region = tmp("roundtrip.json");
     let out = iris(&[
-        "gen", "--seed", "3", "--dcs", "5", "--out",
+        "gen",
+        "--seed",
+        "3",
+        "--dcs",
+        "5",
+        "--out",
         region.to_str().expect("utf8 path"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(region.exists());
 
     let out = iris(&["plan", "--region", region.to_str().unwrap(), "--cuts", "0"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Iris plan"), "{text}");
     assert!(text.contains("FEASIBLE"), "{text}");
@@ -75,7 +88,15 @@ fn plan_with_missing_file_reports_io_error() {
 #[test]
 fn siting_reports_flexibility_gain() {
     let region = tmp("siting.json");
-    iris(&["gen", "--seed", "5", "--dcs", "5", "--out", region.to_str().unwrap()]);
+    iris(&[
+        "gen",
+        "--seed",
+        "5",
+        "--dcs",
+        "5",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
     let out = iris(&["siting", "--region", region.to_str().unwrap()]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
@@ -85,12 +106,29 @@ fn siting_reports_flexibility_gain() {
 #[test]
 fn simulate_reports_slowdowns() {
     let region = tmp("simulate.json");
-    iris(&["gen", "--seed", "6", "--dcs", "4", "--out", region.to_str().unwrap()]);
-    let out = iris(&[
-        "simulate", "--region", region.to_str().unwrap(), "--duration", "5",
-        "--workload", "web2",
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = iris(&[
+        "simulate",
+        "--region",
+        region.to_str().unwrap(),
+        "--duration",
+        "5",
+        "--workload",
+        "web2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("p99 FCT slowdown"), "{text}");
 }
@@ -98,9 +136,21 @@ fn simulate_reports_slowdowns() {
 #[test]
 fn simulate_rejects_unknown_workload() {
     let region = tmp("badworkload.json");
-    iris(&["gen", "--seed", "6", "--dcs", "4", "--out", region.to_str().unwrap()]);
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
     let out = iris(&[
-        "simulate", "--region", region.to_str().unwrap(), "--workload", "nope",
+        "simulate",
+        "--region",
+        region.to_str().unwrap(),
+        "--workload",
+        "nope",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
@@ -113,4 +163,180 @@ fn testbed_reports_ber_below_threshold() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("max pre-FEC BER"), "{text}");
     assert!(text.contains("100.0%"), "{text}");
+}
+
+#[test]
+fn unknown_flag_names_flag_and_accepted_options() {
+    let out = iris(&["simulate", "--bogus", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--bogus"), "{err}");
+    assert!(err.contains("simulate"), "{err}");
+    assert!(err.contains("--region"), "{err}");
+    assert!(err.contains("--util"), "{err}");
+}
+
+#[test]
+fn malformed_number_names_the_flag() {
+    let region = tmp("badnum.json");
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
+    let out = iris(&[
+        "simulate",
+        "--region",
+        region.to_str().unwrap(),
+        "--util",
+        "lots",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--util"), "{err}");
+    assert!(err.contains("'lots'"), "{err}");
+}
+
+#[test]
+fn sim_is_an_alias_for_simulate() {
+    let region = tmp("simalias.json");
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
+    let out = iris(&[
+        "sim",
+        "--region",
+        region.to_str().unwrap(),
+        "--duration",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("p99 FCT slowdown"));
+}
+
+#[test]
+fn telemetry_snapshot_covers_all_three_layers() {
+    let region = tmp("telemetry-region.json");
+    let snap = tmp("telemetry-snapshot.json");
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
+    let out = iris(&[
+        "sim",
+        "--region",
+        region.to_str().unwrap(),
+        "--duration",
+        "3",
+        "--telemetry",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&snap).expect("snapshot written");
+    // Simulator events, planner work and controller phase latencies all
+    // land in the one process-wide registry.
+    assert!(text.contains("iris_simnet_events_total"), "{text}");
+    assert!(text.contains("iris_planner_scenarios_total"), "{text}");
+    assert!(text.contains("iris_control_phase_ms"), "{text}");
+    assert!(text.contains("\"p99\""), "{text}");
+    // Event counter must be non-zero: "events_total": 0 would serialize
+    // with a zero value right after the name.
+    assert!(!text.contains("\"iris_simnet_events_total\": 0"), "{text}");
+}
+
+#[test]
+fn telemetry_prom_extension_writes_prometheus_text() {
+    let region = tmp("telemetry-prom-region.json");
+    let snap = tmp("telemetry-snapshot.prom");
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
+    let out = iris(&[
+        "sim",
+        "--region",
+        region.to_str().unwrap(),
+        "--duration",
+        "3",
+        "--telemetry",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&snap).expect("snapshot written");
+    assert!(
+        text.contains("# TYPE iris_simnet_events_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("quantile=\"0.99\""), "{text}");
+}
+
+#[test]
+fn simulate_out_records_manifest_for_reproduction() {
+    let region = tmp("manifest-region.json");
+    let outfile = tmp("manifest-out.json");
+    iris(&[
+        "gen",
+        "--seed",
+        "6",
+        "--dcs",
+        "4",
+        "--out",
+        region.to_str().unwrap(),
+    ]);
+    let out = iris(&[
+        "simulate",
+        "--region",
+        region.to_str().unwrap(),
+        "--duration",
+        "3",
+        "--out",
+        outfile.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&outfile).expect("results written");
+    for field in [
+        "\"manifest\"",
+        "\"seed\"",
+        "\"utilization\"",
+        "\"flow_size_dist\"",
+        "\"result\"",
+    ] {
+        assert!(text.contains(field), "missing {field}: {text}");
+    }
 }

@@ -9,6 +9,7 @@
 
 use crate::devices::{DeviceHealth, SpaceSwitch};
 use crate::messages::Command;
+use iris_telemetry::{labeled, Span};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -122,7 +123,10 @@ impl Controller {
     /// allocation. `hops_per_pair` gives the OSS hop count of each DC
     /// pair's circuit (at least 1).
     #[must_use]
-    pub fn new(site_switches: Vec<SpaceSwitch>, hops_per_pair: BTreeMap<(usize, usize), u32>) -> Self {
+    pub fn new(
+        site_switches: Vec<SpaceSwitch>,
+        hops_per_pair: BTreeMap<(usize, usize), u32>,
+    ) -> Self {
         Self {
             switches: RwLock::new(site_switches),
             allocation: RwLock::new(Allocation::new()),
@@ -148,12 +152,16 @@ impl Controller {
     /// (DC-local, overlapped with actuation) → amplifier settle → DSP
     /// relock → verify → undrain.
     pub fn reconfigure(&self, target: &Allocation) -> ReconfigReport {
+        let telemetry = iris_telemetry::global();
+        let wall = Span::enter_ms(telemetry.histogram("iris_control_reconfigure_wall_ms"));
         let current = self.allocation.read().clone();
         let plan = diff_allocations(&current, target);
         let mut commands = Vec::new();
         let mut dark = BTreeMap::new();
 
         if plan.is_empty() {
+            telemetry.counter("iris_control_reconfigs_noop_total").inc();
+            wall.cancel();
             return ReconfigReport {
                 commands,
                 total_ms: 0.0,
@@ -162,6 +170,13 @@ impl Controller {
                 timeline: Vec::new(),
             };
         }
+        telemetry.counter("iris_control_reconfigs_total").inc();
+        telemetry
+            .counter("iris_control_circuits_up_total")
+            .add(u64::from(plan.circuits_up));
+        telemetry
+            .counter("iris_control_circuits_down_total")
+            .add(u64::from(plan.circuits_down));
 
         // 1. Drain.
         for &(a, b) in &plan.affected_pairs {
@@ -238,7 +253,11 @@ impl Controller {
         for &(a, b) in &plan.affected_pairs {
             let hops = self.hops_per_pair.get(&(a, b)).copied().unwrap_or(1);
             let staggered = actuation_ms * f64::from(hops.clamp(1, 2));
-            dark.insert((a, b), staggered + settle_ms + DSP_RELOCK_MS);
+            let pair_dark_ms = staggered + settle_ms + DSP_RELOCK_MS;
+            telemetry
+                .histogram("iris_control_dark_ms")
+                .record(pair_dark_ms);
+            dark.insert((a, b), pair_dark_ms);
         }
 
         let total_ms = actuation_ms.max(retune_ms) + settle_ms + DSP_RELOCK_MS;
@@ -261,6 +280,23 @@ impl Controller {
         push("relock", settle_end, settle_end + DSP_RELOCK_MS);
         push("verify", settle_end + DSP_RELOCK_MS, total_ms);
         push("undrain", total_ms, total_ms);
+
+        // Telemetry: modeled per-phase latency and device-health tally.
+        for step in &timeline {
+            telemetry
+                .histogram(&labeled("iris_control_phase_ms", "phase", &step.phase))
+                .record(step.end_ms - step.start_ms);
+        }
+        for h in &health {
+            let state = match h {
+                DeviceHealth::Ok => "ok",
+                DeviceHealth::Degraded(_) => "degraded",
+            };
+            telemetry
+                .counter(&labeled("iris_control_device_health_total", "state", state))
+                .inc();
+        }
+        wall.finish();
 
         ReconfigReport {
             commands,
@@ -362,7 +398,11 @@ mod tests {
         // The last phase ends exactly at the total.
         assert_eq!(report.timeline.last().unwrap().end_ms, report.total_ms);
         // Retune overlaps actuation (both start at 0).
-        let retune = report.timeline.iter().find(|s| s.phase == "retune").unwrap();
+        let retune = report
+            .timeline
+            .iter()
+            .find(|s| s.phase == "retune")
+            .unwrap();
         assert_eq!(retune.start_ms, 0.0);
     }
 

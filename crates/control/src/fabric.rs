@@ -101,15 +101,15 @@ pub fn build_fabric(region: &Region, goals: &DesignGoals, plan: &IrisPlan) -> Fa
     // ports.
     let mut duct_cursor: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_sites];
     let mut adddrop_cursor = vec![0usize; n_sites];
-    let lambda = u64::from(region.wavelengths_per_fiber);
 
     // --- Thread circuits along nominal paths. ---
     let mut circuits = Vec::new();
     for path in nominal_paths(region, goals) {
-        let demand_wl = region
-            .capacity_wavelengths(path.a)
-            .min(region.capacity_wavelengths(path.b));
-        let fiber_pairs = demand_wl.div_ceil(lambda).min(1).max(1) as u32; // representative strand
+        // One representative strand per DC pair: the layout threads
+        // ports, it does not replicate per-wavelength capacity (a full
+        // build-out would thread min-capacity/lambda parallel strands
+        // through the same port blocks).
+        let fiber_pairs = 1u32;
         let mut cross = Vec::new();
         let mut take_port = |site: usize, edge: usize| -> usize {
             let base = port_base[site][&edge];

@@ -32,7 +32,7 @@ pub mod testbed;
 pub mod wavelength;
 
 pub use controller::{Controller, ReconfigPlan, ReconfigReport};
-pub use fabric::{build_fabric, Circuit, FabricLayout};
 pub use devices::{ChannelEmulator, DeviceHealth, Edfa, SpaceSwitch, TunableTransceiver};
+pub use fabric::{build_fabric, Circuit, FabricLayout};
 pub use testbed::{run_testbed, BerSample, TestbedConfig};
 pub use wavelength::{assign_wavelengths, FiberAssignment};

@@ -90,7 +90,7 @@ pub fn run_testbed(config: &TestbedConfig) -> Vec<BerSample> {
         let epoch = (t_ms / interval_ms) as u64;
         let into_epoch_ms = t_ms - epoch as f64 * interval_ms;
         // Configuration alternates per epoch.
-        let (dc2_ingress, dc3_ingress) = if epoch % 2 == 0 {
+        let (dc2_ingress, dc3_ingress) = if epoch.is_multiple_of(2) {
             (in_b, in_a) // A: 60->DC2 (amplified), 20->DC3
         } else {
             (in_a, in_b) // B: 20->DC2, 60->DC3 (amplified)
@@ -221,7 +221,7 @@ mod tests {
         // Mid-epoch samples.
         let dc3_epoch0 = ber_at(30_000.0, 1); // 20+10 km: 2 amps
         let dc3_epoch1 = ber_at(90_000.0, 1); // 60+10 km: 2 amps? 17.5+1.5=19 dB -> 2 amps
-        // Both below threshold, and the longer path is never better.
+                                              // Both below threshold, and the longer path is never better.
         assert!(dc3_epoch1 >= dc3_epoch0 * 0.99);
     }
 

@@ -69,8 +69,12 @@ impl DesignStudy {
     /// transceivers common to both designs).
     #[must_use]
     pub fn in_network_cost_ratio(&self) -> f64 {
-        let iris_in = self.iris_cost.in_network(self.iris.dc_transceivers, &self.prices);
-        let eps_in = self.eps_cost.in_network(self.eps.transceivers_dc, &self.prices);
+        let iris_in = self
+            .iris_cost
+            .in_network(self.iris.dc_transceivers, &self.prices);
+        let eps_in = self
+            .eps_cost
+            .in_network(self.eps.transceivers_dc, &self.prices);
         eps_in / iris_in
     }
 

@@ -60,9 +60,9 @@ pub fn group_model_ports(n: u64, p: u64, g: u64) -> GroupModelPorts {
         };
     }
     let dc_ports = n * p; // one DC port per unit of capacity
-    // Each hub carries (N/G)·P downstream plus (G-1)·(N/G)·P upstream,
-    // i.e. N·P ports per hub regardless of group size; over the G hubs
-    // that is G·N·P, for the paper's (G+1)·N·P total.
+                          // Each hub carries (N/G)·P downstream plus (G-1)·(N/G)·P upstream,
+                          // i.e. N·P ports per hub regardless of group size; over the G hubs
+                          // that is G·N·P, for the paper's (G+1)·N·P total.
     let hub_ports = g * n * p;
     // Intra-group (DC-hub) links terminate N·P ports at the DCs and N·P
     // downstream ports at the hubs.
@@ -100,8 +100,7 @@ pub fn fig7_costs(n: u64, p: u64, g: u64, book: &PriceBook) -> Fig7Costs {
     // in-network (hub) ports become OSS ports with no transceivers.
     let dc_capacity_ports = n * p;
     let in_network = ports.total() - dc_capacity_ports.min(ports.total());
-    let optical =
-        dc_capacity_ports as f64 * per_dci_port + in_network as f64 * book.oss_port;
+    let optical = dc_capacity_ports as f64 * per_dci_port + in_network as f64 * book.oss_port;
     Fig7Costs {
         electrical,
         electrical_sr,

@@ -49,7 +49,10 @@ pub fn ring_metro(seed: u64, n_ring_huts: usize, radius_km: f64) -> FiberMap {
 /// with a parallel inland backup route.
 #[must_use]
 pub fn corridor_metro(seed: u64, n_huts: usize, length_km: f64) -> FiberMap {
-    assert!(n_huts >= 4 && n_huts % 2 == 0, "corridor wants an even hut count >= 4");
+    assert!(
+        n_huts >= 4 && n_huts.is_multiple_of(2),
+        "corridor wants an even hut count >= 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut map = FiberMap::new();
     let per_row = n_huts / 2;
@@ -57,13 +60,13 @@ pub fn corridor_metro(seed: u64, n_huts: usize, length_km: f64) -> FiberMap {
     let mut inland = Vec::new();
     for i in 0..per_row {
         let x = (i as f64 / (per_row - 1) as f64 - 0.5) * length_km;
-        coast.push(map.add_site(
-            SiteKind::Hut,
-            Point::new(x, rng.random_range(-1.0..1.0)),
-        ));
+        coast.push(map.add_site(SiteKind::Hut, Point::new(x, rng.random_range(-1.0..1.0))));
         inland.push(map.add_site(
             SiteKind::Hut,
-            Point::new(x + rng.random_range(-2.0..2.0), 8.0 + rng.random_range(-1.0..1.0)),
+            Point::new(
+                x + rng.random_range(-2.0..2.0),
+                8.0 + rng.random_range(-1.0..1.0),
+            ),
         ));
     }
     for row in [&coast, &inland] {
@@ -129,7 +132,7 @@ mod tests {
         let map = ring_metro(1, 8, 15.0);
         assert!(is_connected(&map));
         assert_eq!(map.huts().len(), 9); // core + ring
-        // Ring huts sit roughly at the radius.
+                                         // Ring huts sit roughly at the radius.
         for &h in &map.huts()[1..] {
             let r = map.site(h).position.distance(&iris_geo::Point::ORIGIN);
             assert!((12.0..=18.0).contains(&r), "hut at {r} km");

@@ -21,7 +21,10 @@ use iris_geo::{service_area, Grid, Point};
 /// are `d` apart (the classic lens formula).
 #[must_use]
 pub fn lens_area(r: f64, d: f64) -> f64 {
-    assert!(r >= 0.0 && d >= 0.0, "radius and distance must be non-negative");
+    assert!(
+        r >= 0.0 && d >= 0.0,
+        "radius and distance must be non-negative"
+    );
     if d >= 2.0 * r {
         return 0.0;
     }
@@ -43,20 +46,18 @@ pub fn p_both_lost(site_a: Point, site_b: Point, r: f64, region_km2: f64) -> f64
 /// Probability that a disaster destroys at least `k` of the given sites,
 /// estimated by rasterizing the disaster-center space over `grid`.
 #[must_use]
-pub fn p_at_least_k_lost(
-    map: &FiberMap,
-    sites: &[SiteId],
-    k: usize,
-    r: f64,
-    grid: &Grid,
-) -> f64 {
+pub fn p_at_least_k_lost(map: &FiberMap, sites: &[SiteId], k: usize, r: f64, grid: &Grid) -> f64 {
     if k == 0 {
         return 1.0;
     }
     let positions: Vec<Point> = sites.iter().map(|&s| map.site(s).position).collect();
     let region_area = (grid.max().x - grid.min().x) * (grid.max().y - grid.min().y);
     let hit_area = service_area(grid, |center| {
-        positions.iter().filter(|p| p.distance(&center) <= r).count() >= k
+        positions
+            .iter()
+            .filter(|p| p.distance(&center) <= r)
+            .count()
+            >= k
     });
     (hit_area / region_area).min(1.0)
 }
@@ -83,9 +84,7 @@ pub fn hub_tradeoff(
     grid: &Grid,
     max_leg_km: f64,
 ) -> HubPlacementTradeoff {
-    let separation_km = map
-        .fiber_distance(hubs.0, hubs.1)
-        .unwrap_or(f64::INFINITY);
+    let separation_km = map.fiber_distance(hubs.0, hubs.1).unwrap_or(f64::INFINITY);
     let service_area_km2 =
         crate::siting::centralized_service_area(map, &[hubs.0, hubs.1], grid, max_leg_km);
     let region_area = (grid.max().x - grid.min().x) * (grid.max().y - grid.min().y);
@@ -153,8 +152,16 @@ mod tests {
         map.add_duct(a, b, 4.5);
         let grid = Grid::new(Point::new(-40.0, -40.0), Point::new(40.0, 40.0), 0.25);
         let raster = p_at_least_k_lost(&map, &[a, b], 2, 6.0, &grid);
-        let exact = p_both_lost(Point::new(-2.0, 0.0), Point::new(2.0, 0.0), 6.0, 80.0 * 80.0);
-        assert!((raster - exact).abs() / exact < 0.05, "raster {raster} exact {exact}");
+        let exact = p_both_lost(
+            Point::new(-2.0, 0.0),
+            Point::new(2.0, 0.0),
+            6.0,
+            80.0 * 80.0,
+        );
+        assert!(
+            (raster - exact).abs() / exact < 0.05,
+            "raster {raster} exact {exact}"
+        );
     }
 
     #[test]
@@ -164,7 +171,10 @@ mod tests {
         let all = map.huts();
         assert_eq!(p_at_least_k_lost(&map, &all, 0, 5.0, &grid), 1.0);
         let p_many = p_at_least_k_lost(&map, &all, all.len(), 5.0, &grid);
-        assert!(p_many < 0.05, "losing every hut to one 5 km disaster: {p_many}");
+        assert!(
+            p_many < 0.05,
+            "losing every hut to one 5 km disaster: {p_many}"
+        );
     }
 
     #[test]

@@ -186,7 +186,10 @@ pub fn place_dcs(mut map: FiberMap, params: &PlacementParams) -> Region {
     assert!(params.n_dcs >= 1, "must place at least one DC");
     let mut rng = StdRng::seed_from_u64(params.seed);
     let huts = map.huts();
-    assert!(!huts.is_empty(), "map must contain huts before DC placement");
+    assert!(
+        !huts.is_empty(),
+        "map must contain huts before DC placement"
+    );
     let extent = huts
         .iter()
         .map(|&h| {
@@ -291,12 +294,10 @@ pub fn pick_hub_pair(map: &FiberMap, min_km: f64, max_km: f64) -> (SiteId, SiteI
             let Some(sep) = map.fiber_distance(a, b) else {
                 continue;
             };
-            let score = map.site(a).position.distance(&centroid)
-                + map.site(b).position.distance(&centroid);
-            if sep >= min_km && sep <= max_km {
-                if best.as_ref().is_none_or(|&(_, _, s)| score < s) {
-                    best = Some((a, b, score));
-                }
+            let score =
+                map.site(a).position.distance(&centroid) + map.site(b).position.distance(&centroid);
+            if sep >= min_km && sep <= max_km && best.as_ref().is_none_or(|&(_, _, s)| score < s) {
+                best = Some((a, b, score));
             }
             if fallback.as_ref().is_none_or(|&(_, _, s)| score < s) {
                 fallback = Some((a, b, score));
@@ -343,7 +344,10 @@ mod tests {
                 ..MetroParams::default()
             });
             let dist = m.fiber_distances_from(0);
-            assert!(dist.iter().all(|d| d.is_finite()), "seed {seed} disconnected");
+            assert!(
+                dist.iter().all(|d| d.is_finite()),
+                "seed {seed} disconnected"
+            );
             for h in m.huts() {
                 assert!(m.graph().degree(h) >= 3, "seed {seed} hut {h} degree < 3");
             }

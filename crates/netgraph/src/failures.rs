@@ -148,11 +148,7 @@ mod tests {
         for m in 0..8 {
             for k in 0..4 {
                 let n = FailureScenarios::new(m, k).count() as u64;
-                assert_eq!(
-                    n,
-                    FailureScenarios::count_scenarios(m, k),
-                    "m={m} k={k}"
-                );
+                assert_eq!(n, FailureScenarios::count_scenarios(m, k), "m={m} k={k}");
             }
         }
     }

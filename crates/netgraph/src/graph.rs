@@ -32,7 +32,10 @@ impl Edge {
         } else if n == self.v {
             self.u
         } else {
-            panic!("node {n} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "node {n} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }

@@ -24,13 +24,13 @@
 
 pub mod failures;
 pub mod graph;
-pub mod kpaths;
 pub mod hose;
+pub mod kpaths;
 pub mod maxflow;
 pub mod shortest;
 
 pub use failures::FailureScenarios;
-pub use kpaths::{k_shortest_paths, CandidatePath};
 pub use graph::{EdgeId, Graph, NodeId};
+pub use kpaths::{k_shortest_paths, CandidatePath};
 pub use maxflow::Dinic;
 pub use shortest::{dijkstra, path_edges, PathResult};

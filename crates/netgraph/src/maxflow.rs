@@ -80,11 +80,7 @@ impl Dinic {
             cap,
             rev: a + 1,
         });
-        self.arcs.push(Arc {
-            to: u,
-            cap,
-            rev: a,
-        });
+        self.arcs.push(Arc { to: u, cap, rev: a });
         self.adjacency[u].push(a);
         self.adjacency[v].push(a + 1);
         a

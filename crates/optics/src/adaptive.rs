@@ -61,8 +61,8 @@ pub fn best_mode(osnr_db: f64, margin_db: f64) -> Option<TransceiverMode> {
 /// the cascade model, 400ZR transmit OSNR), Gbps. Zero if unreachable.
 #[must_use]
 pub fn rate_for_cascade(amplifiers: usize, margin_db: f64) -> f64 {
-    let osnr =
-        crate::Transceiver::spec_400zr().tx_osnr_db - crate::osnr::cascade_penalty_default_db(amplifiers);
+    let osnr = crate::Transceiver::spec_400zr().tx_osnr_db
+        - crate::osnr::cascade_penalty_default_db(amplifiers);
     best_mode(osnr, margin_db).map_or(0.0, |m| m.rate_gbps)
 }
 

@@ -287,13 +287,7 @@ mod tests {
             amp(),
         ])
         .unwrap_err();
-        assert_eq!(
-            e,
-            BudgetViolation::TooManyAmplifiers {
-                count: 4,
-                limit: 3
-            }
-        );
+        assert_eq!(e, BudgetViolation::TooManyAmplifiers { count: 4, limit: 3 });
     }
 
     #[test]
@@ -319,7 +313,12 @@ mod tests {
 
     #[test]
     fn one_oxc_passes_two_fail() {
-        let ok = [amp(), PathElement::Switch(SwitchElement::Oxc), fiber(10.0), amp()];
+        let ok = [
+            amp(),
+            PathElement::Switch(SwitchElement::Oxc),
+            fiber(10.0),
+            amp(),
+        ];
         assert!(evaluate_path(&ok).is_ok());
         // 4 km keeps the segment within TC1 (9 + 1 + 9 = 19 dB < 20 dB)
         // so the TC4 switch-loss check is the one that fires.

@@ -116,8 +116,14 @@ mod tests {
 
     #[test]
     fn tc4_budgets_match_paper() {
-        assert_eq!(MAX_OSS_HOPS, (RECONFIG_LOSS_BUDGET_DB / OSS_LOSS_DB) as usize);
-        assert_eq!(MAX_OXC_HOPS, (RECONFIG_LOSS_BUDGET_DB / OXC_LOSS_DB) as usize);
+        assert_eq!(
+            MAX_OSS_HOPS,
+            (RECONFIG_LOSS_BUDGET_DB / OSS_LOSS_DB) as usize
+        );
+        assert_eq!(
+            MAX_OXC_HOPS,
+            (RECONFIG_LOSS_BUDGET_DB / OXC_LOSS_DB) as usize
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ pub fn plan_centralized(
     let mut hub_capacity_wl = 0u64; // total wavelengths landing on hubs
 
     // Shortest-path trees from both hubs.
-    let trees = [dijkstra(g, hubs.0, &disabled), dijkstra(g, hubs.1, &disabled)];
+    let trees = [
+        dijkstra(g, hubs.0, &disabled),
+        dijkstra(g, hubs.1, &disabled),
+    ];
 
     for (i, &dc) in region.dcs.iter().enumerate() {
         let cap_wl = region.capacity_wavelengths(i);
@@ -251,9 +254,7 @@ mod tests {
     #[test]
     fn far_dc_violates_siting_rule() {
         let (mut r, h1, h2) = star_region();
-        let far = r
-            .map
-            .add_site(SiteKind::DataCenter, Point::new(80.0, 0.0));
+        let far = r.map.add_site(SiteKind::DataCenter, Point::new(80.0, 0.0));
         r.map.add_duct_detour(far, h2, 1.2); // ~93 km > 60 km leg limit
         r.map.add_duct_detour(far, h1, 1.2);
         r.dcs.push(far);
@@ -275,7 +276,10 @@ mod tests {
             // Hub transit is never shorter than the direct fiber route.
             let (a, b) = [(0, 1), (0, 2), (1, 2)][idx];
             let direct = r.map.fiber_distance(r.dcs[a], r.dcs[b]).unwrap();
-            assert!(via >= direct - 1e-9, "pair {idx}: via {via} < direct {direct}");
+            assert!(
+                via >= direct - 1e-9,
+                "pair {idx}: via {via} < direct {direct}"
+            );
         }
         assert!(plan.worst_pair_km() <= 120.0);
     }

@@ -217,8 +217,10 @@ pub fn place_cutthroughs(
             // Candidate cut-throughs: contiguous interior runs of any
             // violating path, not containing its amp node strictly inside.
             #[allow(clippy::type_complexity)]
-            let mut candidates: std::collections::BTreeMap<Vec<NodeId>, (Vec<EdgeId>, f64)> =
-                std::collections::BTreeMap::new();
+            let mut candidates: std::collections::BTreeMap<
+                Vec<NodeId>,
+                (Vec<EdgeId>, f64),
+            > = std::collections::BTreeMap::new();
             for (p, a) in &violating {
                 let n = p.nodes.len();
                 for i in 0..n.saturating_sub(2) {
@@ -238,6 +240,7 @@ pub fn place_cutthroughs(
 
             // Score each candidate: violating paths it resolves per fiber
             // pair leased (pairs x spans, since leases are per span).
+            #[allow(clippy::type_complexity)]
             let mut best: Option<(Vec<NodeId>, Vec<EdgeId>, f64, u32, f64)> = None;
             for (nodes, (edges, len)) in &candidates {
                 let trial = CutThrough {
@@ -256,8 +259,7 @@ pub fn place_cutthroughs(
                 if resolved.is_empty() {
                     continue;
                 }
-                let pairs: Vec<(usize, usize)> =
-                    resolved.iter().map(|(p, _)| (p.a, p.b)).collect();
+                let pairs: Vec<(usize, usize)> = resolved.iter().map(|(p, _)| (p.a, p.b)).collect();
                 let fibers =
                     ((hose::max_edge_load(&|dc| caps[dc], &pairs) / lambda).ceil() as u32).max(1);
                 let cost = f64::from(fibers) * edges.len() as f64;

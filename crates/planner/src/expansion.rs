@@ -64,6 +64,9 @@ pub fn expand_with_dc(
     expanded.dcs.push(dc);
     expanded.capacity_fibers.push(capacity_fibers);
 
+    iris_telemetry::global()
+        .counter("iris_planner_expansion_iterations_total")
+        .inc();
     let after = plan_iris(&expanded, goals);
     let delta = ExpansionDelta {
         fiber_pair_spans: after.total_fiber_pair_spans() as i64
@@ -100,18 +103,18 @@ mod tests {
         let (region, goals, before) = base();
         // Place the new DC near the region centroid.
         let huts = region.map.huts();
-        let cx = huts.iter().map(|&h| region.map.site(h).position.x).sum::<f64>()
+        let cx = huts
+            .iter()
+            .map(|&h| region.map.site(h).position.x)
+            .sum::<f64>()
             / huts.len() as f64;
-        let cy = huts.iter().map(|&h| region.map.site(h).position.y).sum::<f64>()
+        let cy = huts
+            .iter()
+            .map(|&h| region.map.site(h).position.y)
+            .sum::<f64>()
             / huts.len() as f64;
-        let (expanded, after, delta) = expand_with_dc(
-            &region,
-            &goals,
-            &before,
-            Point::new(cx, cy),
-            16,
-            3,
-        );
+        let (expanded, after, delta) =
+            expand_with_dc(&region, &goals, &before, Point::new(cx, cy), 16, 3);
         assert_eq!(expanded.dcs.len(), 5);
         assert!(delta.feasible, "expanded plan infeasible");
         // The new DC's transceivers: 16 fibers x 40 wavelengths.
@@ -127,14 +130,8 @@ mod tests {
         // Adding the 5th DC to a 4-DC region must cost less fiber than
         // rebuilding from scratch.
         let (region, goals, before) = base();
-        let (_, after, delta) = expand_with_dc(
-            &region,
-            &goals,
-            &before,
-            Point::new(0.0, 0.0),
-            16,
-            3,
-        );
+        let (_, after, delta) =
+            expand_with_dc(&region, &goals, &before, Point::new(0.0, 0.0), 16, 3);
         assert!(
             (delta.fiber_pair_spans as u64) < after.total_fiber_pair_spans(),
             "delta {} should be a fraction of total {}",

@@ -73,7 +73,7 @@ pub fn plan_oxc(region: &Region, goals: &DesignGoals) -> OxcPlan {
         demands.push((pi, share_a.min(share_b)));
     }
     // Color the largest demands first (first-fit decreasing).
-    demands.sort_by(|a, b| b.1.cmp(&a.1));
+    demands.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
 
     // used[e][c] = how many fibers on duct e already carry color c.
     let mut used: Vec<Vec<u32>> = (0..g.edge_count()).map(|_| vec![0u32; lambda]).collect();
@@ -83,11 +83,8 @@ pub fn plan_oxc(region: &Region, goals: &DesignGoals) -> OxcPlan {
         for _ in 0..wl {
             // First color whose usage is below the fiber count on every
             // duct of the path.
-            let color = (0..lambda).find(|&c| {
-                path.edges
-                    .iter()
-                    .all(|&e| used[e][c] < fiber_pairs[e])
-            });
+            let color =
+                (0..lambda).find(|&c| path.edges.iter().all(|&e| used[e][c] < fiber_pairs[e]));
             match color {
                 Some(c) => {
                     for &e in &path.edges {

@@ -241,7 +241,10 @@ mod tests {
             length_km: 81.0,
         };
         assert!(p.needs_amplification());
-        let ok = DcPath { length_km: 80.0, ..p };
+        let ok = DcPath {
+            length_km: 80.0,
+            ..p
+        };
         assert!(!ok.needs_amplification());
     }
 
@@ -250,7 +253,10 @@ mod tests {
         let r = region();
         let goals = DesignGoals::default();
         let (paths, _) = scenario_paths(&r, &goals, &[]);
-        let p = paths.iter().find(|p| p.edges.len() >= 3).expect("3-hop path");
+        let p = paths
+            .iter()
+            .find(|p| p.edges.len() >= 3)
+            .expect("3-hop path");
         for at in 1..p.nodes.len() - 1 {
             let (pre, post) = p.split_losses_db(&r, at);
             assert!(
@@ -276,7 +282,10 @@ mod tests {
         let r = region();
         let goals = DesignGoals::default();
         let (paths, _) = scenario_paths(&r, &goals, &[]);
-        let p = paths.iter().find(|p| p.edges.len() >= 2).expect("multi-hop path");
+        let p = paths
+            .iter()
+            .find(|p| p.edges.len() >= 2)
+            .expect("multi-hop path");
         let pre = p.prefix_km(&r);
         assert_eq!(pre.len(), p.nodes.len());
         assert_eq!(pre[0], 0.0);

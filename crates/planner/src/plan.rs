@@ -72,7 +72,12 @@ impl IrisPlan {
             .zip(&self.residual_fiber_pairs)
             .map(|(&b, &r)| u64::from(b) + u64::from(r))
             .sum();
-        let cut_pairs: u64 = self.cuts.cuts.iter().map(|c| u64::from(c.fiber_pairs)).sum();
+        let cut_pairs: u64 = self
+            .cuts
+            .cuts
+            .iter()
+            .map(|c| u64::from(c.fiber_pairs))
+            .sum();
         let amp_ports: u64 = 2 * self.amps.total_amps();
         4 * span_pairs + 4 * cut_pairs + amp_ports
     }
@@ -163,6 +168,9 @@ impl EpsPlan {
 /// ```
 #[must_use]
 pub fn plan_iris(region: &Region, goals: &DesignGoals) -> IrisPlan {
+    let telemetry = iris_telemetry::global();
+    let wall = iris_telemetry::Span::enter_ms(telemetry.histogram("iris_planner_plan_wall_ms"));
+    telemetry.counter("iris_planner_plans_total").inc();
     let provisioning = provision(region, goals);
     let amps = place_amplifiers(region, goals);
     let cuts = place_cutthroughs(region, goals, &amps);
@@ -184,6 +192,7 @@ pub fn plan_iris(region: &Region, goals: &DesignGoals) -> IrisPlan {
         violations: Vec::new(),
     };
     plan.violations = validate_iris(region, goals, &plan);
+    wall.finish();
     plan
 }
 
@@ -232,8 +241,9 @@ pub fn realize_path(
     cuts: &CutThroughPlan,
 ) -> Vec<PathElement> {
     let amp_at = choose_amp_split(region, goals, path, amps);
-    let active: std::collections::HashSet<usize> =
-        active_switch_points(path, amp_at, &cuts.cuts).into_iter().collect();
+    let active: std::collections::HashSet<usize> = active_switch_points(path, amp_at, &cuts.cuts)
+        .into_iter()
+        .collect();
     let g = region.map.graph();
 
     let mut elements = vec![PathElement::default_amp()]; // send booster
@@ -364,7 +374,11 @@ mod tests {
                 .iter()
                 .filter(|e| matches!(e, PathElement::Amp(_)))
                 .count();
-            assert!((2..=3).contains(&amps), "path {:?} has {amps} amps", (path.a, path.b));
+            assert!(
+                (2..=3).contains(&amps),
+                "path {:?} has {amps} amps",
+                (path.a, path.b)
+            );
             assert!(matches!(els.first(), Some(PathElement::Amp(_))));
             assert!(matches!(els.last(), Some(PathElement::Amp(_))));
         }

@@ -106,8 +106,10 @@ pub fn route_relaxed(
     // Shortest-path baseline loads.
     let mut shortest_wl = vec![0u64; m];
     let mut shortest_len = vec![0.0f64; pair_count];
+    let kpath_calls = iris_telemetry::global().counter("iris_planner_kpath_calls_total");
     let mut candidates: Vec<Vec<iris_netgraph::CandidatePath>> = Vec::with_capacity(pair_count);
     for &(a, b, wl) in &pairs {
+        kpath_calls.inc();
         let cands = k_shortest_paths(g, region.dcs[a], region.dcs[b], k, &mask);
         assert!(!cands.is_empty(), "pair ({a},{b}) disconnected");
         shortest_len[candidates.len()] = cands[0].length_km;

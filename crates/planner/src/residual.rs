@@ -134,8 +134,16 @@ impl HybridAggregation {
     /// Fraction of residual fiber-pair-spans saved.
     #[must_use]
     pub fn savings_fraction(&self) -> f64 {
-        let before: u64 = self.before_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
-        let after: u64 = self.after_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
+        let before: u64 = self
+            .before_pairs_per_edge
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum();
+        let after: u64 = self
+            .after_pairs_per_edge
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum();
         if before == 0 {
             0.0
         } else {
@@ -213,11 +221,7 @@ pub fn hybrid_aggregate(region: &Region, goals: &DesignGoals) -> HybridAggregati
             let mut shared_len = first.len();
             for &pi in &members[1..] {
                 let o = oriented_edges(pi, side);
-                let common = first
-                    .iter()
-                    .zip(&o)
-                    .take_while(|(a, b)| a == b)
-                    .count();
+                let common = first.iter().zip(&o).take_while(|(a, b)| a == b).count();
                 shared_len = shared_len.min(common);
             }
             // Keep at least one dedicated hop beyond the split so the
@@ -409,7 +413,11 @@ mod tests {
         );
         let goals = DesignGoals::with_cuts(0);
         let agg = hybrid_aggregate(&region, &goals);
-        let before: u64 = agg.before_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
+        let before: u64 = agg
+            .before_pairs_per_edge
+            .iter()
+            .map(|&x| u64::from(x))
+            .sum();
         let after: u64 = agg.after_pairs_per_edge.iter().map(|&x| u64::from(x)).sum();
         assert!(after <= before, "aggregation must not add fiber");
         assert!(

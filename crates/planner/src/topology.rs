@@ -89,6 +89,9 @@ impl Provisioning {
 /// of failure scenarios the same sets recur constantly.
 #[must_use]
 pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
+    let telemetry = iris_telemetry::global();
+    let wall =
+        iris_telemetry::Span::enter_ms(telemetry.histogram("iris_planner_provision_wall_ms"));
     region.validate();
     let g = region.map.graph();
     let m = g.edge_count();
@@ -98,6 +101,8 @@ pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
 
     // Memoized hose loads, keyed by the sorted pair set.
     let mut memo: HashMap<Vec<(usize, usize)>, f64> = HashMap::new();
+    let mut hose_lookups = 0u64;
+    let mut hose_invocations = 0u64;
     let caps: Vec<u64> = (0..region.dcs.len())
         .map(|i| region.capacity_wavelengths(i))
         .collect();
@@ -120,7 +125,9 @@ pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
         }
         for (e, mut pairs) in pairs_on_edge {
             pairs.sort_unstable();
+            hose_lookups += 1;
             let load = *memo.entry(pairs.clone()).or_insert_with(|| {
+                hose_invocations += 1;
                 hose::max_edge_load(&|dc| caps[dc], &pairs)
             });
             if load > capacity[e] {
@@ -128,6 +135,17 @@ pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
             }
         }
     }
+
+    telemetry
+        .counter("iris_planner_scenarios_total")
+        .add(scenarios_examined);
+    telemetry
+        .counter("iris_planner_hose_maxflow_total")
+        .add(hose_invocations);
+    telemetry
+        .counter("iris_planner_hose_memo_hits_total")
+        .add(hose_lookups - hose_invocations);
+    wall.finish();
 
     Provisioning {
         edge_capacity_wl: capacity,

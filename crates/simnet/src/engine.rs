@@ -19,6 +19,7 @@ use crate::workloads::FlowSizeDist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One completed flow.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -211,10 +212,53 @@ impl Simulator {
         self.arrival_rate
     }
 
+    /// Snapshot the effective run parameters (after arrival-rate
+    /// calibration) for reproducibility sidecars.
+    #[must_use]
+    pub fn manifest(&self) -> RunManifest {
+        RunManifest {
+            seed: self.config.seed,
+            duration_s: self.config.duration_s,
+            utilization: self.config.utilization,
+            flow_size_dist: self.config.flow_sizes.name.clone(),
+            change_interval_s: self.config.change_interval_s,
+            change_model: self.config.change_model,
+            fabric: self.config.fabric,
+            capacity_event_count: self.config.capacity_events.len(),
+            n_dcs: self.topo.n_dcs,
+            arrival_rate_flows_per_s: self.arrival_rate,
+        }
+    }
+
+    /// Like [`Simulator::run`], but pairs the completed-flow records
+    /// with a [`RunManifest`] recording the seed and configuration that
+    /// produced them.
+    #[must_use]
+    pub fn run_recorded(self) -> SimRun {
+        let manifest = self.manifest();
+        let records = self.run();
+        SimRun { manifest, records }
+    }
+
     /// Run to completion, returning all flows that *finished* within the
     /// simulated duration.
     #[must_use]
     pub fn run(mut self) -> Vec<FlowRecord> {
+        let telemetry = iris_telemetry::global();
+        let outage_hist = telemetry.histogram("iris_simnet_reconfig_outage_s");
+        let event_wall = telemetry.histogram("iris_simnet_event_wall_s");
+        // The event loop runs ~1 µs per event; shared-atomic updates and
+        // clock reads in it are measurable, so counters accumulate in
+        // locals flushed once after the loop, and the per-event wall
+        // timing is sampled (1 in EVENT_WALL_SAMPLE events).
+        const EVENT_WALL_SAMPLE: u64 = 64;
+        let mut events: u64 = 0;
+        let mut arrivals: u64 = 0;
+        let mut completions: u64 = 0;
+        let mut waterfill_round_sum: u64 = 0;
+        let mut reconfig_outage_count: u64 = 0;
+        let mut active_peak_seen: usize = 0;
+
         self.clamp_matrix_to_capacity();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut records = Vec::new();
@@ -236,155 +280,233 @@ impl Simulator {
         event_boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
 
         loop {
-            // Per-link capacity scaling: reconfiguration outage (global)
-            // times any scheduled events covering the link.
-            let outage_scale = if now < outage_until {
-                1.0 - outage_fraction
+            let iter_start = if events.is_multiple_of(EVENT_WALL_SAMPLE) {
+                Some(Instant::now())
             } else {
-                1.0
+                None
             };
-            let mut link_scale = vec![outage_scale; self.topo.links.len()];
-            for ev in &self.config.capacity_events {
-                if now + 1e-12 >= ev.start_s && now < ev.start_s + ev.duration_s {
-                    match &ev.links {
-                        None => {
-                            for s in &mut link_scale {
-                                *s *= ev.capacity_factor;
+            events += 1;
+            let keep_running = 'event: {
+                // Per-link capacity scaling: reconfiguration outage (global)
+                // times any scheduled events covering the link.
+                let outage_scale = if now < outage_until {
+                    1.0 - outage_fraction
+                } else {
+                    1.0
+                };
+                let mut link_scale = vec![outage_scale; self.topo.links.len()];
+                for ev in &self.config.capacity_events {
+                    if now + 1e-12 >= ev.start_s && now < ev.start_s + ev.duration_s {
+                        match &ev.links {
+                            None => {
+                                for s in &mut link_scale {
+                                    *s *= ev.capacity_factor;
+                                }
                             }
-                        }
-                        Some(ids) => {
-                            for &l in ids {
-                                link_scale[l] *= ev.capacity_factor;
+                            Some(ids) => {
+                                for &l in ids {
+                                    link_scale[l] *= ev.capacity_factor;
+                                }
                             }
                         }
                     }
                 }
-            }
-            assign_max_min_rates(&self.topo, &link_scale, &mut flows);
+                let rounds = assign_max_min_rates(&self.topo, &link_scale, &mut flows);
+                waterfill_round_sum += rounds as u64;
+                active_peak_seen = active_peak_seen.max(flows.len());
 
-            // Next event time.
-            let next_completion = flows
-                .iter()
-                .filter(|f| f.rate_gbps > 0.0)
-                .map(|f| now + f.remaining_bits / (f.rate_gbps * 1e9))
-                .fold(f64::INFINITY, f64::min);
-            let outage_end = if now < outage_until {
-                outage_until
-            } else {
-                f64::INFINITY
-            };
-            let next_boundary = event_boundaries
-                .iter()
-                .copied()
-                .find(|&b| b > now + 1e-12)
-                .unwrap_or(f64::INFINITY);
-            let t = next_arrival
-                .min(next_completion)
-                .min(next_change)
-                .min(outage_end)
-                .min(next_boundary)
-                .min(duration);
+                // Next event time.
+                let next_completion = flows
+                    .iter()
+                    .filter(|f| f.rate_gbps > 0.0)
+                    .map(|f| now + f.remaining_bits / (f.rate_gbps * 1e9))
+                    .fold(f64::INFINITY, f64::min);
+                let outage_end = if now < outage_until {
+                    outage_until
+                } else {
+                    f64::INFINITY
+                };
+                let next_boundary = event_boundaries
+                    .iter()
+                    .copied()
+                    .find(|&b| b > now + 1e-12)
+                    .unwrap_or(f64::INFINITY);
+                let t = next_arrival
+                    .min(next_completion)
+                    .min(next_change)
+                    .min(outage_end)
+                    .min(next_boundary)
+                    .min(duration);
 
-            // Advance flow progress to t.
-            let dt = t - now;
-            if dt > 0.0 {
-                for f in &mut flows {
-                    f.remaining_bits = (f.remaining_bits - f.rate_gbps * 1e9 * dt).max(0.0);
+                // Advance flow progress to t.
+                let dt = t - now;
+                if dt > 0.0 {
+                    for f in &mut flows {
+                        f.remaining_bits = (f.remaining_bits - f.rate_gbps * 1e9 * dt).max(0.0);
+                    }
                 }
+                now = t;
+                if now >= duration {
+                    break 'event false;
+                }
+
+                if now >= next_completion - 1e-15
+                    && next_completion <= next_arrival.min(next_change)
+                {
+                    // Harvest completed flows. Sub-bit residues are float
+                    // noise from the rate * dt advance; without forgiving
+                    // them, a flow can sit epsilon above zero with a
+                    // completion time that rounds back to `now`, spinning
+                    // the event loop forever.
+                    let records_before = records.len();
+                    let before = flows.len();
+                    let rtt = |pair: (usize, usize)| {
+                        self.topo.route_rtt_s[pair_index(self.topo.n_dcs, pair.0, pair.1)]
+                    };
+                    flows.retain(|f| {
+                        if f.remaining_bits <= 1.0 {
+                            records.push(FlowRecord {
+                                pair: f.pair,
+                                size_bytes: f.size_bytes,
+                                start_s: f.start_s,
+                                fct_s: now - f.start_s + rtt(f.pair),
+                            });
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if flows.len() == before {
+                        // Forced progress: finish the flow the scheduler said
+                        // was done (its residue is pure rounding error).
+                        if let Some(min_idx) = (0..flows.len())
+                            .filter(|&i| flows[i].rate_gbps > 0.0)
+                            .min_by(|&a, &b| {
+                                let ta = flows[a].remaining_bits / flows[a].rate_gbps;
+                                let tb = flows[b].remaining_bits / flows[b].rate_gbps;
+                                ta.partial_cmp(&tb).expect("finite")
+                            })
+                        {
+                            let f = flows.swap_remove(min_idx);
+                            records.push(FlowRecord {
+                                pair: f.pair,
+                                size_bytes: f.size_bytes,
+                                start_s: f.start_s,
+                                fct_s: now - f.start_s + rtt(f.pair),
+                            });
+                        }
+                    }
+                    completions += (records.len() - records_before) as u64;
+                    break 'event true;
+                }
+
+                if now >= next_arrival - 1e-15 && next_arrival <= next_change {
+                    // New flow. `sample_pair` thins arrivals when the clamp
+                    // has reduced the total admitted weight below 1.
+                    if let Some(pair) = sample_pair(&mut rng, &self.matrix) {
+                        let size = self.config.flow_sizes.sample(&mut rng);
+                        flows.push(ActiveFlow {
+                            pair,
+                            size_bytes: size,
+                            remaining_bits: size * 8.0,
+                            start_s: now,
+                            rate_gbps: 0.0,
+                        });
+                        arrivals += 1;
+                    }
+                    next_arrival = now + sample_exp(&mut rng, self.arrival_rate);
+                    break 'event true;
+                }
+
+                if now >= next_change - 1e-15 {
+                    let moved = self.matrix.change(self.config.change_model);
+                    self.clamp_matrix_to_capacity();
+                    if let FabricModel::Iris { outage_s } = self.config.fabric {
+                        outage_fraction = moved.clamp(0.0, 0.9);
+                        if outage_fraction > 0.0 {
+                            outage_until = now + outage_s;
+                            reconfig_outage_count += 1;
+                            outage_hist.record(outage_s);
+                        }
+                    }
+                    next_change = now + self.config.change_interval_s.expect("change scheduled");
+                    break 'event true;
+                }
+                // Otherwise: outage ended; loop back and recompute rates.
+                true
+            };
+            if let Some(start) = iter_start {
+                event_wall.record(start.elapsed().as_secs_f64());
             }
-            now = t;
-            if now >= duration {
+            if !keep_running {
                 break;
             }
-
-            if now >= next_completion - 1e-15 && next_completion <= next_arrival.min(next_change) {
-                // Harvest completed flows. Sub-bit residues are float
-                // noise from the rate * dt advance; without forgiving
-                // them, a flow can sit epsilon above zero with a
-                // completion time that rounds back to `now`, spinning
-                // the event loop forever.
-                let before = flows.len();
-                let rtt = |pair: (usize, usize)| {
-                    self.topo.route_rtt_s[pair_index(self.topo.n_dcs, pair.0, pair.1)]
-                };
-                flows.retain(|f| {
-                    if f.remaining_bits <= 1.0 {
-                        records.push(FlowRecord {
-                            pair: f.pair,
-                            size_bytes: f.size_bytes,
-                            start_s: f.start_s,
-                            fct_s: now - f.start_s + rtt(f.pair),
-                        });
-                        false
-                    } else {
-                        true
-                    }
-                });
-                if flows.len() == before {
-                    // Forced progress: finish the flow the scheduler said
-                    // was done (its residue is pure rounding error).
-                    if let Some(min_idx) = (0..flows.len())
-                        .filter(|&i| flows[i].rate_gbps > 0.0)
-                        .min_by(|&a, &b| {
-                            let ta = flows[a].remaining_bits / flows[a].rate_gbps;
-                            let tb = flows[b].remaining_bits / flows[b].rate_gbps;
-                            ta.partial_cmp(&tb).expect("finite")
-                        })
-                    {
-                        let f = flows.swap_remove(min_idx);
-                        records.push(FlowRecord {
-                            pair: f.pair,
-                            size_bytes: f.size_bytes,
-                            start_s: f.start_s,
-                            fct_s: now - f.start_s + rtt(f.pair),
-                        });
-                    }
-                }
-                continue;
-            }
-
-            if now >= next_arrival - 1e-15 && next_arrival <= next_change {
-                // New flow. `sample_pair` thins arrivals when the clamp
-                // has reduced the total admitted weight below 1.
-                if let Some(pair) = sample_pair(&mut rng, &self.matrix) {
-                    let size = self.config.flow_sizes.sample(&mut rng);
-                    flows.push(ActiveFlow {
-                        pair,
-                        size_bytes: size,
-                        remaining_bits: size * 8.0,
-                        start_s: now,
-                        rate_gbps: 0.0,
-                    });
-                }
-                next_arrival = now + sample_exp(&mut rng, self.arrival_rate);
-                continue;
-            }
-
-            if now >= next_change - 1e-15 {
-                let moved = self.matrix.change(self.config.change_model);
-                self.clamp_matrix_to_capacity();
-                if let FabricModel::Iris { outage_s } = self.config.fabric {
-                    outage_fraction = moved.clamp(0.0, 0.9);
-                    if outage_fraction > 0.0 {
-                        outage_until = now + outage_s;
-                    }
-                }
-                next_change = now + self.config.change_interval_s.expect("change scheduled");
-                continue;
-            }
-            // Otherwise: outage ended; loop back and recompute rates.
         }
+
+        telemetry.counter("iris_simnet_events_total").add(events);
+        telemetry
+            .counter("iris_simnet_arrivals_total")
+            .add(arrivals);
+        telemetry
+            .counter("iris_simnet_flows_completed_total")
+            .add(completions);
+        telemetry
+            .counter("iris_simnet_waterfill_rounds_total")
+            .add(waterfill_round_sum);
+        telemetry
+            .counter("iris_simnet_reconfig_outages_total")
+            .add(reconfig_outage_count);
+        telemetry
+            .gauge("iris_simnet_active_flows_peak")
+            .set_max(active_peak_seen as i64);
         records
     }
 }
 
+/// The parameters that produced a simulation run, captured alongside
+/// its [`FlowRecord`]s so results are reproducible from the artifact
+/// alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// RNG seed for arrivals and sizes.
+    pub seed: u64,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Target peak link utilization (0-1).
+    pub utilization: f64,
+    /// Flow-size distribution name.
+    pub flow_size_dist: String,
+    /// Seconds between traffic-matrix changes (`None` = static).
+    pub change_interval_s: Option<f64>,
+    /// Matrix change model.
+    pub change_model: ChangeModel,
+    /// Fabric behaviour.
+    pub fabric: FabricModel,
+    /// Number of scheduled capacity disturbances.
+    pub capacity_event_count: usize,
+    /// Data centers in the simulated topology.
+    pub n_dcs: usize,
+    /// Calibrated global arrival rate, flows/s.
+    pub arrival_rate_flows_per_s: f64,
+}
+
+/// A simulation's results plus the manifest that reproduces them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRun {
+    /// The parameters that produced the run.
+    pub manifest: RunManifest,
+    /// All flows that completed within the simulated duration.
+    pub records: Vec<FlowRecord>,
+}
+
 /// Progressive water-filling: every flow gets its max-min fair share of
 /// the links on its route, with capacities scaled by `capacity_scale`.
+/// Returns the number of water-filling rounds (bottleneck links fixed).
 ///
 /// Complexity: `O(L^2 + F * pathlen)` — each round saturates one link
 /// and only touches that link's flow list, so the allocator stays fast
 /// even when queues build up at the paper's high-utilization extremes.
-fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [ActiveFlow]) {
+fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [ActiveFlow]) -> usize {
     let l_count = topo.links.len();
     let mut residual: Vec<f64> = topo
         .links
@@ -405,6 +527,7 @@ fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [Act
             active_on_link[l] += 1;
         }
     }
+    let mut rounds = 0usize;
     loop {
         // Bottleneck link: smallest fair share among links with flows.
         let mut best: Option<(usize, f64)> = None;
@@ -417,7 +540,10 @@ fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [Act
                 best = Some((l, share));
             }
         }
-        let Some((bottleneck, share)) = best else { break };
+        let Some((bottleneck, share)) = best else {
+            break;
+        };
+        rounds += 1;
         // Fix every unfixed flow crossing the bottleneck at `share`.
         let members = std::mem::take(&mut link_flows[bottleneck]);
         for fi in members {
@@ -435,6 +561,7 @@ fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [Act
         }
         debug_assert_eq!(active_on_link[bottleneck], 0);
     }
+    rounds
 }
 
 fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
@@ -556,7 +683,11 @@ mod tests {
         let matrix = TrafficMatrix::heavy_tailed(4, 7);
         let sim = Simulator::new(topo, matrix, base_config(FabricModel::Eps));
         let records = sim.run();
-        assert!(records.len() > 100, "only {} flows completed", records.len());
+        assert!(
+            records.len() > 100,
+            "only {} flows completed",
+            records.len()
+        );
         for r in &records {
             assert!(r.fct_s > 0.0);
             assert!(r.start_s >= 0.0 && r.start_s <= 5.0);

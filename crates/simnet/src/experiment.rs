@@ -7,7 +7,7 @@
 //! under Iris to the same percentile under EPS, for all flows and for
 //! short flows (< 50 KB).
 
-use crate::engine::{FabricModel, FlowRecord, SimConfig, Simulator};
+use crate::engine::{FabricModel, FlowRecord, RunManifest, SimConfig, Simulator};
 use crate::topology::SimTopology;
 use crate::traffic::{ChangeModel, TrafficMatrix};
 use crate::workloads::FlowSizeDist;
@@ -85,7 +85,22 @@ pub fn fct_quantile(records: &[FlowRecord], q: f64, short_only: bool) -> Option<
 /// Panics if either run completes no flows (mis-configured experiment).
 #[must_use]
 pub fn run_comparison(topo: &SimTopology, config: &ExperimentConfig) -> ComparisonResult {
-    let run = |fabric: FabricModel| -> Vec<FlowRecord> {
+    run_comparison_recorded(topo, config).0
+}
+
+/// Like [`run_comparison`], but also returns the Iris-side
+/// [`RunManifest`] (seed and every `SimConfig` parameter) so callers can
+/// persist results alongside what is needed to reproduce them.
+///
+/// # Panics
+///
+/// Panics if either run completes no flows (mis-configured experiment).
+#[must_use]
+pub fn run_comparison_recorded(
+    topo: &SimTopology,
+    config: &ExperimentConfig,
+) -> (ComparisonResult, RunManifest) {
+    let run = |fabric: FabricModel| -> (Vec<FlowRecord>, RunManifest) {
         let matrix = TrafficMatrix::heavy_tailed(topo.n_dcs, config.seed);
         let sim = Simulator::new(
             topo.clone(),
@@ -101,11 +116,12 @@ pub fn run_comparison(topo: &SimTopology, config: &ExperimentConfig) -> Comparis
                 seed: config.seed,
             },
         );
-        sim.run()
+        let recorded = sim.run_recorded();
+        (recorded.records, recorded.manifest)
     };
 
-    let eps = run(FabricModel::Eps);
-    let iris = run(FabricModel::Iris {
+    let (eps, _) = run(FabricModel::Eps);
+    let (iris, manifest) = run(FabricModel::Iris {
         outage_s: config.outage_s,
     });
     assert!(!eps.is_empty() && !iris.is_empty(), "no flows completed");
@@ -117,13 +133,16 @@ pub fn run_comparison(topo: &SimTopology, config: &ExperimentConfig) -> Comparis
         .zip(fct_quantile(&iris, 0.99, true))
         .map_or(1.0, |(e, i)| i / e);
 
-    ComparisonResult {
-        slowdown_p99_all: p99(&iris, false) / p99(&eps, false),
-        slowdown_p99_short: short_all,
-        slowdown_mean_all: mean(&iris) / mean(&eps),
-        eps_flows: eps.len(),
-        iris_flows: iris.len(),
-    }
+    (
+        ComparisonResult {
+            slowdown_p99_all: p99(&iris, false) / p99(&eps, false),
+            slowdown_p99_short: short_all,
+            slowdown_mean_all: mean(&iris) / mean(&eps),
+            eps_flows: eps.len(),
+            iris_flows: iris.len(),
+        },
+        manifest,
+    )
 }
 
 #[cfg(test)]

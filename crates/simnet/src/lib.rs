@@ -35,7 +35,7 @@ pub mod topology;
 pub mod traffic;
 pub mod workloads;
 
-pub use engine::{FlowRecord, SimConfig, Simulator};
+pub use engine::{FlowRecord, RunManifest, SimConfig, SimRun, Simulator};
 pub use experiment::{run_comparison, ComparisonResult, ExperimentConfig};
 pub use topology::SimTopology;
 pub use traffic::TrafficMatrix;

@@ -239,7 +239,11 @@ mod tests {
     fn mean_is_between_median_and_max() {
         for dist in FlowSizeDist::all_paper_workloads() {
             let mean = dist.mean_bytes();
-            assert!(mean > dist.quantile(0.5), "{}: heavy tail pulls mean up", dist.name);
+            assert!(
+                mean > dist.quantile(0.5),
+                "{}: heavy tail pulls mean up",
+                dist.name
+            );
             assert!(mean < dist.quantile(1.0));
         }
     }

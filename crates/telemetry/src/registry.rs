@@ -1,0 +1,341 @@
+//! The process-global metric registry and its snapshot exporters.
+
+use crate::{Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Most code uses the process-global
+/// [`global`] registry; tests can build private ones.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return Arc::clone(g);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return Arc::clone(h);
+        }
+        let mut metrics = self.metrics.write();
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every metric's value.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read();
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    histograms.insert(
+                        name.clone(),
+                        HistogramSummary {
+                            count: h.count(),
+                            sum: h.sum(),
+                            mean: h.mean(),
+                            min: h.min().unwrap_or(0.0),
+                            max: h.max().unwrap_or(0.0),
+                            p50: h.quantile(0.50).unwrap_or(0.0),
+                            p90: h.quantile(0.90).unwrap_or(0.0),
+                            p99: h.quantile(0.99).unwrap_or(0.0),
+                        },
+                    );
+                }
+            }
+        }
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Summary statistics exported for one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Mean of finite samples.
+    pub mean: f64,
+    /// Smallest finite sample (0 when empty).
+    pub min: f64,
+    /// Largest finite sample (0 when empty).
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// A point-in-time copy of a registry's metrics, exportable as JSON or
+/// Prometheus text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// The snapshot as a JSON value (the sidecar/file format).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let counters: Vec<(String, Value)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), json!(*v)))
+            .collect();
+        let gauges: Vec<(String, Value)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), json!(*v)))
+            .collect();
+        let histograms: Vec<(String, Value)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    json!({
+                        "count": h.count,
+                        "sum": h.sum,
+                        "mean": h.mean,
+                        "min": h.min,
+                        "max": h.max,
+                        "p50": h.p50,
+                        "p90": h.p90,
+                        "p99": h.p99,
+                    }),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".to_owned(), Value::Object(counters)),
+            ("gauges".to_owned(), Value::Object(gauges)),
+            ("histograms".to_owned(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Rebuild a snapshot from its [`Snapshot::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let section = |key: &str| -> Result<Vec<(String, Value)>, String> {
+            v.get(key)
+                .and_then(Value::as_object)
+                .cloned()
+                .ok_or_else(|| format!("snapshot is missing object '{key}'"))
+        };
+        let num = |entry: &Value, ctx: &str| -> Result<f64, String> {
+            entry
+                .as_f64()
+                .ok_or_else(|| format!("non-numeric field in {ctx}"))
+        };
+        let mut counters = BTreeMap::new();
+        for (name, value) in section("counters")? {
+            counters.insert(
+                name.clone(),
+                value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter '{name}' is not a u64"))?,
+            );
+        }
+        let mut gauges = BTreeMap::new();
+        for (name, value) in section("gauges")? {
+            gauges.insert(
+                name.clone(),
+                value
+                    .as_i64()
+                    .ok_or_else(|| format!("gauge '{name}' is not an i64"))?,
+            );
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, value) in section("histograms")? {
+            histograms.insert(
+                name.clone(),
+                HistogramSummary {
+                    count: value
+                        .get("count")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("histogram '{name}' missing count"))?,
+                    sum: num(&value["sum"], &name)?,
+                    mean: num(&value["mean"], &name)?,
+                    min: num(&value["min"], &name)?,
+                    max: num(&value["max"], &name)?,
+                    p50: num(&value["p50"], &name)?,
+                    p90: num(&value["p90"], &name)?,
+                    p99: num(&value["p99"], &name)?,
+                },
+            );
+        }
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// The snapshot in Prometheus text exposition format.
+    #[must_use]
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{name} {v}\n", base_name(name)));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{name} {v}\n", base_name(name)));
+        }
+        for (name, h) in &self.histograms {
+            let base = base_name(name);
+            out.push_str(&format!("# TYPE {base} summary\n"));
+            for (q, value) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!(
+                    "{} {value}\n",
+                    merge_label(name, &format!("quantile=\"{q}\""))
+                ));
+            }
+            out.push_str(&format!("{base}_sum {}\n", h.sum));
+            out.push_str(&format!("{base}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Whether no metrics were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Strip a folded `{label="…"}` suffix, if any.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Add one more label to a possibly-already-labelled series name.
+fn merge_label(name: &str, label: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{base}{{{label},{rest}"),
+        None => format!("{name}{{{label}}}"),
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry all Iris crates record into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_same_metric_for_same_name() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.snapshot().counters["a"], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("x");
+        r.counter("x");
+    }
+
+    #[test]
+    fn prometheus_text_has_quantiles_and_type_lines() {
+        let r = Registry::new();
+        r.histogram("iris_test_ms{phase=\"drain\"}").record(4.0);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE iris_test_ms summary"));
+        assert!(text.contains("iris_test_ms{quantile=\"0.99\",phase=\"drain\"}"));
+        assert!(text.contains("iris_test_ms_count 1"));
+    }
+}

@@ -1,0 +1,96 @@
+//! RAII span timing: a [`Span`] records its lifetime into a histogram
+//! when dropped.
+
+use crate::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a region of code. Created by [`Span::enter`]; the elapsed
+/// wall time in **seconds** is recorded into the histogram on drop.
+/// Use a `_ms`-named histogram with [`Span::enter_ms`] to record
+/// milliseconds instead.
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+    scale: f64,
+    recorded: bool,
+}
+
+impl Span {
+    /// Start timing; the drop records seconds.
+    #[must_use]
+    pub fn enter(histogram: Arc<Histogram>) -> Self {
+        Span {
+            histogram,
+            start: Instant::now(),
+            scale: 1.0,
+            recorded: false,
+        }
+    }
+
+    /// Start timing; the drop records milliseconds.
+    #[must_use]
+    pub fn enter_ms(histogram: Arc<Histogram>) -> Self {
+        Span {
+            histogram,
+            start: Instant::now(),
+            scale: 1e3,
+            recorded: false,
+        }
+    }
+
+    /// Record now and return the elapsed value (in the span's unit)
+    /// instead of waiting for drop.
+    pub fn finish(mut self) -> f64 {
+        self.recorded = true;
+        let elapsed = self.start.elapsed().as_secs_f64() * self.scale;
+        self.histogram.record(elapsed);
+        elapsed
+    }
+
+    /// Abandon the span without recording (e.g. on an error path).
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.histogram
+                .record(self.start.elapsed().as_secs_f64() * self.scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = Span::enter(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let h = Arc::new(Histogram::new());
+        let span = Span::enter_ms(Arc::clone(&h));
+        let elapsed = span.finish();
+        assert_eq!(h.count(), 1);
+        assert!(elapsed >= 0.0);
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        Span::enter(Arc::clone(&h)).cancel();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -53,16 +53,8 @@ fn main() {
         study.eps.total_fiber_pair_spans(),
         study.iris.total_fiber_pair_spans()
     );
-    println!(
-        "OSS ports      {:>14} {:>14}",
-        0,
-        study.iris.oss_ports()
-    );
-    println!(
-        "amplifiers     {:>14} {:>14}",
-        0,
-        study.iris.total_amps()
-    );
+    println!("OSS ports      {:>14} {:>14}", 0, study.iris.oss_ports());
+    println!("amplifiers     {:>14} {:>14}", 0, study.iris.total_amps());
     println!(
         "$/year         {:>14.0} {:>14.0}",
         study.eps_cost.total(),
@@ -74,6 +66,9 @@ fn main() {
         study.eps_iris_cost_ratio(),
         study.in_network_cost_ratio()
     );
-    assert!(study.iris.is_feasible(), "plan violates optical constraints");
+    assert!(
+        study.iris.is_feasible(),
+        "plan violates optical constraints"
+    );
     println!("all optical-layer constraints (TC1-TC4, OC1-OC4) verified.");
 }

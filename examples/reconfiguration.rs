@@ -72,7 +72,10 @@ fn main() {
     println!("\n--- Fig. 14 testbed replay (5 minutes, reconfig every 60 s) ---");
     let samples = run_testbed(&TestbedConfig::default());
     let summary = summarize(&samples, 10.0);
-    println!("max pre-FEC BER:      {:.2e} (SD-FEC threshold 2e-2)", summary.max_ber);
+    println!(
+        "max pre-FEC BER:      {:.2e} (SD-FEC threshold 2e-2)",
+        summary.max_ber
+    );
     println!("recovery gap:         {:.0} ms", summary.max_gap_ms);
     println!(
         "below threshold:      {:.1}% of samples",

@@ -90,10 +90,7 @@ fn main() {
 
     // Bill of materials.
     println!("\n=== bill of materials ($/year, paper 2020 prices) ===");
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "", "EPS", "Iris", "hybrid"
-    );
+    println!("{:<14} {:>12} {:>12} {:>12}", "", "EPS", "Iris", "hybrid");
     let rows: [(&str, [f64; 3]); 5] = [
         (
             "transceivers",
@@ -105,19 +102,24 @@ fn main() {
         ),
         (
             "fiber",
-            [study.eps_cost.fiber, study.iris_cost.fiber, study.hybrid_cost.fiber],
+            [
+                study.eps_cost.fiber,
+                study.iris_cost.fiber,
+                study.hybrid_cost.fiber,
+            ],
         ),
         (
             "OSS ports",
             [0.0, study.iris_cost.oss_ports, study.hybrid_cost.oss_ports],
         ),
-        (
-            "WSS ports",
-            [0.0, 0.0, study.hybrid_cost.oxc_ports],
-        ),
+        ("WSS ports", [0.0, 0.0, study.hybrid_cost.oxc_ports]),
         (
             "amplifiers",
-            [0.0, study.iris_cost.amplifiers, study.hybrid_cost.amplifiers],
+            [
+                0.0,
+                study.iris_cost.amplifiers,
+                study.hybrid_cost.amplifiers,
+            ],
         ),
     ];
     for (label, [e, i, h]) in rows {
@@ -151,10 +153,7 @@ fn main() {
             study.iris.provisioning.infeasible.len()
         );
         for inf in study.iris.provisioning.infeasible.iter().take(3) {
-            println!(
-                "  DCs {:?} if duct {:?} is lost",
-                inf.pair, inf.scenario
-            );
+            println!("  DCs {:?} if duct {:?} is lost", inf.pair, inf.scenario);
         }
     }
 }

@@ -41,8 +41,16 @@ fn main() {
     );
 
     for (label, util, change) in [
-        ("gentle: 40% util, 10% bounded changes", 0.4, ChangeModel::Bounded(0.1)),
-        ("paper's stress point: 70% util, unbounded changes", 0.7, ChangeModel::Unbounded),
+        (
+            "gentle: 40% util, 10% bounded changes",
+            0.4,
+            ChangeModel::Bounded(0.1),
+        ),
+        (
+            "paper's stress point: 70% util, unbounded changes",
+            0.7,
+            ChangeModel::Unbounded,
+        ),
     ] {
         let result = run_comparison(
             &topo,
@@ -57,10 +65,22 @@ fn main() {
             },
         );
         println!("\n{label}");
-        println!("  flows completed (EPS/Iris): {}/{}", result.eps_flows, result.iris_flows);
-        println!("  99th-pct FCT slowdown, all flows:   {:.3}", result.slowdown_p99_all);
-        println!("  99th-pct FCT slowdown, short flows: {:.3}", result.slowdown_p99_short);
-        println!("  mean FCT slowdown:                  {:.3}", result.slowdown_mean_all);
+        println!(
+            "  flows completed (EPS/Iris): {}/{}",
+            result.eps_flows, result.iris_flows
+        );
+        println!(
+            "  99th-pct FCT slowdown, all flows:   {:.3}",
+            result.slowdown_p99_all
+        );
+        println!(
+            "  99th-pct FCT slowdown, short flows: {:.3}",
+            result.slowdown_p99_short
+        );
+        println!(
+            "  mean FCT slowdown:                  {:.3}",
+            result.slowdown_mean_all
+        );
     }
     println!("\npaper shape: negligible slowdown at moderate settings; only the");
     println!("unbounded-change extreme at high utilization shows visible impact.");

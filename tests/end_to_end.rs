@@ -6,8 +6,8 @@
 
 use iris_core::prelude::*;
 use iris_core::DesignStudy;
-use iris_planner::topology::nominal_paths;
 use iris_planner::plan::realize_path;
+use iris_planner::topology::nominal_paths;
 
 fn make_region(seed: u64, n_dcs: usize) -> Region {
     let map = synth::generate_metro(&MetroParams {
@@ -135,7 +135,9 @@ fn controller_dark_times_match_simulator_outage_assumption() {
     // worst-case (two-hut) dark time must not exceed that by much.
     use iris_control::controller::{Allocation, Controller};
     use iris_control::SpaceSwitch;
-    let switches = (0..4).map(|i| SpaceSwitch::new(&format!("S{i}"), 32)).collect();
+    let switches = (0..4)
+        .map(|i| SpaceSwitch::new(&format!("S{i}"), 32))
+        .collect();
     let hops = [((0usize, 1usize), 2u32)].into_iter().collect();
     let controller = Controller::new(switches, hops);
     let target: Allocation = [((0, 1), 4)].into_iter().collect();

@@ -54,7 +54,10 @@ fn plans_are_physically_valid_on_every_geometry() {
         // must report those *truthfully* — each reported pair's real
         // fiber distance must exceed the SLA.
         for inf in &plan.provisioning.infeasible {
-            assert!(inf.scenario.is_empty(), "{name}: unexpected failure scenario");
+            assert!(
+                inf.scenario.is_empty(),
+                "{name}: unexpected failure scenario"
+            );
             let (a, b) = inf.pair;
             let d = region
                 .map

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`, covering the subset this
+//! workspace's benches use. Benchmarks really run and are really timed
+//! (a short warm-up, then `sample_size` samples of an adaptively chosen
+//! batch), but reporting is plain text on stdout — no statistics
+//! machinery, no HTML reports, no comparison against saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: names benches and carries configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&id.into());
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Run one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(full, |b| f(b, input));
+    }
+
+    /// End the group (report output is already flushed per bench).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose a `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+/// Times a routine handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`: warm up briefly, pick a batch size targeting a
+    /// few milliseconds per sample, then time `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: run until ~10ms or 50 iterations.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_iters < 50 && calib_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        // Aim for ~2ms per sample, capped to keep total runtime bounded.
+        let batch = ((0.002 / per_iter.max(1e-9)) as u64).clamp(1, 100_000);
+
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.sample_size as u64 * batch;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("bench {id}: no measurement");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        println!(
+            "bench {id}: {} / iter ({} iters)",
+            format_seconds(per_iter),
+            self.iters
+        );
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundle benchmark functions with a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

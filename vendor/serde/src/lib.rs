@@ -1,0 +1,98 @@
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `serde`/`serde_derive` cannot be downloaded. This crate
+//! provides the same surface the workspace relies on — the `Serialize`
+//! and `Deserialize` traits, their derive macros, and (through the
+//! sibling `serde_json` stub) JSON text round-tripping — over a single
+//! concrete [`Value`] data model instead of serde's generic
+//! serializer/deserializer machinery. Swapping the real crates back in
+//! requires no source changes in the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod text;
+mod value;
+
+pub use text::{parse_json, to_json_string, to_json_string_pretty};
+pub use value::Value;
+
+/// Error produced by [`Deserialize::from_value`] and JSON parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An error with a custom message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Attach field context to an error (used by derived impls).
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the JSON-like [`Value`] data model.
+///
+/// This replaces serde's `Serialize<S>`; the only serializer in this
+/// workspace is JSON, so a concrete tree is all we need.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the JSON-like [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first shape or type mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called by derived struct impls when a field is absent from the
+    /// JSON object. `Option<T>` overrides this to produce `None`;
+    /// everything else reports a missing field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" error by default.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field '{field}'")))
+    }
+}
+
+/// Derived-impl helper: look up `name` in an object's entry list.
+#[doc(hidden)]
+#[must_use]
+pub fn __field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Derived-impl helper: require `v` to be an object, naming `ty` in the
+/// error.
+#[doc(hidden)]
+pub fn __as_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Object(entries) => Ok(entries),
+        other => Err(DeError(format!(
+            "expected object for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,337 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable offline) and emits impls of `serde::Serialize` /
+//! `serde::Deserialize` over the concrete `serde::Value` data model.
+//! Supports what this workspace uses: non-generic braced structs, tuple
+//! structs, and enums with unit, tuple and struct variants. The wire
+//! shape matches real serde's externally-tagged JSON, so artifacts
+//! round-trip identically if the real crates are restored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected 'struct' or 'enum', found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stub does not support generic types ({name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for '{other}' items"),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split `tokens` at commas that are outside groups *and* outside
+/// `<...>` generic arguments (angle brackets are plain puncts).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- emit
+
+fn named_to_object(fields: &[String], access_prefix: &str) -> String {
+    let mut src = String::from(
+        "{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+    );
+    for f in fields {
+        src.push_str(&format!(
+            "__fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value({access_prefix}{f})));\n"
+        ));
+    }
+    src.push_str("::serde::Value::Object(__fields) }");
+    src
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_owned(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(fs) => named_to_object(fs, "&self."),
+            };
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let obj = named_to_object(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {obj})]),\n",
+                            binds = fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn named_from_object(fields: &[String], obj_expr: &str) -> String {
+    let mut src = String::new();
+    for f in fields {
+        src.push_str(&format!(
+            "{f}: match ::serde::__field({obj_expr}, \"{f}\") {{\n\
+               Some(__v) => ::serde::Deserialize::from_value(__v).map_err(|__e| __e.in_field(\"{f}\"))?,\n\
+               None => ::serde::Deserialize::from_missing(\"{f}\")?,\n\
+             }},\n"
+        ));
+    }
+    src
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(n) => format!(
+                    "{{ let __items = __v.as_array().ok_or_else(|| ::serde::DeError(format!(\"expected array for {name}, found {{}}\", __v.kind())))?;\n\
+                       if __items.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {name}, found {{}}\", __items.len()))); }}\n\
+                       Ok({name}({elems})) }}",
+                    elems = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Fields::Named(fs) => format!(
+                    "{{ let __obj = ::serde::__as_object(__v, \"{name}\")?;\nOk({name} {{\n{fields}}}) }}",
+                    fields = named_from_object(fs, "__obj")
+                ),
+            };
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(__inner).map_err(|__e| __e.in_field(\"{vn}\"))?)),\n"
+                            ));
+                        } else {
+                            tagged_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                   let __items = __inner.as_array().ok_or_else(|| ::serde::DeError(format!(\"expected array for {name}::{vn}\")))?;\n\
+                                   if __items.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {name}::{vn}\"))); }}\n\
+                                   return Ok({name}::{vn}({elems}));\n\
+                                 }}\n",
+                                elems = (0..*n)
+                                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ));
+                        }
+                    }
+                    Fields::Named(fs) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let __obj = ::serde::__as_object(__inner, \"{name}::{vn}\")?;\n\
+                               return Ok({name}::{vn} {{\n{fields}}});\n\
+                             }}\n",
+                            fields = named_from_object(fs, "__obj")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     #[allow(unused_variables)]\n\
+                     if let Some(__s) = __v.as_str() {{\n\
+                       match __s {{ {unit_arms} _ => {{}} }}\n\
+                     }}\n\
+                     #[allow(unused_variables)]\n\
+                     if let Some(__entries) = __v.as_object() {{\n\
+                       if __entries.len() == 1 {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                       }}\n\
+                     }}\n\
+                     Err(::serde::DeError(format!(\"invalid value for enum {name}: {{}}\", __v.kind())))\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `serde_json`, backed by the serde stub's
+//! concrete [`Value`] tree. Provides `to_string`/`to_string_pretty`/
+//! `from_str` and the `json!` macro over the subset this workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{DeError as Error, Value};
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` matches the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::to_json_string(value))
+}
+
+/// Serialize to pretty (2-space indented) JSON text.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` matches the real API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::to_json_string_pretty(value))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+///
+/// # Errors
+///
+/// Returns the first syntax or shape error with context.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse_json(s)?;
+    T::from_value(&v)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this stub; the `Result` matches the real API.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// `json!` leaf helper (referenced by the macro expansion; not public API).
+#[doc(hidden)]
+#[must_use]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports nested object
+/// and array literals with string-literal keys and arbitrary
+/// expressions as values — the shapes used throughout this workspace.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: munch comma-separated elements into [$elems] ----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),])
+    };
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- objects: accumulate key tokens, then parse the value ----
+    (@object $obj:ident () () ()) => {};
+    (@object $obj:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $obj.push((($($key)+).to_string(), $value));
+        $crate::json_internal!(@object $obj () ($($rest)*) ($($rest)*));
+    };
+    (@object $obj:ident [$($key:tt)+] ($value:expr)) => {
+        $obj.push((($($key)+).to_string(), $value));
+    };
+    (@object $obj:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $obj:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $obj [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $obj:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $obj ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    // ---- entry points ----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object(vec![])
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}
