@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iris_bench::{build_region, SweepPoint};
 use iris_netgraph::{dijkstra, hose, Dinic};
 use iris_planner::amplifiers::place_amplifiers;
-use iris_planner::{plan_eps, plan_iris, provision, DesignGoals};
+use iris_planner::{
+    plan_eps, plan_iris, provision, provision_with_threads, DesignGoals, ScenarioEngine,
+};
 use std::hint::black_box;
 
 fn bench_algorithm1(c: &mut Criterion) {
@@ -27,6 +29,35 @@ fn bench_algorithm1(c: &mut Criterion) {
         }
     }
     group.finish();
+}
+
+/// The scenario engine against the sweep it was built for: incremental
+/// path reuse across every `C(m, <=k)` failure scenario, plus explicit
+/// 1-vs-N-thread provisioning so a regression in either the cache or
+/// the chunk merge shows up as a wall-time delta.
+fn bench_scenario_engine(c: &mut Criterion) {
+    let region = build_region(&SweepPoint {
+        map_seed: 1,
+        n_dcs: 10,
+        f: 16,
+        lambda: 40,
+    });
+    let goals = DesignGoals::with_cuts(1);
+    c.bench_function("scenario_engine_sweep_10dc_1cut", |b| {
+        b.iter(|| {
+            let mut engine = ScenarioEngine::new(&region, &goals);
+            let mut total_edges = 0usize;
+            engine.for_each_scenario(|_, view| {
+                total_edges += view.paths().map(|p| p.edges.len()).sum::<usize>();
+            });
+            black_box(total_edges)
+        })
+    });
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("provision_10dc_1cut_{threads}thread"), |b| {
+            b.iter(|| black_box(provision_with_threads(&region, &goals, threads)))
+        });
+    }
 }
 
 fn bench_full_plans(c: &mut Criterion) {
@@ -93,6 +124,6 @@ fn bench_graph_primitives(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_algorithm1, bench_full_plans, bench_graph_primitives
+    targets = bench_algorithm1, bench_scenario_engine, bench_full_plans, bench_graph_primitives
 }
 criterion_main!(benches);

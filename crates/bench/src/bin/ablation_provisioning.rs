@@ -18,15 +18,17 @@ fn main() {
     let goals = DesignGoals::with_cuts(1);
 
     println!("# map  n_dcs  exact_wl_spans  naive_wl_spans  overprovision");
-    let mut ratios = Vec::new();
-    let mut rows = Vec::new();
-    for p in &points {
+    let results = iris_bench::par_map(&points, |_, p| {
         let region = iris_bench::build_region(p);
         let exact = provision(&region, &goals);
         let naive = provision_naive(&region, &goals);
         let exact_total: f64 = exact.edge_capacity_wl.iter().sum();
         let naive_total: f64 = naive.edge_capacity_wl.iter().sum();
-        let ratio = naive_total / exact_total;
+        (exact_total, naive_total, naive_total / exact_total)
+    });
+    let mut ratios = Vec::new();
+    let mut rows = Vec::new();
+    for (p, &(exact_total, naive_total, ratio)) in points.iter().zip(&results) {
         println!(
             "{:4}  {:5}  {exact_total:14.0}  {naive_total:14.0}  {ratio:12.2}x",
             p.map_seed, p.n_dcs

@@ -35,42 +35,44 @@ fn main() {
     let book = PriceBook::paper_2020();
     let book_sr = book.with_sr_transceiver_prices();
 
-    let mut ratio_eps_iris = Vec::new();
-    let mut ratio_eps_hybrid = Vec::new();
-    let mut ratio_in_network = Vec::new();
-    let mut ratio_sr = Vec::new();
-    let mut ports_eps = Vec::new();
-    let mut ports_iris = Vec::new();
-    let mut ratio_resilience = Vec::new();
-
     eprintln!(
-        "# sweeping {} scenarios (cut tolerance {cuts})...",
-        points.len()
+        "# sweeping {} scenarios (cut tolerance {cuts}, {} threads)...",
+        points.len(),
+        iris_planner::thread_count()
     );
-    for (i, p) in points.iter().enumerate() {
+    let rows = iris_bench::par_map(&points, |i, p| {
         let region = iris_bench::build_region(p);
         let study = DesignStudy::run(&region, &goals);
-        ratio_eps_iris.push(study.eps_iris_cost_ratio());
-        ratio_eps_hybrid.push(study.eps_hybrid_cost_ratio());
-        ratio_in_network.push(study.in_network_cost_ratio());
         let (pe, pi) = study.in_network_port_ratios();
-        ports_eps.push(pe);
-        ports_iris.push(pi);
 
-        // (b) SR transceiver prices.
-        let study_sr = DesignStudy::run_with_prices(&region, &goals, book_sr);
-        ratio_sr.push(study_sr.eps_iris_cost_ratio());
+        // (b) SR transceiver prices: same plans, different price book.
+        let study_sr = study.reprice(book_sr);
 
         // (d) EPS with no failure guarantees vs this Iris (which keeps
         // its `cuts`-failure guarantee).
         let eps0 = plan_eps(&region, &goals_no_resilience);
         let eps0_cost = eps_cost(&eps0, &book).total();
-        ratio_resilience.push(eps0_cost / study.iris_cost.total());
 
         if (i + 1) % 20 == 0 {
-            eprintln!("#   {}/{} done", i + 1, points.len());
+            eprintln!("#   point {}/{} done", i + 1, points.len());
         }
-    }
+        (
+            study.eps_iris_cost_ratio(),
+            study.eps_hybrid_cost_ratio(),
+            study.in_network_cost_ratio(),
+            study_sr.eps_iris_cost_ratio(),
+            pe,
+            pi,
+            eps0_cost / study.iris_cost.total(),
+        )
+    });
+    let ratio_eps_iris: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let ratio_eps_hybrid: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let ratio_in_network: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let ratio_sr: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    let ports_eps: Vec<f64> = rows.iter().map(|r| r.4).collect();
+    let ports_iris: Vec<f64> = rows.iter().map(|r| r.5).collect();
+    let ratio_resilience: Vec<f64> = rows.iter().map(|r| r.6).collect();
 
     println!("== Fig 12(a): cost ratio CDFs ==");
     iris_bench::print_cdf("EPS / Iris", &ratio_eps_iris, 20);

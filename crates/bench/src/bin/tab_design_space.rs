@@ -18,12 +18,12 @@ use iris_planner::{topology::nominal_paths, DesignGoals};
 fn main() {
     let n_regions = if iris_bench::quick_mode() { 2 } else { 6 };
     let book = PriceBook::paper_2020();
-    let mut rows = Vec::new();
 
     println!(
         "# region | latency: worst DC-DC km (central/direct) | area x | P(both hubs lost, 10 km disaster) | cost: central / EPS / Iris (normalized to central)"
     );
-    for seed in 0..n_regions {
+    let seeds: Vec<u64> = (0..n_regions).collect();
+    let rows: Vec<serde_json::Value> = iris_bench::par_map(&seeds, |_, &seed| {
         let region = iris_bench::simple_region(seed + 60, 6 + seed as usize % 4);
         let goals = DesignGoals::with_cuts(0);
         let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
@@ -51,17 +51,7 @@ fn main() {
         let eps_rel = study.eps_cost.total() / central_cost;
         let iris_rel = study.iris_cost.total() / central_cost;
 
-        println!(
-            "{:6} | {:6.1} / {:6.1} km | {:4.2}x | {:6.4} | 1.00 / {:5.2} / {:5.2}",
-            seed,
-            central.worst_pair_km(),
-            direct_worst,
-            area_distr / area_central.max(1.0),
-            tradeoff.p_both_hubs_lost,
-            eps_rel,
-            iris_rel
-        );
-        rows.push(serde_json::json!({
+        serde_json::json!({
             "region": seed,
             "worst_km_centralized": central.worst_pair_km(),
             "worst_km_direct": direct_worst,
@@ -69,7 +59,19 @@ fn main() {
             "p_both_hubs_lost": tradeoff.p_both_hubs_lost,
             "eps_over_centralized": eps_rel,
             "iris_over_centralized": iris_rel,
-        }));
+        })
+    });
+    for row in &rows {
+        println!(
+            "{:6} | {:6.1} / {:6.1} km | {:4.2}x | {:6.4} | 1.00 / {:5.2} / {:5.2}",
+            row["region"].as_u64().expect("u64"),
+            row["worst_km_centralized"].as_f64().expect("f64"),
+            row["worst_km_direct"].as_f64().expect("f64"),
+            row["area_ratio"].as_f64().expect("f64"),
+            row["p_both_hubs_lost"].as_f64().expect("f64"),
+            row["eps_over_centralized"].as_f64().expect("f64"),
+            row["iris_over_centralized"].as_f64().expect("f64")
+        );
     }
 
     let iris_rels: Vec<f64> = rows

@@ -15,6 +15,15 @@ fn load(opts: &Options) -> Result<Region, String> {
     load_region(Path::new(opts.required("region")?))
 }
 
+/// Apply `--threads T` as the planner's default sweep worker count.
+/// `IRIS_THREADS` still wins ([`iris_planner::thread_count`]'s
+/// resolution order); the planned output is bit-identical either way.
+fn apply_threads(opts: &Options) -> Result<(), String> {
+    let threads: usize = opts.num("threads", 0)?;
+    iris_planner::set_default_threads(threads);
+    Ok(())
+}
+
 /// `iris gen` — generate a synthetic region.
 pub fn generate(opts: &Options) -> Result<(), String> {
     let seed: u64 = opts.num("seed", 1)?;
@@ -54,6 +63,7 @@ pub fn generate(opts: &Options) -> Result<(), String> {
 pub fn plan(opts: &Options) -> Result<(), String> {
     let region = load(opts)?;
     let cuts: usize = opts.num("cuts", 2)?;
+    apply_threads(opts)?;
     let goals = DesignGoals::with_cuts(cuts);
     let plan = plan_iris(&region, &goals);
     let cost = iris_cost(&plan, &PriceBook::paper_2020());
@@ -99,6 +109,7 @@ pub fn plan(opts: &Options) -> Result<(), String> {
 pub fn compare(opts: &Options) -> Result<(), String> {
     let region = load(opts)?;
     let cuts: usize = opts.num("cuts", 1)?;
+    apply_threads(opts)?;
     let goals = DesignGoals::with_cuts(cuts);
     let study = DesignStudy::run(&region, &goals);
     let hubs = pick_hub_pair(&region.map, 4.0, 24.0);

@@ -39,7 +39,7 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "out",
             "telemetry",
         ],
-        "plan" | "compare" => &["region", "cuts", "telemetry"],
+        "plan" | "compare" => &["region", "cuts", "threads", "telemetry"],
         "siting" => &["region", "telemetry"],
         "simulate" | "sim" => &[
             "region",
@@ -107,12 +107,16 @@ fn print_usage() {
 USAGE:
   iris gen      --seed N --dcs N [--fibers F] [--lambda L] [--huts H] --out FILE
                 generate a synthetic metro region and write it as JSON
-  iris plan     --region FILE [--cuts K]
+  iris plan     --region FILE [--cuts K] [--threads T]
                 plan the region as an Iris all-optical network; print the
                 bill of materials and any constraint violations
-  iris compare  --region FILE [--cuts K]
+  iris compare  --region FILE [--cuts K] [--threads T]
                 plan Iris, EPS and centralized designs; print the cost and
                 latency comparison table
+
+--threads T (or the IRIS_THREADS environment variable, which wins) sets
+the worker count for the planner's parallel failure-scenario sweep; the
+planned output is bit-identical for every thread count.
   iris siting   --region FILE
                 service-area analysis: where can the next DC go?
   iris simulate --region FILE [--util U] [--interval S] [--duration S]

@@ -53,6 +53,25 @@ impl DesignStudy {
         }
     }
 
+    /// Re-cost the already-computed plans under different prices.
+    ///
+    /// Planning is price-independent, so this produces exactly what
+    /// [`DesignStudy::run_with_prices`] would for the same region and
+    /// goals — without re-running Algorithm 1's scenario sweep. Fig. 12(b)
+    /// uses this to evaluate short-reach transceiver prices for free.
+    #[must_use]
+    pub fn reprice(&self, prices: PriceBook) -> Self {
+        Self {
+            iris: self.iris.clone(),
+            eps: self.eps.clone(),
+            hybrid: self.hybrid.clone(),
+            iris_cost: iris_cost(&self.iris, &prices),
+            eps_cost: eps_cost(&self.eps, &prices),
+            hybrid_cost: hybrid_cost(&self.iris, &self.hybrid, &prices),
+            prices,
+        }
+    }
+
     /// EPS / Iris total-cost ratio (Fig. 12(a)'s headline metric).
     #[must_use]
     pub fn eps_iris_cost_ratio(&self) -> f64 {

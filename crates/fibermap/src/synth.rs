@@ -202,6 +202,14 @@ pub fn place_dcs(mut map: FiberMap, params: &PlacementParams) -> Region {
     const CANDIDATES_PER_DC: usize = 200;
 
     while dcs.len() < params.n_dcs {
+        // The map is fixed for the whole candidate round, so one Dijkstra
+        // per *attachment site* answers every feasibility query this round
+        // — the naive per-(candidate, DC) query costs hundreds of
+        // identical Dijkstras. Values are read from the same
+        // source-to-everywhere runs `fiber_distance_from_point` would
+        // perform, so feasibility (and thus placement) is unchanged.
+        let mut dist_from: std::collections::HashMap<SiteId, Vec<f64>> =
+            std::collections::HashMap::new();
         // Sample candidate positions and keep the feasible ones.
         let mut feasible: Vec<(Point, f64)> = Vec::new(); // (pos, weight)
         for _ in 0..CANDIDATES_PER_DC {
@@ -209,9 +217,17 @@ pub fn place_dcs(mut map: FiberMap, params: &PlacementParams) -> Region {
                 rng.random_range(-extent..extent),
                 rng.random_range(-extent..extent),
             );
+            let attach = map.nearest_sites(&p, params.attach_huts.max(1));
             let within_reach = dcs.iter().all(|&d| {
-                map.fiber_distance_from_point(&p, d, params.attach_huts, 1.3)
-                    .is_some_and(|km| km <= params.max_fiber_km)
+                let mut best = f64::INFINITY;
+                for &a in &attach {
+                    let lateral = p.distance(&map.site(a).position) * 1.3;
+                    let dist = dist_from
+                        .entry(a)
+                        .or_insert_with(|| map.fiber_distances_from(a));
+                    best = best.min(lateral + dist[d]);
+                }
+                best <= params.max_fiber_km
             });
             if within_reach {
                 let weight = if dcs.is_empty() {

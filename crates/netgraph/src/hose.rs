@@ -42,41 +42,76 @@ use crate::maxflow::Dinic;
 /// Panics if a pair is degenerate (`u == v`).
 #[must_use]
 pub fn max_edge_load(capacity: &impl Fn(NodeId) -> u64, pairs: &[(NodeId, NodeId)]) -> f64 {
-    if pairs.is_empty() {
-        return 0.0;
-    }
-    // Collect the distinct DCs touching this edge and index them densely.
-    let mut dcs: Vec<NodeId> = Vec::new();
-    for &(u, v) in pairs {
-        assert_ne!(u, v, "degenerate DC pair");
-        if !dcs.contains(&u) {
-            dcs.push(u);
-        }
-        if !dcs.contains(&v) {
-            dcs.push(v);
-        }
-    }
-    let index = |n: NodeId| dcs.iter().position(|&d| d == n).expect("indexed above");
+    HoseScratch::new().max_edge_load(capacity, pairs)
+}
 
-    // Bipartite double cover: source -> left_a (cap C_a),
-    // right_a -> sink (cap C_a); each pair contributes left_u -> right_v
-    // and left_v -> right_u with unbounded capacity. The max flow is twice
-    // the maximum fractional b-matching.
-    let k = dcs.len();
-    let source = 2 * k;
-    let sink = 2 * k + 1;
-    let mut dinic = Dinic::new(2 * k + 2);
-    for (i, &dc) in dcs.iter().enumerate() {
-        let c = capacity(dc);
-        dinic.add_edge(source, i, c); // left copy
-        dinic.add_edge(k + i, sink, c); // right copy
+/// Reusable workspace for [`max_edge_load`]: the distinct-DC index and the
+/// Dinic arena survive across calls, so a planning run that evaluates
+/// thousands of pair sets allocates the flow network once.
+#[derive(Debug, Default)]
+pub struct HoseScratch {
+    dcs: Vec<NodeId>,
+    dinic: Dinic,
+}
+
+impl HoseScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            dcs: Vec::new(),
+            dinic: Dinic::new(0),
+        }
     }
-    for &(u, v) in pairs {
-        let (iu, iv) = (index(u), index(v));
-        dinic.add_edge(iu, k + iv, u64::MAX / 4);
-        dinic.add_edge(iv, k + iu, u64::MAX / 4);
+
+    /// As [`max_edge_load`], reusing this scratch's allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is degenerate (`u == v`).
+    #[must_use]
+    pub fn max_edge_load(
+        &mut self,
+        capacity: &impl Fn(NodeId) -> u64,
+        pairs: &[(NodeId, NodeId)],
+    ) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        // Collect the distinct DCs touching this edge and index them
+        // densely: sort + dedup + binary search instead of the quadratic
+        // `contains`/`position` scan.
+        self.dcs.clear();
+        for &(u, v) in pairs {
+            assert_ne!(u, v, "degenerate DC pair");
+            self.dcs.push(u);
+            self.dcs.push(v);
+        }
+        self.dcs.sort_unstable();
+        self.dcs.dedup();
+        let dcs = &self.dcs;
+        let index = |n: NodeId| dcs.binary_search(&n).expect("indexed above");
+
+        // Bipartite double cover: source -> left_a (cap C_a),
+        // right_a -> sink (cap C_a); each pair contributes left_u -> right_v
+        // and left_v -> right_u with unbounded capacity. The max flow is
+        // twice the maximum fractional b-matching.
+        let k = dcs.len();
+        let source = 2 * k;
+        let sink = 2 * k + 1;
+        self.dinic.reset(2 * k + 2);
+        for (i, &dc) in dcs.iter().enumerate() {
+            let c = capacity(dc);
+            self.dinic.add_edge(source, i, c); // left copy
+            self.dinic.add_edge(k + i, sink, c); // right copy
+        }
+        for &(u, v) in pairs {
+            let (iu, iv) = (index(u), index(v));
+            self.dinic.add_edge(iu, k + iv, u64::MAX / 4);
+            self.dinic.add_edge(iv, k + iu, u64::MAX / 4);
+        }
+        self.dinic.max_flow(source, sink) as f64 / 2.0
     }
-    dinic.max_flow(source, sink) as f64 / 2.0
 }
 
 /// The naive per-edge bound of §4.1: sum of `min(C_u, C_v)` over pairs.
@@ -163,5 +198,25 @@ mod tests {
     fn degenerate_pair_panics() {
         let cap = |_: NodeId| 1u64;
         let _ = max_edge_load(&cap, &[(3, 3)]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        let mut scratch = HoseScratch::new();
+        let cap = |n: NodeId| [7u64, 3, 5, 2, 9][n];
+        let sets: Vec<Vec<(usize, usize)>> = vec![
+            vec![(0, 1), (0, 2), (0, 3), (1, 2)],
+            vec![(3, 4)],
+            vec![],
+            vec![(0, 4), (1, 4), (2, 4), (3, 4), (0, 1)],
+            vec![(2, 3), (0, 1)],
+        ];
+        for pairs in &sets {
+            assert_eq!(
+                scratch.max_edge_load(&cap, pairs),
+                max_edge_load(&cap, pairs),
+                "pairs {pairs:?}"
+            );
+        }
     }
 }

@@ -31,6 +31,7 @@ pub mod shortest;
 
 pub use failures::FailureScenarios;
 pub use graph::{EdgeId, Graph, NodeId};
+pub use hose::HoseScratch;
 pub use kpaths::{k_shortest_paths, CandidatePath};
 pub use maxflow::Dinic;
-pub use shortest::{dijkstra, path_edges, PathResult};
+pub use shortest::{dijkstra, path_edges, DijkstraScratch, PathResult};

@@ -23,7 +23,7 @@ struct Arc {
 }
 
 /// A Dinic max-flow solver over a directed graph built incrementally.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Dinic {
     adjacency: Vec<Vec<usize>>,
     arcs: Vec<Arc>,
@@ -47,6 +47,26 @@ impl Dinic {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.adjacency.len()
+    }
+
+    /// Reset the solver to `n` isolated nodes, keeping the arc and
+    /// adjacency allocations. The hose computation builds thousands of
+    /// small flow networks per planning run; resetting one arena instead
+    /// of constructing a fresh `Dinic` avoids the per-call allocations.
+    pub fn reset(&mut self, n: usize) {
+        for adj in &mut self.adjacency {
+            adj.clear();
+        }
+        if self.adjacency.len() > n {
+            self.adjacency.truncate(n);
+        } else {
+            self.adjacency.resize_with(n, Vec::new);
+        }
+        self.arcs.clear();
+        self.level.clear();
+        self.level.resize(n, 0);
+        self.iter.clear();
+        self.iter.resize(n, 0);
     }
 
     /// Add a directed arc `from -> to` with capacity `cap`.

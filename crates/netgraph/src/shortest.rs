@@ -62,7 +62,7 @@ impl PathResult {
 }
 
 /// Max-heap entry ordered by *smallest* distance first.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapItem {
     dist: f64,
     node: NodeId,
@@ -93,38 +93,129 @@ impl PartialOrd for HeapItem {
 /// graph's perturbed lengths so that shortest paths are unique.
 #[must_use]
 pub fn dijkstra(g: &Graph, source: NodeId, disabled: &[bool]) -> PathResult {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source] = 0.0;
-    heap.push(HeapItem {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-        if done[u] {
-            continue;
-        }
-        done[u] = true;
-        for &(e, v) in g.neighbors(u) {
-            if disabled.get(e).copied().unwrap_or(false) || v == u {
-                continue;
-            }
-            let nd = d + g.perturbed_length(e);
-            if nd < dist[v] {
-                dist[v] = nd;
-                prev_edge[v] = Some(e);
-                heap.push(HeapItem { dist: nd, node: v });
-            }
-        }
-    }
+    let mut scratch = DijkstraScratch::new();
+    scratch.run(g, source, disabled);
     PathResult {
-        dist,
-        prev_edge,
+        dist: scratch.dist,
+        prev_edge: scratch.prev_edge,
         source,
     }
+}
+
+/// Reusable single-source Dijkstra state: the planner's scenario engine
+/// runs thousands of Dijkstras over the same graph, so the distance,
+/// predecessor, visited and heap buffers are kept across runs instead of
+/// being reallocated per call.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    /// `dist[v]` after [`DijkstraScratch::run`] — shortest perturbed
+    /// distance from the source, `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// `prev_edge[v]` — edge through which `v` is reached, as in
+    /// [`PathResult::prev_edge`].
+    pub prev_edge: Vec<Option<EdgeId>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<HeapItem>,
+    source: NodeId,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers grow on first [`DijkstraScratch::run`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run Dijkstra from `source`, overwriting the scratch state. The
+    /// result is identical to [`dijkstra`] (same tie-breaking), only the
+    /// allocations are reused.
+    pub fn run(&mut self, g: &Graph, source: NodeId, disabled: &[bool]) {
+        let n = g.node_count();
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.prev_edge.clear();
+        self.prev_edge.resize(n, None);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+        self.source = source;
+        self.dist[source] = 0.0;
+        self.heap.push(HeapItem {
+            dist: 0.0,
+            node: source,
+        });
+        while let Some(HeapItem { dist: d, node: u }) = self.heap.pop() {
+            if self.done[u] {
+                continue;
+            }
+            self.done[u] = true;
+            for &(e, v) in g.neighbors(u) {
+                if disabled.get(e).copied().unwrap_or(false) || v == u {
+                    continue;
+                }
+                let nd = d + g.perturbed_length(e);
+                if nd < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.prev_edge[v] = Some(e);
+                    self.heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// Edge sequence of the shortest path to `target`, as
+    /// [`PathResult::path_edges`].
+    #[must_use]
+    pub fn path_edges(&self, g: &Graph, target: NodeId) -> Option<Vec<EdgeId>> {
+        extract_path_edges(g, &self.dist, &self.prev_edge, target)
+    }
+
+    /// Node sequence of the shortest path to `target`, as
+    /// [`PathResult::path_nodes`].
+    #[must_use]
+    pub fn path_nodes(&self, g: &Graph, target: NodeId) -> Option<Vec<NodeId>> {
+        extract_path_nodes(g, &self.dist, &self.prev_edge, self.source, target)
+    }
+}
+
+fn extract_path_edges(
+    g: &Graph,
+    dist: &[f64],
+    prev_edge: &[Option<EdgeId>],
+    target: NodeId,
+) -> Option<Vec<EdgeId>> {
+    if !dist[target].is_finite() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while let Some(e) = prev_edge[cur] {
+        edges.push(e);
+        cur = g.edge(e).other(cur);
+    }
+    edges.reverse();
+    Some(edges)
+}
+
+fn extract_path_nodes(
+    g: &Graph,
+    dist: &[f64],
+    prev_edge: &[Option<EdgeId>],
+    source: NodeId,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    if !dist[target].is_finite() {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while let Some(e) = prev_edge[cur] {
+        cur = g.edge(e).other(cur);
+        nodes.push(cur);
+    }
+    debug_assert_eq!(cur, source);
+    nodes.reverse();
+    Some(nodes)
 }
 
 /// Convenience: the unique shortest path between `u` and `v` as an edge

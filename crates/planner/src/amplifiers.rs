@@ -13,10 +13,11 @@
 //! failure scenario is covered, accumulating placements across scenarios
 //! (amplifiers installed for one scenario are reused by others).
 
+use crate::engine::ScenarioEngine;
 use crate::goals::DesignGoals;
-use crate::paths::{scenario_paths, DcPath};
+use crate::paths::DcPath;
 use iris_fibermap::Region;
-use iris_netgraph::{hose, FailureScenarios, NodeId};
+use iris_netgraph::{hose, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -81,9 +82,12 @@ impl AmpPlacement {
 }
 
 /// Run Algorithm 2 over all failure scenarios of `goals`.
+///
+/// Placements accumulate across scenarios in enumeration order, so this
+/// stage stays sequential; the scenario engine still removes the per-
+/// scenario all-pairs Dijkstra cost.
 #[must_use]
 pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
-    let m = region.map.graph().edge_count();
     let caps: Vec<u64> = (0..region.dcs.len())
         .map(|i| region.capacity_wavelengths(i))
         .collect();
@@ -91,10 +95,10 @@ pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
 
     let mut placement = AmpPlacement::default();
 
-    for scenario in FailureScenarios::new(m, goals.max_cuts) {
-        let (paths, _) = scenario_paths(region, goals, &scenario);
+    let mut engine = ScenarioEngine::new(region, goals);
+    engine.for_each_scenario(|scenario, view| {
         // P <- long paths that require amplification.
-        let mut pending: Vec<&DcPath> = paths.iter().filter(|p| p.needs_amplification()).collect();
+        let mut pending: Vec<&DcPath> = view.paths().filter(|p| p.needs_amplification()).collect();
 
         while !pending.is_empty() {
             // S <- possible amplifier locations for all pending paths:
@@ -109,7 +113,7 @@ pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
                 for p in &pending {
                     placement.unresolved.push(UnresolvedPath {
                         pair: (p.a, p.b),
-                        scenario: scenario.clone(),
+                        scenario: scenario.to_vec(),
                     });
                 }
                 break;
@@ -157,7 +161,7 @@ pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
                 .map(|(_, p)| p)
                 .collect();
         }
-    }
+    });
 
     placement
 }
@@ -165,6 +169,7 @@ pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paths::scenario_paths;
     use iris_fibermap::{FiberMap, SiteKind};
     use iris_geo::Point;
 

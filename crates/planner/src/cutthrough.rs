@@ -13,10 +13,11 @@
 //! resolved per fiber leased and accumulates across failure scenarios.
 
 use crate::amplifiers::AmpPlacement;
+use crate::engine::ScenarioEngine;
 use crate::goals::DesignGoals;
-use crate::paths::{scenario_paths, DcPath};
+use crate::paths::DcPath;
 use iris_fibermap::Region;
-use iris_netgraph::{hose, EdgeId, FailureScenarios, NodeId};
+use iris_netgraph::{hose, EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// One cut-through link: fiber spliced through `nodes[1..len-1]`.
@@ -187,7 +188,6 @@ pub fn place_cutthroughs(
     amps: &AmpPlacement,
 ) -> CutThroughPlan {
     let g = region.map.graph();
-    let m = g.edge_count();
     let caps: Vec<u64> = (0..region.dcs.len())
         .map(|i| region.capacity_wavelengths(i))
         .collect();
@@ -195,18 +195,15 @@ pub fn place_cutthroughs(
 
     let mut plan = CutThroughPlan::default();
 
-    for scenario in FailureScenarios::new(m, goals.max_cuts) {
-        let (paths, _) = scenario_paths(region, goals, &scenario);
-        let with_amp: Vec<(DcPath, Option<usize>)> = paths
-            .into_iter()
-            .map(|p| {
-                let a = choose_amp_split(region, goals, &p, amps);
-                (p, a)
-            })
+    let mut engine = ScenarioEngine::new(region, goals);
+    engine.for_each_scenario(|scenario, view| {
+        let with_amp: Vec<(&DcPath, Option<usize>)> = view
+            .paths()
+            .map(|p| (p, choose_amp_split(region, goals, p, amps)))
             .collect();
 
         loop {
-            let violating: Vec<&(DcPath, Option<usize>)> = with_amp
+            let violating: Vec<&(&DcPath, Option<usize>)> = with_amp
                 .iter()
                 .filter(|(p, a)| !path_ok(region, goals, p, *a, &plan.cuts))
                 .collect();
@@ -251,7 +248,7 @@ pub fn place_cutthroughs(
                 };
                 let mut trial_cuts = plan.cuts.clone();
                 trial_cuts.push(trial);
-                let resolved: Vec<&(DcPath, Option<usize>)> = violating
+                let resolved: Vec<&(&DcPath, Option<usize>)> = violating
                     .iter()
                     .filter(|(p, a)| path_ok(region, goals, p, *a, &trial_cuts))
                     .copied()
@@ -285,13 +282,13 @@ pub fn place_cutthroughs(
                 }
                 None => {
                     for (p, _) in violating {
-                        plan.unresolved.push((p.a, p.b, scenario.clone()));
+                        plan.unresolved.push((p.a, p.b, scenario.to_vec()));
                     }
                     break;
                 }
             }
         }
-    }
+    });
 
     plan
 }
@@ -300,6 +297,7 @@ pub fn place_cutthroughs(
 mod tests {
     use super::*;
     use crate::amplifiers::place_amplifiers;
+    use crate::paths::scenario_paths;
     use iris_fibermap::{FiberMap, SiteKind};
     use iris_geo::Point;
 

@@ -1,0 +1,493 @@
+//! The shared scenario engine: incremental per-scenario path computation
+//! for every planning stage that enumerates fiber-cut scenarios.
+//!
+//! Algorithm 1, amplifier placement, cut-through placement and residual
+//! accounting all iterate `C(m, ≤k)` failure scenarios and need the
+//! shortest DC-pair paths in each. Recomputing every pair from scratch —
+//! `n` Dijkstras per scenario — dominates planning time. The engine
+//! instead computes the baseline (no-failure) paths once and, for each
+//! scenario, re-runs Dijkstra **only for sources whose cached path
+//! crosses a failed duct**:
+//!
+//! * a pair whose baseline path avoids all failed ducts keeps that path —
+//!   removing edges never shortens any route, and the baseline path's
+//!   length is unchanged, so it remains the (unique, by deterministic
+//!   perturbation) shortest path in the scenario subgraph;
+//! * a pair that was already unreachable or SLA-violating at baseline
+//!   stays so under any failure — distances only grow.
+//!
+//! With `k ≤ 2` (operational practice) the vast majority of pairs are
+//! untouched per scenario, so a sweep costs `O(scenarios · invalidated)`
+//! Dijkstras instead of `O(scenarios · n)`.
+//!
+//! Thread-count policy for the parallel sweeps lives here too:
+//! `IRIS_THREADS` overrides everything, then a programmatic default (set
+//! by drivers that parallelize at a coarser grain), then the machine's
+//! available parallelism.
+
+use crate::goals::DesignGoals;
+use crate::paths::{scenario_mask, DcPath};
+use iris_fibermap::Region;
+use iris_netgraph::{DijkstraScratch, EdgeId, FailureScenarios};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-pair routing outcome in one scenario.
+#[derive(Debug, Clone, PartialEq)]
+enum PairState {
+    /// The unique shortest path, within the SLA.
+    Path(DcPath),
+    /// Disconnected or SLA-violating.
+    Infeasible,
+}
+
+#[derive(Debug, Clone)]
+struct PairSlot {
+    a: usize,
+    b: usize,
+    state: PairState,
+}
+
+/// A read-only view of all DC-pair routes in the current scenario,
+/// handed to [`ScenarioEngine::for_each_scenario`] callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioView<'a> {
+    slots: &'a [PairSlot],
+}
+
+impl<'a> ScenarioView<'a> {
+    /// The feasible DC-pair paths, ordered by `(a, b)` ascending —
+    /// exactly the order (and contents) of
+    /// [`crate::paths::scenario_paths`]'s first return value.
+    pub fn paths(&self) -> impl Iterator<Item = &'a DcPath> + 'a {
+        self.slots.iter().filter_map(|s| match &s.state {
+            PairState::Path(p) => Some(p),
+            PairState::Infeasible => None,
+        })
+    }
+
+    /// Feasible paths together with their dense pair index (the engine's
+    /// stable identifier for the unordered pair `(a, b)`).
+    pub fn indexed_paths(&self) -> impl Iterator<Item = (u32, &'a DcPath)> + 'a {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match &s.state {
+                PairState::Path(p) => Some((i as u32, p)),
+                PairState::Infeasible => None,
+            })
+    }
+
+    /// DC index pairs that are unreachable or SLA-violating in this
+    /// scenario, ordered by `(a, b)` ascending — exactly
+    /// [`crate::paths::scenario_paths`]'s second return value.
+    pub fn unreachable(&self) -> impl Iterator<Item = (usize, usize)> + 'a {
+        self.slots.iter().filter_map(|s| match s.state {
+            PairState::Infeasible => Some((s.a, s.b)),
+            PairState::Path(_) => None,
+        })
+    }
+
+    /// Number of DC pairs (feasible + infeasible).
+    #[must_use]
+    pub fn pair_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The endpoints of pair `idx` (as returned by
+    /// [`ScenarioView::indexed_paths`]).
+    #[must_use]
+    pub fn pair(&self, idx: u32) -> (usize, usize) {
+        let s = &self.slots[idx as usize];
+        (s.a, s.b)
+    }
+}
+
+/// Incremental scenario-path cache over one region + goals.
+#[derive(Debug)]
+pub struct ScenarioEngine<'r> {
+    region: &'r Region,
+    goals: &'r DesignGoals,
+    /// Disabled-edge mask: the span-limit baseline, with the current
+    /// scenario's failed ducts toggled on during a recompute and toggled
+    /// back off afterwards.
+    mask: Vec<bool>,
+    /// Current per-pair states, `(a, b)` ascending. Outside of a
+    /// scenario callback this always holds the baseline.
+    slots: Vec<PairSlot>,
+    /// `edge_pairs[e]` — pair indices whose *baseline* path crosses `e`.
+    edge_pairs: Vec<Vec<u32>>,
+    /// Baseline states of pairs overlaid by the current scenario.
+    stash: Vec<(u32, PairState)>,
+    /// Scratch: pair indices invalidated by the current scenario.
+    affected: Vec<u32>,
+    affected_mark: Vec<bool>,
+    dijkstra: DijkstraScratch,
+    /// Pairs served from the baseline cache across all scenarios.
+    pub cache_hits: u64,
+    /// Pairs re-routed because a failed duct crossed their cached path.
+    pub cache_invalidations: u64,
+    /// Scenarios processed.
+    pub scenarios_processed: u64,
+}
+
+impl<'r> ScenarioEngine<'r> {
+    /// Build the engine: one Dijkstra per DC to establish the baseline
+    /// paths and the edge→pairs invalidation index.
+    #[must_use]
+    pub fn new(region: &'r Region, goals: &'r DesignGoals) -> Self {
+        let g = region.map.graph();
+        let m = g.edge_count();
+        let n = region.dcs.len();
+        let base_mask = scenario_mask(region, goals, &[]);
+        let mut dijkstra = DijkstraScratch::new();
+        let mut slots = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        let mut edge_pairs: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for a in 0..n {
+            dijkstra.run(g, region.dcs[a], &base_mask);
+            for b in (a + 1)..n {
+                let target = region.dcs[b];
+                let state = match dijkstra.path_edges(g, target) {
+                    Some(edges) => {
+                        let nodes = dijkstra.path_nodes(g, target).expect("reachable");
+                        let length_km = iris_netgraph::shortest::path_length_km(g, &edges);
+                        if length_km > goals.sla_km + 1e-9 {
+                            PairState::Infeasible
+                        } else {
+                            let idx = slots.len() as u32;
+                            for &e in &edges {
+                                edge_pairs[e].push(idx);
+                            }
+                            PairState::Path(DcPath {
+                                a,
+                                b,
+                                nodes,
+                                edges,
+                                length_km,
+                            })
+                        }
+                    }
+                    None => PairState::Infeasible,
+                };
+                slots.push(PairSlot { a, b, state });
+            }
+        }
+        let n_pairs = slots.len();
+        Self {
+            region,
+            goals,
+            mask: base_mask,
+            slots,
+            edge_pairs,
+            stash: Vec::new(),
+            affected: Vec::new(),
+            affected_mark: vec![false; n_pairs],
+            dijkstra,
+            cache_hits: 0,
+            cache_invalidations: 0,
+            scenarios_processed: 0,
+        }
+    }
+
+    /// Run `f` once per failure scenario of `goals.max_cuts`, in the
+    /// deterministic [`FailureScenarios`] order.
+    pub fn for_each_scenario(&mut self, mut f: impl FnMut(&[EdgeId], ScenarioView<'_>)) {
+        let m = self.region.map.graph().edge_count();
+        for scenario in FailureScenarios::new(m, self.goals.max_cuts) {
+            self.apply(&scenario);
+            f(&scenario, ScenarioView { slots: &self.slots });
+            self.restore(&scenario);
+        }
+        self.flush_telemetry();
+    }
+
+    /// Run `f` for an explicit scenario list (a chunk of the full
+    /// enumeration) — the parallel sweep's per-thread entry point.
+    pub fn for_scenarios(
+        &mut self,
+        scenarios: &[Vec<EdgeId>],
+        mut f: impl FnMut(&[EdgeId], ScenarioView<'_>),
+    ) {
+        for scenario in scenarios {
+            self.apply(scenario);
+            f(scenario, ScenarioView { slots: &self.slots });
+            self.restore(scenario);
+        }
+        self.flush_telemetry();
+    }
+
+    /// Overlay the scenario: re-route every pair whose cached path
+    /// crosses a failed duct, stashing the baseline states for
+    /// [`ScenarioEngine::restore`].
+    fn apply(&mut self, failed: &[EdgeId]) {
+        self.scenarios_processed += 1;
+        debug_assert!(self.affected.is_empty() && self.stash.is_empty());
+        for &e in failed {
+            for &p in &self.edge_pairs[e] {
+                if !self.affected_mark[p as usize] {
+                    self.affected_mark[p as usize] = true;
+                    self.affected.push(p);
+                }
+            }
+        }
+        self.cache_hits += (self.slots.len() - self.affected.len()) as u64;
+        self.cache_invalidations += self.affected.len() as u64;
+        if self.affected.is_empty() {
+            return;
+        }
+        // Pair indices ascend with (a, b), so sorting groups the
+        // re-routes by source DC: one Dijkstra per affected source.
+        self.affected.sort_unstable();
+        for &e in failed {
+            self.mask[e] = true;
+        }
+        let g = self.region.map.graph();
+        let mut current_source = usize::MAX;
+        for i in 0..self.affected.len() {
+            let p = self.affected[i];
+            let (a, b) = {
+                let s = &self.slots[p as usize];
+                (s.a, s.b)
+            };
+            if a != current_source {
+                self.dijkstra.run(g, self.region.dcs[a], &self.mask);
+                current_source = a;
+            }
+            let target = self.region.dcs[b];
+            let state = match self.dijkstra.path_edges(g, target) {
+                Some(edges) => {
+                    let nodes = self.dijkstra.path_nodes(g, target).expect("reachable");
+                    let length_km = iris_netgraph::shortest::path_length_km(g, &edges);
+                    if length_km > self.goals.sla_km + 1e-9 {
+                        PairState::Infeasible
+                    } else {
+                        PairState::Path(DcPath {
+                            a,
+                            b,
+                            nodes,
+                            edges,
+                            length_km,
+                        })
+                    }
+                }
+                None => PairState::Infeasible,
+            };
+            let old = std::mem::replace(&mut self.slots[p as usize].state, state);
+            self.stash.push((p, old));
+        }
+        for &e in failed {
+            self.mask[e] = false;
+        }
+    }
+
+    /// Undo [`ScenarioEngine::apply`]: swap the stashed baseline states
+    /// back in. No clones — the overlay is moved out, the baseline moved
+    /// back.
+    fn restore(&mut self, _failed: &[EdgeId]) {
+        for (p, old) in self.stash.drain(..) {
+            self.slots[p as usize].state = old;
+        }
+        for p in self.affected.drain(..) {
+            self.affected_mark[p as usize] = false;
+        }
+    }
+
+    /// Publish the cache counters to the global telemetry registry and
+    /// reset the local tallies.
+    fn flush_telemetry(&mut self) {
+        let t = iris_telemetry::global();
+        t.counter("iris_planner_paircache_hits_total")
+            .add(self.cache_hits);
+        t.counter("iris_planner_paircache_invalidations_total")
+            .add(self.cache_invalidations);
+        self.cache_hits = 0;
+        self.cache_invalidations = 0;
+    }
+}
+
+/// Programmatic default thread count (0 = unset). Coarse-grained drivers
+/// (the bench sweep harness) set this to 1 so nested planner sweeps stay
+/// sequential while the outer fan-out uses every core.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while this thread is a worker of an outer parallel sweep.
+    static SWEEP_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with nested planner parallelism disabled on this thread: any
+/// [`crate::topology::provision`] call inside runs single-threaded
+/// regardless of `IRIS_THREADS`. Outer drivers (the bench sweep harness)
+/// wrap per-item work in this so the thread budget controls one fan-out,
+/// not the product of two.
+pub fn with_nested_parallelism_disabled<R>(f: impl FnOnce() -> R) -> R {
+    SWEEP_WORKER.with(|g| g.set(true));
+    let out = f();
+    SWEEP_WORKER.with(|g| g.set(false));
+    out
+}
+
+/// Set the default sweep thread count used when `IRIS_THREADS` is unset.
+/// Pass 0 to fall back to the machine's available parallelism.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The thread count for parallel scenario sweeps: 1 inside
+/// [`with_nested_parallelism_disabled`], else the `IRIS_THREADS`
+/// environment variable if set (and a positive integer), else the
+/// programmatic default from [`set_default_threads`], else the machine's
+/// available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    if SWEEP_WORKER.with(std::cell::Cell::get) {
+        return 1;
+    }
+    if let Ok(v) = std::env::var("IRIS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    let d = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if d > 0 {
+        return d;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::scenario_paths;
+    use iris_fibermap::{synth, MetroParams, PlacementParams};
+
+    fn region(seed: u64, n_dcs: usize) -> Region {
+        synth::place_dcs(
+            synth::generate_metro(&MetroParams {
+                seed,
+                ..MetroParams::default()
+            }),
+            &PlacementParams {
+                seed: seed.wrapping_add(17),
+                n_dcs,
+                ..PlacementParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn engine_matches_scenario_paths_on_every_scenario() {
+        for seed in [1u64, 5, 9] {
+            let r = region(seed, 5);
+            let goals = DesignGoals::with_cuts(2);
+            let mut engine = ScenarioEngine::new(&r, &goals);
+            engine.for_each_scenario(|scenario, view| {
+                let (paths, unreachable) = scenario_paths(&r, &goals, scenario);
+                let got_paths: Vec<DcPath> = view.paths().cloned().collect();
+                let got_unreachable: Vec<(usize, usize)> = view.unreachable().collect();
+                assert_eq!(got_paths, paths, "seed {seed}, scenario {scenario:?}");
+                assert_eq!(
+                    got_unreachable, unreachable,
+                    "seed {seed}, scenario {scenario:?}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn unaffected_pairs_keep_their_baseline_path() {
+        let r = region(3, 5);
+        let goals = DesignGoals::with_cuts(1);
+        let (baseline, _) = scenario_paths(&r, &goals, &[]);
+        let mut engine = ScenarioEngine::new(&r, &goals);
+        engine.for_each_scenario(|scenario, view| {
+            if scenario.is_empty() {
+                return;
+            }
+            for p in view.paths() {
+                let base = baseline.iter().find(|bp| (bp.a, bp.b) == (p.a, p.b));
+                if let Some(base) = base {
+                    if !base.edges.iter().any(|e| scenario.contains(e)) {
+                        // A pair whose baseline path avoids all failed
+                        // ducts must serve that exact path from the cache.
+                        assert_eq!(p, base, "scenario {scenario:?}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn invalidation_counters_only_count_crossing_pairs() {
+        let r = region(7, 4);
+        let goals = DesignGoals::with_cuts(1);
+        let (baseline, _) = scenario_paths(&r, &goals, &[]);
+        let m = r.map.graph().edge_count();
+        // Hits + invalidations must account for every pair (feasible or
+        // not) in every scenario.
+        let n_pairs = r.dcs.len() * (r.dcs.len() - 1) / 2;
+
+        let mut expected_invalidations = 0u64;
+        for scenario in FailureScenarios::new(m, goals.max_cuts) {
+            expected_invalidations += baseline
+                .iter()
+                .filter(|p| p.edges.iter().any(|e| scenario.contains(e)))
+                .count() as u64;
+        }
+
+        // Drive apply/restore manually so the counters can be read before
+        // for_each_scenario's telemetry flush resets them.
+        let mut engine = ScenarioEngine::new(&r, &goals);
+        let mut scenarios = 0u64;
+        for scenario in FailureScenarios::new(m, goals.max_cuts) {
+            engine.apply(&scenario);
+            engine.restore(&scenario);
+            scenarios += 1;
+        }
+        assert_eq!(scenarios, FailureScenarios::count_scenarios(m, 1));
+        assert_eq!(engine.cache_invalidations, expected_invalidations);
+        assert_eq!(
+            engine.cache_hits + engine.cache_invalidations,
+            scenarios * n_pairs as u64
+        );
+    }
+
+    #[test]
+    fn no_failure_scenario_costs_no_recomputes() {
+        let r = region(2, 4);
+        let goals = DesignGoals::with_cuts(0);
+        let mut engine = ScenarioEngine::new(&r, &goals);
+        let mut calls = 0;
+        engine.for_each_scenario(|scenario, view| {
+            assert!(scenario.is_empty());
+            assert!(view.pair_count() > 0);
+            calls += 1;
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(engine.scenarios_processed, 1);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn nested_guard_forces_single_thread() {
+        assert_eq!(with_nested_parallelism_disabled(thread_count), 1);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn set_default_threads_overrides_when_env_unset() {
+        // IRIS_THREADS may be set by an outer test harness; only assert
+        // the programmatic path when the env override is absent.
+        if std::env::var("IRIS_THREADS").is_err() {
+            set_default_threads(3);
+            assert_eq!(thread_count(), 3);
+            set_default_threads(0);
+            assert!(thread_count() >= 1);
+        }
+    }
+}

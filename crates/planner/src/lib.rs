@@ -21,6 +21,13 @@
 //! 5. [`plan`] — assemble everything into an [`IrisPlan`] or [`EpsPlan`]
 //!    and validate each end-to-end light path against the physical-layer
 //!    budget of [`iris_optics`].
+//!
+//! Every scenario-enumerating stage drives the shared [`engine`] — an
+//! incremental path cache that computes baseline all-pairs DC paths once
+//! and re-routes, per failure scenario, only the pairs whose cached path
+//! crosses a failed duct. Algorithm 1 additionally fans scenarios out
+//! across scoped threads (see [`topology::provision_with_threads`]); its
+//! output is bit-identical for every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +35,7 @@
 pub mod amplifiers;
 pub mod centralized;
 pub mod cutthrough;
+pub mod engine;
 pub mod expansion;
 pub mod goals;
 pub mod oxc;
@@ -38,8 +46,12 @@ pub mod residual;
 pub mod topology;
 
 pub use centralized::{plan_centralized, CentralizedPlan, HubHoming};
+pub use engine::{
+    set_default_threads, thread_count, with_nested_parallelism_disabled, ScenarioEngine,
+    ScenarioView,
+};
 pub use goals::DesignGoals;
 pub use oxc::{plan_oxc, OxcPlan};
 pub use plan::{plan_eps, plan_iris, EpsPlan, IrisPlan};
 pub use relaxed::{route_relaxed, RelaxedRouting};
-pub use topology::{provision, Provisioning};
+pub use topology::{provision, provision_with_threads, Provisioning};

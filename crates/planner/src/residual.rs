@@ -17,10 +17,10 @@
 //!   `⌈n/4⌉` fibers, because the worst-case total residual demand is
 //!   `λ·n/4` wavelengths.
 
+use crate::engine::ScenarioEngine;
 use crate::goals::DesignGoals;
 use crate::paths::scenario_paths;
 use iris_fibermap::Region;
-use iris_netgraph::FailureScenarios;
 
 /// Total residual fibers (not pairs) needed region-wide by pure fiber
 /// switching: one per ordered DC pair (§4.3).
@@ -37,10 +37,11 @@ pub fn residual_fiber_overhead(n_dcs: usize) -> usize {
 pub fn residual_pairs_per_edge(region: &Region, goals: &DesignGoals) -> Vec<u32> {
     let m = region.map.graph().edge_count();
     let mut worst = vec![0u32; m];
-    for scenario in FailureScenarios::new(m, goals.max_cuts) {
-        let (paths, _) = scenario_paths(region, goals, &scenario);
-        let mut count = vec![0u32; m];
-        for p in &paths {
+    let mut count = vec![0u32; m];
+    let mut engine = ScenarioEngine::new(region, goals);
+    engine.for_each_scenario(|_, view| {
+        count.fill(0);
+        for p in view.paths() {
             for &e in &p.edges {
                 count[e] += 1;
             }
@@ -48,7 +49,7 @@ pub fn residual_pairs_per_edge(region: &Region, goals: &DesignGoals) -> Vec<u32>
         for e in 0..m {
             worst[e] = worst[e].max(count[e]);
         }
-    }
+    });
     worst
 }
 

@@ -8,10 +8,11 @@
 //! the §2 questions at once: which ducts are used, at what capacity, and
 //! which huts house switching equipment.
 
+use crate::engine::{self, ScenarioEngine, ScenarioView};
 use crate::goals::DesignGoals;
 use crate::paths::{scenario_paths, DcPath};
 use iris_fibermap::{Region, SiteId, SiteKind};
-use iris_netgraph::{hose, EdgeId, FailureScenarios};
+use iris_netgraph::{EdgeId, FailureScenarios, HoseScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -82,58 +83,180 @@ impl Provisioning {
     }
 }
 
-/// Run Algorithm 1 on a region.
+/// Per-chunk accumulator of [`provision_chunk`], merged by
+/// [`provision_with_threads`].
+struct ChunkResult {
+    capacity: Vec<f64>,
+    infeasible: Vec<InfeasiblePair>,
+    scenarios_examined: u64,
+    hose_lookups: u64,
+    hose_invocations: u64,
+}
+
+/// Provision over one contiguous slice of the scenario enumeration.
+///
+/// All state is chunk-local: the scenario engine (with its baseline path
+/// cache), the hose-load memo, the Dinic arena and the per-edge pair
+/// buffers. Duct capacities are worst-case maxima, so chunk results merge
+/// by elementwise max regardless of how scenarios were partitioned.
+fn provision_chunk(
+    region: &Region,
+    goals: &DesignGoals,
+    caps: &[u64],
+    chunk: &[Vec<EdgeId>],
+) -> ChunkResult {
+    let m = region.map.graph().edge_count();
+    let mut engine = ScenarioEngine::new(region, goals);
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    // Memoized hose loads, keyed by the pair-index set crossing a duct
+    // (pair indices are the engine's stable ids for DC pairs, so equal
+    // keys mean equal pair sets). Boxed-slice keys with `&[u32]` lookups
+    // avoid an allocation on every memo hit.
+    let mut memo: HashMap<Box<[u32]>, f64> = HashMap::new();
+    let mut hose = HoseScratch::new();
+    // pairs_on_edge[e] — pair indices crossing duct `e` in the current
+    // scenario; `touched` lists the non-empty entries so clearing is
+    // O(touched), not O(m).
+    let mut pairs_on_edge: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut touched: Vec<EdgeId> = Vec::new();
+    let mut pair_buf: Vec<(usize, usize)> = Vec::new();
+    let mut hose_lookups = 0u64;
+    let mut hose_invocations = 0u64;
+
+    engine.for_scenarios(chunk, |scenario, view: ScenarioView<'_>| {
+        for pair in view.unreachable() {
+            infeasible.push(InfeasiblePair {
+                pair,
+                scenario: scenario.to_vec(),
+            });
+        }
+        // Group pairs by duct. Paths iterate in ascending pair-index
+        // order, so each per-edge list is already sorted.
+        for (idx, p) in view.indexed_paths() {
+            for &e in &p.edges {
+                if pairs_on_edge[e].is_empty() {
+                    touched.push(e);
+                }
+                pairs_on_edge[e].push(idx);
+            }
+        }
+        for &e in &touched {
+            let pairs = &pairs_on_edge[e];
+            hose_lookups += 1;
+            let load = if let Some(&l) = memo.get(pairs.as_slice()) {
+                l
+            } else {
+                hose_invocations += 1;
+                pair_buf.clear();
+                pair_buf.extend(pairs.iter().map(|&i| view.pair(i)));
+                let l = hose.max_edge_load(&|dc| caps[dc], &pair_buf);
+                memo.insert(pairs.clone().into_boxed_slice(), l);
+                l
+            };
+            if load > capacity[e] {
+                capacity[e] = load;
+            }
+        }
+        for e in touched.drain(..) {
+            pairs_on_edge[e].clear();
+        }
+    });
+
+    ChunkResult {
+        capacity,
+        infeasible,
+        scenarios_examined: chunk.len() as u64,
+        hose_lookups,
+        hose_invocations,
+    }
+}
+
+/// Run Algorithm 1 on a region with the default thread count
+/// ([`engine::thread_count`]: `IRIS_THREADS`, programmatic default, or
+/// the machine's available parallelism).
 ///
 /// The hose max-flow for a duct depends only on the set of DC pairs
 /// crossing it, so results are memoized by pair set — across the thousands
 /// of failure scenarios the same sets recur constantly.
 #[must_use]
 pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
+    provision_with_threads(region, goals, engine::thread_count())
+}
+
+/// Run Algorithm 1 with an explicit thread count.
+///
+/// The scenario enumeration is split into `threads` contiguous chunks
+/// processed by scoped worker threads, each with its own scenario engine
+/// and hose memo. Because duct capacities merge by elementwise max (a
+/// commutative, associative reduction over finite values) and infeasible
+/// pairs are concatenated in chunk order (= global scenario order), the
+/// output is **bit-identical for every thread count**.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[must_use]
+pub fn provision_with_threads(
+    region: &Region,
+    goals: &DesignGoals,
+    threads: usize,
+) -> Provisioning {
     let telemetry = iris_telemetry::global();
     let wall =
         iris_telemetry::Span::enter_ms(telemetry.histogram("iris_planner_provision_wall_ms"));
     region.validate();
     let g = region.map.graph();
     let m = g.edge_count();
-    let mut capacity = vec![0.0f64; m];
-    let mut infeasible = Vec::new();
-    let mut scenarios_examined = 0u64;
-
-    // Memoized hose loads, keyed by the sorted pair set.
-    let mut memo: HashMap<Vec<(usize, usize)>, f64> = HashMap::new();
-    let mut hose_lookups = 0u64;
-    let mut hose_invocations = 0u64;
     let caps: Vec<u64> = (0..region.dcs.len())
         .map(|i| region.capacity_wavelengths(i))
         .collect();
 
-    for scenario in FailureScenarios::new(m, goals.max_cuts) {
-        scenarios_examined += 1;
-        let (paths, unreachable) = scenario_paths(region, goals, &scenario);
-        for pair in unreachable {
-            infeasible.push(InfeasiblePair {
-                pair,
-                scenario: scenario.clone(),
-            });
-        }
-        // Group pairs by duct.
-        let mut pairs_on_edge: HashMap<EdgeId, Vec<(usize, usize)>> = HashMap::new();
-        for p in &paths {
-            for &e in &p.edges {
-                pairs_on_edge.entry(e).or_default().push((p.a, p.b));
+    let scenarios: Vec<Vec<EdgeId>> = FailureScenarios::new(m, goals.max_cuts).collect();
+    let threads = threads.max(1).min(scenarios.len().max(1));
+
+    let results: Vec<ChunkResult> = if threads == 1 {
+        vec![provision_chunk(region, goals, &caps, &scenarios)]
+    } else {
+        let chunk_size = scenarios.len().div_ceil(threads);
+        let chunks: Vec<&[Vec<EdgeId>]> = scenarios.chunks(chunk_size).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let caps = &caps;
+                    s.spawn(move || provision_chunk(region, goals, caps, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("provision worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    let mut scenarios_examined = 0u64;
+    let mut hose_lookups = 0u64;
+    let mut hose_invocations = 0u64;
+    for (i, r) in results.into_iter().enumerate() {
+        for (c, rc) in capacity.iter_mut().zip(&r.capacity) {
+            if *rc > *c {
+                *c = *rc;
             }
         }
-        for (e, mut pairs) in pairs_on_edge {
-            pairs.sort_unstable();
-            hose_lookups += 1;
-            let load = *memo.entry(pairs.clone()).or_insert_with(|| {
-                hose_invocations += 1;
-                hose::max_edge_load(&|dc| caps[dc], &pairs)
-            });
-            if load > capacity[e] {
-                capacity[e] = load;
-            }
-        }
+        infeasible.extend(r.infeasible);
+        scenarios_examined += r.scenarios_examined;
+        hose_lookups += r.hose_lookups;
+        hose_invocations += r.hose_invocations;
+        telemetry
+            .counter(&iris_telemetry::labeled(
+                "iris_planner_sweep_thread_scenarios_total",
+                "thread",
+                &i.to_string(),
+            ))
+            .add(r.scenarios_examined);
     }
 
     telemetry
@@ -159,26 +282,26 @@ pub fn provision(region: &Region, goals: &DesignGoals) -> Provisioning {
 #[must_use]
 pub fn provision_naive(region: &Region, goals: &DesignGoals) -> Provisioning {
     region.validate();
-    let g = region.map.graph();
-    let m = g.edge_count();
+    let m = region.map.graph().edge_count();
     let mut capacity = vec![0.0f64; m];
+    let mut load = vec![0.0f64; m];
     let mut infeasible = Vec::new();
     let mut scenarios_examined = 0u64;
     let caps: Vec<u64> = (0..region.dcs.len())
         .map(|i| region.capacity_wavelengths(i))
         .collect();
 
-    for scenario in FailureScenarios::new(m, goals.max_cuts) {
+    let mut engine = ScenarioEngine::new(region, goals);
+    engine.for_each_scenario(|scenario, view| {
         scenarios_examined += 1;
-        let (paths, unreachable) = scenario_paths(region, goals, &scenario);
-        for pair in unreachable {
+        for pair in view.unreachable() {
             infeasible.push(InfeasiblePair {
                 pair,
-                scenario: scenario.clone(),
+                scenario: scenario.to_vec(),
             });
         }
-        let mut load = vec![0.0f64; m];
-        for p in &paths {
+        load.fill(0.0);
+        for p in view.paths() {
             let demand = caps[p.a].min(caps[p.b]) as f64;
             for &e in &p.edges {
                 load[e] += demand;
@@ -187,7 +310,7 @@ pub fn provision_naive(region: &Region, goals: &DesignGoals) -> Provisioning {
         for e in 0..m {
             capacity[e] = capacity[e].max(load[e]);
         }
-    }
+    });
 
     Provisioning {
         edge_capacity_wl: capacity,
@@ -378,6 +501,48 @@ mod tests {
                 assert_eq!(prov.edge_fiber_pairs(40)[e], 0);
             }
         }
+    }
+
+    #[test]
+    fn parallel_provision_is_bit_identical_to_sequential() {
+        let r = small_region();
+        let goals = DesignGoals::with_cuts(1);
+        let seq = provision_with_threads(&r, &goals, 1);
+        for threads in [2, 3, 7] {
+            let par = provision_with_threads(&r, &goals, threads);
+            // f64 equality must be exact, not approximate: compare bits.
+            let seq_bits: Vec<u64> = seq.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+            let par_bits: Vec<u64> = par.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "{threads} threads");
+            assert_eq!(seq.infeasible, par.infeasible, "{threads} threads");
+            assert_eq!(
+                seq.scenarios_examined, par.scenarios_examined,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_provision_identical_with_infeasible_pairs() {
+        // The star has no alternate routes, so every cut scenario yields
+        // infeasible pairs — their global order must survive chunking.
+        let r = star_region(10);
+        let goals = DesignGoals::with_cuts(1);
+        let seq = provision_with_threads(&r, &goals, 1);
+        let par = provision_with_threads(&r, &goals, 3);
+        assert!(!seq.infeasible.is_empty());
+        assert_eq!(seq.infeasible, par.infeasible);
+        let seq_bits: Vec<u64> = seq.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        let par_bits: Vec<u64> = par.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        assert_eq!(seq_bits, par_bits);
+    }
+
+    #[test]
+    fn thread_count_larger_than_scenario_count_is_clamped() {
+        let r = star_region(4);
+        let goals = DesignGoals::with_cuts(0); // 1 scenario
+        let p = provision_with_threads(&r, &goals, 64);
+        assert_eq!(p.scenarios_examined, 1);
     }
 
     #[test]

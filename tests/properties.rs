@@ -137,6 +137,38 @@ proptest! {
     }
 
     #[test]
+    fn parallel_provision_matches_sequential(
+        map_seed in 0u64..200,
+        n_dcs in 3usize..6,
+        threads in 2usize..8,
+        cuts in 0usize..2,
+    ) {
+        use iris_fibermap::{synth, MetroParams, PlacementParams};
+        let region = synth::place_dcs(
+            synth::generate_metro(&MetroParams {
+                seed: map_seed,
+                n_huts: 10,
+                ..MetroParams::default()
+            }),
+            &PlacementParams {
+                seed: map_seed.wrapping_mul(31).wrapping_add(7),
+                n_dcs,
+                ..PlacementParams::default()
+            },
+        );
+        let goals = iris_planner::DesignGoals::with_cuts(cuts);
+        let seq = iris_planner::provision_with_threads(&region, &goals, 1);
+        let par = iris_planner::provision_with_threads(&region, &goals, threads);
+        // Bit-exact equality of the provisioned capacities...
+        let seq_bits: Vec<u64> = seq.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        let par_bits: Vec<u64> = par.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        prop_assert_eq!(seq_bits, par_bits);
+        // ...and identical infeasibility reports and scenario counts.
+        prop_assert_eq!(seq.infeasible, par.infeasible);
+        prop_assert_eq!(seq.scenarios_examined, par.scenarios_examined);
+    }
+
+    #[test]
     fn residual_packing_is_sound(
         residuals in proptest::collection::vec(0u64..=40, 0..12),
     ) {
