@@ -54,7 +54,7 @@ fn bench_scenario_engine(c: &mut Criterion) {
         })
     });
     for threads in [1usize, 4] {
-        c.bench_function(&format!("provision_10dc_1cut_{threads}thread"), |b| {
+        c.bench_function(format!("provision_10dc_1cut_{threads}thread"), |b| {
             b.iter(|| black_box(provision_with_threads(&region, &goals, threads)))
         });
     }

@@ -29,7 +29,8 @@ fn main() {
         let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
 
         // Outcome 1: latency.
-        let central = plan_centralized(&region, &goals, hubs, HubHoming::Split);
+        let central = plan_centralized(&region, &goals, hubs, HubHoming::Split)
+            .expect("synthetic regions are connected");
         let direct_worst = nominal_paths(&region, &goals)
             .iter()
             .map(|p| p.length_km)

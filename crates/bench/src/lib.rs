@@ -7,6 +7,8 @@
 //! `IRIS_QUICK=1` environment variable, which shrinks sweeps for smoke
 //! testing.
 
+pub mod chaos;
+
 use iris_fibermap::synth::{generate_metro, place_dcs};
 use iris_fibermap::{MetroParams, PlacementParams, Region};
 use std::io::Write;

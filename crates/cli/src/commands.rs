@@ -113,7 +113,8 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     let goals = DesignGoals::with_cuts(cuts);
     let study = DesignStudy::run(&region, &goals);
     let hubs = pick_hub_pair(&region.map, 4.0, 24.0);
-    let central = plan_centralized(&region, &goals, hubs, HubHoming::Split);
+    let central = plan_centralized(&region, &goals, hubs, HubHoming::Split)
+        .map_err(|e| format!("[{}] {e}", e.code()))?;
     let book = PriceBook::paper_2020();
     // Centralized electrical cost: transceivers at both ends of every
     // access fiber, plus switch ports and fiber leases.
@@ -314,5 +315,67 @@ pub fn testbed(_opts: &Options) -> Result<(), String> {
         "  below threshold:    {:.1}%",
         summary.below_threshold * 100.0
     );
+    Ok(())
+}
+
+/// `iris chaos` — seeded fault-schedule sweep through the self-healing
+/// control loop. Deterministic: same seed, byte-identical output.
+pub fn chaos(opts: &Options) -> Result<(), String> {
+    use iris_bench::chaos::{run_chaos, ChaosConfig};
+    let cfg = ChaosConfig {
+        seed: opts.num("seed", 7)?,
+        scenarios: opts.num("scenarios", 10)?,
+        n_dcs: opts.num("dcs", 6)?,
+        cuts: opts.num("cuts", 1)?,
+    };
+    let report = run_chaos(&cfg).map_err(|e| format!("[{}] {e}", e.code()))?;
+
+    println!(
+        "chaos sweep: seed {}, {} scenarios, {} DCs, k={} ({} ducts)",
+        cfg.seed, cfg.scenarios, cfg.n_dcs, cfg.cuts, report.ducts
+    );
+    println!("\nscenario  cuts  recovered  shed  retries  rollbacks  quarantined");
+    for o in &report.outcomes {
+        println!(
+            "{:>8}  {:>4}  {:>9}  {:>4}  {:>7}  {:>9}  {:>11}",
+            o.scenario,
+            o.recoveries,
+            o.fully_recovered,
+            o.shed_pairs,
+            o.retries,
+            o.rollbacks,
+            o.quarantined
+        );
+    }
+    let d = &report.recovery_ms;
+    println!(
+        "\nrecovery time (ms):  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}  ({} recoveries)",
+        d.p50, d.p90, d.p99, d.max, d.samples
+    );
+    let d = &report.dark_ms;
+    println!(
+        "dark time (ms):      p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+        d.p50, d.p90, d.p99, d.max
+    );
+    let d = &report.fct_impact;
+    println!(
+        "p99-FCT impact (x):  p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
+        d.p50, d.p90, d.p99, d.max
+    );
+    println!(
+        "totals: {} retries, {} rollbacks, {} shed pairs; all <=k cuts recovered: {}",
+        report.total_retries,
+        report.total_rollbacks,
+        report.total_shed_pairs,
+        report.all_tolerated_cuts_recovered
+    );
+
+    if let Some(path) = opts.get("out") {
+        let mut json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("--out: cannot serialize report: {e}"))?;
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("--out: cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! iris siting   --region region.json
 //! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
 //! iris testbed
+//! iris chaos    --seed 7 --scenarios 10 [--dcs 6] [--cuts 1] [--out FILE]
 //! ```
 
 mod args;
@@ -51,6 +52,7 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "telemetry",
         ],
         "testbed" => &["telemetry"],
+        "chaos" => &["seed", "scenarios", "dcs", "cuts", "out", "telemetry"],
         _ => return None,
     })
 }
@@ -71,6 +73,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "siting" => commands::siting(&opts),
         "simulate" | "sim" => commands::simulate(&opts),
         "testbed" => commands::testbed(&opts),
+        "chaos" => commands::chaos(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             return Ok(());
@@ -124,6 +127,12 @@ planned output is bit-identical for every thread count.
                 paired Iris-vs-EPS flow-level simulation (`sim` for short);
                 --out writes the result plus its reproducibility manifest
   iris testbed  replay the Fig. 14 physical-layer experiment
+  iris chaos    [--seed N] [--scenarios N] [--dcs D] [--cuts K] [--out FILE]
+                replay seeded fault schedules (fiber cuts, stuck/misrouted
+                OSS ports, relock failures, EDFA excursions, lost control
+                messages) through the self-healing control loop; print
+                recovery-time / dark-time / FCT-impact distributions.
+                Deterministic: same seed, byte-identical output
   iris help     this text
 
 Every subcommand also accepts --telemetry FILE: after the command runs,

@@ -4,6 +4,7 @@
 //! so the controller can compute realistic reconfiguration timelines
 //! without wall-clock sleeps. Device state is plain and deterministic.
 
+use iris_errors::IrisError;
 use serde::{Deserialize, Serialize};
 
 /// Health status returned by a device check (§5.2: the controller
@@ -63,12 +64,14 @@ impl SpaceSwitch {
     /// # Errors
     ///
     /// Fails if either port is out of range.
-    pub fn connect(&mut self, input: usize, output: usize) -> Result<f64, String> {
+    pub fn connect(&mut self, input: usize, output: usize) -> Result<f64, IrisError> {
         if input >= self.ports || output >= self.ports {
-            return Err(format!(
-                "{}: port out of range ({input} -> {output}, {} ports)",
-                self.name, self.ports
-            ));
+            return Err(IrisError::PortOutOfRange {
+                device: self.name.clone(),
+                input,
+                output,
+                ports: self.ports,
+            });
         }
         // Steal the output from any other input driving it.
         for c in &mut self.cross {
@@ -131,12 +134,13 @@ impl TunableTransceiver {
     /// # Errors
     ///
     /// Fails if the channel is out of range.
-    pub fn tune(&mut self, channel: u32) -> Result<f64, String> {
+    pub fn tune(&mut self, channel: u32) -> Result<f64, IrisError> {
         if channel >= self.channel_count {
-            return Err(format!(
-                "{}: channel {channel} out of range ({})",
-                self.name, self.channel_count
-            ));
+            return Err(IrisError::ChannelOutOfRange {
+                device: self.name.clone(),
+                channel,
+                count: self.channel_count,
+            });
         }
         self.channel = Some(channel);
         Ok(iris_optics::TRANSCEIVER_TUNE_TIME_MS)
@@ -209,10 +213,14 @@ impl ChannelEmulator {
     /// # Errors
     ///
     /// Fails if out of range.
-    pub fn set_live(&mut self, channel: u32, live: bool) -> Result<(), String> {
+    pub fn set_live(&mut self, channel: u32, live: bool) -> Result<(), IrisError> {
         let idx = channel as usize;
         if idx >= self.live.len() {
-            return Err(format!("channel {channel} out of range"));
+            return Err(IrisError::ChannelOutOfRange {
+                device: "emulator".to_owned(),
+                channel,
+                count: self.channel_count,
+            });
         }
         self.live[idx] = live;
         Ok(())

@@ -12,6 +12,7 @@
 //! operation (§5.2), including fault injection.
 
 use crate::devices::{DeviceHealth, SpaceSwitch};
+use iris_errors::IrisResult;
 use iris_fibermap::{Region, SiteId};
 use iris_planner::topology::nominal_paths;
 use iris_planner::{DesignGoals, IrisPlan};
@@ -50,8 +51,17 @@ pub struct FabricLayout {
 /// in this abstraction); each amplifier takes two loopback ports; each
 /// DC wavelength-group (fiber) of local capacity takes one add/drop
 /// port.
-#[must_use]
-pub fn build_fabric(region: &Region, goals: &DesignGoals, plan: &IrisPlan) -> FabricLayout {
+///
+/// # Errors
+///
+/// Returns [`iris_errors::IrisError::PortOutOfRange`] if a circuit's
+/// cross-connect lands outside its switch — i.e. the sizing above was
+/// violated (a planning bug, surfaced instead of panicking).
+pub fn build_fabric(
+    region: &Region,
+    goals: &DesignGoals,
+    plan: &IrisPlan,
+) -> IrisResult<FabricLayout> {
     let g = region.map.graph();
     let n_sites = g.node_count();
 
@@ -148,17 +158,15 @@ pub fn build_fabric(region: &Region, goals: &DesignGoals, plan: &IrisPlan) -> Fa
     // --- Apply to the switches. ---
     for c in &circuits {
         for &(site, input, output) in &c.cross_connects {
-            switches[site]
-                .connect(input, output)
-                .expect("fabric sizing guarantees port availability");
+            switches[site].connect(input, output)?;
         }
     }
 
-    FabricLayout {
+    Ok(FabricLayout {
         ports_used: next_port,
         switches,
         circuits,
-    }
+    })
 }
 
 impl FabricLayout {
@@ -234,7 +242,7 @@ mod tests {
     #[test]
     fn fabric_builds_and_verifies() {
         let (region, goals, plan) = planned();
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         assert_eq!(fabric.circuits.len(), 10); // C(5,2)
         assert!(fabric.all_healthy());
     }
@@ -242,7 +250,7 @@ mod tests {
     #[test]
     fn port_allocation_never_exceeds_switch_size() {
         let (region, goals, plan) = planned();
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         for (s, sw) in fabric.switches.iter().enumerate() {
             assert!(
                 fabric.ports_used[s] <= sw.ports(),
@@ -256,7 +264,7 @@ mod tests {
     #[test]
     fn circuits_use_distinct_ports_at_every_site() {
         let (region, goals, plan) = planned();
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         let mut used: std::collections::HashSet<(usize, usize)> = Default::default();
         for c in &fabric.circuits {
             for &(site, input, _) in &c.cross_connects {
@@ -271,7 +279,7 @@ mod tests {
     #[test]
     fn circuit_endpoints_are_the_right_dcs() {
         let (region, goals, plan) = planned();
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         for c in &fabric.circuits {
             let first_site = c.cross_connects.first().unwrap().0;
             let last_site = c.cross_connects.last().unwrap().0;
@@ -283,7 +291,7 @@ mod tests {
     #[test]
     fn fault_injection_is_caught_and_repaired() {
         let (region, goals, plan) = planned();
-        let mut fabric = build_fabric(&region, &goals, &plan);
+        let mut fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         // Pull the first circuit's first jumper.
         let (site, input, _) = fabric.circuits[0].cross_connects[0];
         assert!(fabric.inject_disconnect(site, input));
@@ -302,7 +310,7 @@ mod tests {
     #[test]
     fn transit_sites_appear_between_endpoints() {
         let (region, goals, plan) = planned();
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric builds");
         let multi_hop = fabric
             .circuits
             .iter()

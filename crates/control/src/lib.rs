@@ -16,8 +16,11 @@
 //!   fibers (the per-DC "basic wavelength management" of §5.2);
 //! * [`messages`] — a compact binary wire format for controller-to-site
 //!   commands;
-//! * [`controller`] — the reconfiguration orchestrator with its timeline
-//!   and dark-time accounting;
+//! * [`controller`] — the reconfiguration state machine (plan → drain →
+//!   actuate → verify → undrain, with retry, rollback and quarantine)
+//!   plus the fiber-cut recovery path;
+//! * [`faults`] — seeded, deterministic fault schedules and the injector
+//!   that perturbs device actuations;
 //! * [`testbed`] — the Fig. 13/14 experiment: periodic path swaps at a
 //!   hut, BER sampled every 10 ms, 50 ms recovery.
 
@@ -27,12 +30,16 @@
 pub mod controller;
 pub mod devices;
 pub mod fabric;
+pub mod faults;
 pub mod messages;
 pub mod testbed;
 pub mod wavelength;
 
-pub use controller::{Controller, ReconfigPlan, ReconfigReport};
+pub use controller::{
+    Controller, ReconfigOutcome, ReconfigPlan, ReconfigReport, RecoveryReport, RetryPolicy,
+};
 pub use devices::{ChannelEmulator, DeviceHealth, Edfa, SpaceSwitch, TunableTransceiver};
 pub use fabric::{build_fabric, Circuit, FabricLayout};
+pub use faults::{FaultDomain, FaultEvent, FaultInjector, FaultKind, FaultSchedule};
 pub use testbed::{run_testbed, BerSample, TestbedConfig};
 pub use wavelength::{assign_wavelengths, FiberAssignment};

@@ -8,6 +8,7 @@
 //! transport and parsed incrementally.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use iris_errors::IrisError;
 use serde::{Deserialize, Serialize};
 
 /// Protocol magic: "IRIS".
@@ -128,18 +129,22 @@ impl Command {
     /// # Errors
     ///
     /// Fails on bad magic, unknown version/opcode, or malformed payload.
-    pub fn decode(buf: &mut Bytes) -> Result<Option<Command>, String> {
+    pub fn decode(buf: &mut Bytes) -> Result<Option<Command>, IrisError> {
         if buf.len() < 10 {
             return Ok(None);
         }
         let mut peek = buf.clone();
         let magic = peek.get_u32();
         if magic != MAGIC {
-            return Err(format!("bad magic {magic:#x}"));
+            return Err(IrisError::Decode {
+                detail: format!("bad magic {magic:#x}"),
+            });
         }
         let version = peek.get_u8();
         if version != VERSION {
-            return Err(format!("unsupported version {version}"));
+            return Err(IrisError::Decode {
+                detail: format!("unsupported version {version}"),
+            });
         }
         let opcode = peek.get_u8();
         let len = peek.get_u32_le() as usize;
@@ -147,9 +152,11 @@ impl Command {
             return Ok(None);
         }
         let mut payload = peek.copy_to_bytes(len);
-        let need = |payload: &Bytes, n: usize| -> Result<(), String> {
+        let need = |payload: &Bytes, n: usize| -> Result<(), IrisError> {
             if payload.len() < n {
-                Err(format!("truncated payload for opcode {opcode}"))
+                Err(IrisError::Decode {
+                    detail: format!("truncated payload for opcode {opcode}"),
+                })
             } else {
                 Ok(())
             }
@@ -198,7 +205,11 @@ impl Command {
                     site: payload.get_u32_le(),
                 }
             }
-            other => return Err(format!("unknown opcode {other}")),
+            other => {
+                return Err(IrisError::Decode {
+                    detail: format!("unknown opcode {other}"),
+                })
+            }
         };
         buf.advance(10 + len);
         Ok(Some(cmd))

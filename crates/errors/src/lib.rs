@@ -1,0 +1,242 @@
+//! The workspace's typed error surface.
+//!
+//! Fallible paths in the planner and control plane return [`IrisError`]
+//! instead of panicking or threading bare `String`s. Every variant has a
+//! stable kebab-case [`IrisError::code`] so operators (and the CLI's
+//! exit path) can name the cause without parsing prose, and the enum is
+//! serializable so recovery/shed reports can embed the exact failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shorthand result alias used across the workspace.
+pub type IrisResult<T> = Result<T, IrisError>;
+
+/// A typed, serializable error with a stable machine-readable code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IrisError {
+    /// An OSS cross-connect names a port outside the switch.
+    PortOutOfRange {
+        /// Device name.
+        device: String,
+        /// Requested input port.
+        input: usize,
+        /// Requested output port.
+        output: usize,
+        /// Ports the device actually has.
+        ports: usize,
+    },
+    /// A transceiver / emulator channel outside the device's band.
+    ChannelOutOfRange {
+        /// Device name.
+        device: String,
+        /// Requested channel.
+        channel: u32,
+        /// Channels the device supports.
+        count: u32,
+    },
+    /// A site or DC cannot be reached over the (surviving) fiber map.
+    Unreachable {
+        /// What could not be reached, e.g. `DC 3 -> hub 7`.
+        what: String,
+    },
+    /// A control-plane frame failed to decode.
+    Decode {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// Post-actuation verification found a device out of intent.
+    VerifyFailed {
+        /// Device name.
+        device: String,
+        /// The observed mismatch.
+        detail: String,
+    },
+    /// A reconfiguration step exhausted its retry budget.
+    RetriesExhausted {
+        /// Pipeline phase that kept failing.
+        phase: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last failure observed.
+        last_error: String,
+    },
+    /// The device is quarantined and excluded from actuation.
+    Quarantined {
+        /// Device name.
+        device: String,
+    },
+    /// A plan or recovery target cannot be satisfied.
+    Infeasible {
+        /// Why, e.g. `duct 4 over planned capacity by 80 wavelengths`.
+        detail: String,
+    },
+    /// Malformed input (CLI flags, config files, region instances).
+    InvalidInput {
+        /// What was malformed.
+        detail: String,
+    },
+    /// Filesystem or serialization failure.
+    Io {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl IrisError {
+    /// Stable kebab-case identifier of the failure class.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            IrisError::PortOutOfRange { .. } => "port-out-of-range",
+            IrisError::ChannelOutOfRange { .. } => "channel-out-of-range",
+            IrisError::Unreachable { .. } => "unreachable",
+            IrisError::Decode { .. } => "decode",
+            IrisError::VerifyFailed { .. } => "verify-failed",
+            IrisError::RetriesExhausted { .. } => "retries-exhausted",
+            IrisError::Quarantined { .. } => "quarantined",
+            IrisError::Infeasible { .. } => "infeasible",
+            IrisError::InvalidInput { .. } => "invalid-input",
+            IrisError::Io { .. } => "io",
+        }
+    }
+}
+
+impl fmt::Display for IrisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrisError::PortOutOfRange {
+                device,
+                input,
+                output,
+                ports,
+            } => write!(
+                f,
+                "{device}: port out of range ({input} -> {output}, {ports} ports)"
+            ),
+            IrisError::ChannelOutOfRange {
+                device,
+                channel,
+                count,
+            } => write!(f, "{device}: channel {channel} out of range ({count})"),
+            IrisError::Unreachable { what } => write!(f, "unreachable: {what}"),
+            IrisError::Decode { detail } => write!(f, "decode: {detail}"),
+            IrisError::VerifyFailed { device, detail } => {
+                write!(f, "verification failed on {device}: {detail}")
+            }
+            IrisError::RetriesExhausted {
+                phase,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "{phase}: retries exhausted after {attempts} attempts (last: {last_error})"
+            ),
+            IrisError::Quarantined { device } => write!(f, "{device} is quarantined"),
+            IrisError::Infeasible { detail } => write!(f, "infeasible: {detail}"),
+            IrisError::InvalidInput { detail } => write!(f, "{detail}"),
+            IrisError::Io { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IrisError {}
+
+impl From<String> for IrisError {
+    fn from(detail: String) -> Self {
+        IrisError::InvalidInput { detail }
+    }
+}
+
+impl From<&str> for IrisError {
+    fn from(detail: &str) -> Self {
+        IrisError::InvalidInput {
+            detail: detail.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_kebab_case() {
+        let all = [
+            IrisError::PortOutOfRange {
+                device: "OSS".into(),
+                input: 1,
+                output: 2,
+                ports: 2,
+            },
+            IrisError::ChannelOutOfRange {
+                device: "TX".into(),
+                channel: 41,
+                count: 40,
+            },
+            IrisError::Unreachable { what: "x".into() },
+            IrisError::Decode { detail: "x".into() },
+            IrisError::VerifyFailed {
+                device: "OSS".into(),
+                detail: "x".into(),
+            },
+            IrisError::RetriesExhausted {
+                phase: "actuate".into(),
+                attempts: 3,
+                last_error: "x".into(),
+            },
+            IrisError::Quarantined {
+                device: "OSS".into(),
+            },
+            IrisError::Infeasible { detail: "x".into() },
+            IrisError::InvalidInput { detail: "x".into() },
+            IrisError::Io { detail: "x".into() },
+        ];
+        for e in &all {
+            let code = e.code();
+            assert!(!code.is_empty());
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{code}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names_the_device() {
+        let e = IrisError::PortOutOfRange {
+            device: "OSS@HUT3".into(),
+            input: 9,
+            output: 1,
+            ports: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("OSS@HUT3"), "{msg}");
+        assert!(msg.contains('9'), "{msg}");
+    }
+
+    #[test]
+    fn string_conversion_is_invalid_input() {
+        let e: IrisError = "bad flag".into();
+        assert_eq!(e.code(), "invalid-input");
+        let e: IrisError = String::from("bad").into();
+        assert_eq!(e.code(), "invalid-input");
+    }
+
+    #[test]
+    fn errors_compare_and_clone() {
+        let e = IrisError::Infeasible {
+            detail: "duct 4 over capacity".into(),
+        };
+        assert_eq!(e.clone(), e);
+        assert_ne!(
+            e,
+            IrisError::Quarantined {
+                device: "OSS".into()
+            }
+        );
+    }
+}

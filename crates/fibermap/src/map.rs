@@ -358,7 +358,7 @@ mod tests {
         assert_eq!(r.capacity_wavelengths(0), 400);
         assert_eq!(r.capacity_gbps(0), 160_000.0); // 160 Tbps, §3.4's example
         assert_eq!(r.dc_index(d1), Some(1));
-        assert_eq!(r.dc_index(999).is_none(), true);
+        assert!(r.dc_index(999).is_none());
     }
 
     #[test]

@@ -149,7 +149,17 @@ pub fn place_amplifiers(region: &Region, goals: &DesignGoals) -> AmpPlacement {
                 }
             }
 
-            let (loc, _, noa, resolved) = best.expect("resolves is non-empty");
+            // `resolves` is non-empty here, so a best location exists;
+            // degrade to "unresolved" instead of panicking if not.
+            let Some((loc, _, noa, resolved)) = best else {
+                for p in &pending {
+                    placement.unresolved.push(UnresolvedPath {
+                        pair: (p.a, p.b),
+                        scenario: scenario.to_vec(),
+                    });
+                }
+                break;
+            };
             let entry = placement.amps_per_node.entry(loc).or_insert(0);
             *entry = (*entry).max(noa);
             // Remove resolved paths from the pending set.

@@ -14,8 +14,9 @@
 //!   ready for [`iris_cost`](https://docs.rs/iris-cost)-style accounting.
 
 use crate::goals::DesignGoals;
+use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::{Region, SiteId};
-use iris_netgraph::{dijkstra, EdgeId};
+use iris_netgraph::dijkstra;
 use serde::{Deserialize, Serialize};
 
 /// How each DC's capacity is spread over the two hubs.
@@ -82,16 +83,16 @@ impl CentralizedPlan {
 
 /// Plan a centralized network on `region` with the given `hubs`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a DC cannot reach a hub at all (disconnected map).
-#[must_use]
+/// Returns [`IrisError::Unreachable`] if a DC cannot reach a hub at all
+/// (disconnected map).
 pub fn plan_centralized(
     region: &Region,
     goals: &DesignGoals,
     hubs: (SiteId, SiteId),
     homing: HubHoming,
-) -> CentralizedPlan {
+) -> IrisResult<CentralizedPlan> {
     region.validate();
     let g = region.map.graph();
     let disabled = vec![false; g.edge_count()];
@@ -117,17 +118,21 @@ pub fn plan_centralized(
         };
         for &(h, leg_wl) in legs {
             let dist = trees[h].dist[dc];
-            assert!(
-                dist.is_finite(),
-                "DC {dc} cannot reach hub {}",
-                [hubs.0, hubs.1][h]
-            );
+            if !dist.is_finite() {
+                return Err(IrisError::Unreachable {
+                    what: format!("DC {dc} cannot reach hub {}", [hubs.0, hubs.1][h]),
+                });
+            }
             if dist > max_leg + 1e-9 {
                 siting_violations.push((i, [hubs.0, hubs.1][h], dist));
             }
             let fibers = leg_wl.div_ceil(lambda) as u32;
             if fibers > 0 {
-                let edges: Vec<EdgeId> = trees[h].path_edges(g, dc).expect("reachable");
+                let Some(edges) = trees[h].path_edges(g, dc) else {
+                    return Err(IrisError::Unreachable {
+                        what: format!("DC {dc} has no path to hub {}", [hubs.0, hubs.1][h]),
+                    });
+                };
                 for e in edges {
                     fiber_pairs[e] += fibers;
                 }
@@ -176,7 +181,7 @@ pub fn plan_centralized(
         HubHoming::Full => (0..n).map(|i| 2 * region.capacity_wavelengths(i)).sum(),
     };
 
-    CentralizedPlan {
+    Ok(CentralizedPlan {
         hubs,
         homing,
         fiber_pairs,
@@ -185,7 +190,7 @@ pub fn plan_centralized(
         hub_switch_ports,
         siting_violations,
         pair_distance_km,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +228,8 @@ mod tests {
     #[test]
     fn split_homing_moves_half_capacity_to_each_hub() {
         let (r, h1, h2) = star_region();
-        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split)
+            .expect("plannable");
         // 3 DCs x 400 wl -> 1200 wl land on the hubs.
         assert_eq!(plan.hub_transceivers, 1200);
         assert_eq!(plan.dc_transceivers, 1200);
@@ -236,8 +242,10 @@ mod tests {
     #[test]
     fn full_homing_doubles_access() {
         let (r, h1, h2) = star_region();
-        let split = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
-        let full = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Full);
+        let split = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split)
+            .expect("plannable");
+        let full = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Full)
+            .expect("plannable");
         assert_eq!(full.hub_transceivers, 2 * split.hub_transceivers);
         assert_eq!(full.dc_transceivers, 2 * split.dc_transceivers);
         assert!(full.total_fiber_pair_spans() > split.total_fiber_pair_spans());
@@ -246,7 +254,8 @@ mod tests {
     #[test]
     fn split_homing_provisions_the_hub_trunk() {
         let (r, h1, h2) = star_region();
-        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split)
+            .expect("plannable");
         // Trunk = duct 0: half of 1200 wl = 600 wl = 15 fibers.
         assert_eq!(plan.fiber_pairs[0], 15);
     }
@@ -259,7 +268,8 @@ mod tests {
         r.map.add_duct_detour(far, h1, 1.2);
         r.dcs.push(far);
         r.capacity_fibers.push(10);
-        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split)
+            .expect("plannable");
         assert!(!plan.meets_siting_rule());
         assert!(plan
             .siting_violations
@@ -270,7 +280,8 @@ mod tests {
     #[test]
     fn pair_distances_use_the_better_hub() {
         let (r, h1, h2) = star_region();
-        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split);
+        let plan = plan_centralized(&r, &DesignGoals::default(), (h1, h2), HubHoming::Split)
+            .expect("plannable");
         assert_eq!(plan.pair_distance_km.len(), 3);
         for (idx, &via) in plan.pair_distance_km.iter().enumerate() {
             // Hub transit is never shorter than the direct fiber route.
@@ -294,7 +305,8 @@ mod tests {
             },
         );
         let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
-        let plan = plan_centralized(&region, &DesignGoals::default(), hubs, HubHoming::Split);
+        let plan = plan_centralized(&region, &DesignGoals::default(), hubs, HubHoming::Split)
+            .expect("plannable");
         assert!(plan.total_fiber_pair_spans() > 0);
         assert_eq!(plan.pair_distance_km.len(), 15);
     }

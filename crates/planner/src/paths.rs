@@ -133,7 +133,13 @@ pub fn scenario_paths(
             let target = region.dcs[b];
             match r.path_edges(g, target) {
                 Some(edges) => {
-                    let nodes = r.path_nodes(g, target).expect("reachable");
+                    // path_edges succeeding means the target is reachable,
+                    // but degrade to "unreachable" rather than panic if the
+                    // node reconstruction ever disagrees.
+                    let Some(nodes) = r.path_nodes(g, target) else {
+                        unreachable.push((a, b));
+                        continue;
+                    };
                     let length_km = path_length_km(g, &edges);
                     if length_km > goals.sla_km + 1e-9 {
                         unreachable.push((a, b));

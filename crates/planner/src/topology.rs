@@ -431,6 +431,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn capacity_supports_uniform_matrix() {
         let r = small_region();
         let goals = DesignGoals::with_cuts(0);

@@ -794,7 +794,7 @@ mod tests {
         // Reconstruct the expected max link load from the arrival rate.
         let mean_bits = FlowSizeDist::facebook_web().mean_bytes() * 8.0;
         let offered_gbps = sim.arrival_rate() * mean_bits / 1e9;
-        let mut unit = vec![0.0f64; 4];
+        let mut unit = [0.0f64; 4];
         for i in 0..4 {
             for j in (i + 1)..4 {
                 for &l in topo.route(i, j) {

@@ -209,7 +209,7 @@ mod tests {
         for dist in FlowSizeDist::all_paper_workloads() {
             for _ in 0..1000 {
                 let s = dist.sample(&mut rng);
-                assert!(s >= 64.0 && s <= 100.0e6 + 1.0, "{}: {s}", dist.name);
+                assert!((64.0..=100.0e6 + 1.0).contains(&s), "{}: {s}", dist.name);
             }
         }
     }

@@ -70,7 +70,7 @@ fn plans_are_physically_valid_on_every_geometry() {
             );
         }
         // Fabric threading succeeds and audits clean on all shapes.
-        let fabric = build_fabric(&region, &goals, &plan);
+        let fabric = build_fabric(&region, &goals, &plan).expect("fabric threads");
         assert!(fabric.all_healthy(), "{name}: fabric audit failed");
     }
 }

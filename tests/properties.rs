@@ -271,3 +271,73 @@ proptest! {
         prop_assert_eq!(decoded, cmd);
     }
 }
+
+// Resilience invariant (§4.1 + recovery): the planner provisions every
+// duct for the worst hose load over all <= k cut scenarios, so live
+// recovery from any such scenario must keep every demand feasible —
+// zero shed pairs, zero overloaded ducts, converged devices. On plans
+// the planner itself reported infeasible, recovery must degrade
+// gracefully: only planner-reported pairs may be shed.
+proptest! {
+    #[test]
+    fn tolerated_cut_sets_stay_feasible_through_live_recovery(
+        seed in 0u64..40,
+        n_dcs in 5usize..13,
+        k in 1usize..3,
+        picks in proptest::collection::vec(0usize..10_000, 2),
+    ) {
+        use iris_control::Controller;
+        use iris_fibermap::synth::{generate_metro, place_dcs};
+        use iris_fibermap::{MetroParams, PlacementParams};
+        use iris_planner::{provision, DesignGoals};
+        use std::collections::BTreeSet;
+
+        let map = generate_metro(&MetroParams { seed, ..MetroParams::default() });
+        let region = place_dcs(
+            map,
+            &PlacementParams { seed: seed.wrapping_add(1), n_dcs, ..PlacementParams::default() },
+        );
+        let goals = DesignGoals::with_cuts(k);
+        let prov = provision(&region, &goals);
+
+        let controller = Controller::for_region(&region, &goals);
+        let base: iris_control::controller::Allocation =
+            iris_planner::topology::nominal_paths(&region, &goals)
+                .iter()
+                .map(|p| ((p.a, p.b), 1u32))
+                .collect();
+        prop_assert!(controller.reconfigure(&base).converged());
+
+        let edge_count = region.map.graph().edge_count();
+        let cuts: BTreeSet<usize> = picks.iter().take(k).map(|p| p % edge_count).collect();
+        let cuts: Vec<usize> = cuts.into_iter().collect();
+
+        let rec = controller
+            .handle_fiber_cut(&region, &goals, &prov, &cuts)
+            .expect("in-range cuts");
+        prop_assert!(rec.within_tolerance);
+        prop_assert!(rec.reconfig.converged());
+        prop_assert!(
+            rec.overloaded_edges.is_empty(),
+            "provisioned capacity must absorb any <= k cut: {:?}",
+            rec.overloaded_edges
+        );
+        if prov.infeasible.is_empty() {
+            prop_assert!(
+                rec.fully_recovered(),
+                "feasible plan lost demands under cuts {cuts:?}: shed {:?}",
+                rec.shed_pairs
+            );
+        } else {
+            // Degraded plans shed only what the planner already reported.
+            let reported: BTreeSet<(usize, usize)> =
+                prov.infeasible.iter().map(|i| i.pair).collect();
+            for pair in &rec.shed_pairs {
+                prop_assert!(
+                    reported.contains(pair),
+                    "shed pair {pair:?} was never reported infeasible by the planner"
+                );
+            }
+        }
+    }
+}
