@@ -1,0 +1,92 @@
+//! Standalone load-generator binary — a thin wrapper over
+//! [`iris_service::run_loadgen`] for driving a server started elsewhere
+//! (`iris serve`, a container, another machine).
+//!
+//! ```text
+//! cargo run -p iris-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7117 --seed 7 --requests 2000 --cut 4 \
+//!     --out results/service_load.json
+//! ```
+//!
+//! The JSON written to `--out` is the seed-deterministic half of the
+//! report (byte-identical across runs and worker-thread counts); the
+//! wall-clock half is printed to stdout. `iris loadgen` is the same
+//! engine with the full CLI around it.
+
+use iris_service::{run_loadgen, LoadgenConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut out = "results/service_load.json".to_owned();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag.as_str() {
+            "--addr" => cfg.addr = value.clone(),
+            "--seed" => cfg.seed = parse(flag, value)?,
+            "--requests" => cfg.requests = parse(flag, value)?,
+            "--connections" => cfg.connections = parse(flag, value)?,
+            "--cut" => {
+                cfg.cuts = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse(flag, s))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = value.clone(),
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (accepted: --addr, --seed, --requests, \
+                     --connections, --cut, --out)"
+                ))
+            }
+        }
+    }
+
+    let report = run_loadgen(&cfg).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let m = &report.measured;
+    println!(
+        "loadgen: seed {}, {} requests, {} connections: {:.2} s wall, {:.0} req/s",
+        report.results.seed,
+        report.results.requests,
+        report.results.connections,
+        m.wall_s,
+        m.throughput_rps
+    );
+    println!(
+        "baseline read p99 {:.3} ms; during-recovery read p99 {:.3} ms over {} reads",
+        m.baseline_read_p99_ms, m.recovery_read_p99_ms, m.reads_during_recovery
+    );
+    println!(
+        "retries {}  unreachable {}  server coalesced {}  server overloaded {}  errors {}",
+        m.retries,
+        m.unreachable_reads,
+        m.server_coalesced,
+        m.server_overloaded,
+        report.results.errors
+    );
+    iris_service::loadgen::write_results(&report.results, &out)
+        .map_err(|e| format!("[{}] {e}", e.code()))?;
+    println!("results written to {out}");
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse '{value}' as a number"))
+}

@@ -236,16 +236,9 @@ pub fn write_results(name: &str, value: &serde_json::Value) {
         return;
     }
     let metrics_path = dir.join(format!("{name}.metrics.json"));
-    match std::fs::File::create(&metrics_path) {
-        Ok(mut f) => {
-            let _ = writeln!(
-                f,
-                "{}",
-                serde_json::to_string_pretty(&snapshot.to_json()).expect("serializable")
-            );
-            println!("# metrics sidecar written to {}", metrics_path.display());
-        }
-        Err(e) => eprintln!("warning: could not write {}: {e}", metrics_path.display()),
+    match snapshot.write_to_file(&metrics_path.display().to_string()) {
+        Ok(()) => println!("# metrics sidecar written to {}", metrics_path.display()),
+        Err(e) => eprintln!("warning: {e}"),
     }
 }
 

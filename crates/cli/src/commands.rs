@@ -193,6 +193,7 @@ pub fn siting(opts: &Options) -> Result<(), String> {
 /// `iris simulate` — paired FCT comparison.
 pub fn simulate(opts: &Options) -> Result<(), String> {
     let region = load(opts)?;
+    apply_threads(opts)?;
     let util: f64 = opts.num("util", 0.4)?;
     let interval: f64 = opts.num("interval", 5.0)?;
     let duration: f64 = opts.num("duration", 20.0)?;
@@ -322,6 +323,7 @@ pub fn testbed(_opts: &Options) -> Result<(), String> {
 /// control loop. Deterministic: same seed, byte-identical output.
 pub fn chaos(opts: &Options) -> Result<(), String> {
     use iris_bench::chaos::{run_chaos, ChaosConfig};
+    apply_threads(opts)?;
     let cfg = ChaosConfig {
         seed: opts.num("seed", 7)?,
         scenarios: opts.num("scenarios", 10)?,
@@ -378,4 +380,179 @@ pub fn chaos(opts: &Options) -> Result<(), String> {
         eprintln!("report written to {path}");
     }
     Ok(())
+}
+
+/// `iris serve` — run the long-lived control-plane server until killed.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    use std::io::Write;
+
+    let region = load(opts)?;
+    apply_threads(opts)?;
+    let config = iris_service::ServiceConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7117").to_owned(),
+        cuts: opts.num("cuts", 1)?,
+        queue_capacity: opts.num("queue", 64)?,
+        coalesce_window_ms: opts.num("window", 2)?,
+        ..iris_service::ServiceConfig::default()
+    };
+    let handle = iris_service::serve(region, &config).map_err(|e| format!("[{}] {e}", e.code()))?;
+    // The bound address goes out first and flushed: with --addr ...:0 the
+    // kernel picks the port, and scripts parse this line to find it.
+    println!("iris-service listening on {}", handle.local_addr());
+    println!(
+        "  write queue: {} slots, coalesce window {} ms (Overloaded suggests retry in {} ms)",
+        config.queue_capacity,
+        config.coalesce_window_ms,
+        config.retry_after_ms()
+    );
+    println!("  serving until killed (metrics via the MetricsSnapshot request)");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+    loop {
+        std::thread::park();
+        if handle.is_shutting_down() {
+            return Ok(());
+        }
+    }
+}
+
+/// `iris rpc` — one ad-hoc request against a running server, reply
+/// printed as JSON.
+pub fn rpc(opts: &Options) -> Result<(), String> {
+    use iris_service::Request;
+
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7117");
+    let op = opts.required("op")?;
+    let pair = |name: &str| -> Result<usize, String> {
+        opts.required(name)?
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse as a DC index"))
+    };
+    let request = match op {
+        "get_plan" | "plan" => Request::GetPlan,
+        "get_topology" | "topology" => Request::GetTopology,
+        "query_path" | "path" => Request::QueryPath {
+            a: pair("a")?,
+            b: pair("b")?,
+        },
+        "update_demand" | "update" => Request::UpdateDemand {
+            a: pair("a")?,
+            b: pair("b")?,
+            circuits: opts.num("circuits", 1)?,
+        },
+        "report_fiber_cut" | "cut" => Request::ReportFiberCut {
+            cuts: parse_cut_list(opts.required("cuts")?)?,
+        },
+        "health" => Request::Health,
+        "metrics_snapshot" | "metrics" => Request::MetricsSnapshot,
+        other => {
+            return Err(format!(
+                "unknown op '{other}' (try get_plan, get_topology, query_path, \
+                 update_demand, report_fiber_cut, health, metrics_snapshot)"
+            ))
+        }
+    };
+    let mut client =
+        iris_service::ServiceClient::connect(addr).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let response = client
+        .call(&request)
+        .map_err(|e| format!("[{}] {e}", e.code()))?;
+    let json =
+        serde_json::to_string_pretty(&response).map_err(|e| format!("cannot render reply: {e}"))?;
+    println!("{json}");
+    Ok(())
+}
+
+/// `iris loadgen` — seeded closed-loop load against a running server.
+pub fn loadgen(opts: &Options) -> Result<(), String> {
+    let cfg = iris_service::LoadgenConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:7117").to_owned(),
+        seed: opts.num("seed", 7)?,
+        requests: opts.num("requests", 2000)?,
+        connections: opts.num("connections", 4)?,
+        cuts: match opts.get("cut") {
+            Some(list) => parse_cut_list(list)?,
+            None => Vec::new(),
+        },
+        ..iris_service::LoadgenConfig::default()
+    };
+    let out = opts.get("out").unwrap_or("results/service_load.json");
+    let report = iris_service::run_loadgen(&cfg).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let r = &report.results;
+    let m = &report.measured;
+
+    println!(
+        "loadgen: seed {}, {} requests over {} connections against {}",
+        r.seed, r.requests, r.connections, cfg.addr
+    );
+    println!("\ndeterministic results (written to {out}):");
+    for oc in &r.op_counts {
+        println!("  {:<18} {:>7}", oc.op, oc.count);
+    }
+    println!(
+        "  {} update pairs, {} coalescable updates ({:.1}% of updates)",
+        r.update_pairs,
+        r.coalescable_updates,
+        r.coalescable_ratio * 100.0
+    );
+    if let Some(cut) = &r.cut {
+        println!(
+            "  cut {:?} at request {}: recovered={} shed={} recovery {:.1} ms \
+             (detect {:.0} + replan {:.0} + reconfig {:.0})",
+            cut.cuts,
+            cut.at_request,
+            cut.recovery.fully_recovered,
+            cut.recovery.shed_pairs,
+            cut.recovery.recovery_ms,
+            cut.recovery.detection_ms,
+            cut.recovery.replan_ms,
+            cut.recovery.reconfig_ms
+        );
+    }
+    println!("  unexpected errors: {}", r.errors);
+
+    println!("\nmeasured (wall clock, not serialized):");
+    println!(
+        "  {:.2} s wall, {:.0} req/s across {} connections",
+        m.wall_s, m.throughput_rps, r.connections
+    );
+    for op in &m.per_op {
+        println!(
+            "  {:<18} {:>7}  p50 {:>8.3} ms  p99 {:>8.3} ms",
+            op.op, op.count, op.p50_ms, op.p99_ms
+        );
+    }
+    println!(
+        "  idle-baseline read p99:     {:.3} ms",
+        m.baseline_read_p99_ms
+    );
+    if r.cut.is_some() {
+        println!(
+            "  reads during recovery:      {} (p99 {:.3} ms)",
+            m.reads_during_recovery, m.recovery_read_p99_ms
+        );
+        println!("  recovery wall time:         {:.1} ms", m.recovery_wall_ms);
+    }
+    println!(
+        "  backpressure retries: {}   unreachable reads: {}   server coalesced: {}   \
+         server overloaded: {}",
+        m.retries, m.unreachable_reads, m.server_coalesced, m.server_overloaded
+    );
+
+    iris_service::loadgen::write_results(r, out).map_err(|e| format!("[{}] {e}", e.code()))?;
+    println!("\nresults written to {out}");
+    Ok(())
+}
+
+/// Parse a comma-separated duct-id list (`"4"`, `"4,17"`).
+fn parse_cut_list(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("cannot parse duct id '{s}' in cut list"))
+        })
+        .collect()
 }

@@ -8,6 +8,9 @@
 //! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
 //! iris testbed
 //! iris chaos    --seed 7 --scenarios 10 [--dcs 6] [--cuts 1] [--out FILE]
+//! iris serve    --region region.json [--addr HOST:PORT] [--cuts 1]
+//! iris rpc      --op health [--addr HOST:PORT]
+//! iris loadgen  --seed 7 --requests 2000 [--cut DUCT] [--out FILE]
 //! ```
 
 mod args;
@@ -48,11 +51,33 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "interval",
             "duration",
             "workload",
+            "threads",
             "out",
             "telemetry",
         ],
         "testbed" => &["telemetry"],
-        "chaos" => &["seed", "scenarios", "dcs", "cuts", "out", "telemetry"],
+        "chaos" => &[
+            "seed",
+            "scenarios",
+            "dcs",
+            "cuts",
+            "threads",
+            "out",
+            "telemetry",
+        ],
+        // No --telemetry for serve: it never exits on its own; live
+        // metrics are served by the MetricsSnapshot request instead.
+        "serve" => &["region", "cuts", "addr", "queue", "window", "threads"],
+        "rpc" => &["addr", "op", "a", "b", "circuits", "cuts", "telemetry"],
+        "loadgen" => &[
+            "addr",
+            "seed",
+            "requests",
+            "connections",
+            "cut",
+            "out",
+            "telemetry",
+        ],
         _ => return None,
     })
 }
@@ -74,6 +99,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         "simulate" | "sim" => commands::simulate(&opts),
         "testbed" => commands::testbed(&opts),
         "chaos" => commands::chaos(&opts),
+        "serve" => commands::serve(&opts),
+        "rpc" => commands::rpc(&opts),
+        "loadgen" => commands::loadgen(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             return Ok(());
@@ -86,19 +114,14 @@ fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Snapshot the global metric registry to `path`.
+/// Snapshot the global metric registry to `path` (format dispatch lives
+/// in [`iris_telemetry::Snapshot::write_to_file`], shared with the bench
+/// sidecars and the service).
 fn write_telemetry(path: &str) -> Result<(), String> {
-    let snapshot = iris_telemetry::global().snapshot();
-    let text = if path.ends_with(".prom") || path.ends_with(".txt") {
-        snapshot.to_prometheus_text()
-    } else {
-        let json = snapshot.to_json();
-        let mut s = serde_json::to_string_pretty(&json)
-            .map_err(|e| format!("--telemetry: cannot serialize snapshot: {e}"))?;
-        s.push('\n');
-        s
-    };
-    std::fs::write(path, text).map_err(|e| format!("--telemetry: cannot write {path}: {e}"))?;
+    iris_telemetry::global()
+        .snapshot()
+        .write_to_file(path)
+        .map_err(|e| format!("--telemetry: {e}"))?;
     println!("telemetry snapshot written to {path}");
     Ok(())
 }
@@ -116,28 +139,49 @@ USAGE:
   iris compare  --region FILE [--cuts K] [--threads T]
                 plan Iris, EPS and centralized designs; print the cost and
                 latency comparison table
-
---threads T (or the IRIS_THREADS environment variable, which wins) sets
-the worker count for the planner's parallel failure-scenario sweep; the
-planned output is bit-identical for every thread count.
   iris siting   --region FILE
                 service-area analysis: where can the next DC go?
   iris simulate --region FILE [--util U] [--interval S] [--duration S]
-                [--workload W] [--out FILE]
+                [--workload W] [--threads T] [--out FILE]
                 paired Iris-vs-EPS flow-level simulation (`sim` for short);
                 --out writes the result plus its reproducibility manifest
   iris testbed  replay the Fig. 14 physical-layer experiment
-  iris chaos    [--seed N] [--scenarios N] [--dcs D] [--cuts K] [--out FILE]
+  iris chaos    [--seed N] [--scenarios N] [--dcs D] [--cuts K]
+                [--threads T] [--out FILE]
                 replay seeded fault schedules (fiber cuts, stuck/misrouted
                 OSS ports, relock failures, EDFA excursions, lost control
                 messages) through the self-healing control loop; print
                 recovery-time / dark-time / FCT-impact distributions.
                 Deterministic: same seed, byte-identical output
+  iris serve    --region FILE [--addr HOST:PORT] [--cuts K] [--queue N]
+                [--window MS] [--threads T]
+                run the long-lived control-plane server: length-prefixed
+                JSON frames over TCP; snapshot reads, coalesced writes,
+                typed Overloaded backpressure. --addr HOST:0 picks a free
+                port (printed on the first stdout line). Runs until killed
+  iris rpc      --op OP [--addr HOST:PORT] [--a N --b N] [--circuits C]
+                [--cuts D1,D2]
+                one request against a running server, reply as JSON; OP is
+                get_plan | get_topology | query_path | update_demand |
+                report_fiber_cut | health | metrics_snapshot
+  iris loadgen  [--addr HOST:PORT] [--seed N] [--requests N]
+                [--connections N] [--cut D1,D2] [--out FILE]
+                seeded closed-loop load against a running server; writes
+                the seed-deterministic results (byte-identical across runs
+                and thread counts) to FILE (default
+                results/service_load.json) and prints wall-clock latency
+                and throughput
   iris help     this text
 
-Every subcommand also accepts --telemetry FILE: after the command runs,
-the process-wide metric registry (simulator event counts, control-plane
-phase latencies, planner work counters) is snapshotted to FILE —
-Prometheus text for .prom/.txt paths, JSON otherwise."
+--threads T sets the worker count wherever a parallel failure-scenario
+sweep runs (plan, compare, simulate, chaos, serve). The IRIS_THREADS
+environment variable takes precedence over --threads; planner output is
+bit-identical for every thread count.
+
+Every subcommand except serve also accepts --telemetry FILE: after the
+command runs, the process-wide metric registry (simulator event counts,
+control-plane phase latencies, planner work counters) is snapshotted to
+FILE — Prometheus text for .prom/.txt paths, JSON otherwise. A running
+server exposes the same registry through the MetricsSnapshot request."
     );
 }

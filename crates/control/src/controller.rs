@@ -303,6 +303,14 @@ impl Controller {
         self.quarantine.read().iter().copied().collect()
     }
 
+    /// The duct sequence each pair's circuit currently rides (updated by
+    /// fiber-cut recovery as circuits move to surviving paths). Empty
+    /// for hand-built controllers that never populated path state.
+    #[must_use]
+    pub fn current_paths(&self) -> BTreeMap<(usize, usize), Vec<EdgeId>> {
+        self.paths_per_pair.read().clone()
+    }
+
     /// Return a repaired site to service.
     pub fn clear_quarantine(&self, site: usize) {
         self.quarantine.write().remove(&site);

@@ -74,6 +74,11 @@ pub enum IrisError {
         /// Why, e.g. `duct 4 over planned capacity by 80 wavelengths`.
         detail: String,
     },
+    /// A bounded write queue is full; the caller should back off.
+    Overloaded {
+        /// Suggested delay before retrying, ms.
+        retry_after_ms: u64,
+    },
     /// Malformed input (CLI flags, config files, region instances).
     InvalidInput {
         /// What was malformed.
@@ -99,6 +104,7 @@ impl IrisError {
             IrisError::RetriesExhausted { .. } => "retries-exhausted",
             IrisError::Quarantined { .. } => "quarantined",
             IrisError::Infeasible { .. } => "infeasible",
+            IrisError::Overloaded { .. } => "overloaded",
             IrisError::InvalidInput { .. } => "invalid-input",
             IrisError::Io { .. } => "io",
         }
@@ -137,6 +143,9 @@ impl fmt::Display for IrisError {
             ),
             IrisError::Quarantined { device } => write!(f, "{device} is quarantined"),
             IrisError::Infeasible { detail } => write!(f, "infeasible: {detail}"),
+            IrisError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
             IrisError::InvalidInput { detail } => write!(f, "{detail}"),
             IrisError::Io { detail } => write!(f, "{detail}"),
         }
@@ -192,6 +201,7 @@ mod tests {
                 device: "OSS".into(),
             },
             IrisError::Infeasible { detail: "x".into() },
+            IrisError::Overloaded { retry_after_ms: 10 },
             IrisError::InvalidInput { detail: "x".into() },
             IrisError::Io { detail: "x".into() },
         ];

@@ -1,0 +1,394 @@
+//! The service's typed request/response surface.
+//!
+//! Requests and responses travel as externally-tagged JSON inside the
+//! length-prefixed frames of [`crate::frame`]. Every type here is a
+//! concrete struct or enum (the workspace's offline serde derive does
+//! not handle generics), and pair-keyed maps are flattened into
+//! `Vec<AllocEntry>` so the wire shape is plain JSON objects.
+
+use iris_errors::{IrisError, IrisResult};
+use serde::{Deserialize, Serialize};
+
+/// A client request. Reads (`GetPlan`, `GetTopology`, `QueryPath`,
+/// `Health`, `MetricsSnapshot`) are served from the current published
+/// snapshot without touching the write path. `UpdateDemand` is enqueued
+/// to the mutator and acknowledged immediately (redundant updates for
+/// the same pair coalesce); `ReportFiberCut` is enqueued and the reply
+/// carries the completed recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Summary of the current Iris plan.
+    GetPlan,
+    /// The region topology plus the live allocation.
+    GetTopology,
+    /// The surviving path a DC pair's circuit currently rides.
+    QueryPath {
+        /// First DC index.
+        a: usize,
+        /// Second DC index.
+        b: usize,
+    },
+    /// Set the circuit count for one DC pair.
+    UpdateDemand {
+        /// First DC index.
+        a: usize,
+        /// Second DC index.
+        b: usize,
+        /// Target circuits for the pair.
+        circuits: u32,
+    },
+    /// Fail a set of ducts and recover onto surviving capacity.
+    ReportFiberCut {
+        /// Duct ids to cut (cumulative with earlier cuts).
+        cuts: Vec<usize>,
+    },
+    /// Liveness + write-path state.
+    Health,
+    /// The process-global telemetry registry, rendered as Prometheus
+    /// text.
+    MetricsSnapshot,
+}
+
+impl Request {
+    /// Stable snake_case operation name, used as the telemetry label.
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::GetPlan => "get_plan",
+            Request::GetTopology => "get_topology",
+            Request::QueryPath { .. } => "query_path",
+            Request::UpdateDemand { .. } => "update_demand",
+            Request::ReportFiberCut { .. } => "report_fiber_cut",
+            Request::Health => "health",
+            Request::MetricsSnapshot => "metrics_snapshot",
+        }
+    }
+
+    /// Whether the request goes through the mutator queue.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::UpdateDemand { .. } | Request::ReportFiberCut { .. }
+        )
+    }
+}
+
+/// One pair's circuit count in the live allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocEntry {
+    /// First DC index.
+    pub a: usize,
+    /// Second DC index.
+    pub b: usize,
+    /// Circuits allocated to the pair.
+    pub circuits: u32,
+}
+
+/// Summary of the planned network (from [`iris_planner::plan_iris`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanSummary {
+    /// Snapshot epoch this summary was read from.
+    pub epoch: u64,
+    /// DC count.
+    pub dcs: usize,
+    /// Ducts in the fiber map.
+    pub ducts: usize,
+    /// Ducts the plan actually provisions.
+    pub used_ducts: usize,
+    /// Cut tolerance `k` the plan was provisioned for.
+    pub cut_tolerance: usize,
+    /// Failure scenarios Algorithm 1 examined.
+    pub scenarios_examined: u64,
+    /// DC transceiver count.
+    pub dc_transceivers: u64,
+    /// Total leased fiber pair-spans.
+    pub fiber_pair_spans: u64,
+    /// Total OSS ports.
+    pub oss_ports: u64,
+    /// Whether all OC/TC constraints are met.
+    pub feasible: bool,
+}
+
+/// The region topology plus live control-plane state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySummary {
+    /// Snapshot epoch.
+    pub epoch: u64,
+    /// DC count.
+    pub dcs: usize,
+    /// Hut count.
+    pub huts: usize,
+    /// Duct count.
+    pub ducts: usize,
+    /// Ducts currently failed (cumulative cuts).
+    pub active_cuts: Vec<usize>,
+    /// The live circuit allocation, `(a, b)` ascending.
+    pub allocation: Vec<AllocEntry>,
+    /// Quarantined sites.
+    pub quarantined: Vec<usize>,
+}
+
+/// The surviving path one DC pair's circuit rides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathInfo {
+    /// First DC index.
+    pub a: usize,
+    /// Second DC index.
+    pub b: usize,
+    /// Site sequence.
+    pub nodes: Vec<usize>,
+    /// Duct sequence.
+    pub edges: Vec<usize>,
+    /// Path length, km.
+    pub length_km: f64,
+    /// Round-trip time over that fiber, ms.
+    pub rtt_ms: f64,
+    /// Circuits the pair currently holds.
+    pub circuits: u32,
+    /// Snapshot epoch.
+    pub epoch: u64,
+}
+
+/// Compact record of one completed fiber-cut recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// The ducts failed in this recovery (the full cumulative set).
+    pub cuts: Vec<usize>,
+    /// Whether the cut set is within the planner's tolerance.
+    pub within_tolerance: bool,
+    /// Nothing shed, nothing overloaded, reconfiguration converged.
+    pub fully_recovered: bool,
+    /// Pairs shed (disconnected or SLA-violating post-cut).
+    pub shed_pairs: usize,
+    /// Modeled loss-of-signal detection delay, ms.
+    pub detection_ms: f64,
+    /// Modeled re-plan time, ms.
+    pub replan_ms: f64,
+    /// Reconfiguration wall time, ms.
+    pub reconfig_ms: f64,
+    /// End-to-end recovery time, ms.
+    pub recovery_ms: f64,
+}
+
+/// Liveness and write-path state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Snapshot epoch (increments on every applied write batch).
+    pub epoch: u64,
+    /// Writes waiting in the mutator queue right now.
+    pub queue_depth: usize,
+    /// Write operations applied since startup (post-coalescing).
+    pub writes_applied: u64,
+    /// Redundant `UpdateDemand`s absorbed by coalescing.
+    pub coalesced: u64,
+    /// Requests rejected with `Overloaded` since startup.
+    pub overloaded: u64,
+    /// Ducts currently failed.
+    pub active_cuts: Vec<usize>,
+    /// Quarantined site count.
+    pub quarantined: usize,
+    /// The most recent completed recovery, if any.
+    pub last_recovery: Option<RecoverySummary>,
+}
+
+/// A server reply. `Error` carries the typed [`IrisError`] — including
+/// `Overloaded { retry_after_ms }` for backpressure — so clients get the
+/// same error surface as in-process callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::GetPlan`].
+    Plan(PlanSummary),
+    /// Reply to [`Request::GetTopology`].
+    Topology(TopologySummary),
+    /// Reply to [`Request::QueryPath`].
+    Path(PathInfo),
+    /// Reply to [`Request::UpdateDemand`]: the write is queued (it may
+    /// later coalesce with a newer update for the same pair).
+    DemandAccepted {
+        /// Queue depth observed right after enqueueing.
+        queue_depth: usize,
+    },
+    /// Reply to [`Request::ReportFiberCut`]: recovery has completed.
+    Recovery(RecoverySummary),
+    /// Reply to [`Request::Health`].
+    Health(HealthInfo),
+    /// Reply to [`Request::MetricsSnapshot`].
+    Metrics {
+        /// The registry in Prometheus text exposition format.
+        prometheus: String,
+    },
+    /// The request failed.
+    Error(IrisError),
+}
+
+impl Response {
+    /// Unwrap into a result, mapping `Error` replies back to the typed
+    /// error they carry.
+    ///
+    /// # Errors
+    ///
+    /// The transported [`IrisError`] for `Response::Error`.
+    pub fn into_result(self) -> IrisResult<Response> {
+        match self {
+            Response::Error(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Serialize a request for the wire.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] if serialization fails (malformed floats).
+pub fn encode_request(req: &Request) -> IrisResult<Vec<u8>> {
+    serde_json::to_string(req)
+        .map(String::into_bytes)
+        .map_err(|e| IrisError::Decode {
+            detail: format!("cannot encode request: {e}"),
+        })
+}
+
+/// Parse a request frame.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] for invalid UTF-8 or JSON that is not a
+/// [`Request`].
+pub fn decode_request(payload: &[u8]) -> IrisResult<Request> {
+    let text = std::str::from_utf8(payload).map_err(|e| IrisError::Decode {
+        detail: format!("request frame is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| IrisError::Decode {
+        detail: format!("invalid request: {e}"),
+    })
+}
+
+/// Serialize a response for the wire.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] if serialization fails.
+pub fn encode_response(resp: &Response) -> IrisResult<Vec<u8>> {
+    serde_json::to_string(resp)
+        .map(String::into_bytes)
+        .map_err(|e| IrisError::Decode {
+            detail: format!("cannot encode response: {e}"),
+        })
+}
+
+/// Parse a response frame.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] for invalid UTF-8 or JSON that is not a
+/// [`Response`].
+pub fn decode_response(payload: &[u8]) -> IrisResult<Response> {
+    let text = std::str::from_utf8(payload).map_err(|e| IrisError::Decode {
+        detail: format!("response frame is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| IrisError::Decode {
+        detail: format!("invalid response: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::GetPlan,
+            Request::GetTopology,
+            Request::QueryPath { a: 0, b: 3 },
+            Request::UpdateDemand {
+                a: 1,
+                b: 2,
+                circuits: 4,
+            },
+            Request::ReportFiberCut { cuts: vec![5, 9] },
+            Request::Health,
+            Request::MetricsSnapshot,
+        ];
+        for req in &reqs {
+            let bytes = encode_request(req).unwrap();
+            let back = decode_request(&bytes).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::DemandAccepted { queue_depth: 3 },
+            Response::Error(IrisError::Overloaded { retry_after_ms: 25 }),
+            Response::Metrics {
+                prometheus: "# TYPE x counter\nx 1\n".into(),
+            },
+            Response::Health(HealthInfo {
+                epoch: 7,
+                queue_depth: 0,
+                writes_applied: 12,
+                coalesced: 3,
+                overloaded: 1,
+                active_cuts: vec![4],
+                quarantined: 0,
+                last_recovery: Some(RecoverySummary {
+                    cuts: vec![4],
+                    within_tolerance: true,
+                    fully_recovered: true,
+                    shed_pairs: 0,
+                    detection_ms: 10.0,
+                    replan_ms: 5.0,
+                    reconfig_ms: 52.0,
+                    recovery_ms: 67.0,
+                }),
+            }),
+        ];
+        for resp in &resps {
+            let bytes = encode_response(resp).unwrap();
+            let back = decode_response(&bytes).unwrap();
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn op_names_are_stable_snake_case() {
+        for req in [
+            Request::GetPlan,
+            Request::QueryPath { a: 0, b: 1 },
+            Request::Health,
+        ] {
+            let op = req.op();
+            assert!(op.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert!(Request::UpdateDemand {
+            a: 0,
+            b: 1,
+            circuits: 1
+        }
+        .is_write());
+        assert!(!Request::GetPlan.is_write());
+    }
+
+    #[test]
+    fn error_responses_map_back_to_typed_errors() {
+        let resp = Response::Error(IrisError::Overloaded { retry_after_ms: 40 });
+        match resp.into_result() {
+            Err(IrisError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 40),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_frames_are_decode_errors() {
+        assert_eq!(decode_request(b"\xff\xfe").unwrap_err().code(), "decode");
+        assert_eq!(
+            decode_request(b"{\"Nope\":1}").unwrap_err().code(),
+            "decode"
+        );
+        assert_eq!(decode_response(b"[1,2").unwrap_err().code(), "decode");
+    }
+}

@@ -1,0 +1,100 @@
+//! A blocking client for the framed JSON protocol.
+
+use crate::api::{decode_response, encode_request, Request, Response};
+use crate::frame::{read_frame, write_frame, FrameEvent};
+use iris_errors::{IrisError, IrisResult};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a running service. Requests are strictly
+/// request/reply on the connection, so a client is cheap and carries no
+/// protocol state beyond the socket.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] if the connection fails.
+    pub fn connect(addr: &str) -> IrisResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| IrisError::Io {
+            detail: format!("cannot connect to {addr}: {e}"),
+        })?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Connect, retrying `attempts` times with `delay_ms` between tries —
+    /// for racing a server that is still planning its region at startup.
+    ///
+    /// # Errors
+    ///
+    /// The last [`IrisError::Io`] if every attempt fails.
+    pub fn connect_retry(addr: &str, attempts: u32, delay_ms: u64) -> IrisResult<Self> {
+        let mut last = IrisError::Io {
+            detail: format!("no connection attempts made for {addr}"),
+        };
+        for attempt in 0..attempts.max(1) {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+        }
+        Err(last)
+    }
+
+    /// Send one request and wait for its reply. `Error` replies are
+    /// returned as `Ok(Response::Error(..))` — use
+    /// [`Response::into_result`] or [`ServiceClient::call_retrying`] to
+    /// surface them as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] on socket failure, [`IrisError::Decode`] on a
+    /// malformed reply or server disconnect mid-reply.
+    pub fn call(&mut self, req: &Request) -> IrisResult<Response> {
+        let payload = encode_request(req)?;
+        write_frame(&mut self.stream, &payload)?;
+        loop {
+            match read_frame(&mut self.stream)? {
+                FrameEvent::Frame(bytes) => return decode_response(&bytes),
+                FrameEvent::Idle => continue,
+                FrameEvent::Eof => {
+                    return Err(IrisError::Io {
+                        detail: "server closed the connection before replying".to_owned(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// [`ServiceClient::call`], backing off and retrying (up to
+    /// `max_retries` times) when the server answers
+    /// [`IrisError::Overloaded`], sleeping the server-suggested
+    /// `retry_after_ms` between attempts. Other errors pass through.
+    ///
+    /// # Errors
+    ///
+    /// The final [`IrisError`] once retries are exhausted, or any
+    /// non-backpressure error immediately.
+    pub fn call_retrying(&mut self, req: &Request, max_retries: u32) -> IrisResult<Response> {
+        let mut attempt = 0;
+        loop {
+            match self.call(req)?.into_result() {
+                Ok(resp) => return Ok(resp),
+                Err(IrisError::Overloaded { retry_after_ms }) if attempt < max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Length-prefixed frame codec for the service's TCP protocol.
+//!
+//! Every message on the wire is one frame: a 4-byte big-endian length
+//! followed by that many bytes of UTF-8 JSON. Frames are bounded by
+//! [`MAX_FRAME_LEN`]; the reader checks the prefix *before* allocating,
+//! so a hostile or corrupted length cannot drive an allocation. All
+//! fault paths are typed [`IrisError`]s — a truncated prefix, an
+//! oversized frame and a payload cut off mid-frame each name exactly
+//! what was wrong.
+
+use iris_errors::{IrisError, IrisResult};
+use std::io::{ErrorKind, Read, Write};
+
+/// Largest accepted frame payload, bytes. Far above any real request or
+/// response (a full metrics snapshot is a few KiB) while keeping a
+/// malicious length prefix from allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// One read attempt's outcome on a framed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// A read timeout elapsed before any byte of the next frame arrived
+    /// (only with a socket read timeout set; callers poll a shutdown
+    /// flag and retry).
+    Idle,
+}
+
+/// Write `payload` as one frame and flush.
+///
+/// # Errors
+///
+/// [`IrisError::InvalidInput`] if the payload exceeds [`MAX_FRAME_LEN`];
+/// [`IrisError::Io`] on socket failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> IrisResult<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(IrisError::InvalidInput {
+            detail: format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte maximum",
+                payload.len()
+            ),
+        });
+    }
+    let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_LEN");
+    let io_err = |e: std::io::Error| IrisError::Io {
+        detail: format!("frame write failed: {e}"),
+    };
+    w.write_all(&len.to_be_bytes()).map_err(io_err)?;
+    w.write_all(payload).map_err(io_err)?;
+    w.flush().map_err(io_err)
+}
+
+/// Read the next frame. A clean EOF between frames is [`FrameEvent::Eof`];
+/// a read timeout before the first byte is [`FrameEvent::Idle`]. Once a
+/// frame has started, timeouts keep reading (the peer is mid-send) and a
+/// disconnect mid-frame is a typed decode error.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] for a truncated length prefix, an oversized
+/// announced length (checked before allocating) or a payload cut off
+/// mid-frame; [`IrisError::Io`] for other socket failures.
+pub fn read_frame<R: Read>(r: &mut R) -> IrisResult<FrameEvent> {
+    let mut prefix = [0u8; 4];
+    match read_fill(r, &mut prefix, true)? {
+        Fill::Complete => {}
+        Fill::Empty => return Ok(FrameEvent::Eof),
+        Fill::Idle => return Ok(FrameEvent::Idle),
+        Fill::Partial(got) => {
+            return Err(IrisError::Decode {
+                detail: format!("truncated length prefix: wanted 4 bytes, got {got}"),
+            })
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        // Reject before allocating: the announced length is attacker- or
+        // corruption-controlled.
+        return Err(IrisError::Decode {
+            detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte maximum"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    match read_fill(r, &mut payload, false)? {
+        Fill::Complete => Ok(FrameEvent::Frame(payload)),
+        Fill::Empty | Fill::Idle | Fill::Partial(_) => unreachable!("eof_ok is false"),
+    }
+}
+
+enum Fill {
+    Complete,
+    /// EOF before the first byte (only when `eof_ok`).
+    Empty,
+    /// Timeout before the first byte (only when `eof_ok`).
+    Idle,
+    /// EOF after `n` bytes (only when `eof_ok`; mid-payload EOF errors).
+    Partial(usize),
+}
+
+/// Fill `buf`, tolerating interrupted and timed-out reads. With `eof_ok`
+/// (the length prefix), a clean EOF or timeout at offset 0 is reported
+/// instead of erroring; without it (the payload), any shortfall is a
+/// decode error naming the byte counts.
+fn read_fill<R: Read>(r: &mut R, buf: &mut [u8], eof_ok: bool) -> IrisResult<Fill> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if eof_ok {
+                    return Ok(if got == 0 {
+                        Fill::Empty
+                    } else {
+                        Fill::Partial(got)
+                    });
+                }
+                return Err(IrisError::Decode {
+                    detail: format!(
+                        "truncated frame payload: wanted {} bytes, got {got}",
+                        buf.len()
+                    ),
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if eof_ok && got == 0 {
+                    return Ok(Fill::Idle);
+                }
+                // Mid-frame: the peer has started sending; keep waiting.
+            }
+            Err(e) => {
+                return Err(IrisError::Io {
+                    detail: format!("frame read failed: {e}"),
+                })
+            }
+        }
+    }
+    Ok(Fill::Complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).expect("in-memory write");
+        out
+    }
+
+    #[test]
+    fn round_trips_a_payload() {
+        let bytes = frame_bytes(b"{\"Health\":null}");
+        let mut r = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            FrameEvent::Frame(b"{\"Health\":null}".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), FrameEvent::Eof);
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut r = Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut r).unwrap(), FrameEvent::Eof);
+    }
+
+    #[test]
+    fn malformed_length_prefix_is_a_decode_error() {
+        // Two of the four prefix bytes, then EOF.
+        let mut r = Cursor::new(vec![0u8, 1]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.code(), "decode");
+        assert!(err.to_string().contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        // Announce 4 GiB-ish; only the 4 prefix bytes are on the wire,
+        // so if the reader tried to allocate it would also hang waiting
+        // for a payload that never comes.
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"junk");
+        let mut r = Cursor::new(bytes);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.code(), "decode");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
+        assert_eq!(err.code(), "invalid-input");
+        assert!(out.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn truncated_payload_is_a_decode_error() {
+        let mut bytes = frame_bytes(b"hello world");
+        bytes.truncate(4 + 5); // prefix + 5 of 11 payload bytes
+        let mut r = Cursor::new(bytes);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.code(), "decode");
+        let msg = err.to_string();
+        assert!(msg.contains("wanted 11"), "{msg}");
+        assert!(msg.contains("got 5"), "{msg}");
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let mut bytes = frame_bytes(b"one");
+        bytes.extend(frame_bytes(b""));
+        bytes.extend(frame_bytes(b"three"));
+        let mut r = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            FrameEvent::Frame(b"one".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), FrameEvent::Frame(Vec::new()));
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            FrameEvent::Frame(b"three".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), FrameEvent::Eof);
+    }
+}

@@ -1,0 +1,45 @@
+//! `iris-service` — the long-running regional control-plane server.
+//!
+//! The planner and controller crates answer one-shot questions; this
+//! crate keeps a region *live*: a thread-per-connection TCP server (std
+//! only — the workspace's vendored crates are offline stubs, so no
+//! async runtime) speaking length-prefixed JSON frames ([`frame`]) with
+//! a typed request API ([`api`]).
+//!
+//! The concurrency model is the crate's point:
+//!
+//! * **Reads are snapshot reads.** Every `GetPlan` / `GetTopology` /
+//!   `QueryPath` / `Health` is served from an immutable
+//!   `Arc<StateSnapshot>` published in a [`state::SnapshotCell`]; the
+//!   only synchronization on the read path is an `Arc` clone.
+//! * **Writes are single-threaded and coalesced.** `UpdateDemand` and
+//!   `ReportFiberCut` flow through a bounded queue to one mutator
+//!   thread, which gathers a short batch, keeps only the last update
+//!   per DC pair, drives the [`iris_control::Controller`], and
+//!   publishes one new snapshot (epoch + 1) per batch.
+//! * **Backpressure is typed.** A full queue answers
+//!   [`iris_errors::IrisError::Overloaded`] with a suggested
+//!   `retry_after_ms` instead of blocking the socket.
+//!
+//! [`loadgen`] is the matching seeded closed-loop client: it replays a
+//! deterministic request mix over several connections, optionally cuts
+//! a fiber mid-run, and splits its report into seed-deterministic
+//! results (byte-identical JSON across runs and thread counts) and
+//! wall-clock measurements (printed only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod server;
+pub mod state;
+
+pub use api::{Request, Response};
+pub use client::ServiceClient;
+pub use frame::{read_frame, write_frame, FrameEvent, MAX_FRAME_LEN};
+pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
+pub use server::{serve, ServiceConfig, ServiceHandle};
+pub use state::{SnapshotCell, StateSnapshot};

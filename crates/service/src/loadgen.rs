@@ -1,0 +1,647 @@
+//! Seeded closed-loop load generator.
+//!
+//! `connections` client threads each replay a deterministic, seeded mix
+//! of reads (`GetPlan`, `GetTopology`, `QueryPath`, `Health`) and writes
+//! (`UpdateDemand`); connection 0 optionally injects a `ReportFiberCut`
+//! halfway through its sequence so read tail latency can be observed
+//! *while a recovery is in flight*. Each DC pair is owned by exactly one
+//! connection (updates for a pair are totally ordered), which makes the
+//! final allocation — and everything else in [`LoadResults`] — a pure
+//! function of the seed and the region. Wall-clock measurements
+//! (latency percentiles, throughput, realized coalescing) are split into
+//! [`MeasuredStats`], which is printed but never serialized, so
+//! `results/service_load.json` is byte-identical across runs, machines
+//! and worker-thread counts.
+
+use crate::api::{AllocEntry, RecoverySummary, Request, Response};
+use crate::client::ServiceClient;
+use iris_errors::{IrisError, IrisResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Seed for the request mix.
+    pub seed: u64,
+    /// Total request budget, split evenly across connections (the split
+    /// is exact: the effective total is `requests / connections *
+    /// connections`).
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Ducts connection 0 cuts halfway through its sequence; empty for a
+    /// pure read/write run.
+    pub cuts: Vec<usize>,
+    /// `UpdateDemand` circuit counts are drawn from `1..=max_circuits`
+    /// (never 0, so no pair ever loses its path state).
+    pub max_circuits: u32,
+    /// Idle-baseline reads issued before the load phase, to calibrate
+    /// read tail latency on an unloaded server.
+    pub baseline_requests: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7117".to_owned(),
+            seed: 7,
+            requests: 2000,
+            connections: 4,
+            cuts: Vec::new(),
+            max_circuits: 4,
+            baseline_requests: 200,
+        }
+    }
+}
+
+/// One operation's share of the generated mix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Operation name ([`Request::op`]).
+    pub op: String,
+    /// Requests generated.
+    pub count: u64,
+}
+
+/// The injected cut and its (modeled, deterministic) recovery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutOutcome {
+    /// Ducts cut.
+    pub cuts: Vec<usize>,
+    /// Position in connection 0's sequence where the cut was injected.
+    pub at_request: u64,
+    /// The recovery as reported by the server. All times are modeled
+    /// (detection + re-plan + reconfiguration pipeline), so they are
+    /// identical across runs.
+    pub recovery: RecoverySummary,
+}
+
+/// The seed-deterministic portion of a load run — everything serialized
+/// to `results/service_load.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadResults {
+    /// The seed.
+    pub seed: u64,
+    /// Client connections.
+    pub connections: usize,
+    /// Requests actually issued (after even split, excluding the cut and
+    /// baseline reads).
+    pub requests: u64,
+    /// Generated mix per operation, op name ascending.
+    pub op_counts: Vec<OpCount>,
+    /// Distinct DC pairs that received at least one update.
+    pub update_pairs: usize,
+    /// Updates superseded by a later update to the same pair — the upper
+    /// bound on server-side coalescing (the realized count depends on
+    /// batch timing and is reported in [`MeasuredStats`]).
+    pub coalescable_updates: u64,
+    /// `coalescable_updates / total updates` (0 when no updates).
+    pub coalescable_ratio: f64,
+    /// The injected cut, if one was configured.
+    pub cut: Option<CutOutcome>,
+    /// The allocation after every write drained, `(a, b)` ascending —
+    /// per-pair this is exactly the last generated update (or the seed
+    /// value 1), because each pair is owned by one connection.
+    pub final_allocation: Vec<AllocEntry>,
+    /// Unexpected request failures (anything besides backpressure
+    /// retries and post-cut unreachable reads). Always 0 on a healthy
+    /// run.
+    pub errors: u64,
+}
+
+/// Per-operation wall-clock latency summary.
+#[derive(Debug, Clone)]
+pub struct OpLatency {
+    /// Operation name.
+    pub op: String,
+    /// Completed requests.
+    pub count: u64,
+    /// Median latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+}
+
+/// Wall-clock observations — printed, never serialized (they differ run
+/// to run).
+#[derive(Debug, Clone)]
+pub struct MeasuredStats {
+    /// Load-phase duration, s.
+    pub wall_s: f64,
+    /// Completed requests per second across all connections.
+    pub throughput_rps: f64,
+    /// Latency per op, op name ascending.
+    pub per_op: Vec<OpLatency>,
+    /// p99 of baseline reads on the idle server, ms.
+    pub baseline_read_p99_ms: f64,
+    /// p99 of reads completed while the recovery was in flight, ms (0 if
+    /// no cut or no overlapping reads).
+    pub recovery_read_p99_ms: f64,
+    /// Reads that overlapped the in-flight recovery.
+    pub reads_during_recovery: u64,
+    /// Wall time connection 0 waited for the recovery reply, ms.
+    pub recovery_wall_ms: f64,
+    /// Backpressure retries performed by clients.
+    pub retries: u64,
+    /// Reads answered `Unreachable` (possible only for cut sets beyond
+    /// the planner's tolerance).
+    pub unreachable_reads: u64,
+    /// `UpdateDemand`s the server actually absorbed by coalescing.
+    pub server_coalesced: u64,
+    /// Writes the server rejected with `Overloaded`.
+    pub server_overloaded: u64,
+}
+
+/// Everything a load run produces.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Seed-deterministic results (serialize these).
+    pub results: LoadResults,
+    /// Wall-clock observations (print these).
+    pub measured: MeasuredStats,
+}
+
+/// One completed request's measurement.
+struct Sample {
+    op: &'static str,
+    ms: f64,
+    read_during_recovery: bool,
+}
+
+struct WorkerOutcome {
+    samples: Vec<Sample>,
+    retries: u64,
+    unreachable: u64,
+    errors: u64,
+    recovery: Option<(RecoverySummary, f64)>,
+}
+
+/// Generate connection `conn`'s request sequence. Reads draw from every
+/// pair; updates draw only from the connection's owned pairs.
+fn generate_sequence(
+    cfg: &LoadgenConfig,
+    conn: usize,
+    per_conn: u64,
+    pairs: &[(usize, usize)],
+) -> Vec<Request> {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let owned: Vec<(usize, usize)> = pairs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % cfg.connections == conn)
+        .map(|(_, &p)| p)
+        .collect();
+    let mut seq = Vec::with_capacity(per_conn as usize);
+    for _ in 0..per_conn {
+        let roll: u32 = rng.random_range(0..100);
+        let req = if roll < 10 {
+            Request::GetPlan
+        } else if roll < 20 {
+            Request::GetTopology
+        } else if roll < 60 {
+            let (a, b) = pairs[rng.random_range(0..pairs.len())];
+            Request::QueryPath { a, b }
+        } else if roll < 95 && !owned.is_empty() {
+            let (a, b) = owned[rng.random_range(0..owned.len())];
+            let circuits = rng.random_range(1..=cfg.max_circuits.max(1));
+            Request::UpdateDemand { a, b, circuits }
+        } else {
+            Request::Health
+        };
+        seq.push(req);
+    }
+    seq
+}
+
+/// Replay one connection's sequence against the server, retrying on
+/// backpressure and timing every completed request.
+fn run_worker(
+    addr: &str,
+    seq: &[Request],
+    cut_at: Option<(u64, Vec<usize>)>,
+    recovery_in_flight: &AtomicBool,
+) -> IrisResult<WorkerOutcome> {
+    let mut client = ServiceClient::connect_retry(addr, 20, 50)?;
+    let mut out = WorkerOutcome {
+        samples: Vec::with_capacity(seq.len()),
+        retries: 0,
+        unreachable: 0,
+        errors: 0,
+        recovery: None,
+    };
+    for (i, req) in seq.iter().enumerate() {
+        if let Some((at, cuts)) = &cut_at {
+            if i as u64 == *at {
+                recovery_in_flight.store(true, Ordering::SeqCst);
+                let start = Instant::now();
+                let resp = client.call(&Request::ReportFiberCut { cuts: cuts.clone() })?;
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                recovery_in_flight.store(false, Ordering::SeqCst);
+                match resp {
+                    Response::Recovery(summary) => out.recovery = Some((summary, wall_ms)),
+                    Response::Error(e) => return Err(e),
+                    other => {
+                        return Err(IrisError::Decode {
+                            detail: format!("unexpected reply to ReportFiberCut: {other:?}"),
+                        })
+                    }
+                }
+                out.samples.push(Sample {
+                    op: "report_fiber_cut",
+                    ms: wall_ms,
+                    read_during_recovery: false,
+                });
+            }
+        }
+        let during = !req.is_write() && recovery_in_flight.load(Ordering::SeqCst);
+        let start = Instant::now();
+        loop {
+            match client.call(req)? {
+                Response::Error(IrisError::Overloaded { retry_after_ms }) => {
+                    out.retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                Response::Error(IrisError::Unreachable { .. }) => {
+                    out.unreachable += 1;
+                    break;
+                }
+                Response::Error(_) => {
+                    out.errors += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        out.samples.push(Sample {
+            op: req.op(),
+            ms: start.elapsed().as_secs_f64() * 1e3,
+            read_during_recovery: during,
+        });
+    }
+    Ok(out)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Poll `Health` until the mutator queue is empty twice in a row, so the
+/// final topology read observes every applied write.
+fn quiesce(client: &mut ServiceClient) -> IrisResult<()> {
+    let mut empty_polls = 0;
+    for _ in 0..2000 {
+        match client.call(&Request::Health)?.into_result()? {
+            Response::Health(h) if h.queue_depth == 0 => {
+                empty_polls += 1;
+                if empty_polls >= 2 {
+                    return Ok(());
+                }
+            }
+            _ => empty_polls = 0,
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    Err(IrisError::Io {
+        detail: "mutator queue never drained".to_owned(),
+    })
+}
+
+/// Run the full load: baseline reads, the seeded multi-connection mix
+/// (with the optional mid-run cut), quiesce, and the final consistency
+/// reads.
+///
+/// # Errors
+///
+/// [`IrisError::Io`] if the server is unreachable or a worker fails.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> IrisResult<LoadReport> {
+    if cfg.connections == 0 {
+        return Err(IrisError::InvalidInput {
+            detail: "loadgen needs at least one connection".to_owned(),
+        });
+    }
+    let mut control = ServiceClient::connect_retry(&cfg.addr, 40, 100)?;
+
+    // The pair universe: every reachable pair in the server's seed
+    // allocation, (a, b) ascending — deterministic for a given region.
+    let topology = match control.call(&Request::GetTopology)?.into_result()? {
+        Response::Topology(t) => t,
+        other => {
+            return Err(IrisError::Decode {
+                detail: format!("unexpected reply to GetTopology: {other:?}"),
+            })
+        }
+    };
+    let pairs: Vec<(usize, usize)> = topology.allocation.iter().map(|e| (e.a, e.b)).collect();
+    if pairs.is_empty() {
+        return Err(IrisError::InvalidInput {
+            detail: "server has no reachable DC pairs to load".to_owned(),
+        });
+    }
+
+    // Idle baseline: alternate the two read paths before any writes.
+    let mut baseline: Vec<f64> = Vec::with_capacity(cfg.baseline_requests as usize);
+    for i in 0..cfg.baseline_requests {
+        let (a, b) = pairs[(i as usize) % pairs.len()];
+        let req = if i % 2 == 0 {
+            Request::GetPlan
+        } else {
+            Request::QueryPath { a, b }
+        };
+        let start = Instant::now();
+        control.call(&req)?.into_result()?;
+        baseline.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    baseline.sort_by(f64::total_cmp);
+
+    // Generate every sequence up front: the mix (and everything derived
+    // from it) is fixed before a single load request is sent.
+    let per_conn = cfg.requests / cfg.connections as u64;
+    let sequences: Vec<Vec<Request>> = (0..cfg.connections)
+        .map(|c| generate_sequence(cfg, c, per_conn, &pairs))
+        .collect();
+
+    // Deterministic mix accounting.
+    let mut op_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut updates_per_pair: std::collections::BTreeMap<(usize, usize), u64> =
+        std::collections::BTreeMap::new();
+    for seq in &sequences {
+        for req in seq {
+            *op_counts.entry(req.op()).or_insert(0) += 1;
+            if let Request::UpdateDemand { a, b, .. } = req {
+                *updates_per_pair.entry((*a, *b)).or_insert(0) += 1;
+            }
+        }
+    }
+    let total_updates: u64 = updates_per_pair.values().sum();
+    let coalescable: u64 = updates_per_pair.values().map(|&n| n - 1).sum();
+    let cut_at = (!cfg.cuts.is_empty() && per_conn > 0).then(|| (per_conn / 2, cfg.cuts.clone()));
+    if cut_at.is_some() {
+        *op_counts.entry("report_fiber_cut").or_insert(0) += 1;
+    }
+
+    // The load phase: one thread per connection, closed loop.
+    let recovery_in_flight = Arc::new(AtomicBool::new(false));
+    let load_start = Instant::now();
+    let outcomes: Vec<IrisResult<WorkerOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sequences
+            .iter()
+            .enumerate()
+            .map(|(c, seq)| {
+                let flag = Arc::clone(&recovery_in_flight);
+                let cut = if c == 0 { cut_at.clone() } else { None };
+                let addr = cfg.addr.clone();
+                scope.spawn(move || run_worker(&addr, seq, cut, &flag))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(IrisError::Io {
+                        detail: "loadgen worker panicked".to_owned(),
+                    })
+                })
+            })
+            .collect()
+    });
+    let wall_s = load_start.elapsed().as_secs_f64();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut retries = 0u64;
+    let mut unreachable = 0u64;
+    let mut errors = 0u64;
+    let mut recovery: Option<(RecoverySummary, f64)> = None;
+    for outcome in outcomes {
+        let mut o = outcome?;
+        samples.append(&mut o.samples);
+        retries += o.retries;
+        unreachable += o.unreachable;
+        errors += o.errors;
+        if o.recovery.is_some() {
+            recovery = o.recovery;
+        }
+    }
+
+    // Drain the write queue, then read the final state.
+    quiesce(&mut control)?;
+    let final_topology = match control.call(&Request::GetTopology)?.into_result()? {
+        Response::Topology(t) => t,
+        other => {
+            return Err(IrisError::Decode {
+                detail: format!("unexpected reply to GetTopology: {other:?}"),
+            })
+        }
+    };
+    let health = match control.call(&Request::Health)?.into_result()? {
+        Response::Health(h) => h,
+        other => {
+            return Err(IrisError::Decode {
+                detail: format!("unexpected reply to Health: {other:?}"),
+            })
+        }
+    };
+
+    // Wall-clock summaries.
+    let mut per_op: Vec<OpLatency> = Vec::new();
+    for &op in op_counts.keys() {
+        let mut ms: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.op == op)
+            .map(|s| s.ms)
+            .collect();
+        ms.sort_by(f64::total_cmp);
+        per_op.push(OpLatency {
+            op: op.to_owned(),
+            count: ms.len() as u64,
+            p50_ms: percentile(&ms, 50.0),
+            p99_ms: percentile(&ms, 99.0),
+        });
+    }
+    let mut during: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.read_during_recovery)
+        .map(|s| s.ms)
+        .collect();
+    during.sort_by(f64::total_cmp);
+
+    let results = LoadResults {
+        seed: cfg.seed,
+        connections: cfg.connections,
+        requests: per_conn * cfg.connections as u64,
+        op_counts: op_counts
+            .iter()
+            .map(|(&op, &count)| OpCount {
+                op: op.to_owned(),
+                count,
+            })
+            .collect(),
+        update_pairs: updates_per_pair.len(),
+        coalescable_updates: coalescable,
+        coalescable_ratio: if total_updates == 0 {
+            0.0
+        } else {
+            coalescable as f64 / total_updates as f64
+        },
+        cut: recovery.as_ref().map(|(summary, _)| CutOutcome {
+            cuts: cfg.cuts.clone(),
+            at_request: per_conn / 2,
+            recovery: summary.clone(),
+        }),
+        final_allocation: final_topology.allocation,
+        errors,
+    };
+    let measured = MeasuredStats {
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            samples.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        per_op,
+        baseline_read_p99_ms: percentile(&baseline, 99.0),
+        recovery_read_p99_ms: percentile(&during, 99.0),
+        reads_during_recovery: during.len() as u64,
+        recovery_wall_ms: recovery.as_ref().map_or(0.0, |&(_, wall)| wall),
+        retries,
+        unreachable_reads: unreachable,
+        server_coalesced: health.coalesced,
+        server_overloaded: health.overloaded,
+    };
+    Ok(LoadReport { results, measured })
+}
+
+/// Serialize the deterministic results to `path` (creating parent
+/// directories), with a trailing newline — the artifact CI byte-diffs.
+///
+/// # Errors
+///
+/// [`IrisError::Io`] on serialization or filesystem failure.
+pub fn write_results(results: &LoadResults, path: &str) -> IrisResult<()> {
+    let mut text = serde_json::to_string_pretty(results).map_err(|e| IrisError::Io {
+        detail: format!("cannot serialize load results: {e}"),
+    })?;
+    text.push('\n');
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| IrisError::Io {
+                detail: format!("cannot create {}: {e}", parent.display()),
+            })?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| IrisError::Io {
+        detail: format!("cannot write {path}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_seed_deterministic_and_partition_updates() {
+        let cfg = LoadgenConfig {
+            requests: 400,
+            connections: 3,
+            ..LoadgenConfig::default()
+        };
+        let pairs: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let a: Vec<Vec<Request>> = (0..3)
+            .map(|c| generate_sequence(&cfg, c, 100, &pairs))
+            .collect();
+        let b: Vec<Vec<Request>> = (0..3)
+            .map(|c| generate_sequence(&cfg, c, 100, &pairs))
+            .collect();
+        assert_eq!(a, b, "same seed must generate the same mix");
+
+        // No pair is updated by two connections.
+        let mut owner: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
+        for (c, seq) in a.iter().enumerate() {
+            for req in seq {
+                if let Request::UpdateDemand { a, b, circuits } = req {
+                    assert!(*circuits >= 1, "updates never drop a pair to 0 circuits");
+                    let prev = owner.insert((*a, *b), c);
+                    assert!(
+                        prev.is_none() || prev == Some(c),
+                        "pair ({a}, {b}) updated by connections {prev:?} and {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_generate_different_mixes() {
+        let pairs = vec![(0, 1), (0, 2), (1, 2)];
+        let a = generate_sequence(
+            &LoadgenConfig {
+                seed: 1,
+                ..LoadgenConfig::default()
+            },
+            0,
+            200,
+            &pairs,
+        );
+        let b = generate_sequence(
+            &LoadgenConfig {
+                seed: 2,
+                ..LoadgenConfig::default()
+            },
+            0,
+            200,
+            &pairs,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[5.0], 50.0), 5.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        // Nearest-rank on 100 samples: p50 rounds to index 50 (value 51).
+        assert_eq!(percentile(&v, 50.0), 51.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+    }
+
+    #[test]
+    fn results_serialize_deterministically() {
+        let results = LoadResults {
+            seed: 7,
+            connections: 2,
+            requests: 10,
+            op_counts: vec![OpCount {
+                op: "get_plan".into(),
+                count: 10,
+            }],
+            update_pairs: 0,
+            coalescable_updates: 0,
+            coalescable_ratio: 0.0,
+            cut: None,
+            final_allocation: vec![AllocEntry {
+                a: 0,
+                b: 1,
+                circuits: 1,
+            }],
+            errors: 0,
+        };
+        let a = serde_json::to_string_pretty(&results).unwrap();
+        let b = serde_json::to_string_pretty(&results).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"seed\": 7"), "{a}");
+    }
+}

@@ -1,0 +1,592 @@
+//! The thread-per-connection TCP server.
+//!
+//! One listener thread accepts connections and hands each to its own
+//! handler thread. Read requests are answered from the epoch-published
+//! [`SnapshotCell`] without ever touching the write path; write requests
+//! go through a bounded queue to a single mutator thread that owns the
+//! [`Controller`], region and provisioning. The mutator gathers a short
+//! batch (the coalesce window), keeps only the *last* `UpdateDemand` per
+//! DC pair, applies the batch, and publishes one new snapshot per batch.
+//! When the queue is full the connection thread answers immediately with
+//! [`IrisError::Overloaded`] instead of blocking the socket.
+
+use crate::api::{
+    AllocEntry, HealthInfo, PathInfo, PlanSummary, RecoverySummary, Request, Response,
+    TopologySummary,
+};
+use crate::frame::{read_frame, write_frame, FrameEvent};
+use crate::state::{PairPath, SnapshotCell, StateSnapshot};
+use iris_control::Controller;
+use iris_errors::{IrisError, IrisResult};
+use iris_fibermap::Region;
+use iris_netgraph::EdgeId;
+use iris_planner::{plan_iris, DesignGoals, Provisioning, ScenarioEngine};
+use iris_telemetry::labeled;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address. Port 0 picks an ephemeral port (see
+    /// [`ServiceHandle::local_addr`]).
+    pub addr: String,
+    /// Planner cut tolerance `k` the region is provisioned for.
+    pub cuts: usize,
+    /// Bounded mutator-queue capacity; a full queue answers writes with
+    /// [`IrisError::Overloaded`].
+    pub queue_capacity: usize,
+    /// How long the mutator waits after the first write of a batch to
+    /// gather (and coalesce) more, ms.
+    pub coalesce_window_ms: u64,
+    /// Per-connection socket read timeout, ms. Bounds how long a handler
+    /// thread can go without noticing a shutdown.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7117".to_owned(),
+            cuts: 1,
+            queue_capacity: 64,
+            coalesce_window_ms: 2,
+            read_timeout_ms: 50,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The backoff suggested to clients hitting a full queue: long
+    /// enough for at least one batch to drain.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> u64 {
+        10 + 2 * self.coalesce_window_ms
+    }
+}
+
+/// One queued write.
+enum WriteOp {
+    Update {
+        a: usize,
+        b: usize,
+        circuits: u32,
+    },
+    Cut {
+        cuts: Vec<EdgeId>,
+        reply: mpsc::Sender<IrisResult<RecoverySummary>>,
+    },
+}
+
+/// State shared by the listener, handler threads and the mutator.
+struct Shared {
+    cell: SnapshotCell,
+    /// Static plan summary; `epoch` is patched per read.
+    plan: PlanSummary,
+    huts: usize,
+    dc_count: usize,
+    edge_count: usize,
+    retry_after_ms: u64,
+    read_timeout_ms: u64,
+    shutdown: AtomicBool,
+    queue_depth: AtomicUsize,
+    overloaded: AtomicU64,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServiceHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    mutator: Option<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound listen address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, stop the mutator, and join both threads. Handler
+    /// threads exit on their next read timeout or client disconnect.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Ok(mut s) = TcpStream::connect(self.local_addr) {
+            let _ = s.flush();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.mutator.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Plan the region, seed the controller with one circuit per reachable
+/// DC pair, bind the listener and start serving.
+///
+/// # Errors
+///
+/// [`IrisError::Io`] if the address cannot be bound.
+pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle> {
+    let goals = DesignGoals::with_cuts(config.cuts);
+    let plan = plan_iris(&region, &goals);
+    let controller = Controller::for_region(&region, &goals);
+
+    // Seed: one circuit per reachable pair, so every pair has live state
+    // to read and update from the first request on.
+    let initial: iris_control::controller::Allocation = controller
+        .current_paths()
+        .keys()
+        .map(|&pair| (pair, 1u32))
+        .collect();
+    controller.reconfigure(&initial);
+
+    let nominal = iris_planner::topology::nominal_paths(&region, &goals);
+    let boot = StateSnapshot {
+        epoch: 0,
+        allocation: controller.allocation(),
+        paths: nominal
+            .iter()
+            .map(|p| {
+                (
+                    (p.a, p.b),
+                    PairPath {
+                        nodes: p.nodes.clone(),
+                        edges: p.edges.clone(),
+                        length_km: p.length_km,
+                    },
+                )
+            })
+            .collect(),
+        active_cuts: Vec::new(),
+        quarantined: controller.quarantined(),
+        writes_applied: 0,
+        coalesced: 0,
+        last_recovery: None,
+    };
+
+    let plan_summary = PlanSummary {
+        epoch: 0,
+        dcs: region.dcs.len(),
+        ducts: region.map.duct_count(),
+        used_ducts: plan.provisioning.used_edges().len(),
+        cut_tolerance: goals.max_cuts,
+        scenarios_examined: plan.provisioning.scenarios_examined,
+        dc_transceivers: plan.dc_transceivers,
+        fiber_pair_spans: plan.total_fiber_pair_spans(),
+        oss_ports: plan.oss_ports(),
+        feasible: plan.is_feasible(),
+    };
+
+    let listener = TcpListener::bind(&config.addr).map_err(|e| IrisError::Io {
+        detail: format!("cannot bind {}: {e}", config.addr),
+    })?;
+    let local_addr = listener.local_addr().map_err(|e| IrisError::Io {
+        detail: format!("cannot resolve listen address: {e}"),
+    })?;
+
+    let shared = Arc::new(Shared {
+        cell: SnapshotCell::new(boot),
+        plan: plan_summary,
+        huts: region.map.huts().len(),
+        dc_count: region.dcs.len(),
+        edge_count: region.map.duct_count(),
+        retry_after_ms: config.retry_after_ms(),
+        read_timeout_ms: config.read_timeout_ms,
+        shutdown: AtomicBool::new(false),
+        queue_depth: AtomicUsize::new(0),
+        overloaded: AtomicU64::new(0),
+    });
+
+    let (tx, rx) = mpsc::sync_channel::<WriteOp>(config.queue_capacity.max(1));
+
+    let mutator = {
+        let shared = Arc::clone(&shared);
+        let provisioning = plan.provisioning.clone();
+        let window = Duration::from_millis(config.coalesce_window_ms);
+        std::thread::spawn(move || {
+            mutator_loop(
+                &region,
+                &goals,
+                &provisioning,
+                &controller,
+                &rx,
+                &shared,
+                window,
+            );
+        })
+    };
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || handle_connection(&stream, &shared, &tx));
+            }
+        })
+    };
+
+    Ok(ServiceHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        mutator: Some(mutator),
+    })
+}
+
+/// The single writer: pop a write, gather the coalesce window, apply the
+/// batch through the controller, publish one new snapshot.
+fn mutator_loop(
+    region: &Region,
+    goals: &DesignGoals,
+    provisioning: &Provisioning,
+    controller: &Controller,
+    rx: &Receiver<WriteOp>,
+    shared: &Shared,
+    window: Duration,
+) {
+    let telemetry = iris_telemetry::global();
+    let mut engine = ScenarioEngine::new(region, goals);
+    let mut active_cuts: Vec<EdgeId> = Vec::new();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(op) => op,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        if !window.is_zero() {
+            std::thread::sleep(window);
+        }
+        while let Ok(op) = rx.try_recv() {
+            batch.push(op);
+        }
+        shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
+        telemetry
+            .gauge("iris_service_queue_depth")
+            .set(shared.queue_depth.load(Ordering::SeqCst) as i64);
+
+        // Coalesce: only the last UpdateDemand per pair survives.
+        let mut updates: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        let mut cuts_ops: Vec<(Vec<EdgeId>, mpsc::Sender<IrisResult<RecoverySummary>>)> =
+            Vec::new();
+        let mut coalesced_now = 0u64;
+        for op in batch {
+            match op {
+                WriteOp::Update { a, b, circuits } => {
+                    if updates.insert((a, b), circuits).is_some() {
+                        coalesced_now += 1;
+                    }
+                }
+                WriteOp::Cut { cuts, reply } => cuts_ops.push((cuts, reply)),
+            }
+        }
+
+        let prev = shared.cell.load();
+        let mut writes_applied_now = 0u64;
+        let mut last_recovery = prev.last_recovery.clone();
+
+        if !updates.is_empty() {
+            let mut target = controller.allocation();
+            for (&pair, &circuits) in &updates {
+                if circuits == 0 {
+                    target.remove(&pair);
+                } else {
+                    target.insert(pair, circuits);
+                }
+            }
+            let report = controller.reconfigure(&target);
+            telemetry
+                .histogram("iris_service_reconfig_ms")
+                .record(report.total_ms);
+            writes_applied_now += updates.len() as u64;
+        }
+
+        for (cuts, reply) in cuts_ops {
+            let mut merged = active_cuts.clone();
+            merged.extend(cuts);
+            merged.sort_unstable();
+            merged.dedup();
+            match controller.handle_fiber_cut(region, goals, provisioning, &merged) {
+                Ok(report) => {
+                    active_cuts = merged;
+                    writes_applied_now += 1;
+                    let summary = RecoverySummary {
+                        cuts: report.cuts.clone(),
+                        within_tolerance: report.within_tolerance,
+                        fully_recovered: report.fully_recovered(),
+                        shed_pairs: report.shed_pairs.len(),
+                        detection_ms: report.detection_ms,
+                        replan_ms: report.replan_ms,
+                        reconfig_ms: report.reconfig.total_ms,
+                        recovery_ms: report.recovery_ms,
+                    };
+                    last_recovery = Some(summary.clone());
+                    let _ = reply.send(Ok(summary));
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                }
+            }
+        }
+
+        // Build the next snapshot off-lock, then publish with one swap.
+        let mut paths = BTreeMap::new();
+        engine.for_scenarios(std::slice::from_ref(&active_cuts), |_, view| {
+            for p in view.paths() {
+                paths.insert(
+                    (p.a, p.b),
+                    PairPath {
+                        nodes: p.nodes.clone(),
+                        edges: p.edges.clone(),
+                        length_km: p.length_km,
+                    },
+                );
+            }
+        });
+        let next = StateSnapshot {
+            epoch: prev.epoch + 1,
+            allocation: controller.allocation(),
+            paths,
+            active_cuts: active_cuts.clone(),
+            quarantined: controller.quarantined(),
+            writes_applied: prev.writes_applied + writes_applied_now,
+            coalesced: prev.coalesced + coalesced_now,
+            last_recovery,
+        };
+        telemetry.gauge("iris_service_epoch").set(next.epoch as i64);
+        telemetry
+            .counter("iris_service_writes_applied_total")
+            .add(writes_applied_now);
+        telemetry
+            .counter("iris_service_coalesced_total")
+            .add(coalesced_now);
+        shared.cell.store(Arc::new(next));
+    }
+}
+
+/// Serve one connection until EOF, a framing error, or shutdown.
+fn handle_connection(stream: &TcpStream, shared: &Shared, tx: &SyncSender<WriteOp>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.read_timeout_ms.max(1))));
+    // Replies are small frames on a request/reply socket: without
+    // NODELAY they sit out Nagle + delayed-ACK (~40 ms per call).
+    let _ = stream.set_nodelay(true);
+    let telemetry = iris_telemetry::global();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut &*stream) {
+            Ok(FrameEvent::Idle) => continue,
+            Ok(FrameEvent::Eof) => return,
+            Ok(FrameEvent::Frame(payload)) => {
+                let start = Instant::now();
+                let (op, response) = match crate::api::decode_request(&payload) {
+                    Ok(req) => {
+                        let op = req.op();
+                        (op, handle_request(req, shared, tx))
+                    }
+                    Err(e) => ("invalid", Response::Error(e)),
+                };
+                telemetry
+                    .counter(&labeled("iris_service_requests_total", "op", op))
+                    .inc();
+                telemetry
+                    .histogram(&labeled("iris_service_latency_ms", "op", op))
+                    .record(start.elapsed().as_secs_f64() * 1e3);
+                if send_response(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                // The stream state is unknown after a framing error:
+                // answer best-effort, then close.
+                let _ = send_response(stream, &Response::Error(e));
+                return;
+            }
+        }
+    }
+}
+
+fn send_response(stream: &TcpStream, response: &Response) -> IrisResult<()> {
+    let bytes = crate::api::encode_response(response)?;
+    write_frame(&mut &*stream, &bytes)
+}
+
+/// Dispatch one decoded request.
+fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Response {
+    match req {
+        Request::GetPlan => {
+            let snap = shared.cell.load();
+            let mut plan = shared.plan.clone();
+            plan.epoch = snap.epoch;
+            Response::Plan(plan)
+        }
+        Request::GetTopology => {
+            let snap = shared.cell.load();
+            Response::Topology(TopologySummary {
+                epoch: snap.epoch,
+                dcs: shared.dc_count,
+                huts: shared.huts,
+                ducts: shared.edge_count,
+                active_cuts: snap.active_cuts.clone(),
+                allocation: snap
+                    .allocation
+                    .iter()
+                    .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
+                    .collect(),
+                quarantined: snap.quarantined.clone(),
+            })
+        }
+        Request::QueryPath { a, b } => match normalize_pair(a, b, shared.dc_count) {
+            Err(e) => Response::Error(e),
+            Ok((a, b)) => {
+                let snap = shared.cell.load();
+                match snap.paths.get(&(a, b)) {
+                    Some(p) => Response::Path(PathInfo {
+                        a,
+                        b,
+                        nodes: p.nodes.clone(),
+                        edges: p.edges.clone(),
+                        length_km: p.length_km,
+                        rtt_ms: iris_geo::rtt_ms(p.length_km),
+                        circuits: snap.allocation.get(&(a, b)).copied().unwrap_or(0),
+                        epoch: snap.epoch,
+                    }),
+                    None => Response::Error(IrisError::Unreachable {
+                        what: format!("DC {a} -> DC {b} with cuts {:?}", snap.active_cuts),
+                    }),
+                }
+            }
+        },
+        Request::UpdateDemand { a, b, circuits } => match normalize_pair(a, b, shared.dc_count) {
+            Err(e) => Response::Error(e),
+            Ok((a, b)) => enqueue(shared, tx, WriteOp::Update { a, b, circuits })
+                .map_or_else(Response::Error, |depth| Response::DemandAccepted {
+                    queue_depth: depth,
+                }),
+        },
+        Request::ReportFiberCut { cuts } => {
+            if cuts.is_empty() {
+                return Response::Error(IrisError::InvalidInput {
+                    detail: "ReportFiberCut needs at least one duct id".to_owned(),
+                });
+            }
+            if let Some(&bad) = cuts.iter().find(|&&c| c >= shared.edge_count) {
+                return Response::Error(IrisError::InvalidInput {
+                    detail: format!(
+                        "cut duct {bad} out of range (region has {} ducts)",
+                        shared.edge_count
+                    ),
+                });
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if let Err(e) = enqueue(
+                shared,
+                tx,
+                WriteOp::Cut {
+                    cuts,
+                    reply: reply_tx,
+                },
+            ) {
+                return Response::Error(e);
+            }
+            match reply_rx.recv() {
+                Ok(Ok(summary)) => Response::Recovery(summary),
+                Ok(Err(e)) => Response::Error(e),
+                Err(_) => Response::Error(IrisError::Io {
+                    detail: "mutator exited before recovery completed".to_owned(),
+                }),
+            }
+        }
+        Request::Health => {
+            let snap = shared.cell.load();
+            Response::Health(HealthInfo {
+                epoch: snap.epoch,
+                queue_depth: shared.queue_depth.load(Ordering::SeqCst),
+                writes_applied: snap.writes_applied,
+                coalesced: snap.coalesced,
+                overloaded: shared.overloaded.load(Ordering::SeqCst),
+                active_cuts: snap.active_cuts.clone(),
+                quarantined: snap.quarantined.len(),
+                last_recovery: snap.last_recovery.clone(),
+            })
+        }
+        Request::MetricsSnapshot => Response::Metrics {
+            prometheus: iris_telemetry::global().snapshot().to_prometheus_text(),
+        },
+    }
+}
+
+/// Try to enqueue a write; a full queue is typed backpressure.
+fn enqueue(shared: &Shared, tx: &SyncSender<WriteOp>, op: WriteOp) -> IrisResult<usize> {
+    match tx.try_send(op) {
+        Ok(()) => {
+            let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+            iris_telemetry::global()
+                .gauge("iris_service_queue_depth")
+                .set(depth as i64);
+            Ok(depth)
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.overloaded.fetch_add(1, Ordering::SeqCst);
+            iris_telemetry::global()
+                .counter("iris_service_overloaded_total")
+                .inc();
+            Err(IrisError::Overloaded {
+                retry_after_ms: shared.retry_after_ms,
+            })
+        }
+        Err(TrySendError::Disconnected(_)) => Err(IrisError::Io {
+            detail: "mutator queue is closed".to_owned(),
+        }),
+    }
+}
+
+/// Validate and order a DC pair as `(min, max)`.
+fn normalize_pair(a: usize, b: usize, dc_count: usize) -> IrisResult<(usize, usize)> {
+    if a == b {
+        return Err(IrisError::InvalidInput {
+            detail: format!("pair endpoints must differ (got {a}, {b})"),
+        });
+    }
+    let hi = a.max(b);
+    if hi >= dc_count {
+        return Err(IrisError::InvalidInput {
+            detail: format!("DC {hi} out of range (region has {dc_count} DCs)"),
+        });
+    }
+    Ok((a.min(b), a.max(b)))
+}

@@ -1,0 +1,117 @@
+//! Epoch-published immutable state shared between reader connections and
+//! the single mutator thread.
+//!
+//! Readers never contend with writes: every read request is served from
+//! one [`Arc<StateSnapshot>`] obtained by [`SnapshotCell::load`], whose
+//! critical section is a single `Arc` clone. The mutator builds the next
+//! snapshot entirely off-lock — applying a whole coalesced write batch —
+//! and publishes it with one pointer swap in [`SnapshotCell::store`].
+//! The epoch increments on every publish, so clients can observe write
+//! batches becoming visible.
+
+use crate::api::RecoverySummary;
+use iris_netgraph::EdgeId;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The surviving route one DC pair's circuit rides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairPath {
+    /// Site sequence.
+    pub nodes: Vec<usize>,
+    /// Duct sequence.
+    pub edges: Vec<EdgeId>,
+    /// Path length, km.
+    pub length_km: f64,
+}
+
+/// One immutable, internally consistent view of the control plane.
+#[derive(Debug, Clone, Default)]
+pub struct StateSnapshot {
+    /// Publish count; 0 is the boot snapshot.
+    pub epoch: u64,
+    /// Circuits per DC pair, `(a, b)` ascending with `a < b`.
+    pub allocation: BTreeMap<(usize, usize), u32>,
+    /// Current route per reachable DC pair.
+    pub paths: BTreeMap<(usize, usize), PairPath>,
+    /// Ducts failed so far (cumulative), ascending.
+    pub active_cuts: Vec<EdgeId>,
+    /// Quarantined sites.
+    pub quarantined: Vec<usize>,
+    /// Write operations applied (post-coalescing) up to this epoch.
+    pub writes_applied: u64,
+    /// Redundant `UpdateDemand`s absorbed by coalescing up to this epoch.
+    pub coalesced: u64,
+    /// The most recent completed fiber-cut recovery.
+    pub last_recovery: Option<RecoverySummary>,
+}
+
+/// The publication point: readers `load`, the mutator `store`.
+///
+/// A true RCU cell needs atomics over raw pointers; the workspace
+/// forbids `unsafe`, so this wraps `RwLock<Arc<_>>` and keeps both
+/// critical sections to a refcount bump / pointer swap. Snapshot
+/// construction — the expensive part — happens entirely outside the
+/// lock, so readers block only for the swap itself.
+#[derive(Debug, Default)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<StateSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell publishing `initial` at epoch 0.
+    #[must_use]
+    pub fn new(initial: StateSnapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. Cheap: one `Arc` clone under a read lock.
+    #[must_use]
+    pub fn load(&self) -> Arc<StateSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Publish `next` as the current snapshot.
+    pub fn store(&self, next: Arc<StateSnapshot>) {
+        *self.current.write() = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_published_snapshot() {
+        let cell = SnapshotCell::new(StateSnapshot {
+            epoch: 0,
+            ..StateSnapshot::default()
+        });
+        assert_eq!(cell.load().epoch, 0);
+
+        let mut next = (*cell.load()).clone();
+        next.epoch = 1;
+        next.allocation.insert((0, 1), 2);
+        cell.store(Arc::new(next));
+
+        let snap = cell.load();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.allocation.get(&(0, 1)), Some(&2));
+    }
+
+    #[test]
+    fn old_readers_keep_their_snapshot_across_publishes() {
+        let cell = SnapshotCell::new(StateSnapshot::default());
+        let held = cell.load();
+        let mut next = (*held).clone();
+        next.epoch = 5;
+        cell.store(Arc::new(next));
+        // The reader that loaded before the swap still sees epoch 0; new
+        // loads see epoch 5.
+        assert_eq!(held.epoch, 0);
+        assert_eq!(cell.load().epoch, 5);
+    }
+}

@@ -1,0 +1,401 @@
+//! End-to-end tests: a real server on a loopback socket, driven through
+//! the framed TCP protocol.
+
+use iris_errors::IrisError;
+use iris_fibermap::{synth, MetroParams, PlacementParams, Region};
+use iris_service::api::{decode_request, encode_request, Request, Response};
+use iris_service::frame::{read_frame, write_frame, FrameEvent};
+use iris_service::{serve, ServiceClient, ServiceConfig};
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
+
+fn region(seed: u64, n_dcs: usize) -> Region {
+    synth::place_dcs(
+        synth::generate_metro(&MetroParams {
+            seed,
+            ..MetroParams::default()
+        }),
+        &PlacementParams {
+            seed: seed.wrapping_add(17),
+            n_dcs,
+            ..PlacementParams::default()
+        },
+    )
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cuts: 1,
+        coalesce_window_ms: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+fn client_for(handle: &iris_service::ServiceHandle) -> ServiceClient {
+    ServiceClient::connect_retry(&handle.local_addr().to_string(), 20, 25).expect("connect")
+}
+
+/// Wait until the server has applied at least `writes` write operations.
+fn wait_for_writes(client: &mut ServiceClient, writes: u64) -> iris_service::api::HealthInfo {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Response::Health(h) = client.call(&Request::Health).expect("health") {
+            if h.writes_applied >= writes && h.queue_depth == 0 {
+                return h;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never applied {writes} writes"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn serves_plan_topology_and_paths() {
+    let mut handle = serve(region(11, 4), &test_config()).expect("serve");
+    let mut client = client_for(&handle);
+
+    let plan = match client.call(&Request::GetPlan).unwrap() {
+        Response::Plan(p) => p,
+        other => panic!("expected Plan, got {other:?}"),
+    };
+    assert_eq!(plan.dcs, 4);
+    assert_eq!(plan.cut_tolerance, 1);
+    assert!(plan.scenarios_examined > 0);
+    assert!(plan.used_ducts > 0);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    assert_eq!(topo.epoch, 0, "no writes yet");
+    assert!(topo.active_cuts.is_empty());
+    assert!(!topo.allocation.is_empty(), "seed allocation exists");
+    assert!(topo.allocation.iter().all(|e| e.circuits == 1));
+
+    let first = (topo.allocation[0].a, topo.allocation[0].b);
+    let path = match client
+        .call(&Request::QueryPath {
+            a: first.0,
+            b: first.1,
+        })
+        .unwrap()
+    {
+        Response::Path(p) => p,
+        other => panic!("expected Path, got {other:?}"),
+    };
+    assert!(!path.edges.is_empty());
+    assert_eq!(path.nodes.len(), path.edges.len() + 1);
+    assert!(path.length_km > 0.0);
+    assert!(path.rtt_ms > 0.0);
+    assert_eq!(path.circuits, 1);
+
+    // Invalid requests come back as typed errors, on a live connection.
+    match client.call(&Request::QueryPath { a: 2, b: 2 }).unwrap() {
+        Response::Error(e) => assert_eq!(e.code(), "invalid-input"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client
+        .call(&Request::UpdateDemand {
+            a: 0,
+            b: 99,
+            circuits: 1,
+        })
+        .unwrap()
+    {
+        Response::Error(e) => assert_eq!(e.code(), "invalid-input"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    match client
+        .call(&Request::ReportFiberCut { cuts: vec![9999] })
+        .unwrap()
+    {
+        Response::Error(e) => assert_eq!(e.code(), "invalid-input"),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn updates_apply_and_advance_the_epoch() {
+    let mut handle = serve(region(12, 4), &test_config()).expect("serve");
+    let mut client = client_for(&handle);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+
+    match client
+        .call(&Request::UpdateDemand { a, b, circuits: 3 })
+        .unwrap()
+    {
+        Response::DemandAccepted { .. } => {}
+        other => panic!("expected DemandAccepted, got {other:?}"),
+    }
+    let health = wait_for_writes(&mut client, 1);
+    assert!(health.epoch >= 1, "write batches bump the epoch");
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let entry = topo
+        .allocation
+        .iter()
+        .find(|e| (e.a, e.b) == (a, b))
+        .expect("updated pair present");
+    assert_eq!(entry.circuits, 3);
+
+    handle.shutdown();
+}
+
+#[test]
+fn fiber_cut_recovers_and_reroutes_queryable_paths() {
+    let mut handle = serve(region(13, 5), &test_config()).expect("serve");
+    let mut client = client_for(&handle);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+    let before = match client.call(&Request::QueryPath { a, b }).unwrap() {
+        Response::Path(p) => p,
+        other => panic!("expected Path, got {other:?}"),
+    };
+    let cut = before.edges[0];
+
+    let recovery = match client
+        .call(&Request::ReportFiberCut { cuts: vec![cut] })
+        .unwrap()
+    {
+        Response::Recovery(r) => r,
+        other => panic!("expected Recovery, got {other:?}"),
+    };
+    assert_eq!(recovery.cuts, vec![cut]);
+    assert!(recovery.within_tolerance, "single cut, k = 1");
+    assert!(recovery.fully_recovered, "k-tolerant plan sheds nothing");
+    assert_eq!(recovery.shed_pairs, 0);
+    assert!(
+        (recovery.recovery_ms
+            - (recovery.detection_ms + recovery.replan_ms + recovery.reconfig_ms))
+            .abs()
+            < 1e-9
+    );
+
+    // The published state reflects the cut: the pair still resolves, on
+    // a path avoiding the failed duct.
+    let health = wait_for_writes(&mut client, 1);
+    assert_eq!(health.active_cuts, vec![cut]);
+    assert_eq!(
+        health.last_recovery.as_ref().map(|r| r.fully_recovered),
+        Some(true)
+    );
+    let after = match client.call(&Request::QueryPath { a, b }).unwrap() {
+        Response::Path(p) => p,
+        other => panic!("expected Path, got {other:?}"),
+    };
+    assert!(
+        !after.edges.contains(&cut),
+        "rerouted path must avoid the cut duct"
+    );
+
+    let metrics = match client.call(&Request::MetricsSnapshot).unwrap() {
+        Response::Metrics { prometheus } => prometheus,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    assert!(metrics.contains("iris_service_requests_total"), "{metrics}");
+    assert!(
+        metrics.contains("iris_control_reconfigs_total"),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_typed_backpressure() {
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        queue_capacity: 1,
+        // A long window keeps the mutator busy gathering its first batch
+        // while the test floods the one-slot queue.
+        coalesce_window_ms: 400,
+        ..ServiceConfig::default()
+    };
+    let mut handle = serve(region(14, 4), &config).expect("serve");
+    let mut client = client_for(&handle);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+
+    let mut overloaded = 0;
+    let mut suggested = 0;
+    for circuits in 1..=8u32 {
+        match client
+            .call(&Request::UpdateDemand { a, b, circuits })
+            .unwrap()
+        {
+            Response::DemandAccepted { .. } => {}
+            Response::Error(IrisError::Overloaded { retry_after_ms }) => {
+                overloaded += 1;
+                suggested = retry_after_ms;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(
+        overloaded >= 1,
+        "a one-slot queue under a burst of 8 must push back"
+    );
+    assert!(suggested > 0, "backpressure suggests a retry delay");
+
+    // Backed-off retries eventually get through.
+    let resp = client
+        .call_retrying(&Request::UpdateDemand { a, b, circuits: 2 }, 50)
+        .expect("retries eventually succeed");
+    assert!(matches!(resp, Response::DemandAccepted { .. }));
+
+    handle.shutdown();
+}
+
+#[test]
+fn redundant_updates_coalesce_to_the_last_value() {
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        coalesce_window_ms: 300,
+        ..ServiceConfig::default()
+    };
+    let mut handle = serve(region(15, 4), &config).expect("serve");
+    let mut client = client_for(&handle);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+
+    for circuits in [2u32, 3, 4, 5] {
+        match client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 20)
+            .unwrap()
+        {
+            Response::DemandAccepted { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // Every enqueued update is either applied or coalesced away —
+    // whatever the batch boundaries were.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let health = loop {
+        if let Response::Health(h) = client.call(&Request::Health).unwrap() {
+            if h.queue_depth == 0 && h.writes_applied + h.coalesced >= 4 {
+                break h;
+            }
+        }
+        assert!(Instant::now() < deadline, "updates never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(health.writes_applied + health.coalesced, 4);
+    assert!(
+        health.coalesced >= 1,
+        "a 300 ms window over a burst of 4 same-pair updates must coalesce"
+    );
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let entry = topo
+        .allocation
+        .iter()
+        .find(|e| (e.a, e.b) == (a, b))
+        .unwrap();
+    assert_eq!(entry.circuits, 5, "the last update wins");
+
+    handle.shutdown();
+}
+
+#[test]
+fn reads_are_served_from_snapshots_while_the_mutator_is_busy() {
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        coalesce_window_ms: 400,
+        ..ServiceConfig::default()
+    };
+    let mut handle = serve(region(16, 4), &config).expect("serve");
+    let mut writer = client_for(&handle);
+    let mut reader = client_for(&handle);
+
+    let topo = match writer.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+    let epoch_before = topo.epoch;
+
+    // Park the mutator in its 400 ms coalesce window...
+    writer
+        .call(&Request::UpdateDemand { a, b, circuits: 2 })
+        .unwrap();
+    // ...and observe that reads neither block on it nor see its effects.
+    let start = Instant::now();
+    for _ in 0..20 {
+        match reader.call(&Request::QueryPath { a, b }).unwrap() {
+            Response::Path(p) => assert!(p.epoch <= epoch_before + 1),
+            other => panic!("expected Path, got {other:?}"),
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "20 snapshot reads must not wait out the {:?} write window (took {elapsed:?})",
+        Duration::from_millis(400),
+    );
+
+    handle.shutdown();
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_requests_survive_the_full_frame_codec(
+        selector in 0usize..7,
+        a in 0usize..64,
+        b in 0usize..64,
+        circuits in 0u32..512,
+        cuts in proptest::collection::vec(0usize..256, 0..6),
+    ) {
+        let request = match selector {
+            0 => Request::GetPlan,
+            1 => Request::GetTopology,
+            2 => Request::QueryPath { a, b },
+            3 => Request::UpdateDemand { a, b, circuits },
+            4 => Request::ReportFiberCut { cuts },
+            5 => Request::Health,
+            _ => Request::MetricsSnapshot,
+        };
+        // Encode to JSON, frame it, read the frame back, decode: the
+        // whole wire path a real request takes.
+        let payload = encode_request(&request).expect("encode");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("frame");
+        let mut cursor = std::io::Cursor::new(wire);
+        let event = read_frame(&mut cursor).expect("read");
+        let bytes = match event {
+            FrameEvent::Frame(bytes) => bytes,
+            other => panic!("expected a frame, got {other:?}"),
+        };
+        prop_assert_eq!(decode_request(&bytes).expect("decode"), request);
+        prop_assert_eq!(read_frame(&mut cursor).expect("eof"), FrameEvent::Eof);
+    }
+}

@@ -287,6 +287,40 @@ impl Snapshot {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
+
+    /// Render the snapshot for a file at `path`: Prometheus text
+    /// exposition for `.prom`/`.txt` paths, pretty JSON (with a trailing
+    /// newline) otherwise. This is the single dispatch point shared by
+    /// `--telemetry` on every CLI subcommand, the bench sidecars, and
+    /// the service/loadgen exports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the snapshot cannot be serialized.
+    pub fn render_for_path(&self, path: &str) -> Result<String, String> {
+        if path.ends_with(".prom") || path.ends_with(".txt") {
+            Ok(self.to_prometheus_text())
+        } else {
+            serde_json::to_string_pretty(&self.to_json())
+                .map(|mut s| {
+                    s.push('\n');
+                    s
+                })
+                .map_err(|e| format!("cannot serialize snapshot: {e}"))
+        }
+    }
+
+    /// Write the snapshot to `path` via [`Snapshot::render_for_path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path on serialization or I/O failure.
+    pub fn write_to_file(&self, path: &str) -> Result<(), String> {
+        let text = self
+            .render_for_path(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
 }
 
 /// Strip a folded `{label="…"}` suffix, if any.
@@ -327,6 +361,20 @@ mod tests {
         let r = Registry::new();
         r.gauge("x");
         r.counter("x");
+    }
+
+    #[test]
+    fn render_for_path_dispatches_on_extension() {
+        let r = Registry::new();
+        r.counter("iris_test_total").add(3);
+        let snap = r.snapshot();
+        let prom = snap.render_for_path("metrics.prom").unwrap();
+        assert!(prom.contains("# TYPE iris_test_total counter"), "{prom}");
+        let txt = snap.render_for_path("metrics.txt").unwrap();
+        assert_eq!(prom, txt);
+        let json = snap.render_for_path("metrics.json").unwrap();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.ends_with('\n'), "JSON export ends with a newline");
     }
 
     #[test]
