@@ -8,6 +8,7 @@
 //! testing.
 
 pub mod chaos;
+pub mod crash;
 
 use iris_fibermap::synth::{generate_metro, place_dcs};
 use iris_fibermap::{MetroParams, PlacementParams, Region};

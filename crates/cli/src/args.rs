@@ -11,18 +11,35 @@ pub struct Options {
 impl Options {
     /// Parse a flat list of `--key value` pairs.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
+        Self::parse_with_flags(argv, &[])
+    }
+
+    /// Parse `--key value` pairs where the names in `flags` are boolean
+    /// switches: they take no value and read back as `true` via
+    /// [`Options::flag`].
+    pub fn parse_with_flags(argv: &[String], flags: &[&str]) -> Result<Self, String> {
         let mut values = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --option, found '{key}'"));
             };
+            if flags.contains(&name) {
+                values.insert(name.to_owned(), "true".to_owned());
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(format!("--{name} requires a value"));
             };
             values.insert(name.to_owned(), value.clone());
         }
         Ok(Self { values })
+    }
+
+    /// Whether a boolean switch (see [`Options::parse_with_flags`]) was
+    /// given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.values.get(name).map(String::as_str) == Some("true")
     }
 
     /// A required string option.
@@ -118,5 +135,19 @@ mod tests {
     fn missing_required_is_an_error() {
         let o = Options::parse(&[]).unwrap();
         assert!(o.required("region").is_err());
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let o = Options::parse_with_flags(&strs(&["--crash", "--seed", "9"]), &["crash"]).unwrap();
+        assert!(o.flag("crash"));
+        assert_eq!(o.num("seed", 0u64).unwrap(), 9);
+        // Absent flags are false; a flag mid-argv must not swallow the
+        // next option.
+        assert!(!o.flag("quick"));
+        let o = Options::parse_with_flags(&strs(&["--seed", "9", "--crash"]), &["crash"]).unwrap();
+        assert!(o.flag("crash"));
+        // Without the flag declaration the same argv is a parse error.
+        assert!(Options::parse(&strs(&["--crash"])).is_err());
     }
 }

@@ -1,8 +1,15 @@
 //! The CLI subcommands.
+//!
+//! Every subcommand returns [`IrisResult`]: `String` errors from option
+//! parsing convert into [`IrisError::InvalidInput`] (exit code 2), and
+//! typed errors from the crates below keep their own class — `main`
+//! exits with [`IrisError::exit_code`], so scripts can tell a corrupt
+//! WAL (5) from an unreachable server (8) without parsing stderr.
 
 use crate::args::Options;
 use iris_core::prelude::*;
 use iris_core::DesignStudy;
+use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::io::{load_region, save_region};
 use iris_fibermap::siting::{centralized_service_area, distributed_service_area, region_grid};
 use iris_planner::centralized::{plan_centralized, HubHoming};
@@ -11,21 +18,21 @@ use iris_simnet::traffic::ChangeModel;
 use iris_simnet::workloads::FlowSizeDist;
 use std::path::Path;
 
-fn load(opts: &Options) -> Result<Region, String> {
-    load_region(Path::new(opts.required("region")?))
+fn load(opts: &Options) -> IrisResult<Region> {
+    load_region(Path::new(opts.required("region")?)).map_err(IrisError::from)
 }
 
 /// Apply `--threads T` as the planner's default sweep worker count.
 /// `IRIS_THREADS` still wins ([`iris_planner::thread_count`]'s
 /// resolution order); the planned output is bit-identical either way.
-fn apply_threads(opts: &Options) -> Result<(), String> {
+fn apply_threads(opts: &Options) -> IrisResult<()> {
     let threads: usize = opts.num("threads", 0)?;
     iris_planner::set_default_threads(threads);
     Ok(())
 }
 
 /// `iris gen` — generate a synthetic region.
-pub fn generate(opts: &Options) -> Result<(), String> {
+pub fn generate(opts: &Options) -> IrisResult<()> {
     let seed: u64 = opts.num("seed", 1)?;
     let n_dcs: usize = opts.num("dcs", 8)?;
     let fibers: u32 = opts.num("fibers", 16)?;
@@ -60,7 +67,7 @@ pub fn generate(opts: &Options) -> Result<(), String> {
 }
 
 /// `iris plan` — plan Iris and print the bill of materials.
-pub fn plan(opts: &Options) -> Result<(), String> {
+pub fn plan(opts: &Options) -> IrisResult<()> {
     let region = load(opts)?;
     let cuts: usize = opts.num("cuts", 2)?;
     apply_threads(opts)?;
@@ -106,15 +113,14 @@ pub fn plan(opts: &Options) -> Result<(), String> {
 }
 
 /// `iris compare` — Iris vs EPS vs centralized.
-pub fn compare(opts: &Options) -> Result<(), String> {
+pub fn compare(opts: &Options) -> IrisResult<()> {
     let region = load(opts)?;
     let cuts: usize = opts.num("cuts", 1)?;
     apply_threads(opts)?;
     let goals = DesignGoals::with_cuts(cuts);
     let study = DesignStudy::run(&region, &goals);
     let hubs = pick_hub_pair(&region.map, 4.0, 24.0);
-    let central = plan_centralized(&region, &goals, hubs, HubHoming::Split)
-        .map_err(|e| format!("[{}] {e}", e.code()))?;
+    let central = plan_centralized(&region, &goals, hubs, HubHoming::Split)?;
     let book = PriceBook::paper_2020();
     // Centralized electrical cost: transceivers at both ends of every
     // access fiber, plus switch ports and fiber leases.
@@ -174,7 +180,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
 }
 
 /// `iris siting` — service-area analysis.
-pub fn siting(opts: &Options) -> Result<(), String> {
+pub fn siting(opts: &Options) -> IrisResult<()> {
     let region = load(opts)?;
     let hubs = pick_hub_pair(&region.map, 4.0, 7.0);
     let grid = region_grid(&region.map, 2.0, 30.0);
@@ -191,7 +197,7 @@ pub fn siting(opts: &Options) -> Result<(), String> {
 }
 
 /// `iris simulate` — paired FCT comparison.
-pub fn simulate(opts: &Options) -> Result<(), String> {
+pub fn simulate(opts: &Options) -> IrisResult<()> {
     let region = load(opts)?;
     apply_threads(opts)?;
     let util: f64 = opts.num("util", 0.4)?;
@@ -202,7 +208,7 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
         Some("web2") => FlowSizeDist::facebook_web(),
         Some("hadoop") => FlowSizeDist::facebook_hadoop(),
         Some("cache") => FlowSizeDist::facebook_cache(),
-        Some(other) => return Err(format!("unknown workload '{other}'")),
+        Some(other) => return Err(format!("unknown workload '{other}'").into()),
     };
     let goals = DesignGoals::with_cuts(0);
     let prov = provision(&region, &goals);
@@ -298,7 +304,7 @@ fn replay_reconfigurations(
 }
 
 /// `iris testbed` — Fig. 14 replay.
-pub fn testbed(_opts: &Options) -> Result<(), String> {
+pub fn testbed(_opts: &Options) -> IrisResult<()> {
     use iris_control::testbed::{run_testbed, summarize, TestbedConfig};
     let config = TestbedConfig::default();
     let samples = run_testbed(&config);
@@ -320,9 +326,14 @@ pub fn testbed(_opts: &Options) -> Result<(), String> {
 }
 
 /// `iris chaos` — seeded fault-schedule sweep through the self-healing
-/// control loop. Deterministic: same seed, byte-identical output.
-pub fn chaos(opts: &Options) -> Result<(), String> {
+/// control loop; with `--crash`, a crash-recovery sweep through the
+/// durability layer instead. Deterministic: same seed, byte-identical
+/// output.
+pub fn chaos(opts: &Options) -> IrisResult<()> {
     use iris_bench::chaos::{run_chaos, ChaosConfig};
+    if opts.flag("crash") {
+        return chaos_crash(opts);
+    }
     apply_threads(opts)?;
     let cfg = ChaosConfig {
         seed: opts.num("seed", 7)?,
@@ -330,7 +341,7 @@ pub fn chaos(opts: &Options) -> Result<(), String> {
         n_dcs: opts.num("dcs", 6)?,
         cuts: opts.num("cuts", 1)?,
     };
-    let report = run_chaos(&cfg).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let report = run_chaos(&cfg)?;
 
     println!(
         "chaos sweep: seed {}, {} scenarios, {} DCs, k={} ({} ducts)",
@@ -382,8 +393,138 @@ pub fn chaos(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `iris chaos --crash` — controller crash-faults: kill the mutator at a
+/// seeded point (clean, torn-tail, or bad-CRC), recover from the WAL,
+/// and diff against an uninterrupted same-seed run, byte for byte.
+fn chaos_crash(opts: &Options) -> IrisResult<()> {
+    use iris_bench::crash::{run_crash, CrashConfig, CrashMode};
+    apply_threads(opts)?;
+    let cfg = CrashConfig {
+        seed: opts.num("seed", 7)?,
+        scenarios: opts.num("scenarios", 9)?,
+        n_dcs: opts.num("dcs", 5)?,
+        cuts: opts.num("cuts", 1)?,
+        batches: opts.num("batches", 8)?,
+    };
+    let report = run_crash(&cfg)?;
+
+    println!(
+        "crash-recovery sweep: seed {}, {} scenarios x {} batches, {} DCs, k={} ({} ducts)",
+        cfg.seed, cfg.scenarios, cfg.batches, cfg.n_dcs, cfg.cuts, report.ducts
+    );
+    println!("\nscenario  mode        crash@  lost  salvaged  torn-bytes  epoch  recovered  final");
+    for o in &report.outcomes {
+        let mode = match o.mode {
+            CrashMode::CleanKill => "clean-kill",
+            CrashMode::TornTail => "torn-tail",
+            CrashMode::BadCrcTail => "bad-crc",
+        };
+        println!(
+            "{:>8}  {:<10}  {:>6}  {:>4}  {:>8}  {:>10}  {:>5}  {:>9}  {:>5}",
+            o.scenario,
+            mode,
+            o.crash_after,
+            o.batches_lost,
+            o.salvaged_records,
+            o.truncated_bytes,
+            o.recovered_epoch,
+            o.recovered_identical,
+            o.final_identical
+        );
+    }
+    let d = &report.replay_reconfig_ms;
+    println!(
+        "\nmodeled replay cost (ms):  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+        d.p50, d.p90, d.p99, d.max
+    );
+    println!(
+        "all recovered byte-identical: {}   all finals byte-identical: {}",
+        report.all_recovered_identical, report.all_final_identical
+    );
+    if !(report.all_recovered_identical && report.all_final_identical) {
+        return Err(IrisError::ReplayFailed {
+            detail: "a crash scenario diverged from its uninterrupted reference run".to_owned(),
+        });
+    }
+
+    if let Some(path) = opts.get("out") {
+        let mut json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("--out: cannot serialize report: {e}"))?;
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("--out: cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    Ok(())
+}
+
+/// `iris wal inspect` — dump and validate a write-ahead log directory
+/// without touching it (no truncation, no repair).
+pub fn wal_inspect(opts: &Options) -> IrisResult<()> {
+    use iris_service::wal::{SNAPSHOT_FILE, WAL_FILE};
+
+    let dir = Path::new(opts.required("dir")?);
+    if !dir.is_dir() {
+        return Err(IrisError::InvalidInput {
+            detail: format!("--dir {}: not a directory", dir.display()),
+        });
+    }
+    let snap = iris_service::read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+    match &snap {
+        Some(s) => println!(
+            "snapshot: epoch {}, {} pairs allocated, {} active cuts, {} writes applied",
+            s.epoch,
+            s.allocation.len(),
+            s.active_cuts.len(),
+            s.writes_applied
+        ),
+        None => println!("snapshot: none"),
+    }
+
+    let (batches, salvage) = iris_service::read_log(&dir.join(WAL_FILE))?;
+    println!(
+        "log: {} records, {} bytes good, {} bytes torn",
+        salvage.records, salvage.good_bytes, salvage.truncated_bytes
+    );
+    let base_epoch = snap.as_ref().map_or(0, |s| s.epoch);
+    for (i, b) in batches.iter().enumerate() {
+        let stale = if b.epoch <= base_epoch && base_epoch > 0 {
+            "  [pre-snapshot, skipped on replay]"
+        } else {
+            ""
+        };
+        println!(
+            "  record {i}: epoch {}, {} updates, {} cuts, {} writes, {} coalesced{stale}",
+            b.epoch,
+            b.updates.len(),
+            b.cuts.len(),
+            b.writes_applied,
+            b.coalesced
+        );
+    }
+    match &salvage.torn {
+        Some(why) => println!("torn tail: {why}"),
+        None => println!("torn tail: none"),
+    }
+
+    // Validate the epoch chain the way recovery will.
+    let mut epoch = base_epoch;
+    for b in &batches {
+        if b.epoch <= epoch {
+            continue;
+        }
+        if b.epoch != epoch + 1 {
+            return Err(IrisError::ReplayFailed {
+                detail: format!("record epoch {} does not follow epoch {epoch}", b.epoch),
+            });
+        }
+        epoch = b.epoch;
+    }
+    println!("replay would recover to epoch {epoch}");
+    Ok(())
+}
+
 /// `iris serve` — run the long-lived control-plane server until killed.
-pub fn serve(opts: &Options) -> Result<(), String> {
+pub fn serve(opts: &Options) -> IrisResult<()> {
     use std::io::Write;
 
     let region = load(opts)?;
@@ -393,9 +534,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         cuts: opts.num("cuts", 1)?,
         queue_capacity: opts.num("queue", 64)?,
         coalesce_window_ms: opts.num("window", 2)?,
+        wal_dir: opts.get("wal-dir").map(str::to_owned),
+        snapshot_every: opts.num("snapshot-every", 64)?,
         ..iris_service::ServiceConfig::default()
     };
-    let handle = iris_service::serve(region, &config).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let handle = iris_service::serve(region, &config)?;
     // The bound address goes out first and flushed: with --addr ...:0 the
     // kernel picks the port, and scripts parse this line to find it.
     println!("iris-service listening on {}", handle.local_addr());
@@ -405,6 +548,32 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         config.coalesce_window_ms,
         config.retry_after_ms()
     );
+    if let Some(stats) = handle.replay_stats() {
+        let dir = config.wal_dir.as_deref().unwrap_or("?");
+        println!(
+            "  durable: WAL in {dir}, compacting every {} batches",
+            config.snapshot_every
+        );
+        println!(
+            "  recovered to epoch {} ({} batches replayed{}{}{})",
+            stats.recovered_epoch,
+            stats.replayed_batches,
+            match stats.from_snapshot_epoch {
+                Some(e) => format!(", snapshot at epoch {e}"),
+                None => String::new(),
+            },
+            if stats.truncated_bytes > 0 {
+                format!(", {} torn bytes salvaged", stats.truncated_bytes)
+            } else {
+                String::new()
+            },
+            if stats.skipped_records > 0 {
+                format!(", {} pre-snapshot records skipped", stats.skipped_records)
+            } else {
+                String::new()
+            },
+        );
+    }
     println!("  serving until killed (metrics via the MetricsSnapshot request)");
     std::io::stdout()
         .flush()
@@ -419,7 +588,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 
 /// `iris rpc` — one ad-hoc request against a running server, reply
 /// printed as JSON.
-pub fn rpc(opts: &Options) -> Result<(), String> {
+pub fn rpc(opts: &Options) -> IrisResult<()> {
     use iris_service::Request;
 
     let addr = opts.get("addr").unwrap_or("127.0.0.1:7117");
@@ -450,14 +619,12 @@ pub fn rpc(opts: &Options) -> Result<(), String> {
             return Err(format!(
                 "unknown op '{other}' (try get_plan, get_topology, query_path, \
                  update_demand, report_fiber_cut, health, metrics_snapshot)"
-            ))
+            )
+            .into())
         }
     };
-    let mut client =
-        iris_service::ServiceClient::connect(addr).map_err(|e| format!("[{}] {e}", e.code()))?;
-    let response = client
-        .call(&request)
-        .map_err(|e| format!("[{}] {e}", e.code()))?;
+    let mut client = iris_service::ServiceClient::connect(addr)?;
+    let response = client.call(&request)?;
     let json =
         serde_json::to_string_pretty(&response).map_err(|e| format!("cannot render reply: {e}"))?;
     println!("{json}");
@@ -465,7 +632,7 @@ pub fn rpc(opts: &Options) -> Result<(), String> {
 }
 
 /// `iris loadgen` — seeded closed-loop load against a running server.
-pub fn loadgen(opts: &Options) -> Result<(), String> {
+pub fn loadgen(opts: &Options) -> IrisResult<()> {
     let cfg = iris_service::LoadgenConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:7117").to_owned(),
         seed: opts.num("seed", 7)?,
@@ -478,7 +645,7 @@ pub fn loadgen(opts: &Options) -> Result<(), String> {
         ..iris_service::LoadgenConfig::default()
     };
     let out = opts.get("out").unwrap_or("results/service_load.json");
-    let report = iris_service::run_loadgen(&cfg).map_err(|e| format!("[{}] {e}", e.code()))?;
+    let report = iris_service::run_loadgen(&cfg)?;
     let r = &report.results;
     let m = &report.measured;
 
@@ -540,7 +707,7 @@ pub fn loadgen(opts: &Options) -> Result<(), String> {
         m.retries, m.unreachable_reads, m.server_coalesced, m.server_overloaded
     );
 
-    iris_service::loadgen::write_results(r, out).map_err(|e| format!("[{}] {e}", e.code()))?;
+    iris_service::loadgen::write_results(r, out)?;
     println!("\nresults written to {out}");
     Ok(())
 }

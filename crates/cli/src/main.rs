@@ -8,21 +8,54 @@
 //! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
 //! iris testbed
 //! iris chaos    --seed 7 --scenarios 10 [--dcs 6] [--cuts 1] [--out FILE]
-//! iris serve    --region region.json [--addr HOST:PORT] [--cuts 1]
+//! iris chaos    --crash [--seed 7] [--scenarios 9] [--batches 8] [--out FILE]
+//! iris serve    --region region.json [--addr HOST:PORT] [--cuts 1] [--wal-dir DIR]
+//! iris wal      inspect --dir DIR
 //! iris rpc      --op health [--addr HOST:PORT]
 //! iris loadgen  --seed 7 --requests 2000 [--cut DUCT] [--out FILE]
 //! ```
+//!
+//! Failures exit with the stable per-class codes of
+//! [`iris_errors::IrisError::exit_code`] (2 = bad input, 5 = corrupt
+//! durable state, 6 = replay failed, ...); 1 is reserved for an unknown
+//! subcommand.
 
 mod args;
 mod commands;
+
+use iris_errors::IrisError;
+
+/// `run` outcomes `main` maps to exit codes.
+enum CliError {
+    /// Not a subcommand at all: conventional exit 1.
+    UnknownCommand(String),
+    /// A typed failure: exit with its [`IrisError::exit_code`].
+    Typed(IrisError),
+}
+
+impl From<IrisError> for CliError {
+    fn from(e: IrisError) -> Self {
+        CliError::Typed(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(detail: String) -> Self {
+        CliError::Typed(IrisError::InvalidInput { detail })
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&argv) {
         Ok(()) => 0,
-        Err(e) => {
-            eprintln!("error: {e}");
-            2
+        Err(CliError::UnknownCommand(msg)) => {
+            eprintln!("error: {msg}");
+            1
+        }
+        Err(CliError::Typed(e)) => {
+            eprintln!("error: [{}] {e}", e.code());
+            e.exit_code()
         }
     };
     std::process::exit(code);
@@ -61,13 +94,24 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "scenarios",
             "dcs",
             "cuts",
+            "batches",
+            "crash",
             "threads",
             "out",
             "telemetry",
         ],
         // No --telemetry for serve: it never exits on its own; live
         // metrics are served by the MetricsSnapshot request instead.
-        "serve" => &["region", "cuts", "addr", "queue", "window", "threads"],
+        "serve" => &[
+            "region",
+            "cuts",
+            "addr",
+            "queue",
+            "window",
+            "threads",
+            "wal-dir",
+            "snapshot-every",
+        ],
         "rpc" => &["addr", "op", "a", "b", "circuits", "cuts", "telemetry"],
         "loadgen" => &[
             "addr",
@@ -82,12 +126,18 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
     })
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
         print_usage();
         return Ok(());
     };
-    let opts = args::Options::parse(&argv[1..])?;
+    if command == "wal" {
+        return run_wal(&argv[1..]);
+    }
+    // `--crash` is a boolean switch (chaos only); everything else is
+    // strict `--key value`.
+    let flags: &[&str] = if command == "chaos" { &["crash"] } else { &[] };
+    let opts = args::Options::parse_with_flags(&argv[1..], flags)?;
     if let Some(allowed) = accepted_options(command) {
         opts.ensure_known(command, allowed)?;
     }
@@ -106,12 +156,39 @@ fn run(argv: &[String]) -> Result<(), String> {
             print_usage();
             return Ok(());
         }
-        other => return Err(format!("unknown command '{other}' (try `iris help`)")),
+        other => {
+            return Err(CliError::UnknownCommand(format!(
+                "unknown command '{other}' (try `iris help`)"
+            )))
+        }
     }?;
     if let Some(path) = opts.get("telemetry") {
         write_telemetry(path)?;
     }
     Ok(())
+}
+
+/// `iris wal <verb>` dispatch: the only two-token subcommand.
+fn run_wal(rest: &[String]) -> Result<(), CliError> {
+    let Some(verb) = rest.first() else {
+        return Err(CliError::UnknownCommand(
+            "usage: iris wal inspect --dir DIR".to_owned(),
+        ));
+    };
+    match verb.as_str() {
+        "inspect" => {
+            let opts = args::Options::parse(&rest[1..])?;
+            opts.ensure_known("wal inspect", &["dir", "telemetry"])?;
+            commands::wal_inspect(&opts)?;
+            if let Some(path) = opts.get("telemetry") {
+                write_telemetry(path)?;
+            }
+            Ok(())
+        }
+        other => Err(CliError::UnknownCommand(format!(
+            "unknown command 'wal {other}' (try `iris wal inspect --dir DIR`)"
+        ))),
+    }
 }
 
 /// Snapshot the global metric registry to `path` (format dispatch lives
@@ -153,12 +230,30 @@ USAGE:
                 messages) through the self-healing control loop; print
                 recovery-time / dark-time / FCT-impact distributions.
                 Deterministic: same seed, byte-identical output
+  iris chaos    --crash [--seed N] [--scenarios N] [--dcs D] [--cuts K]
+                [--batches B] [--out FILE]
+                controller crash-recovery sweep: per scenario, run a
+                scripted write workload against a WAL-backed control
+                machine, kill it mid-sequence (clean kill / torn WAL tail
+                / corrupted tail record), restart, and diff the recovered
+                snapshot byte-for-byte against an uninterrupted run.
+                Exits 6 (replay-failed) if any scenario diverges
   iris serve    --region FILE [--addr HOST:PORT] [--cuts K] [--queue N]
-                [--window MS] [--threads T]
+                [--window MS] [--threads T] [--wal-dir DIR]
+                [--snapshot-every B]
                 run the long-lived control-plane server: length-prefixed
                 JSON frames over TCP; snapshot reads, coalesced writes,
                 typed Overloaded backpressure. --addr HOST:0 picks a free
-                port (printed on the first stdout line). Runs until killed
+                port (printed on the first stdout line). Runs until killed.
+                --wal-dir makes accepted writes durable: each coalesced
+                batch is appended to DIR/iris.wal (fsync'd) and compacted
+                into DIR/snapshot.json every B batches (default 64; 0 =
+                never); on restart the server replays WAL-after-snapshot
+                and republishes the pre-crash state byte-identically
+  iris wal      inspect --dir DIR
+                read-only dump of a WAL directory: snapshot epoch,
+                per-record epochs/ops/CRCs, torn-tail diagnosis, and the
+                epoch the server would recover to. Never modifies DIR
   iris rpc      --op OP [--addr HOST:PORT] [--a N --b N] [--circuits C]
                 [--cuts D1,D2]
                 one request against a running server, reply as JSON; OP is

@@ -7,7 +7,7 @@
 //! serializable so recovery/shed reports can embed the exact failure.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -89,6 +89,19 @@ pub enum IrisError {
         /// What failed.
         detail: String,
     },
+    /// Durable state (WAL record, persisted snapshot) failed validation
+    /// in a way salvage cannot repair.
+    Corrupt {
+        /// The file that failed validation.
+        what: String,
+        /// What was wrong, e.g. `record 3: CRC mismatch`.
+        detail: String,
+    },
+    /// WAL replay could not rebuild the pre-crash control-plane state.
+    ReplayFailed {
+        /// Why replay stopped, e.g. `record epoch 9 after snapshot epoch 12`.
+        detail: String,
+    },
 }
 
 impl IrisError {
@@ -107,6 +120,33 @@ impl IrisError {
             IrisError::Overloaded { .. } => "overloaded",
             IrisError::InvalidInput { .. } => "invalid-input",
             IrisError::Io { .. } => "io",
+            IrisError::Corrupt { .. } => "corrupt",
+            IrisError::ReplayFailed { .. } => "replay-failed",
+        }
+    }
+
+    /// Stable process exit code for the failure class, used by the CLI.
+    ///
+    /// Usage errors keep the conventional `2`; every other class gets its
+    /// own code so scripts can distinguish, say, a corrupt WAL (`5`) from
+    /// an unreachable peer (`8`) without parsing stderr. `0` and `1` are
+    /// never returned (success and unknown-command keep those).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            IrisError::InvalidInput { .. } => 2,
+            IrisError::Io { .. } => 3,
+            IrisError::Decode { .. } => 4,
+            IrisError::Corrupt { .. } => 5,
+            IrisError::ReplayFailed { .. } => 6,
+            IrisError::Infeasible { .. } => 7,
+            IrisError::Unreachable { .. } => 8,
+            IrisError::Overloaded { .. } => 9,
+            IrisError::VerifyFailed { .. } => 10,
+            IrisError::RetriesExhausted { .. } => 11,
+            IrisError::Quarantined { .. } => 12,
+            IrisError::PortOutOfRange { .. } => 13,
+            IrisError::ChannelOutOfRange { .. } => 14,
         }
     }
 }
@@ -148,6 +188,8 @@ impl fmt::Display for IrisError {
             }
             IrisError::InvalidInput { detail } => write!(f, "{detail}"),
             IrisError::Io { detail } => write!(f, "{detail}"),
+            IrisError::Corrupt { what, detail } => write!(f, "{what} is corrupt: {detail}"),
+            IrisError::ReplayFailed { detail } => write!(f, "WAL replay failed: {detail}"),
         }
     }
 }
@@ -204,6 +246,11 @@ mod tests {
             IrisError::Overloaded { retry_after_ms: 10 },
             IrisError::InvalidInput { detail: "x".into() },
             IrisError::Io { detail: "x".into() },
+            IrisError::Corrupt {
+                what: "iris.wal".into(),
+                detail: "x".into(),
+            },
+            IrisError::ReplayFailed { detail: "x".into() },
         ];
         for e in &all {
             let code = e.code();
@@ -213,6 +260,33 @@ mod tests {
                 "{code}"
             );
         }
+        // Exit codes are distinct per class and never collide with
+        // success (0) or the unknown-command path (1).
+        let mut codes: Vec<i32> = all.iter().map(IrisError::exit_code).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| c >= 2), "{codes:?}");
+    }
+
+    #[test]
+    fn durability_errors_name_the_file_and_cause() {
+        let e = IrisError::Corrupt {
+            what: "/var/iris/iris.wal".into(),
+            detail: "record 3: CRC mismatch".into(),
+        };
+        assert_eq!(e.code(), "corrupt");
+        assert_eq!(e.exit_code(), 5);
+        let msg = e.to_string();
+        assert!(msg.contains("iris.wal"), "{msg}");
+        assert!(msg.contains("CRC"), "{msg}");
+        let e = IrisError::ReplayFailed {
+            detail: "record epoch 9 after snapshot epoch 12".into(),
+        };
+        assert_eq!(e.code(), "replay-failed");
+        assert_eq!(e.exit_code(), 6);
+        assert!(e.to_string().contains("replay"), "{e}");
     }
 
     #[test]

@@ -211,6 +211,13 @@ pub enum Response {
     },
     /// Reply to [`Request::ReportFiberCut`]: recovery has completed.
     Recovery(RecoverySummary),
+    /// Reply to [`Request::ReportFiberCut`] when every requested duct is
+    /// already severed: the report is an idempotent no-op — no epoch is
+    /// consumed and no re-recovery runs.
+    CutAlreadyActive {
+        /// The (unchanged) cumulative active cut set, ascending.
+        active_cuts: Vec<usize>,
+    },
     /// Reply to [`Request::Health`].
     Health(HealthInfo),
     /// Reply to [`Request::MetricsSnapshot`].
@@ -323,6 +330,9 @@ mod tests {
     fn responses_round_trip() {
         let resps = [
             Response::DemandAccepted { queue_depth: 3 },
+            Response::CutAlreadyActive {
+                active_cuts: vec![2, 4],
+            },
             Response::Error(IrisError::Overloaded { retry_after_ms: 25 }),
             Response::Metrics {
                 prometheus: "# TYPE x counter\nx 1\n".into(),

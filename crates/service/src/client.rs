@@ -9,6 +9,42 @@ use std::time::Duration;
 /// One connection to a running service. Requests are strictly
 /// request/reply on the connection, so a client is cheap and carries no
 /// protocol state beyond the socket.
+///
+/// # Example
+///
+/// Boot an in-process server on an ephemeral port, raise one pair's
+/// demand, and read back the path its circuits ride:
+///
+/// ```
+/// use iris_fibermap::{synth, MetroParams, PlacementParams};
+/// use iris_service::{serve, Request, Response, ServiceClient, ServiceConfig};
+///
+/// let region = synth::place_dcs(
+///     synth::generate_metro(&MetroParams { seed: 7, ..MetroParams::default() }),
+///     &PlacementParams { seed: 24, n_dcs: 4, ..PlacementParams::default() },
+/// );
+/// let mut server = serve(region, &ServiceConfig {
+///     addr: "127.0.0.1:0".to_owned(), // port 0 picks a free port
+///     ..ServiceConfig::default()
+/// })?;
+/// let mut client = ServiceClient::connect(&server.local_addr().to_string())?;
+///
+/// // Pick a reachable DC pair off the topology, then write and read.
+/// let Response::Topology(topo) = client.call(&Request::GetTopology)?.into_result()? else {
+///     unreachable!("GetTopology answers Topology")
+/// };
+/// let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+///
+/// let reply = client.call(&Request::UpdateDemand { a, b, circuits: 2 })?;
+/// assert!(matches!(reply, Response::DemandAccepted { .. }));
+///
+/// let Response::Path(path) = client.call(&Request::QueryPath { a, b })?.into_result()? else {
+///     unreachable!("allocated pairs have a path")
+/// };
+/// assert!(path.length_km > 0.0);
+/// server.shutdown();
+/// # Ok::<(), iris_errors::IrisError>(())
+/// ```
 #[derive(Debug)]
 pub struct ServiceClient {
     stream: TcpStream,

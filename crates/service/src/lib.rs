@@ -26,20 +26,32 @@
 //! a fiber mid-run, and splits its report into seed-deterministic
 //! results (byte-identical JSON across runs and thread counts) and
 //! wall-clock measurements (printed only).
+//!
+//! **Durability** is opt-in via [`ServiceConfig::wal_dir`]: every
+//! applied write batch is appended + fsync'd to an append-only
+//! write-ahead log ([`wal`]) *before* its snapshot is published, and the
+//! log is periodically compacted into a JSON snapshot. A restarted
+//! server replays WAL-after-snapshot ([`recovery`]) and republishes a
+//! byte-identical `Arc<StateSnapshot>` — same epoch, same allocation,
+//! same paths, same `last_recovery` — as the process that crashed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod api;
 pub mod client;
 pub mod frame;
 pub mod loadgen;
+pub mod recovery;
 pub mod server;
 pub mod state;
+pub mod wal;
 
 pub use api::{Request, Response};
 pub use client::ServiceClient;
 pub use frame::{read_frame, write_frame, FrameEvent, MAX_FRAME_LEN};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
+pub use recovery::{recover, ControlMachine, CutReply, ReplayStats};
 pub use server::{serve, ServiceConfig, ServiceHandle};
 pub use state::{SnapshotCell, StateSnapshot};
+pub use wal::{read_log, read_snapshot, PersistedSnapshot, Salvage, Wal, WalBatch};

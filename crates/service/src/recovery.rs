@@ -1,0 +1,451 @@
+//! Crash recovery and the shared write-batch application core.
+//!
+//! Recovery rebuilds the pre-crash control plane from the durable state
+//! [`Wal::open`] found: restore the compacted snapshot (reconfigure to
+//! its allocation, re-derive the cut state from its cumulative cut set),
+//! then replay every WAL record after it. Because per-pair paths are a
+//! deterministic function of the active cut set, and every stored
+//! `RecoverySummary` is replayed verbatim rather than recomputed, the
+//! republished [`StateSnapshot`] is byte-identical to the one the server
+//! published before it died.
+//!
+//! [`ControlMachine`] is the single implementation of "apply one
+//! coalesced write batch": the live mutator thread drives it per batch,
+//! recovery replays WAL records through the same controller calls, and
+//! the crash harness (`iris chaos --crash`) drives it directly — so a
+//! crashed-and-recovered server cannot drift from an uninterrupted one
+//! by construction.
+
+use crate::api::{AllocEntry, RecoverySummary};
+use crate::state::{PairPath, StateSnapshot};
+use crate::wal::{CutRecord, DurableState, PersistedSnapshot, Wal, WalBatch};
+use iris_control::Controller;
+use iris_errors::{IrisError, IrisResult};
+use iris_fibermap::Region;
+use iris_netgraph::EdgeId;
+use iris_planner::topology::nominal_paths;
+use iris_planner::{DesignGoals, Provisioning, ScenarioEngine};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// What one recovery replayed, all deterministic except the wall clock
+/// (which goes to telemetry only, never into serialized artifacts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStats {
+    /// Epoch of the compacted snapshot recovery started from, if any.
+    pub from_snapshot_epoch: Option<u64>,
+    /// Good WAL records found by salvage.
+    pub salvaged_records: u64,
+    /// Bytes of torn tail dropped by salvage.
+    pub truncated_bytes: u64,
+    /// Records actually replayed (salvaged minus those at or below the
+    /// snapshot's epoch).
+    pub replayed_batches: u64,
+    /// Records skipped because the snapshot was newer (a crash between
+    /// snapshot rename and log truncate leaves these behind).
+    pub skipped_records: u64,
+    /// Sum of the *modeled* reconfiguration/recovery times of every
+    /// replayed operation, ms — the deterministic recovery-cost proxy
+    /// reported by the crash sweep.
+    pub replay_reconfig_ms: f64,
+    /// The epoch the recovered snapshot republishes at.
+    pub recovered_epoch: u64,
+}
+
+/// Rebuild controller state and the publishable snapshot from durable
+/// state. The `controller` must be freshly constructed for the region
+/// (no writes applied yet). Returns the snapshot to republish, the
+/// active cut set, and what was replayed.
+///
+/// # Errors
+///
+/// [`IrisError::ReplayFailed`] if the record epochs are discontinuous or
+/// a replayed operation cannot be re-applied; any controller error
+/// encountered while re-applying a cut.
+pub fn recover(
+    region: &Region,
+    goals: &DesignGoals,
+    provisioning: &Provisioning,
+    controller: &Controller,
+    durable: &DurableState,
+) -> IrisResult<(StateSnapshot, Vec<EdgeId>, ReplayStats)> {
+    let start = Instant::now();
+    let mut replay_ms = 0.0f64;
+
+    // Restore the base state: the compacted snapshot if there is one,
+    // else the boot seed (one circuit per reachable pair) every fresh
+    // server starts from — WAL updates are deltas against that seed.
+    let (mut epoch, mut writes_applied, mut coalesced, mut last_recovery, mut active_cuts) =
+        match &durable.snapshot {
+            Some(snap) => {
+                let target: iris_control::controller::Allocation = snap
+                    .allocation
+                    .iter()
+                    .map(|e| ((e.a, e.b), e.circuits))
+                    .collect();
+                replay_ms += controller.reconfigure(&target).total_ms;
+                if !snap.active_cuts.is_empty() {
+                    let report = controller.handle_fiber_cut(
+                        region,
+                        goals,
+                        provisioning,
+                        &snap.active_cuts,
+                    )?;
+                    replay_ms += report.recovery_ms;
+                }
+                (
+                    snap.epoch,
+                    snap.writes_applied,
+                    snap.coalesced,
+                    snap.last_recovery.clone(),
+                    snap.active_cuts.clone(),
+                )
+            }
+            None => {
+                let seed: iris_control::controller::Allocation = controller
+                    .current_paths()
+                    .keys()
+                    .map(|&pair| (pair, 1u32))
+                    .collect();
+                controller.reconfigure(&seed);
+                (0, 0, 0, None, Vec::new())
+            }
+        };
+    let from_snapshot_epoch = durable.snapshot.as_ref().map(|s| s.epoch);
+
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    for batch in &durable.batches {
+        if batch.epoch <= epoch {
+            // Snapshot newer than the log: a crash between compaction's
+            // rename and truncate left already-compacted records behind.
+            skipped += 1;
+            continue;
+        }
+        if batch.epoch != epoch + 1 {
+            return Err(IrisError::ReplayFailed {
+                detail: format!(
+                    "record epoch {} does not follow epoch {epoch} (lost a record mid-log?)",
+                    batch.epoch
+                ),
+            });
+        }
+        if !batch.updates.is_empty() {
+            let mut target = controller.allocation();
+            for e in &batch.updates {
+                if e.circuits == 0 {
+                    target.remove(&(e.a, e.b));
+                } else {
+                    target.insert((e.a, e.b), e.circuits);
+                }
+            }
+            replay_ms += controller.reconfigure(&target).total_ms;
+        }
+        for cut in &batch.cuts {
+            let report = controller
+                .handle_fiber_cut(region, goals, provisioning, &cut.cuts)
+                .map_err(|e| IrisError::ReplayFailed {
+                    detail: format!(
+                        "cannot re-apply cut {:?} from record epoch {}: {e}",
+                        cut.cuts, batch.epoch
+                    ),
+                })?;
+            replay_ms += report.recovery_ms;
+            active_cuts = cut.cuts.clone();
+            last_recovery = Some(cut.recovery.clone());
+        }
+        epoch = batch.epoch;
+        writes_applied += batch.writes_applied;
+        coalesced += batch.coalesced;
+        replayed += 1;
+    }
+
+    let paths = snapshot_paths(region, goals, epoch, &active_cuts);
+    let quarantined = match (&durable.snapshot, replayed) {
+        // Nothing replayed after the snapshot: carry its quarantine set
+        // verbatim (the fault-free service path never quarantines, so
+        // the controller cannot reconstruct one).
+        (Some(snap), 0) => snap.quarantined.clone(),
+        _ => controller.quarantined(),
+    };
+    let snapshot = StateSnapshot {
+        epoch,
+        allocation: controller.allocation(),
+        paths,
+        active_cuts: active_cuts.clone(),
+        quarantined,
+        writes_applied,
+        coalesced,
+        last_recovery,
+    };
+    iris_telemetry::global()
+        .histogram("iris_service_replay_ms")
+        .record(start.elapsed().as_secs_f64() * 1e3);
+    let stats = ReplayStats {
+        from_snapshot_epoch,
+        salvaged_records: durable.salvage.records,
+        truncated_bytes: durable.salvage.truncated_bytes,
+        replayed_batches: replayed,
+        skipped_records: skipped,
+        replay_reconfig_ms: replay_ms,
+        recovered_epoch: epoch,
+    };
+    Ok((snapshot, active_cuts, stats))
+}
+
+/// The per-pair paths a snapshot at `epoch` publishes. Epoch 0 is the
+/// boot snapshot and uses the planner's nominal paths, exactly as a
+/// fresh [`crate::serve`] does; every later epoch was published by the
+/// mutator and uses the scenario engine, exactly as the mutator does.
+fn snapshot_paths(
+    region: &Region,
+    goals: &DesignGoals,
+    epoch: u64,
+    active_cuts: &[EdgeId],
+) -> BTreeMap<(usize, usize), PairPath> {
+    let mut paths = BTreeMap::new();
+    if epoch == 0 && active_cuts.is_empty() {
+        for p in nominal_paths(region, goals) {
+            paths.insert(
+                (p.a, p.b),
+                PairPath {
+                    nodes: p.nodes.clone(),
+                    edges: p.edges.clone(),
+                    length_km: p.length_km,
+                },
+            );
+        }
+    } else {
+        let mut engine = ScenarioEngine::new(region, goals);
+        engine.for_scenarios(std::slice::from_ref(&active_cuts.to_vec()), |_, view| {
+            for p in view.paths() {
+                paths.insert(
+                    (p.a, p.b),
+                    PairPath {
+                        nodes: p.nodes.clone(),
+                        edges: p.edges.clone(),
+                        length_km: p.length_km,
+                    },
+                );
+            }
+        });
+    }
+    paths
+}
+
+/// Outcome of one fiber-cut operation inside a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutReply {
+    /// The cut changed the active set; recovery completed.
+    Applied(RecoverySummary),
+    /// Every listed duct was already severed: an idempotent no-op.
+    AlreadySevered {
+        /// The unchanged cumulative active cut set.
+        active_cuts: Vec<usize>,
+    },
+    /// Recovery failed; the active set is unchanged.
+    Failed(IrisError),
+}
+
+/// What [`ControlMachine::apply_batch`] did.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// The next snapshot to publish, or `None` if the batch changed
+    /// nothing (every operation was an idempotent no-op) — no epoch is
+    /// consumed and nothing is logged.
+    pub snapshot: Option<StateSnapshot>,
+    /// Per-cut-operation outcomes, in submission order.
+    pub cut_replies: Vec<CutReply>,
+}
+
+/// The single writer's state: region, controller, scenario engine, the
+/// active cut set, and (optionally) the write-ahead log. One instance is
+/// owned by whoever plays the mutator — the server's mutator thread or
+/// the crash harness.
+pub struct ControlMachine<'r> {
+    region: &'r Region,
+    goals: &'r DesignGoals,
+    provisioning: &'r Provisioning,
+    controller: &'r Controller,
+    engine: ScenarioEngine<'r>,
+    active_cuts: Vec<EdgeId>,
+    wal: Option<Wal>,
+    snapshot_every: u64,
+}
+
+impl<'r> ControlMachine<'r> {
+    /// A machine over an already-recovered (or freshly booted)
+    /// controller. `active_cuts` is the recovered cumulative cut set;
+    /// `wal` is `None` for a memory-only server. `snapshot_every` is the
+    /// compaction cadence in batches (0 = never compact).
+    pub fn new(
+        region: &'r Region,
+        goals: &'r DesignGoals,
+        provisioning: &'r Provisioning,
+        controller: &'r Controller,
+        active_cuts: Vec<EdgeId>,
+        wal: Option<Wal>,
+        snapshot_every: u64,
+    ) -> Self {
+        Self {
+            engine: ScenarioEngine::new(region, goals),
+            region,
+            goals,
+            provisioning,
+            controller,
+            active_cuts,
+            wal,
+            snapshot_every,
+        }
+    }
+
+    /// The cumulative active cut set.
+    #[must_use]
+    pub fn active_cuts(&self) -> &[EdgeId] {
+        &self.active_cuts
+    }
+
+    /// Apply one coalesced batch: demand updates first (one
+    /// reconfiguration to the merged target), then each cut operation in
+    /// order. The WAL record is appended and fsync'd *before* the
+    /// snapshot is handed back for publication; a batch that applied
+    /// nothing returns no snapshot and writes no record.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] / [`IrisError::Decode`] if the WAL append or
+    /// compaction fails — the controller state is already advanced, so
+    /// callers should treat this as fatal for durability.
+    pub fn apply_batch(
+        &mut self,
+        prev: &StateSnapshot,
+        updates: &BTreeMap<(usize, usize), u32>,
+        coalesced_now: u64,
+        cuts_ops: &[Vec<EdgeId>],
+    ) -> IrisResult<BatchResult> {
+        let telemetry = iris_telemetry::global();
+        let mut writes_applied_now = 0u64;
+        let mut last_recovery = prev.last_recovery.clone();
+        let mut cut_records: Vec<CutRecord> = Vec::new();
+        let mut cut_replies = Vec::with_capacity(cuts_ops.len());
+
+        if !updates.is_empty() {
+            let mut target = self.controller.allocation();
+            for (&pair, &circuits) in updates {
+                if circuits == 0 {
+                    target.remove(&pair);
+                } else {
+                    target.insert(pair, circuits);
+                }
+            }
+            let report = self.controller.reconfigure(&target);
+            telemetry
+                .histogram("iris_service_reconfig_ms")
+                .record(report.total_ms);
+            writes_applied_now += updates.len() as u64;
+        }
+
+        for cuts in cuts_ops {
+            let mut merged = self.active_cuts.clone();
+            merged.extend(cuts.iter().copied());
+            merged.sort_unstable();
+            merged.dedup();
+            if merged == self.active_cuts {
+                // Every listed duct is already severed. Re-running
+                // recovery would take a different (cheaper) path and
+                // re-actuate healthy circuits; answer the typed no-op
+                // instead and leave epoch, counters and WAL untouched.
+                cut_replies.push(CutReply::AlreadySevered {
+                    active_cuts: merged,
+                });
+                continue;
+            }
+            match self.controller.handle_fiber_cut(
+                self.region,
+                self.goals,
+                self.provisioning,
+                &merged,
+            ) {
+                Ok(report) => {
+                    self.active_cuts = merged;
+                    writes_applied_now += 1;
+                    let summary = RecoverySummary {
+                        cuts: report.cuts.clone(),
+                        within_tolerance: report.within_tolerance,
+                        fully_recovered: report.fully_recovered(),
+                        shed_pairs: report.shed_pairs.len(),
+                        detection_ms: report.detection_ms,
+                        replan_ms: report.replan_ms,
+                        reconfig_ms: report.reconfig.total_ms,
+                        recovery_ms: report.recovery_ms,
+                    };
+                    last_recovery = Some(summary.clone());
+                    cut_records.push(CutRecord {
+                        cuts: self.active_cuts.clone(),
+                        recovery: summary.clone(),
+                    });
+                    cut_replies.push(CutReply::Applied(summary));
+                }
+                Err(e) => cut_replies.push(CutReply::Failed(e)),
+            }
+        }
+
+        if writes_applied_now == 0 && coalesced_now == 0 {
+            // Nothing applied (all no-ops or failures): no epoch, no
+            // record, no publish — a restarted server replays the same
+            // epoch sequence as one that never saw the no-op.
+            return Ok(BatchResult {
+                snapshot: None,
+                cut_replies,
+            });
+        }
+
+        let epoch = prev.epoch + 1;
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalBatch {
+                epoch,
+                updates: updates
+                    .iter()
+                    .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
+                    .collect(),
+                cuts: cut_records,
+                writes_applied: writes_applied_now,
+                coalesced: coalesced_now,
+            })?;
+        }
+
+        let mut paths = BTreeMap::new();
+        self.engine
+            .for_scenarios(std::slice::from_ref(&self.active_cuts), |_, view| {
+                for p in view.paths() {
+                    paths.insert(
+                        (p.a, p.b),
+                        PairPath {
+                            nodes: p.nodes.clone(),
+                            edges: p.edges.clone(),
+                            length_km: p.length_km,
+                        },
+                    );
+                }
+            });
+        let next = StateSnapshot {
+            epoch,
+            allocation: self.controller.allocation(),
+            paths,
+            active_cuts: self.active_cuts.clone(),
+            quarantined: self.controller.quarantined(),
+            writes_applied: prev.writes_applied + writes_applied_now,
+            coalesced: prev.coalesced + coalesced_now,
+            last_recovery,
+        };
+        if let Some(wal) = &mut self.wal {
+            if self.snapshot_every > 0 && wal.batches_since_compaction() >= self.snapshot_every {
+                wal.compact(&PersistedSnapshot::from_state(&next))?;
+            }
+        }
+        Ok(BatchResult {
+            snapshot: Some(next),
+            cut_replies,
+        })
+    }
+}

@@ -11,20 +11,22 @@
 //! [`IrisError::Overloaded`] instead of blocking the socket.
 
 use crate::api::{
-    AllocEntry, HealthInfo, PathInfo, PlanSummary, RecoverySummary, Request, Response,
-    TopologySummary,
+    AllocEntry, HealthInfo, PathInfo, PlanSummary, Request, Response, TopologySummary,
 };
 use crate::frame::{read_frame, write_frame, FrameEvent};
-use crate::state::{PairPath, SnapshotCell, StateSnapshot};
+use crate::recovery::{self, ControlMachine, CutReply, ReplayStats};
+use crate::state::{SnapshotCell, StateSnapshot};
+use crate::wal::{DurableState, Wal};
 use iris_control::Controller;
 use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::Region;
 use iris_netgraph::EdgeId;
-use iris_planner::{plan_iris, DesignGoals, Provisioning, ScenarioEngine};
+use iris_planner::{plan_iris, DesignGoals};
 use iris_telemetry::labeled;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -48,6 +50,14 @@ pub struct ServiceConfig {
     /// Per-connection socket read timeout, ms. Bounds how long a handler
     /// thread can go without noticing a shutdown.
     pub read_timeout_ms: u64,
+    /// Durability directory. When set, every applied write batch is
+    /// appended + fsync'd to a write-ahead log here before its snapshot
+    /// is published, and a restarted server recovers the pre-crash state
+    /// from it. `None` keeps the server memory-only.
+    pub wal_dir: Option<String>,
+    /// Compact the log into a snapshot every this many batches
+    /// (0 = never compact). Ignored without `wal_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +68,8 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             coalesce_window_ms: 2,
             read_timeout_ms: 50,
+            wal_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -80,7 +92,7 @@ enum WriteOp {
     },
     Cut {
         cuts: Vec<EdgeId>,
-        reply: mpsc::Sender<IrisResult<RecoverySummary>>,
+        reply: mpsc::Sender<CutReply>,
     },
 }
 
@@ -103,6 +115,7 @@ struct Shared {
 pub struct ServiceHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
+    replay: Option<ReplayStats>,
     accept: Option<JoinHandle<()>>,
     mutator: Option<JoinHandle<()>>,
 }
@@ -112,6 +125,19 @@ impl ServiceHandle {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The currently published state snapshot (what readers see).
+    #[must_use]
+    pub fn current_snapshot(&self) -> Arc<StateSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// What WAL recovery replayed at startup. `None` when the server
+    /// runs without a `wal_dir`.
+    #[must_use]
+    pub fn replay_stats(&self) -> Option<&ReplayStats> {
+        self.replay.as_ref()
     }
 
     /// Stop accepting, stop the mutator, and join both threads. Handler
@@ -143,49 +169,35 @@ impl Drop for ServiceHandle {
     }
 }
 
-/// Plan the region, seed the controller with one circuit per reachable
-/// DC pair, bind the listener and start serving.
+/// Plan the region, boot the controller — from the `wal_dir`'s durable
+/// state when there is one (replaying WAL-after-snapshot), else seeded
+/// with one circuit per reachable DC pair — bind the listener and start
+/// serving.
 ///
 /// # Errors
 ///
-/// [`IrisError::Io`] if the address cannot be bound.
+/// [`IrisError::Io`] if the address cannot be bound or the WAL cannot be
+/// opened; [`IrisError::Corrupt`] / [`IrisError::ReplayFailed`] if the
+/// durable state cannot be recovered (see [`crate::recovery`]).
 pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle> {
     let goals = DesignGoals::with_cuts(config.cuts);
     let plan = plan_iris(&region, &goals);
     let controller = Controller::for_region(&region, &goals);
 
-    // Seed: one circuit per reachable pair, so every pair has live state
-    // to read and update from the first request on.
-    let initial: iris_control::controller::Allocation = controller
-        .current_paths()
-        .keys()
-        .map(|&pair| (pair, 1u32))
-        .collect();
-    controller.reconfigure(&initial);
-
-    let nominal = iris_planner::topology::nominal_paths(&region, &goals);
-    let boot = StateSnapshot {
-        epoch: 0,
-        allocation: controller.allocation(),
-        paths: nominal
-            .iter()
-            .map(|p| {
-                (
-                    (p.a, p.b),
-                    PairPath {
-                        nodes: p.nodes.clone(),
-                        edges: p.edges.clone(),
-                        length_km: p.length_km,
-                    },
-                )
-            })
-            .collect(),
-        active_cuts: Vec::new(),
-        quarantined: controller.quarantined(),
-        writes_applied: 0,
-        coalesced: 0,
-        last_recovery: None,
+    // Boot via the recovery path in both cases: with an empty durable
+    // state it reproduces the fresh-boot seed (one circuit per reachable
+    // pair at epoch 0), so a recovered server and a new one share one
+    // code path by construction.
+    let (wal, durable) = match &config.wal_dir {
+        Some(dir) => {
+            let (wal, durable) = Wal::open(Path::new(dir))?;
+            (Some(wal), durable)
+        }
+        None => (None, DurableState::empty()),
     };
+    let (boot, active_cuts, stats) =
+        recovery::recover(&region, &goals, &plan.provisioning, &controller, &durable)?;
+    let replay = config.wal_dir.as_ref().map(|_| stats);
 
     let plan_summary = PlanSummary {
         epoch: 0,
@@ -226,16 +238,18 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         let shared = Arc::clone(&shared);
         let provisioning = plan.provisioning.clone();
         let window = Duration::from_millis(config.coalesce_window_ms);
+        let snapshot_every = config.snapshot_every;
         std::thread::spawn(move || {
-            mutator_loop(
+            let machine = ControlMachine::new(
                 &region,
                 &goals,
                 &provisioning,
                 &controller,
-                &rx,
-                &shared,
-                window,
+                active_cuts,
+                wal,
+                snapshot_every,
             );
+            mutator_loop(machine, &rx, &shared, window);
         })
     };
 
@@ -257,25 +271,22 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
     Ok(ServiceHandle {
         local_addr,
         shared,
+        replay,
         accept: Some(accept),
         mutator: Some(mutator),
     })
 }
 
 /// The single writer: pop a write, gather the coalesce window, apply the
-/// batch through the controller, publish one new snapshot.
+/// batch through the [`ControlMachine`] (which logs it to the WAL before
+/// handing the snapshot back), publish one new snapshot.
 fn mutator_loop(
-    region: &Region,
-    goals: &DesignGoals,
-    provisioning: &Provisioning,
-    controller: &Controller,
+    mut machine: ControlMachine<'_>,
     rx: &Receiver<WriteOp>,
     shared: &Shared,
     window: Duration,
 ) {
     let telemetry = iris_telemetry::global();
-    let mut engine = ScenarioEngine::new(region, goals);
-    let mut active_cuts: Vec<EdgeId> = Vec::new();
 
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -300,8 +311,7 @@ fn mutator_loop(
 
         // Coalesce: only the last UpdateDemand per pair survives.
         let mut updates: BTreeMap<(usize, usize), u32> = BTreeMap::new();
-        let mut cuts_ops: Vec<(Vec<EdgeId>, mpsc::Sender<IrisResult<RecoverySummary>>)> =
-            Vec::new();
+        let mut cuts_ops: Vec<(Vec<EdgeId>, mpsc::Sender<CutReply>)> = Vec::new();
         let mut coalesced_now = 0u64;
         for op in batch {
             match op {
@@ -315,85 +325,37 @@ fn mutator_loop(
         }
 
         let prev = shared.cell.load();
-        let mut writes_applied_now = 0u64;
-        let mut last_recovery = prev.last_recovery.clone();
-
-        if !updates.is_empty() {
-            let mut target = controller.allocation();
-            for (&pair, &circuits) in &updates {
-                if circuits == 0 {
-                    target.remove(&pair);
-                } else {
-                    target.insert(pair, circuits);
+        let only_cuts: Vec<Vec<EdgeId>> = cuts_ops.iter().map(|(c, _)| c.clone()).collect();
+        match machine.apply_batch(&prev, &updates, coalesced_now, &only_cuts) {
+            Ok(result) => {
+                for ((_, reply), outcome) in cuts_ops.into_iter().zip(result.cut_replies) {
+                    let _ = reply.send(outcome);
                 }
+                let Some(next) = result.snapshot else {
+                    continue; // all no-ops: no epoch consumed, nothing published
+                };
+                let applied = next.writes_applied - prev.writes_applied;
+                telemetry.gauge("iris_service_epoch").set(next.epoch as i64);
+                telemetry
+                    .counter("iris_service_writes_applied_total")
+                    .add(applied);
+                telemetry
+                    .counter("iris_service_coalesced_total")
+                    .add(coalesced_now);
+                shared.cell.store(Arc::new(next));
             }
-            let report = controller.reconfigure(&target);
-            telemetry
-                .histogram("iris_service_reconfig_ms")
-                .record(report.total_ms);
-            writes_applied_now += updates.len() as u64;
-        }
-
-        for (cuts, reply) in cuts_ops {
-            let mut merged = active_cuts.clone();
-            merged.extend(cuts);
-            merged.sort_unstable();
-            merged.dedup();
-            match controller.handle_fiber_cut(region, goals, provisioning, &merged) {
-                Ok(report) => {
-                    active_cuts = merged;
-                    writes_applied_now += 1;
-                    let summary = RecoverySummary {
-                        cuts: report.cuts.clone(),
-                        within_tolerance: report.within_tolerance,
-                        fully_recovered: report.fully_recovered(),
-                        shed_pairs: report.shed_pairs.len(),
-                        detection_ms: report.detection_ms,
-                        replan_ms: report.replan_ms,
-                        reconfig_ms: report.reconfig.total_ms,
-                        recovery_ms: report.recovery_ms,
-                    };
-                    last_recovery = Some(summary.clone());
-                    let _ = reply.send(Ok(summary));
+            Err(e) => {
+                // The WAL could not be written: accepting more writes
+                // would let acknowledged state evaporate on the next
+                // crash, so fail loudly and stop the server.
+                for (_, reply) in cuts_ops {
+                    let _ = reply.send(CutReply::Failed(e.clone()));
                 }
-                Err(e) => {
-                    let _ = reply.send(Err(e));
-                }
+                telemetry.counter("iris_service_wal_errors_total").inc();
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return;
             }
         }
-
-        // Build the next snapshot off-lock, then publish with one swap.
-        let mut paths = BTreeMap::new();
-        engine.for_scenarios(std::slice::from_ref(&active_cuts), |_, view| {
-            for p in view.paths() {
-                paths.insert(
-                    (p.a, p.b),
-                    PairPath {
-                        nodes: p.nodes.clone(),
-                        edges: p.edges.clone(),
-                        length_km: p.length_km,
-                    },
-                );
-            }
-        });
-        let next = StateSnapshot {
-            epoch: prev.epoch + 1,
-            allocation: controller.allocation(),
-            paths,
-            active_cuts: active_cuts.clone(),
-            quarantined: controller.quarantined(),
-            writes_applied: prev.writes_applied + writes_applied_now,
-            coalesced: prev.coalesced + coalesced_now,
-            last_recovery,
-        };
-        telemetry.gauge("iris_service_epoch").set(next.epoch as i64);
-        telemetry
-            .counter("iris_service_writes_applied_total")
-            .add(writes_applied_now);
-        telemetry
-            .counter("iris_service_coalesced_total")
-            .add(coalesced_now);
-        shared.cell.store(Arc::new(next));
     }
 }
 
@@ -524,8 +486,11 @@ fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Re
                 return Response::Error(e);
             }
             match reply_rx.recv() {
-                Ok(Ok(summary)) => Response::Recovery(summary),
-                Ok(Err(e)) => Response::Error(e),
+                Ok(CutReply::Applied(summary)) => Response::Recovery(summary),
+                Ok(CutReply::AlreadySevered { active_cuts }) => {
+                    Response::CutAlreadyActive { active_cuts }
+                }
+                Ok(CutReply::Failed(e)) => Response::Error(e),
                 Err(_) => Response::Error(IrisError::Io {
                     detail: "mutator exited before recovery completed".to_owned(),
                 }),

@@ -9,9 +9,10 @@
 //! The epoch increments on every publish, so clients can observe write
 //! batches becoming visible.
 
-use crate::api::RecoverySummary;
+use crate::api::{AllocEntry, RecoverySummary};
 use iris_netgraph::EdgeId;
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -27,7 +28,7 @@ pub struct PairPath {
 }
 
 /// One immutable, internally consistent view of the control plane.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StateSnapshot {
     /// Publish count; 0 is the boot snapshot.
     pub epoch: u64,
@@ -45,6 +46,79 @@ pub struct StateSnapshot {
     pub coalesced: u64,
     /// The most recent completed fiber-cut recovery.
     pub last_recovery: Option<RecoverySummary>,
+}
+
+/// One pair's route as a flat JSON row (tuple map keys flattened for
+/// the offline serde derive).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PathRow {
+    /// First DC index.
+    a: usize,
+    /// Second DC index.
+    b: usize,
+    /// Site sequence.
+    nodes: Vec<usize>,
+    /// Duct sequence.
+    edges: Vec<usize>,
+    /// Path length, km.
+    length_km: f64,
+}
+
+/// The whole snapshot as flat JSON rows — the canonical serialized form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CanonicalSnapshot {
+    /// Snapshot epoch.
+    epoch: u64,
+    /// Circuits per DC pair, `(a, b)` ascending.
+    allocation: Vec<AllocEntry>,
+    /// Route per reachable pair, `(a, b)` ascending.
+    paths: Vec<PathRow>,
+    /// Cumulative failed ducts, ascending.
+    active_cuts: Vec<usize>,
+    /// Quarantined sites.
+    quarantined: Vec<usize>,
+    /// Write operations applied up to this epoch.
+    writes_applied: u64,
+    /// Redundant updates absorbed by coalescing up to this epoch.
+    coalesced: u64,
+    /// The most recent completed fiber-cut recovery.
+    last_recovery: Option<RecoverySummary>,
+}
+
+impl StateSnapshot {
+    /// Canonical JSON rendering of every field — a deterministic,
+    /// byte-comparable fingerprint of the whole snapshot (tuple-keyed
+    /// maps flattened to sorted rows). Two snapshots render identically
+    /// iff they are equal, which is what the crash-recovery tests and
+    /// the `chaos --crash` sweep diff.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        let flat = CanonicalSnapshot {
+            epoch: self.epoch,
+            allocation: self
+                .allocation
+                .iter()
+                .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
+                .collect(),
+            paths: self
+                .paths
+                .iter()
+                .map(|(&(a, b), p)| PathRow {
+                    a,
+                    b,
+                    nodes: p.nodes.clone(),
+                    edges: p.edges.clone(),
+                    length_km: p.length_km,
+                })
+                .collect(),
+            active_cuts: self.active_cuts.clone(),
+            quarantined: self.quarantined.clone(),
+            writes_applied: self.writes_applied,
+            coalesced: self.coalesced,
+            last_recovery: self.last_recovery.clone(),
+        };
+        serde_json::to_string_pretty(&flat).expect("snapshot fields always serialize")
+    }
 }
 
 /// The publication point: readers `load`, the mutator `store`.

@@ -220,6 +220,75 @@ fn fiber_cut_recovers_and_reroutes_queryable_paths() {
 }
 
 #[test]
+fn repeat_cut_on_severed_duct_is_an_idempotent_no_op() {
+    let mut handle = serve(region(21, 5), &test_config()).expect("serve");
+    let mut client = client_for(&handle);
+
+    let topo = match client.call(&Request::GetTopology).unwrap() {
+        Response::Topology(t) => t,
+        other => panic!("expected Topology, got {other:?}"),
+    };
+    let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
+    let path = match client.call(&Request::QueryPath { a, b }).unwrap() {
+        Response::Path(p) => p,
+        other => panic!("expected Path, got {other:?}"),
+    };
+    let cut = path.edges[0];
+
+    match client
+        .call(&Request::ReportFiberCut { cuts: vec![cut] })
+        .unwrap()
+    {
+        Response::Recovery(r) => assert_eq!(r.cuts, vec![cut]),
+        other => panic!("expected Recovery, got {other:?}"),
+    }
+    let health = wait_for_writes(&mut client, 1);
+    let epoch_after_cut = health.epoch;
+    let writes_after_cut = health.writes_applied;
+
+    // Reporting the same duct again must NOT take the (cheaper)
+    // re-recovery path: it is a typed no-op that consumes no epoch and
+    // counts no write.
+    match client
+        .call(&Request::ReportFiberCut { cuts: vec![cut] })
+        .unwrap()
+    {
+        Response::CutAlreadyActive { active_cuts } => assert_eq!(active_cuts, vec![cut]),
+        other => panic!("expected CutAlreadyActive, got {other:?}"),
+    }
+    let health = match client.call(&Request::Health).unwrap() {
+        Response::Health(h) => h,
+        other => panic!("expected Health, got {other:?}"),
+    };
+    assert_eq!(health.epoch, epoch_after_cut, "no-op must not publish");
+    assert_eq!(health.writes_applied, writes_after_cut);
+    assert_eq!(health.active_cuts, vec![cut]);
+
+    // A mixed report (one new duct + the severed one) still applies.
+    let path = match client.call(&Request::QueryPath { a, b }).unwrap() {
+        Response::Path(p) => p,
+        other => panic!("expected Path, got {other:?}"),
+    };
+    let second = path.edges[0];
+    assert_ne!(second, cut, "rerouted path avoids the severed duct");
+    match client
+        .call(&Request::ReportFiberCut {
+            cuts: vec![cut, second],
+        })
+        .unwrap()
+    {
+        Response::Recovery(r) => {
+            let mut want = vec![cut, second];
+            want.sort_unstable();
+            assert_eq!(r.cuts, want);
+        }
+        other => panic!("expected Recovery, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
 fn full_queue_answers_typed_backpressure() {
     let config = ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),

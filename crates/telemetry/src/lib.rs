@@ -15,6 +15,7 @@
 //! the returned `Arc` rather than re-looking up per event.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod histogram;
 mod registry;
