@@ -16,6 +16,7 @@
 use iris_service::{run_loadgen, LoadgenConfig};
 
 fn main() {
+    iris_telemetry::trace::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => {}

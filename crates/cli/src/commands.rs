@@ -536,6 +536,8 @@ pub fn serve(opts: &Options) -> IrisResult<()> {
         coalesce_window_ms: opts.num("window", 2)?,
         wal_dir: opts.get("wal-dir").map(str::to_owned),
         snapshot_every: opts.num("snapshot-every", 64)?,
+        trace: parse_switch(opts.get("trace"), "trace", true)?,
+        slow_ms: opts.num("slow-ms", 250.0)?,
         ..iris_service::ServiceConfig::default()
     };
     let handle = iris_service::serve(region, &config)?;
@@ -615,10 +617,13 @@ pub fn rpc(opts: &Options) -> IrisResult<()> {
         },
         "health" => Request::Health,
         "metrics_snapshot" | "metrics" => Request::MetricsSnapshot,
+        "trace_dump" | "trace" => Request::TraceDump {
+            max_events: opts.num("max", 0)?,
+        },
         other => {
             return Err(format!(
                 "unknown op '{other}' (try get_plan, get_topology, query_path, \
-                 update_demand, report_fiber_cut, health, metrics_snapshot)"
+                 update_demand, report_fiber_cut, health, metrics_snapshot, trace_dump)"
             )
             .into())
         }
@@ -710,6 +715,292 @@ pub fn loadgen(opts: &Options) -> IrisResult<()> {
     iris_service::loadgen::write_results(r, out)?;
     println!("\nresults written to {out}");
     Ok(())
+}
+
+/// `iris trace dump` — fetch the server's flight recorder and render
+/// each trace as an indented span tree plus the slow-request log.
+pub fn trace_dump(opts: &Options) -> IrisResult<()> {
+    use iris_service::{Request, Response, TraceEventInfo};
+
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7117");
+    let max_events: u64 = opts.num("max", 0)?;
+    let keep: usize = opts.num("traces", 10)?;
+    let mut client = iris_service::ServiceClient::connect(addr)?;
+    let Response::Trace(dump) = client
+        .call(&Request::TraceDump { max_events })?
+        .into_result()?
+    else {
+        return Err(IrisError::Decode {
+            detail: "TraceDump answered a non-Trace response".to_owned(),
+        });
+    };
+    println!(
+        "flight recorder @ {addr}: enabled={}, {} events, {} overwritten",
+        dump.enabled,
+        dump.events.len(),
+        dump.dropped
+    );
+
+    // Traces in order of their newest event, so the tail of the output
+    // is the most recent activity.
+    let mut order: Vec<u64> = Vec::new();
+    for e in &dump.events {
+        if let Some(pos) = order.iter().position(|&t| t == e.trace_id) {
+            order.remove(pos);
+        }
+        order.push(e.trace_id);
+    }
+    let skip = if keep == 0 {
+        0
+    } else {
+        order.len().saturating_sub(keep)
+    };
+    if skip > 0 {
+        println!(
+            "(showing the {} newest of {} traces; --traces 0 shows all)",
+            order.len() - skip,
+            order.len()
+        );
+    }
+    for &tid in &order[skip..] {
+        let events: Vec<&TraceEventInfo> =
+            dump.events.iter().filter(|e| e.trace_id == tid).collect();
+        // Offsets are rendered relative to the trace's earliest
+        // measured span, so each tree starts near +0.
+        let base_us = events
+            .iter()
+            .filter(|e| !e.modeled)
+            .map(|e| e.start_us)
+            .min()
+            .unwrap_or(0);
+        println!("\ntrace {tid:#018x}");
+        let mut roots: Vec<&&TraceEventInfo> = events
+            .iter()
+            .filter(|e| e.parent_id == 0 || !events.iter().any(|p| p.span_id == e.parent_id))
+            .collect();
+        roots.sort_by_key(|e| e.start_us);
+        for root in roots {
+            print_span_tree(&events, root, 0, base_us);
+        }
+    }
+
+    if dump.slow.is_empty() {
+        println!("\nslow-request log: empty");
+    } else {
+        println!("\nslow-request log (oldest first):");
+        for s in &dump.slow {
+            println!(
+                "  {:<14} {:>10.3} ms  trace {:#018x}  at +{:.3} s",
+                s.op,
+                s.total_ms,
+                s.trace_id,
+                s.at_us as f64 / 1e6
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Print one span and, recursively, its children (indented).
+fn print_span_tree(
+    events: &[&iris_service::TraceEventInfo],
+    node: &iris_service::TraceEventInfo,
+    depth: usize,
+    base_us: u64,
+) {
+    let indent = "  ".repeat(depth + 1);
+    let width = 26usize.saturating_sub(depth * 2).max(8);
+    if node.modeled {
+        // Modeled steps carry parent-relative offsets from the
+        // controller's deterministic timeline.
+        println!(
+            "{indent}~{:<width$} +{:>9.3} ms  {:>10.3} ms (modeled)",
+            node.stage,
+            node.start_us as f64 / 1e3,
+            node.dur_us as f64 / 1e3,
+        );
+    } else {
+        println!(
+            "{indent}{:<width$}  +{:>9.3} ms  {:>10.3} ms",
+            node.stage,
+            node.start_us.saturating_sub(base_us) as f64 / 1e3,
+            node.dur_us as f64 / 1e3,
+        );
+    }
+    let mut kids: Vec<&&iris_service::TraceEventInfo> = events
+        .iter()
+        .filter(|e| e.parent_id == node.span_id && e.span_id != node.span_id)
+        .collect();
+    kids.sort_by_key(|e| (e.modeled, e.start_us));
+    for kid in kids {
+        print_span_tree(events, kid, depth + 1, base_us);
+    }
+}
+
+/// `iris top` — one-shot (or `--watch` repeating) health and latency
+/// view of a running server.
+pub fn top(opts: &Options) -> IrisResult<()> {
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:7117");
+    let watch: u64 = opts.num("watch", 0)?;
+    let mut client = iris_service::ServiceClient::connect(addr)?;
+    loop {
+        let view = render_top(&mut client, addr)?;
+        if watch > 0 {
+            // Clear + home so the watch view repaints in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{view}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if watch == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(watch.max(1)));
+    }
+}
+
+/// Build the `iris top` screen from Health + MetricsSnapshot replies.
+fn render_top(client: &mut iris_service::ServiceClient, addr: &str) -> IrisResult<String> {
+    use iris_service::{Request, Response};
+    use std::fmt::Write as _;
+
+    let Response::Health(h) = client.call(&Request::Health)?.into_result()? else {
+        return Err(IrisError::Decode {
+            detail: "Health answered a non-Health response".to_owned(),
+        });
+    };
+    let Response::Metrics { prometheus } = client.call(&Request::MetricsSnapshot)?.into_result()?
+    else {
+        return Err(IrisError::Decode {
+            detail: "MetricsSnapshot answered a non-Metrics response".to_owned(),
+        });
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "iris top — {addr}");
+    let _ = writeln!(
+        out,
+        "uptime {:>8.1} s   epoch {}   queue {}   overload events {}",
+        h.uptime_ms as f64 / 1e3,
+        h.epoch,
+        h.queue_depth,
+        h.overloaded
+    );
+    let _ = writeln!(
+        out,
+        "writes applied {}   coalesced {}   active cuts {:?}   quarantined {}",
+        h.writes_applied, h.coalesced, h.active_cuts, h.quarantined
+    );
+    let _ = writeln!(
+        out,
+        "wal: {} records, {} bytes, last fsync {:.3} ms",
+        h.wal_records, h.wal_bytes, h.last_fsync_ms
+    );
+    let table = latency_table(&prometheus);
+    if !table.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n  {:<18} {:>9}  {:>10}  {:>10}",
+            "op", "count", "p50 \u{2264}", "p99 \u{2264}"
+        );
+        for (op, count, p50, p99) in table {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>9}  {:>7} ms  {:>7} ms",
+                op,
+                count,
+                fmt_upper(p50),
+                fmt_upper(p99)
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Render a histogram upper bound: finite as a number, overflow as
+/// `>max` (the sample fell past the last finite bucket).
+fn fmt_upper(upper: f64) -> String {
+    if upper.is_finite() {
+        format!("{upper:.3}")
+    } else {
+        ">max".to_owned()
+    }
+}
+
+/// Per-op `(op, count, p50_upper, p99_upper)` rows parsed from the
+/// server's Prometheus text (`iris_service_latency_ms_bucket` series).
+/// Quantiles are bucket upper bounds — conservative, not interpolated.
+fn latency_table(prom: &str) -> Vec<(String, u64, f64, f64)> {
+    use std::collections::BTreeMap;
+
+    let mut per_op: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    for line in prom.lines() {
+        let Some(rest) = line.strip_prefix("iris_service_latency_ms_bucket{") else {
+            continue;
+        };
+        let Some((labels, value)) = rest.split_once("} ") else {
+            continue;
+        };
+        let mut le = None;
+        let mut op = None;
+        for part in labels.split(',') {
+            let Some((k, v)) = part.split_once('=') else {
+                continue;
+            };
+            let v = v.trim_matches('"');
+            match k {
+                "le" => le = Some(v.to_owned()),
+                "op" => op = Some(v.to_owned()),
+                _ => {}
+            }
+        }
+        let (Some(le), Some(op)) = (le, op) else {
+            continue;
+        };
+        let Ok(cum) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        let upper = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().unwrap_or(f64::INFINITY)
+        };
+        per_op.entry(op).or_default().push((upper, cum));
+    }
+    per_op
+        .into_iter()
+        .map(|(op, mut buckets)| {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let count = buckets.last().map_or(0, |b| b.1);
+            let p50 = bucket_quantile(&buckets, count, 0.50);
+            let p99 = bucket_quantile(&buckets, count, 0.99);
+            (op, count, p50, p99)
+        })
+        .collect()
+}
+
+/// The upper bound of the first cumulative bucket covering quantile `q`.
+fn bucket_quantile(buckets: &[(f64, u64)], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = ((count as f64) * q).ceil().max(1.0) as u64;
+    for &(upper, cum) in buckets {
+        if cum >= rank {
+            return upper;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Parse an `on|off` option value, defaulting when absent.
+fn parse_switch(value: Option<&str>, name: &str, default: bool) -> Result<bool, String> {
+    match value {
+        None => Ok(default),
+        Some("on" | "true" | "1") => Ok(true),
+        Some("off" | "false" | "0") => Ok(false),
+        Some(other) => Err(format!("--{name}: expected on or off, got '{other}'")),
+    }
 }
 
 /// Parse a comma-separated duct-id list (`"4"`, `"4,17"`).

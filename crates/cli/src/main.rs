@@ -12,6 +12,8 @@
 //! iris serve    --region region.json [--addr HOST:PORT] [--cuts 1] [--wal-dir DIR]
 //! iris wal      inspect --dir DIR
 //! iris rpc      --op health [--addr HOST:PORT]
+//! iris trace    dump [--addr HOST:PORT] [--max N] [--traces N]
+//! iris top      [--addr HOST:PORT] [--watch SECS]
 //! iris loadgen  --seed 7 --requests 2000 [--cut DUCT] [--out FILE]
 //! ```
 //!
@@ -46,6 +48,9 @@ impl From<String> for CliError {
 }
 
 fn main() {
+    // `IRIS_TRACE=0` disables the in-process flight recorder before any
+    // subcommand (notably `serve` and `loadgen`) starts recording.
+    iris_telemetry::trace::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&argv) {
         Ok(()) => 0,
@@ -111,8 +116,20 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "threads",
             "wal-dir",
             "snapshot-every",
+            "trace",
+            "slow-ms",
         ],
-        "rpc" => &["addr", "op", "a", "b", "circuits", "cuts", "telemetry"],
+        "rpc" => &[
+            "addr",
+            "op",
+            "a",
+            "b",
+            "circuits",
+            "cuts",
+            "max",
+            "telemetry",
+        ],
+        "top" => &["addr", "watch", "telemetry"],
         "loadgen" => &[
             "addr",
             "seed",
@@ -134,6 +151,9 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     if command == "wal" {
         return run_wal(&argv[1..]);
     }
+    if command == "trace" {
+        return run_trace(&argv[1..]);
+    }
     // `--crash` is a boolean switch (chaos only); everything else is
     // strict `--key value`.
     let flags: &[&str] = if command == "chaos" { &["crash"] } else { &[] };
@@ -151,6 +171,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "chaos" => commands::chaos(&opts),
         "serve" => commands::serve(&opts),
         "rpc" => commands::rpc(&opts),
+        "top" => commands::top(&opts),
         "loadgen" => commands::loadgen(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -168,7 +189,30 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `iris wal <verb>` dispatch: the only two-token subcommand.
+/// `iris trace <verb>` dispatch (two-token, like `iris wal`).
+fn run_trace(rest: &[String]) -> Result<(), CliError> {
+    let Some(verb) = rest.first() else {
+        return Err(CliError::UnknownCommand(
+            "usage: iris trace dump [--addr HOST:PORT] [--max N] [--traces N]".to_owned(),
+        ));
+    };
+    match verb.as_str() {
+        "dump" => {
+            let opts = args::Options::parse(&rest[1..])?;
+            opts.ensure_known("trace dump", &["addr", "max", "traces", "telemetry"])?;
+            commands::trace_dump(&opts)?;
+            if let Some(path) = opts.get("telemetry") {
+                write_telemetry(path)?;
+            }
+            Ok(())
+        }
+        other => Err(CliError::UnknownCommand(format!(
+            "unknown command 'trace {other}' (try `iris trace dump --addr HOST:PORT`)"
+        ))),
+    }
+}
+
+/// `iris wal <verb>` dispatch (two-token, like `iris trace`).
 fn run_wal(rest: &[String]) -> Result<(), CliError> {
     let Some(verb) = rest.first() else {
         return Err(CliError::UnknownCommand(
@@ -240,7 +284,7 @@ USAGE:
                 Exits 6 (replay-failed) if any scenario diverges
   iris serve    --region FILE [--addr HOST:PORT] [--cuts K] [--queue N]
                 [--window MS] [--threads T] [--wal-dir DIR]
-                [--snapshot-every B]
+                [--snapshot-every B] [--trace on|off] [--slow-ms MS]
                 run the long-lived control-plane server: length-prefixed
                 JSON frames over TCP; snapshot reads, coalesced writes,
                 typed Overloaded backpressure. --addr HOST:0 picks a free
@@ -255,10 +299,22 @@ USAGE:
                 per-record epochs/ops/CRCs, torn-tail diagnosis, and the
                 epoch the server would recover to. Never modifies DIR
   iris rpc      --op OP [--addr HOST:PORT] [--a N --b N] [--circuits C]
-                [--cuts D1,D2]
+                [--cuts D1,D2] [--max N]
                 one request against a running server, reply as JSON; OP is
                 get_plan | get_topology | query_path | update_demand |
-                report_fiber_cut | health | metrics_snapshot
+                report_fiber_cut | health | metrics_snapshot | trace_dump
+  iris trace    dump [--addr HOST:PORT] [--max N] [--traces N]
+                fetch the server's flight recorder and render each trace
+                as an indented span tree with per-stage latencies
+                (queue wait, coalesce, WAL append, fsync, apply, publish;
+                modeled reconfiguration phases marked with `~`), plus the
+                slow-request log. --traces N keeps only the N newest
+                traces (default 10, 0 = all)
+  iris top      [--addr HOST:PORT] [--watch SECS]
+                one-shot (or repeating, with --watch) health and latency
+                view of a running server: uptime, epoch, queue depth,
+                WAL totals, and approximate per-op p50/p99 read from the
+                server's live histograms
   iris loadgen  [--addr HOST:PORT] [--seed N] [--requests N]
                 [--connections N] [--cut D1,D2] [--out FILE]
                 seeded closed-loop load against a running server; writes

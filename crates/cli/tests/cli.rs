@@ -299,7 +299,11 @@ fn telemetry_prom_extension_writes_prometheus_text() {
         text.contains("# TYPE iris_simnet_events_total counter"),
         "{text}"
     );
-    assert!(text.contains("quantile=\"0.99\""), "{text}");
+    // Histograms export real cumulative buckets, not quantile gauges.
+    assert!(text.contains("histogram"), "{text}");
+    assert!(text.contains("_bucket{"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    assert!(!text.contains("quantile=\""), "{text}");
 }
 
 #[test]

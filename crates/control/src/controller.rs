@@ -382,6 +382,11 @@ impl Controller {
             };
         }
         telemetry.counter("iris_control_reconfigs_total").inc();
+        // When the caller holds an open trace (the mutator's batch
+        // span), the whole reconfiguration becomes a child span and
+        // each timeline phase a modeled grandchild; with no active
+        // trace (replay, benches, the crash harness) this is inert.
+        let _trace_span = iris_telemetry::trace::span("reconfigure");
         telemetry
             .counter("iris_control_circuits_up_total")
             .add(u64::from(plan.circuits_up));
@@ -627,10 +632,17 @@ impl Controller {
         }
 
         // Telemetry: modeled per-phase latency and device-health tally.
+        // The same timeline feeds the flight recorder as modeled spans
+        // (start offsets relative to the reconfiguration).
         for step in &timeline {
             telemetry
                 .histogram(&labeled("iris_control_phase_ms", "phase", &step.phase))
                 .record(step.end_ms - step.start_ms);
+            iris_telemetry::trace::emit_modeled(
+                &step.phase,
+                step.start_ms,
+                step.end_ms - step.start_ms,
+            );
         }
         for h in &health {
             let state = match h {
@@ -702,6 +714,12 @@ impl Controller {
             });
         }
         telemetry.counter("iris_control_recovery_total").inc();
+        // Under an open trace, the recovery pipeline emits its span
+        // tree: modeled detection + replanning here, the per-phase
+        // reconfiguration timeline inside `reconfigure_impl`.
+        let _trace_span = iris_telemetry::trace::span("handle_fiber_cut");
+        iris_telemetry::trace::emit_modeled("detect", 0.0, LOS_DETECTION_MS);
+        iris_telemetry::trace::emit_modeled("replan", LOS_DETECTION_MS, REPLAN_MS);
 
         // Re-plan: shortest paths avoiding the cut ducts.
         let (paths, unreachable) = scenario_paths(region, goals, cuts);

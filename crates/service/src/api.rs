@@ -47,6 +47,13 @@ pub enum Request {
     /// The process-global telemetry registry, rendered as Prometheus
     /// text.
     MetricsSnapshot,
+    /// Dump the flight recorder: recent trace events plus the
+    /// slow-request log.
+    TraceDump {
+        /// Newest events to return; 0 asks for the server default
+        /// (bounded so the reply fits one frame).
+        max_events: u64,
+    },
 }
 
 impl Request {
@@ -61,6 +68,7 @@ impl Request {
             Request::ReportFiberCut { .. } => "report_fiber_cut",
             Request::Health => "health",
             Request::MetricsSnapshot => "metrics_snapshot",
+            Request::TraceDump { .. } => "trace_dump",
         }
     }
 
@@ -190,6 +198,66 @@ pub struct HealthInfo {
     pub quarantined: usize,
     /// The most recent completed recovery, if any.
     pub last_recovery: Option<RecoverySummary>,
+    /// Milliseconds since the server started serving.
+    pub uptime_ms: u64,
+    /// WAL records appended since the log was opened (0 when the
+    /// server runs without durability).
+    pub wal_records: u64,
+    /// WAL bytes appended since the log was opened.
+    pub wal_bytes: u64,
+    /// Duration of the most recent WAL fsync, ms (0 before the first
+    /// append or without a WAL).
+    pub last_fsync_ms: f64,
+}
+
+/// One flight-recorder event on the wire. Mirrors
+/// [`iris_telemetry::trace::TraceEvent`]; see there for field
+/// semantics (notably: modeled events carry parent-relative starts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEventInfo {
+    /// Trace this event belongs to.
+    pub trace_id: u64,
+    /// Span id, unique within the server process.
+    pub span_id: u32,
+    /// Parent span id (0 = trace root).
+    pub parent_id: u32,
+    /// Pipeline stage name, e.g. `wal_fsync`.
+    pub stage: String,
+    /// Start offset, µs (epoch-relative, or parent-relative when
+    /// modeled).
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Whether this is a modeled timeline step.
+    pub modeled: bool,
+}
+
+/// One slow-request log entry on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowRequestInfo {
+    /// The offending request's trace id.
+    pub trace_id: u64,
+    /// Request op (or `write_batch`).
+    pub op: String,
+    /// Total handling time, ms.
+    pub total_ms: f64,
+    /// When it was logged, µs since the recorder epoch.
+    pub at_us: u64,
+}
+
+/// Reply body for [`Request::TraceDump`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDumpInfo {
+    /// Whether the server's flight recorder is enabled.
+    pub enabled: bool,
+    /// Events overwritten in the ring before they could be dumped
+    /// (lower bound).
+    pub dropped: u64,
+    /// Recorded events, oldest first, trimmed to the requested or
+    /// server-side maximum.
+    pub events: Vec<TraceEventInfo>,
+    /// The slow-request log, oldest first.
+    pub slow: Vec<SlowRequestInfo>,
 }
 
 /// A server reply. `Error` carries the typed [`IrisError`] — including
@@ -225,6 +293,8 @@ pub enum Response {
         /// The registry in Prometheus text exposition format.
         prometheus: String,
     },
+    /// Reply to [`Request::TraceDump`].
+    Trace(TraceDumpInfo),
     /// The request failed.
     Error(IrisError),
 }
@@ -318,6 +388,7 @@ mod tests {
             Request::ReportFiberCut { cuts: vec![5, 9] },
             Request::Health,
             Request::MetricsSnapshot,
+            Request::TraceDump { max_events: 500 },
         ];
         for req in &reqs {
             let bytes = encode_request(req).unwrap();
@@ -355,6 +426,29 @@ mod tests {
                     reconfig_ms: 52.0,
                     recovery_ms: 67.0,
                 }),
+                uptime_ms: 81_000,
+                wal_records: 42,
+                wal_bytes: 13_337,
+                last_fsync_ms: 0.42,
+            }),
+            Response::Trace(TraceDumpInfo {
+                enabled: true,
+                dropped: 3,
+                events: vec![TraceEventInfo {
+                    trace_id: 0xAB,
+                    span_id: 2,
+                    parent_id: 1,
+                    stage: "wal_fsync".into(),
+                    start_us: 1_000,
+                    dur_us: 420,
+                    modeled: false,
+                }],
+                slow: vec![SlowRequestInfo {
+                    trace_id: 0xAB,
+                    op: "report_fiber_cut".into(),
+                    total_ms: 61.5,
+                    at_us: 2_000,
+                }],
             }),
         ];
         for resp in &resps {

@@ -1,7 +1,7 @@
 //! A blocking client for the framed JSON protocol.
 
 use crate::api::{decode_response, encode_request, Request, Response};
-use crate::frame::{read_frame, write_frame, FrameEvent};
+use crate::frame::{read_frame, write_frame_traced, FrameEvent};
 use iris_errors::{IrisError, IrisResult};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -96,8 +96,33 @@ impl ServiceClient {
     /// [`IrisError::Io`] on socket failure, [`IrisError::Decode`] on a
     /// malformed reply or server disconnect mid-reply.
     pub fn call(&mut self, req: &Request) -> IrisResult<Response> {
+        // Propagate the caller's trace context (if any) so the server
+        // logs the request under an id the caller can correlate. When
+        // the local recorder is disabled no header is sent and the
+        // frame bytes are identical to the pre-tracing protocol.
+        let trace = if iris_telemetry::trace::enabled() {
+            iris_telemetry::trace::current_trace().or_else(|| {
+                if req.is_write() {
+                    Some(iris_telemetry::trace::mint_trace_id())
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
+        self.call_with_trace(req, trace)
+    }
+
+    /// [`ServiceClient::call`] with an explicit trace context: `Some`
+    /// attaches the id as a frame header, `None` sends a legacy frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::call`].
+    pub fn call_with_trace(&mut self, req: &Request, trace: Option<u64>) -> IrisResult<Response> {
         let payload = encode_request(req)?;
-        write_frame(&mut self.stream, &payload)?;
+        write_frame_traced(&mut self.stream, &payload, trace)?;
         loop {
             match read_frame(&mut self.stream)? {
                 FrameEvent::Frame(bytes) => return decode_response(&bytes),

@@ -7,6 +7,18 @@
 //! fault paths are typed [`IrisError`]s — a truncated prefix, an
 //! oversized frame and a payload cut off mid-frame each name exactly
 //! what was wrong.
+//!
+//! ## Trace header
+//!
+//! A frame may carry an optional 8-byte trace id between the prefix
+//! and the payload, announced by [`TRACE_FLAG`] — the top bit of the
+//! length prefix, which a legacy frame can never set because
+//! [`MAX_FRAME_LEN`] keeps real lengths far below it. The extension
+//! is backward compatible in both directions: frames written without
+//! a trace id are byte-identical to the legacy format, and
+//! [`read_frame`] (the legacy entry point) accepts both forms,
+//! discarding the id. Use [`write_frame_traced`]/[`read_frame_traced`]
+//! to propagate ids.
 
 use iris_errors::{IrisError, IrisResult};
 use std::io::{ErrorKind, Read, Write};
@@ -15,6 +27,11 @@ use std::io::{ErrorKind, Read, Write};
 /// response (a full metrics snapshot is a few KiB) while keeping a
 /// malicious length prefix from allocating gigabytes.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Length-prefix bit announcing an 8-byte trace-id header between the
+/// prefix and the payload. Disjoint from any legal length: payloads
+/// are bounded by [`MAX_FRAME_LEN`] `= 1 << 20`.
+pub const TRACE_FLAG: u32 = 1 << 31;
 
 /// One read attempt's outcome on a framed stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +53,22 @@ pub enum FrameEvent {
 /// [`IrisError::InvalidInput`] if the payload exceeds [`MAX_FRAME_LEN`];
 /// [`IrisError::Io`] on socket failure.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> IrisResult<()> {
+    write_frame_traced(w, payload, None)
+}
+
+/// Write `payload` as one frame, attaching the trace-id header when
+/// `trace_id` is `Some`, and flush. With `None` the wire bytes are
+/// identical to the legacy (pre-tracing) format.
+///
+/// # Errors
+///
+/// [`IrisError::InvalidInput`] if the payload exceeds [`MAX_FRAME_LEN`];
+/// [`IrisError::Io`] on socket failure.
+pub fn write_frame_traced<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    trace_id: Option<u64>,
+) -> IrisResult<()> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(IrisError::InvalidInput {
             detail: format!(
@@ -44,11 +77,25 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> IrisResult<()> {
             ),
         });
     }
-    let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_LEN");
+    let mut len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_LEN");
+    if trace_id.is_some() {
+        len |= TRACE_FLAG;
+    }
     let io_err = |e: std::io::Error| IrisError::Io {
         detail: format!("frame write failed: {e}"),
     };
-    w.write_all(&len.to_be_bytes()).map_err(io_err)?;
+    // Prefix and trace header go out as ONE write: with NODELAY a
+    // separate 8-byte write would cost an extra syscall and TCP
+    // segment per traced frame.
+    match trace_id {
+        Some(id) => {
+            let mut head = [0u8; 12];
+            head[..4].copy_from_slice(&len.to_be_bytes());
+            head[4..].copy_from_slice(&id.to_be_bytes());
+            w.write_all(&head).map_err(io_err)?;
+        }
+        None => w.write_all(&len.to_be_bytes()).map_err(io_err)?,
+    }
     w.write_all(payload).map_err(io_err)?;
     w.flush().map_err(io_err)
 }
@@ -64,28 +111,53 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> IrisResult<()> {
 /// announced length (checked before allocating) or a payload cut off
 /// mid-frame; [`IrisError::Io`] for other socket failures.
 pub fn read_frame<R: Read>(r: &mut R) -> IrisResult<FrameEvent> {
+    read_frame_traced(r).map(|(event, _)| event)
+}
+
+/// Read the next frame along with its trace id, if the peer attached
+/// one. Headerless (legacy) frames decode exactly as before with a
+/// `None` id. See [`read_frame`] for the event semantics.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`IrisError::Decode`] for a frame whose
+/// announced trace header is cut off.
+pub fn read_frame_traced<R: Read>(r: &mut R) -> IrisResult<(FrameEvent, Option<u64>)> {
     let mut prefix = [0u8; 4];
     match read_fill(r, &mut prefix, true)? {
         Fill::Complete => {}
-        Fill::Empty => return Ok(FrameEvent::Eof),
-        Fill::Idle => return Ok(FrameEvent::Idle),
+        Fill::Empty => return Ok((FrameEvent::Eof, None)),
+        Fill::Idle => return Ok((FrameEvent::Idle, None)),
         Fill::Partial(got) => {
             return Err(IrisError::Decode {
                 detail: format!("truncated length prefix: wanted 4 bytes, got {got}"),
             })
         }
     }
-    let len = u32::from_be_bytes(prefix) as usize;
+    let raw = u32::from_be_bytes(prefix);
+    let traced = raw & TRACE_FLAG != 0;
+    let len = (raw & !TRACE_FLAG) as usize;
     if len > MAX_FRAME_LEN {
-        // Reject before allocating: the announced length is attacker- or
+        // Reject before allocating (or reading a header the peer may
+        // never send): the announced length is attacker- or
         // corruption-controlled.
         return Err(IrisError::Decode {
             detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte maximum"),
         });
     }
+    let trace_id = if traced {
+        let mut header = [0u8; 8];
+        match read_fill(r, &mut header, false)? {
+            Fill::Complete => {}
+            Fill::Empty | Fill::Idle | Fill::Partial(_) => unreachable!("eof_ok is false"),
+        }
+        Some(u64::from_be_bytes(header))
+    } else {
+        None
+    };
     let mut payload = vec![0u8; len];
     match read_fill(r, &mut payload, false)? {
-        Fill::Complete => Ok(FrameEvent::Frame(payload)),
+        Fill::Complete => Ok((FrameEvent::Frame(payload), trace_id)),
         Fill::Empty | Fill::Idle | Fill::Partial(_) => unreachable!("eof_ok is false"),
     }
 }
@@ -209,6 +281,78 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("wanted 11"), "{msg}");
         assert!(msg.contains("got 5"), "{msg}");
+    }
+
+    #[test]
+    fn traced_frame_round_trips_id_and_payload() {
+        let mut bytes = Vec::new();
+        write_frame_traced(
+            &mut bytes,
+            b"{\"Health\":null}",
+            Some(0xDEAD_BEEF_0042_1337),
+        )
+        .unwrap();
+        assert_eq!(bytes[0] & 0x80, 0x80, "trace flag set in the prefix");
+        let mut r = Cursor::new(bytes);
+        let (event, trace_id) = read_frame_traced(&mut r).unwrap();
+        assert_eq!(event, FrameEvent::Frame(b"{\"Health\":null}".to_vec()));
+        assert_eq!(trace_id, Some(0xDEAD_BEEF_0042_1337));
+        assert_eq!(read_frame_traced(&mut r).unwrap(), (FrameEvent::Eof, None));
+    }
+
+    #[test]
+    fn untraced_write_is_byte_identical_to_the_legacy_format() {
+        // An old client's frame is exactly [len BE | payload]; the new
+        // writer must produce those bytes when no trace id is attached,
+        // and both readers must agree on what they mean.
+        let payload = b"{\"GetPlan\":null}";
+        let mut new_writer = Vec::new();
+        write_frame_traced(&mut new_writer, payload, None).unwrap();
+        let mut legacy = (payload.len() as u32).to_be_bytes().to_vec();
+        legacy.extend_from_slice(payload);
+        assert_eq!(new_writer, legacy, "no header, no flag, same bytes");
+
+        let (event, trace_id) = read_frame_traced(&mut Cursor::new(legacy.clone())).unwrap();
+        assert_eq!(event, FrameEvent::Frame(payload.to_vec()));
+        assert_eq!(trace_id, None, "legacy frames carry no trace id");
+        assert_eq!(
+            read_frame(&mut Cursor::new(legacy)).unwrap(),
+            FrameEvent::Frame(payload.to_vec())
+        );
+    }
+
+    #[test]
+    fn legacy_reader_accepts_traced_frames() {
+        // An old server (read_frame) receiving a new client's traced
+        // frame sees the same payload; the id is simply discarded.
+        let mut bytes = Vec::new();
+        write_frame_traced(&mut bytes, b"ping", Some(7)).unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(bytes)).unwrap(),
+            FrameEvent::Frame(b"ping".to_vec())
+        );
+    }
+
+    #[test]
+    fn truncated_trace_header_is_a_decode_error() {
+        let mut bytes = Vec::new();
+        write_frame_traced(&mut bytes, b"ping", Some(7)).unwrap();
+        bytes.truncate(4 + 3); // prefix + 3 of 8 header bytes
+        let err = read_frame_traced(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err.code(), "decode");
+    }
+
+    #[test]
+    fn oversized_traced_length_is_rejected_before_the_header() {
+        // A corrupted prefix with the trace flag set and an absurd
+        // length must fail on the length check, not stall waiting for
+        // a trace header that will never arrive.
+        let bytes = (TRACE_FLAG | (MAX_FRAME_LEN as u32 + 1))
+            .to_be_bytes()
+            .to_vec();
+        let err = read_frame_traced(&mut Cursor::new(bytes)).unwrap_err();
+        assert_eq!(err.code(), "decode");
+        assert!(err.to_string().contains("exceeds"), "{err}");
     }
 
     #[test]

@@ -47,9 +47,12 @@ pub mod server;
 pub mod state;
 pub mod wal;
 
-pub use api::{Request, Response};
+pub use api::{Request, Response, SlowRequestInfo, TraceDumpInfo, TraceEventInfo};
 pub use client::ServiceClient;
-pub use frame::{read_frame, write_frame, FrameEvent, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, read_frame_traced, write_frame, write_frame_traced, FrameEvent, MAX_FRAME_LEN,
+    TRACE_FLAG,
+};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
 pub use recovery::{recover, ControlMachine, CutReply, ReplayStats};
 pub use server::{serve, ServiceConfig, ServiceHandle};

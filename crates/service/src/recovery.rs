@@ -305,6 +305,13 @@ impl<'r> ControlMachine<'r> {
         &self.active_cuts
     }
 
+    /// The WAL's cumulative statistics (`None` for a memory-only
+    /// machine).
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<crate::wal::WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
     /// Apply one coalesced batch: demand updates first (one
     /// reconfiguration to the merged target), then each cut operation in
     /// order. The WAL record is appended and fsync'd *before* the
@@ -328,6 +335,12 @@ impl<'r> ControlMachine<'r> {
         let mut last_recovery = prev.last_recovery.clone();
         let mut cut_records: Vec<CutRecord> = Vec::new();
         let mut cut_replies = Vec::with_capacity(cuts_ops.len());
+
+        // Child spans (controller reconfigurations, per-phase modeled
+        // steps) nest under "apply" when the mutator opened a batch
+        // trace; replay and the crash harness run with no trace and
+        // record nothing.
+        let apply_span = iris_telemetry::trace::span("apply");
 
         if !updates.is_empty() {
             let mut target = self.controller.allocation();
@@ -389,6 +402,7 @@ impl<'r> ControlMachine<'r> {
                 Err(e) => cut_replies.push(CutReply::Failed(e)),
             }
         }
+        drop(apply_span);
 
         if writes_applied_now == 0 && coalesced_now == 0 {
             // Nothing applied (all no-ops or failures): no epoch, no
@@ -414,6 +428,7 @@ impl<'r> ControlMachine<'r> {
             })?;
         }
 
+        let build_span = iris_telemetry::trace::span("snapshot_build");
         let mut paths = BTreeMap::new();
         self.engine
             .for_scenarios(std::slice::from_ref(&self.active_cuts), |_, view| {
@@ -438,6 +453,7 @@ impl<'r> ControlMachine<'r> {
             coalesced: prev.coalesced + coalesced_now,
             last_recovery,
         };
+        drop(build_span);
         if let Some(wal) = &mut self.wal {
             if self.snapshot_every > 0 && wal.batches_since_compaction() >= self.snapshot_every {
                 wal.compact(&PersistedSnapshot::from_state(&next))?;

@@ -11,9 +11,10 @@
 //! [`IrisError::Overloaded`] instead of blocking the socket.
 
 use crate::api::{
-    AllocEntry, HealthInfo, PathInfo, PlanSummary, Request, Response, TopologySummary,
+    AllocEntry, HealthInfo, PathInfo, PlanSummary, Request, Response, SlowRequestInfo,
+    TopologySummary, TraceDumpInfo, TraceEventInfo,
 };
-use crate::frame::{read_frame, write_frame, FrameEvent};
+use crate::frame::{read_frame_traced, write_frame, FrameEvent};
 use crate::recovery::{self, ControlMachine, CutReply, ReplayStats};
 use crate::state::{SnapshotCell, StateSnapshot};
 use crate::wal::{DurableState, Wal};
@@ -58,6 +59,12 @@ pub struct ServiceConfig {
     /// Compact the log into a snapshot every this many batches
     /// (0 = never compact). Ignored without `wal_dir`.
     pub snapshot_every: u64,
+    /// Whether the flight recorder traces requests and write batches
+    /// (process-wide switch; `iris serve` maps `IRIS_TRACE=0` here).
+    pub trace: bool,
+    /// Slow-request threshold, ms: requests and batches at or above it
+    /// land in the slow-request log (0 logs everything).
+    pub slow_ms: f64,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +77,8 @@ impl Default for ServiceConfig {
             read_timeout_ms: 50,
             wal_dir: None,
             snapshot_every: 64,
+            trace: true,
+            slow_ms: 250.0,
         }
     }
 }
@@ -89,11 +98,23 @@ enum WriteOp {
         a: usize,
         b: usize,
         circuits: u32,
+        /// When the op entered the queue (feeds the batch trace's
+        /// queue-wait span).
+        enqueued: Instant,
     },
     Cut {
         cuts: Vec<EdgeId>,
         reply: mpsc::Sender<CutReply>,
+        enqueued: Instant,
     },
+}
+
+impl WriteOp {
+    fn enqueued(&self) -> Instant {
+        match self {
+            WriteOp::Update { enqueued, .. } | WriteOp::Cut { enqueued, .. } => *enqueued,
+        }
+    }
 }
 
 /// State shared by the listener, handler threads and the mutator.
@@ -109,6 +130,15 @@ struct Shared {
     shutdown: AtomicBool,
     queue_depth: AtomicUsize,
     overloaded: AtomicU64,
+    /// When the server started serving (for `HealthInfo::uptime_ms`).
+    start: Instant,
+    /// WAL statistics mirrored out of the mutator-owned [`crate::wal::Wal`]
+    /// after each batch so read threads can answer `Health` without
+    /// touching the write path. Fsync latency is stored in µs to keep
+    /// it atomic.
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    last_fsync_us: AtomicU64,
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -180,6 +210,8 @@ impl Drop for ServiceHandle {
 /// opened; [`IrisError::Corrupt`] / [`IrisError::ReplayFailed`] if the
 /// durable state cannot be recovered (see [`crate::recovery`]).
 pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle> {
+    iris_telemetry::trace::set_enabled(config.trace);
+    iris_telemetry::trace::set_slow_threshold_ms(config.slow_ms);
     let goals = DesignGoals::with_cuts(config.cuts);
     let plan = plan_iris(&region, &goals);
     let controller = Controller::for_region(&region, &goals);
@@ -219,6 +251,7 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         detail: format!("cannot resolve listen address: {e}"),
     })?;
 
+    let boot_wal_stats = wal.as_ref().map(crate::wal::Wal::stats).unwrap_or_default();
     let shared = Arc::new(Shared {
         cell: SnapshotCell::new(boot),
         plan: plan_summary,
@@ -230,6 +263,10 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         shutdown: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
         overloaded: AtomicU64::new(0),
+        start: Instant::now(),
+        wal_records: AtomicU64::new(boot_wal_stats.records),
+        wal_bytes: AtomicU64::new(boot_wal_stats.bytes),
+        last_fsync_us: AtomicU64::new(0),
     });
 
     let (tx, rx) = mpsc::sync_channel::<WriteOp>(config.queue_capacity.max(1));
@@ -297,6 +334,11 @@ fn mutator_loop(
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
+        // Trace bookkeeping: queue wait is measured from the first
+        // op's enqueue to its pop (FIFO queue, so it waited longest);
+        // coalescing covers the gather window plus the drain.
+        let first_enqueued = first.enqueued();
+        let popped = Instant::now();
         let mut batch = vec![first];
         if !window.is_zero() {
             std::thread::sleep(window);
@@ -304,6 +346,7 @@ fn mutator_loop(
         while let Ok(op) = rx.try_recv() {
             batch.push(op);
         }
+        let drained = Instant::now();
         shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
         telemetry
             .gauge("iris_service_queue_depth")
@@ -315,14 +358,22 @@ fn mutator_loop(
         let mut coalesced_now = 0u64;
         for op in batch {
             match op {
-                WriteOp::Update { a, b, circuits } => {
+                WriteOp::Update { a, b, circuits, .. } => {
                     if updates.insert((a, b), circuits).is_some() {
                         coalesced_now += 1;
                     }
                 }
-                WriteOp::Cut { cuts, reply } => cuts_ops.push((cuts, reply)),
+                WriteOp::Cut { cuts, reply, .. } => cuts_ops.push((cuts, reply)),
             }
         }
+
+        // Every batch gets its own trace: the root span covers the
+        // whole apply/publish path, with queue-wait and coalesce
+        // recorded as sibling windows preceding it.
+        let batch_trace = iris_telemetry::trace::mint_trace_id();
+        let batch_span = iris_telemetry::trace::root_span(batch_trace, "write_batch");
+        iris_telemetry::trace::emit_window("queue_wait", first_enqueued, popped);
+        iris_telemetry::trace::emit_window("coalesce", popped, drained);
 
         let prev = shared.cell.load();
         let only_cuts: Vec<Vec<EdgeId>> = cuts_ops.iter().map(|(c, _)| c.clone()).collect();
@@ -330,6 +381,13 @@ fn mutator_loop(
             Ok(result) => {
                 for ((_, reply), outcome) in cuts_ops.into_iter().zip(result.cut_replies) {
                     let _ = reply.send(outcome);
+                }
+                if let Some(stats) = machine.wal_stats() {
+                    shared.wal_records.store(stats.records, Ordering::Relaxed);
+                    shared.wal_bytes.store(stats.bytes, Ordering::Relaxed);
+                    shared
+                        .last_fsync_us
+                        .store((stats.last_fsync_ms * 1e3) as u64, Ordering::Relaxed);
                 }
                 let Some(next) = result.snapshot else {
                     continue; // all no-ops: no epoch consumed, nothing published
@@ -342,7 +400,16 @@ fn mutator_loop(
                 telemetry
                     .counter("iris_service_coalesced_total")
                     .add(coalesced_now);
-                shared.cell.store(Arc::new(next));
+                {
+                    let _publish = iris_telemetry::trace::span("publish");
+                    shared.cell.store(Arc::new(next));
+                }
+                drop(batch_span);
+                iris_telemetry::trace::note_if_slow(
+                    "write_batch",
+                    popped.elapsed().as_secs_f64() * 1e3,
+                    batch_trace,
+                );
             }
             Err(e) => {
                 // The WAL could not be written: accepting more writes
@@ -370,24 +437,32 @@ fn handle_connection(stream: &TcpStream, shared: &Shared, tx: &SyncSender<WriteO
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        match read_frame(&mut &*stream) {
-            Ok(FrameEvent::Idle) => continue,
-            Ok(FrameEvent::Eof) => return,
-            Ok(FrameEvent::Frame(payload)) => {
+        match read_frame_traced(&mut &*stream) {
+            Ok((FrameEvent::Idle, _)) => continue,
+            Ok((FrameEvent::Eof, _)) => return,
+            Ok((FrameEvent::Frame(payload), ctx)) => {
                 let start = Instant::now();
+                // A client-supplied trace id (frame header) wins so the
+                // caller can correlate; otherwise mint one server-side.
+                let trace_id = ctx.unwrap_or_else(iris_telemetry::trace::mint_trace_id);
                 let (op, response) = match crate::api::decode_request(&payload) {
                     Ok(req) => {
                         let op = req.op();
-                        (op, handle_request(req, shared, tx))
+                        let span = iris_telemetry::trace::root_span(trace_id, op);
+                        let response = handle_request(req, shared, tx);
+                        drop(span);
+                        (op, response)
                     }
                     Err(e) => ("invalid", Response::Error(e)),
                 };
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                iris_telemetry::trace::note_if_slow(op, elapsed_ms, trace_id);
                 telemetry
                     .counter(&labeled("iris_service_requests_total", "op", op))
                     .inc();
                 telemetry
                     .histogram(&labeled("iris_service_latency_ms", "op", op))
-                    .record(start.elapsed().as_secs_f64() * 1e3);
+                    .record(elapsed_ms);
                 if send_response(stream, &response).is_err() {
                     return;
                 }
@@ -455,10 +530,19 @@ fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Re
         },
         Request::UpdateDemand { a, b, circuits } => match normalize_pair(a, b, shared.dc_count) {
             Err(e) => Response::Error(e),
-            Ok((a, b)) => enqueue(shared, tx, WriteOp::Update { a, b, circuits })
-                .map_or_else(Response::Error, |depth| Response::DemandAccepted {
-                    queue_depth: depth,
-                }),
+            Ok((a, b)) => enqueue(
+                shared,
+                tx,
+                WriteOp::Update {
+                    a,
+                    b,
+                    circuits,
+                    enqueued: Instant::now(),
+                },
+            )
+            .map_or_else(Response::Error, |depth| Response::DemandAccepted {
+                queue_depth: depth,
+            }),
         },
         Request::ReportFiberCut { cuts } => {
             if cuts.is_empty() {
@@ -481,6 +565,7 @@ fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Re
                 WriteOp::Cut {
                     cuts,
                     reply: reply_tx,
+                    enqueued: Instant::now(),
                 },
             ) {
                 return Response::Error(e);
@@ -507,25 +592,76 @@ fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Re
                 active_cuts: snap.active_cuts.clone(),
                 quarantined: snap.quarantined.len(),
                 last_recovery: snap.last_recovery.clone(),
+                uptime_ms: shared.start.elapsed().as_millis() as u64,
+                wal_records: shared.wal_records.load(Ordering::Relaxed),
+                wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
+                last_fsync_ms: shared.last_fsync_us.load(Ordering::Relaxed) as f64 / 1e3,
             })
         }
-        Request::MetricsSnapshot => Response::Metrics {
-            prometheus: iris_telemetry::global().snapshot().to_prometheus_text(),
-        },
+        Request::MetricsSnapshot => {
+            iris_telemetry::global()
+                .gauge("iris_service_uptime_ms")
+                .set(shared.start.elapsed().as_millis() as i64);
+            Response::Metrics {
+                prometheus: iris_telemetry::global().snapshot().to_prometheus_text(),
+            }
+        }
+        Request::TraceDump { max_events } => {
+            // Cap the dump so the encoded response stays well inside
+            // MAX_FRAME_LEN (~140 bytes per event as JSON).
+            let max = if max_events == 0 {
+                2000
+            } else {
+                max_events.min(4000) as usize
+            };
+            let dump = iris_telemetry::trace::dump(max);
+            Response::Trace(TraceDumpInfo {
+                enabled: dump.enabled,
+                dropped: dump.dropped,
+                events: dump
+                    .events
+                    .into_iter()
+                    .map(|e| TraceEventInfo {
+                        trace_id: e.trace_id,
+                        span_id: e.span_id,
+                        parent_id: e.parent_id,
+                        stage: e.stage,
+                        start_us: e.start_us,
+                        dur_us: e.dur_us,
+                        modeled: e.modeled,
+                    })
+                    .collect(),
+                slow: dump
+                    .slow
+                    .into_iter()
+                    .map(|s| SlowRequestInfo {
+                        trace_id: s.trace_id,
+                        op: s.op,
+                        total_ms: s.total_ms,
+                        at_us: s.at_us,
+                    })
+                    .collect(),
+            })
+        }
     }
 }
 
 /// Try to enqueue a write; a full queue is typed backpressure.
+///
+/// The depth counter is bumped *before* the send: once the op is in the
+/// channel the mutator may pop it and decrement at any moment, so
+/// counting afterwards would race the decrement and underflow.
 fn enqueue(shared: &Shared, tx: &SyncSender<WriteOp>, op: WriteOp) -> IrisResult<usize> {
+    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
     match tx.try_send(op) {
         Ok(()) => {
-            let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
             iris_telemetry::global()
                 .gauge("iris_service_queue_depth")
                 .set(depth as i64);
             Ok(depth)
         }
         Err(TrySendError::Full(_)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
             shared.overloaded.fetch_add(1, Ordering::SeqCst);
             iris_telemetry::global()
                 .counter("iris_service_overloaded_total")
@@ -534,9 +670,12 @@ fn enqueue(shared: &Shared, tx: &SyncSender<WriteOp>, op: WriteOp) -> IrisResult
                 retry_after_ms: shared.retry_after_ms,
             })
         }
-        Err(TrySendError::Disconnected(_)) => Err(IrisError::Io {
-            detail: "mutator queue is closed".to_owned(),
-        }),
+        Err(TrySendError::Disconnected(_)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            Err(IrisError::Io {
+                detail: "mutator queue is closed".to_owned(),
+            })
+        }
     }
 }
 

@@ -272,6 +272,25 @@ pub struct Wal {
     file: File,
     /// Batches appended since the last compaction.
     since_compaction: u64,
+    /// Records in the log since open (salvaged replay + appended).
+    records: u64,
+    /// Bytes in the log since open (salvaged + appended).
+    bytes: u64,
+    /// Duration of the most recent fsync, ms (0 before the first
+    /// append).
+    last_fsync_ms: f64,
+}
+
+/// Cumulative log statistics, surfaced through `HealthInfo`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WalStats {
+    /// Records known to the log since open (salvaged + appended).
+    pub records: u64,
+    /// Bytes known to the log since open (salvaged + appended).
+    pub bytes: u64,
+    /// Duration of the most recent fsync, ms (0 before the first
+    /// append).
+    pub last_fsync_ms: f64,
 }
 
 /// Everything found in a WAL directory at open time, before replay.
@@ -335,6 +354,9 @@ impl Wal {
                 dir: dir.to_path_buf(),
                 file,
                 since_compaction: batches.len() as u64,
+                records: batches.len() as u64,
+                bytes: salvage.good_bytes,
+                last_fsync_ms: 0.0,
             },
             DurableState {
                 snapshot,
@@ -354,6 +376,16 @@ impl Wal {
     #[must_use]
     pub fn batches_since_compaction(&self) -> u64 {
         self.since_compaction
+    }
+
+    /// Cumulative log statistics since open.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.records,
+            bytes: self.bytes,
+            last_fsync_ms: self.last_fsync_ms,
+        }
     }
 
     /// Append one batch record and fsync — the write-ahead barrier. Only
@@ -376,20 +408,28 @@ impl Wal {
         let io_err = |e: std::io::Error| IrisError::Io {
             detail: format!("WAL append failed: {e}"),
         };
-        let start = Instant::now();
+        let append_span = iris_telemetry::trace::span("wal_append");
         self.file.write_all(&len.to_be_bytes()).map_err(io_err)?;
         self.file
             .write_all(&crc32(&payload).to_be_bytes())
             .map_err(io_err)?;
         self.file.write_all(&payload).map_err(io_err)?;
+        let fsync_span = iris_telemetry::trace::span("wal_fsync");
+        let fsync_start = Instant::now();
         self.file.sync_data().map_err(|e| IrisError::Io {
             detail: format!("WAL fsync failed: {e}"),
         })?;
+        let fsync_ms = fsync_start.elapsed().as_secs_f64() * 1e3;
+        drop(fsync_span);
+        drop(append_span);
         self.since_compaction += 1;
+        self.records += 1;
+        self.bytes += (HEADER_LEN + payload.len()) as u64;
+        self.last_fsync_ms = fsync_ms;
         let telemetry = iris_telemetry::global();
         telemetry
             .histogram("iris_service_wal_fsync_ms")
-            .record(start.elapsed().as_secs_f64() * 1e3);
+            .record(fsync_ms);
         telemetry.counter("iris_service_wal_records_total").inc();
         telemetry
             .counter("iris_service_wal_bytes_total")
@@ -407,6 +447,7 @@ impl Wal {
     /// [`IrisError::Io`] on filesystem failure, [`IrisError::Decode`] if
     /// the snapshot cannot be serialized.
     pub fn compact(&mut self, snap: &PersistedSnapshot) -> IrisResult<()> {
+        let _span = iris_telemetry::trace::span("wal_compact");
         let mut text = serde_json::to_string_pretty(snap).map_err(|e| IrisError::Decode {
             detail: format!("cannot encode snapshot: {e}"),
         })?;

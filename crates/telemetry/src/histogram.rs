@@ -176,6 +176,29 @@ impl Histogram {
     pub fn relative_error() -> f64 {
         2f64.powf(1.0 / f64::from(SUB)) - 1.0
     }
+
+    /// Occupied finite buckets as `(upper_bound, cumulative_count)`
+    /// pairs in ascending bound order — the Prometheus `_bucket`
+    /// series (empty buckets elided). Samples in the overflow bucket
+    /// are not listed; they appear only in the implicit `+Inf` bucket,
+    /// whose cumulative count is [`Histogram::count`].
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let upper = bucket_upper(idx);
+            if upper.is_finite() {
+                out.push((upper, cumulative));
+            }
+        }
+        out
+    }
 }
 
 /// CAS-loop update of an `f64` stored as bits in an `AtomicU64`.
@@ -224,6 +247,26 @@ mod tests {
                 assert_eq!(bucket_index(mid), idx, "lo={lo} hi={hi}");
             }
         }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_cover_finite_samples() {
+        let h = Histogram::new();
+        for v in [0.5, 1.0, 1.0, 4.0] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bounds ascend");
+            assert!(pair[0].1 < pair[1].1, "cumulative counts ascend");
+        }
+        assert_eq!(buckets.last().unwrap().1, 4, "all samples are finite");
+        // The overflow bucket never shows up with a finite bound.
+        h.record(f64::INFINITY);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 4);
+        assert_eq!(h.count(), 5);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Workspace-wide observability: lock-free counters and gauges,
-//! log-bucketed histograms with quantile export, RAII span timers, and
-//! a process-global registry that snapshots to JSON or Prometheus text.
+//! log-bucketed histograms with quantile export, RAII span timers, a
+//! process-global registry that snapshots to JSON or Prometheus text,
+//! and request-scoped tracing backed by a lock-free flight recorder
+//! (see the [`trace`] module).
 //!
 //! Metric names follow Prometheus conventions:
 //! `iris_<crate>_<what>_<unit-or-total>`, e.g.
@@ -20,9 +22,10 @@
 mod histogram;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use histogram::Histogram;
-pub use registry::{global, Registry, Snapshot};
+pub use registry::{global, HistogramSummary, Registry, Snapshot};
 pub use span::Span;
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -110,6 +110,7 @@ impl Registry {
                             p50: h.quantile(0.50).unwrap_or(0.0),
                             p90: h.quantile(0.90).unwrap_or(0.0),
                             p99: h.quantile(0.99).unwrap_or(0.0),
+                            buckets: h.cumulative_buckets(),
                         },
                     );
                 }
@@ -142,6 +143,10 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+    /// Occupied finite buckets as `(upper_bound, cumulative_count)`,
+    /// ascending — the source of the Prometheus `_bucket` series. The
+    /// implicit `+Inf` bucket equals [`HistogramSummary::count`].
+    pub buckets: Vec<(f64, u64)>,
 }
 
 /// A point-in-time copy of a registry's metrics, exportable as JSON or
@@ -185,6 +190,7 @@ impl Snapshot {
                         "p50": h.p50,
                         "p90": h.p90,
                         "p99": h.p99,
+                        "buckets": h.buckets,
                     }),
                 )
             })
@@ -247,6 +253,26 @@ impl Snapshot {
                     p50: num(&value["p50"], &name)?,
                     p90: num(&value["p90"], &name)?,
                     p99: num(&value["p99"], &name)?,
+                    // Absent in pre-bucket sidecars; tolerate both.
+                    buckets: match value.get("buckets").and_then(Value::as_array) {
+                        None => Vec::new(),
+                        Some(entries) => {
+                            let mut buckets = Vec::with_capacity(entries.len());
+                            for entry in entries {
+                                let pair =
+                                    entry.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                                        format!("histogram '{name}' has a malformed bucket")
+                                    })?;
+                                buckets.push((
+                                    num(&pair[0], &name)?,
+                                    pair[1].as_u64().ok_or_else(|| {
+                                        format!("histogram '{name}' bucket count is not a u64")
+                                    })?,
+                                ));
+                            }
+                            buckets
+                        }
+                    },
                 },
             );
         }
@@ -257,27 +283,51 @@ impl Snapshot {
         })
     }
 
-    /// The snapshot in Prometheus text exposition format.
+    /// The snapshot in Prometheus text exposition format. Histograms
+    /// are exported as real cumulative `_bucket`/`_sum`/`_count`
+    /// series under one `# TYPE … histogram` header (empty buckets
+    /// elided, `le="+Inf"` always present), so PromQL
+    /// `histogram_quantile()` works on them. A `# TYPE` line is
+    /// emitted once per metric family even when a label fold
+    /// (`labeled`) produced several series of the same base name.
     #[must_use]
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut last_base = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let base = base_name(name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_owned();
+            }
+        };
         for (name, v) in &self.counters {
-            out.push_str(&format!("# TYPE {} counter\n{name} {v}\n", base_name(name)));
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {} gauge\n{name} {v}\n", base_name(name)));
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {v}\n"));
         }
         for (name, h) in &self.histograms {
+            type_line(&mut out, name, "histogram");
             let base = base_name(name);
-            out.push_str(&format!("# TYPE {base} summary\n"));
-            for (q, value) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            let series = |suffix: &str, extra: Option<&str>| {
+                merge_suffix_and_label(name, base, suffix, extra)
+            };
+            for (upper, cumulative) in &h.buckets {
                 out.push_str(&format!(
-                    "{} {value}\n",
-                    merge_label(name, &format!("quantile=\"{q}\""))
+                    "{} {cumulative}\n",
+                    series("_bucket", Some(&format!("le=\"{upper}\"")))
                 ));
             }
-            out.push_str(&format!("{base}_sum {}\n", h.sum));
-            out.push_str(&format!("{base}_count {}\n", h.count));
+            out.push_str(&format!(
+                "{} {}\n",
+                series("_bucket", Some("le=\"+Inf\"")),
+                h.count
+            ));
+            out.push_str(&format!("{} {}\n", series("_sum", None), h.sum));
+            out.push_str(&format!("{} {}\n", series("_count", None), h.count));
         }
         out
     }
@@ -328,11 +378,18 @@ fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
 }
 
-/// Add one more label to a possibly-already-labelled series name.
-fn merge_label(name: &str, label: &str) -> String {
-    match name.split_once('{') {
-        Some((base, rest)) => format!("{base}{{{label},{rest}"),
-        None => format!("{name}{{{label}}}"),
+/// Build `{base}{suffix}{labels}` where the labels combine an
+/// optional extra pair (e.g. `le="0.5"`) with any labels folded into
+/// `name` by [`crate::labeled`].
+fn merge_suffix_and_label(name: &str, base: &str, suffix: &str, extra: Option<&str>) -> String {
+    let folded = name
+        .split_once('{')
+        .map(|(_, rest)| rest.trim_end_matches('}'));
+    match (extra, folded) {
+        (Some(extra), Some(folded)) => format!("{base}{suffix}{{{extra},{folded}}}"),
+        (Some(extra), None) => format!("{base}{suffix}{{{extra}}}"),
+        (None, Some(folded)) => format!("{base}{suffix}{{{folded}}}"),
+        (None, None) => format!("{base}{suffix}"),
     }
 }
 
@@ -378,12 +435,45 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_text_has_quantiles_and_type_lines() {
+    fn prometheus_text_exports_real_histogram_series() {
         let r = Registry::new();
-        r.histogram("iris_test_ms{phase=\"drain\"}").record(4.0);
+        let h = r.histogram("iris_test_ms{phase=\"drain\"}");
+        h.record(4.0);
+        h.record(4.0);
+        h.record(100.0);
         let text = r.snapshot().to_prometheus_text();
-        assert!(text.contains("# TYPE iris_test_ms summary"));
-        assert!(text.contains("iris_test_ms{quantile=\"0.99\",phase=\"drain\"}"));
-        assert!(text.contains("iris_test_ms_count 1"));
+        assert!(text.contains("# TYPE iris_test_ms histogram"), "{text}");
+        assert!(
+            !text.contains("summary") && !text.contains("quantile"),
+            "no pseudo-gauge quantiles: {text}"
+        );
+        // Cumulative buckets: the bucket holding 4.0 has already seen
+        // both 4.0 samples; +Inf always equals the total count.
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("iris_test_ms_bucket{le=") && l.contains("phase=\"drain\""))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(bucket_counts, vec![2, 3, 3], "{text}");
+        assert!(text.contains("iris_test_ms_bucket{le=\"+Inf\",phase=\"drain\"} 3"));
+        assert!(text.contains("iris_test_ms_sum{phase=\"drain\"} 108"));
+        assert!(text.contains("iris_test_ms_count{phase=\"drain\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_type_line_appears_once_per_family() {
+        let r = Registry::new();
+        r.histogram("iris_multi_ms{op=\"a\"}").record(1.0);
+        r.histogram("iris_multi_ms{op=\"b\"}").record(2.0);
+        r.counter("iris_multi_total{op=\"a\"}").inc();
+        r.counter("iris_multi_total{op=\"b\"}").inc();
+        let text = r.snapshot().to_prometheus_text();
+        let type_lines = |kind: &str| {
+            text.lines()
+                .filter(|l| *l == format!("# TYPE {kind}"))
+                .count()
+        };
+        assert_eq!(type_lines("iris_multi_ms histogram"), 1, "{text}");
+        assert_eq!(type_lines("iris_multi_total counter"), 1, "{text}");
     }
 }
