@@ -5,15 +5,16 @@
 //! ```text
 //! cargo run -p iris-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:7117 --seed 7 --requests 2000 --cut 4 \
-//!     --out results/service_load.json
+//!     --codec binary --pipeline 8 --out results/service_load.json
 //! ```
 //!
 //! The JSON written to `--out` is the seed-deterministic half of the
-//! report (byte-identical across runs and worker-thread counts); the
+//! report (byte-identical across runs, codecs, pipeline depths and
+//! worker-thread counts); the
 //! wall-clock half is printed to stdout. `iris loadgen` is the same
 //! engine with the full CLI around it.
 
-use iris_service::{run_loadgen, LoadgenConfig};
+use iris_service::{run_loadgen, Codec, LoadgenConfig};
 
 fn main() {
     iris_telemetry::trace::init_from_env();
@@ -48,11 +49,17 @@ fn run(argv: &[String]) -> Result<(), String> {
                     .map(|s| parse(flag, s))
                     .collect::<Result<_, _>>()?;
             }
+            "--codec" => {
+                cfg.codec = Codec::from_name(value)
+                    .ok_or_else(|| format!("--codec: unknown codec '{value}'"))?;
+            }
+            "--pipeline" => cfg.pipeline = parse(flag, value)?,
+            "--rate" => cfg.rate = Some(parse(flag, value)?),
             "--out" => out = value.clone(),
             other => {
                 return Err(format!(
                     "unknown flag {other} (accepted: --addr, --seed, --requests, \
-                     --connections, --cut, --out)"
+                     --connections, --cut, --codec, --pipeline, --rate, --out)"
                 ))
             }
         }

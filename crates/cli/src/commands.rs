@@ -538,6 +538,7 @@ pub fn serve(opts: &Options) -> IrisResult<()> {
         snapshot_every: opts.num("snapshot-every", 64)?,
         trace: parse_switch(opts.get("trace"), "trace", true)?,
         slow_ms: opts.num("slow-ms", 250.0)?,
+        shards: opts.num("shards", 0)?,
         ..iris_service::ServiceConfig::default()
     };
     let handle = iris_service::serve(region, &config)?;
@@ -545,7 +546,9 @@ pub fn serve(opts: &Options) -> IrisResult<()> {
     // kernel picks the port, and scripts parse this line to find it.
     println!("iris-service listening on {}", handle.local_addr());
     println!(
-        "  write queue: {} slots, coalesce window {} ms (Overloaded suggests retry in {} ms)",
+        "  {} event-loop shards, write queue {} slots, coalesce window {} ms \
+         (Overloaded suggests retry in {} ms)",
+        config.effective_shards(),
         config.queue_capacity,
         config.coalesce_window_ms,
         config.retry_after_ms()
@@ -636,8 +639,19 @@ pub fn rpc(opts: &Options) -> IrisResult<()> {
     Ok(())
 }
 
-/// `iris loadgen` — seeded closed-loop load against a running server.
+/// `iris loadgen` — seeded event-loop load against a running server.
 pub fn loadgen(opts: &Options) -> IrisResult<()> {
+    let codec_name = opts.get("codec").unwrap_or("json");
+    let codec =
+        iris_service::Codec::from_name(codec_name).ok_or_else(|| IrisError::InvalidInput {
+            detail: format!("--codec: unknown codec '{codec_name}' (expected json or binary)"),
+        })?;
+    let rate = match opts.get("rate") {
+        Some(raw) => Some(raw.parse::<f64>().map_err(|_| IrisError::InvalidInput {
+            detail: format!("--rate: cannot parse '{raw}' as requests/s"),
+        })?),
+        None => None,
+    };
     let cfg = iris_service::LoadgenConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:7117").to_owned(),
         seed: opts.num("seed", 7)?,
@@ -647,6 +661,9 @@ pub fn loadgen(opts: &Options) -> IrisResult<()> {
             Some(list) => parse_cut_list(list)?,
             None => Vec::new(),
         },
+        codec,
+        pipeline: opts.num("pipeline", 1)?,
+        rate,
         ..iris_service::LoadgenConfig::default()
     };
     let out = opts.get("out").unwrap_or("results/service_load.json");
@@ -658,6 +675,17 @@ pub fn loadgen(opts: &Options) -> IrisResult<()> {
         "loadgen: seed {}, {} requests over {} connections against {}",
         r.seed, r.requests, r.connections, cfg.addr
     );
+    match cfg.rate {
+        Some(rate) => println!(
+            "  open loop at {rate} req/s (seeded exponential arrivals), {} codec",
+            cfg.codec.name()
+        ),
+        None => println!(
+            "  closed loop, pipeline {} per connection, {} codec",
+            cfg.pipeline.max(1),
+            cfg.codec.name()
+        ),
+    }
     println!("\ndeterministic results (written to {out}):");
     for oc in &r.op_counts {
         println!("  {:<18} {:>7}", oc.op, oc.count);
@@ -896,6 +924,24 @@ fn render_top(client: &mut iris_service::ServiceClient, addr: &str) -> IrisResul
         "wal: {} records, {} bytes, last fsync {:.3} ms",
         h.wal_records, h.wal_bytes, h.last_fsync_ms
     );
+    let batches = prom_counter(&prometheus, "iris_service_group_commit_batches");
+    let saved = prom_counter(&prometheus, "iris_service_fsyncs_saved");
+    if batches.is_some() || saved.is_some() {
+        let _ = writeln!(
+            out,
+            "group commit: {} batches committed, {} fsyncs saved",
+            batches.unwrap_or(0),
+            saved.unwrap_or(0)
+        );
+    }
+    let shards = shard_rows(&prometheus);
+    if !shards.is_empty() {
+        let _ = write!(out, "shards:");
+        for (shard, requests, connections) in &shards {
+            let _ = write!(out, "  [{shard}] {requests} req / {connections} conn");
+        }
+        let _ = writeln!(out);
+    }
     let table = latency_table(&prometheus);
     if !table.is_empty() {
         let _ = writeln!(
@@ -915,6 +961,49 @@ fn render_top(client: &mut iris_service::ServiceClient, addr: &str) -> IrisResul
         }
     }
     Ok(out)
+}
+
+/// An unlabeled counter's value from Prometheus text (`name value`).
+fn prom_counter(prom: &str, name: &str) -> Option<u64> {
+    prom.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.strip_prefix(' ')?.trim().parse::<u64>().ok()
+    })
+}
+
+/// Per-shard `(shard, requests, connections)` rows parsed from the
+/// `iris_service_shard_*_total{shard="N"}` counters, shard ascending.
+fn shard_rows(prom: &str) -> Vec<(String, u64, u64)> {
+    use std::collections::BTreeMap;
+
+    let mut rows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for line in prom.lines() {
+        let (field, rest) =
+            if let Some(rest) = line.strip_prefix("iris_service_shard_requests_total{shard=\"") {
+                (0, rest)
+            } else if let Some(rest) =
+                line.strip_prefix("iris_service_shard_connections_total{shard=\"")
+            {
+                (1, rest)
+            } else {
+                continue;
+            };
+        let Some((shard, value)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        let (Ok(shard), Ok(value)) = (shard.parse::<u64>(), value.trim().parse::<u64>()) else {
+            continue;
+        };
+        let row = rows.entry(shard).or_insert((0, 0));
+        if field == 0 {
+            row.0 = value;
+        } else {
+            row.1 = value;
+        }
+    }
+    rows.into_iter()
+        .map(|(shard, (req, conn))| (shard.to_string(), req, conn))
+        .collect()
 }
 
 /// Render a histogram upper bound: finite as a number, overflow as

@@ -114,6 +114,7 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "queue",
             "window",
             "threads",
+            "shards",
             "wal-dir",
             "snapshot-every",
             "trace",
@@ -136,6 +137,9 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "requests",
             "connections",
             "cut",
+            "codec",
+            "pipeline",
+            "rate",
             "out",
             "telemetry",
         ],
@@ -283,11 +287,14 @@ USAGE:
                 snapshot byte-for-byte against an uninterrupted run.
                 Exits 6 (replay-failed) if any scenario diverges
   iris serve    --region FILE [--addr HOST:PORT] [--cuts K] [--queue N]
-                [--window MS] [--threads T] [--wal-dir DIR]
+                [--window MS] [--threads T] [--shards S] [--wal-dir DIR]
                 [--snapshot-every B] [--trace on|off] [--slow-ms MS]
                 run the long-lived control-plane server: length-prefixed
-                JSON frames over TCP; snapshot reads, coalesced writes,
-                typed Overloaded backpressure. --addr HOST:0 picks a free
+                frames over TCP (JSON by default, compact binary after a
+                per-connection Hello); snapshot reads, coalesced writes,
+                typed Overloaded backpressure. Connections are served by
+                S non-blocking event-loop shards (default 0 = derive from
+                the thread count). --addr HOST:0 picks a free
                 port (printed on the first stdout line). Runs until killed.
                 --wal-dir makes accepted writes durable: each coalesced
                 batch is appended to DIR/iris.wal (fsync'd) and compacted
@@ -313,13 +320,19 @@ USAGE:
   iris top      [--addr HOST:PORT] [--watch SECS]
                 one-shot (or repeating, with --watch) health and latency
                 view of a running server: uptime, epoch, queue depth,
-                WAL totals, and approximate per-op p50/p99 read from the
-                server's live histograms
+                WAL totals, group-commit batches and fsyncs saved,
+                per-shard request/connection counters, and approximate
+                per-op p50/p99 read from the server's live histograms
   iris loadgen  [--addr HOST:PORT] [--seed N] [--requests N]
-                [--connections N] [--cut D1,D2] [--out FILE]
-                seeded closed-loop load against a running server; writes
-                the seed-deterministic results (byte-identical across runs
-                and thread counts) to FILE (default
+                [--connections N] [--cut D1,D2] [--codec json|binary]
+                [--pipeline W] [--rate RPS] [--out FILE]
+                seeded load against a running server, every connection
+                multiplexed on one event loop. Closed loop by default
+                (--pipeline keeps W requests in flight per connection);
+                --rate RPS switches to an open loop with seeded
+                exponential arrivals. Writes the seed-deterministic
+                results (byte-identical across runs, codecs, pipeline
+                depths and thread counts) to FILE (default
                 results/service_load.json) and prints wall-clock latency
                 and throughput
   iris help     this text

@@ -54,6 +54,16 @@ pub enum Request {
         /// (bounded so the reply fits one frame).
         max_events: u64,
     },
+    /// Negotiate the wire codec for the rest of this connection.
+    ///
+    /// Sent in the connection's *current* codec (JSON at connect time).
+    /// The server answers [`Response::HelloAck`] in the old codec, then
+    /// both sides switch. A connection that never sends `Hello` speaks
+    /// JSON forever, so every pre-existing client keeps working.
+    Hello {
+        /// Requested codec name; see [`crate::codec::Codec::from_name`].
+        codec: String,
+    },
 }
 
 impl Request {
@@ -69,6 +79,7 @@ impl Request {
             Request::Health => "health",
             Request::MetricsSnapshot => "metrics_snapshot",
             Request::TraceDump { .. } => "trace_dump",
+            Request::Hello { .. } => "hello",
         }
     }
 
@@ -295,6 +306,13 @@ pub enum Response {
     },
     /// Reply to [`Request::TraceDump`].
     Trace(TraceDumpInfo),
+    /// Reply to [`Request::Hello`]: the server accepted the codec
+    /// switch. Encoded in the codec that was active *before* the
+    /// switch.
+    HelloAck {
+        /// The codec now in effect for this connection.
+        codec: String,
+    },
     /// The request failed.
     Error(IrisError),
 }

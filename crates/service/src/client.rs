@@ -1,14 +1,62 @@
-//! A blocking client for the framed JSON protocol.
+//! A blocking client for the framed protocol (JSON by default, compact
+//! binary after a [`Request::Hello`] negotiation).
 
-use crate::api::{decode_response, encode_request, Request, Response};
+use crate::api::{Request, Response};
+use crate::codec::{self, Codec};
 use crate::frame::{read_frame, write_frame_traced, FrameEvent};
 use iris_errors::{IrisError, IrisResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Decorrelated-jitter backoff for retry loops: each delay is drawn
+/// uniformly from `base..=prev * 3` (clamped to `cap`), so concurrent
+/// clients hitting the same overloaded server spread out instead of
+/// retrying in lockstep the way a fixed `retry_after` sleep would.
+///
+/// The sequence is a pure function of the seed, which makes the bound
+/// behaviour unit-testable: every delay `d` satisfies
+/// `base <= d <= min(cap, max(prev * 3, base + 1))`.
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    prev_ms: u64,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_ms` and never sleeping longer than
+    /// `cap_ms`, jittered by a deterministic stream seeded with `seed`.
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        let base_ms = base_ms.max(1);
+        Self {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            prev_ms: base_ms,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next delay, in milliseconds.
+    pub fn next_delay_ms(&mut self) -> u64 {
+        let hi = self
+            .prev_ms
+            .saturating_mul(3)
+            .max(self.base_ms + 1)
+            .min(self.cap_ms);
+        let span = hi - self.base_ms + 1;
+        let delay = self.base_ms + self.rng.random_range(0..span);
+        self.prev_ms = delay;
+        delay
+    }
+}
+
 /// One connection to a running service. Requests are strictly
-/// request/reply on the connection, so a client is cheap and carries no
-/// protocol state beyond the socket.
+/// request/reply on the connection, so a client carries no protocol
+/// state beyond the socket and the negotiated wire codec.
 ///
 /// # Example
 ///
@@ -48,10 +96,12 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct ServiceClient {
     stream: TcpStream,
+    codec: Codec,
 }
 
 impl ServiceClient {
-    /// Connect to `addr`.
+    /// Connect to `addr`. The connection speaks JSON until
+    /// [`ServiceClient::hello`] negotiates another codec.
     ///
     /// # Errors
     ///
@@ -61,7 +111,10 @@ impl ServiceClient {
             detail: format!("cannot connect to {addr}: {e}"),
         })?;
         stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            codec: Codec::Json,
+        })
     }
 
     /// Connect, retrying `attempts` times with `delay_ms` between tries —
@@ -84,6 +137,49 @@ impl ServiceClient {
             }
         }
         Err(last)
+    }
+
+    /// The codec currently in effect on this connection.
+    #[must_use]
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    /// Negotiate `codec` for the rest of this connection. The `Hello`
+    /// goes out (and its acknowledgement comes back) in the *current*
+    /// codec; both sides switch after the acknowledgement, so a
+    /// negotiation that fails leaves the connection usable as-is.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::InvalidInput`] if the server rejects the codec,
+    /// [`IrisError::Decode`] on an unexpected reply, [`IrisError::Io`]
+    /// on socket failure.
+    pub fn hello(&mut self, codec: Codec) -> IrisResult<()> {
+        let resp = self
+            .call(&Request::Hello {
+                codec: codec.name().to_owned(),
+            })?
+            .into_result()?;
+        match resp {
+            Response::HelloAck { codec: name } => {
+                self.codec = Codec::from_name(&name).ok_or_else(|| IrisError::Decode {
+                    detail: format!("server acknowledged unknown codec {name:?}"),
+                })?;
+                Ok(())
+            }
+            other => Err(IrisError::Decode {
+                detail: format!("unexpected reply to Hello: {other:?}"),
+            }),
+        }
+    }
+
+    /// Dismantle the client into its socket and negotiated codec — for
+    /// callers (the load generator's event loop) that switch the
+    /// connection to non-blocking I/O after the blocking handshake.
+    #[must_use]
+    pub fn into_parts(self) -> (TcpStream, Codec) {
+        (self.stream, self.codec)
     }
 
     /// Send one request and wait for its reply. `Error` replies are
@@ -121,11 +217,11 @@ impl ServiceClient {
     ///
     /// Same as [`ServiceClient::call`].
     pub fn call_with_trace(&mut self, req: &Request, trace: Option<u64>) -> IrisResult<Response> {
-        let payload = encode_request(req)?;
+        let payload = codec::encode_request(self.codec, req)?;
         write_frame_traced(&mut self.stream, &payload, trace)?;
         loop {
             match read_frame(&mut self.stream)? {
-                FrameEvent::Frame(bytes) => return decode_response(&bytes),
+                FrameEvent::Frame(bytes) => return codec::decode_response(self.codec, &bytes),
                 FrameEvent::Idle => continue,
                 FrameEvent::Eof => {
                     return Err(IrisError::Io {
@@ -138,8 +234,10 @@ impl ServiceClient {
 
     /// [`ServiceClient::call`], backing off and retrying (up to
     /// `max_retries` times) when the server answers
-    /// [`IrisError::Overloaded`], sleeping the server-suggested
-    /// `retry_after_ms` between attempts. Other errors pass through.
+    /// [`IrisError::Overloaded`]. Delays follow a decorrelated-jitter
+    /// schedule ([`Backoff`]) seeded per call, anchored on the
+    /// server-suggested `retry_after_ms` and capped at 16× it, so
+    /// stampeding clients decorrelate. Other errors pass through.
     ///
     /// # Errors
     ///
@@ -147,15 +245,74 @@ impl ServiceClient {
     /// non-backpressure error immediately.
     pub fn call_retrying(&mut self, req: &Request, max_retries: u32) -> IrisResult<Response> {
         let mut attempt = 0;
+        let mut backoff: Option<Backoff> = None;
         loop {
             match self.call(req)?.into_result() {
                 Ok(resp) => return Ok(resp),
                 Err(IrisError::Overloaded { retry_after_ms }) if attempt < max_retries => {
                     attempt += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    let backoff = backoff.get_or_insert_with(|| {
+                        // The vendored rand has no OS entropy source:
+                        // seed from the wall clock so concurrent
+                        // clients draw different jitter streams.
+                        let seed = std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map_or(0x9E37_79B9_7F4A_7C15, |d| d.as_nanos() as u64);
+                        let base = retry_after_ms.max(1);
+                        Backoff::new(base, base.saturating_mul(16), seed)
+                    });
+                    std::thread::sleep(Duration::from_millis(backoff.next_delay_ms()));
                 }
                 Err(e) => return Err(e),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_delays_stay_within_the_decorrelated_jitter_bounds() {
+        let (base, cap) = (10u64, 400u64);
+        let mut backoff = Backoff::new(base, cap, 7);
+        let mut prev = base;
+        for i in 0..200 {
+            let hi = prev.saturating_mul(3).max(base + 1).min(cap);
+            let d = backoff.next_delay_ms();
+            assert!(d >= base, "delay {d} below base {base} at step {i}");
+            assert!(d <= cap, "delay {d} above cap {cap} at step {i}");
+            assert!(
+                d <= hi,
+                "delay {d} above decorrelated bound {hi} at step {i}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn backoff_sequences_are_seed_deterministic_and_jittered() {
+        let collect = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(5, 1000, seed);
+            (0..32).map(|_| b.next_delay_ms()).collect()
+        };
+        assert_eq!(collect(42), collect(42), "same seed, same schedule");
+        assert_ne!(collect(1), collect(2), "different seeds decorrelate");
+        let seq = collect(42);
+        assert!(
+            seq.iter().collect::<std::collections::BTreeSet<_>>().len() > 1,
+            "the schedule must actually jitter: {seq:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_degenerate_config_is_clamped_sane() {
+        let mut b = Backoff::new(0, 0, 9);
+        for _ in 0..16 {
+            let d = b.next_delay_ms();
+            assert!(d >= 1, "zero base clamps to 1ms");
+            assert!(d <= 1, "cap clamps to the base");
         }
     }
 }

@@ -1,0 +1,1189 @@
+//! Per-connection wire codecs: JSON (default) and a compact binary
+//! encoding.
+//!
+//! Both codecs produce the *payload* of a [`crate::frame`] frame — the
+//! length prefix, size cap, and optional trace header are codec
+//! independent, which is why a trace id survives the binary encoding
+//! unchanged. JSON stays the default so `nc`-level debugging and every
+//! pre-existing client keep working; a connection opts into binary by
+//! sending [`crate::api::Request::Hello`] (see there for the switch
+//! protocol).
+//!
+//! ## Binary format
+//!
+//! Little-endian, tag-prefixed, no self-description:
+//!
+//! * enum variant → one `u8` tag (the first payload byte, so a reader
+//!   can classify a response — error or not — without decoding it)
+//! * `u32`/`u64` → fixed-width little-endian; `usize` travels as `u64`
+//! * `f64` → IEEE-754 bits, little-endian
+//! * `bool` → one byte, `0`/`1` only
+//! * `String` → `u32` byte length + UTF-8 bytes
+//! * `Vec<T>` → `u32` element count + elements
+//! * `Option<T>` → presence byte + value
+//!
+//! Every length/count is checked against the bytes actually remaining
+//! in the payload *before* any allocation, so a hostile 4 GiB string
+//! header inside a 1 MiB frame is rejected without reserving memory.
+//! Decoding also demands the payload be fully consumed — trailing bytes
+//! are a decode error, same as JSON garbage.
+
+use crate::api::{
+    AllocEntry, HealthInfo, PathInfo, PlanSummary, RecoverySummary, Request, Response,
+    SlowRequestInfo, TopologySummary, TraceDumpInfo, TraceEventInfo,
+};
+use iris_errors::{IrisError, IrisResult};
+
+/// A negotiated wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Externally-tagged JSON — the boot-time default of every
+    /// connection.
+    #[default]
+    Json,
+    /// The compact binary encoding described in the module docs.
+    Binary,
+}
+
+impl Codec {
+    /// Stable wire name, as carried in `Hello` / `HelloAck`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        }
+    }
+
+    /// Parse a wire name. Unknown names return `None`; the server turns
+    /// that into a typed `InvalidInput` and stays on the current codec.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Codec> {
+        match name {
+            "json" => Some(Codec::Json),
+            "binary" => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+}
+
+/// First payload byte of a binary-encoded error response. Public so the
+/// client and loadgen can classify replies in O(1) on the hot path.
+pub const BIN_RESPONSE_ERROR_TAG: u8 = 10;
+
+fn decode_err(detail: impl Into<String>) -> IrisError {
+    IrisError::Decode {
+        detail: detail.into(),
+    }
+}
+
+/// Serialize a request in `codec`.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] if serialization fails.
+pub fn encode_request(codec: Codec, req: &Request) -> IrisResult<Vec<u8>> {
+    match codec {
+        Codec::Json => crate::api::encode_request(req),
+        Codec::Binary => {
+            let mut buf = Vec::with_capacity(16);
+            bin::write_request(&mut buf, req);
+            Ok(buf)
+        }
+    }
+}
+
+/// Parse a request payload in `codec`.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] for malformed payloads (bad tag, truncated
+/// fields, over-long length headers, trailing bytes).
+pub fn decode_request(codec: Codec, payload: &[u8]) -> IrisResult<Request> {
+    match codec {
+        Codec::Json => crate::api::decode_request(payload),
+        Codec::Binary => {
+            let mut rd = bin::Reader::new(payload);
+            let req = bin::read_request(&mut rd)?;
+            rd.finish("request")?;
+            Ok(req)
+        }
+    }
+}
+
+/// Serialize a response in `codec`, appending to `buf` (the event
+/// loop's per-connection write buffer) without an intermediate
+/// allocation on the binary path.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] if serialization fails. `buf` may hold a
+/// partial encoding after an error; callers truncate back to the length
+/// they recorded before the call.
+pub fn encode_response_into(codec: Codec, resp: &Response, buf: &mut Vec<u8>) -> IrisResult<()> {
+    match codec {
+        Codec::Json => {
+            let bytes = crate::api::encode_response(resp)?;
+            buf.extend_from_slice(&bytes);
+            Ok(())
+        }
+        Codec::Binary => {
+            bin::write_response(buf, resp);
+            Ok(())
+        }
+    }
+}
+
+/// Serialize a response in `codec` into a fresh buffer.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] if serialization fails.
+pub fn encode_response(codec: Codec, resp: &Response) -> IrisResult<Vec<u8>> {
+    let mut buf = Vec::with_capacity(64);
+    encode_response_into(codec, resp, &mut buf)?;
+    Ok(buf)
+}
+
+/// Parse a response payload in `codec`.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] for malformed payloads.
+pub fn decode_response(codec: Codec, payload: &[u8]) -> IrisResult<Response> {
+    match codec {
+        Codec::Json => crate::api::decode_response(payload),
+        Codec::Binary => {
+            let mut rd = bin::Reader::new(payload);
+            let resp = bin::read_response(&mut rd)?;
+            rd.finish("response")?;
+            Ok(resp)
+        }
+    }
+}
+
+/// O(1) check whether a response payload is an `Error` reply, without
+/// decoding it. Binary reads the tag byte; JSON checks the
+/// externally-tagged prefix. Load generators use this to skip full
+/// decoding on the (overwhelmingly common) success path.
+#[must_use]
+pub fn response_payload_is_error(codec: Codec, payload: &[u8]) -> bool {
+    match codec {
+        Codec::Json => payload.starts_with(b"{\"Error\""),
+        Codec::Binary => payload.first() == Some(&BIN_RESPONSE_ERROR_TAG),
+    }
+}
+
+mod bin {
+    //! The binary encoder/decoder proper. Encoding is infallible
+    //! (every value the API can hold is representable); decoding is
+    //! where all the bounds discipline lives.
+
+    use super::decode_err;
+    use super::{
+        AllocEntry, HealthInfo, IrisError, IrisResult, PathInfo, PlanSummary, RecoverySummary,
+        Request, Response, SlowRequestInfo, TopologySummary, TraceDumpInfo, TraceEventInfo,
+    };
+
+    // ---- request tags ----
+    const REQ_GET_PLAN: u8 = 0;
+    const REQ_GET_TOPOLOGY: u8 = 1;
+    const REQ_QUERY_PATH: u8 = 2;
+    const REQ_UPDATE_DEMAND: u8 = 3;
+    const REQ_REPORT_FIBER_CUT: u8 = 4;
+    const REQ_HEALTH: u8 = 5;
+    const REQ_METRICS_SNAPSHOT: u8 = 6;
+    const REQ_TRACE_DUMP: u8 = 7;
+    const REQ_HELLO: u8 = 8;
+
+    // ---- response tags (Error is super::BIN_RESPONSE_ERROR_TAG) ----
+    const RESP_PLAN: u8 = 0;
+    const RESP_TOPOLOGY: u8 = 1;
+    const RESP_PATH: u8 = 2;
+    const RESP_DEMAND_ACCEPTED: u8 = 3;
+    const RESP_RECOVERY: u8 = 4;
+    const RESP_CUT_ALREADY_ACTIVE: u8 = 5;
+    const RESP_HEALTH: u8 = 6;
+    const RESP_METRICS: u8 = 7;
+    const RESP_TRACE: u8 = 8;
+    const RESP_HELLO_ACK: u8 = 9;
+    const RESP_ERROR: u8 = super::BIN_RESPONSE_ERROR_TAG;
+
+    // ---- error sub-tags, in `IrisError` declaration order ----
+    const ERR_PORT_OUT_OF_RANGE: u8 = 0;
+    const ERR_CHANNEL_OUT_OF_RANGE: u8 = 1;
+    const ERR_UNREACHABLE: u8 = 2;
+    const ERR_DECODE: u8 = 3;
+    const ERR_VERIFY_FAILED: u8 = 4;
+    const ERR_RETRIES_EXHAUSTED: u8 = 5;
+    const ERR_QUARANTINED: u8 = 6;
+    const ERR_INFEASIBLE: u8 = 7;
+    const ERR_OVERLOADED: u8 = 8;
+    const ERR_INVALID_INPUT: u8 = 9;
+    const ERR_IO: u8 = 10;
+    const ERR_CORRUPT: u8 = 11;
+    const ERR_REPLAY_FAILED: u8 = 12;
+
+    // Smallest possible encodings, used to reject element counts that
+    // could not possibly fit the remaining payload before allocating.
+    const MIN_ALLOC_ENTRY: usize = 8 + 8 + 4;
+    const MIN_TRACE_EVENT: usize = 8 + 4 + 4 + 4 + 8 + 8 + 1;
+    const MIN_SLOW_REQUEST: usize = 8 + 4 + 8 + 8;
+
+    // ---------------------------------------------------------------
+    // writer
+    // ---------------------------------------------------------------
+
+    fn w_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.push(v);
+    }
+
+    fn w_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn w_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn w_usize(buf: &mut Vec<u8>, v: usize) {
+        w_u64(buf, v as u64);
+    }
+
+    fn w_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn w_bool(buf: &mut Vec<u8>, v: bool) {
+        buf.push(u8::from(v));
+    }
+
+    fn w_str(buf: &mut Vec<u8>, s: &str) {
+        // Frame payloads are capped at 1 MiB, far below u32::MAX; the
+        // cast cannot truncate anything that fits a frame.
+        w_u32(buf, s.len() as u32);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn w_count(buf: &mut Vec<u8>, n: usize) {
+        w_u32(buf, n as u32);
+    }
+
+    fn w_vec_usize(buf: &mut Vec<u8>, v: &[usize]) {
+        w_count(buf, v.len());
+        for &x in v {
+            w_usize(buf, x);
+        }
+    }
+
+    pub(super) fn write_request(buf: &mut Vec<u8>, req: &Request) {
+        match req {
+            Request::GetPlan => w_u8(buf, REQ_GET_PLAN),
+            Request::GetTopology => w_u8(buf, REQ_GET_TOPOLOGY),
+            Request::QueryPath { a, b } => {
+                w_u8(buf, REQ_QUERY_PATH);
+                w_usize(buf, *a);
+                w_usize(buf, *b);
+            }
+            Request::UpdateDemand { a, b, circuits } => {
+                w_u8(buf, REQ_UPDATE_DEMAND);
+                w_usize(buf, *a);
+                w_usize(buf, *b);
+                w_u32(buf, *circuits);
+            }
+            Request::ReportFiberCut { cuts } => {
+                w_u8(buf, REQ_REPORT_FIBER_CUT);
+                w_vec_usize(buf, cuts);
+            }
+            Request::Health => w_u8(buf, REQ_HEALTH),
+            Request::MetricsSnapshot => w_u8(buf, REQ_METRICS_SNAPSHOT),
+            Request::TraceDump { max_events } => {
+                w_u8(buf, REQ_TRACE_DUMP);
+                w_u64(buf, *max_events);
+            }
+            Request::Hello { codec } => {
+                w_u8(buf, REQ_HELLO);
+                w_str(buf, codec);
+            }
+        }
+    }
+
+    fn write_plan(buf: &mut Vec<u8>, p: &PlanSummary) {
+        w_u64(buf, p.epoch);
+        w_usize(buf, p.dcs);
+        w_usize(buf, p.ducts);
+        w_usize(buf, p.used_ducts);
+        w_usize(buf, p.cut_tolerance);
+        w_u64(buf, p.scenarios_examined);
+        w_u64(buf, p.dc_transceivers);
+        w_u64(buf, p.fiber_pair_spans);
+        w_u64(buf, p.oss_ports);
+        w_bool(buf, p.feasible);
+    }
+
+    fn write_topology(buf: &mut Vec<u8>, t: &TopologySummary) {
+        w_u64(buf, t.epoch);
+        w_usize(buf, t.dcs);
+        w_usize(buf, t.huts);
+        w_usize(buf, t.ducts);
+        w_vec_usize(buf, &t.active_cuts);
+        w_count(buf, t.allocation.len());
+        for e in &t.allocation {
+            w_usize(buf, e.a);
+            w_usize(buf, e.b);
+            w_u32(buf, e.circuits);
+        }
+        w_vec_usize(buf, &t.quarantined);
+    }
+
+    fn write_path(buf: &mut Vec<u8>, p: &PathInfo) {
+        w_usize(buf, p.a);
+        w_usize(buf, p.b);
+        w_vec_usize(buf, &p.nodes);
+        w_vec_usize(buf, &p.edges);
+        w_f64(buf, p.length_km);
+        w_f64(buf, p.rtt_ms);
+        w_u32(buf, p.circuits);
+        w_u64(buf, p.epoch);
+    }
+
+    fn write_recovery(buf: &mut Vec<u8>, r: &RecoverySummary) {
+        w_vec_usize(buf, &r.cuts);
+        w_bool(buf, r.within_tolerance);
+        w_bool(buf, r.fully_recovered);
+        w_usize(buf, r.shed_pairs);
+        w_f64(buf, r.detection_ms);
+        w_f64(buf, r.replan_ms);
+        w_f64(buf, r.reconfig_ms);
+        w_f64(buf, r.recovery_ms);
+    }
+
+    fn write_health(buf: &mut Vec<u8>, h: &HealthInfo) {
+        w_u64(buf, h.epoch);
+        w_usize(buf, h.queue_depth);
+        w_u64(buf, h.writes_applied);
+        w_u64(buf, h.coalesced);
+        w_u64(buf, h.overloaded);
+        w_vec_usize(buf, &h.active_cuts);
+        w_usize(buf, h.quarantined);
+        match &h.last_recovery {
+            None => w_bool(buf, false),
+            Some(r) => {
+                w_bool(buf, true);
+                write_recovery(buf, r);
+            }
+        }
+        w_u64(buf, h.uptime_ms);
+        w_u64(buf, h.wal_records);
+        w_u64(buf, h.wal_bytes);
+        w_f64(buf, h.last_fsync_ms);
+    }
+
+    fn write_trace_dump(buf: &mut Vec<u8>, t: &TraceDumpInfo) {
+        w_bool(buf, t.enabled);
+        w_u64(buf, t.dropped);
+        w_count(buf, t.events.len());
+        for e in &t.events {
+            w_u64(buf, e.trace_id);
+            w_u32(buf, e.span_id);
+            w_u32(buf, e.parent_id);
+            w_str(buf, &e.stage);
+            w_u64(buf, e.start_us);
+            w_u64(buf, e.dur_us);
+            w_bool(buf, e.modeled);
+        }
+        w_count(buf, t.slow.len());
+        for s in &t.slow {
+            w_u64(buf, s.trace_id);
+            w_str(buf, &s.op);
+            w_f64(buf, s.total_ms);
+            w_u64(buf, s.at_us);
+        }
+    }
+
+    fn write_error(buf: &mut Vec<u8>, e: &IrisError) {
+        match e {
+            IrisError::PortOutOfRange {
+                device,
+                input,
+                output,
+                ports,
+            } => {
+                w_u8(buf, ERR_PORT_OUT_OF_RANGE);
+                w_str(buf, device);
+                w_usize(buf, *input);
+                w_usize(buf, *output);
+                w_usize(buf, *ports);
+            }
+            IrisError::ChannelOutOfRange {
+                device,
+                channel,
+                count,
+            } => {
+                w_u8(buf, ERR_CHANNEL_OUT_OF_RANGE);
+                w_str(buf, device);
+                w_u32(buf, *channel);
+                w_u32(buf, *count);
+            }
+            IrisError::Unreachable { what } => {
+                w_u8(buf, ERR_UNREACHABLE);
+                w_str(buf, what);
+            }
+            IrisError::Decode { detail } => {
+                w_u8(buf, ERR_DECODE);
+                w_str(buf, detail);
+            }
+            IrisError::VerifyFailed { device, detail } => {
+                w_u8(buf, ERR_VERIFY_FAILED);
+                w_str(buf, device);
+                w_str(buf, detail);
+            }
+            IrisError::RetriesExhausted {
+                phase,
+                attempts,
+                last_error,
+            } => {
+                w_u8(buf, ERR_RETRIES_EXHAUSTED);
+                w_str(buf, phase);
+                w_u32(buf, *attempts);
+                w_str(buf, last_error);
+            }
+            IrisError::Quarantined { device } => {
+                w_u8(buf, ERR_QUARANTINED);
+                w_str(buf, device);
+            }
+            IrisError::Infeasible { detail } => {
+                w_u8(buf, ERR_INFEASIBLE);
+                w_str(buf, detail);
+            }
+            IrisError::Overloaded { retry_after_ms } => {
+                w_u8(buf, ERR_OVERLOADED);
+                w_u64(buf, *retry_after_ms);
+            }
+            IrisError::InvalidInput { detail } => {
+                w_u8(buf, ERR_INVALID_INPUT);
+                w_str(buf, detail);
+            }
+            IrisError::Io { detail } => {
+                w_u8(buf, ERR_IO);
+                w_str(buf, detail);
+            }
+            IrisError::Corrupt { what, detail } => {
+                w_u8(buf, ERR_CORRUPT);
+                w_str(buf, what);
+                w_str(buf, detail);
+            }
+            IrisError::ReplayFailed { detail } => {
+                w_u8(buf, ERR_REPLAY_FAILED);
+                w_str(buf, detail);
+            }
+        }
+    }
+
+    pub(super) fn write_response(buf: &mut Vec<u8>, resp: &Response) {
+        match resp {
+            Response::Plan(p) => {
+                w_u8(buf, RESP_PLAN);
+                write_plan(buf, p);
+            }
+            Response::Topology(t) => {
+                w_u8(buf, RESP_TOPOLOGY);
+                write_topology(buf, t);
+            }
+            Response::Path(p) => {
+                w_u8(buf, RESP_PATH);
+                write_path(buf, p);
+            }
+            Response::DemandAccepted { queue_depth } => {
+                w_u8(buf, RESP_DEMAND_ACCEPTED);
+                w_usize(buf, *queue_depth);
+            }
+            Response::Recovery(r) => {
+                w_u8(buf, RESP_RECOVERY);
+                write_recovery(buf, r);
+            }
+            Response::CutAlreadyActive { active_cuts } => {
+                w_u8(buf, RESP_CUT_ALREADY_ACTIVE);
+                w_vec_usize(buf, active_cuts);
+            }
+            Response::Health(h) => {
+                w_u8(buf, RESP_HEALTH);
+                write_health(buf, h);
+            }
+            Response::Metrics { prometheus } => {
+                w_u8(buf, RESP_METRICS);
+                w_str(buf, prometheus);
+            }
+            Response::Trace(t) => {
+                w_u8(buf, RESP_TRACE);
+                write_trace_dump(buf, t);
+            }
+            Response::HelloAck { codec } => {
+                w_u8(buf, RESP_HELLO_ACK);
+                w_str(buf, codec);
+            }
+            Response::Error(e) => {
+                w_u8(buf, RESP_ERROR);
+                write_error(buf, e);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // reader
+    // ---------------------------------------------------------------
+
+    /// Cursor over a payload. Every `take` checks remaining bytes
+    /// first; length headers are validated against the remainder before
+    /// any buffer is reserved.
+    pub(super) struct Reader<'a> {
+        b: &'a [u8],
+    }
+
+    impl<'a> Reader<'a> {
+        pub(super) fn new(payload: &'a [u8]) -> Self {
+            Self { b: payload }
+        }
+
+        /// Reject trailing bytes once a value has been decoded.
+        pub(super) fn finish(&self, what: &str) -> IrisResult<()> {
+            if self.b.is_empty() {
+                Ok(())
+            } else {
+                Err(decode_err(format!(
+                    "binary {what}: {} trailing bytes after value",
+                    self.b.len()
+                )))
+            }
+        }
+
+        fn take(&mut self, n: usize, what: &str) -> IrisResult<&'a [u8]> {
+            if self.b.len() < n {
+                return Err(decode_err(format!(
+                    "binary payload truncated reading {what}: need {n} bytes, have {}",
+                    self.b.len()
+                )));
+            }
+            let (head, rest) = self.b.split_at(n);
+            self.b = rest;
+            Ok(head)
+        }
+
+        fn u8(&mut self, what: &str) -> IrisResult<u8> {
+            Ok(self.take(1, what)?[0])
+        }
+
+        fn u32(&mut self, what: &str) -> IrisResult<u32> {
+            let raw = self.take(4, what)?;
+            Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+        }
+
+        fn u64(&mut self, what: &str) -> IrisResult<u64> {
+            let raw = self.take(8, what)?;
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(raw);
+            Ok(u64::from_le_bytes(bytes))
+        }
+
+        fn usize_(&mut self, what: &str) -> IrisResult<usize> {
+            let v = self.u64(what)?;
+            usize::try_from(v).map_err(|_| decode_err(format!("binary {what}: {v} exceeds usize")))
+        }
+
+        fn f64(&mut self, what: &str) -> IrisResult<f64> {
+            Ok(f64::from_bits(self.u64(what)?))
+        }
+
+        fn bool(&mut self, what: &str) -> IrisResult<bool> {
+            match self.u8(what)? {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(decode_err(format!(
+                    "binary {what}: invalid bool byte {other}"
+                ))),
+            }
+        }
+
+        fn string(&mut self, what: &str) -> IrisResult<String> {
+            let len = self.u32(what)? as usize;
+            // `take` is the pre-allocation bounds check: a length
+            // larger than the remaining payload fails here, before the
+            // String is built.
+            let raw = self.take(len, what)?;
+            std::str::from_utf8(raw)
+                .map(str::to_owned)
+                .map_err(|e| decode_err(format!("binary {what}: invalid UTF-8: {e}")))
+        }
+
+        /// Read an element count, rejecting counts whose minimum
+        /// encoding could not fit the remaining payload (so `Vec`
+        /// capacity is never reserved off attacker-controlled numbers).
+        fn count(&mut self, min_item: usize, what: &str) -> IrisResult<usize> {
+            let n = self.u32(what)? as usize;
+            if n.saturating_mul(min_item) > self.b.len() {
+                return Err(decode_err(format!(
+                    "binary {what}: {n} elements cannot fit {} remaining bytes",
+                    self.b.len()
+                )));
+            }
+            Ok(n)
+        }
+
+        fn vec_usize(&mut self, what: &str) -> IrisResult<Vec<usize>> {
+            let n = self.count(8, what)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(self.usize_(what)?);
+            }
+            Ok(v)
+        }
+    }
+
+    pub(super) fn read_request(rd: &mut Reader<'_>) -> IrisResult<Request> {
+        match rd.u8("request tag")? {
+            REQ_GET_PLAN => Ok(Request::GetPlan),
+            REQ_GET_TOPOLOGY => Ok(Request::GetTopology),
+            REQ_QUERY_PATH => Ok(Request::QueryPath {
+                a: rd.usize_("query_path.a")?,
+                b: rd.usize_("query_path.b")?,
+            }),
+            REQ_UPDATE_DEMAND => Ok(Request::UpdateDemand {
+                a: rd.usize_("update_demand.a")?,
+                b: rd.usize_("update_demand.b")?,
+                circuits: rd.u32("update_demand.circuits")?,
+            }),
+            REQ_REPORT_FIBER_CUT => Ok(Request::ReportFiberCut {
+                cuts: rd.vec_usize("report_fiber_cut.cuts")?,
+            }),
+            REQ_HEALTH => Ok(Request::Health),
+            REQ_METRICS_SNAPSHOT => Ok(Request::MetricsSnapshot),
+            REQ_TRACE_DUMP => Ok(Request::TraceDump {
+                max_events: rd.u64("trace_dump.max_events")?,
+            }),
+            REQ_HELLO => Ok(Request::Hello {
+                codec: rd.string("hello.codec")?,
+            }),
+            other => Err(decode_err(format!("unknown binary request tag {other}"))),
+        }
+    }
+
+    fn read_plan(rd: &mut Reader<'_>) -> IrisResult<PlanSummary> {
+        Ok(PlanSummary {
+            epoch: rd.u64("plan.epoch")?,
+            dcs: rd.usize_("plan.dcs")?,
+            ducts: rd.usize_("plan.ducts")?,
+            used_ducts: rd.usize_("plan.used_ducts")?,
+            cut_tolerance: rd.usize_("plan.cut_tolerance")?,
+            scenarios_examined: rd.u64("plan.scenarios_examined")?,
+            dc_transceivers: rd.u64("plan.dc_transceivers")?,
+            fiber_pair_spans: rd.u64("plan.fiber_pair_spans")?,
+            oss_ports: rd.u64("plan.oss_ports")?,
+            feasible: rd.bool("plan.feasible")?,
+        })
+    }
+
+    fn read_topology(rd: &mut Reader<'_>) -> IrisResult<TopologySummary> {
+        let epoch = rd.u64("topology.epoch")?;
+        let dcs = rd.usize_("topology.dcs")?;
+        let huts = rd.usize_("topology.huts")?;
+        let ducts = rd.usize_("topology.ducts")?;
+        let active_cuts = rd.vec_usize("topology.active_cuts")?;
+        let n = rd.count(MIN_ALLOC_ENTRY, "topology.allocation")?;
+        let mut allocation = Vec::with_capacity(n);
+        for _ in 0..n {
+            allocation.push(AllocEntry {
+                a: rd.usize_("allocation.a")?,
+                b: rd.usize_("allocation.b")?,
+                circuits: rd.u32("allocation.circuits")?,
+            });
+        }
+        Ok(TopologySummary {
+            epoch,
+            dcs,
+            huts,
+            ducts,
+            active_cuts,
+            allocation,
+            quarantined: rd.vec_usize("topology.quarantined")?,
+        })
+    }
+
+    fn read_path(rd: &mut Reader<'_>) -> IrisResult<PathInfo> {
+        Ok(PathInfo {
+            a: rd.usize_("path.a")?,
+            b: rd.usize_("path.b")?,
+            nodes: rd.vec_usize("path.nodes")?,
+            edges: rd.vec_usize("path.edges")?,
+            length_km: rd.f64("path.length_km")?,
+            rtt_ms: rd.f64("path.rtt_ms")?,
+            circuits: rd.u32("path.circuits")?,
+            epoch: rd.u64("path.epoch")?,
+        })
+    }
+
+    fn read_recovery(rd: &mut Reader<'_>) -> IrisResult<RecoverySummary> {
+        Ok(RecoverySummary {
+            cuts: rd.vec_usize("recovery.cuts")?,
+            within_tolerance: rd.bool("recovery.within_tolerance")?,
+            fully_recovered: rd.bool("recovery.fully_recovered")?,
+            shed_pairs: rd.usize_("recovery.shed_pairs")?,
+            detection_ms: rd.f64("recovery.detection_ms")?,
+            replan_ms: rd.f64("recovery.replan_ms")?,
+            reconfig_ms: rd.f64("recovery.reconfig_ms")?,
+            recovery_ms: rd.f64("recovery.recovery_ms")?,
+        })
+    }
+
+    fn read_health(rd: &mut Reader<'_>) -> IrisResult<HealthInfo> {
+        Ok(HealthInfo {
+            epoch: rd.u64("health.epoch")?,
+            queue_depth: rd.usize_("health.queue_depth")?,
+            writes_applied: rd.u64("health.writes_applied")?,
+            coalesced: rd.u64("health.coalesced")?,
+            overloaded: rd.u64("health.overloaded")?,
+            active_cuts: rd.vec_usize("health.active_cuts")?,
+            quarantined: rd.usize_("health.quarantined")?,
+            last_recovery: if rd.bool("health.last_recovery")? {
+                Some(read_recovery(rd)?)
+            } else {
+                None
+            },
+            uptime_ms: rd.u64("health.uptime_ms")?,
+            wal_records: rd.u64("health.wal_records")?,
+            wal_bytes: rd.u64("health.wal_bytes")?,
+            last_fsync_ms: rd.f64("health.last_fsync_ms")?,
+        })
+    }
+
+    fn read_trace_dump(rd: &mut Reader<'_>) -> IrisResult<TraceDumpInfo> {
+        let enabled = rd.bool("trace.enabled")?;
+        let dropped = rd.u64("trace.dropped")?;
+        let n = rd.count(MIN_TRACE_EVENT, "trace.events")?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(TraceEventInfo {
+                trace_id: rd.u64("event.trace_id")?,
+                span_id: rd.u32("event.span_id")?,
+                parent_id: rd.u32("event.parent_id")?,
+                stage: rd.string("event.stage")?,
+                start_us: rd.u64("event.start_us")?,
+                dur_us: rd.u64("event.dur_us")?,
+                modeled: rd.bool("event.modeled")?,
+            });
+        }
+        let n = rd.count(MIN_SLOW_REQUEST, "trace.slow")?;
+        let mut slow = Vec::with_capacity(n);
+        for _ in 0..n {
+            slow.push(SlowRequestInfo {
+                trace_id: rd.u64("slow.trace_id")?,
+                op: rd.string("slow.op")?,
+                total_ms: rd.f64("slow.total_ms")?,
+                at_us: rd.u64("slow.at_us")?,
+            });
+        }
+        Ok(TraceDumpInfo {
+            enabled,
+            dropped,
+            events,
+            slow,
+        })
+    }
+
+    fn read_error(rd: &mut Reader<'_>) -> IrisResult<IrisError> {
+        match rd.u8("error tag")? {
+            ERR_PORT_OUT_OF_RANGE => Ok(IrisError::PortOutOfRange {
+                device: rd.string("error.device")?,
+                input: rd.usize_("error.input")?,
+                output: rd.usize_("error.output")?,
+                ports: rd.usize_("error.ports")?,
+            }),
+            ERR_CHANNEL_OUT_OF_RANGE => Ok(IrisError::ChannelOutOfRange {
+                device: rd.string("error.device")?,
+                channel: rd.u32("error.channel")?,
+                count: rd.u32("error.count")?,
+            }),
+            ERR_UNREACHABLE => Ok(IrisError::Unreachable {
+                what: rd.string("error.what")?,
+            }),
+            ERR_DECODE => Ok(IrisError::Decode {
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_VERIFY_FAILED => Ok(IrisError::VerifyFailed {
+                device: rd.string("error.device")?,
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_RETRIES_EXHAUSTED => Ok(IrisError::RetriesExhausted {
+                phase: rd.string("error.phase")?,
+                attempts: rd.u32("error.attempts")?,
+                last_error: rd.string("error.last_error")?,
+            }),
+            ERR_QUARANTINED => Ok(IrisError::Quarantined {
+                device: rd.string("error.device")?,
+            }),
+            ERR_INFEASIBLE => Ok(IrisError::Infeasible {
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_OVERLOADED => Ok(IrisError::Overloaded {
+                retry_after_ms: rd.u64("error.retry_after_ms")?,
+            }),
+            ERR_INVALID_INPUT => Ok(IrisError::InvalidInput {
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_IO => Ok(IrisError::Io {
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_CORRUPT => Ok(IrisError::Corrupt {
+                what: rd.string("error.what")?,
+                detail: rd.string("error.detail")?,
+            }),
+            ERR_REPLAY_FAILED => Ok(IrisError::ReplayFailed {
+                detail: rd.string("error.detail")?,
+            }),
+            other => Err(decode_err(format!("unknown binary error tag {other}"))),
+        }
+    }
+
+    pub(super) fn read_response(rd: &mut Reader<'_>) -> IrisResult<Response> {
+        match rd.u8("response tag")? {
+            RESP_PLAN => Ok(Response::Plan(read_plan(rd)?)),
+            RESP_TOPOLOGY => Ok(Response::Topology(read_topology(rd)?)),
+            RESP_PATH => Ok(Response::Path(read_path(rd)?)),
+            RESP_DEMAND_ACCEPTED => Ok(Response::DemandAccepted {
+                queue_depth: rd.usize_("demand_accepted.queue_depth")?,
+            }),
+            RESP_RECOVERY => Ok(Response::Recovery(read_recovery(rd)?)),
+            RESP_CUT_ALREADY_ACTIVE => Ok(Response::CutAlreadyActive {
+                active_cuts: rd.vec_usize("cut_already_active.active_cuts")?,
+            }),
+            RESP_HEALTH => Ok(Response::Health(read_health(rd)?)),
+            RESP_METRICS => Ok(Response::Metrics {
+                prometheus: rd.string("metrics.prometheus")?,
+            }),
+            RESP_TRACE => Ok(Response::Trace(read_trace_dump(rd)?)),
+            RESP_HELLO_ACK => Ok(Response::HelloAck {
+                codec: rd.string("hello_ack.codec")?,
+            }),
+            RESP_ERROR => Ok(Response::Error(read_error(rd)?)),
+            other => Err(decode_err(format!("unknown binary response tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::GetPlan,
+            Request::GetTopology,
+            Request::QueryPath { a: 0, b: 3 },
+            Request::UpdateDemand {
+                a: 1,
+                b: 2,
+                circuits: 4,
+            },
+            Request::ReportFiberCut { cuts: vec![5, 9] },
+            Request::ReportFiberCut { cuts: vec![] },
+            Request::Health,
+            Request::MetricsSnapshot,
+            Request::TraceDump { max_events: 500 },
+            Request::Hello {
+                codec: "binary".into(),
+            },
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        use crate::api::*;
+        vec![
+            Response::Plan(PlanSummary {
+                epoch: 3,
+                dcs: 10,
+                ducts: 40,
+                used_ducts: 22,
+                cut_tolerance: 2,
+                scenarios_examined: 780,
+                dc_transceivers: 5_000,
+                fiber_pair_spans: 900,
+                oss_ports: 1_200,
+                feasible: true,
+            }),
+            Response::Topology(TopologySummary {
+                epoch: 4,
+                dcs: 3,
+                huts: 5,
+                ducts: 9,
+                active_cuts: vec![1, 7],
+                allocation: vec![
+                    AllocEntry {
+                        a: 0,
+                        b: 1,
+                        circuits: 3,
+                    },
+                    AllocEntry {
+                        a: 0,
+                        b: 2,
+                        circuits: 1,
+                    },
+                ],
+                quarantined: vec![2],
+            }),
+            Response::Path(PathInfo {
+                a: 0,
+                b: 2,
+                nodes: vec![0, 4, 2],
+                edges: vec![3, 8],
+                length_km: 41.25,
+                rtt_ms: 0.413,
+                circuits: 2,
+                epoch: 4,
+            }),
+            Response::DemandAccepted { queue_depth: 17 },
+            Response::Recovery(RecoverySummary {
+                cuts: vec![4],
+                within_tolerance: true,
+                fully_recovered: true,
+                shed_pairs: 0,
+                detection_ms: 10.0,
+                replan_ms: 5.0,
+                reconfig_ms: 52.0,
+                recovery_ms: 67.0,
+            }),
+            Response::CutAlreadyActive {
+                active_cuts: vec![2, 4],
+            },
+            Response::Health(HealthInfo {
+                epoch: 7,
+                queue_depth: 0,
+                writes_applied: 12,
+                coalesced: 3,
+                overloaded: 1,
+                active_cuts: vec![4],
+                quarantined: 0,
+                last_recovery: Some(RecoverySummary {
+                    cuts: vec![4],
+                    within_tolerance: true,
+                    fully_recovered: true,
+                    shed_pairs: 0,
+                    detection_ms: 10.0,
+                    replan_ms: 5.0,
+                    reconfig_ms: 52.0,
+                    recovery_ms: 67.0,
+                }),
+                uptime_ms: 81_000,
+                wal_records: 42,
+                wal_bytes: 13_337,
+                last_fsync_ms: 0.42,
+            }),
+            Response::Metrics {
+                prometheus: "# TYPE x counter\nx 1\n".into(),
+            },
+            Response::Trace(crate::api::TraceDumpInfo {
+                enabled: true,
+                dropped: 3,
+                events: vec![TraceEventInfo {
+                    trace_id: 0xAB,
+                    span_id: 2,
+                    parent_id: 1,
+                    stage: "wal_fsync".into(),
+                    start_us: 1_000,
+                    dur_us: 420,
+                    modeled: false,
+                }],
+                slow: vec![SlowRequestInfo {
+                    trace_id: 0xAB,
+                    op: "report_fiber_cut".into(),
+                    total_ms: 61.5,
+                    at_us: 2_000,
+                }],
+            }),
+            Response::HelloAck {
+                codec: "binary".into(),
+            },
+            Response::Error(IrisError::Overloaded { retry_after_ms: 25 }),
+            Response::Error(IrisError::Unreachable {
+                what: "DC 0 -> DC 2 after cuts [1, 7]".into(),
+            }),
+        ]
+    }
+
+    fn all_errors() -> Vec<IrisError> {
+        vec![
+            IrisError::PortOutOfRange {
+                device: "OSS@HUT3".into(),
+                input: 9,
+                output: 1,
+                ports: 4,
+            },
+            IrisError::ChannelOutOfRange {
+                device: "TX".into(),
+                channel: 41,
+                count: 40,
+            },
+            IrisError::Unreachable { what: "x".into() },
+            IrisError::Decode { detail: "x".into() },
+            IrisError::VerifyFailed {
+                device: "OSS".into(),
+                detail: "y".into(),
+            },
+            IrisError::RetriesExhausted {
+                phase: "actuate".into(),
+                attempts: 3,
+                last_error: "z".into(),
+            },
+            IrisError::Quarantined {
+                device: "OSS".into(),
+            },
+            IrisError::Infeasible { detail: "x".into() },
+            IrisError::Overloaded { retry_after_ms: 10 },
+            IrisError::InvalidInput { detail: "x".into() },
+            IrisError::Io { detail: "x".into() },
+            IrisError::Corrupt {
+                what: "iris.wal".into(),
+                detail: "crc".into(),
+            },
+            IrisError::ReplayFailed { detail: "x".into() },
+        ]
+    }
+
+    #[test]
+    fn binary_requests_round_trip() {
+        for req in &sample_requests() {
+            let bytes = encode_request(Codec::Binary, req).unwrap();
+            let back = decode_request(Codec::Binary, &bytes).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn binary_responses_round_trip() {
+        for resp in &sample_responses() {
+            let bytes = encode_response(Codec::Binary, resp).unwrap();
+            let back = decode_response(Codec::Binary, &bytes).unwrap();
+            assert_eq!(&back, resp);
+        }
+    }
+
+    #[test]
+    fn every_error_variant_round_trips_in_binary() {
+        for e in all_errors() {
+            let resp = Response::Error(e);
+            let bytes = encode_response(Codec::Binary, &resp).unwrap();
+            assert_eq!(decode_response(Codec::Binary, &bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn json_paths_delegate_to_api_codec() {
+        let req = Request::QueryPath { a: 1, b: 2 };
+        let bytes = encode_request(Codec::Json, &req).unwrap();
+        assert_eq!(crate::api::decode_request(&bytes).unwrap(), req);
+        let resp = Response::DemandAccepted { queue_depth: 1 };
+        let bytes = encode_response(Codec::Json, &resp).unwrap();
+        assert_eq!(crate::api::decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_binary_payloads_are_decode_errors() {
+        for resp in &sample_responses() {
+            let bytes = encode_response(Codec::Binary, resp).unwrap();
+            // Every proper prefix must fail cleanly, never panic.
+            for cut in 0..bytes.len() {
+                let err = decode_response(Codec::Binary, &bytes[..cut]).unwrap_err();
+                assert_eq!(err.code(), "decode", "prefix len {cut} of {resp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_request(Codec::Binary, &Request::GetPlan).unwrap();
+        bytes.push(0);
+        let err = decode_request(Codec::Binary, &bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn hostile_length_headers_fail_before_allocation() {
+        // A string header claiming u32::MAX bytes inside a tiny payload:
+        // must fail on the bounds check, not attempt a 4 GiB reservation.
+        let mut bytes = vec![8u8]; // Request::Hello tag
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"hi");
+        let err = decode_request(Codec::Binary, &bytes).unwrap_err();
+        assert_eq!(err.code(), "decode");
+
+        // Same for a vec count: ReportFiberCut claiming 500M cuts.
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(&500_000_000u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let err = decode_request(Codec::Binary, &bytes).unwrap_err();
+        assert!(err.to_string().contains("cannot fit"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_bools_are_rejected() {
+        assert_eq!(
+            decode_request(Codec::Binary, &[250u8]).unwrap_err().code(),
+            "decode"
+        );
+        assert_eq!(
+            decode_response(Codec::Binary, &[250u8]).unwrap_err().code(),
+            "decode"
+        );
+        // Error response with an unknown error sub-tag.
+        assert_eq!(
+            decode_response(Codec::Binary, &[BIN_RESPONSE_ERROR_TAG, 200])
+                .unwrap_err()
+                .code(),
+            "decode"
+        );
+        // Plan with a bool byte of 2.
+        let resp = sample_responses().remove(0);
+        let mut bytes = encode_response(Codec::Binary, &resp).unwrap();
+        *bytes.last_mut().unwrap() = 2;
+        assert!(decode_response(Codec::Binary, &bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("bool"));
+    }
+
+    #[test]
+    fn error_classification_is_tag_based() {
+        let err = Response::Error(IrisError::Overloaded { retry_after_ms: 5 });
+        let ok = Response::DemandAccepted { queue_depth: 0 };
+        for codec in [Codec::Json, Codec::Binary] {
+            let e = encode_response(codec, &err).unwrap();
+            let o = encode_response(codec, &ok).unwrap();
+            assert!(response_payload_is_error(codec, &e), "{codec:?}");
+            assert!(!response_payload_is_error(codec, &o), "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn codec_names_round_trip() {
+        for codec in [Codec::Json, Codec::Binary] {
+            assert_eq!(Codec::from_name(codec.name()), Some(codec));
+        }
+        assert_eq!(Codec::from_name("msgpack"), None);
+        assert_eq!(Codec::default(), Codec::Json);
+    }
+
+    #[test]
+    fn encode_into_appends_without_clobbering() {
+        let mut buf = vec![0xAA, 0xBB];
+        let resp = Response::DemandAccepted { queue_depth: 9 };
+        encode_response_into(Codec::Binary, &resp, &mut buf).unwrap();
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(decode_response(Codec::Binary, &buf[2..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn binary_is_denser_than_json_for_topology() {
+        let resp = sample_responses().remove(1);
+        let j = encode_response(Codec::Json, &resp).unwrap();
+        let b = encode_response(Codec::Binary, &resp).unwrap();
+        assert!(b.len() < j.len(), "binary {} >= json {}", b.len(), j.len());
+    }
+}

@@ -162,6 +162,76 @@ pub fn read_frame_traced<R: Read>(r: &mut R) -> IrisResult<(FrameEvent, Option<u
     }
 }
 
+/// One frame parsed out of an in-memory read buffer by [`parse_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFrame {
+    /// The frame payload (codec bytes).
+    pub payload: Vec<u8>,
+    /// The trace id, when the peer attached the 8-byte header.
+    pub trace_id: Option<u64>,
+    /// Total wire bytes this frame occupied (prefix + header + payload);
+    /// the caller advances its buffer by this much.
+    pub consumed: usize,
+}
+
+/// Try to parse one complete frame from the front of `buf` — the
+/// non-blocking twin of [`read_frame_traced`] for event-loop servers
+/// that accumulate socket reads in a per-connection buffer. Returns
+/// `Ok(None)` while the frame is still incomplete; the same wire format
+/// (and the same before-allocation length check) as the blocking
+/// reader, so the two interoperate byte-for-byte.
+///
+/// # Errors
+///
+/// [`IrisError::Decode`] when the announced length exceeds
+/// [`MAX_FRAME_LEN`] — detected as soon as the 4 prefix bytes are
+/// present, before the payload is buffered or allocated.
+pub fn parse_frame(buf: &[u8]) -> IrisResult<Option<ParsedFrame>> {
+    let Some(prefix) = buf.get(..4) else {
+        return Ok(None);
+    };
+    let raw = u32::from_be_bytes(prefix.try_into().expect("4-byte slice"));
+    let traced = raw & TRACE_FLAG != 0;
+    let len = (raw & !TRACE_FLAG) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(IrisError::Decode {
+            detail: format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte maximum"),
+        });
+    }
+    let header_len = if traced { 12 } else { 4 };
+    let Some(rest) = buf.get(header_len..header_len + len) else {
+        return Ok(None);
+    };
+    let trace_id = traced.then(|| u64::from_be_bytes(buf[4..12].try_into().expect("8-byte slice")));
+    Ok(Some(ParsedFrame {
+        payload: rest.to_vec(),
+        trace_id,
+        consumed: header_len + len,
+    }))
+}
+
+/// Append a length prefix + `payload` (no trace header) to an in-memory
+/// write buffer — the event-loop counterpart of [`write_frame`].
+///
+/// # Errors
+///
+/// [`IrisError::InvalidInput`] if the payload exceeds [`MAX_FRAME_LEN`]
+/// (nothing is appended).
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> IrisResult<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(IrisError::InvalidInput {
+            detail: format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte maximum",
+                payload.len()
+            ),
+        });
+    }
+    let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_LEN");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
 enum Fill {
     Complete,
     /// EOF before the first byte (only when `eof_ok`).
@@ -353,6 +423,68 @@ mod tests {
         let err = read_frame_traced(&mut Cursor::new(bytes)).unwrap_err();
         assert_eq!(err.code(), "decode");
         assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn parse_frame_matches_the_blocking_reader_byte_for_byte() {
+        let mut bytes = Vec::new();
+        write_frame_traced(&mut bytes, b"traced", Some(0x1122_3344_5566_7788)).unwrap();
+        write_frame(&mut bytes, b"plain").unwrap();
+
+        let first = parse_frame(&bytes).unwrap().expect("complete frame");
+        assert_eq!(first.payload, b"traced");
+        assert_eq!(first.trace_id, Some(0x1122_3344_5566_7788));
+        assert_eq!(first.consumed, 12 + 6);
+
+        let second = parse_frame(&bytes[first.consumed..])
+            .unwrap()
+            .expect("complete frame");
+        assert_eq!(second.payload, b"plain");
+        assert_eq!(second.trace_id, None);
+        assert_eq!(second.consumed, 4 + 5);
+        assert_eq!(first.consumed + second.consumed, bytes.len());
+    }
+
+    #[test]
+    fn parse_frame_waits_on_every_incomplete_prefix() {
+        let mut bytes = Vec::new();
+        write_frame_traced(&mut bytes, b"payload", Some(9)).unwrap();
+        // Every strict prefix of the wire bytes must yield "not yet",
+        // never an error or a short payload.
+        for cut in 0..bytes.len() {
+            assert_eq!(parse_frame(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        assert!(parse_frame(&bytes).unwrap().is_some());
+    }
+
+    #[test]
+    fn parse_frame_rejects_oversized_lengths_before_buffering() {
+        // Only the 4 prefix bytes are present; a parser that deferred
+        // the bound check would report "incomplete" and let the peer
+        // stream a gigabyte into the connection buffer.
+        let bytes = (!TRACE_FLAG).to_be_bytes();
+        let err = parse_frame(&bytes).unwrap_err();
+        assert_eq!(err.code(), "decode");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn append_frame_round_trips_through_parse_frame() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"abc").unwrap();
+        append_frame(&mut buf, b"").unwrap();
+        let a = parse_frame(&buf).unwrap().expect("first frame");
+        assert_eq!((a.payload.as_slice(), a.consumed), (&b"abc"[..], 7));
+        let b = parse_frame(&buf[a.consumed..]).unwrap().expect("second");
+        assert_eq!((b.payload.as_slice(), b.consumed), (&b""[..], 4));
+
+        let mut oversized = Vec::new();
+        let err = append_frame(&mut oversized, &vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
+        assert_eq!(err.code(), "invalid-input");
+        assert!(
+            oversized.is_empty(),
+            "nothing appended for a rejected frame"
+        );
     }
 
     #[test]

@@ -1,31 +1,48 @@
 //! `iris-service` — the long-running regional control-plane server.
 //!
 //! The planner and controller crates answer one-shot questions; this
-//! crate keeps a region *live*: a thread-per-connection TCP server (std
-//! only — the workspace's vendored crates are offline stubs, so no
-//! async runtime) speaking length-prefixed JSON frames ([`frame`]) with
-//! a typed request API ([`api`]).
+//! crate keeps a region *live*: a sharded non-blocking TCP server (std
+//! only — readiness comes from the workspace's [`iris_poll`] leaf, no
+//! async runtime) speaking length-prefixed frames ([`frame`]) with a
+//! typed request API ([`api`]) in either of two codecs ([`codec`]).
 //!
-//! The concurrency model is the crate's point:
+//! The serving model is the crate's point:
 //!
-//! * **Reads are snapshot reads.** Every `GetPlan` / `GetTopology` /
-//!   `QueryPath` / `Health` is served from an immutable
-//!   `Arc<StateSnapshot>` published in a [`state::SnapshotCell`]; the
-//!   only synchronization on the read path is an `Arc` clone.
-//! * **Writes are single-threaded and coalesced.** `UpdateDemand` and
-//!   `ReportFiberCut` flow through a bounded queue to one mutator
-//!   thread, which gathers a short batch, keeps only the last update
-//!   per DC pair, drives the [`iris_control::Controller`], and
-//!   publishes one new snapshot (epoch + 1) per batch.
+//! * **Connections live on event-loop shards.** One acceptor hands each
+//!   socket round-robin to a [`ServiceConfig::shards`]-sized pool of
+//!   worker loops; each shard drives its connections through one
+//!   `iris_poll::Poller` with per-connection read/write buffers.
+//!   Clients may pipeline — any number of request frames in flight,
+//!   replies strictly FIFO per connection.
+//! * **Codecs are negotiated per connection.** Frames carry JSON until
+//!   a `Hello { codec: "binary" }` switches the connection to the
+//!   compact binary encoding (and back); the ack travels in the old
+//!   codec, and an unknown name is a typed `InvalidInput` that leaves
+//!   the connection usable.
+//! * **Reads are pre-serialized snapshot reads.** Every `GetPlan` /
+//!   `GetTopology` is answered from reply frames serialized once per
+//!   epoch, in both codecs, when the snapshot is published — the
+//!   per-request cost is a memcpy. `QueryPath` / `Health` read the same
+//!   immutable `Arc<StateSnapshot>` ([`state::SnapshotCell`]); the only
+//!   synchronization on the read path is an `Arc` clone.
+//! * **Writes are single-threaded, coalesced, and group-committed.**
+//!   `UpdateDemand` and `ReportFiberCut` flow through a bounded queue
+//!   to one mutator thread, which gathers a short batch, keeps only the
+//!   last update per DC pair, drives the [`iris_control::Controller`],
+//!   and hands the batch to a syncer thread that fsyncs and publishes —
+//!   one fsync acknowledges every batch queued behind it.
 //! * **Backpressure is typed.** A full queue answers
 //!   [`iris_errors::IrisError::Overloaded`] with a suggested
-//!   `retry_after_ms` instead of blocking the socket.
+//!   `retry_after_ms` instead of blocking the socket; the client's
+//!   retry path adds seeded decorrelated jitter on top.
 //!
-//! [`loadgen`] is the matching seeded closed-loop client: it replays a
-//! deterministic request mix over several connections, optionally cuts
-//! a fiber mid-run, and splits its report into seed-deterministic
-//! results (byte-identical JSON across runs and thread counts) and
-//! wall-clock measurements (printed only).
+//! [`loadgen`] is the matching seeded load generator — the same poller
+//! drives all its connections from one thread, closed-loop (optionally
+//! pipelined) or open-loop (seeded Poisson arrivals via
+//! `LoadgenConfig::rate`) — and it splits its report into
+//! seed-deterministic results (byte-identical JSON across runs, thread
+//! counts, codecs, shard counts, and pipeline depths) and wall-clock
+//! measurements (printed only).
 //!
 //! **Durability** is opt-in via [`ServiceConfig::wal_dir`]: every
 //! applied write batch is appended + fsync'd to an append-only
@@ -40,6 +57,7 @@
 
 pub mod api;
 pub mod client;
+pub mod codec;
 pub mod frame;
 pub mod loadgen;
 pub mod recovery;
@@ -49,6 +67,7 @@ pub mod wal;
 
 pub use api::{Request, Response, SlowRequestInfo, TraceDumpInfo, TraceEventInfo};
 pub use client::ServiceClient;
+pub use codec::Codec;
 pub use frame::{
     read_frame, read_frame_traced, write_frame, write_frame_traced, FrameEvent, MAX_FRAME_LEN,
     TRACE_FLAG,

@@ -1,40 +1,58 @@
-//! Seeded closed-loop load generator.
+//! Seeded load generator driving every connection from one event loop.
 //!
-//! `connections` client threads each replay a deterministic, seeded mix
-//! of reads (`GetPlan`, `GetTopology`, `QueryPath`, `Health`) and writes
-//! (`UpdateDemand`); connection 0 optionally injects a `ReportFiberCut`
-//! halfway through its sequence so read tail latency can be observed
-//! *while a recovery is in flight*. Each DC pair is owned by exactly one
-//! connection (updates for a pair are totally ordered), which makes the
-//! final allocation — and everything else in [`LoadResults`] — a pure
-//! function of the seed and the region. Wall-clock measurements
-//! (latency percentiles, throughput, realized coalescing) are split into
-//! [`MeasuredStats`], which is printed but never serialized, so
-//! `results/service_load.json` is byte-identical across runs, machines
-//! and worker-thread counts.
+//! `connections` client connections each replay a deterministic, seeded
+//! mix of reads (`GetPlan`, `GetTopology`, `QueryPath`, `Health`) and
+//! writes (`UpdateDemand`); connection 0 optionally injects a
+//! `ReportFiberCut` halfway through its sequence so read tail latency
+//! can be observed *while a recovery is in flight*. All connections are
+//! multiplexed onto a single non-blocking poller thread, so scaling
+//! `--connections` costs sockets, not OS threads, and `--pipeline`
+//! keeps several requests in flight per connection. Closed loop is the
+//! default; `--rate` switches to an open loop where arrivals follow a
+//! seeded exponential schedule and latency includes queueing delay.
+//!
+//! Each DC pair is owned by exactly one connection (updates for a pair
+//! are totally ordered), which makes the final allocation — and
+//! everything else in [`LoadResults`] — a pure function of the seed and
+//! the region. When the server sheds an `UpdateDemand` with
+//! `Overloaded`, the driver re-sends it only while it is still the
+//! *latest* update sent for its pair; a superseded retry is dropped, so
+//! pipelined retries can never reorder a pair's final value. Wall-clock
+//! measurements (latency percentiles, throughput, realized coalescing)
+//! are split into [`MeasuredStats`], which is printed but never
+//! serialized, so `results/service_load.json` is byte-identical across
+//! runs, machines, codecs, pipeline depths and worker-thread counts.
 
 use crate::api::{AllocEntry, RecoverySummary, Request, Response};
 use crate::client::ServiceClient;
+use crate::codec::{self, Codec};
+use crate::frame::{append_frame, parse_frame};
 use iris_errors::{IrisError, IrisResult};
+use iris_poll::{Event, Interest, Poller};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
+
+/// Socket read granularity for the reply buffers.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
     /// Server address.
     pub addr: String,
-    /// Seed for the request mix.
+    /// Seed for the request mix (and the open-loop arrival schedule).
     pub seed: u64,
     /// Total request budget, split evenly across connections (the split
     /// is exact: the effective total is `requests / connections *
     /// connections`).
     pub requests: u64,
-    /// Concurrent client connections.
+    /// Concurrent client connections (all driven by one event loop).
     pub connections: usize,
     /// Ducts connection 0 cuts halfway through its sequence; empty for a
     /// pure read/write run.
@@ -45,6 +63,16 @@ pub struct LoadgenConfig {
     /// Idle-baseline reads issued before the load phase, to calibrate
     /// read tail latency on an unloaded server.
     pub baseline_requests: u64,
+    /// Wire codec every connection negotiates before the run (JSON is
+    /// the protocol default and needs no `Hello`).
+    pub codec: Codec,
+    /// Requests kept in flight per connection in closed-loop mode
+    /// (clamped to at least 1). Ignored by open-loop runs.
+    pub pipeline: usize,
+    /// Open-loop target arrival rate in requests/s across all
+    /// connections, with seeded exponential inter-arrivals; `None` runs
+    /// the default closed loop.
+    pub rate: Option<f64>,
 }
 
 impl Default for LoadgenConfig {
@@ -57,6 +85,9 @@ impl Default for LoadgenConfig {
             cuts: Vec::new(),
             max_circuits: 4,
             baseline_requests: 200,
+            codec: Codec::Json,
+            pipeline: 1,
+            rate: None,
         }
     }
 }
@@ -108,7 +139,8 @@ pub struct LoadResults {
     pub cut: Option<CutOutcome>,
     /// The allocation after every write drained, `(a, b)` ascending —
     /// per-pair this is exactly the last generated update (or the seed
-    /// value 1), because each pair is owned by one connection.
+    /// value 1), because each pair is owned by one connection and
+    /// superseded retries are never re-sent out of order.
     pub final_allocation: Vec<AllocEntry>,
     /// Unexpected request failures (anything besides backpressure
     /// retries and post-cut unreachable reads). Always 0 on a healthy
@@ -137,7 +169,8 @@ pub struct MeasuredStats {
     pub wall_s: f64,
     /// Completed requests per second across all connections.
     pub throughput_rps: f64,
-    /// Latency per op, op name ascending.
+    /// Latency per op, op name ascending. Open-loop latencies include
+    /// queueing delay, closed-loop latencies are pure service time.
     pub per_op: Vec<OpLatency>,
     /// p99 of baseline reads on the idle server, ms.
     pub baseline_read_p99_ms: f64,
@@ -173,14 +206,6 @@ struct Sample {
     op: &'static str,
     ms: f64,
     read_during_recovery: bool,
-}
-
-struct WorkerOutcome {
-    samples: Vec<Sample>,
-    retries: u64,
-    unreachable: u64,
-    errors: u64,
-    recovery: Option<(RecoverySummary, f64)>,
 }
 
 /// Generate connection `conn`'s request sequence. Reads draw from every
@@ -221,72 +246,466 @@ fn generate_sequence(
     seq
 }
 
-/// Replay one connection's sequence against the server, retrying on
-/// backpressure and timing every completed request.
-fn run_worker(
-    addr: &str,
-    seq: &[Request],
+/// Generate connection `conn`'s open-loop arrival offsets: `per_conn`
+/// seeded exponential inter-arrival gaps at `rate / connections`
+/// requests per second. Seeded independently of the request mix so the
+/// same mix can be replayed at different rates.
+fn generate_arrivals(cfg: &LoadgenConfig, conn: usize, per_conn: u64, rate: f64) -> Vec<Duration> {
+    let lambda = (rate / cfg.connections as f64).max(1e-9);
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed.wrapping_mul(0xA076_1D64_78BD_642F).rotate_left(17)
+            ^ (conn as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+    );
+    let mut t = 0.0f64;
+    (0..per_conn)
+        .map(|_| {
+            let u: f64 = rng.random();
+            t += -(1.0 - u).ln() / lambda;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Why a request was sent — drives reply handling and retry policy.
+#[derive(Debug, Clone)]
+enum ReqKind {
+    /// A read (or `Health`): never retried, never reordered.
+    Plain,
+    /// An `UpdateDemand`: on `Overloaded`, re-sent only while it is
+    /// still the latest update sent for its pair.
+    Update {
+        seq_idx: usize,
+        pair: (usize, usize),
+    },
+    /// The injected `ReportFiberCut`: always retried on `Overloaded`.
+    Cut,
+}
+
+/// One request awaiting its reply (replies are strictly FIFO per
+/// connection).
+struct Inflight {
+    op: &'static str,
+    kind: ReqKind,
+    /// The request bytes' source, kept only for writes so an
+    /// `Overloaded` reply can re-send it.
+    req: Option<Request>,
+    first_sent: Instant,
+    during_recovery: bool,
+}
+
+/// A backpressured write waiting out its server-suggested delay.
+struct RetryEntry {
+    due: Instant,
+    req: Request,
+    op: &'static str,
+    kind: ReqKind,
+    first_sent: Instant,
+    during_recovery: bool,
+}
+
+/// Driver-global (cross-connection) run state.
+struct DriverState {
+    samples: Vec<Sample>,
+    retries: u64,
+    unreachable: u64,
+    errors: u64,
+    recovery: Option<(RecoverySummary, f64)>,
+    recovery_in_flight: bool,
+}
+
+/// One multiplexed load connection.
+struct LoadConn {
+    stream: TcpStream,
+    codec: Codec,
+    seq: Vec<Request>,
+    next_idx: usize,
+    /// Pending cut injection: `(position, ducts)`; taken when sent.
+    cut: Option<(u64, Vec<usize>)>,
+    /// Open-loop arrival offsets from the load start; empty = closed loop.
+    arrivals: Vec<Duration>,
+    inflight: VecDeque<Inflight>,
+    retries: Vec<RetryEntry>,
+    /// Latest sequence index sent per owned pair — the supersede fence.
+    last_sent_update: BTreeMap<(usize, usize), usize>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rbuf: Vec<u8>,
+    rlen: usize,
+    want_write: bool,
+}
+
+impl LoadConn {
+    fn done(&self) -> bool {
+        self.next_idx >= self.seq.len()
+            && self.cut.is_none()
+            && self.inflight.is_empty()
+            && self.retries.is_empty()
+    }
+
+    /// Encode + frame `req` onto the write buffer and track its reply.
+    fn send(
+        &mut self,
+        req: &Request,
+        op: &'static str,
+        kind: ReqKind,
+        first_sent: Instant,
+        during_recovery: bool,
+    ) -> IrisResult<()> {
+        let payload = codec::encode_request(self.codec, req)?;
+        append_frame(&mut self.wbuf, &payload)?;
+        self.inflight.push_back(Inflight {
+            op,
+            req: req.is_write().then(|| req.clone()),
+            kind,
+            first_sent,
+            during_recovery,
+        });
+        Ok(())
+    }
+
+    /// Write buffered bytes until the socket would block.
+    fn flush(&mut self) -> IrisResult<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(IrisError::Io {
+                        detail: "server closed the connection during load".to_owned(),
+                    })
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(IrisError::Io {
+                        detail: format!("loadgen socket write failed: {e}"),
+                    })
+                }
+            }
+        }
+        if self.wpos >= self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > READ_CHUNK {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        self.want_write = !self.wbuf.is_empty();
+        Ok(())
+    }
+}
+
+/// Fold `due` into the running next-timer estimate.
+fn earlier(next: &mut Option<Instant>, due: Instant) {
+    *next = Some(next.map_or(due, |n| n.min(due)));
+}
+
+/// Send everything currently eligible on `conn`: due retries first,
+/// then the cut at its position, then new sequence entries while the
+/// pipeline (closed loop) or arrival schedule (open loop) allows.
+fn pump(
+    conn: &mut LoadConn,
+    state: &mut DriverState,
+    start: Instant,
+    pipeline: usize,
+    next_due: &mut Option<Instant>,
+) -> IrisResult<()> {
+    let now = Instant::now();
+    // Due retries: re-send unless a later update to the same pair is
+    // already on the wire (then the retry is superseded — dropping it
+    // is what keeps the pair's final value equal to its last generated
+    // update even under deep pipelining).
+    let mut i = 0;
+    while i < conn.retries.len() {
+        if conn.retries[i].due > now {
+            earlier(next_due, conn.retries[i].due);
+            i += 1;
+            continue;
+        }
+        let r = conn.retries.remove(i);
+        let superseded = match &r.kind {
+            ReqKind::Update { seq_idx, pair } => conn.last_sent_update.get(pair) != Some(seq_idx),
+            _ => false,
+        };
+        if superseded {
+            state.samples.push(Sample {
+                op: r.op,
+                ms: r.first_sent.elapsed().as_secs_f64() * 1e3,
+                read_during_recovery: r.during_recovery,
+            });
+        } else {
+            conn.send(&r.req, r.op, r.kind, r.first_sent, r.during_recovery)?;
+        }
+    }
+    let open_loop = !conn.arrivals.is_empty();
+    loop {
+        let now = Instant::now();
+        // The injected cut rides immediately before its sequence slot.
+        if let Some((pos, _)) = &conn.cut {
+            if conn.next_idx as u64 == *pos {
+                if open_loop {
+                    let due = start + conn.arrivals[conn.next_idx];
+                    if now < due {
+                        earlier(next_due, due);
+                        break;
+                    }
+                } else if conn.inflight.len() >= pipeline {
+                    break;
+                }
+                let (_, ducts) = conn.cut.take().expect("checked above");
+                state.recovery_in_flight = true;
+                conn.send(
+                    &Request::ReportFiberCut { cuts: ducts },
+                    "report_fiber_cut",
+                    ReqKind::Cut,
+                    now,
+                    false,
+                )?;
+                continue;
+            }
+        }
+        if conn.next_idx >= conn.seq.len() {
+            break;
+        }
+        if open_loop {
+            let due = start + conn.arrivals[conn.next_idx];
+            if now < due {
+                earlier(next_due, due);
+                break;
+            }
+        } else if conn.inflight.len() >= pipeline {
+            break;
+        }
+        let req = conn.seq[conn.next_idx].clone();
+        let during = !req.is_write() && state.recovery_in_flight;
+        let kind = match &req {
+            Request::UpdateDemand { a, b, .. } => {
+                conn.last_sent_update.insert((*a, *b), conn.next_idx);
+                ReqKind::Update {
+                    seq_idx: conn.next_idx,
+                    pair: (*a, *b),
+                }
+            }
+            _ => ReqKind::Plain,
+        };
+        conn.send(&req, req.op(), kind, now, during)?;
+        conn.next_idx += 1;
+    }
+    conn.flush()
+}
+
+/// Consume one reply off the connection's FIFO.
+fn handle_reply(conn: &mut LoadConn, state: &mut DriverState, resp: Response) -> IrisResult<()> {
+    let inf = conn.inflight.pop_front().ok_or_else(|| IrisError::Decode {
+        detail: "server sent a reply with no request outstanding".to_owned(),
+    })?;
+    let ms = inf.first_sent.elapsed().as_secs_f64() * 1e3;
+    let mut sample = true;
+    match resp {
+        Response::Error(IrisError::Overloaded { retry_after_ms }) => {
+            state.retries += 1;
+            let superseded = match &inf.kind {
+                ReqKind::Update { seq_idx, pair } => {
+                    conn.last_sent_update.get(pair) != Some(seq_idx)
+                }
+                ReqKind::Cut | ReqKind::Plain => false,
+            };
+            match inf.req {
+                Some(req) if !superseded => {
+                    conn.retries.push(RetryEntry {
+                        due: Instant::now() + Duration::from_millis(retry_after_ms.max(1)),
+                        req,
+                        op: inf.op,
+                        kind: inf.kind,
+                        first_sent: inf.first_sent,
+                        during_recovery: inf.during_recovery,
+                    });
+                    sample = false;
+                }
+                // Superseded (or, impossibly, a backpressured read):
+                // the request's story ends here.
+                _ => {}
+            }
+        }
+        Response::Error(IrisError::Unreachable { .. }) => state.unreachable += 1,
+        Response::Error(e) => {
+            if matches!(inf.kind, ReqKind::Cut) {
+                return Err(e);
+            }
+            state.errors += 1;
+        }
+        Response::Recovery(summary) if matches!(inf.kind, ReqKind::Cut) => {
+            state.recovery = Some((summary, ms));
+            state.recovery_in_flight = false;
+        }
+        other => {
+            if matches!(inf.kind, ReqKind::Cut) {
+                return Err(IrisError::Decode {
+                    detail: format!("unexpected reply to ReportFiberCut: {other:?}"),
+                });
+            }
+        }
+    }
+    if sample {
+        state.samples.push(Sample {
+            op: inf.op,
+            ms,
+            read_during_recovery: inf.during_recovery,
+        });
+    }
+    Ok(())
+}
+
+/// Read replies until the socket would block, parsing every complete
+/// frame.
+fn read_replies(conn: &mut LoadConn, state: &mut DriverState) -> IrisResult<()> {
+    loop {
+        if conn.rbuf.len() < conn.rlen + READ_CHUNK {
+            conn.rbuf.resize(conn.rlen + READ_CHUNK, 0);
+        }
+        match conn.stream.read(&mut conn.rbuf[conn.rlen..]) {
+            Ok(0) => {
+                return Err(IrisError::Io {
+                    detail: "server closed the connection during load".to_owned(),
+                })
+            }
+            Ok(n) => conn.rlen += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(IrisError::Io {
+                    detail: format!("loadgen socket read failed: {e}"),
+                })
+            }
+        }
+    }
+    let mut off = 0;
+    while let Some(frame) = parse_frame(&conn.rbuf[off..conn.rlen])? {
+        off += frame.consumed;
+        let resp = codec::decode_response(conn.codec, &frame.payload)?;
+        handle_reply(conn, state, resp)?;
+    }
+    if off > 0 {
+        conn.rbuf.copy_within(off..conn.rlen, 0);
+        conn.rlen -= off;
+    }
+    Ok(())
+}
+
+/// Drive every connection's sequence to completion on one poller.
+fn run_driver(
+    cfg: &LoadgenConfig,
+    sequences: Vec<Vec<Request>>,
     cut_at: Option<(u64, Vec<usize>)>,
-    recovery_in_flight: &AtomicBool,
-) -> IrisResult<WorkerOutcome> {
-    let mut client = ServiceClient::connect_retry(addr, 20, 50)?;
-    let mut out = WorkerOutcome {
-        samples: Vec::with_capacity(seq.len()),
+) -> IrisResult<(DriverState, f64)> {
+    let pipeline = cfg.pipeline.max(1);
+    let per_conn = sequences.first().map_or(0, Vec::len) as u64;
+    let mut conns: Vec<LoadConn> = Vec::with_capacity(sequences.len());
+    for seq in sequences {
+        let mut client = ServiceClient::connect_retry(&cfg.addr, 20, 50)?;
+        if cfg.codec != Codec::Json {
+            client.hello(cfg.codec)?;
+        }
+        let (stream, codec) = client.into_parts();
+        stream.set_nonblocking(true).map_err(|e| IrisError::Io {
+            detail: format!("cannot switch loadgen socket to non-blocking: {e}"),
+        })?;
+        let conn_idx = conns.len();
+        conns.push(LoadConn {
+            stream,
+            codec,
+            arrivals: cfg
+                .rate
+                .map(|r| generate_arrivals(cfg, conn_idx, per_conn, r))
+                .unwrap_or_default(),
+            seq,
+            next_idx: 0,
+            cut: None,
+            inflight: VecDeque::new(),
+            retries: Vec::new(),
+            last_sent_update: BTreeMap::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            rbuf: Vec::new(),
+            rlen: 0,
+            want_write: false,
+        });
+    }
+    if let Some(first) = conns.first_mut() {
+        first.cut = cut_at;
+    }
+
+    let poller = Poller::new().map_err(|e| IrisError::Io {
+        detail: format!("cannot create loadgen poller: {e}"),
+    })?;
+    for (token, conn) in conns.iter().enumerate() {
+        poller
+            .register(conn.stream.as_raw_fd(), token, Interest::READ)
+            .map_err(|e| IrisError::Io {
+                detail: format!("cannot register loadgen socket: {e}"),
+            })?;
+    }
+
+    let mut state = DriverState {
+        samples: Vec::new(),
         retries: 0,
         unreachable: 0,
         errors: 0,
         recovery: None,
+        recovery_in_flight: false,
     };
-    for (i, req) in seq.iter().enumerate() {
-        if let Some((at, cuts)) = &cut_at {
-            if i as u64 == *at {
-                recovery_in_flight.store(true, Ordering::SeqCst);
-                let start = Instant::now();
-                let resp = client.call(&Request::ReportFiberCut { cuts: cuts.clone() })?;
-                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-                recovery_in_flight.store(false, Ordering::SeqCst);
-                match resp {
-                    Response::Recovery(summary) => out.recovery = Some((summary, wall_ms)),
-                    Response::Error(e) => return Err(e),
-                    other => {
-                        return Err(IrisError::Decode {
-                            detail: format!("unexpected reply to ReportFiberCut: {other:?}"),
-                        })
-                    }
-                }
-                out.samples.push(Sample {
-                    op: "report_fiber_cut",
-                    ms: wall_ms,
-                    read_during_recovery: false,
+    let start = Instant::now();
+    let mut events: Vec<Event> = Vec::new();
+    let mut registered_write = vec![false; conns.len()];
+    loop {
+        let mut next_due: Option<Instant> = None;
+        let mut all_done = true;
+        for (token, conn) in conns.iter_mut().enumerate() {
+            pump(conn, &mut state, start, pipeline, &mut next_due)?;
+            if conn.want_write != registered_write[token] {
+                let interest = if conn.want_write {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                poller
+                    .modify(conn.stream.as_raw_fd(), token, interest)
+                    .map_err(|e| IrisError::Io {
+                        detail: format!("cannot update loadgen socket interest: {e}"),
+                    })?;
+                registered_write[token] = conn.want_write;
+            }
+            if !conn.done() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        let timeout = next_due
+            .map(|due| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(100))
+            .clamp(Duration::from_millis(1), Duration::from_millis(100));
+        poller
+            .wait(&mut events, Some(timeout))
+            .map_err(|e| IrisError::Io {
+                detail: format!("loadgen poll failed: {e}"),
+            })?;
+        for ev in &events {
+            let conn = &mut conns[ev.token];
+            if ev.error {
+                return Err(IrisError::Io {
+                    detail: "loadgen socket error during load".to_owned(),
                 });
             }
-        }
-        let during = !req.is_write() && recovery_in_flight.load(Ordering::SeqCst);
-        let start = Instant::now();
-        loop {
-            match client.call(req)? {
-                Response::Error(IrisError::Overloaded { retry_after_ms }) => {
-                    out.retries += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
-                }
-                Response::Error(IrisError::Unreachable { .. }) => {
-                    out.unreachable += 1;
-                    break;
-                }
-                Response::Error(_) => {
-                    out.errors += 1;
-                    break;
-                }
-                _ => break,
+            if ev.readable {
+                read_replies(conn, &mut state)?;
+            }
+            if ev.writable {
+                conn.flush()?;
             }
         }
-        out.samples.push(Sample {
-            op: req.op(),
-            ms: start.elapsed().as_secs_f64() * 1e3,
-            read_during_recovery: during,
-        });
     }
-    Ok(out)
+    Ok((state, start.elapsed().as_secs_f64()))
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -297,8 +716,10 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Poll `Health` until the mutator queue is empty twice in a row, so the
-/// final topology read observes every applied write.
+/// Poll `Health` until the write queue is empty twice in a row — with
+/// group commit, `queue_depth` counts writes not yet visible in a
+/// published snapshot, so an empty queue means the final topology read
+/// observes every applied write.
 fn quiesce(client: &mut ServiceClient) -> IrisResult<()> {
     let mut empty_polls = 0;
     for _ in 0..2000 {
@@ -324,7 +745,7 @@ fn quiesce(client: &mut ServiceClient) -> IrisResult<()> {
 ///
 /// # Errors
 ///
-/// [`IrisError::Io`] if the server is unreachable or a worker fails.
+/// [`IrisError::Io`] if the server is unreachable or the driver fails.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> IrisResult<LoadReport> {
     if cfg.connections == 0 {
         return Err(IrisError::InvalidInput {
@@ -332,6 +753,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> IrisResult<LoadReport> {
         });
     }
     let mut control = ServiceClient::connect_retry(&cfg.addr, 40, 100)?;
+    if cfg.codec != Codec::Json {
+        control.hello(cfg.codec)?;
+    }
 
     // The pair universe: every reachable pair in the server's seed
     // allocation, (a, b) ascending — deterministic for a given region.
@@ -392,48 +816,16 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> IrisResult<LoadReport> {
         *op_counts.entry("report_fiber_cut").or_insert(0) += 1;
     }
 
-    // The load phase: one thread per connection, closed loop.
-    let recovery_in_flight = Arc::new(AtomicBool::new(false));
-    let load_start = Instant::now();
-    let outcomes: Vec<IrisResult<WorkerOutcome>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sequences
-            .iter()
-            .enumerate()
-            .map(|(c, seq)| {
-                let flag = Arc::clone(&recovery_in_flight);
-                let cut = if c == 0 { cut_at.clone() } else { None };
-                let addr = cfg.addr.clone();
-                scope.spawn(move || run_worker(&addr, seq, cut, &flag))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|_| {
-                    Err(IrisError::Io {
-                        detail: "loadgen worker panicked".to_owned(),
-                    })
-                })
-            })
-            .collect()
-    });
-    let wall_s = load_start.elapsed().as_secs_f64();
-
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut retries = 0u64;
-    let mut unreachable = 0u64;
-    let mut errors = 0u64;
-    let mut recovery: Option<(RecoverySummary, f64)> = None;
-    for outcome in outcomes {
-        let mut o = outcome?;
-        samples.append(&mut o.samples);
-        retries += o.retries;
-        unreachable += o.unreachable;
-        errors += o.errors;
-        if o.recovery.is_some() {
-            recovery = o.recovery;
-        }
-    }
+    // The load phase: every connection multiplexed on one event loop.
+    let (state, wall_s) = run_driver(cfg, sequences, cut_at)?;
+    let DriverState {
+        samples,
+        retries,
+        unreachable,
+        errors,
+        recovery,
+        ..
+    } = state;
 
     // Drain the write queue, then read the final state.
     quiesce(&mut control)?;
@@ -643,5 +1035,31 @@ mod tests {
         let b = serde_json::to_string_pretty(&results).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("\"seed\": 7"), "{a}");
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_seeded_monotonic_and_rate_shaped() {
+        let cfg = LoadgenConfig {
+            connections: 2,
+            ..LoadgenConfig::default()
+        };
+        let a = generate_arrivals(&cfg, 0, 500, 1000.0);
+        let b = generate_arrivals(&cfg, 0, 500, 1000.0);
+        assert_eq!(a, b, "arrival schedules are seed-deterministic");
+        assert_ne!(
+            a,
+            generate_arrivals(&cfg, 1, 500, 1000.0),
+            "connections draw independent schedules"
+        );
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "arrival offsets are monotonic"
+        );
+        // 500 arrivals at 500/s per connection should land near 1s.
+        let last = a.last().unwrap().as_secs_f64();
+        assert!(
+            (0.5..2.0).contains(&last),
+            "500 arrivals at 500/s should span roughly 1s, got {last}"
+        );
     }
 }

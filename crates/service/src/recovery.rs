@@ -271,6 +271,11 @@ pub struct ControlMachine<'r> {
     active_cuts: Vec<EdgeId>,
     wal: Option<Wal>,
     snapshot_every: u64,
+    /// When set, [`Self::apply_batch`] appends WAL records *without*
+    /// fsyncing; the owner is responsible for syncing (via
+    /// [`Wal::sync_handle`]) before acknowledging the batch — the
+    /// group-commit protocol.
+    deferred_sync: bool,
 }
 
 impl<'r> ControlMachine<'r> {
@@ -296,7 +301,28 @@ impl<'r> ControlMachine<'r> {
             active_cuts,
             wal,
             snapshot_every,
+            deferred_sync: false,
         }
+    }
+
+    /// Switch WAL appends to group-commit mode: records are written but
+    /// not fsync'd by [`Self::apply_batch`]; the caller must sync (one
+    /// [`crate::wal::WalSyncHandle::sync`] covers every append since the
+    /// last) before acknowledging the batches to clients. Compaction
+    /// still syncs its snapshot file immediately — the snapshot then
+    /// covers any not-yet-synced records, which the truncate discards.
+    pub fn set_deferred_sync(&mut self, deferred: bool) {
+        self.deferred_sync = deferred;
+    }
+
+    /// A duplicated descriptor for group-commit fsyncs, or `None` for a
+    /// memory-only machine. See [`Wal::sync_handle`].
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] if the descriptor cannot be duplicated.
+    pub fn wal_sync_handle(&self) -> IrisResult<Option<crate::wal::WalSyncHandle>> {
+        self.wal.as_ref().map(Wal::sync_handle).transpose()
     }
 
     /// The cumulative active cut set.
@@ -416,7 +442,7 @@ impl<'r> ControlMachine<'r> {
 
         let epoch = prev.epoch + 1;
         if let Some(wal) = &mut self.wal {
-            wal.append(&WalBatch {
+            let record = WalBatch {
                 epoch,
                 updates: updates
                     .iter()
@@ -425,7 +451,12 @@ impl<'r> ControlMachine<'r> {
                 cuts: cut_records,
                 writes_applied: writes_applied_now,
                 coalesced: coalesced_now,
-            })?;
+            };
+            if self.deferred_sync {
+                wal.append_nosync(&record)?;
+            } else {
+                wal.append(&record)?;
+            }
         }
 
         let build_span = iris_telemetry::trace::span("snapshot_build");

@@ -1,38 +1,69 @@
-//! The thread-per-connection TCP server.
+//! The sharded non-blocking event-loop server.
 //!
-//! One listener thread accepts connections and hands each to its own
-//! handler thread. Read requests are answered from the epoch-published
-//! [`SnapshotCell`] without ever touching the write path; write requests
-//! go through a bounded queue to a single mutator thread that owns the
-//! [`Controller`], region and provisioning. The mutator gathers a short
-//! batch (the coalesce window), keeps only the *last* `UpdateDemand` per
-//! DC pair, applies the batch, and publishes one new snapshot per batch.
-//! When the queue is full the connection thread answers immediately with
-//! [`IrisError::Overloaded`] instead of blocking the socket.
+//! One acceptor thread takes connections off the listener and deals
+//! them round-robin to `N` shard threads (see [`ServiceConfig::shards`]).
+//! Each shard runs a level-triggered readiness loop ([`iris_poll`]) over
+//! the connections pinned to it: sockets are non-blocking, partial
+//! frames accumulate in per-connection read buffers, and responses drain
+//! through per-connection write buffers — no thread ever parks on a
+//! single peer, so one shard multiplexes thousands of connections.
+//!
+//! Reads stay epoch-published: `GetPlan` and `GetTopology` replies are
+//! **pre-serialized once per epoch** (in both wire codecs, with the
+//! length prefix already attached), so serving one is a memcpy from the
+//! current [`Published`] buffer. `QueryPath` / `Health` are answered
+//! from the same immutable snapshot `Arc`.
+//!
+//! Writes flow through the bounded queue to the single mutator thread
+//! exactly as before (batching + last-update-per-pair coalescing), but
+//! durability is **group-committed**: the mutator appends each batch's
+//! WAL record without fsyncing and hands the batch to a syncer thread,
+//! which drains every batch the mutator produced while the previous
+//! fsync was in flight, makes them all durable with *one* fsync, and
+//! only then publishes the newest snapshot and routes `ReportFiberCut`
+//! acknowledgements back to their shards. Acknowledge-after-durable is
+//! preserved; the fsyncs are amortized.
+//!
+//! A connection speaks JSON until it negotiates the compact binary
+//! codec with [`crate::api::Request::Hello`]; the acknowledgement is
+//! sent in the old codec and everything after it in the new one.
 
 use crate::api::{
     AllocEntry, HealthInfo, PathInfo, PlanSummary, Request, Response, SlowRequestInfo,
     TopologySummary, TraceDumpInfo, TraceEventInfo,
 };
-use crate::frame::{read_frame_traced, write_frame, FrameEvent};
+use crate::codec::{self, Codec};
+use crate::frame::{parse_frame, MAX_FRAME_LEN};
 use crate::recovery::{self, ControlMachine, CutReply, ReplayStats};
 use crate::state::{SnapshotCell, StateSnapshot};
-use crate::wal::{DurableState, Wal};
+use crate::wal::{DurableState, Wal, WalStats, WalSyncHandle};
 use iris_control::Controller;
 use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::Region;
 use iris_netgraph::EdgeId;
 use iris_planner::{plan_iris, DesignGoals};
-use iris_telemetry::labeled;
-use std::collections::BTreeMap;
-use std::io::Write as _;
+use iris_poll::{Interest, Poller, Waker};
+use iris_telemetry::{labeled, Counter, Gauge, Histogram};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Token reserved for each shard's cross-thread waker.
+const WAKER_TOKEN: usize = usize::MAX;
+/// Read-buffer growth increment.
+const READ_CHUNK: usize = 64 * 1024;
+/// Per-readiness-event read budget; a firehose connection yields to its
+/// shard siblings after this many bytes (level-triggered readiness
+/// re-reports the rest immediately).
+const READ_BUDGET: usize = 256 * 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -48,13 +79,15 @@ pub struct ServiceConfig {
     /// How long the mutator waits after the first write of a batch to
     /// gather (and coalesce) more, ms.
     pub coalesce_window_ms: u64,
-    /// Per-connection socket read timeout, ms. Bounds how long a handler
-    /// thread can go without noticing a shutdown.
+    /// Shard poll tick, ms: the event-loop wait timeout, which bounds
+    /// how long a shard can go without noticing a shutdown request.
     pub read_timeout_ms: u64,
     /// Durability directory. When set, every applied write batch is
-    /// appended + fsync'd to a write-ahead log here before its snapshot
-    /// is published, and a restarted server recovers the pre-crash state
-    /// from it. `None` keeps the server memory-only.
+    /// appended to a write-ahead log here and group-committed (one
+    /// fsync covers every batch produced while the previous fsync was
+    /// in flight) before its snapshot is published, and a restarted
+    /// server recovers the pre-crash state from it. `None` keeps the
+    /// server memory-only.
     pub wal_dir: Option<String>,
     /// Compact the log into a snapshot every this many batches
     /// (0 = never compact). Ignored without `wal_dir`.
@@ -65,6 +98,9 @@ pub struct ServiceConfig {
     /// Slow-request threshold, ms: requests and batches at or above it
     /// land in the slow-request log (0 logs everything).
     pub slow_ms: f64,
+    /// Event-loop shards (worker threads multiplexing connections).
+    /// 0 picks one per available core, clamped to 1..=8.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +115,7 @@ impl Default for ServiceConfig {
             snapshot_every: 64,
             trace: true,
             slow_ms: 250.0,
+            shards: 0,
         }
     }
 }
@@ -90,6 +127,27 @@ impl ServiceConfig {
     pub fn retry_after_ms(&self) -> u64 {
         10 + 2 * self.coalesce_window_ms
     }
+
+    /// The effective shard count (resolves the `0 = auto` default).
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            iris_planner::thread_count().clamp(1, 8)
+        } else {
+            self.shards.clamp(1, 32)
+        }
+    }
+}
+
+/// Where a deferred `ReportFiberCut` acknowledgement must be routed
+/// once its batch is durable: shard + connection slot + a generation
+/// fence (slots are recycled) + the response's sequence number.
+#[derive(Debug, Clone, Copy)]
+struct CutDest {
+    shard: usize,
+    token: usize,
+    gen: u64,
+    seq: u64,
 }
 
 /// One queued write.
@@ -104,7 +162,7 @@ enum WriteOp {
     },
     Cut {
         cuts: Vec<EdgeId>,
-        reply: mpsc::Sender<CutReply>,
+        dest: CutDest,
         enqueued: Instant,
     },
 }
@@ -117,25 +175,104 @@ impl WriteOp {
     }
 }
 
-/// State shared by the listener, handler threads and the mutator.
+/// Codec-indexed slot (`[Json, Binary]`) for pre-serialized buffers.
+fn cidx(codec: Codec) -> usize {
+    match codec {
+        Codec::Json => 0,
+        Codec::Binary => 1,
+    }
+}
+
+/// The per-epoch read-path publication: the snapshot itself plus the
+/// `GetPlan` / `GetTopology` replies pre-serialized in both codecs with
+/// their length prefixes attached, so serving one is a single memcpy.
+struct Published {
+    snap: Arc<StateSnapshot>,
+    plan_framed: [Vec<u8>; 2],
+    topo_framed: [Vec<u8>; 2],
+}
+
+/// Frame `resp` (length prefix + payload) in `codec`, appending to
+/// `out`. `out` is untouched on error.
+fn frame_response(codec: Codec, resp: &Response, out: &mut Vec<u8>) -> IrisResult<()> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    if let Err(e) = codec::encode_response_into(codec, resp, out) {
+        out.truncate(start);
+        return Err(e);
+    }
+    let len = out.len() - start - 4;
+    if len > MAX_FRAME_LEN {
+        out.truncate(start);
+        return Err(IrisError::Io {
+            detail: format!("{len} byte response exceeds the {MAX_FRAME_LEN} byte frame limit"),
+        });
+    }
+    let prefix = u32::try_from(len).unwrap_or(u32::MAX).to_be_bytes();
+    out[start..start + 4].copy_from_slice(&prefix);
+    Ok(())
+}
+
+/// Build the [`Published`] buffers for `snap`.
+fn build_published(
+    plan: &PlanSummary,
+    dc_count: usize,
+    huts: usize,
+    ducts: usize,
+    snap: Arc<StateSnapshot>,
+) -> IrisResult<Published> {
+    let mut plan = plan.clone();
+    plan.epoch = snap.epoch;
+    let plan_resp = Response::Plan(plan);
+    let topo_resp = Response::Topology(TopologySummary {
+        epoch: snap.epoch,
+        dcs: dc_count,
+        huts,
+        ducts,
+        active_cuts: snap.active_cuts.clone(),
+        allocation: snap
+            .allocation
+            .iter()
+            .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
+            .collect(),
+        quarantined: snap.quarantined.clone(),
+    });
+    let mut plan_framed = [Vec::new(), Vec::new()];
+    let mut topo_framed = [Vec::new(), Vec::new()];
+    for codec in [Codec::Json, Codec::Binary] {
+        frame_response(codec, &plan_resp, &mut plan_framed[cidx(codec)])?;
+        frame_response(codec, &topo_resp, &mut topo_framed[cidx(codec)])?;
+    }
+    Ok(Published {
+        snap,
+        plan_framed,
+        topo_framed,
+    })
+}
+
+/// State shared by the acceptor, shard loops, mutator and syncer.
 struct Shared {
     cell: SnapshotCell,
-    /// Static plan summary; `epoch` is patched per read.
+    /// The pre-serialized read-path buffers, swapped once per epoch.
+    published: RwLock<Arc<Published>>,
+    /// Static plan summary; `epoch` is patched per publication.
     plan: PlanSummary,
     huts: usize,
     dc_count: usize,
     edge_count: usize,
     retry_after_ms: u64,
-    read_timeout_ms: u64,
     shutdown: AtomicBool,
+    /// Writes accepted but not yet visible in a published snapshot
+    /// (queued + in-batch + awaiting the group fsync). Reaching zero
+    /// therefore means every acknowledged write is readable.
     queue_depth: AtomicUsize,
     overloaded: AtomicU64,
     /// When the server started serving (for `HealthInfo::uptime_ms`).
     start: Instant,
     /// WAL statistics mirrored out of the mutator-owned [`crate::wal::Wal`]
-    /// after each batch so read threads can answer `Health` without
-    /// touching the write path. Fsync latency is stored in µs to keep
-    /// it atomic.
+    /// after each group commit so read threads can answer `Health`
+    /// without touching the write path. Fsync latency is stored in µs
+    /// to keep it atomic.
     wal_records: AtomicU64,
     wal_bytes: AtomicU64,
     last_fsync_us: AtomicU64,
@@ -146,8 +283,11 @@ pub struct ServiceHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     replay: Option<ReplayStats>,
+    wakers: Vec<Arc<Waker>>,
     accept: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     mutator: Option<JoinHandle<()>>,
+    syncer: Option<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
@@ -170,18 +310,28 @@ impl ServiceHandle {
         self.replay.as_ref()
     }
 
-    /// Stop accepting, stop the mutator, and join both threads. Handler
-    /// threads exit on their next read timeout or client disconnect.
+    /// Stop accepting, wake every shard, and join all server threads.
+    /// The syncer is joined last so every acknowledged write's group
+    /// fsync has completed by the time this returns.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         if let Ok(mut s) = TcpStream::connect(self.local_addr) {
             let _ = s.flush();
         }
+        for waker in &self.wakers {
+            waker.wake();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
         if let Some(h) = self.mutator.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.syncer.take() {
             let _ = h.join();
         }
     }
@@ -206,9 +356,10 @@ impl Drop for ServiceHandle {
 ///
 /// # Errors
 ///
-/// [`IrisError::Io`] if the address cannot be bound or the WAL cannot be
-/// opened; [`IrisError::Corrupt`] / [`IrisError::ReplayFailed`] if the
-/// durable state cannot be recovered (see [`crate::recovery`]).
+/// [`IrisError::Io`] if the address cannot be bound, the WAL cannot be
+/// opened, or the event-loop plumbing (poller/waker) cannot be created;
+/// [`IrisError::Corrupt`] / [`IrisError::ReplayFailed`] if the durable
+/// state cannot be recovered (see [`crate::recovery`]).
 pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle> {
     iris_telemetry::trace::set_enabled(config.trace);
     iris_telemetry::trace::set_slow_threshold_ms(config.slow_ms);
@@ -227,6 +378,8 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         }
         None => (None, DurableState::empty()),
     };
+    let wal_backed = wal.is_some();
+    let sync_handle = wal.as_ref().map(Wal::sync_handle).transpose()?;
     let (boot, active_cuts, stats) =
         recovery::recover(&region, &goals, &plan.provisioning, &controller, &durable)?;
     let replay = config.wal_dir.as_ref().map(|_| stats);
@@ -251,15 +404,24 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         detail: format!("cannot resolve listen address: {e}"),
     })?;
 
-    let boot_wal_stats = wal.as_ref().map(crate::wal::Wal::stats).unwrap_or_default();
+    let nshards = config.effective_shards();
+    let boot_wal_stats = wal.as_ref().map(Wal::stats).unwrap_or_default();
+    let boot_snap = Arc::new(boot);
+    let published = build_published(
+        &plan_summary,
+        region.dcs.len(),
+        region.map.huts().len(),
+        region.map.duct_count(),
+        Arc::clone(&boot_snap),
+    )?;
     let shared = Arc::new(Shared {
-        cell: SnapshotCell::new(boot),
+        cell: SnapshotCell::new((*boot_snap).clone()),
+        published: RwLock::new(Arc::new(published)),
         plan: plan_summary,
         huts: region.map.huts().len(),
         dc_count: region.dcs.len(),
         edge_count: region.map.duct_count(),
         retry_after_ms: config.retry_after_ms(),
-        read_timeout_ms: config.read_timeout_ms,
         shutdown: AtomicBool::new(false),
         queue_depth: AtomicUsize::new(0),
         overloaded: AtomicU64::new(0),
@@ -269,13 +431,32 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         last_fsync_us: AtomicU64::new(0),
     });
 
+    let io_err = |what: &str, e: std::io::Error| IrisError::Io {
+        detail: format!("cannot create shard {what}: {e}"),
+    };
     let (tx, rx) = mpsc::sync_channel::<WriteOp>(config.queue_capacity.max(1));
+    let (sync_tx, sync_rx) = mpsc::channel::<SyncMsg>();
+    let mut intake_txs = Vec::with_capacity(nshards);
+    let mut done_txs = Vec::with_capacity(nshards);
+    let mut wakers = Vec::with_capacity(nshards);
+    let mut shard_parts = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        let (intake_tx, intake_rx) = mpsc::channel::<TcpStream>();
+        let (done_tx, done_rx) = mpsc::channel::<(CutDest, CutReply)>();
+        let poller = Poller::new().map_err(|e| io_err("poller", e))?;
+        let waker = Arc::new(Waker::new().map_err(|e| io_err("waker", e))?);
+        intake_txs.push(intake_tx);
+        done_txs.push(done_tx);
+        wakers.push(Arc::clone(&waker));
+        shard_parts.push((poller, waker, intake_rx, done_rx));
+    }
 
     let mutator = {
         let shared = Arc::clone(&shared);
         let provisioning = plan.provisioning.clone();
         let window = Duration::from_millis(config.coalesce_window_ms);
         let snapshot_every = config.snapshot_every;
+        let boot_snap = Arc::clone(&boot_snap);
         std::thread::spawn(move || {
             let machine = ControlMachine::new(
                 &region,
@@ -286,21 +467,54 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
                 wal,
                 snapshot_every,
             );
-            mutator_loop(machine, &rx, &shared, window);
+            mutator_loop(
+                machine, &rx, &shared, window, &sync_tx, boot_snap, wal_backed,
+            );
         })
     };
 
+    let syncer = {
+        let shared = Arc::clone(&shared);
+        let wakers = wakers.clone();
+        std::thread::spawn(move || syncer_loop(&sync_rx, &shared, sync_handle, &done_txs, &wakers))
+    };
+
+    let mut shards = Vec::with_capacity(nshards);
+    let tick = Duration::from_millis(config.read_timeout_ms.max(1));
+    for (id, (poller, waker, intake, done)) in shard_parts.into_iter().enumerate() {
+        let runner = ShardRunner {
+            id,
+            shared: Arc::clone(&shared),
+            tx: tx.clone(),
+            poller,
+            waker,
+            intake,
+            done,
+            done_alive: true,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            metrics: ShardMetrics::new(id),
+        };
+        shards.push(std::thread::spawn(move || runner.run(tick)));
+    }
+
     let accept = {
         let shared = Arc::clone(&shared);
+        let wakers = wakers.clone();
         std::thread::spawn(move || {
+            let mut next = 0usize;
             for conn in listener.incoming() {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let shared = Arc::clone(&shared);
-                let tx = tx.clone();
-                std::thread::spawn(move || handle_connection(&stream, &shared, &tx));
+                let shard = next % intake_txs.len();
+                next += 1;
+                if intake_txs[shard].send(stream).is_err() {
+                    break;
+                }
+                wakers[shard].wake();
             }
         })
     };
@@ -309,21 +523,53 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         local_addr,
         shared,
         replay,
+        wakers,
         accept: Some(accept),
+        shards,
         mutator: Some(mutator),
+        syncer: Some(syncer),
     })
 }
 
+/// One applied batch handed from the mutator to the syncer for group
+/// commit: fsync (if a record was appended), publish, route cut acks.
+struct SyncMsg {
+    snapshot: Option<Arc<StateSnapshot>>,
+    cut_replies: Vec<(CutDest, CutReply)>,
+    /// Whether this batch appended a WAL record the group fsync must
+    /// cover.
+    appended: bool,
+    /// Writes this batch applied (`writes_applied` delta).
+    applied: u64,
+    /// Updates this batch absorbed by coalescing.
+    coalesced: u64,
+    /// Queue ops this batch consumed (drives the pending-write gauge).
+    batch_len: usize,
+    wal_stats: Option<WalStats>,
+    batch_trace: u64,
+    /// The WAL append failed: route the replies, then stop the server.
+    fatal: bool,
+}
+
 /// The single writer: pop a write, gather the coalesce window, apply the
-/// batch through the [`ControlMachine`] (which logs it to the WAL before
-/// handing the snapshot back), publish one new snapshot.
+/// batch through the [`ControlMachine`] (which appends it to the WAL
+/// *without* fsyncing), and hand the result to the syncer for group
+/// commit.
 fn mutator_loop(
     mut machine: ControlMachine<'_>,
     rx: &Receiver<WriteOp>,
     shared: &Shared,
     window: Duration,
+    sync_tx: &Sender<SyncMsg>,
+    boot_snap: Arc<StateSnapshot>,
+    wal_backed: bool,
 ) {
+    machine.set_deferred_sync(true);
     let telemetry = iris_telemetry::global();
+    // The last snapshot this thread built. `shared.cell` lags behind it
+    // (publication happens in the syncer, after the group fsync), so
+    // the mutator must chain batches off its own copy.
+    let mut prev = boot_snap;
 
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -347,14 +593,11 @@ fn mutator_loop(
             batch.push(op);
         }
         let drained = Instant::now();
-        shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
-        telemetry
-            .gauge("iris_service_queue_depth")
-            .set(shared.queue_depth.load(Ordering::SeqCst) as i64);
+        let batch_len = batch.len();
 
         // Coalesce: only the last UpdateDemand per pair survives.
         let mut updates: BTreeMap<(usize, usize), u32> = BTreeMap::new();
-        let mut cuts_ops: Vec<(Vec<EdgeId>, mpsc::Sender<CutReply>)> = Vec::new();
+        let mut cuts_ops: Vec<(Vec<EdgeId>, CutDest)> = Vec::new();
         let mut coalesced_now = 0u64;
         for op in batch {
             match op {
@@ -363,46 +606,46 @@ fn mutator_loop(
                         coalesced_now += 1;
                     }
                 }
-                WriteOp::Cut { cuts, reply, .. } => cuts_ops.push((cuts, reply)),
+                WriteOp::Cut { cuts, dest, .. } => cuts_ops.push((cuts, dest)),
             }
         }
 
         // Every batch gets its own trace: the root span covers the
-        // whole apply/publish path, with queue-wait and coalesce
-        // recorded as sibling windows preceding it.
+        // apply path, with queue-wait and coalesce recorded as sibling
+        // windows preceding it. The group fsync + publish land under a
+        // `group_commit` root in the same trace, emitted by the syncer.
         let batch_trace = iris_telemetry::trace::mint_trace_id();
         let batch_span = iris_telemetry::trace::root_span(batch_trace, "write_batch");
         iris_telemetry::trace::emit_window("queue_wait", first_enqueued, popped);
         iris_telemetry::trace::emit_window("coalesce", popped, drained);
 
-        let prev = shared.cell.load();
         let only_cuts: Vec<Vec<EdgeId>> = cuts_ops.iter().map(|(c, _)| c.clone()).collect();
         match machine.apply_batch(&prev, &updates, coalesced_now, &only_cuts) {
             Ok(result) => {
-                for ((_, reply), outcome) in cuts_ops.into_iter().zip(result.cut_replies) {
-                    let _ = reply.send(outcome);
+                let snapshot = result.snapshot.map(Arc::new);
+                let applied = snapshot
+                    .as_ref()
+                    .map_or(0, |next| next.writes_applied - prev.writes_applied);
+                if let Some(next) = &snapshot {
+                    prev = Arc::clone(next);
                 }
-                if let Some(stats) = machine.wal_stats() {
-                    shared.wal_records.store(stats.records, Ordering::Relaxed);
-                    shared.wal_bytes.store(stats.bytes, Ordering::Relaxed);
-                    shared
-                        .last_fsync_us
-                        .store((stats.last_fsync_ms * 1e3) as u64, Ordering::Relaxed);
-                }
-                let Some(next) = result.snapshot else {
-                    continue; // all no-ops: no epoch consumed, nothing published
+                let msg = SyncMsg {
+                    appended: wal_backed && snapshot.is_some(),
+                    snapshot,
+                    cut_replies: cuts_ops
+                        .into_iter()
+                        .map(|(_, dest)| dest)
+                        .zip(result.cut_replies)
+                        .collect(),
+                    applied,
+                    coalesced: coalesced_now,
+                    batch_len,
+                    wal_stats: machine.wal_stats(),
+                    batch_trace,
+                    fatal: false,
                 };
-                let applied = next.writes_applied - prev.writes_applied;
-                telemetry.gauge("iris_service_epoch").set(next.epoch as i64);
-                telemetry
-                    .counter("iris_service_writes_applied_total")
-                    .add(applied);
-                telemetry
-                    .counter("iris_service_coalesced_total")
-                    .add(coalesced_now);
-                {
-                    let _publish = iris_telemetry::trace::span("publish");
-                    shared.cell.store(Arc::new(next));
+                if sync_tx.send(msg).is_err() {
+                    return;
                 }
                 drop(batch_span);
                 iris_telemetry::trace::note_if_slow(
@@ -415,10 +658,22 @@ fn mutator_loop(
                 // The WAL could not be written: accepting more writes
                 // would let acknowledged state evaporate on the next
                 // crash, so fail loudly and stop the server.
-                for (_, reply) in cuts_ops {
-                    let _ = reply.send(CutReply::Failed(e.clone()));
-                }
                 telemetry.counter("iris_service_wal_errors_total").inc();
+                let msg = SyncMsg {
+                    snapshot: None,
+                    cut_replies: cuts_ops
+                        .into_iter()
+                        .map(|(_, dest)| (dest, CutReply::Failed(e.clone())))
+                        .collect(),
+                    appended: false,
+                    applied: 0,
+                    coalesced: 0,
+                    batch_len,
+                    wal_stats: None,
+                    batch_trace,
+                    fatal: true,
+                };
+                let _ = sync_tx.send(msg);
                 shared.shutdown.store(true, Ordering::SeqCst);
                 return;
             }
@@ -426,91 +681,709 @@ fn mutator_loop(
     }
 }
 
-/// Serve one connection until EOF, a framing error, or shutdown.
-fn handle_connection(stream: &TcpStream, shared: &Shared, tx: &SyncSender<WriteOp>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.read_timeout_ms.max(1))));
-    // Replies are small frames on a request/reply socket: without
-    // NODELAY they sit out Nagle + delayed-ACK (~40 ms per call).
-    let _ = stream.set_nodelay(true);
+/// The group-commit thread: drain every batch the mutator produced
+/// while the previous fsync was in flight, make them all durable with
+/// one fsync, publish the newest snapshot (rebuilding the
+/// pre-serialized read buffers), and only then route cut
+/// acknowledgements back to their shards.
+fn syncer_loop(
+    rx: &Receiver<SyncMsg>,
+    shared: &Shared,
+    handle: Option<WalSyncHandle>,
+    done_txs: &[Sender<(CutDest, CutReply)>],
+    wakers: &[Arc<Waker>],
+) {
     let telemetry = iris_telemetry::global();
+    let batches_c = telemetry.counter("iris_service_group_commit_batches");
+    let saved_c = telemetry.counter("iris_service_fsyncs_saved");
+    let size_h = telemetry.histogram("iris_service_group_commit_size");
+    let epoch_g = telemetry.gauge("iris_service_epoch");
+    let writes_c = telemetry.counter("iris_service_writes_applied_total");
+    let coalesced_c = telemetry.counter("iris_service_coalesced_total");
+    let queue_g = telemetry.gauge("iris_service_queue_depth");
+
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return, // mutator exited; nothing left to commit
+        };
+        let mut group = vec![first];
+        while let Ok(msg) = rx.try_recv() {
+            group.push(msg);
         }
-        match read_frame_traced(&mut &*stream) {
-            Ok((FrameEvent::Idle, _)) => continue,
-            Ok((FrameEvent::Eof, _)) => return,
-            Ok((FrameEvent::Frame(payload), ctx)) => {
-                let start = Instant::now();
-                // A client-supplied trace id (frame header) wins so the
-                // caller can correlate; otherwise mint one server-side.
-                let trace_id = ctx.unwrap_or_else(iris_telemetry::trace::mint_trace_id);
-                let (op, response) = match crate::api::decode_request(&payload) {
-                    Ok(req) => {
-                        let op = req.op();
-                        let span = iris_telemetry::trace::root_span(trace_id, op);
-                        let response = handle_request(req, shared, tx);
-                        drop(span);
-                        (op, response)
+        let mut fatal = group.iter().any(|m| m.fatal);
+        let appended = group.iter().filter(|m| m.appended).count() as u64;
+        let trace = group
+            .iter()
+            .rev()
+            .find(|m| m.appended)
+            .or_else(|| group.last())
+            .map_or(0, |m| m.batch_trace);
+
+        // The commit gets its own root span in the trace of the last
+        // batch it covers: the fsync and publish happen on this thread,
+        // outside the mutator's `write_batch` span stack.
+        let commit_span = iris_telemetry::trace::root_span(trace, "group_commit");
+        if appended > 0 {
+            if let Some(h) = handle.as_ref() {
+                match h.sync() {
+                    Ok(ms) => shared
+                        .last_fsync_us
+                        .store((ms * 1e3) as u64, Ordering::Relaxed),
+                    Err(_) => {
+                        // Nothing in this group is durable: fail every
+                        // cut in it and stop the server rather than
+                        // acknowledge state that can evaporate.
+                        telemetry.counter("iris_service_wal_errors_total").inc();
+                        fatal = true;
+                        for msg in &mut group {
+                            msg.snapshot = None;
+                            for (_, reply) in &mut msg.cut_replies {
+                                *reply = CutReply::Failed(IrisError::Io {
+                                    detail: "WAL group fsync failed".to_owned(),
+                                });
+                            }
+                        }
                     }
-                    Err(e) => ("invalid", Response::Error(e)),
-                };
-                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-                iris_telemetry::trace::note_if_slow(op, elapsed_ms, trace_id);
-                telemetry
-                    .counter(&labeled("iris_service_requests_total", "op", op))
-                    .inc();
-                telemetry
-                    .histogram(&labeled("iris_service_latency_ms", "op", op))
-                    .record(elapsed_ms);
-                if send_response(stream, &response).is_err() {
-                    return;
                 }
             }
-            Err(e) => {
-                // The stream state is unknown after a framing error:
-                // answer best-effort, then close.
-                let _ = send_response(stream, &Response::Error(e));
-                return;
+            batches_c.add(appended);
+            saved_c.add(appended - 1);
+            size_h.record(appended as f64);
+        }
+
+        // Publish once per group: the newest snapshot covers them all.
+        if let Some(next) = group.iter().rev().find_map(|m| m.snapshot.clone()) {
+            epoch_g.set(next.epoch as i64);
+            let _publish = iris_telemetry::trace::span("publish");
+            match build_published(
+                &shared.plan,
+                shared.dc_count,
+                shared.huts,
+                shared.edge_count,
+                Arc::clone(&next),
+            ) {
+                Ok(p) => {
+                    *shared.published.write() = Arc::new(p);
+                    shared.cell.store(next);
+                }
+                Err(_) => fatal = true,
             }
+        }
+        drop(commit_span);
+
+        writes_c.add(group.iter().map(|m| m.applied).sum());
+        coalesced_c.add(group.iter().map(|m| m.coalesced).sum());
+        if let Some(stats) = group.iter().rev().find_map(|m| m.wal_stats) {
+            shared.wal_records.store(stats.records, Ordering::Relaxed);
+            shared.wal_bytes.store(stats.bytes, Ordering::Relaxed);
+        }
+        let consumed: usize = group.iter().map(|m| m.batch_len).sum();
+        let depth = shared
+            .queue_depth
+            .fetch_sub(consumed, Ordering::SeqCst)
+            .saturating_sub(consumed);
+        queue_g.set(depth as i64);
+
+        // Acknowledge-after-durable: cut replies leave only now.
+        let mut touched = vec![false; done_txs.len()];
+        for msg in group {
+            for (dest, reply) in msg.cut_replies {
+                if dest.shard < done_txs.len() && done_txs[dest.shard].send((dest, reply)).is_ok() {
+                    touched[dest.shard] = true;
+                }
+            }
+        }
+        for (shard, wake) in touched.into_iter().enumerate() {
+            if wake {
+                wakers[shard].wake();
+            }
+        }
+        if fatal {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            for waker in wakers {
+                waker.wake();
+            }
+            return;
         }
     }
 }
 
-fn send_response(stream: &TcpStream, response: &Response) -> IrisResult<()> {
-    let bytes = crate::api::encode_response(response)?;
-    write_frame(&mut &*stream, &bytes)
+/// Telemetry labels for every operation a connection can carry
+/// (`invalid` covers undecodable requests).
+const OPS: [&str; 10] = [
+    "get_plan",
+    "get_topology",
+    "query_path",
+    "update_demand",
+    "report_fiber_cut",
+    "health",
+    "metrics_snapshot",
+    "trace_dump",
+    "hello",
+    "invalid",
+];
+
+fn op_idx(op: &str) -> usize {
+    OPS.iter().position(|&o| o == op).unwrap_or(OPS.len() - 1)
 }
 
-/// Dispatch one decoded request.
-fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Response {
-    match req {
-        Request::GetPlan => {
-            let snap = shared.cell.load();
-            let mut plan = shared.plan.clone();
-            plan.epoch = snap.epoch;
-            Response::Plan(plan)
+/// Per-shard cached telemetry handles: registry lookups hash the metric
+/// name, so the hot path resolves them once per shard instead of once
+/// per request.
+struct ShardMetrics {
+    /// `(requests_total, latency_ms)` per op, [`OPS`] order.
+    ops: Vec<(Arc<Counter>, Arc<Histogram>)>,
+    shard_requests: Arc<Counter>,
+    connections: Arc<Counter>,
+    queue_gauge: Arc<Gauge>,
+    overloaded: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn new(shard: usize) -> Self {
+        let t = iris_telemetry::global();
+        let shard_label = shard.to_string();
+        Self {
+            ops: OPS
+                .iter()
+                .map(|op| {
+                    (
+                        t.counter(&labeled("iris_service_requests_total", "op", op)),
+                        t.histogram(&labeled("iris_service_latency_ms", "op", op)),
+                    )
+                })
+                .collect(),
+            shard_requests: t.counter(&labeled(
+                "iris_service_shard_requests_total",
+                "shard",
+                &shard_label,
+            )),
+            connections: t.counter(&labeled(
+                "iris_service_shard_connections_total",
+                "shard",
+                &shard_label,
+            )),
+            queue_gauge: t.gauge("iris_service_queue_depth"),
+            overloaded: t.counter("iris_service_overloaded_total"),
         }
-        Request::GetTopology => {
-            let snap = shared.cell.load();
-            Response::Topology(TopologySummary {
-                epoch: snap.epoch,
-                dcs: shared.dc_count,
-                huts: shared.huts,
-                ducts: shared.edge_count,
-                active_cuts: snap.active_cuts.clone(),
-                allocation: snap
-                    .allocation
-                    .iter()
-                    .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
-                    .collect(),
-                quarantined: snap.quarantined.clone(),
-            })
+    }
+}
+
+/// Interest bitmask: bit 0 = read, bit 1 = write, 0 = deregistered.
+const WANT_READ: u8 = 1;
+const WANT_WRITE: u8 = 2;
+
+fn interest_of(mask: u8) -> Interest {
+    match mask {
+        WANT_READ => Interest::READ,
+        WANT_WRITE => Interest::WRITE,
+        _ => Interest::READ_WRITE,
+    }
+}
+
+/// One response owed to a connection, in request order. `framed` is
+/// `None` while a `ReportFiberCut` waits for its batch's group commit;
+/// everything behind it queues here so replies never reorder.
+struct OutSlot {
+    seq: u64,
+    framed: Option<Vec<u8>>,
+    op_start: Instant,
+    trace_id: u64,
+    codec: Codec,
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    /// Generation fence: slots are recycled, and a late cut reply must
+    /// not land on a connection that reused the token.
+    gen: u64,
+    rbuf: Vec<u8>,
+    rlen: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    out: VecDeque<OutSlot>,
+    next_seq: u64,
+    codec: Codec,
+    /// Current poller registration (interest bitmask; 0 = deregistered).
+    registered: u8,
+    /// Stop reading; close once the write buffer and slot queue drain.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Self {
+        Self {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            rlen: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            out: VecDeque::new(),
+            next_seq: 0,
+            codec: Codec::Json,
+            registered: 0,
+            closing: false,
         }
-        Request::QueryPath { a, b } => match normalize_pair(a, b, shared.dc_count) {
+    }
+}
+
+/// One shard's event loop state.
+struct ShardRunner {
+    id: usize,
+    shared: Arc<Shared>,
+    tx: SyncSender<WriteOp>,
+    poller: Poller,
+    waker: Arc<Waker>,
+    intake: Receiver<TcpStream>,
+    done: Receiver<(CutDest, CutReply)>,
+    done_alive: bool,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    metrics: ShardMetrics,
+}
+
+impl ShardRunner {
+    fn run(mut self, tick: Duration) {
+        if self
+            .poller
+            .register(self.waker.fd(), WAKER_TOKEN, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, Some(tick)).is_err() {
+                std::thread::sleep(tick);
+            }
+            self.waker.drain();
+            while let Ok(stream) = self.intake.try_recv() {
+                self.accept_stream(stream);
+            }
+            if self.done_alive {
+                loop {
+                    match self.done.try_recv() {
+                        Ok((dest, reply)) => self.fill_cut(dest, reply),
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            self.done_alive = false;
+                            self.fail_pending_cuts();
+                            break;
+                        }
+                    }
+                }
+            }
+            for ev in &events {
+                if ev.token == WAKER_TOKEN {
+                    continue;
+                }
+                self.on_event(ev.token, ev.readable, ev.writable, ev.error);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    fn accept_stream(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Replies are small frames on a request/reply socket: without
+        // NODELAY they sit out Nagle + delayed-ACK (~40 ms per call).
+        let _ = stream.set_nodelay(true);
+        self.next_gen += 1;
+        let token = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let fd = stream.as_raw_fd();
+        let mut conn = Conn::new(stream, self.next_gen);
+        if self.poller.register(fd, token, Interest::READ).is_ok() {
+            conn.registered = WANT_READ;
+            self.conns[token] = Some(conn);
+            self.metrics.connections.inc();
+        } else {
+            self.free.push(token);
+        }
+    }
+
+    fn on_event(&mut self, token: usize, readable: bool, writable: bool, error: bool) {
+        let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
+            return;
+        };
+        let mut alive = !error;
+        if alive && readable {
+            alive = self.conn_readable(&mut conn, token);
+        }
+        if alive && writable {
+            alive = try_flush(&mut conn);
+        }
+        if alive {
+            alive = self.finalize(&mut conn, token);
+        }
+        if alive {
+            self.conns[token] = Some(conn);
+        } else {
+            self.drop_conn(&conn, token);
+        }
+    }
+
+    fn drop_conn(&mut self, conn: &Conn, token: usize) {
+        if conn.registered != 0 {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        self.free.push(token);
+    }
+
+    /// Read until the socket would block, then parse and serve every
+    /// complete frame buffered so far. Returns whether the connection
+    /// stays alive.
+    fn conn_readable(&mut self, conn: &mut Conn, token: usize) -> bool {
+        let mut budget = READ_BUDGET;
+        loop {
+            if conn.rbuf.len() < conn.rlen + 4096 {
+                conn.rbuf.resize(conn.rlen + READ_CHUNK, 0);
+            }
+            match conn.stream.read(&mut conn.rbuf[conn.rlen..]) {
+                Ok(0) => {
+                    // EOF: serve what's buffered, flush, then close.
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rlen += n;
+                    budget = budget.saturating_sub(n);
+                    if budget == 0 {
+                        break; // level-triggered: the rest re-reports
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        let mut off = 0;
+        while !conn.closing {
+            match parse_frame(&conn.rbuf[off..conn.rlen]) {
+                Ok(Some(frame)) => {
+                    off += frame.consumed;
+                    self.process_request(conn, token, &frame.payload, frame.trace_id);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // The stream state is unknown after a framing
+                    // error: answer best-effort, flush, then close.
+                    self.deliver(conn, &Response::Error(e), conn.codec);
+                    conn.closing = true;
+                }
+            }
+        }
+        if conn.closing {
+            conn.rlen = 0;
+        } else if off > 0 {
+            conn.rbuf.copy_within(off..conn.rlen, 0);
+            conn.rlen -= off;
+        }
+        true
+    }
+
+    /// Decode and dispatch one request payload.
+    fn process_request(
+        &mut self,
+        conn: &mut Conn,
+        token: usize,
+        payload: &[u8],
+        frame_trace: Option<u64>,
+    ) {
+        let start = Instant::now();
+        // A client-supplied trace id (frame header) wins so the caller
+        // can correlate; otherwise mint one server-side.
+        let trace_id = frame_trace.unwrap_or_else(iris_telemetry::trace::mint_trace_id);
+        let req = match codec::decode_request(conn.codec, payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Decode errors keep the connection: the frame was
+                // well-formed, so the stream stays in sync.
+                self.deliver(conn, &Response::Error(e), conn.codec);
+                self.record("invalid", start, trace_id);
+                return;
+            }
+        };
+        let op = req.op();
+        let span = iris_telemetry::trace::root_span(trace_id, op);
+        match req {
+            Request::GetPlan => {
+                let published = Arc::clone(&*self.shared.published.read());
+                self.deliver_pre(conn, &published.plan_framed[cidx(conn.codec)]);
+            }
+            Request::GetTopology => {
+                let published = Arc::clone(&*self.shared.published.read());
+                self.deliver_pre(conn, &published.topo_framed[cidx(conn.codec)]);
+            }
+            Request::QueryPath { a, b } => {
+                let resp = self.query_path_response(a, b);
+                self.deliver(conn, &resp, conn.codec);
+            }
+            Request::UpdateDemand { a, b, circuits } => {
+                let resp = self.update_demand_response(a, b, circuits);
+                self.deliver(conn, &resp, conn.codec);
+            }
+            Request::ReportFiberCut { cuts } => {
+                if let Some(err) = self.validate_cuts(&cuts) {
+                    self.deliver(conn, &err, conn.codec);
+                } else {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.out.push_back(OutSlot {
+                        seq,
+                        framed: None,
+                        op_start: start,
+                        trace_id,
+                        codec: conn.codec,
+                    });
+                    let dest = CutDest {
+                        shard: self.id,
+                        token,
+                        gen: conn.gen,
+                        seq,
+                    };
+                    match self.enqueue(WriteOp::Cut {
+                        cuts,
+                        dest,
+                        enqueued: Instant::now(),
+                    }) {
+                        Ok(_) => {
+                            // The ack routes back after the group
+                            // commit; latency is recorded at fill time.
+                            drop(span);
+                            return;
+                        }
+                        Err(e) => {
+                            conn.out.pop_back();
+                            self.deliver(conn, &Response::Error(e), conn.codec);
+                        }
+                    }
+                }
+            }
+            Request::Health => {
+                let resp = self.health_response();
+                self.deliver(conn, &resp, conn.codec);
+            }
+            Request::MetricsSnapshot => {
+                iris_telemetry::global()
+                    .gauge("iris_service_uptime_ms")
+                    .set(self.shared.start.elapsed().as_millis() as i64);
+                let resp = Response::Metrics {
+                    prometheus: iris_telemetry::global().snapshot().to_prometheus_text(),
+                };
+                self.deliver(conn, &resp, conn.codec);
+            }
+            Request::TraceDump { max_events } => {
+                let resp = trace_dump_response(max_events);
+                self.deliver(conn, &resp, conn.codec);
+            }
+            Request::Hello { codec: name } => match Codec::from_name(&name) {
+                Some(next) => {
+                    // Ack in the *old* codec, then switch: the client
+                    // decodes the ack before changing its own framing.
+                    let old = conn.codec;
+                    self.deliver(
+                        conn,
+                        &Response::HelloAck {
+                            codec: next.name().to_owned(),
+                        },
+                        old,
+                    );
+                    conn.codec = next;
+                }
+                None => {
+                    let resp = Response::Error(IrisError::InvalidInput {
+                        detail: format!("unknown codec {name:?} (expected \"json\" or \"binary\")"),
+                    });
+                    self.deliver(conn, &resp, conn.codec);
+                }
+            },
+        }
+        drop(span);
+        self.record(op, start, trace_id);
+    }
+
+    fn record(&self, op: &'static str, start: Instant, trace_id: u64) {
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        iris_telemetry::trace::note_if_slow(op, elapsed_ms, trace_id);
+        let (count, latency) = &self.metrics.ops[op_idx(op)];
+        count.inc();
+        latency.record(elapsed_ms);
+        self.metrics.shard_requests.inc();
+    }
+
+    /// Queue `resp` for the connection: straight into the write buffer
+    /// when nothing is pending, else as a filled slot behind whatever
+    /// still waits (so replies keep request order).
+    fn deliver(&self, conn: &mut Conn, resp: &Response, codec: Codec) {
+        if conn.out.is_empty() {
+            if frame_response(codec, resp, &mut conn.wbuf).is_err() {
+                let frame = encode_error_frame(codec);
+                if frame.is_empty() {
+                    conn.closing = true;
+                } else {
+                    conn.wbuf.extend_from_slice(&frame);
+                }
+            }
+        } else {
+            let mut buf = Vec::new();
+            if frame_response(codec, resp, &mut buf).is_err() {
+                let fallback = encode_error_frame(codec);
+                buf = fallback;
+            }
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.out.push_back(OutSlot {
+                seq,
+                framed: Some(buf),
+                op_start: Instant::now(),
+                trace_id: 0,
+                codec,
+            });
+        }
+    }
+
+    /// Queue an already-framed (pre-serialized) reply.
+    fn deliver_pre(&self, conn: &mut Conn, framed: &[u8]) {
+        if conn.out.is_empty() {
+            conn.wbuf.extend_from_slice(framed);
+        } else {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.out.push_back(OutSlot {
+                seq,
+                framed: Some(framed.to_vec()),
+                op_start: Instant::now(),
+                trace_id: 0,
+                codec: conn.codec,
+            });
+        }
+    }
+
+    /// Promote filled slots into the write buffer, flush, and update
+    /// the poller registration. Returns whether the connection stays
+    /// alive.
+    fn finalize(&mut self, conn: &mut Conn, token: usize) -> bool {
+        while conn.out.front().is_some_and(|s| s.framed.is_some()) {
+            let slot = conn.out.pop_front();
+            if let Some(framed) = slot.and_then(|s| s.framed) {
+                conn.wbuf.extend_from_slice(&framed);
+            }
+        }
+        if !try_flush(conn) {
+            return false;
+        }
+        let want_write = conn.wpos < conn.wbuf.len();
+        if conn.closing && !want_write && conn.out.is_empty() {
+            return false;
+        }
+        let mut desired = 0u8;
+        if !conn.closing {
+            desired |= WANT_READ;
+        }
+        if want_write {
+            desired |= WANT_WRITE;
+        }
+        if desired != conn.registered {
+            let fd = conn.stream.as_raw_fd();
+            let ok = match (conn.registered, desired) {
+                (0, 0) => Ok(()),
+                (0, d) => self.poller.register(fd, token, interest_of(d)),
+                (_, 0) => self.poller.deregister(fd),
+                (_, d) => self.poller.modify(fd, token, interest_of(d)),
+            };
+            if ok.is_err() {
+                return false;
+            }
+            conn.registered = desired;
+        }
+        true
+    }
+
+    /// Route one durable cut acknowledgement into its waiting slot.
+    fn fill_cut(&mut self, dest: CutDest, reply: CutReply) {
+        let Some(mut conn) = self.conns.get_mut(dest.token).and_then(Option::take) else {
+            return;
+        };
+        if conn.gen != dest.gen {
+            // The token was recycled; the original peer is gone.
+            self.conns[dest.token] = Some(conn);
+            return;
+        }
+        if let Some(slot) = conn
+            .out
+            .iter_mut()
+            .find(|s| s.seq == dest.seq && s.framed.is_none())
+        {
+            let resp = match reply {
+                CutReply::Applied(summary) => Response::Recovery(summary),
+                CutReply::AlreadySevered { active_cuts } => {
+                    Response::CutAlreadyActive { active_cuts }
+                }
+                CutReply::Failed(e) => Response::Error(e),
+            };
+            let mut buf = Vec::new();
+            if frame_response(slot.codec, &resp, &mut buf).is_err() {
+                buf = encode_error_frame(slot.codec);
+            }
+            let elapsed_ms = slot.op_start.elapsed().as_secs_f64() * 1e3;
+            let trace_id = slot.trace_id;
+            slot.framed = Some(buf);
+            iris_telemetry::trace::note_if_slow("report_fiber_cut", elapsed_ms, trace_id);
+            let (count, latency) = &self.metrics.ops[op_idx("report_fiber_cut")];
+            count.inc();
+            latency.record(elapsed_ms);
+            self.metrics.shard_requests.inc();
+        }
+        if self.finalize(&mut conn, dest.token) {
+            self.conns[dest.token] = Some(conn);
+        } else {
+            self.drop_conn(&conn, dest.token);
+        }
+    }
+
+    /// The reply channel died with cuts still pending: answer them with
+    /// a typed error instead of leaving clients hanging.
+    fn fail_pending_cuts(&mut self) {
+        for token in 0..self.conns.len() {
+            let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
+                continue;
+            };
+            let mut filled = false;
+            for slot in conn.out.iter_mut().filter(|s| s.framed.is_none()) {
+                let resp = Response::Error(IrisError::Io {
+                    detail: "mutator exited before recovery completed".to_owned(),
+                });
+                let mut buf = Vec::new();
+                if frame_response(slot.codec, &resp, &mut buf).is_err() {
+                    buf = encode_error_frame(slot.codec);
+                }
+                slot.framed = Some(buf);
+                filled = true;
+            }
+            if !filled || self.finalize(&mut conn, token) {
+                self.conns[token] = Some(conn);
+            } else {
+                self.drop_conn(&conn, token);
+            }
+        }
+    }
+
+    fn query_path_response(&self, a: usize, b: usize) -> Response {
+        match normalize_pair(a, b, self.shared.dc_count) {
             Err(e) => Response::Error(e),
             Ok((a, b)) => {
-                let snap = shared.cell.load();
+                let snap = Arc::clone(&self.shared.published.read().snap);
                 match snap.paths.get(&(a, b)) {
                     Some(p) => Response::Path(PathInfo {
                         a,
@@ -527,156 +1400,160 @@ fn handle_request(req: Request, shared: &Shared, tx: &SyncSender<WriteOp>) -> Re
                     }),
                 }
             }
-        },
-        Request::UpdateDemand { a, b, circuits } => match normalize_pair(a, b, shared.dc_count) {
+        }
+    }
+
+    fn update_demand_response(&self, a: usize, b: usize, circuits: u32) -> Response {
+        match normalize_pair(a, b, self.shared.dc_count) {
             Err(e) => Response::Error(e),
-            Ok((a, b)) => enqueue(
-                shared,
-                tx,
-                WriteOp::Update {
+            Ok((a, b)) => self
+                .enqueue(WriteOp::Update {
                     a,
                     b,
                     circuits,
                     enqueued: Instant::now(),
-                },
-            )
-            .map_or_else(Response::Error, |depth| Response::DemandAccepted {
-                queue_depth: depth,
-            }),
-        },
-        Request::ReportFiberCut { cuts } => {
-            if cuts.is_empty() {
-                return Response::Error(IrisError::InvalidInput {
-                    detail: "ReportFiberCut needs at least one duct id".to_owned(),
-                });
-            }
-            if let Some(&bad) = cuts.iter().find(|&&c| c >= shared.edge_count) {
-                return Response::Error(IrisError::InvalidInput {
-                    detail: format!(
-                        "cut duct {bad} out of range (region has {} ducts)",
-                        shared.edge_count
-                    ),
-                });
-            }
-            let (reply_tx, reply_rx) = mpsc::channel();
-            if let Err(e) = enqueue(
-                shared,
-                tx,
-                WriteOp::Cut {
-                    cuts,
-                    reply: reply_tx,
-                    enqueued: Instant::now(),
-                },
-            ) {
-                return Response::Error(e);
-            }
-            match reply_rx.recv() {
-                Ok(CutReply::Applied(summary)) => Response::Recovery(summary),
-                Ok(CutReply::AlreadySevered { active_cuts }) => {
-                    Response::CutAlreadyActive { active_cuts }
-                }
-                Ok(CutReply::Failed(e)) => Response::Error(e),
-                Err(_) => Response::Error(IrisError::Io {
-                    detail: "mutator exited before recovery completed".to_owned(),
+                })
+                .map_or_else(Response::Error, |depth| Response::DemandAccepted {
+                    queue_depth: depth,
                 }),
+        }
+    }
+
+    fn validate_cuts(&self, cuts: &[usize]) -> Option<Response> {
+        if cuts.is_empty() {
+            return Some(Response::Error(IrisError::InvalidInput {
+                detail: "ReportFiberCut needs at least one duct id".to_owned(),
+            }));
+        }
+        if let Some(&bad) = cuts.iter().find(|&&c| c >= self.shared.edge_count) {
+            return Some(Response::Error(IrisError::InvalidInput {
+                detail: format!(
+                    "cut duct {bad} out of range (region has {} ducts)",
+                    self.shared.edge_count
+                ),
+            }));
+        }
+        None
+    }
+
+    fn health_response(&self) -> Response {
+        let snap = Arc::clone(&self.shared.published.read().snap);
+        Response::Health(HealthInfo {
+            epoch: snap.epoch,
+            queue_depth: self.shared.queue_depth.load(Ordering::SeqCst),
+            writes_applied: snap.writes_applied,
+            coalesced: snap.coalesced,
+            overloaded: self.shared.overloaded.load(Ordering::SeqCst),
+            active_cuts: snap.active_cuts.clone(),
+            quarantined: snap.quarantined.len(),
+            last_recovery: snap.last_recovery.clone(),
+            uptime_ms: self.shared.start.elapsed().as_millis() as u64,
+            wal_records: self.shared.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.shared.wal_bytes.load(Ordering::Relaxed),
+            last_fsync_ms: self.shared.last_fsync_us.load(Ordering::Relaxed) as f64 / 1e3,
+        })
+    }
+
+    /// Try to enqueue a write; a full queue is typed backpressure.
+    ///
+    /// The depth counter is bumped *before* the send: once the op is in
+    /// the channel the syncer may consume the batch and decrement at
+    /// any moment, so counting afterwards would race the decrement and
+    /// underflow.
+    fn enqueue(&self, op: WriteOp) -> IrisResult<usize> {
+        let depth = self.shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        match self.tx.try_send(op) {
+            Ok(()) => {
+                self.metrics.queue_gauge.set(depth as i64);
+                Ok(depth)
             }
-        }
-        Request::Health => {
-            let snap = shared.cell.load();
-            Response::Health(HealthInfo {
-                epoch: snap.epoch,
-                queue_depth: shared.queue_depth.load(Ordering::SeqCst),
-                writes_applied: snap.writes_applied,
-                coalesced: snap.coalesced,
-                overloaded: shared.overloaded.load(Ordering::SeqCst),
-                active_cuts: snap.active_cuts.clone(),
-                quarantined: snap.quarantined.len(),
-                last_recovery: snap.last_recovery.clone(),
-                uptime_ms: shared.start.elapsed().as_millis() as u64,
-                wal_records: shared.wal_records.load(Ordering::Relaxed),
-                wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
-                last_fsync_ms: shared.last_fsync_us.load(Ordering::Relaxed) as f64 / 1e3,
-            })
-        }
-        Request::MetricsSnapshot => {
-            iris_telemetry::global()
-                .gauge("iris_service_uptime_ms")
-                .set(shared.start.elapsed().as_millis() as i64);
-            Response::Metrics {
-                prometheus: iris_telemetry::global().snapshot().to_prometheus_text(),
+            Err(TrySendError::Full(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                self.shared.overloaded.fetch_add(1, Ordering::SeqCst);
+                self.metrics.overloaded.inc();
+                Err(IrisError::Overloaded {
+                    retry_after_ms: self.shared.retry_after_ms,
+                })
             }
-        }
-        Request::TraceDump { max_events } => {
-            // Cap the dump so the encoded response stays well inside
-            // MAX_FRAME_LEN (~140 bytes per event as JSON).
-            let max = if max_events == 0 {
-                2000
-            } else {
-                max_events.min(4000) as usize
-            };
-            let dump = iris_telemetry::trace::dump(max);
-            Response::Trace(TraceDumpInfo {
-                enabled: dump.enabled,
-                dropped: dump.dropped,
-                events: dump
-                    .events
-                    .into_iter()
-                    .map(|e| TraceEventInfo {
-                        trace_id: e.trace_id,
-                        span_id: e.span_id,
-                        parent_id: e.parent_id,
-                        stage: e.stage,
-                        start_us: e.start_us,
-                        dur_us: e.dur_us,
-                        modeled: e.modeled,
-                    })
-                    .collect(),
-                slow: dump
-                    .slow
-                    .into_iter()
-                    .map(|s| SlowRequestInfo {
-                        trace_id: s.trace_id,
-                        op: s.op,
-                        total_ms: s.total_ms,
-                        at_us: s.at_us,
-                    })
-                    .collect(),
-            })
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                Err(IrisError::Io {
+                    detail: "mutator queue is closed".to_owned(),
+                })
+            }
         }
     }
 }
 
-/// Try to enqueue a write; a full queue is typed backpressure.
-///
-/// The depth counter is bumped *before* the send: once the op is in the
-/// channel the mutator may pop it and decrement at any moment, so
-/// counting afterwards would race the decrement and underflow.
-fn enqueue(shared: &Shared, tx: &SyncSender<WriteOp>, op: WriteOp) -> IrisResult<usize> {
-    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
-    match tx.try_send(op) {
-        Ok(()) => {
-            iris_telemetry::global()
-                .gauge("iris_service_queue_depth")
-                .set(depth as i64);
-            Ok(depth)
-        }
-        Err(TrySendError::Full(_)) => {
-            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            shared.overloaded.fetch_add(1, Ordering::SeqCst);
-            iris_telemetry::global()
-                .counter("iris_service_overloaded_total")
-                .inc();
-            Err(IrisError::Overloaded {
-                retry_after_ms: shared.retry_after_ms,
-            })
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            Err(IrisError::Io {
-                detail: "mutator queue is closed".to_owned(),
-            })
+/// Write buffered bytes until the socket would block. Returns whether
+/// the connection stays alive.
+fn try_flush(conn: &mut Conn) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
     }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > READ_CHUNK {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    true
+}
+
+/// Frame a generic encode-failure error, falling back to an empty
+/// (connection-closing) buffer if even that cannot be encoded.
+fn encode_error_frame(codec: Codec) -> Vec<u8> {
+    let err = Response::Error(IrisError::Decode {
+        detail: "response could not be encoded".to_owned(),
+    });
+    let mut buf = Vec::new();
+    let _ = frame_response(codec, &err, &mut buf);
+    buf
+}
+
+fn trace_dump_response(max_events: u64) -> Response {
+    // Cap the dump so the encoded response stays well inside
+    // MAX_FRAME_LEN (~140 bytes per event as JSON).
+    let max = if max_events == 0 {
+        2000
+    } else {
+        max_events.min(4000) as usize
+    };
+    let dump = iris_telemetry::trace::dump(max);
+    Response::Trace(TraceDumpInfo {
+        enabled: dump.enabled,
+        dropped: dump.dropped,
+        events: dump
+            .events
+            .into_iter()
+            .map(|e| TraceEventInfo {
+                trace_id: e.trace_id,
+                span_id: e.span_id,
+                parent_id: e.parent_id,
+                stage: e.stage,
+                start_us: e.start_us,
+                dur_us: e.dur_us,
+                modeled: e.modeled,
+            })
+            .collect(),
+        slow: dump
+            .slow
+            .into_iter()
+            .map(|s| SlowRequestInfo {
+                trace_id: s.trace_id,
+                op: s.op,
+                total_ms: s.total_ms,
+                at_us: s.at_us,
+            })
+            .collect(),
+    })
 }
 
 /// Validate and order a DC pair as `(min, max)`.

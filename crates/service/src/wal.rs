@@ -396,6 +396,32 @@ impl Wal {
     /// [`IrisError::Io`] on write/fsync failure, [`IrisError::Decode`]
     /// if the batch cannot be serialized.
     pub fn append(&mut self, batch: &WalBatch) -> IrisResult<()> {
+        self.append_nosync(batch)?;
+        let fsync_span = iris_telemetry::trace::span("wal_fsync");
+        let fsync_start = Instant::now();
+        self.file.sync_data().map_err(|e| IrisError::Io {
+            detail: format!("WAL fsync failed: {e}"),
+        })?;
+        let fsync_ms = fsync_start.elapsed().as_secs_f64() * 1e3;
+        drop(fsync_span);
+        self.last_fsync_ms = fsync_ms;
+        iris_telemetry::global()
+            .histogram("iris_service_wal_fsync_ms")
+            .record(fsync_ms);
+        Ok(())
+    }
+
+    /// Append one batch record **without** the fsync — the group-commit
+    /// half of [`Wal::append`]. The record reaches the kernel but is not
+    /// durable until someone syncs the file ([`WalSyncHandle::sync`] or
+    /// a subsequent [`Wal::append`]); callers must not acknowledge the
+    /// batch to clients before that barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] on write failure, [`IrisError::Decode`] if the
+    /// batch cannot be serialized.
+    pub fn append_nosync(&mut self, batch: &WalBatch) -> IrisResult<()> {
         let payload = serde_json::to_string(batch)
             .map_err(|e| IrisError::Decode {
                 detail: format!("cannot encode WAL record: {e}"),
@@ -408,33 +434,37 @@ impl Wal {
         let io_err = |e: std::io::Error| IrisError::Io {
             detail: format!("WAL append failed: {e}"),
         };
-        let append_span = iris_telemetry::trace::span("wal_append");
+        let _append_span = iris_telemetry::trace::span("wal_append");
         self.file.write_all(&len.to_be_bytes()).map_err(io_err)?;
         self.file
             .write_all(&crc32(&payload).to_be_bytes())
             .map_err(io_err)?;
         self.file.write_all(&payload).map_err(io_err)?;
-        let fsync_span = iris_telemetry::trace::span("wal_fsync");
-        let fsync_start = Instant::now();
-        self.file.sync_data().map_err(|e| IrisError::Io {
-            detail: format!("WAL fsync failed: {e}"),
-        })?;
-        let fsync_ms = fsync_start.elapsed().as_secs_f64() * 1e3;
-        drop(fsync_span);
-        drop(append_span);
         self.since_compaction += 1;
         self.records += 1;
         self.bytes += (HEADER_LEN + payload.len()) as u64;
-        self.last_fsync_ms = fsync_ms;
         let telemetry = iris_telemetry::global();
-        telemetry
-            .histogram("iris_service_wal_fsync_ms")
-            .record(fsync_ms);
         telemetry.counter("iris_service_wal_records_total").inc();
         telemetry
             .counter("iris_service_wal_bytes_total")
             .add((HEADER_LEN + payload.len()) as u64);
         Ok(())
+    }
+
+    /// A second handle onto the log file for syncing from another
+    /// thread. `fsync` acts on the *file*, not the descriptor, so a sync
+    /// through the clone makes every record already written through the
+    /// `Wal` durable — the group-commit thread can batch fsyncs while
+    /// the mutator keeps appending.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] if the descriptor cannot be duplicated.
+    pub fn sync_handle(&self) -> IrisResult<WalSyncHandle> {
+        let file = self.file.try_clone().map_err(|e| IrisError::Io {
+            detail: format!("cannot clone WAL descriptor: {e}"),
+        })?;
+        Ok(WalSyncHandle { file })
     }
 
     /// Compact: persist `snap` (temp file, fsync, atomic rename) and
@@ -474,6 +504,36 @@ impl Wal {
             .counter("iris_service_snapshots_total")
             .inc();
         Ok(())
+    }
+}
+
+/// A duplicated descriptor onto the WAL file, used by the group-commit
+/// thread to fsync records the mutator appended with
+/// [`Wal::append_nosync`]. See [`Wal::sync_handle`].
+#[derive(Debug)]
+pub struct WalSyncHandle {
+    file: File,
+}
+
+impl WalSyncHandle {
+    /// Make every record written so far durable with one fsync.
+    /// Returns the fsync duration in milliseconds (also recorded in the
+    /// `iris_service_wal_fsync_ms` histogram).
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] on fsync failure.
+    pub fn sync(&self) -> IrisResult<f64> {
+        let _span = iris_telemetry::trace::span("wal_fsync");
+        let start = Instant::now();
+        self.file.sync_data().map_err(|e| IrisError::Io {
+            detail: format!("WAL fsync failed: {e}"),
+        })?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        iris_telemetry::global()
+            .histogram("iris_service_wal_fsync_ms")
+            .record(ms);
+        Ok(ms)
     }
 }
 
@@ -665,6 +725,25 @@ mod tests {
         assert!(state.batches.is_empty(), "log was truncated");
         assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
         drop(wal);
+    }
+
+    #[test]
+    fn nosync_appends_are_covered_by_one_handle_sync() {
+        let dir = tmp_dir("groupcommit");
+        let (mut wal, _) = Wal::open(&dir).expect("open");
+        let handle = wal.sync_handle().expect("sync handle");
+        for e in 1..=4 {
+            wal.append_nosync(&batch(e)).expect("append");
+        }
+        // One fsync through the duplicated descriptor covers all four
+        // records (fsync is per-file, not per-descriptor).
+        let ms = handle.sync().expect("group fsync");
+        assert!(ms >= 0.0);
+        assert_eq!(wal.stats().records, 4);
+        drop(wal);
+        let (batches, salvage) = read_log(&dir.join(WAL_FILE)).expect("read");
+        assert_eq!(batches, vec![batch(1), batch(2), batch(3), batch(4)]);
+        assert_eq!(salvage.truncated_bytes, 0);
     }
 
     #[test]

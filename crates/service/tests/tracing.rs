@@ -123,13 +123,17 @@ fn write_batches_carry_a_complete_stage_breakdown() {
 
     // Acceptance: at least one write batch exposes the full pipeline
     // breakdown. Other tests in this process add unrelated traces, so
-    // search for a trace with the required shape.
+    // search for a trace with the required shape. The apply stages run
+    // on the mutator under the `write_batch` root; the fsync + publish
+    // run on the group-commit thread under a second root
+    // (`group_commit`) in the same trace.
     let want = [
         "write_batch",
         "queue_wait",
         "coalesce",
         "apply",
         "wal_append",
+        "group_commit",
         "wal_fsync",
         "snapshot_build",
         "publish",
@@ -144,14 +148,15 @@ fn write_batches_carry_a_complete_stage_breakdown() {
         .unwrap_or_else(|| panic!("no trace with all of {want:?} in {} traces", groups.len()));
     let evs = &batch.1;
 
-    // Structural checks: the root is the batch span, queue_wait and
-    // publish hang off it, and fsync nests inside the WAL append.
+    // Structural checks: the batch span roots the apply stages on the
+    // mutator; the group-commit span roots the fsync + publish on the
+    // syncer thread, in the same trace.
     let root = evs
         .iter()
         .find(|e| e.stage == "write_batch")
         .expect("root span");
-    assert_eq!(root.parent_id, 0, "write_batch is the trace root");
-    for child in ["queue_wait", "coalesce", "apply", "publish"] {
+    assert_eq!(root.parent_id, 0, "write_batch is a trace root");
+    for child in ["queue_wait", "coalesce", "apply"] {
         let e = evs.iter().find(|e| e.stage == child).unwrap();
         assert_eq!(
             e.parent_id, root.span_id,
@@ -159,12 +164,19 @@ fn write_batches_carry_a_complete_stage_breakdown() {
         );
         assert!(!e.modeled, "{child} is measured, not modeled");
     }
-    let append = evs.iter().find(|e| e.stage == "wal_append").unwrap();
-    let fsync = evs.iter().find(|e| e.stage == "wal_fsync").unwrap();
-    assert_eq!(
-        fsync.parent_id, append.span_id,
-        "fsync nests inside the WAL append"
-    );
+    let commit = evs
+        .iter()
+        .find(|e| e.stage == "group_commit")
+        .expect("group-commit root");
+    assert_eq!(commit.parent_id, 0, "group_commit is a second trace root");
+    for child in ["wal_fsync", "publish"] {
+        let e = evs.iter().find(|e| e.stage == child).unwrap();
+        assert_eq!(
+            e.parent_id, commit.span_id,
+            "{child} should be a direct child of group_commit"
+        );
+        assert!(!e.modeled, "{child} is measured, not modeled");
+    }
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
