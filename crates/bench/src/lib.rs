@@ -9,6 +9,7 @@
 
 pub mod chaos;
 pub mod crash;
+pub mod federation;
 
 use iris_fibermap::synth::{generate_metro, place_dcs};
 use iris_fibermap::{MetroParams, PlacementParams, Region};

@@ -334,6 +334,9 @@ pub fn chaos(opts: &Options) -> IrisResult<()> {
     if opts.flag("crash") {
         return chaos_crash(opts);
     }
+    if opts.flag("federation") {
+        return chaos_federation(opts);
+    }
     apply_threads(opts)?;
     let cfg = ChaosConfig {
         seed: opts.num("seed", 7)?,
@@ -457,6 +460,93 @@ fn chaos_crash(opts: &Options) -> IrisResult<()> {
     Ok(())
 }
 
+/// `iris chaos --federation` — region-level faults against a real
+/// 3-region federation: partition, lagging replica, follower restart,
+/// and a full primary kill-9 with client re-routing mid-run. Reports
+/// replication lag, modeled failover time and the stale-read rate;
+/// everything serialized is seed-deterministic, byte-identical across
+/// runs and thread counts.
+fn chaos_federation(opts: &Options) -> IrisResult<()> {
+    use iris_bench::federation::{run_federation, FederationConfig};
+    apply_threads(opts)?;
+    let default = FederationConfig::default();
+    let cfg = FederationConfig {
+        seed: opts.num("seed", default.seed)?,
+        n_dcs: opts.num("dcs", default.n_dcs)?,
+        cuts: opts.num("cuts", default.cuts)?,
+        users: opts.num("users", default.users)?,
+        writes_per_phase: opts.num("writes", default.writes_per_phase)?,
+    };
+    let (report, measured) = run_federation(&cfg)?;
+
+    println!(
+        "federation chaos: seed {}, 3 regions, {} users, {} writes/phase, {} DCs, k={} ({} ducts)",
+        cfg.seed, cfg.users, cfg.writes_per_phase, cfg.n_dcs, cfg.cuts, report.ducts
+    );
+    print!("population:");
+    for r in &report.population {
+        print!("  region {}: {} users", r.region, r.home_users);
+    }
+    println!();
+    println!(
+        "\n{:<14} {:>6} {:>6} {:>5} {:>9} {:>6} {:>5} {:>10} {:>9} {:>10}",
+        "phase",
+        "writes",
+        "epoch",
+        "lag",
+        "lag-ms",
+        "stale",
+        "fail",
+        "fail-ms",
+        "converged",
+        "state-crc"
+    );
+    for p in &report.phases {
+        println!(
+            "{:<14} {:>6} {:>6} {:>5} {:>9.1} {:>6} {:>5} {:>10} {:>9} {:>10}",
+            p.phase,
+            p.writes_acked,
+            p.acked_epoch,
+            p.lag_epochs,
+            p.modeled_lag_ms,
+            p.stale_redirects,
+            p.failovers,
+            p.modeled_failover_ms,
+            p.converged,
+            p.state_crc
+        );
+    }
+    println!(
+        "\ntotals: {} failovers, {} stale-read redirects, {} lost acked writes; all converged: {}",
+        report.total_failovers,
+        report.total_stale_redirects,
+        report.lost_acked_writes,
+        report.all_converged
+    );
+    print!("wall clock (not serialized):");
+    for (phase, ms) in &measured.phase_ms {
+        print!("  {phase} {ms:.0} ms");
+    }
+    println!();
+    if report.lost_acked_writes > 0 || !report.all_converged {
+        return Err(IrisError::ReplayFailed {
+            detail: format!(
+                "federation diverged: {} lost acked writes, all converged: {}",
+                report.lost_acked_writes, report.all_converged
+            ),
+        });
+    }
+
+    if let Some(path) = opts.get("out") {
+        let mut json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("--out: cannot serialize report: {e}"))?;
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("--out: cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    Ok(())
+}
+
 /// `iris wal inspect` — dump and validate a write-ahead log directory
 /// without touching it (no truncation, no repair).
 pub fn wal_inspect(opts: &Options) -> IrisResult<()> {
@@ -539,6 +629,17 @@ pub fn serve(opts: &Options) -> IrisResult<()> {
         trace: parse_switch(opts.get("trace"), "trace", true)?,
         slow_ms: opts.num("slow-ms", 250.0)?,
         shards: opts.num("shards", 0)?,
+        region_id: opts.num("region-id", 0)?,
+        peers: match opts.get("peers") {
+            Some(raw) => raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect(),
+            None => Vec::new(),
+        },
+        follower: opts.flag("follower"),
         ..iris_service::ServiceConfig::default()
     };
     let handle = iris_service::serve(region, &config)?;
@@ -579,6 +680,22 @@ pub fn serve(opts: &Options) -> IrisResult<()> {
             },
         );
     }
+    if config.region_id != 0 || !config.peers.is_empty() || config.follower {
+        println!(
+            "  region {} ({}){}",
+            config.region_id,
+            if config.follower {
+                "follower: writes answered NotPrimary until promoted"
+            } else {
+                "primary"
+            },
+            if config.peers.is_empty() {
+                String::new()
+            } else {
+                format!(", replicating to {}", config.peers.join(", "))
+            }
+        );
+    }
     println!("  serving until killed (metrics via the MetricsSnapshot request)");
     std::io::stdout()
         .flush()
@@ -605,6 +722,10 @@ pub fn rpc(opts: &Options) -> IrisResult<()> {
     };
     let request = match op {
         "get_plan" | "plan" => Request::GetPlan,
+        "get_plan_at" | "plan_at" => Request::GetPlanAt {
+            min_epoch: opts.num("min-epoch", 0)?,
+            wait_ms: opts.num("wait", 1_000)?,
+        },
         "get_topology" | "topology" => Request::GetTopology,
         "query_path" | "path" => Request::QueryPath {
             a: pair("a")?,
@@ -619,14 +740,15 @@ pub fn rpc(opts: &Options) -> IrisResult<()> {
             cuts: parse_cut_list(opts.required("cuts")?)?,
         },
         "health" => Request::Health,
+        "promote" => Request::Promote,
         "metrics_snapshot" | "metrics" => Request::MetricsSnapshot,
         "trace_dump" | "trace" => Request::TraceDump {
             max_events: opts.num("max", 0)?,
         },
         other => {
             return Err(format!(
-                "unknown op '{other}' (try get_plan, get_topology, query_path, \
-                 update_demand, report_fiber_cut, health, metrics_snapshot, trace_dump)"
+                "unknown op '{other}' (try get_plan, get_plan_at, get_topology, query_path, \
+                 update_demand, report_fiber_cut, health, promote, metrics_snapshot, trace_dump)"
             )
             .into())
         }
@@ -636,6 +758,66 @@ pub fn rpc(opts: &Options) -> IrisResult<()> {
     let json =
         serde_json::to_string_pretty(&response).map_err(|e| format!("cannot render reply: {e}"))?;
     println!("{json}");
+    Ok(())
+}
+
+/// `iris regions` — federation overview: probe every listed server and
+/// print each region's role, epoch, and replication ledger (peer acked
+/// epochs, lag in epochs and modeled ms, reconnect counts).
+pub fn regions(opts: &Options) -> IrisResult<()> {
+    use iris_service::{Request, Response};
+
+    let addrs: Vec<&str> = opts
+        .get("addr")
+        .unwrap_or("127.0.0.1:7117")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let mut reached = 0usize;
+    let mut last_err: Option<IrisError> = None;
+    for addr in &addrs {
+        let health = iris_service::ServiceClient::connect(addr).and_then(|mut client| {
+            client.set_deadline(Some(std::time::Duration::from_millis(2_000)))?;
+            match client.call(&Request::Health)?.into_result()? {
+                Response::Health(h) => Ok(h),
+                other => Err(IrisError::Decode {
+                    detail: format!("Health answered {other:?}"),
+                }),
+            }
+        });
+        match health {
+            Ok(h) => {
+                reached += 1;
+                println!(
+                    "region {} ({}) at {addr} — epoch {}, queue {}, {} writes applied",
+                    h.region, h.role, h.epoch, h.queue_depth, h.writes_applied
+                );
+                for p in &h.peers {
+                    println!(
+                        "  peer region {} at {}: {}, acked epoch {}, lag {} epochs (~{:.1} ms), \
+                         {} reconnects",
+                        p.region,
+                        p.addr,
+                        if p.connected { "connected" } else { "down" },
+                        p.acked_epoch,
+                        p.lag_epochs,
+                        p.lag_ms,
+                        p.reconnects
+                    );
+                }
+            }
+            Err(e) => {
+                println!("region ? at {addr} — unreachable: {e}");
+                last_err = Some(e);
+            }
+        }
+    }
+    if reached == 0 {
+        if let Some(e) = last_err {
+            return Err(e);
+        }
+    }
     Ok(())
 }
 
@@ -924,6 +1106,23 @@ fn render_top(client: &mut iris_service::ServiceClient, addr: &str) -> IrisResul
         "wal: {} records, {} bytes, last fsync {:.3} ms",
         h.wal_records, h.wal_bytes, h.last_fsync_ms
     );
+    if h.region != 0 || !h.peers.is_empty() || h.role != "primary" {
+        let _ = writeln!(out, "region {} — role {}", h.region, h.role);
+        for p in &h.peers {
+            let _ = writeln!(
+                out,
+                "  peer region {:<4} {:<21} {:<9}  acked {:>6}  \
+                 lag {:>4} epochs (~{:>7.1} ms)  reconnects {}",
+                p.region,
+                p.addr,
+                if p.connected { "connected" } else { "down" },
+                p.acked_epoch,
+                p.lag_epochs,
+                p.lag_ms,
+                p.reconnects
+            );
+        }
+    }
     let batches = prom_counter(&prometheus, "iris_service_group_commit_batches");
     let saved = prom_counter(&prometheus, "iris_service_fsyncs_saved");
     if batches.is_some() || saved.is_some() {

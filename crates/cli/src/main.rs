@@ -101,6 +101,9 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "cuts",
             "batches",
             "crash",
+            "federation",
+            "users",
+            "writes",
             "threads",
             "out",
             "telemetry",
@@ -119,6 +122,9 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "snapshot-every",
             "trace",
             "slow-ms",
+            "region-id",
+            "peers",
+            "follower",
         ],
         "rpc" => &[
             "addr",
@@ -128,9 +134,12 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "circuits",
             "cuts",
             "max",
+            "min-epoch",
+            "wait",
             "telemetry",
         ],
         "top" => &["addr", "watch", "telemetry"],
+        "regions" => &["addr", "telemetry"],
         "loadgen" => &[
             "addr",
             "seed",
@@ -158,9 +167,13 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     if command == "trace" {
         return run_trace(&argv[1..]);
     }
-    // `--crash` is a boolean switch (chaos only); everything else is
-    // strict `--key value`.
-    let flags: &[&str] = if command == "chaos" { &["crash"] } else { &[] };
+    // `--crash`/`--federation` (chaos) and `--follower` (serve) are
+    // boolean switches; everything else is strict `--key value`.
+    let flags: &[&str] = match command.as_str() {
+        "chaos" => &["crash", "federation"],
+        "serve" => &["follower"],
+        _ => &[],
+    };
     let opts = args::Options::parse_with_flags(&argv[1..], flags)?;
     if let Some(allowed) = accepted_options(command) {
         opts.ensure_known(command, allowed)?;
@@ -176,6 +189,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "serve" => commands::serve(&opts),
         "rpc" => commands::rpc(&opts),
         "top" => commands::top(&opts),
+        "regions" => commands::regions(&opts),
         "loadgen" => commands::loadgen(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -286,9 +300,20 @@ USAGE:
                 / corrupted tail record), restart, and diff the recovered
                 snapshot byte-for-byte against an uninterrupted run.
                 Exits 6 (replay-failed) if any scenario diverges
+  iris chaos    --federation [--seed N] [--dcs D] [--users U]
+                [--writes W] [--out FILE]
+                region-level chaos against a real 3-region federation:
+                steady replication, a primary->follower partition (lag +
+                stale-read redirects), a follower kill-and-restart (torn
+                peer stream, full re-sync), and a primary kill-9 with
+                promotion and write re-assertion. Exits 6 unless every
+                phase converges CRC-identically with zero lost
+                acknowledged writes. Deterministic: same seed,
+                byte-identical output at any IRIS_THREADS
   iris serve    --region FILE [--addr HOST:PORT] [--cuts K] [--queue N]
                 [--window MS] [--threads T] [--shards S] [--wal-dir DIR]
                 [--snapshot-every B] [--trace on|off] [--slow-ms MS]
+                [--region-id R] [--peers A1,A2] [--follower]
                 run the long-lived control-plane server: length-prefixed
                 frames over TCP (JSON by default, compact binary after a
                 per-connection Hello); snapshot reads, coalesced writes,
@@ -300,16 +325,27 @@ USAGE:
                 batch is appended to DIR/iris.wal (fsync'd) and compacted
                 into DIR/snapshot.json every B batches (default 64; 0 =
                 never); on restart the server replays WAL-after-snapshot
-                and republishes the pre-crash state byte-identically
+                and republishes the pre-crash state byte-identically.
+                --region-id names this instance's region; --peers lists
+                follower addresses it ships acknowledged write batches
+                to (resuming from each peer's acked epoch, falling back
+                to a full state sync after long partitions); --follower
+                starts it read-only, applying replicated batches until
+                an `iris rpc --op promote` flips it to primary
   iris wal      inspect --dir DIR
                 read-only dump of a WAL directory: snapshot epoch,
                 per-record epochs/ops/CRCs, torn-tail diagnosis, and the
                 epoch the server would recover to. Never modifies DIR
   iris rpc      --op OP [--addr HOST:PORT] [--a N --b N] [--circuits C]
                 [--cuts D1,D2] [--max N]
+                [--min-epoch E --wait MS]
                 one request against a running server, reply as JSON; OP is
-                get_plan | get_topology | query_path | update_demand |
-                report_fiber_cut | health | metrics_snapshot | trace_dump
+                get_plan | get_plan_at | get_topology | query_path |
+                update_demand | report_fiber_cut | health | promote |
+                metrics_snapshot | trace_dump. get_plan_at waits up to
+                --wait ms for the server to reach epoch --min-epoch (the
+                read-your-writes fence), answering a typed Timeout if it
+                cannot catch up
   iris trace    dump [--addr HOST:PORT] [--max N] [--traces N]
                 fetch the server's flight recorder and render each trace
                 as an indented span tree with per-stage latencies
@@ -322,7 +358,13 @@ USAGE:
                 view of a running server: uptime, epoch, queue depth,
                 WAL totals, group-commit batches and fsyncs saved,
                 per-shard request/connection counters, and approximate
-                per-op p50/p99 read from the server's live histograms
+                per-op p50/p99 read from the server's live histograms;
+                federated servers add per-region rows (role, peer acked
+                epochs, lag in epochs and modeled ms, reconnects)
+  iris regions  [--addr HOST:PORT[,HOST:PORT...]]
+                probe every listed server and print the federation map:
+                each region's role and epoch plus its replication ledger
+                (peer lag in epochs/ms, reconnect counts)
   iris loadgen  [--addr HOST:PORT] [--seed N] [--requests N]
                 [--connections N] [--cut D1,D2] [--codec json|binary]
                 [--pipeline W] [--rate RPS] [--out FILE]

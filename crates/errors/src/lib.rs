@@ -102,6 +102,20 @@ pub enum IrisError {
         /// Why replay stopped, e.g. `record epoch 9 after snapshot epoch 12`.
         detail: String,
     },
+    /// A deadline elapsed before the operation completed — a hung peer,
+    /// a stalled reply, or an epoch-wait that ran out of patience.
+    Timeout {
+        /// What timed out, e.g. `health probe to 10.0.0.2:4040`.
+        what: String,
+        /// The deadline that elapsed, ms.
+        after_ms: u64,
+    },
+    /// A write (or replication frame) landed on a region that is not the
+    /// primary for the epoch chain.
+    NotPrimary {
+        /// The region that rejected the request.
+        region: u64,
+    },
 }
 
 impl IrisError {
@@ -122,6 +136,8 @@ impl IrisError {
             IrisError::Io { .. } => "io",
             IrisError::Corrupt { .. } => "corrupt",
             IrisError::ReplayFailed { .. } => "replay-failed",
+            IrisError::Timeout { .. } => "timeout",
+            IrisError::NotPrimary { .. } => "not-primary",
         }
     }
 
@@ -147,6 +163,8 @@ impl IrisError {
             IrisError::Quarantined { .. } => 12,
             IrisError::PortOutOfRange { .. } => 13,
             IrisError::ChannelOutOfRange { .. } => 14,
+            IrisError::Timeout { .. } => 15,
+            IrisError::NotPrimary { .. } => 16,
         }
     }
 }
@@ -190,6 +208,12 @@ impl fmt::Display for IrisError {
             IrisError::Io { detail } => write!(f, "{detail}"),
             IrisError::Corrupt { what, detail } => write!(f, "{what} is corrupt: {detail}"),
             IrisError::ReplayFailed { detail } => write!(f, "WAL replay failed: {detail}"),
+            IrisError::Timeout { what, after_ms } => {
+                write!(f, "timed out after {after_ms} ms: {what}")
+            }
+            IrisError::NotPrimary { region } => {
+                write!(f, "region {region} is not the primary")
+            }
         }
     }
 }
@@ -251,6 +275,11 @@ mod tests {
                 detail: "x".into(),
             },
             IrisError::ReplayFailed { detail: "x".into() },
+            IrisError::Timeout {
+                what: "probe".into(),
+                after_ms: 50,
+            },
+            IrisError::NotPrimary { region: 1 },
         ];
         for e in &all {
             let code = e.code();
@@ -300,6 +329,23 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("OSS@HUT3"), "{msg}");
         assert!(msg.contains('9'), "{msg}");
+    }
+
+    #[test]
+    fn federation_errors_have_stable_codes() {
+        let e = IrisError::Timeout {
+            what: "health probe to 127.0.0.1:4040".into(),
+            after_ms: 250,
+        };
+        assert_eq!(e.code(), "timeout");
+        assert_eq!(e.exit_code(), 15);
+        let msg = e.to_string();
+        assert!(msg.contains("250"), "{msg}");
+        assert!(msg.contains("probe"), "{msg}");
+        let e = IrisError::NotPrimary { region: 2 };
+        assert_eq!(e.code(), "not-primary");
+        assert_eq!(e.exit_code(), 16);
+        assert!(e.to_string().contains("region 2"), "{e}");
     }
 
     #[test]

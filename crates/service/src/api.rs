@@ -19,6 +19,17 @@ use serde::{Deserialize, Serialize};
 pub enum Request {
     /// Summary of the current Iris plan.
     GetPlan,
+    /// `GetPlan` with a read-your-writes fence: the reply is deferred
+    /// until the snapshot epoch reaches `min_epoch`, or fails with a
+    /// typed [`IrisError::Timeout`] after `wait_ms` so the caller can
+    /// redirect to a less stale region.
+    GetPlanAt {
+        /// The reply must come from an epoch `>= min_epoch`.
+        min_epoch: u64,
+        /// How long the server may park the reply, ms (0 = fail
+        /// immediately when behind).
+        wait_ms: u64,
+    },
     /// The region topology plus the live allocation.
     GetTopology,
     /// The surviving path a DC pair's circuit currently rides.
@@ -64,6 +75,30 @@ pub enum Request {
         /// Requested codec name; see [`crate::codec::Codec::from_name`].
         codec: String,
     },
+    /// One WAL batch shipped from a primary region to a follower. The
+    /// payload is the WAL's own record form ([`crate::wal::WalBatch`] as
+    /// JSON), so the follower's log ends up byte-compatible with the
+    /// primary's. Replayed through the shared `ControlMachine`; answered
+    /// with [`Response::ReplicateAck`] once durable and published.
+    Replicate {
+        /// Region id of the shipping primary.
+        source_region: u64,
+        /// The serialized `WalBatch` (epoch `follower_epoch + 1`).
+        batch: String,
+    },
+    /// Full-state resync for a follower too far behind the primary's
+    /// in-memory replication window: a serialized
+    /// [`crate::wal::PersistedSnapshot`] the follower adopts wholesale
+    /// before the batch stream resumes.
+    SyncState {
+        /// Region id of the shipping primary.
+        source_region: u64,
+        /// The serialized `PersistedSnapshot`.
+        state: String,
+    },
+    /// Promote this follower to primary (region failover). Idempotent on
+    /// a primary; the reply is the post-promotion [`Response::Health`].
+    Promote,
 }
 
 impl Request {
@@ -72,6 +107,7 @@ impl Request {
     pub fn op(&self) -> &'static str {
         match self {
             Request::GetPlan => "get_plan",
+            Request::GetPlanAt { .. } => "get_plan_at",
             Request::GetTopology => "get_topology",
             Request::QueryPath { .. } => "query_path",
             Request::UpdateDemand { .. } => "update_demand",
@@ -80,6 +116,9 @@ impl Request {
             Request::MetricsSnapshot => "metrics_snapshot",
             Request::TraceDump { .. } => "trace_dump",
             Request::Hello { .. } => "hello",
+            Request::Replicate { .. } => "replicate",
+            Request::SyncState { .. } => "sync_state",
+            Request::Promote => "promote",
         }
     }
 
@@ -88,7 +127,10 @@ impl Request {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            Request::UpdateDemand { .. } | Request::ReportFiberCut { .. }
+            Request::UpdateDemand { .. }
+                | Request::ReportFiberCut { .. }
+                | Request::Replicate { .. }
+                | Request::SyncState { .. }
         )
     }
 }
@@ -190,9 +232,40 @@ pub struct RecoverySummary {
     pub recovery_ms: f64,
 }
 
+/// One replication peer as the serving region sees it — the rows behind
+/// `iris top`'s per-region view and the router's lag decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// The peer's region id (0 until the first successful probe learns
+    /// it).
+    pub region: u64,
+    /// The peer's address, as configured.
+    pub addr: String,
+    /// Whether the replicator currently holds a live connection.
+    pub connected: bool,
+    /// Highest epoch the peer has acknowledged as durable + published.
+    pub acked_epoch: u64,
+    /// Replication lag in epochs (`local_epoch - acked_epoch`).
+    pub lag_epochs: u64,
+    /// Modeled replication lag, ms: lag in epochs × the group-commit
+    /// cadence (coalesce window + 1 ms fsync slot). Deterministic for a
+    /// given config; wall-clock lag is intentionally not serialized.
+    pub lag_ms: f64,
+    /// Times the replicator re-established the peer connection.
+    pub reconnects: u64,
+}
+
 /// Liveness and write-path state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthInfo {
+    /// Region id of the serving instance.
+    pub region: u64,
+    /// Serving role: `"primary"` (accepts writes, ships WAL batches) or
+    /// `"follower"` (applies `Replicate` frames, rejects local writes).
+    pub role: String,
+    /// Replication peers and their lag, as seen from this region.
+    /// Followers list their configured peers with no live state.
+    pub peers: Vec<PeerInfo>,
     /// Snapshot epoch (increments on every applied write batch).
     pub epoch: u64,
     /// Writes waiting in the mutator queue right now.
@@ -282,11 +355,17 @@ pub enum Response {
     Topology(TopologySummary),
     /// Reply to [`Request::QueryPath`].
     Path(PathInfo),
-    /// Reply to [`Request::UpdateDemand`]: the write is queued (it may
-    /// later coalesce with a newer update for the same pair).
+    /// Reply to [`Request::UpdateDemand`]: the write batch containing
+    /// this update has been applied, made durable (when a WAL is
+    /// configured), and published. The carried epoch is the write's
+    /// read-your-writes fence: a `GetPlanAt { min_epoch: epoch, .. }`
+    /// against any region observes the update once that region caught
+    /// up.
     DemandAccepted {
-        /// Queue depth observed right after enqueueing.
+        /// Queue depth observed when the write was enqueued.
         queue_depth: usize,
+        /// The epoch at which the update became visible.
+        epoch: u64,
     },
     /// Reply to [`Request::ReportFiberCut`]: recovery has completed.
     Recovery(RecoverySummary),
@@ -312,6 +391,19 @@ pub enum Response {
     HelloAck {
         /// The codec now in effect for this connection.
         codec: String,
+    },
+    /// Reply to [`Request::Replicate`] / [`Request::SyncState`]: the
+    /// follower applied the batch (or adopted the snapshot), fsync'd it
+    /// into its own WAL, and published the snapshot. `state_crc` is the
+    /// CRC-32 of the follower's canonical snapshot JSON at `epoch` — the
+    /// primary compares it against its own snapshot at the same epoch,
+    /// proving the replicas byte-identical at every acked epoch.
+    ReplicateAck {
+        /// The follower's snapshot epoch after applying.
+        epoch: u64,
+        /// CRC-32 of [`crate::state::StateSnapshot::canonical_json`] at
+        /// that epoch.
+        state_crc: u32,
     },
     /// The request failed.
     Error(IrisError),
@@ -396,6 +488,10 @@ mod tests {
     fn requests_round_trip() {
         let reqs = [
             Request::GetPlan,
+            Request::GetPlanAt {
+                min_epoch: 9,
+                wait_ms: 250,
+            },
             Request::GetTopology,
             Request::QueryPath { a: 0, b: 3 },
             Request::UpdateDemand {
@@ -407,6 +503,15 @@ mod tests {
             Request::Health,
             Request::MetricsSnapshot,
             Request::TraceDump { max_events: 500 },
+            Request::Replicate {
+                source_region: 0,
+                batch: "{\"epoch\":3}".into(),
+            },
+            Request::SyncState {
+                source_region: 0,
+                state: "{\"epoch\":3}".into(),
+            },
+            Request::Promote,
         ];
         for req in &reqs {
             let bytes = encode_request(req).unwrap();
@@ -418,15 +523,33 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let resps = [
-            Response::DemandAccepted { queue_depth: 3 },
+            Response::DemandAccepted {
+                queue_depth: 3,
+                epoch: 11,
+            },
             Response::CutAlreadyActive {
                 active_cuts: vec![2, 4],
+            },
+            Response::ReplicateAck {
+                epoch: 11,
+                state_crc: 0xDEAD_BEEF,
             },
             Response::Error(IrisError::Overloaded { retry_after_ms: 25 }),
             Response::Metrics {
                 prometheus: "# TYPE x counter\nx 1\n".into(),
             },
             Response::Health(HealthInfo {
+                region: 1,
+                role: "primary".into(),
+                peers: vec![PeerInfo {
+                    region: 2,
+                    addr: "127.0.0.1:4041".into(),
+                    connected: true,
+                    acked_epoch: 6,
+                    lag_epochs: 1,
+                    lag_ms: 3.0,
+                    reconnects: 2,
+                }],
                 epoch: 7,
                 queue_depth: 0,
                 writes_applied: 12,

@@ -97,6 +97,8 @@ impl Backoff {
 pub struct ServiceClient {
     stream: TcpStream,
     codec: Codec,
+    /// Per-call deadline; `None` blocks forever (the legacy behaviour).
+    deadline: Option<Duration>,
 }
 
 impl ServiceClient {
@@ -114,7 +116,26 @@ impl ServiceClient {
         Ok(Self {
             stream,
             codec: Codec::Json,
+            deadline: None,
         })
+    }
+
+    /// Bound every subsequent call: if no reply byte arrives within the
+    /// deadline the call fails with a typed [`IrisError::Timeout`]
+    /// instead of stalling forever on a hung or partitioned server.
+    /// `None` restores unbounded blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Io`] if the socket rejects the timeout.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> IrisResult<()> {
+        let io_err = |e: std::io::Error| IrisError::Io {
+            detail: format!("cannot set socket deadline: {e}"),
+        };
+        self.stream.set_read_timeout(deadline).map_err(io_err)?;
+        self.stream.set_write_timeout(deadline).map_err(io_err)?;
+        self.deadline = deadline;
+        Ok(())
     }
 
     /// Connect, retrying `attempts` times with `delay_ms` between tries —
@@ -222,7 +243,19 @@ impl ServiceClient {
         loop {
             match read_frame(&mut self.stream)? {
                 FrameEvent::Frame(bytes) => return codec::decode_response(self.codec, &bytes),
-                FrameEvent::Idle => continue,
+                // Idle only fires when a socket read timeout is set:
+                // with a deadline armed it is the typed per-call
+                // timeout; without one it cannot occur (kept as a
+                // defensive retry).
+                FrameEvent::Idle => match self.deadline {
+                    Some(d) => {
+                        return Err(IrisError::Timeout {
+                            what: format!("{} call", req.op()),
+                            after_ms: d.as_millis() as u64,
+                        })
+                    }
+                    None => continue,
+                },
                 FrameEvent::Eof => {
                     return Err(IrisError::Io {
                         detail: "server closed the connection before replying".to_owned(),
@@ -266,6 +299,434 @@ impl ServiceClient {
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// One region a [`RegionRouter`] can talk to. The order endpoints are
+/// handed to the router is the client's preference order — nearest
+/// first — so "nearest healthy" is simply the first healthy entry.
+#[derive(Debug, Clone)]
+pub struct RegionEndpoint {
+    /// Region id (matches the server's `--region-id`).
+    pub region: u64,
+    /// Server address, `host:port`.
+    pub addr: String,
+}
+
+/// How many consecutive `Overloaded` replies from one region a router
+/// tolerates before failing over to the next healthy region.
+pub const OVERLOADED_STREAK_LIMIT: u32 = 3;
+
+/// A health-routed multi-region client: `Health` probes with per-call
+/// deadlines, nearest-healthy read selection, failover on probe/call
+/// timeouts, disconnects and [`IrisError::Overloaded`] streaks, write
+/// routing to the probed primary (following [`IrisError::NotPrimary`]
+/// redirects after a promotion), and read-your-writes via
+/// [`Request::GetPlanAt`] epoch-waits that redirect to the primary when
+/// a follower cannot catch up in time.
+///
+/// The router remembers every acknowledged demand write (absolute
+/// per-pair targets, so re-applying is idempotent): after a primary
+/// loss, [`RegionRouter::reassert_acked_writes`] replays them against
+/// the newly promoted primary, which is what makes "zero lost
+/// acknowledged writes" hold even when the old primary dies before
+/// shipping its tail.
+pub struct RegionRouter {
+    endpoints: Vec<RegionEndpoint>,
+    clients: Vec<Option<ServiceClient>>,
+    healthy: Vec<bool>,
+    primary_flag: Vec<bool>,
+    epochs: Vec<u64>,
+    streaks: Vec<u32>,
+    deadline: Duration,
+    current: usize,
+    failovers: u64,
+    stale_redirects: u64,
+    write_epoch: u64,
+    acked_writes: std::collections::BTreeMap<(usize, usize), u32>,
+}
+
+impl RegionRouter {
+    /// A router over `endpoints` (preference order) with one per-call
+    /// deadline for every probe and request.
+    #[must_use]
+    pub fn new(endpoints: Vec<RegionEndpoint>, deadline_ms: u64) -> Self {
+        let n = endpoints.len();
+        Self {
+            endpoints,
+            clients: (0..n).map(|_| None).collect(),
+            healthy: vec![false; n],
+            primary_flag: vec![false; n],
+            epochs: vec![0; n],
+            streaks: vec![0; n],
+            deadline: Duration::from_millis(deadline_ms.max(1)),
+            current: 0,
+            failovers: 0,
+            stale_redirects: 0,
+            write_epoch: 0,
+            acked_writes: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The configured endpoints, in preference order.
+    #[must_use]
+    pub fn endpoints(&self) -> &[RegionEndpoint] {
+        &self.endpoints
+    }
+
+    /// Times the router switched away from a region it considered
+    /// healthy (probe/call timeout, disconnect, or overload streak).
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Times an epoch-wait read timed out on a lagging follower and was
+    /// redirected to the primary — the router's stale-read counter.
+    #[must_use]
+    pub fn stale_redirects(&self) -> u64 {
+        self.stale_redirects
+    }
+
+    /// Highest commit epoch any acknowledged write of ours reported —
+    /// the fence [`RegionRouter::read_at_own_writes`] waits for.
+    #[must_use]
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Region id of the current read target.
+    #[must_use]
+    pub fn current_region(&self) -> u64 {
+        self.endpoints[self.current.min(self.endpoints.len() - 1)].region
+    }
+
+    /// Region id of the probed primary, if one is known and healthy.
+    #[must_use]
+    pub fn primary_region(&self) -> Option<u64> {
+        self.primary_idx().map(|i| self.endpoints[i].region)
+    }
+
+    /// Probe every endpoint once; returns how many answered `Health`
+    /// within the deadline.
+    pub fn probe_all(&mut self) -> usize {
+        (0..self.endpoints.len())
+            .filter(|&idx| self.probe(idx))
+            .count()
+    }
+
+    /// Probe one endpoint, refreshing its health, role and epoch.
+    pub fn probe(&mut self, idx: usize) -> bool {
+        match self.call_idx(idx, &Request::Health) {
+            Ok(Response::Health(h)) => {
+                self.healthy[idx] = true;
+                self.primary_flag[idx] = h.role == "primary";
+                self.epochs[idx] = h.epoch;
+                true
+            }
+            _ => {
+                self.mark_down(idx);
+                false
+            }
+        }
+    }
+
+    /// Send `Promote` to the endpoint owning `region` and adopt it as
+    /// the primary. The chaos harness drives failover with this.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::InvalidInput`] for an unknown region id; transport
+    /// errors from the promote call itself.
+    pub fn promote_region(&mut self, region: u64) -> IrisResult<()> {
+        let idx = self
+            .endpoints
+            .iter()
+            .position(|e| e.region == region)
+            .ok_or_else(|| IrisError::InvalidInput {
+                detail: format!("unknown region {region}"),
+            })?;
+        // A cached connection may be stale (the region could have
+        // restarted since the last probe): retry once on a fresh one.
+        let resp = match self.call_idx(idx, &Request::Promote) {
+            Ok(resp) => resp,
+            Err(IrisError::Timeout { .. } | IrisError::Io { .. } | IrisError::Decode { .. }) => {
+                self.mark_down(idx);
+                self.call_idx(idx, &Request::Promote)?
+            }
+            Err(e) => return Err(e),
+        };
+        match resp.into_result()? {
+            Response::Health(h) => {
+                self.healthy[idx] = true;
+                self.primary_flag[idx] = h.role == "primary";
+                self.epochs[idx] = h.epoch;
+                for (other, flag) in self.primary_flag.iter_mut().enumerate() {
+                    if other != idx {
+                        *flag = false;
+                    }
+                }
+                Ok(())
+            }
+            other => Err(IrisError::Decode {
+                detail: format!("unexpected reply to Promote: {other:?}"),
+            }),
+        }
+    }
+
+    /// Route one read to the nearest healthy region, failing over on
+    /// transport errors and `Overloaded` streaks
+    /// ([`OVERLOADED_STREAK_LIMIT`]).
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Unreachable`] when no region stays healthy through
+    /// a full probe cycle; any non-failover error verbatim.
+    pub fn read(&mut self, req: &Request) -> IrisResult<Response> {
+        let mut last = IrisError::Unreachable {
+            what: "no healthy region".to_owned(),
+        };
+        for _ in 0..=self.endpoints.len() {
+            let Some(idx) = self.pick_read() else { break };
+            match self.call_idx(idx, req) {
+                Ok(Response::Error(IrisError::Overloaded { retry_after_ms })) => {
+                    self.streaks[idx] += 1;
+                    if self.streaks[idx] >= OVERLOADED_STREAK_LIMIT {
+                        self.fail_over(idx);
+                        last = IrisError::Overloaded { retry_after_ms };
+                        continue;
+                    }
+                    return Ok(Response::Error(IrisError::Overloaded { retry_after_ms }));
+                }
+                Ok(resp) => {
+                    self.streaks[idx] = 0;
+                    return Ok(resp);
+                }
+                Err(
+                    e @ (IrisError::Timeout { .. }
+                    | IrisError::Io { .. }
+                    | IrisError::Decode { .. }),
+                ) => {
+                    self.fail_over(idx);
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Route one absolute demand write to the primary, following
+    /// `NotPrimary` redirects (a follower answered; re-probe for the
+    /// newly promoted primary) and failing over on transport errors.
+    /// On acknowledgement, records the write and its commit epoch for
+    /// [`RegionRouter::reassert_acked_writes`] /
+    /// [`RegionRouter::read_at_own_writes`].
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Unreachable`] when no primary can be found; any
+    /// non-routable error verbatim.
+    pub fn update_demand(&mut self, a: usize, b: usize, circuits: u32) -> IrisResult<u64> {
+        let req = Request::UpdateDemand { a, b, circuits };
+        let mut last = IrisError::Unreachable {
+            what: "no primary region".to_owned(),
+        };
+        for _ in 0..=self.endpoints.len() + 1 {
+            let Some(idx) = self.pick_primary() else {
+                break;
+            };
+            match self.call_idx(idx, &req) {
+                Ok(resp) => match resp.into_result() {
+                    Ok(Response::DemandAccepted { epoch, .. }) => {
+                        self.write_epoch = self.write_epoch.max(epoch);
+                        self.acked_writes.insert((a, b), circuits);
+                        return Ok(epoch);
+                    }
+                    Ok(other) => {
+                        return Err(IrisError::Decode {
+                            detail: format!("unexpected reply to UpdateDemand: {other:?}"),
+                        })
+                    }
+                    Err(IrisError::NotPrimary { region }) => {
+                        self.primary_flag[idx] = false;
+                        self.probe_all();
+                        last = IrisError::NotPrimary { region };
+                    }
+                    Err(IrisError::Overloaded { retry_after_ms }) => {
+                        std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        last = IrisError::Overloaded { retry_after_ms };
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(
+                    e @ (IrisError::Timeout { .. }
+                    | IrisError::Io { .. }
+                    | IrisError::Decode { .. }),
+                ) => {
+                    self.fail_over(idx);
+                    self.probe_all();
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Read-your-writes: `GetPlanAt` against the nearest healthy
+    /// region, waiting up to `wait_ms` for it to reach `min_epoch`. A
+    /// follower that cannot catch up answers a typed `Timeout`; the
+    /// router counts it as a stale-read redirect and retries against
+    /// the primary, which trivially satisfies its own epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Unreachable`] when every region fails; the final
+    /// `Timeout` when even the primary cannot satisfy the fence.
+    pub fn read_at(&mut self, min_epoch: u64, wait_ms: u64) -> IrisResult<Response> {
+        let req = Request::GetPlanAt { min_epoch, wait_ms };
+        let mut force: Option<usize> = None;
+        let mut last = IrisError::Unreachable {
+            what: "no healthy region".to_owned(),
+        };
+        for _ in 0..=self.endpoints.len() {
+            let Some(idx) = force.take().or_else(|| self.pick_read()) else {
+                break;
+            };
+            match self.call_idx(idx, &req) {
+                Ok(resp) => match resp.into_result() {
+                    Ok(plan) => return Ok(plan),
+                    Err(IrisError::Timeout { what, after_ms }) => {
+                        // The follower is lagging, not dead: redirect
+                        // to the primary instead of failing the region.
+                        self.stale_redirects += 1;
+                        match self.pick_primary() {
+                            Some(p) if p != idx => force = Some(p),
+                            _ => return Err(IrisError::Timeout { what, after_ms }),
+                        }
+                        last = IrisError::Timeout {
+                            what: "epoch wait".to_owned(),
+                            after_ms,
+                        };
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(
+                    e @ (IrisError::Timeout { .. }
+                    | IrisError::Io { .. }
+                    | IrisError::Decode { .. }),
+                ) => {
+                    self.fail_over(idx);
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// [`RegionRouter::read_at`] anchored at the router's own highest
+    /// acknowledged write epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegionRouter::read_at`].
+    pub fn read_at_own_writes(&mut self, wait_ms: u64) -> IrisResult<Response> {
+        self.read_at(self.write_epoch, wait_ms)
+    }
+
+    /// The acknowledged-write ledger: every pair the router got a
+    /// `DemandAccepted` for, with its last acknowledged circuit count —
+    /// the set [`RegionRouter::reassert_acked_writes`] replays and the
+    /// chaos harness audits for lost writes.
+    #[must_use]
+    pub fn acked_pairs(&self) -> Vec<((usize, usize), u32)> {
+        self.acked_writes
+            .iter()
+            .map(|(&pair, &circuits)| (pair, circuits))
+            .collect()
+    }
+
+    /// Re-apply every acknowledged demand write against the current
+    /// primary. Targets are absolute per-pair circuit counts, so
+    /// replaying is idempotent; after a primary loss this guarantees
+    /// the new primary reflects every write the old one acknowledged,
+    /// even ones it never managed to ship. Returns how many writes were
+    /// re-asserted.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`RegionRouter::update_demand`].
+    pub fn reassert_acked_writes(&mut self) -> IrisResult<usize> {
+        let writes: Vec<((usize, usize), u32)> = self
+            .acked_writes
+            .iter()
+            .map(|(&pair, &circuits)| (pair, circuits))
+            .collect();
+        for ((a, b), circuits) in &writes {
+            self.update_demand(*a, *b, *circuits)?;
+        }
+        Ok(writes.len())
+    }
+
+    /// First healthy endpoint in preference order, probing the fleet
+    /// when none is currently marked healthy. Keeps `current` sticky so
+    /// repeated reads reuse one connection until it fails.
+    fn pick_read(&mut self) -> Option<usize> {
+        if self.endpoints.is_empty() {
+            return None;
+        }
+        if self.healthy[self.current] {
+            return Some(self.current);
+        }
+        if let Some(idx) = self.healthy.iter().position(|&h| h) {
+            self.current = idx;
+            return Some(idx);
+        }
+        self.probe_all();
+        let idx = self.healthy.iter().position(|&h| h)?;
+        self.current = idx;
+        Some(idx)
+    }
+
+    /// First healthy primary, probing the fleet when none is known.
+    fn pick_primary(&mut self) -> Option<usize> {
+        if self.primary_idx().is_none() {
+            self.probe_all();
+        }
+        self.primary_idx()
+    }
+
+    fn primary_idx(&self) -> Option<usize> {
+        (0..self.endpoints.len()).find(|&i| self.healthy[i] && self.primary_flag[i])
+    }
+
+    /// Mark an endpoint unusable and count the failover.
+    fn fail_over(&mut self, idx: usize) {
+        self.mark_down(idx);
+        self.failovers += 1;
+    }
+
+    fn mark_down(&mut self, idx: usize) {
+        self.healthy[idx] = false;
+        self.clients[idx] = None;
+        self.streaks[idx] = 0;
+    }
+
+    /// One call against endpoint `idx`, connecting (with the per-call
+    /// deadline armed and the binary codec negotiated) on demand.
+    fn call_idx(&mut self, idx: usize, req: &Request) -> IrisResult<Response> {
+        if self.clients[idx].is_none() {
+            let mut client = ServiceClient::connect(&self.endpoints[idx].addr)?;
+            client.set_deadline(Some(self.deadline))?;
+            let _ = client.hello(Codec::Binary);
+            self.clients[idx] = Some(client);
+        }
+        let client = self.clients[idx]
+            .as_mut()
+            .expect("client was just connected");
+        client.call(req)
     }
 }
 

@@ -29,7 +29,7 @@
 //! are a decode error, same as JSON garbage.
 
 use crate::api::{
-    AllocEntry, HealthInfo, PathInfo, PlanSummary, RecoverySummary, Request, Response,
+    AllocEntry, HealthInfo, PathInfo, PeerInfo, PlanSummary, RecoverySummary, Request, Response,
     SlowRequestInfo, TopologySummary, TraceDumpInfo, TraceEventInfo,
 };
 use iris_errors::{IrisError, IrisResult};
@@ -181,8 +181,9 @@ mod bin {
 
     use super::decode_err;
     use super::{
-        AllocEntry, HealthInfo, IrisError, IrisResult, PathInfo, PlanSummary, RecoverySummary,
-        Request, Response, SlowRequestInfo, TopologySummary, TraceDumpInfo, TraceEventInfo,
+        AllocEntry, HealthInfo, IrisError, IrisResult, PathInfo, PeerInfo, PlanSummary,
+        RecoverySummary, Request, Response, SlowRequestInfo, TopologySummary, TraceDumpInfo,
+        TraceEventInfo,
     };
 
     // ---- request tags ----
@@ -195,6 +196,10 @@ mod bin {
     const REQ_METRICS_SNAPSHOT: u8 = 6;
     const REQ_TRACE_DUMP: u8 = 7;
     const REQ_HELLO: u8 = 8;
+    const REQ_GET_PLAN_AT: u8 = 9;
+    const REQ_REPLICATE: u8 = 10;
+    const REQ_SYNC_STATE: u8 = 11;
+    const REQ_PROMOTE: u8 = 12;
 
     // ---- response tags (Error is super::BIN_RESPONSE_ERROR_TAG) ----
     const RESP_PLAN: u8 = 0;
@@ -208,6 +213,7 @@ mod bin {
     const RESP_TRACE: u8 = 8;
     const RESP_HELLO_ACK: u8 = 9;
     const RESP_ERROR: u8 = super::BIN_RESPONSE_ERROR_TAG;
+    const RESP_REPLICATE_ACK: u8 = 11;
 
     // ---- error sub-tags, in `IrisError` declaration order ----
     const ERR_PORT_OUT_OF_RANGE: u8 = 0;
@@ -223,12 +229,15 @@ mod bin {
     const ERR_IO: u8 = 10;
     const ERR_CORRUPT: u8 = 11;
     const ERR_REPLAY_FAILED: u8 = 12;
+    const ERR_TIMEOUT: u8 = 13;
+    const ERR_NOT_PRIMARY: u8 = 14;
 
     // Smallest possible encodings, used to reject element counts that
     // could not possibly fit the remaining payload before allocating.
     const MIN_ALLOC_ENTRY: usize = 8 + 8 + 4;
     const MIN_TRACE_EVENT: usize = 8 + 4 + 4 + 4 + 8 + 8 + 1;
     const MIN_SLOW_REQUEST: usize = 8 + 4 + 8 + 8;
+    const MIN_PEER_INFO: usize = 8 + 4 + 1 + 8 + 8 + 8 + 8;
 
     // ---------------------------------------------------------------
     // writer
@@ -305,6 +314,28 @@ mod bin {
                 w_u8(buf, REQ_HELLO);
                 w_str(buf, codec);
             }
+            Request::GetPlanAt { min_epoch, wait_ms } => {
+                w_u8(buf, REQ_GET_PLAN_AT);
+                w_u64(buf, *min_epoch);
+                w_u64(buf, *wait_ms);
+            }
+            Request::Replicate {
+                source_region,
+                batch,
+            } => {
+                w_u8(buf, REQ_REPLICATE);
+                w_u64(buf, *source_region);
+                w_str(buf, batch);
+            }
+            Request::SyncState {
+                source_region,
+                state,
+            } => {
+                w_u8(buf, REQ_SYNC_STATE);
+                w_u64(buf, *source_region);
+                w_str(buf, state);
+            }
+            Request::Promote => w_u8(buf, REQ_PROMOTE),
         }
     }
 
@@ -358,7 +389,23 @@ mod bin {
         w_f64(buf, r.recovery_ms);
     }
 
+    fn write_peer(buf: &mut Vec<u8>, p: &PeerInfo) {
+        w_u64(buf, p.region);
+        w_str(buf, &p.addr);
+        w_bool(buf, p.connected);
+        w_u64(buf, p.acked_epoch);
+        w_u64(buf, p.lag_epochs);
+        w_f64(buf, p.lag_ms);
+        w_u64(buf, p.reconnects);
+    }
+
     fn write_health(buf: &mut Vec<u8>, h: &HealthInfo) {
+        w_u64(buf, h.region);
+        w_str(buf, &h.role);
+        w_count(buf, h.peers.len());
+        for p in &h.peers {
+            write_peer(buf, p);
+        }
         w_u64(buf, h.epoch);
         w_usize(buf, h.queue_depth);
         w_u64(buf, h.writes_applied);
@@ -477,6 +524,15 @@ mod bin {
                 w_u8(buf, ERR_REPLAY_FAILED);
                 w_str(buf, detail);
             }
+            IrisError::Timeout { what, after_ms } => {
+                w_u8(buf, ERR_TIMEOUT);
+                w_str(buf, what);
+                w_u64(buf, *after_ms);
+            }
+            IrisError::NotPrimary { region } => {
+                w_u8(buf, ERR_NOT_PRIMARY);
+                w_u64(buf, *region);
+            }
         }
     }
 
@@ -494,9 +550,10 @@ mod bin {
                 w_u8(buf, RESP_PATH);
                 write_path(buf, p);
             }
-            Response::DemandAccepted { queue_depth } => {
+            Response::DemandAccepted { queue_depth, epoch } => {
                 w_u8(buf, RESP_DEMAND_ACCEPTED);
                 w_usize(buf, *queue_depth);
+                w_u64(buf, *epoch);
             }
             Response::Recovery(r) => {
                 w_u8(buf, RESP_RECOVERY);
@@ -521,6 +578,11 @@ mod bin {
             Response::HelloAck { codec } => {
                 w_u8(buf, RESP_HELLO_ACK);
                 w_str(buf, codec);
+            }
+            Response::ReplicateAck { epoch, state_crc } => {
+                w_u8(buf, RESP_REPLICATE_ACK);
+                w_u64(buf, *epoch);
+                w_u32(buf, *state_crc);
             }
             Response::Error(e) => {
                 w_u8(buf, RESP_ERROR);
@@ -663,6 +725,19 @@ mod bin {
             REQ_HELLO => Ok(Request::Hello {
                 codec: rd.string("hello.codec")?,
             }),
+            REQ_GET_PLAN_AT => Ok(Request::GetPlanAt {
+                min_epoch: rd.u64("get_plan_at.min_epoch")?,
+                wait_ms: rd.u64("get_plan_at.wait_ms")?,
+            }),
+            REQ_REPLICATE => Ok(Request::Replicate {
+                source_region: rd.u64("replicate.source_region")?,
+                batch: rd.string("replicate.batch")?,
+            }),
+            REQ_SYNC_STATE => Ok(Request::SyncState {
+                source_region: rd.u64("sync_state.source_region")?,
+                state: rd.string("sync_state.state")?,
+            }),
+            REQ_PROMOTE => Ok(Request::Promote),
             other => Err(decode_err(format!("unknown binary request tag {other}"))),
         }
     }
@@ -734,8 +809,30 @@ mod bin {
         })
     }
 
+    fn read_peer(rd: &mut Reader<'_>) -> IrisResult<PeerInfo> {
+        Ok(PeerInfo {
+            region: rd.u64("peer.region")?,
+            addr: rd.string("peer.addr")?,
+            connected: rd.bool("peer.connected")?,
+            acked_epoch: rd.u64("peer.acked_epoch")?,
+            lag_epochs: rd.u64("peer.lag_epochs")?,
+            lag_ms: rd.f64("peer.lag_ms")?,
+            reconnects: rd.u64("peer.reconnects")?,
+        })
+    }
+
     fn read_health(rd: &mut Reader<'_>) -> IrisResult<HealthInfo> {
+        let region = rd.u64("health.region")?;
+        let role = rd.string("health.role")?;
+        let n = rd.count(MIN_PEER_INFO, "health.peers")?;
+        let mut peers = Vec::with_capacity(n);
+        for _ in 0..n {
+            peers.push(read_peer(rd)?);
+        }
         Ok(HealthInfo {
+            region,
+            role,
+            peers,
             epoch: rd.u64("health.epoch")?,
             queue_depth: rd.usize_("health.queue_depth")?,
             writes_applied: rd.u64("health.writes_applied")?,
@@ -839,6 +936,13 @@ mod bin {
             ERR_REPLAY_FAILED => Ok(IrisError::ReplayFailed {
                 detail: rd.string("error.detail")?,
             }),
+            ERR_TIMEOUT => Ok(IrisError::Timeout {
+                what: rd.string("error.what")?,
+                after_ms: rd.u64("error.after_ms")?,
+            }),
+            ERR_NOT_PRIMARY => Ok(IrisError::NotPrimary {
+                region: rd.u64("error.region")?,
+            }),
             other => Err(decode_err(format!("unknown binary error tag {other}"))),
         }
     }
@@ -850,6 +954,7 @@ mod bin {
             RESP_PATH => Ok(Response::Path(read_path(rd)?)),
             RESP_DEMAND_ACCEPTED => Ok(Response::DemandAccepted {
                 queue_depth: rd.usize_("demand_accepted.queue_depth")?,
+                epoch: rd.u64("demand_accepted.epoch")?,
             }),
             RESP_RECOVERY => Ok(Response::Recovery(read_recovery(rd)?)),
             RESP_CUT_ALREADY_ACTIVE => Ok(Response::CutAlreadyActive {
@@ -862,6 +967,10 @@ mod bin {
             RESP_TRACE => Ok(Response::Trace(read_trace_dump(rd)?)),
             RESP_HELLO_ACK => Ok(Response::HelloAck {
                 codec: rd.string("hello_ack.codec")?,
+            }),
+            RESP_REPLICATE_ACK => Ok(Response::ReplicateAck {
+                epoch: rd.u64("replicate_ack.epoch")?,
+                state_crc: rd.u32("replicate_ack.state_crc")?,
             }),
             RESP_ERROR => Ok(Response::Error(read_error(rd)?)),
             other => Err(decode_err(format!("unknown binary response tag {other}"))),
@@ -891,6 +1000,19 @@ mod tests {
             Request::Hello {
                 codec: "binary".into(),
             },
+            Request::GetPlanAt {
+                min_epoch: 8,
+                wait_ms: 250,
+            },
+            Request::Replicate {
+                source_region: 1,
+                batch: "{\"epoch\":9,\"updates\":[]}".into(),
+            },
+            Request::SyncState {
+                source_region: 1,
+                state: "{\"epoch\":9}".into(),
+            },
+            Request::Promote,
         ]
     }
 
@@ -939,7 +1061,14 @@ mod tests {
                 circuits: 2,
                 epoch: 4,
             }),
-            Response::DemandAccepted { queue_depth: 17 },
+            Response::DemandAccepted {
+                queue_depth: 17,
+                epoch: 5,
+            },
+            Response::ReplicateAck {
+                epoch: 5,
+                state_crc: 0x1234_5678,
+            },
             Response::Recovery(RecoverySummary {
                 cuts: vec![4],
                 within_tolerance: true,
@@ -954,6 +1083,28 @@ mod tests {
                 active_cuts: vec![2, 4],
             },
             Response::Health(HealthInfo {
+                region: 2,
+                role: "follower".into(),
+                peers: vec![
+                    PeerInfo {
+                        region: 0,
+                        addr: "127.0.0.1:4040".into(),
+                        connected: true,
+                        acked_epoch: 7,
+                        lag_epochs: 0,
+                        lag_ms: 0.0,
+                        reconnects: 1,
+                    },
+                    PeerInfo {
+                        region: 3,
+                        addr: "127.0.0.1:4042".into(),
+                        connected: false,
+                        acked_epoch: 4,
+                        lag_epochs: 3,
+                        lag_ms: 9.0,
+                        reconnects: 0,
+                    },
+                ],
                 epoch: 7,
                 queue_depth: 0,
                 writes_applied: 12,
@@ -1044,6 +1195,11 @@ mod tests {
                 detail: "crc".into(),
             },
             IrisError::ReplayFailed { detail: "x".into() },
+            IrisError::Timeout {
+                what: "probe".into(),
+                after_ms: 250,
+            },
+            IrisError::NotPrimary { region: 2 },
         ]
     }
 
@@ -1079,7 +1235,10 @@ mod tests {
         let req = Request::QueryPath { a: 1, b: 2 };
         let bytes = encode_request(Codec::Json, &req).unwrap();
         assert_eq!(crate::api::decode_request(&bytes).unwrap(), req);
-        let resp = Response::DemandAccepted { queue_depth: 1 };
+        let resp = Response::DemandAccepted {
+            queue_depth: 1,
+            epoch: 2,
+        };
         let bytes = encode_response(Codec::Json, &resp).unwrap();
         assert_eq!(crate::api::decode_response(&bytes).unwrap(), resp);
     }
@@ -1152,7 +1311,10 @@ mod tests {
     #[test]
     fn error_classification_is_tag_based() {
         let err = Response::Error(IrisError::Overloaded { retry_after_ms: 5 });
-        let ok = Response::DemandAccepted { queue_depth: 0 };
+        let ok = Response::DemandAccepted {
+            queue_depth: 0,
+            epoch: 0,
+        };
         for codec in [Codec::Json, Codec::Binary] {
             let e = encode_response(codec, &err).unwrap();
             let o = encode_response(codec, &ok).unwrap();
@@ -1173,7 +1335,10 @@ mod tests {
     #[test]
     fn encode_into_appends_without_clobbering() {
         let mut buf = vec![0xAA, 0xBB];
-        let resp = Response::DemandAccepted { queue_depth: 9 };
+        let resp = Response::DemandAccepted {
+            queue_depth: 9,
+            epoch: 3,
+        };
         encode_response_into(Codec::Binary, &resp, &mut buf).unwrap();
         assert_eq!(&buf[..2], &[0xAA, 0xBB]);
         assert_eq!(decode_response(Codec::Binary, &buf[2..]).unwrap(), resp);

@@ -201,6 +201,70 @@ pub struct LoadReport {
     pub measured: MeasuredStats,
 }
 
+/// A seeded geo-distributed user population for federation runs: every
+/// simulated user gets a home region (drawn from per-region weights)
+/// plus an affinity-ordered region preference — home first, then the
+/// remaining regions in a deterministic rotation — which is exactly the
+/// "nearest first" endpoint order a [`crate::client::RegionRouter`]
+/// wants. A pure function of the seed, so the federation chaos sweep
+/// inherits its determinism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeoPopulation {
+    /// Region count.
+    pub regions: usize,
+    /// Each user's home region index, `0..regions`.
+    pub homes: Vec<usize>,
+}
+
+impl GeoPopulation {
+    /// Draw `users` home regions from `weights` (one non-negative
+    /// weight per region; uniform when they sum to zero) with the given
+    /// seed.
+    #[must_use]
+    pub fn new(seed: u64, users: usize, weights: &[f64]) -> Self {
+        let regions = weights.len().max(1);
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6E07_A11D);
+        let homes = (0..users)
+            .map(|_| {
+                if total <= 0.0 {
+                    return rng.random_range(0..regions);
+                }
+                let mut roll: f64 = rng.random_range(0.0..total);
+                for (idx, w) in weights.iter().enumerate() {
+                    roll -= w.max(0.0);
+                    if roll < 0.0 {
+                        return idx;
+                    }
+                }
+                regions - 1
+            })
+            .collect();
+        Self { regions, homes }
+    }
+
+    /// User `user`'s region preference order: home first, then the
+    /// remaining regions rotated from the home — the deterministic
+    /// stand-in for geographic proximity.
+    #[must_use]
+    pub fn preference(&self, user: usize) -> Vec<usize> {
+        let home = self.homes.get(user).copied().unwrap_or(0);
+        (0..self.regions)
+            .map(|step| (home + step) % self.regions)
+            .collect()
+    }
+
+    /// Users homed per region.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.regions];
+        for &home in &self.homes {
+            counts[home] += 1;
+        }
+        counts
+    }
+}
+
 /// One completed request's measurement.
 struct Sample {
     op: &'static str,
@@ -941,6 +1005,47 @@ pub fn write_results(results: &LoadResults, path: &str) -> IrisResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn geo_population_is_seeded_and_weighted() {
+        let weights = [5.0, 3.0, 2.0];
+        let a = GeoPopulation::new(42, 1000, &weights);
+        let b = GeoPopulation::new(42, 1000, &weights);
+        assert_eq!(a, b, "same seed, same homes");
+        assert_ne!(
+            a,
+            GeoPopulation::new(43, 1000, &weights),
+            "different seed, different homes"
+        );
+        let counts = a.counts();
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(
+            counts[0] > counts[2],
+            "the heaviest region must attract the most users: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn geo_preference_is_a_home_first_rotation() {
+        let pop = GeoPopulation::new(7, 20, &[1.0, 1.0, 1.0, 1.0]);
+        for user in 0..20 {
+            let pref = pop.preference(user);
+            assert_eq!(pref[0], pop.homes[user], "home region comes first");
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "preference covers every region");
+        }
+        // Out-of-range users still get a usable order.
+        assert_eq!(pop.preference(999)[0], 0);
+    }
+
+    #[test]
+    fn geo_population_handles_degenerate_weights() {
+        let uniform = GeoPopulation::new(9, 300, &[0.0, 0.0]);
+        assert_eq!(uniform.counts().iter().sum::<u64>(), 300);
+        let single = GeoPopulation::new(9, 10, &[1.0]);
+        assert_eq!(single.counts(), vec![10]);
+    }
 
     #[test]
     fn sequences_are_seed_deterministic_and_partition_updates() {

@@ -256,6 +256,10 @@ pub struct BatchResult {
     pub snapshot: Option<StateSnapshot>,
     /// Per-cut-operation outcomes, in submission order.
     pub cut_replies: Vec<CutReply>,
+    /// The durable record this batch produced (`Some` iff a snapshot
+    /// was), whether or not a WAL is attached — the unit the federation
+    /// layer ships to follower regions.
+    pub batch: Option<WalBatch>,
 }
 
 /// The single writer's state: region, controller, scenario engine, the
@@ -437,21 +441,22 @@ impl<'r> ControlMachine<'r> {
             return Ok(BatchResult {
                 snapshot: None,
                 cut_replies,
+                batch: None,
             });
         }
 
         let epoch = prev.epoch + 1;
+        let record = WalBatch {
+            epoch,
+            updates: updates
+                .iter()
+                .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
+                .collect(),
+            cuts: cut_records,
+            writes_applied: writes_applied_now,
+            coalesced: coalesced_now,
+        };
         if let Some(wal) = &mut self.wal {
-            let record = WalBatch {
-                epoch,
-                updates: updates
-                    .iter()
-                    .map(|(&(a, b), &circuits)| AllocEntry { a, b, circuits })
-                    .collect(),
-                cuts: cut_records,
-                writes_applied: writes_applied_now,
-                coalesced: coalesced_now,
-            };
             if self.deferred_sync {
                 wal.append_nosync(&record)?;
             } else {
@@ -493,6 +498,163 @@ impl<'r> ControlMachine<'r> {
         Ok(BatchResult {
             snapshot: Some(next),
             cut_replies,
+            batch: Some(record),
         })
+    }
+
+    /// Apply one batch shipped from a primary region — the follower half
+    /// of WAL-shipping replication. The batch is replayed exactly the
+    /// way [`recover`] replays a WAL record: updates reconfigure to the
+    /// merged absolute target, cuts re-run recovery against the stored
+    /// *cumulative* cut set, and the stored [`RecoverySummary`] is
+    /// adopted verbatim rather than recomputed — so the follower's next
+    /// snapshot is byte-identical to the primary's at the same epoch.
+    /// The record is also appended to the follower's own WAL (honouring
+    /// deferred sync), keeping its durable log byte-compatible with the
+    /// primary's.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::ReplayFailed`] if `batch.epoch` does not extend the
+    /// epoch chain (`prev.epoch + 1`) or a cut cannot be re-applied;
+    /// [`IrisError::Io`] / [`IrisError::Decode`] on WAL failure.
+    pub fn apply_replicated(
+        &mut self,
+        prev: &StateSnapshot,
+        batch: &WalBatch,
+    ) -> IrisResult<StateSnapshot> {
+        if batch.epoch != prev.epoch + 1 {
+            return Err(IrisError::ReplayFailed {
+                detail: format!(
+                    "replicated batch epoch {} does not follow local epoch {} (stream gap)",
+                    batch.epoch, prev.epoch
+                ),
+            });
+        }
+        let mut last_recovery = prev.last_recovery.clone();
+        if !batch.updates.is_empty() {
+            let mut target = self.controller.allocation();
+            for e in &batch.updates {
+                if e.circuits == 0 {
+                    target.remove(&(e.a, e.b));
+                } else {
+                    target.insert((e.a, e.b), e.circuits);
+                }
+            }
+            self.controller.reconfigure(&target);
+        }
+        for cut in &batch.cuts {
+            self.controller
+                .handle_fiber_cut(self.region, self.goals, self.provisioning, &cut.cuts)
+                .map_err(|e| IrisError::ReplayFailed {
+                    detail: format!(
+                        "cannot re-apply replicated cut {:?} at epoch {}: {e}",
+                        cut.cuts, batch.epoch
+                    ),
+                })?;
+            self.active_cuts = cut.cuts.clone();
+            last_recovery = Some(cut.recovery.clone());
+        }
+        if let Some(wal) = &mut self.wal {
+            if self.deferred_sync {
+                wal.append_nosync(batch)?;
+            } else {
+                wal.append(batch)?;
+            }
+        }
+        let mut paths = BTreeMap::new();
+        self.engine
+            .for_scenarios(std::slice::from_ref(&self.active_cuts), |_, view| {
+                for p in view.paths() {
+                    paths.insert(
+                        (p.a, p.b),
+                        PairPath {
+                            nodes: p.nodes.clone(),
+                            edges: p.edges.clone(),
+                            length_km: p.length_km,
+                        },
+                    );
+                }
+            });
+        let next = StateSnapshot {
+            epoch: batch.epoch,
+            allocation: self.controller.allocation(),
+            paths,
+            active_cuts: self.active_cuts.clone(),
+            quarantined: self.controller.quarantined(),
+            writes_applied: prev.writes_applied + batch.writes_applied,
+            coalesced: prev.coalesced + batch.coalesced,
+            last_recovery,
+        };
+        if let Some(wal) = &mut self.wal {
+            if self.snapshot_every > 0 && wal.batches_since_compaction() >= self.snapshot_every {
+                wal.compact(&PersistedSnapshot::from_state(&next))?;
+            }
+        }
+        Ok(next)
+    }
+
+    /// Adopt a full persisted snapshot shipped by a primary — the resync
+    /// path for a follower that fell behind the primary's in-memory
+    /// replication window. Rebuilds controller state exactly the way
+    /// [`recover`] restores a compacted snapshot (reconfigure to its
+    /// allocation, re-derive cut state from the cumulative set, carry
+    /// stored counters and `last_recovery` verbatim), compacts the
+    /// follower's own WAL to the adopted state, and returns the snapshot
+    /// to publish. A snapshot at or below the local epoch is rejected —
+    /// adoption never rewinds the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::ReplayFailed`] if the snapshot does not advance the
+    /// local epoch; controller errors re-applying the cut set;
+    /// [`IrisError::Io`] / [`IrisError::Decode`] on WAL failure.
+    pub fn adopt_state(
+        &mut self,
+        prev: &StateSnapshot,
+        snap: &PersistedSnapshot,
+    ) -> IrisResult<StateSnapshot> {
+        if snap.epoch <= prev.epoch && prev.epoch != 0 {
+            return Err(IrisError::ReplayFailed {
+                detail: format!(
+                    "sync-state epoch {} does not advance local epoch {}",
+                    snap.epoch, prev.epoch
+                ),
+            });
+        }
+        let target: iris_control::controller::Allocation = snap
+            .allocation
+            .iter()
+            .map(|e| ((e.a, e.b), e.circuits))
+            .collect();
+        self.controller.reconfigure(&target);
+        if !snap.active_cuts.is_empty() {
+            self.controller
+                .handle_fiber_cut(
+                    self.region,
+                    self.goals,
+                    self.provisioning,
+                    &snap.active_cuts,
+                )
+                .map_err(|e| IrisError::ReplayFailed {
+                    detail: format!("cannot re-apply cut set {:?}: {e}", snap.active_cuts),
+                })?;
+        }
+        self.active_cuts = snap.active_cuts.clone();
+        let paths = snapshot_paths(self.region, self.goals, snap.epoch, &self.active_cuts);
+        let next = StateSnapshot {
+            epoch: snap.epoch,
+            allocation: self.controller.allocation(),
+            paths,
+            active_cuts: self.active_cuts.clone(),
+            quarantined: snap.quarantined.clone(),
+            writes_applied: snap.writes_applied,
+            coalesced: snap.coalesced,
+            last_recovery: snap.last_recovery.clone(),
+        };
+        if let Some(wal) = &mut self.wal {
+            wal.compact(snap)?;
+        }
+        Ok(next)
     }
 }

@@ -11,7 +11,7 @@
 //! Reads stay epoch-published: `GetPlan` and `GetTopology` replies are
 //! **pre-serialized once per epoch** (in both wire codecs, with the
 //! length prefix already attached), so serving one is a memcpy from the
-//! current [`Published`] buffer. `QueryPath` / `Health` are answered
+//! current `Published` buffer. `QueryPath` / `Health` are answered
 //! from the same immutable snapshot `Arc`.
 //!
 //! Writes flow through the bounded queue to the single mutator thread
@@ -29,14 +29,15 @@
 //! sent in the old codec and everything after it in the new one.
 
 use crate::api::{
-    AllocEntry, HealthInfo, PathInfo, PlanSummary, Request, Response, SlowRequestInfo,
+    AllocEntry, HealthInfo, PathInfo, PeerInfo, PlanSummary, Request, Response, SlowRequestInfo,
     TopologySummary, TraceDumpInfo, TraceEventInfo,
 };
+use crate::client::{Backoff, ServiceClient};
 use crate::codec::{self, Codec};
 use crate::frame::{parse_frame, MAX_FRAME_LEN};
 use crate::recovery::{self, ControlMachine, CutReply, ReplayStats};
 use crate::state::{SnapshotCell, StateSnapshot};
-use crate::wal::{DurableState, Wal, WalStats, WalSyncHandle};
+use crate::wal::{DurableState, PersistedSnapshot, Wal, WalBatch, WalStats, WalSyncHandle};
 use iris_control::Controller;
 use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::Region;
@@ -44,7 +45,7 @@ use iris_netgraph::EdgeId;
 use iris_planner::{plan_iris, DesignGoals};
 use iris_poll::{Interest, Poller, Waker};
 use iris_telemetry::{labeled, Counter, Gauge, Histogram};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,6 +65,12 @@ const READ_CHUNK: usize = 64 * 1024;
 /// shard siblings after this many bytes (level-triggered readiness
 /// re-reports the rest immediately).
 const READ_BUDGET: usize = 256 * 1024;
+/// Published batches the primary keeps in memory for incremental
+/// WAL-shipping; followers further behind resync via a full
+/// [`Request::SyncState`] snapshot instead.
+const REPL_LOG_CAP: usize = 1024;
+/// Ceiling of the acceptor's transient-error backoff, ms.
+const ACCEPT_BACKOFF_CAP_MS: u64 = 100;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -101,6 +108,16 @@ pub struct ServiceConfig {
     /// Event-loop shards (worker threads multiplexing connections).
     /// 0 picks one per available core, clamped to 1..=8.
     pub shards: usize,
+    /// This instance's region id in a federation (0 for a standalone
+    /// server).
+    pub region_id: u64,
+    /// Peer region addresses this instance replicates to while it is
+    /// the primary. Empty for a standalone server.
+    pub peers: Vec<String>,
+    /// Start as a follower: local writes are rejected with
+    /// [`IrisError::NotPrimary`] and state arrives via replication until
+    /// a [`Request::Promote`] flips the role.
+    pub follower: bool,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +133,9 @@ impl Default for ServiceConfig {
             trace: true,
             slow_ms: 250.0,
             shards: 0,
+            region_id: 0,
+            peers: Vec::new(),
+            follower: false,
         }
     }
 }
@@ -139,9 +159,10 @@ impl ServiceConfig {
     }
 }
 
-/// Where a deferred `ReportFiberCut` acknowledgement must be routed
-/// once its batch is durable: shard + connection slot + a generation
-/// fence (slots are recycled) + the response's sequence number.
+/// Where a deferred acknowledgement (`ReportFiberCut`, `UpdateDemand`,
+/// `Replicate`, `SyncState`) must be routed once its batch is durable:
+/// shard + connection slot + a generation fence (slots are recycled) +
+/// the response's sequence number.
 #[derive(Debug, Clone, Copy)]
 struct CutDest {
     shard: usize,
@@ -156,6 +177,7 @@ enum WriteOp {
         a: usize,
         b: usize,
         circuits: u32,
+        dest: CutDest,
         /// When the op entered the queue (feeds the batch trace's
         /// queue-wait span).
         enqueued: Instant,
@@ -165,14 +187,98 @@ enum WriteOp {
         dest: CutDest,
         enqueued: Instant,
     },
+    /// One WAL batch shipped from a primary region (serialized
+    /// [`WalBatch`] JSON), applied via
+    /// [`ControlMachine::apply_replicated`].
+    Replicate {
+        batch_json: String,
+        dest: CutDest,
+        enqueued: Instant,
+    },
+    /// A full persisted snapshot shipped from a primary region
+    /// (serialized [`PersistedSnapshot`] JSON), adopted via
+    /// [`ControlMachine::adopt_state`].
+    SyncState {
+        state_json: String,
+        dest: CutDest,
+        enqueued: Instant,
+    },
 }
 
 impl WriteOp {
     fn enqueued(&self) -> Instant {
         match self {
-            WriteOp::Update { enqueued, .. } | WriteOp::Cut { enqueued, .. } => *enqueued,
+            WriteOp::Update { enqueued, .. }
+            | WriteOp::Cut { enqueued, .. }
+            | WriteOp::Replicate { enqueued, .. }
+            | WriteOp::SyncState { enqueued, .. } => *enqueued,
         }
     }
+}
+
+/// One acknowledgement held back until its batch's group commit: the
+/// syncer routes these to their shards only after the fsync, so every
+/// ack a client sees describes durable state.
+enum DeferredReply {
+    /// A fiber-cut outcome.
+    Cut(CutReply),
+    /// A demand update became durable and visible at `epoch` — the
+    /// read-your-writes fence a client hands to `GetPlanAt`.
+    Demand { epoch: u64 },
+    /// A replicated batch (or adopted snapshot) committed at `epoch`
+    /// with the follower snapshot fingerprinting to `state_crc`.
+    Replicated {
+        epoch: u64,
+        state_crc: u32,
+        op: &'static str,
+    },
+    /// The operation failed (WAL error, epoch-chain gap, ...).
+    Failed { op: &'static str, err: IrisError },
+}
+
+impl DeferredReply {
+    /// Telemetry label of the operation being acknowledged.
+    fn op(&self) -> &'static str {
+        match self {
+            DeferredReply::Cut(_) => "report_fiber_cut",
+            DeferredReply::Demand { .. } => "update_demand",
+            DeferredReply::Replicated { op, .. } | DeferredReply::Failed { op, .. } => op,
+        }
+    }
+}
+
+/// Payload selector for [`ShardRunner::defer_repl_write`].
+enum WriteOpKind {
+    /// Serialized [`WalBatch`] JSON.
+    Replicate(String),
+    /// Serialized [`PersistedSnapshot`] JSON.
+    SyncState(String),
+}
+
+/// One published batch retained for incremental replication: the epoch,
+/// the canonical-state CRC a correct follower must report back, and the
+/// serialized [`WalBatch`].
+#[derive(Clone)]
+struct ReplEntry {
+    epoch: u64,
+    state_crc: u32,
+    batch_json: Arc<String>,
+}
+
+/// What the primary knows about one replication peer; written by the
+/// peer's replicator thread, read by `Health` and the chaos harness.
+struct PeerState {
+    addr: String,
+    /// The peer's region id as learned from its `Health` reply (0 until
+    /// the first successful probe).
+    region: AtomicU64,
+    acked_epoch: AtomicU64,
+    connected: AtomicBool,
+    reconnects: AtomicU64,
+    /// Partition-simulation switch: while set, the replicator drops the
+    /// connection and ships nothing, so the peer lags exactly like one
+    /// behind a severed inter-region link.
+    paused: AtomicBool,
 }
 
 /// Codec-indexed slot (`[Json, Binary]`) for pre-serialized buffers.
@@ -276,6 +382,46 @@ struct Shared {
     wal_records: AtomicU64,
     wal_bytes: AtomicU64,
     last_fsync_us: AtomicU64,
+    /// This instance's region id.
+    region: u64,
+    /// Role switch: `true` accepts local writes and replicates out,
+    /// `false` rejects them with `NotPrimary` and applies `Replicate`
+    /// frames instead. Flipped by [`Request::Promote`].
+    is_primary: AtomicBool,
+    /// Replication peers (config order).
+    peers: Vec<Arc<PeerState>>,
+    /// The bounded in-memory window of published batches the replicator
+    /// threads ship from, newest at the back.
+    repl_log: Mutex<VecDeque<ReplEntry>>,
+    /// The coalesce window, used to convert replication lag from epochs
+    /// into a deterministic modeled milliseconds figure.
+    coalesce_window_ms: u64,
+}
+
+impl Shared {
+    /// Per-peer replication status rows for `Health` and `iris top`.
+    /// Lag is measured in epochs (exact and deterministic); the modeled
+    /// ms figure assumes one batch per coalesce window plus 1 ms of
+    /// shipping.
+    fn peer_infos(&self) -> Vec<PeerInfo> {
+        let epoch = self.cell.load().epoch;
+        self.peers
+            .iter()
+            .map(|p| {
+                let acked = p.acked_epoch.load(Ordering::SeqCst);
+                let lag = epoch.saturating_sub(acked);
+                PeerInfo {
+                    region: p.region.load(Ordering::SeqCst),
+                    addr: p.addr.clone(),
+                    connected: p.connected.load(Ordering::SeqCst),
+                    acked_epoch: acked,
+                    lag_epochs: lag,
+                    lag_ms: lag as f64 * (self.coalesce_window_ms + 1) as f64,
+                    reconnects: p.reconnects.load(Ordering::SeqCst),
+                }
+            })
+            .collect()
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -288,6 +434,7 @@ pub struct ServiceHandle {
     shards: Vec<JoinHandle<()>>,
     mutator: Option<JoinHandle<()>>,
     syncer: Option<JoinHandle<()>>,
+    replicators: Vec<JoinHandle<()>>,
 }
 
 impl ServiceHandle {
@@ -334,12 +481,51 @@ impl ServiceHandle {
         if let Some(h) = self.syncer.take() {
             let _ = h.join();
         }
+        for h in self.replicators.drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Whether shutdown has been requested.
     #[must_use]
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// This instance's region id.
+    #[must_use]
+    pub fn region_id(&self) -> u64 {
+        self.shared.region
+    }
+
+    /// Whether this instance currently accepts local writes (primary)
+    /// or only replicated state (follower).
+    #[must_use]
+    pub fn is_primary(&self) -> bool {
+        self.shared.is_primary.load(Ordering::SeqCst)
+    }
+
+    /// Promote this instance to primary in-process (the wire-level
+    /// equivalent is [`Request::Promote`]). Idempotent.
+    pub fn promote(&self) {
+        self.shared.is_primary.store(true, Ordering::SeqCst);
+    }
+
+    /// Per-peer replication status (same rows `Health` reports).
+    #[must_use]
+    pub fn peer_infos(&self) -> Vec<PeerInfo> {
+        self.shared.peer_infos()
+    }
+
+    /// Simulate (or heal) a network partition towards `addr`: while
+    /// paused, the peer's replicator drops its connection and ships
+    /// nothing. Returns whether a peer with that address exists.
+    pub fn set_peer_paused(&self, addr: &str, paused: bool) -> bool {
+        let Some(peer) = self.shared.peers.iter().find(|p| p.addr == addr) else {
+            return false;
+        };
+        peer.paused.store(paused, Ordering::SeqCst);
+        true
     }
 }
 
@@ -414,6 +600,20 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         region.map.duct_count(),
         Arc::clone(&boot_snap),
     )?;
+    let peers: Vec<Arc<PeerState>> = config
+        .peers
+        .iter()
+        .map(|addr| {
+            Arc::new(PeerState {
+                addr: addr.clone(),
+                region: AtomicU64::new(0),
+                acked_epoch: AtomicU64::new(0),
+                connected: AtomicBool::new(false),
+                reconnects: AtomicU64::new(0),
+                paused: AtomicBool::new(false),
+            })
+        })
+        .collect();
     let shared = Arc::new(Shared {
         cell: SnapshotCell::new((*boot_snap).clone()),
         published: RwLock::new(Arc::new(published)),
@@ -429,6 +629,11 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         wal_records: AtomicU64::new(boot_wal_stats.records),
         wal_bytes: AtomicU64::new(boot_wal_stats.bytes),
         last_fsync_us: AtomicU64::new(0),
+        region: config.region_id,
+        is_primary: AtomicBool::new(!config.follower),
+        peers,
+        repl_log: Mutex::new(VecDeque::new()),
+        coalesce_window_ms: config.coalesce_window_ms,
     });
 
     let io_err = |what: &str, e: std::io::Error| IrisError::Io {
@@ -442,7 +647,7 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
     let mut shard_parts = Vec::with_capacity(nshards);
     for _ in 0..nshards {
         let (intake_tx, intake_rx) = mpsc::channel::<TcpStream>();
-        let (done_tx, done_rx) = mpsc::channel::<(CutDest, CutReply)>();
+        let (done_tx, done_rx) = mpsc::channel::<(CutDest, DeferredReply)>();
         let poller = Poller::new().map_err(|e| io_err("poller", e))?;
         let waker = Arc::new(Waker::new().map_err(|e| io_err("waker", e))?);
         intake_txs.push(intake_tx);
@@ -495,6 +700,7 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
             free: Vec::new(),
             next_gen: 0,
             metrics: ShardMetrics::new(id),
+            waits: Vec::new(),
         };
         shards.push(std::thread::spawn(move || runner.run(tick)));
     }
@@ -503,12 +709,29 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         let shared = Arc::clone(&shared);
         let wakers = wakers.clone();
         std::thread::spawn(move || {
+            let accept_errors = iris_telemetry::global().counter("iris_service_accept_errors");
             let mut next = 0usize;
+            let mut backoff_ms = 1u64;
             for conn in listener.incoming() {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
+                let stream = match conn {
+                    Ok(stream) => {
+                        backoff_ms = 1;
+                        stream
+                    }
+                    Err(_) => {
+                        // Transient accept failures (EMFILE, ECONNABORTED,
+                        // EINTR, ...) must not tear down the listener:
+                        // count them and back off so an fd-exhausted
+                        // process does not spin, then keep accepting.
+                        accept_errors.inc();
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
+                        backoff_ms = (backoff_ms * 2).min(ACCEPT_BACKOFF_CAP_MS);
+                        continue;
+                    }
+                };
                 let shard = next % intake_txs.len();
                 next += 1;
                 if intake_txs[shard].send(stream).is_err() {
@@ -519,6 +742,17 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         })
     };
 
+    let replicators = shared
+        .peers
+        .iter()
+        .enumerate()
+        .map(|(idx, peer)| {
+            let shared = Arc::clone(&shared);
+            let peer = Arc::clone(peer);
+            std::thread::spawn(move || replicator_loop(&shared, &peer, idx))
+        })
+        .collect();
+
     Ok(ServiceHandle {
         local_addr,
         shared,
@@ -528,14 +762,188 @@ pub fn serve(region: Region, config: &ServiceConfig) -> IrisResult<ServiceHandle
         shards,
         mutator: Some(mutator),
         syncer: Some(syncer),
+        replicators,
     })
+}
+
+/// Sleep up to `ms` in short slices, returning early (false) when
+/// shutdown is requested — keeps replicator backoffs from delaying
+/// [`ServiceHandle::shutdown`].
+fn nap(shared: &Shared, ms: u64) -> bool {
+    let mut left = ms;
+    while left > 0 {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let step = left.min(20);
+        std::thread::sleep(Duration::from_millis(step));
+        left -= step;
+    }
+    !shared.shutdown.load(Ordering::SeqCst)
+}
+
+/// One peer's replication pump, running for the server's lifetime and
+/// active only while this instance is primary and the peer is not
+/// paused (partitioned).
+///
+/// Per session: connect (seeded decorrelated-jitter backoff between
+/// attempts), negotiate the binary codec, probe `Health` to learn the
+/// follower's region and resume epoch, then ship batches from the
+/// in-memory replication window in epoch order, checking every
+/// `ReplicateAck` CRC against the primary's own canonical-state CRC at
+/// that epoch. A follower behind the window (or answering with an
+/// epoch-chain gap or CRC divergence) is resynced with one full
+/// `SyncState` snapshot, then streaming resumes.
+fn replicator_loop(shared: &Shared, peer: &PeerState, idx: usize) {
+    let telemetry = iris_telemetry::global();
+    let ship_c = telemetry.counter(&labeled(
+        "iris_service_replicated_batches_total",
+        "peer",
+        &peer.addr,
+    ));
+    let sync_c = telemetry.counter(&labeled(
+        "iris_service_state_syncs_total",
+        "peer",
+        &peer.addr,
+    ));
+    let crc_c = telemetry.counter("iris_service_replication_crc_mismatch_total");
+    let mut backoff = Backoff::new(5, 500, 0x5EED_u64 ^ (shared.region << 8) ^ idx as u64);
+
+    'session: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !shared.is_primary.load(Ordering::SeqCst) || peer.paused.load(Ordering::SeqCst) {
+            peer.connected.store(false, Ordering::SeqCst);
+            if !nap(shared, 5) {
+                return;
+            }
+            continue 'session;
+        }
+        let mut client = match ServiceClient::connect(&peer.addr) {
+            Ok(c) => c,
+            Err(_) => {
+                peer.reconnects.fetch_add(1, Ordering::SeqCst);
+                if !nap(shared, backoff.next_delay_ms()) {
+                    return;
+                }
+                continue 'session;
+            }
+        };
+        // A hung or partitioned follower must not wedge the pump.
+        let _ = client.set_deadline(Some(Duration::from_millis(2000)));
+        let _ = client.hello(Codec::Binary);
+        let follower = match client.call(&Request::Health) {
+            Ok(Response::Health(h)) => h,
+            _ => {
+                peer.reconnects.fetch_add(1, Ordering::SeqCst);
+                if !nap(shared, backoff.next_delay_ms()) {
+                    return;
+                }
+                continue 'session;
+            }
+        };
+        peer.region.store(follower.region, Ordering::SeqCst);
+        peer.acked_epoch.store(follower.epoch, Ordering::SeqCst);
+        peer.connected.store(true, Ordering::SeqCst);
+        let mut next_epoch = follower.epoch + 1;
+
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if !shared.is_primary.load(Ordering::SeqCst) || peer.paused.load(Ordering::SeqCst) {
+                peer.connected.store(false, Ordering::SeqCst);
+                continue 'session;
+            }
+            let local_epoch = shared.cell.load().epoch;
+            if next_epoch > local_epoch {
+                // Caught up; poll for the next publish.
+                if !nap(shared, 1) {
+                    return;
+                }
+                continue;
+            }
+            let entry = {
+                let log = shared.repl_log.lock();
+                log.iter().find(|e| e.epoch == next_epoch).cloned()
+            };
+            let mut need_sync = entry.is_none();
+            if let Some(entry) = entry {
+                match client.call_retrying(
+                    &Request::Replicate {
+                        source_region: shared.region,
+                        batch: (*entry.batch_json).clone(),
+                    },
+                    4,
+                ) {
+                    Ok(Response::ReplicateAck { epoch, state_crc }) => {
+                        if state_crc == entry.state_crc {
+                            ship_c.inc();
+                            peer.acked_epoch.store(epoch, Ordering::SeqCst);
+                            next_epoch = epoch + 1;
+                            continue;
+                        }
+                        // The follower committed the batch but its state
+                        // diverged: fall back to a full snapshot.
+                        crc_c.inc();
+                        need_sync = true;
+                    }
+                    Err(IrisError::ReplayFailed { .. }) => need_sync = true,
+                    Ok(_) | Err(_) => {
+                        peer.connected.store(false, Ordering::SeqCst);
+                        peer.reconnects.fetch_add(1, Ordering::SeqCst);
+                        if !nap(shared, backoff.next_delay_ms()) {
+                            return;
+                        }
+                        continue 'session;
+                    }
+                }
+            }
+            if need_sync {
+                let snap = shared.cell.load();
+                let persisted = PersistedSnapshot::from_state(&snap);
+                let Ok(state_json) = serde_json::to_string(&persisted) else {
+                    continue 'session;
+                };
+                match client.call_retrying(
+                    &Request::SyncState {
+                        source_region: shared.region,
+                        state: state_json,
+                    },
+                    4,
+                ) {
+                    Ok(Response::ReplicateAck { epoch, state_crc }) => {
+                        sync_c.inc();
+                        if state_crc != snap.state_crc() {
+                            crc_c.inc();
+                        }
+                        peer.acked_epoch.store(epoch, Ordering::SeqCst);
+                        next_epoch = epoch + 1;
+                    }
+                    _ => {
+                        peer.connected.store(false, Ordering::SeqCst);
+                        peer.reconnects.fetch_add(1, Ordering::SeqCst);
+                        if !nap(shared, backoff.next_delay_ms()) {
+                            return;
+                        }
+                        continue 'session;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One applied batch handed from the mutator to the syncer for group
 /// commit: fsync (if a record was appended), publish, route cut acks.
 struct SyncMsg {
     snapshot: Option<Arc<StateSnapshot>>,
-    cut_replies: Vec<(CutDest, CutReply)>,
+    replies: Vec<(CutDest, DeferredReply)>,
+    /// The batch rendered for the replication window (primary-originated
+    /// and replicated batches both land here, so a freshly promoted
+    /// follower can ship incrementally).
+    repl_entry: Option<ReplEntry>,
     /// Whether this batch appended a WAL record the group fsync must
     /// cover.
     appended: bool,
@@ -593,90 +1001,266 @@ fn mutator_loop(
             batch.push(op);
         }
         let drained = Instant::now();
-        let batch_len = batch.len();
 
-        // Coalesce: only the last UpdateDemand per pair survives.
+        // Partition the drain: local ops coalesce into one batch, while
+        // replication ops apply standalone in arrival order. A server
+        // only ever sees one kind per drain in practice — shards reject
+        // local writes on a follower and `Replicate` frames on a
+        // primary — so the partition does not reorder anything a client
+        // can observe.
         let mut updates: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        let mut update_dests: Vec<CutDest> = Vec::new();
         let mut cuts_ops: Vec<(Vec<EdgeId>, CutDest)> = Vec::new();
+        let mut repl_ops: Vec<WriteOp> = Vec::new();
         let mut coalesced_now = 0u64;
+        let mut local_len = 0usize;
         for op in batch {
             match op {
-                WriteOp::Update { a, b, circuits, .. } => {
+                WriteOp::Update {
+                    a,
+                    b,
+                    circuits,
+                    dest,
+                    ..
+                } => {
                     if updates.insert((a, b), circuits).is_some() {
                         coalesced_now += 1;
                     }
+                    update_dests.push(dest);
+                    local_len += 1;
                 }
-                WriteOp::Cut { cuts, dest, .. } => cuts_ops.push((cuts, dest)),
+                WriteOp::Cut { cuts, dest, .. } => {
+                    cuts_ops.push((cuts, dest));
+                    local_len += 1;
+                }
+                op => repl_ops.push(op),
             }
         }
 
-        // Every batch gets its own trace: the root span covers the
-        // apply path, with queue-wait and coalesce recorded as sibling
-        // windows preceding it. The group fsync + publish land under a
-        // `group_commit` root in the same trace, emitted by the syncer.
-        let batch_trace = iris_telemetry::trace::mint_trace_id();
-        let batch_span = iris_telemetry::trace::root_span(batch_trace, "write_batch");
-        iris_telemetry::trace::emit_window("queue_wait", first_enqueued, popped);
-        iris_telemetry::trace::emit_window("coalesce", popped, drained);
+        if local_len > 0 {
+            // Every batch gets its own trace: the root span covers the
+            // apply path, with queue-wait and coalesce recorded as
+            // sibling windows preceding it. The group fsync + publish
+            // land under a `group_commit` root in the same trace,
+            // emitted by the syncer.
+            let batch_trace = iris_telemetry::trace::mint_trace_id();
+            let batch_span = iris_telemetry::trace::root_span(batch_trace, "write_batch");
+            iris_telemetry::trace::emit_window("queue_wait", first_enqueued, popped);
+            iris_telemetry::trace::emit_window("coalesce", popped, drained);
 
-        let only_cuts: Vec<Vec<EdgeId>> = cuts_ops.iter().map(|(c, _)| c.clone()).collect();
-        match machine.apply_batch(&prev, &updates, coalesced_now, &only_cuts) {
-            Ok(result) => {
-                let snapshot = result.snapshot.map(Arc::new);
-                let applied = snapshot
-                    .as_ref()
-                    .map_or(0, |next| next.writes_applied - prev.writes_applied);
-                if let Some(next) = &snapshot {
-                    prev = Arc::clone(next);
+            let only_cuts: Vec<Vec<EdgeId>> = cuts_ops.iter().map(|(c, _)| c.clone()).collect();
+            match machine.apply_batch(&prev, &updates, coalesced_now, &only_cuts) {
+                Ok(result) => {
+                    let snapshot = result.snapshot.map(Arc::new);
+                    let applied = snapshot
+                        .as_ref()
+                        .map_or(0, |next| next.writes_applied - prev.writes_applied);
+                    // Demand acks carry the epoch their write is
+                    // readable at: the batch's commit epoch, or the
+                    // current one when the whole batch was a no-op.
+                    let ack_epoch = snapshot.as_ref().map_or(prev.epoch, |next| next.epoch);
+                    if let Some(next) = &snapshot {
+                        prev = Arc::clone(next);
+                    }
+                    let repl_entry = match (&snapshot, result.batch) {
+                        (Some(next), Some(record)) => {
+                            serde_json::to_string(&record).ok().map(|json| ReplEntry {
+                                epoch: next.epoch,
+                                state_crc: next.state_crc(),
+                                batch_json: Arc::new(json),
+                            })
+                        }
+                        _ => None,
+                    };
+                    let mut replies: Vec<(CutDest, DeferredReply)> = update_dests
+                        .drain(..)
+                        .map(|dest| (dest, DeferredReply::Demand { epoch: ack_epoch }))
+                        .collect();
+                    replies.extend(
+                        cuts_ops
+                            .drain(..)
+                            .map(|(_, dest)| dest)
+                            .zip(result.cut_replies.into_iter().map(DeferredReply::Cut)),
+                    );
+                    let msg = SyncMsg {
+                        appended: wal_backed && snapshot.is_some(),
+                        snapshot,
+                        replies,
+                        repl_entry,
+                        applied,
+                        coalesced: coalesced_now,
+                        batch_len: local_len,
+                        wal_stats: machine.wal_stats(),
+                        batch_trace,
+                        fatal: false,
+                    };
+                    if sync_tx.send(msg).is_err() {
+                        return;
+                    }
+                    drop(batch_span);
+                    iris_telemetry::trace::note_if_slow(
+                        "write_batch",
+                        popped.elapsed().as_secs_f64() * 1e3,
+                        batch_trace,
+                    );
                 }
-                let msg = SyncMsg {
-                    appended: wal_backed && snapshot.is_some(),
-                    snapshot,
-                    cut_replies: cuts_ops
-                        .into_iter()
-                        .map(|(_, dest)| dest)
-                        .zip(result.cut_replies)
-                        .collect(),
-                    applied,
-                    coalesced: coalesced_now,
-                    batch_len,
-                    wal_stats: machine.wal_stats(),
-                    batch_trace,
-                    fatal: false,
-                };
-                if sync_tx.send(msg).is_err() {
+                Err(e) => {
+                    // The WAL could not be written: accepting more
+                    // writes would let acknowledged state evaporate on
+                    // the next crash, so fail loudly and stop the
+                    // server.
+                    telemetry.counter("iris_service_wal_errors_total").inc();
+                    let mut replies: Vec<(CutDest, DeferredReply)> = update_dests
+                        .drain(..)
+                        .map(|dest| {
+                            (
+                                dest,
+                                DeferredReply::Failed {
+                                    op: "update_demand",
+                                    err: e.clone(),
+                                },
+                            )
+                        })
+                        .collect();
+                    replies.extend(cuts_ops.drain(..).map(|(_, dest)| {
+                        (
+                            dest,
+                            DeferredReply::Failed {
+                                op: "report_fiber_cut",
+                                err: e.clone(),
+                            },
+                        )
+                    }));
+                    let msg = SyncMsg {
+                        snapshot: None,
+                        replies,
+                        repl_entry: None,
+                        appended: false,
+                        applied: 0,
+                        coalesced: 0,
+                        batch_len: local_len,
+                        wal_stats: None,
+                        batch_trace,
+                        fatal: true,
+                    };
+                    let _ = sync_tx.send(msg);
+                    shared.shutdown.store(true, Ordering::SeqCst);
                     return;
                 }
-                drop(batch_span);
-                iris_telemetry::trace::note_if_slow(
-                    "write_batch",
-                    popped.elapsed().as_secs_f64() * 1e3,
-                    batch_trace,
-                );
             }
-            Err(e) => {
-                // The WAL could not be written: accepting more writes
-                // would let acknowledged state evaporate on the next
-                // crash, so fail loudly and stop the server.
-                telemetry.counter("iris_service_wal_errors_total").inc();
-                let msg = SyncMsg {
-                    snapshot: None,
-                    cut_replies: cuts_ops
-                        .into_iter()
-                        .map(|(_, dest)| (dest, CutReply::Failed(e.clone())))
-                        .collect(),
-                    appended: false,
-                    applied: 0,
-                    coalesced: 0,
-                    batch_len,
-                    wal_stats: None,
-                    batch_trace,
-                    fatal: true,
-                };
-                let _ = sync_tx.send(msg);
-                shared.shutdown.store(true, Ordering::SeqCst);
+        }
+
+        for op in repl_ops {
+            if !apply_repl_op(&mut machine, &mut prev, shared, sync_tx, wal_backed, op) {
                 return;
             }
+        }
+    }
+}
+
+/// Apply one replication op (a shipped WAL batch or a full snapshot)
+/// through the [`ControlMachine`] and hand its deferred `ReplicateAck`
+/// to the syncer. Returns whether the mutator should keep running:
+/// epoch-chain gaps and undecodable frames only fail the one request
+/// (the primary falls back to `SyncState`), while a WAL write failure
+/// is as fatal as it is for local batches.
+fn apply_repl_op(
+    machine: &mut ControlMachine<'_>,
+    prev: &mut Arc<StateSnapshot>,
+    shared: &Shared,
+    sync_tx: &Sender<SyncMsg>,
+    wal_backed: bool,
+    op: WriteOp,
+) -> bool {
+    let batch_trace = iris_telemetry::trace::mint_trace_id();
+    let (dest, op_name, outcome, shipped_json) = match op {
+        WriteOp::Replicate {
+            batch_json, dest, ..
+        } => {
+            let outcome = serde_json::from_str::<WalBatch>(&batch_json)
+                .map_err(|e| IrisError::Decode {
+                    detail: format!("replicated batch does not parse: {e}"),
+                })
+                .and_then(|record| machine.apply_replicated(prev, &record));
+            (dest, "replicate", outcome, Some(batch_json))
+        }
+        WriteOp::SyncState {
+            state_json, dest, ..
+        } => {
+            let outcome = serde_json::from_str::<PersistedSnapshot>(&state_json)
+                .map_err(|e| IrisError::Decode {
+                    detail: format!("sync-state snapshot does not parse: {e}"),
+                })
+                .and_then(|snap| machine.adopt_state(prev, &snap));
+            (dest, "sync_state", outcome, None)
+        }
+        WriteOp::Update { .. } | WriteOp::Cut { .. } => return true,
+    };
+    match outcome {
+        Ok(next) => {
+            let next = Arc::new(next);
+            let epoch = next.epoch;
+            let applied = next.writes_applied.saturating_sub(prev.writes_applied);
+            let coalesced = next.coalesced.saturating_sub(prev.coalesced);
+            let state_crc = next.state_crc();
+            *prev = Arc::clone(&next);
+            let repl_entry = shipped_json.map(|json| ReplEntry {
+                epoch,
+                state_crc,
+                batch_json: Arc::new(json),
+            });
+            let msg = SyncMsg {
+                appended: wal_backed && repl_entry.is_some(),
+                snapshot: Some(next),
+                replies: vec![(
+                    dest,
+                    DeferredReply::Replicated {
+                        epoch,
+                        state_crc,
+                        op: op_name,
+                    },
+                )],
+                repl_entry,
+                applied,
+                coalesced,
+                batch_len: 1,
+                wal_stats: machine.wal_stats(),
+                batch_trace,
+                fatal: false,
+            };
+            sync_tx.send(msg).is_ok()
+        }
+        Err(e) => {
+            let fatal = matches!(e, IrisError::Io { .. });
+            if fatal {
+                iris_telemetry::global()
+                    .counter("iris_service_wal_errors_total")
+                    .inc();
+            }
+            let msg = SyncMsg {
+                snapshot: None,
+                replies: vec![(
+                    dest,
+                    DeferredReply::Failed {
+                        op: op_name,
+                        err: e,
+                    },
+                )],
+                repl_entry: None,
+                appended: false,
+                applied: 0,
+                coalesced: 0,
+                batch_len: 1,
+                wal_stats: machine.wal_stats(),
+                batch_trace,
+                fatal,
+            };
+            let sent = sync_tx.send(msg).is_ok();
+            if fatal {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return false;
+            }
+            sent
         }
     }
 }
@@ -690,7 +1274,7 @@ fn syncer_loop(
     rx: &Receiver<SyncMsg>,
     shared: &Shared,
     handle: Option<WalSyncHandle>,
-    done_txs: &[Sender<(CutDest, CutReply)>],
+    done_txs: &[Sender<(CutDest, DeferredReply)>],
     wakers: &[Arc<Waker>],
 ) {
     let telemetry = iris_telemetry::global();
@@ -732,16 +1316,21 @@ fn syncer_loop(
                         .store((ms * 1e3) as u64, Ordering::Relaxed),
                     Err(_) => {
                         // Nothing in this group is durable: fail every
-                        // cut in it and stop the server rather than
-                        // acknowledge state that can evaporate.
+                        // pending ack in it and stop the server rather
+                        // than acknowledge state that can evaporate.
                         telemetry.counter("iris_service_wal_errors_total").inc();
                         fatal = true;
                         for msg in &mut group {
                             msg.snapshot = None;
-                            for (_, reply) in &mut msg.cut_replies {
-                                *reply = CutReply::Failed(IrisError::Io {
-                                    detail: "WAL group fsync failed".to_owned(),
-                                });
+                            msg.repl_entry = None;
+                            for (_, reply) in &mut msg.replies {
+                                let op = reply.op();
+                                *reply = DeferredReply::Failed {
+                                    op,
+                                    err: IrisError::Io {
+                                        detail: "WAL group fsync failed".to_owned(),
+                                    },
+                                };
                             }
                         }
                     }
@@ -753,6 +1342,7 @@ fn syncer_loop(
         }
 
         // Publish once per group: the newest snapshot covers them all.
+        let mut published_now = false;
         if let Some(next) = group.iter().rev().find_map(|m| m.snapshot.clone()) {
             epoch_g.set(next.epoch as i64);
             let _publish = iris_telemetry::trace::span("publish");
@@ -766,11 +1356,27 @@ fn syncer_loop(
                 Ok(p) => {
                     *shared.published.write() = Arc::new(p);
                     shared.cell.store(next);
+                    published_now = true;
                 }
                 Err(_) => fatal = true,
             }
         }
         drop(commit_span);
+
+        // Feed the replication window only after the group fsync:
+        // replicator threads must never ship a batch that could still
+        // evaporate in a crash.
+        if !fatal {
+            let mut log = shared.repl_log.lock();
+            for msg in &mut group {
+                if let Some(entry) = msg.repl_entry.take() {
+                    log.push_back(entry);
+                    while log.len() > REPL_LOG_CAP {
+                        log.pop_front();
+                    }
+                }
+            }
+        }
 
         writes_c.add(group.iter().map(|m| m.applied).sum());
         coalesced_c.add(group.iter().map(|m| m.coalesced).sum());
@@ -785,10 +1391,12 @@ fn syncer_loop(
             .saturating_sub(consumed);
         queue_g.set(depth as i64);
 
-        // Acknowledge-after-durable: cut replies leave only now.
-        let mut touched = vec![false; done_txs.len()];
+        // Acknowledge-after-durable: deferred replies leave only now.
+        // Every shard is woken after a publish so parked epoch-waits
+        // (`GetPlanAt`) notice the new epoch promptly.
+        let mut touched = vec![published_now; done_txs.len()];
         for msg in group {
-            for (dest, reply) in msg.cut_replies {
+            for (dest, reply) in msg.replies {
                 if dest.shard < done_txs.len() && done_txs[dest.shard].send((dest, reply)).is_ok() {
                     touched[dest.shard] = true;
                 }
@@ -811,8 +1419,9 @@ fn syncer_loop(
 
 /// Telemetry labels for every operation a connection can carry
 /// (`invalid` covers undecodable requests).
-const OPS: [&str; 10] = [
+const OPS: [&str; 14] = [
     "get_plan",
+    "get_plan_at",
     "get_topology",
     "query_path",
     "update_demand",
@@ -821,6 +1430,9 @@ const OPS: [&str; 10] = [
     "metrics_snapshot",
     "trace_dump",
     "hello",
+    "replicate",
+    "sync_state",
+    "promote",
     "invalid",
 ];
 
@@ -930,6 +1542,18 @@ impl Conn {
     }
 }
 
+/// One parked `GetPlanAt`: the slot to fill once the published epoch
+/// reaches `min_epoch`, or with a typed `Timeout` once the deadline
+/// passes.
+struct EpochWait {
+    token: usize,
+    gen: u64,
+    seq: u64,
+    min_epoch: u64,
+    deadline: Instant,
+    wait_ms: u64,
+}
+
 /// One shard's event loop state.
 struct ShardRunner {
     id: usize,
@@ -938,12 +1562,14 @@ struct ShardRunner {
     poller: Poller,
     waker: Arc<Waker>,
     intake: Receiver<TcpStream>,
-    done: Receiver<(CutDest, CutReply)>,
+    done: Receiver<(CutDest, DeferredReply)>,
     done_alive: bool,
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     next_gen: u64,
     metrics: ShardMetrics,
+    /// Parked `GetPlanAt` requests, serviced every loop iteration.
+    waits: Vec<EpochWait>,
 }
 
 impl ShardRunner {
@@ -967,7 +1593,7 @@ impl ShardRunner {
             if self.done_alive {
                 loop {
                     match self.done.try_recv() {
-                        Ok((dest, reply)) => self.fill_cut(dest, reply),
+                        Ok((dest, reply)) => self.fill_deferred(dest, reply),
                         Err(mpsc::TryRecvError::Empty) => break,
                         Err(mpsc::TryRecvError::Disconnected) => {
                             self.done_alive = false;
@@ -983,6 +1609,7 @@ impl ShardRunner {
                 }
                 self.on_event(ev.token, ev.readable, ev.writable, ev.error);
             }
+            self.service_epoch_waits();
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 return;
             }
@@ -1121,6 +1748,36 @@ impl ShardRunner {
                 let published = Arc::clone(&*self.shared.published.read());
                 self.deliver_pre(conn, &published.plan_framed[cidx(conn.codec)]);
             }
+            Request::GetPlanAt { min_epoch, wait_ms } => {
+                let published = Arc::clone(&*self.shared.published.read());
+                if published.snap.epoch >= min_epoch {
+                    self.deliver_pre(conn, &published.plan_framed[cidx(conn.codec)]);
+                } else {
+                    // Park: the slot fills from a later publication, or
+                    // with a typed Timeout at the deadline. A parked
+                    // slot keeps replies behind it ordered, exactly
+                    // like a pending cut ack.
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.out.push_back(OutSlot {
+                        seq,
+                        framed: None,
+                        op_start: start,
+                        trace_id,
+                        codec: conn.codec,
+                    });
+                    self.waits.push(EpochWait {
+                        token,
+                        gen: conn.gen,
+                        seq,
+                        min_epoch,
+                        deadline: start + Duration::from_millis(wait_ms),
+                        wait_ms,
+                    });
+                    drop(span);
+                    return; // recorded when the wait resolves
+                }
+            }
             Request::GetTopology => {
                 let published = Arc::clone(&*self.shared.published.read());
                 self.deliver_pre(conn, &published.topo_framed[cidx(conn.codec)]);
@@ -1130,11 +1787,61 @@ impl ShardRunner {
                 self.deliver(conn, &resp, conn.codec);
             }
             Request::UpdateDemand { a, b, circuits } => {
-                let resp = self.update_demand_response(a, b, circuits);
-                self.deliver(conn, &resp, conn.codec);
+                if !self.shared.is_primary.load(Ordering::SeqCst) {
+                    let resp = Response::Error(IrisError::NotPrimary {
+                        region: self.shared.region,
+                    });
+                    self.deliver(conn, &resp, conn.codec);
+                } else {
+                    match normalize_pair(a, b, self.shared.dc_count) {
+                        Err(e) => self.deliver(conn, &Response::Error(e), conn.codec),
+                        Ok((a, b)) => {
+                            // Acknowledge-after-durable, like cuts: the
+                            // DemandAccepted leaves only after the group
+                            // commit, carrying the commit epoch as the
+                            // client's read-your-writes fence.
+                            let seq = conn.next_seq;
+                            conn.next_seq += 1;
+                            conn.out.push_back(OutSlot {
+                                seq,
+                                framed: None,
+                                op_start: start,
+                                trace_id,
+                                codec: conn.codec,
+                            });
+                            let dest = CutDest {
+                                shard: self.id,
+                                token,
+                                gen: conn.gen,
+                                seq,
+                            };
+                            match self.enqueue(WriteOp::Update {
+                                a,
+                                b,
+                                circuits,
+                                dest,
+                                enqueued: Instant::now(),
+                            }) {
+                                Ok(_) => {
+                                    drop(span);
+                                    return; // recorded at fill time
+                                }
+                                Err(e) => {
+                                    conn.out.pop_back();
+                                    self.deliver(conn, &Response::Error(e), conn.codec);
+                                }
+                            }
+                        }
+                    }
+                }
             }
             Request::ReportFiberCut { cuts } => {
-                if let Some(err) = self.validate_cuts(&cuts) {
+                if !self.shared.is_primary.load(Ordering::SeqCst) {
+                    let resp = Response::Error(IrisError::NotPrimary {
+                        region: self.shared.region,
+                    });
+                    self.deliver(conn, &resp, conn.codec);
+                } else if let Some(err) = self.validate_cuts(&cuts) {
                     self.deliver(conn, &err, conn.codec);
                 } else {
                     let seq = conn.next_seq;
@@ -1169,6 +1876,59 @@ impl ShardRunner {
                         }
                     }
                 }
+            }
+            Request::Replicate { batch, .. } => {
+                if self.shared.is_primary.load(Ordering::SeqCst) {
+                    // Two primaries shipping at each other is a config
+                    // error (or a split brain); refuse rather than fork
+                    // the epoch chain.
+                    let resp = Response::Error(IrisError::InvalidInput {
+                        detail: format!(
+                            "region {} is a primary and does not accept replicated batches",
+                            self.shared.region
+                        ),
+                    });
+                    self.deliver(conn, &resp, conn.codec);
+                } else {
+                    self.defer_repl_write(
+                        conn,
+                        token,
+                        start,
+                        trace_id,
+                        WriteOpKind::Replicate(batch),
+                    );
+                    drop(span);
+                    return; // recorded at fill time
+                }
+            }
+            Request::SyncState { state, .. } => {
+                if self.shared.is_primary.load(Ordering::SeqCst) {
+                    let resp = Response::Error(IrisError::InvalidInput {
+                        detail: format!(
+                            "region {} is a primary and does not accept state syncs",
+                            self.shared.region
+                        ),
+                    });
+                    self.deliver(conn, &resp, conn.codec);
+                } else {
+                    self.defer_repl_write(
+                        conn,
+                        token,
+                        start,
+                        trace_id,
+                        WriteOpKind::SyncState(state),
+                    );
+                    drop(span);
+                    return; // recorded at fill time
+                }
+            }
+            Request::Promote => {
+                // Idempotent: promoting a primary changes nothing. The
+                // reply is the enriched health row so the caller sees
+                // the new role immediately.
+                self.shared.is_primary.store(true, Ordering::SeqCst);
+                let resp = self.health_response();
+                self.deliver(conn, &resp, conn.codec);
             }
             Request::Health => {
                 let resp = self.health_response();
@@ -1310,8 +2070,51 @@ impl ShardRunner {
         true
     }
 
-    /// Route one durable cut acknowledgement into its waiting slot.
-    fn fill_cut(&mut self, dest: CutDest, reply: CutReply) {
+    /// Park a replication write exactly like a cut: slot first, then
+    /// enqueue; the `ReplicateAck` routes back after the group commit.
+    fn defer_repl_write(
+        &mut self,
+        conn: &mut Conn,
+        token: usize,
+        start: Instant,
+        trace_id: u64,
+        kind: WriteOpKind,
+    ) {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        conn.out.push_back(OutSlot {
+            seq,
+            framed: None,
+            op_start: start,
+            trace_id,
+            codec: conn.codec,
+        });
+        let dest = CutDest {
+            shard: self.id,
+            token,
+            gen: conn.gen,
+            seq,
+        };
+        let op = match kind {
+            WriteOpKind::Replicate(batch_json) => WriteOp::Replicate {
+                batch_json,
+                dest,
+                enqueued: Instant::now(),
+            },
+            WriteOpKind::SyncState(state_json) => WriteOp::SyncState {
+                state_json,
+                dest,
+                enqueued: Instant::now(),
+            },
+        };
+        if let Err(e) = self.enqueue(op) {
+            conn.out.pop_back();
+            self.deliver(conn, &Response::Error(e), conn.codec);
+        }
+    }
+
+    /// Route one durable deferred acknowledgement into its waiting slot.
+    fn fill_deferred(&mut self, dest: CutDest, reply: DeferredReply) {
         let Some(mut conn) = self.conns.get_mut(dest.token).and_then(Option::take) else {
             return;
         };
@@ -1325,12 +2128,21 @@ impl ShardRunner {
             .iter_mut()
             .find(|s| s.seq == dest.seq && s.framed.is_none())
         {
+            let op = reply.op();
             let resp = match reply {
-                CutReply::Applied(summary) => Response::Recovery(summary),
-                CutReply::AlreadySevered { active_cuts } => {
+                DeferredReply::Cut(CutReply::Applied(summary)) => Response::Recovery(summary),
+                DeferredReply::Cut(CutReply::AlreadySevered { active_cuts }) => {
                     Response::CutAlreadyActive { active_cuts }
                 }
-                CutReply::Failed(e) => Response::Error(e),
+                DeferredReply::Cut(CutReply::Failed(e)) => Response::Error(e),
+                DeferredReply::Demand { epoch } => Response::DemandAccepted {
+                    queue_depth: self.shared.queue_depth.load(Ordering::SeqCst),
+                    epoch,
+                },
+                DeferredReply::Replicated {
+                    epoch, state_crc, ..
+                } => Response::ReplicateAck { epoch, state_crc },
+                DeferredReply::Failed { err, .. } => Response::Error(err),
             };
             let mut buf = Vec::new();
             if frame_response(slot.codec, &resp, &mut buf).is_err() {
@@ -1339,8 +2151,8 @@ impl ShardRunner {
             let elapsed_ms = slot.op_start.elapsed().as_secs_f64() * 1e3;
             let trace_id = slot.trace_id;
             slot.framed = Some(buf);
-            iris_telemetry::trace::note_if_slow("report_fiber_cut", elapsed_ms, trace_id);
-            let (count, latency) = &self.metrics.ops[op_idx("report_fiber_cut")];
+            iris_telemetry::trace::note_if_slow(op, elapsed_ms, trace_id);
+            let (count, latency) = &self.metrics.ops[op_idx(op)];
             count.inc();
             latency.record(elapsed_ms);
             self.metrics.shard_requests.inc();
@@ -1352,8 +2164,76 @@ impl ShardRunner {
         }
     }
 
-    /// The reply channel died with cuts still pending: answer them with
-    /// a typed error instead of leaving clients hanging.
+    /// Resolve parked `GetPlanAt` requests: fill with the published
+    /// plan once the epoch catches up, or with a typed `Timeout` at the
+    /// deadline.
+    fn service_epoch_waits(&mut self) {
+        if self.waits.is_empty() {
+            return;
+        }
+        let published = Arc::clone(&*self.shared.published.read());
+        let epoch = published.snap.epoch;
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.waits.len() {
+            let ready = epoch >= self.waits[i].min_epoch;
+            let expired = now >= self.waits[i].deadline;
+            if !ready && !expired {
+                i += 1;
+                continue;
+            }
+            let wait = self.waits.swap_remove(i);
+            self.fill_wait(&published, &wait, ready);
+        }
+    }
+
+    /// Fill one resolved epoch-wait slot (satisfied or timed out).
+    fn fill_wait(&mut self, published: &Published, wait: &EpochWait, ready: bool) {
+        let Some(mut conn) = self.conns.get_mut(wait.token).and_then(Option::take) else {
+            return;
+        };
+        if conn.gen != wait.gen {
+            self.conns[wait.token] = Some(conn);
+            return;
+        }
+        if let Some(slot) = conn
+            .out
+            .iter_mut()
+            .find(|s| s.seq == wait.seq && s.framed.is_none())
+        {
+            let buf = if ready {
+                published.plan_framed[cidx(slot.codec)].clone()
+            } else {
+                let resp = Response::Error(IrisError::Timeout {
+                    what: format!("epoch wait for epoch {}", wait.min_epoch),
+                    after_ms: wait.wait_ms,
+                });
+                let mut buf = Vec::new();
+                if frame_response(slot.codec, &resp, &mut buf).is_err() {
+                    buf = encode_error_frame(slot.codec);
+                }
+                buf
+            };
+            let elapsed_ms = slot.op_start.elapsed().as_secs_f64() * 1e3;
+            let trace_id = slot.trace_id;
+            slot.framed = Some(buf);
+            iris_telemetry::trace::note_if_slow("get_plan_at", elapsed_ms, trace_id);
+            let (count, latency) = &self.metrics.ops[op_idx("get_plan_at")];
+            count.inc();
+            latency.record(elapsed_ms);
+            self.metrics.shard_requests.inc();
+        }
+        if self.finalize(&mut conn, wait.token) {
+            self.conns[wait.token] = Some(conn);
+        } else {
+            self.drop_conn(&conn, wait.token);
+        }
+    }
+
+    /// The reply channel died with acknowledgements still pending:
+    /// answer them (cuts, demand acks, replication acks, parked epoch
+    /// waits alike) with a typed error instead of leaving clients
+    /// hanging.
     fn fail_pending_cuts(&mut self) {
         for token in 0..self.conns.len() {
             let Some(mut conn) = self.conns.get_mut(token).and_then(Option::take) else {
@@ -1362,7 +2242,7 @@ impl ShardRunner {
             let mut filled = false;
             for slot in conn.out.iter_mut().filter(|s| s.framed.is_none()) {
                 let resp = Response::Error(IrisError::Io {
-                    detail: "mutator exited before recovery completed".to_owned(),
+                    detail: "mutator exited before the write committed".to_owned(),
                 });
                 let mut buf = Vec::new();
                 if frame_response(slot.codec, &resp, &mut buf).is_err() {
@@ -1403,22 +2283,6 @@ impl ShardRunner {
         }
     }
 
-    fn update_demand_response(&self, a: usize, b: usize, circuits: u32) -> Response {
-        match normalize_pair(a, b, self.shared.dc_count) {
-            Err(e) => Response::Error(e),
-            Ok((a, b)) => self
-                .enqueue(WriteOp::Update {
-                    a,
-                    b,
-                    circuits,
-                    enqueued: Instant::now(),
-                })
-                .map_or_else(Response::Error, |depth| Response::DemandAccepted {
-                    queue_depth: depth,
-                }),
-        }
-    }
-
     fn validate_cuts(&self, cuts: &[usize]) -> Option<Response> {
         if cuts.is_empty() {
             return Some(Response::Error(IrisError::InvalidInput {
@@ -1438,7 +2302,11 @@ impl ShardRunner {
 
     fn health_response(&self) -> Response {
         let snap = Arc::clone(&self.shared.published.read().snap);
+        let primary = self.shared.is_primary.load(Ordering::SeqCst);
         Response::Health(HealthInfo {
+            region: self.shared.region,
+            role: if primary { "primary" } else { "follower" }.to_owned(),
+            peers: self.shared.peer_infos(),
             epoch: snap.epoch,
             queue_depth: self.shared.queue_depth.load(Ordering::SeqCst),
             writes_applied: snap.writes_applied,

@@ -1,0 +1,437 @@
+//! Multi-region federation tests: real servers on loopback sockets,
+//! WAL-shipping replication between them, health-routed clients, and
+//! the replication edge cases the chaos sweep leans on — torn peer
+//! streams resuming from the last acked epoch, partitions healing
+//! without epoch-chain forks, and follower restarts re-syncing
+//! byte-identically.
+
+use iris_errors::IrisError;
+use iris_fibermap::{synth, MetroParams, PlacementParams, Region};
+use iris_service::api::{Request, Response};
+use iris_service::{
+    serve, RegionEndpoint, RegionRouter, ServiceClient, ServiceConfig, ServiceHandle,
+};
+use std::time::{Duration, Instant};
+
+fn region(seed: u64, n_dcs: usize) -> Region {
+    synth::place_dcs(
+        synth::generate_metro(&MetroParams {
+            seed,
+            ..MetroParams::default()
+        }),
+        &PlacementParams {
+            seed: seed.wrapping_add(17),
+            n_dcs,
+            ..PlacementParams::default()
+        },
+    )
+}
+
+fn config(region_id: u64, follower: bool, peers: Vec<String>) -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cuts: 1,
+        coalesce_window_ms: 0,
+        region_id,
+        peers,
+        follower,
+        ..ServiceConfig::default()
+    }
+}
+
+fn client_for(handle: &ServiceHandle) -> ServiceClient {
+    ServiceClient::connect_retry(&handle.local_addr().to_string(), 20, 25).expect("connect")
+}
+
+/// Spin up a primary plus `followers` follower regions wired to it, all
+/// on the same synthetic metro so replicated batches replay cleanly.
+fn federation(seed: u64, followers: usize) -> (ServiceHandle, Vec<ServiceHandle>) {
+    let topo = region(seed, 4);
+    let mut follower_handles = Vec::new();
+    for idx in 0..followers {
+        let handle =
+            serve(topo.clone(), &config(idx as u64 + 2, true, Vec::new())).expect("serve follower");
+        follower_handles.push(handle);
+    }
+    let peer_addrs: Vec<String> = follower_handles
+        .iter()
+        .map(|h| h.local_addr().to_string())
+        .collect();
+    let primary = serve(topo, &config(1, false, peer_addrs)).expect("serve primary");
+    (primary, follower_handles)
+}
+
+fn health(client: &mut ServiceClient) -> iris_service::api::HealthInfo {
+    match client.call(&Request::Health).expect("health") {
+        Response::Health(h) => h,
+        other => panic!("expected Health, got {other:?}"),
+    }
+}
+
+/// Block until `handle`'s published epoch reaches `min_epoch`.
+fn wait_for_epoch(handle: &ServiceHandle, min_epoch: u64) -> u64 {
+    let mut client = client_for(handle);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let h = health(&mut client);
+        if h.epoch >= min_epoch {
+            return h.epoch;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "epoch {} never reached {min_epoch}",
+            h.epoch
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn canonical_state(handle: &ServiceHandle) -> String {
+    let mut client = client_for(handle);
+    match client.call(&Request::GetTopology).expect("topology") {
+        Response::Topology(t) => format!("{t:?}"),
+        other => panic!("expected Topology, got {other:?}"),
+    }
+}
+
+fn first_pair(handle: &ServiceHandle) -> (usize, usize) {
+    let mut client = client_for(handle);
+    match client.call(&Request::GetTopology).expect("topology") {
+        Response::Topology(t) => (t.allocation[0].a, t.allocation[0].b),
+        other => panic!("expected Topology, got {other:?}"),
+    }
+}
+
+#[test]
+fn followers_converge_to_the_primary_state() {
+    let (primary, followers) = federation(31, 2);
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&primary);
+    for circuits in 1..=5u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    let primary_epoch = health(&mut client).epoch;
+    for f in &followers {
+        wait_for_epoch(f, primary_epoch);
+        assert_eq!(
+            canonical_state(f),
+            canonical_state(&primary),
+            "follower must mirror the primary byte-for-byte"
+        );
+    }
+    for mut h in followers {
+        h.shutdown();
+    }
+    let mut primary = primary;
+    primary.shutdown();
+}
+
+#[test]
+fn followers_reject_local_writes_with_not_primary() {
+    let (primary, mut followers) = federation(32, 1);
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&followers[0]);
+    let resp = client
+        .call(&Request::UpdateDemand { a, b, circuits: 3 })
+        .expect("call");
+    match resp {
+        Response::Error(IrisError::NotPrimary { region }) => assert_eq!(region, 2),
+        other => panic!("expected NotPrimary, got {other:?}"),
+    }
+    let h = health(&mut client);
+    assert_eq!(h.role, "follower");
+    followers[0].shutdown();
+    let mut primary = primary;
+    primary.shutdown();
+}
+
+#[test]
+fn partition_heals_without_epoch_chain_forks() {
+    let (primary, mut followers) = federation(33, 1);
+    let follower_addr = followers[0].local_addr().to_string();
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&primary);
+
+    // Let the first write replicate, then partition the peer link.
+    let resp = client
+        .call_retrying(&Request::UpdateDemand { a, b, circuits: 1 }, 50)
+        .expect("write");
+    assert!(matches!(resp, Response::DemandAccepted { .. }));
+    wait_for_epoch(&followers[0], 1);
+    assert!(primary.set_peer_paused(&follower_addr, true), "known peer");
+
+    // Writes land on the primary while the follower hears nothing.
+    for circuits in 2..=6u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    let primary_epoch = health(&mut client).epoch;
+    let mut fclient = client_for(&followers[0]);
+    let stale = health(&mut fclient);
+    assert!(
+        stale.epoch < primary_epoch,
+        "a partitioned follower must lag ({} vs {primary_epoch})",
+        stale.epoch
+    );
+
+    // Heal: the replicator resumes from the follower's acked epoch and
+    // the chains converge with no fork — same epoch, same bytes.
+    assert!(primary.set_peer_paused(&follower_addr, false));
+    wait_for_epoch(&followers[0], primary_epoch);
+    assert_eq!(canonical_state(&followers[0]), canonical_state(&primary));
+
+    followers[0].shutdown();
+    let mut primary = primary;
+    primary.shutdown();
+}
+
+#[test]
+fn torn_peer_stream_resumes_from_last_acked_epoch() {
+    // A follower that dies mid-stream and comes back empty-handed (no
+    // WAL) looks like a torn peer stream: the primary's health probe
+    // sees epoch 0 again, misses the replication window's tail, and
+    // falls back to a full state sync before streaming resumes.
+    let topo = region(34, 4);
+    let follower = serve(topo.clone(), &config(2, true, Vec::new())).expect("serve follower");
+    let follower_addr = follower.local_addr().to_string();
+    let primary =
+        serve(topo.clone(), &config(1, false, vec![follower_addr.clone()])).expect("serve primary");
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&primary);
+    for circuits in 1..=4u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    wait_for_epoch(&follower, 4);
+
+    // Kill the follower mid-federation; the primary keeps writing.
+    let mut follower = follower;
+    follower.shutdown();
+    for circuits in 5..=8u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    let primary_epoch = health(&mut client).epoch;
+
+    // Restart a fresh follower on the same address.
+    let addr_config = ServiceConfig {
+        addr: follower_addr,
+        ..config(2, true, Vec::new())
+    };
+    let follower = serve(topo, &addr_config).expect("restart follower");
+    wait_for_epoch(&follower, primary_epoch);
+    assert_eq!(
+        canonical_state(&follower),
+        canonical_state(&primary),
+        "a resumed peer stream must converge byte-identically"
+    );
+    let mut follower = follower;
+    follower.shutdown();
+    let mut primary = primary;
+    primary.shutdown();
+}
+
+#[test]
+fn follower_restart_with_wal_resyncs_byte_identically() {
+    let wal_dir =
+        std::env::temp_dir().join(format!("iris-fed-wal-{}-{}", std::process::id(), 35u64));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let topo = region(35, 4);
+    let follower_cfg = ServiceConfig {
+        wal_dir: Some(wal_dir.to_string_lossy().into_owned()),
+        ..config(2, true, Vec::new())
+    };
+    let follower = serve(topo.clone(), &follower_cfg).expect("serve follower");
+    let follower_addr = follower.local_addr().to_string();
+    let primary =
+        serve(topo.clone(), &config(1, false, vec![follower_addr.clone()])).expect("serve primary");
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&primary);
+    for circuits in 1..=3u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    wait_for_epoch(&follower, 3);
+
+    // Restart the follower from its own WAL: replicated batches were
+    // appended there, so it recovers to the acked epoch and the
+    // replicator resumes streaming from that point on.
+    let mut follower = follower;
+    follower.shutdown();
+    for circuits in 4..=6u32 {
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    }
+    let follower = serve(
+        topo,
+        &ServiceConfig {
+            addr: follower_addr,
+            ..follower_cfg
+        },
+    )
+    .expect("restart follower");
+    let restarted = wait_for_epoch(&follower, 3);
+    assert!(restarted >= 3, "WAL recovery must restore acked epochs");
+    let primary_epoch = health(&mut client).epoch;
+    wait_for_epoch(&follower, primary_epoch);
+    assert_eq!(
+        canonical_state(&follower),
+        canonical_state(&primary),
+        "a WAL-recovered follower must re-sync byte-identically"
+    );
+    let mut follower = follower;
+    follower.shutdown();
+    let mut primary = primary;
+    primary.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn promoted_follower_accepts_writes_and_router_fails_over() {
+    let (primary, mut followers) = federation(36, 2);
+    let (a, b) = first_pair(&primary);
+
+    let endpoints = vec![
+        RegionEndpoint {
+            region: 1,
+            addr: primary.local_addr().to_string(),
+        },
+        RegionEndpoint {
+            region: 2,
+            addr: followers[0].local_addr().to_string(),
+        },
+        RegionEndpoint {
+            region: 3,
+            addr: followers[1].local_addr().to_string(),
+        },
+    ];
+    let mut router = RegionRouter::new(endpoints, 2_000);
+    assert_eq!(router.probe_all(), 3, "all regions answer health");
+    assert_eq!(router.primary_region(), Some(1));
+
+    let epoch = router.update_demand(a, b, 4).expect("routed write");
+    assert!(epoch >= 1);
+    let plan = router.read_at_own_writes(2_000).expect("read own writes");
+    assert!(matches!(plan, Response::Plan(_)));
+
+    // Kill the primary mid-federation: reads fail over to a follower,
+    // writes need a promotion, and re-asserted acked writes survive.
+    let mut old_primary = primary;
+    old_primary.shutdown();
+    let resp = router.read(&Request::GetPlan).expect("read after loss");
+    assert!(matches!(resp, Response::Plan(_)));
+    assert!(router.failovers() >= 1, "the dead region was failed over");
+
+    router.promote_region(2).expect("promote");
+    assert_eq!(router.primary_region(), Some(2));
+    let reasserted = router.reassert_acked_writes().expect("reassert");
+    assert_eq!(reasserted, 1);
+    let plan = router
+        .read_at_own_writes(2_000)
+        .expect("read after failover");
+    assert!(matches!(plan, Response::Plan(_)));
+
+    let mut fclient = client_for(&followers[0]);
+    let h = health(&mut fclient);
+    assert_eq!(h.role, "primary");
+    for f in &mut followers {
+        f.shutdown();
+    }
+}
+
+#[test]
+fn get_plan_at_blocks_until_the_epoch_arrives_and_times_out_typed() {
+    let (primary, mut followers) = federation(37, 1);
+    let mut fclient = client_for(&followers[0]);
+
+    // Asking far beyond the chain with a tiny wait times out typed.
+    let resp = fclient
+        .call(&Request::GetPlanAt {
+            min_epoch: 99,
+            wait_ms: 50,
+        })
+        .expect("call");
+    match resp {
+        Response::Error(IrisError::Timeout { after_ms, .. }) => assert!(after_ms >= 50),
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+
+    // A write on the primary releases a parked epoch-wait on the
+    // follower once replication catches it up.
+    let (a, b) = first_pair(&primary);
+    let primary_addr = primary.local_addr().to_string();
+    let writer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        let mut client = ServiceClient::connect_retry(&primary_addr, 20, 25).expect("connect");
+        let resp = client
+            .call_retrying(&Request::UpdateDemand { a, b, circuits: 2 }, 50)
+            .expect("write");
+        assert!(matches!(resp, Response::DemandAccepted { .. }));
+    });
+    let resp = fclient
+        .call(&Request::GetPlanAt {
+            min_epoch: 1,
+            wait_ms: 5_000,
+        })
+        .expect("call");
+    assert!(
+        matches!(resp, Response::Plan(_)),
+        "the parked wait must fill once replication reaches epoch 1, got {resp:?}"
+    );
+    writer.join().expect("writer");
+    followers[0].shutdown();
+    let mut primary = primary;
+    primary.shutdown();
+}
+
+#[test]
+fn health_reports_peer_lag_and_roles() {
+    let (primary, mut followers) = federation(38, 2);
+    let (a, b) = first_pair(&primary);
+    let mut client = client_for(&primary);
+    let resp = client
+        .call_retrying(&Request::UpdateDemand { a, b, circuits: 2 }, 50)
+        .expect("write");
+    assert!(matches!(resp, Response::DemandAccepted { .. }));
+
+    // Wait until both peers acked the epoch, then check the ledger.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let h = loop {
+        let h = health(&mut client);
+        if h.peers.len() == 2 && h.peers.iter().all(|p| p.connected && p.acked_epoch >= 1) {
+            break h;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "peers never acked: {:?}",
+            h.peers
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(h.role, "primary");
+    assert_eq!(h.region, 1);
+    for p in &h.peers {
+        assert_eq!(p.lag_epochs, h.epoch - p.acked_epoch);
+    }
+    let regions: Vec<u64> = h.peers.iter().map(|p| p.region).collect();
+    assert!(regions.contains(&2) && regions.contains(&3));
+
+    for f in &mut followers {
+        f.shutdown();
+    }
+    let mut primary = primary;
+    primary.shutdown();
+}

@@ -307,26 +307,43 @@ fn full_queue_answers_typed_backpressure() {
     };
     let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
 
-    let mut overloaded = 0;
-    let mut suggested = 0;
-    for circuits in 1..=8u32 {
-        match client
-            .call(&Request::UpdateDemand { a, b, circuits })
-            .unwrap()
-        {
-            Response::DemandAccepted { .. } => {}
-            Response::Error(IrisError::Overloaded { retry_after_ms }) => {
-                overloaded += 1;
-                suggested = retry_after_ms;
-            }
-            other => panic!("unexpected reply {other:?}"),
-        }
+    // Demand acks now defer to the group commit, so one synchronous
+    // client can never overfill the queue by itself: flood it from 8
+    // concurrent connections released together by a barrier.
+    let addr = handle.local_addr().to_string();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+    let overloaded = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let suggested = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let workers: Vec<_> = (1..=8u32)
+        .map(|circuits| {
+            let (addr, barrier) = (addr.clone(), std::sync::Arc::clone(&barrier));
+            let overloaded = std::sync::Arc::clone(&overloaded);
+            let suggested = std::sync::Arc::clone(&suggested);
+            std::thread::spawn(move || {
+                let mut c = ServiceClient::connect_retry(&addr, 20, 25).expect("connect");
+                barrier.wait();
+                match c.call(&Request::UpdateDemand { a, b, circuits }).unwrap() {
+                    Response::DemandAccepted { .. } => {}
+                    Response::Error(IrisError::Overloaded { retry_after_ms }) => {
+                        overloaded.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        suggested.store(retry_after_ms, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("writer thread");
     }
     assert!(
-        overloaded >= 1,
+        overloaded.load(std::sync::atomic::Ordering::SeqCst) >= 1,
         "a one-slot queue under a burst of 8 must push back"
     );
-    assert!(suggested > 0, "backpressure suggests a retry delay");
+    assert!(
+        suggested.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "backpressure suggests a retry delay"
+    );
 
     // Backed-off retries eventually get through.
     let resp = client
@@ -353,14 +370,34 @@ fn redundant_updates_coalesce_to_the_last_value() {
     };
     let (a, b) = (topo.allocation[0].a, topo.allocation[0].b);
 
-    for circuits in [2u32, 3, 4, 5] {
-        match client
-            .call_retrying(&Request::UpdateDemand { a, b, circuits }, 20)
-            .unwrap()
-        {
-            Response::DemandAccepted { .. } => {}
-            other => panic!("unexpected reply {other:?}"),
-        }
+    // Acks wait for the commit, so same-pair redundancy needs
+    // concurrent writers: release 3 of them into one 300 ms gather
+    // window, then land a final sequential write deterministically.
+    let addr = handle.local_addr().to_string();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(3));
+    let workers: Vec<_> = [2u32, 3, 4]
+        .into_iter()
+        .map(|circuits| {
+            let (addr, barrier) = (addr.clone(), std::sync::Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                let mut c = ServiceClient::connect_retry(&addr, 20, 25).expect("connect");
+                barrier.wait();
+                let resp = c
+                    .call_retrying(&Request::UpdateDemand { a, b, circuits }, 20)
+                    .unwrap();
+                assert!(matches!(resp, Response::DemandAccepted { .. }));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("writer thread");
+    }
+    match client
+        .call_retrying(&Request::UpdateDemand { a, b, circuits: 5 }, 20)
+        .unwrap()
+    {
+        Response::DemandAccepted { .. } => {}
+        other => panic!("unexpected reply {other:?}"),
     }
 
     // Every enqueued update is either applied or coalesced away —
