@@ -63,9 +63,36 @@ fn bench_matrix_change(c: &mut Criterion) {
     });
 }
 
+fn bench_waterfill(c: &mut Criterion) {
+    use iris_simnet::engine::{max_min_rates, WaterfillScratch};
+    // The engine recomputes max-min rates at every event; this measures
+    // one recompute over a congested 16-DC population, with the scratch
+    // allocated fresh per call (the pre-reuse engine's behaviour) vs
+    // carried across calls (what the event loop now does).
+    let topo = SimTopology::hub_and_spoke(16, 1.0);
+    let pairs: Vec<(usize, usize)> = (0..16usize)
+        .flat_map(|i| ((i + 1)..16).map(move |j| (i, j)))
+        .cycle()
+        .take(480)
+        .collect();
+    let scale = vec![1.0f64; topo.links.len()];
+    let mut group = c.benchmark_group("waterfill_recompute_480flows");
+    group.bench_function("fresh_scratch", |b| {
+        b.iter(|| {
+            let mut scratch = WaterfillScratch::new();
+            black_box(max_min_rates(&topo, &scale, &pairs, &mut scratch))
+        })
+    });
+    group.bench_function("reused_scratch", |b| {
+        let mut scratch = WaterfillScratch::new();
+        b.iter(|| black_box(max_min_rates(&topo, &scale, &pairs, &mut scratch)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_simulation, bench_workload_sampling, bench_matrix_change
+    targets = bench_simulation, bench_workload_sampling, bench_matrix_change, bench_waterfill
 }
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Flow-scale benchmark: exact global-waterfill engine vs the
+//! decomposed per-link estimator (`iris-flowsim`) on a planned 12-DC
+//! region at 90% utilization.
+//!
+//! The exact engine is a single serial event loop that recomputes global
+//! max-min rates on every flow event; it cannot parallelize and its
+//! per-event cost grows with the number of concurrently active flows.
+//! The decomposition turns the same run into independent per-link jobs
+//! (near-linear per link, heap-based processor sharing), which is both
+//! faster serially at high load and — the point of the subsystem —
+//! parallelizes across cores and across an `iris-flowsim-worker` fleet.
+//!
+//! Capacity scale sets the Poisson rate, so `target_flows` sets the
+//! admitted flow count. The exact engine is measured up to 10⁶ flows;
+//! the decomposed estimator continues to 10⁷ — a 10x flow-scale
+//! headroom on one machine, before any fleet fan-out.
+//!
+//! Wall times are machine-dependent — this artifact is a measurement
+//! record, not part of the byte-identical determinism contract (that is
+//! `results/flowsim_scale.json`, written by `iris simd`).
+
+use iris_flowsim::coord::{estimate_with_trace, EstimateConfig};
+use iris_flowsim::proto::WorkSpec;
+use iris_planner::{provision, DesignGoals};
+use iris_simnet::engine::{FabricModel, SimConfig};
+use iris_simnet::traffic::ChangeModel;
+use iris_simnet::workloads::FlowSizeDist;
+use iris_simnet::{SimTopology, TrafficMatrix};
+use std::time::Instant;
+
+const DURATION_S: f64 = 20.0;
+const UTILIZATION: f64 = 0.9;
+const SEED: u64 = 42;
+
+fn spec_at(topo: &SimTopology) -> WorkSpec {
+    WorkSpec {
+        topo: topo.clone(),
+        matrix: TrafficMatrix::heavy_tailed(topo.n_dcs, SEED),
+        config: SimConfig {
+            duration_s: DURATION_S,
+            utilization: UTILIZATION,
+            flow_sizes: FlowSizeDist::pfabric_web_search(),
+            change_interval_s: Some(5.0),
+            change_model: ChangeModel::Bounded(0.5),
+            fabric: FabricModel::Iris { outage_s: 0.07 },
+            capacity_events: Vec::new(),
+            seed: SEED,
+        },
+    }
+}
+
+fn main() {
+    let quick = iris_bench::quick_mode();
+    let region = iris_bench::simple_region(3, 12);
+    let goals = DesignGoals::with_cuts(0);
+    let prov = provision(&region, &goals);
+    let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
+    let max_cap = raw
+        .links
+        .iter()
+        .map(|l| l.capacity_gbps)
+        .fold(0.0f64, f64::max);
+    let base_scale = 2.0 / max_cap;
+
+    // Calibrate capacity scale -> admitted flows once at base scale.
+    let base = SimTopology::from_provisioning(&region, &goals, &prov, base_scale);
+    let base_flows = spec_at(&base).trace().flow_count() as f64;
+    let scale_for = |flows: f64| flows / base_flows;
+    println!("# base scale: {base_flows:.0} flows / {DURATION_S} s, util {UTILIZATION}");
+
+    let (exact_max, est_targets): (f64, &[f64]) = if quick {
+        (1e5, &[1e3, 1e4, 1e5, 1e6])
+    } else {
+        (1e6, &[1e3, 1e4, 1e5, 1e6, 1e7])
+    };
+
+    println!("# engine      target_flows  flows      wall_s");
+    let mut rows = Vec::new();
+    for &target in est_targets {
+        let s = scale_for(target);
+        let topo = SimTopology::from_provisioning(&region, &goals, &prov, base_scale * s);
+        let spec = spec_at(&topo);
+
+        let t0 = Instant::now();
+        let trace = spec.trace();
+        let trace_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let est = estimate_with_trace(&spec, &trace, &EstimateConfig::default())
+            .expect("in-process estimate");
+        let est_s = t0.elapsed().as_secs_f64();
+        println!("decomposed  {target:12.0}  {:9}  {est_s:8.3}", est.flows);
+
+        let exact_s = if target <= exact_max {
+            let t0 = Instant::now();
+            let exact = trace.replay(&spec.topo);
+            let wall = t0.elapsed().as_secs_f64();
+            println!("exact       {target:12.0}  {:9}  {wall:8.3}", exact.len());
+            Some(wall)
+        } else {
+            None
+        };
+
+        rows.push(serde_json::json!({
+            "target_flows": target,
+            "flows": est.flows,
+            "trace_gen_s": trace_s,
+            "decomposed_s": est_s,
+            "exact_s": exact_s,
+            "speedup": exact_s.map(|e| e / est_s),
+            "links_occupied": est.links_occupied,
+            "links_simulated": est.links_simulated,
+        }));
+    }
+
+    let max_est = est_targets.last().copied().unwrap_or(0.0);
+    println!(
+        "# flow-scale headroom: decomposed measured to {max_est:.0e}, exact to {exact_max:.0e} \
+         ({}x), before any worker-fleet fan-out",
+        (max_est / exact_max) as u64
+    );
+
+    iris_bench::write_results(
+        "BENCH_flowsim",
+        &serde_json::json!({
+            "what": "Wall time of the exact global-waterfill engine (serial, per-event max-min recomputation) vs the decomposed per-link estimator (iris-flowsim, in-process pool, clustering on) on a planned 12-DC region, Iris fabric, 90% utilization, 20 simulated seconds. Capacity scale sets the Poisson rate, so target_flows sets the admitted flow count.",
+            "duration_s": DURATION_S,
+            "utilization": UTILIZATION,
+            "seed": SEED,
+            "quick": quick,
+            "curve": rows,
+            "flow_scale_headroom": max_est / exact_max,
+        }),
+    );
+}

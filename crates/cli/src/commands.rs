@@ -269,6 +269,239 @@ pub fn simulate(opts: &Options) -> IrisResult<()> {
     Ok(())
 }
 
+/// `iris simd` — the fig17/18 reconfiguration-impact pipeline at 10⁶+
+/// flows, via per-link decomposition ([`iris_flowsim`]) instead of the
+/// exact global-waterfill engine.
+///
+/// The topology and experiment grid mirror `iris simulate` (a planned
+/// region, Iris vs EPS fabrics, bounded 50% changes), but capacities are
+/// scaled so the Poisson process offers `--flows` admitted flows over
+/// the duration — two to three orders of magnitude beyond what the
+/// exact engine sustains. A small-scale cell is also run through *both*
+/// engines and their p50/p99 agreement is reported as validation.
+///
+/// The artifact written by `--out` contains no wall-clock or backend
+/// detail: it is byte-identical across worker fleets, worker counts and
+/// `IRIS_THREADS` (CI diffs it across those axes).
+pub fn simd(opts: &Options) -> IrisResult<()> {
+    use iris_flowsim::coord::{estimate_with_trace, Backend, EstimateConfig, FleetConfig};
+    use iris_flowsim::proto::WorkSpec;
+    use iris_simnet::engine::{FabricModel, FlowRecord, SimConfig, Simulator};
+    use iris_simnet::experiment::fct_quantile;
+    use iris_simnet::TrafficMatrix;
+
+    apply_threads(opts)?;
+    let dcs: usize = opts.num("dcs", 8)?;
+    let util: f64 = opts.num("util", 0.4)?;
+    let duration: f64 = opts.num("duration", 20.0)?;
+    let flows_target: f64 = opts.num("flows", 1_000_000.0)?;
+    let seed: u64 = opts.num("seed", 42)?;
+    let epsilon: f64 = opts.num("epsilon", 0.02)?;
+    let workload = match opts.get("workload") {
+        None | Some("web1") => FlowSizeDist::pfabric_web_search(),
+        Some("web2") => FlowSizeDist::facebook_web(),
+        Some("hadoop") => FlowSizeDist::facebook_hadoop(),
+        Some("cache") => FlowSizeDist::facebook_cache(),
+        Some(other) => return Err(format!("unknown workload '{other}'").into()),
+    };
+    let backend = match opts.get("workers") {
+        None => Backend::InProcess,
+        Some(list) => {
+            let endpoints: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if endpoints.is_empty() {
+                return Err("--workers: expected HOST:PORT[,HOST:PORT...]"
+                    .to_owned()
+                    .into());
+            }
+            Backend::Fleet(FleetConfig::new(endpoints))
+        }
+    };
+    let cfg = EstimateConfig {
+        cluster: !opts.flag("no-cluster"),
+        epsilon,
+        backend,
+    };
+    let intervals: Vec<f64> = match opts.get("interval") {
+        Some(v) => vec![v
+            .parse()
+            .map_err(|_| format!("--interval: bad number '{v}'"))?],
+        None => vec![1.0, 5.0],
+    };
+
+    // The fig17 topology: a planned region, largest link ~2 Gbps.
+    let region = iris_bench::simple_region(3, dcs);
+    let goals = DesignGoals::with_cuts(0);
+    let prov = provision(&region, &goals);
+    let raw = SimTopology::from_provisioning(&region, &goals, &prov, 1.0);
+    let max_cap = raw
+        .links
+        .iter()
+        .map(|l| l.capacity_gbps)
+        .fold(0.0f64, f64::max);
+    let base_scale = 2.0 / max_cap;
+    let base = SimTopology::from_provisioning(&region, &goals, &prov, base_scale);
+
+    let spec_for = |topo: &SimTopology, fabric: FabricModel, interval: f64| WorkSpec {
+        topo: topo.clone(),
+        matrix: TrafficMatrix::heavy_tailed(topo.n_dcs, seed),
+        config: SimConfig {
+            duration_s: duration,
+            utilization: util,
+            flow_sizes: workload.clone(),
+            change_interval_s: Some(interval),
+            change_model: ChangeModel::Bounded(0.5),
+            fabric,
+            capacity_events: Vec::new(),
+            seed,
+        },
+    };
+    let iris = FabricModel::Iris { outage_s: 0.07 };
+
+    // Probe the base-scale admitted flow count; the Poisson rate is
+    // linear in capacity, so one division gives the capacity scale that
+    // offers `--flows` admitted flows.
+    let probe_spec = spec_for(&base, FabricModel::Eps, 5.0);
+    let probe_sim = Simulator::new(
+        probe_spec.topo.clone(),
+        probe_spec.matrix.clone(),
+        probe_spec.config.clone(),
+    );
+    let probe_trace = probe_spec.trace();
+    let offered = probe_trace.arrivals.len() as f64;
+    let admitted = probe_trace.flow_count() as f64;
+    if offered == 0.0 || admitted == 0.0 {
+        return Err("probe run admitted no flows; raise --util or --duration"
+            .to_owned()
+            .into());
+    }
+    let admitted_rate = probe_sim.arrival_rate() * (admitted / offered);
+    let flow_scale = flows_target / (admitted_rate * duration);
+    let topo = SimTopology::from_provisioning(&region, &goals, &prov, base_scale * flow_scale);
+
+    // Validation: the hardest small cell (Iris fabric, 1 s interval) at
+    // base scale through both the exact engine and the estimator.
+    let vspec = spec_for(&base, iris, 1.0);
+    let vtrace = vspec.trace();
+    let exact = vtrace.replay(&vspec.topo);
+    let vest = estimate_with_trace(&vspec, &vtrace, &cfg)?;
+    let vq = |records: &[FlowRecord], q: f64| fct_quantile(records, q, false);
+    let (val_p50, val_p99) = match (
+        vq(&exact, 0.5).zip(vq(&vest.records, 0.5)),
+        vq(&exact, 0.99).zip(vq(&vest.records, 0.99)),
+    ) {
+        (Some((e50, d50)), Some((e99, d99))) => (d50 / e50, d99 / e99),
+        _ => return Err("validation cell completed no flows".to_owned().into()),
+    };
+    println!("validation (exact vs decomposed, {} flows):", exact.len());
+    println!("  p50 ratio: {val_p50:.4}   p99 ratio: {val_p99:.4}");
+
+    // The sweep itself, at the scaled topology.
+    let mut sweep_rows = Vec::new();
+    let mut total_flows = 0usize;
+    let mut scale_stats = None;
+    for &interval in &intervals {
+        let started = std::time::Instant::now();
+        let mut cells = Vec::new();
+        for (name, fabric) in [("eps", FabricModel::Eps), ("iris", iris)] {
+            let spec = spec_for(&topo, fabric, interval);
+            let trace = spec.trace();
+            let report = estimate_with_trace(&spec, &trace, &cfg)?;
+            total_flows = total_flows.max(report.flows);
+            scale_stats.get_or_insert((report.links_occupied, report.links_simulated));
+            cells.push((name, report));
+        }
+        let q =
+            |r: &[FlowRecord], qv: f64, short: bool| fct_quantile(r, qv, short).unwrap_or(f64::NAN);
+        let mean = |r: &[FlowRecord]| {
+            if r.is_empty() {
+                f64::NAN
+            } else {
+                r.iter().map(|f| f.fct_s).sum::<f64>() / r.len() as f64
+            }
+        };
+        let eps = &cells[0].1;
+        let irs = &cells[1].1;
+        let row = serde_json::json!({
+            "interval_s": interval,
+            "eps": {
+                "flows": eps.records.len(),
+                "p50_s": q(&eps.records, 0.5, false),
+                "p99_s": q(&eps.records, 0.99, false),
+                "p99_short_s": q(&eps.records, 0.99, true),
+            },
+            "iris": {
+                "flows": irs.records.len(),
+                "p50_s": q(&irs.records, 0.5, false),
+                "p99_s": q(&irs.records, 0.99, false),
+                "p99_short_s": q(&irs.records, 0.99, true),
+            },
+            "slowdown_p99_all": q(&irs.records, 0.99, false) / q(&eps.records, 0.99, false),
+            "slowdown_p99_short": q(&irs.records, 0.99, true) / q(&eps.records, 0.99, true),
+            "slowdown_mean_all": mean(&irs.records) / mean(&eps.records),
+        });
+        println!(
+            "interval {interval:4.1} s: {} flows, p99 slowdown {:.3} (short {:.3}) \
+             [{:.1} s wall]",
+            irs.flows,
+            row["slowdown_p99_all"].as_f64().unwrap_or(f64::NAN),
+            row["slowdown_p99_short"].as_f64().unwrap_or(f64::NAN),
+            started.elapsed().as_secs_f64()
+        );
+        sweep_rows.push(row);
+    }
+    let (links_occupied, links_simulated) = scale_stats.unwrap_or((0, 0));
+    println!(
+        "scale: {total_flows} flows; {links_simulated} of {links_occupied} occupied links \
+         simulated ({})",
+        if cfg.cluster {
+            "clustered"
+        } else {
+            "exact per link"
+        }
+    );
+
+    if let Some(out) = opts.get("out") {
+        // Deterministic artifact: no wall-clock, no backend identity.
+        let payload = serde_json::json!({
+            "config": {
+                "dcs": dcs,
+                "utilization": util,
+                "duration_s": duration,
+                "flows_target": flows_target,
+                "seed": seed,
+                "cluster": cfg.cluster,
+                "epsilon": epsilon,
+            },
+            "validation": {
+                "flows_exact": exact.len(),
+                "flows_estimated": vest.records.len(),
+                "p50_ratio": val_p50,
+                "p99_ratio": val_p99,
+            },
+            "scale": {
+                "flows": total_flows,
+                "links_occupied": links_occupied,
+                "links_simulated": links_simulated,
+            },
+            "sweep": sweep_rows,
+        });
+        let text = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
+        if let Some(dir) = Path::new(out).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("--out: cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(out, text + "\n").map_err(|e| format!("--out: cannot write {out}: {e}"))?;
+        println!("  results written to {out}");
+    }
+    Ok(())
+}
+
 /// Replay the simulation's reconfiguration schedule through the real
 /// orchestrator: one [`iris_control::Controller::reconfigure`] per change
 /// interval, alternating circuit counts so every DC pair is affected.

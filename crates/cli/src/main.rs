@@ -6,6 +6,7 @@
 //! iris compare  --region region.json [--cuts 1]
 //! iris siting   --region region.json
 //! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
+//! iris simd     [--dcs 8] [--flows 1000000] [--workers A1,A2] [--no-cluster] [--out FILE]
 //! iris testbed
 //! iris chaos    --seed 7 --scenarios 10 [--dcs 6] [--cuts 1] [--out FILE]
 //! iris chaos    --crash [--seed 7] [--scenarios 9] [--batches 8] [--out FILE]
@@ -93,6 +94,21 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "out",
             "telemetry",
         ],
+        "simd" => &[
+            "dcs",
+            "util",
+            "duration",
+            "flows",
+            "seed",
+            "epsilon",
+            "workload",
+            "interval",
+            "workers",
+            "no-cluster",
+            "threads",
+            "out",
+            "telemetry",
+        ],
         "testbed" => &["telemetry"],
         "chaos" => &[
             "seed",
@@ -172,6 +188,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     let flags: &[&str] = match command.as_str() {
         "chaos" => &["crash", "federation"],
         "serve" => &["follower"],
+        "simd" => &["no-cluster"],
         _ => &[],
     };
     let opts = args::Options::parse_with_flags(&argv[1..], flags)?;
@@ -184,6 +201,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "compare" => commands::compare(&opts),
         "siting" => commands::siting(&opts),
         "simulate" | "sim" => commands::simulate(&opts),
+        "simd" => commands::simd(&opts),
         "testbed" => commands::testbed(&opts),
         "chaos" => commands::chaos(&opts),
         "serve" => commands::serve(&opts),
@@ -284,6 +302,22 @@ USAGE:
                 [--workload W] [--threads T] [--out FILE]
                 paired Iris-vs-EPS flow-level simulation (`sim` for short);
                 --out writes the result plus its reproducibility manifest
+  iris simd     [--dcs N] [--util U] [--duration S] [--flows N] [--seed N]
+                [--workload W] [--interval S] [--epsilon E] [--no-cluster]
+                [--workers HOST:PORT,..] [--threads T] [--out FILE]
+                the simulate experiment at 10^6+ flows via per-link
+                decomposition: each occupied duct becomes an independent
+                single-link simulation, similar ducts are clustered so
+                only one representative per cluster is simulated
+                (--no-cluster simulates every duct; --epsilon tunes the
+                cluster tolerance), and link jobs run on an in-process
+                pool or, with --workers, a fleet of iris-flowsim-worker
+                processes (jobs are retried on worker death). Capacities
+                are scaled so the run offers --flows flows; a small cell
+                is cross-checked against the exact engine and the p50/p99
+                agreement printed. --out writes a deterministic artifact
+                that is byte-identical across backends, worker counts and
+                IRIS_THREADS
   iris testbed  replay the Fig. 14 physical-layer experiment
   iris chaos    [--seed N] [--scenarios N] [--dcs D] [--cuts K]
                 [--threads T] [--out FILE]

@@ -1,0 +1,59 @@
+//! `iris-flowsim-worker` — a link-simulation worker for the flowsim
+//! coordinator.
+//!
+//! ```text
+//! iris-flowsim-worker --addr 127.0.0.1:7401 [--slow-ms 0]
+//! ```
+//!
+//! Prints `listening <addr>` once bound (so scripts can wait for
+//! readiness), then serves forever. `--slow-ms` injects an artificial
+//! per-job delay — a fault-injection hook used by CI's kill-9 smoke.
+
+use iris_flowsim::worker::{serve, WorkerConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7401".to_owned();
+    let mut cfg = WorkerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs a value"),
+            },
+            "--slow-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.slow_ms = v,
+                None => return usage("--slow-ms needs an integer value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: iris-flowsim-worker [--addr HOST:PORT] [--slow-ms N]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown option '{other}'")),
+        }
+    }
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("iris-flowsim-worker: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(bound) => println!("listening {bound}"),
+        Err(_) => println!("listening {addr}"),
+    }
+    if let Err(e) = serve(listener, cfg) {
+        eprintln!("iris-flowsim-worker: [{}] {e}", e.code());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("iris-flowsim-worker: {msg}");
+    eprintln!("usage: iris-flowsim-worker [--addr HOST:PORT] [--slow-ms N]");
+    ExitCode::FAILURE
+}

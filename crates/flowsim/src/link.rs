@@ -1,0 +1,257 @@
+//! Exact fluid simulation of one link in isolation.
+//!
+//! A single link under max-min fair sharing *is* processor sharing:
+//! every active flow gets `capacity / n`. That makes the per-link
+//! problem solvable in `O(F log F)` with the classic virtual-time
+//! trick — no per-event rate recomputation over the whole population:
+//!
+//! * Virtual time `V(t)` advances at the per-flow service rate,
+//!   `dV/dt = capacity * scale(t) / n(t)` (bits per active flow).
+//! * A flow arriving at `t0` with `b` bits finishes when `V` reaches
+//!   `V(t0) + b`; pending finish targets live in a min-heap.
+//!
+//! Time-varying capacity (reconfiguration outages, scheduled
+//! brownouts) enters as a piecewise-constant [`ScaleSegment`] timeline;
+//! each segment boundary is just another event. A zero-scale segment
+//! freezes `V` (flows make no progress), matching the exact engine's
+//! behaviour on a fully dark link.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One flow offered to a link: its arrival time and size. `flow` is an
+/// opaque caller-side identifier carried through to the result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFlow {
+    /// Arrival time, s.
+    pub start_s: f64,
+    /// Flow size, bytes.
+    pub size_bytes: f64,
+}
+
+/// A piecewise-constant capacity multiplier: `scale` applies from
+/// `start_s` until the next segment's start (the last segment extends
+/// forever).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSegment {
+    /// Segment start, s.
+    pub start_s: f64,
+    /// Capacity multiplier in `[0, 1]`.
+    pub scale: f64,
+}
+
+/// Marker for a flow that did not finish within the simulated duration
+/// (the exact simulator drops those too). Kept finite and negative so
+/// results survive a JSON round trip.
+pub const INCOMPLETE: f64 = -1.0;
+
+/// Min-heap entry: finish target in virtual time. Targets are finite by
+/// construction.
+#[derive(Debug, PartialEq)]
+struct Pending {
+    target_v: f64,
+    idx: u32,
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we pop the smallest target.
+        other
+            .target_v
+            .partial_cmp(&self.target_v)
+            .expect("finite targets")
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// Simulate `flows` (sorted by `start_s`, all `< duration_s`) sharing
+/// one link of `capacity_gbps` under processor sharing, with capacity
+/// scaled by `segments`. Returns each flow's *finish time* (seconds,
+/// aligned with `flows`), or [`INCOMPLETE`] for flows still in flight
+/// at `duration_s`.
+///
+/// # Panics
+///
+/// Panics if `flows` is not sorted by arrival time or `segments` is not
+/// sorted by start.
+#[must_use]
+pub fn simulate_link(
+    capacity_gbps: f64,
+    segments: &[ScaleSegment],
+    flows: &[LinkFlow],
+    duration_s: f64,
+) -> Vec<f64> {
+    debug_assert!(flows.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    debug_assert!(segments.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    let mut finish = vec![INCOMPLETE; flows.len()];
+    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+    let mut now = 0.0f64;
+    let mut v = 0.0f64; // cumulative per-flow service, bits
+    let mut arr = 0usize;
+    let mut seg = 0usize;
+    // Segments before t=0 collapse onto the current scale.
+    while seg + 1 < segments.len() && segments[seg + 1].start_s <= 0.0 {
+        seg += 1;
+    }
+    loop {
+        let scale = segments.get(seg).map_or(1.0, |s| s.scale);
+        let rate_total = capacity_gbps * 1e9 * scale; // bits/s
+        let next_arrival = flows.get(arr).map_or(f64::INFINITY, |f| f.start_s);
+        let next_boundary = segments.get(seg + 1).map_or(f64::INFINITY, |s| s.start_s);
+        let next_completion = match heap.peek() {
+            Some(p) if rate_total > 0.0 => {
+                now + (p.target_v - v).max(0.0) * heap.len() as f64 / rate_total
+            }
+            _ => f64::INFINITY,
+        };
+        let t = next_arrival.min(next_boundary).min(next_completion);
+        if t >= duration_s || t == f64::INFINITY {
+            break;
+        }
+        // Advance virtual time to t.
+        if !heap.is_empty() && rate_total > 0.0 {
+            v += (t - now) * rate_total / heap.len() as f64;
+        }
+        now = t;
+        if t == next_completion && t <= next_arrival && t <= next_boundary {
+            let top = heap.pop().expect("completion implies pending flow");
+            v = top.target_v; // exact landing kills fp creep
+            finish[top.idx as usize] = now;
+            while let Some(p) = heap.peek() {
+                if p.target_v <= v {
+                    let p = heap.pop().expect("peeked");
+                    finish[p.idx as usize] = now;
+                } else {
+                    break;
+                }
+            }
+        } else if t == next_arrival && t <= next_boundary {
+            let f = flows[arr];
+            heap.push(Pending {
+                target_v: v + f.size_bytes * 8.0,
+                idx: arr as u32,
+            });
+            arr += 1;
+        } else {
+            seg += 1;
+        }
+    }
+    finish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &[ScaleSegment] = &[ScaleSegment {
+        start_s: 0.0,
+        scale: 1.0,
+    }];
+
+    fn flow(start_s: f64, size_bytes: f64) -> LinkFlow {
+        LinkFlow {
+            start_s,
+            size_bytes,
+        }
+    }
+
+    #[test]
+    fn lone_flow_gets_full_capacity() {
+        // 1 Gbps link, 1e9 bits = 1.25e8 bytes -> 1 s transfer.
+        let f = simulate_link(1.0, FULL, &[flow(0.5, 1.25e8)], 10.0);
+        assert!((f[0] - 1.5).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn simultaneous_equal_flows_share_fairly() {
+        let flows = [flow(0.0, 1.25e8), flow(0.0, 1.25e8)];
+        let f = simulate_link(1.0, FULL, &flows, 10.0);
+        // Each gets 0.5 Gbps -> both finish at 2 s.
+        assert!((f[0] - 2.0).abs() < 1e-9);
+        assert!((f[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_short_flow_slows_early_long_flow() {
+        // Long flow alone 0..1, then shares 1..: PS round-robin.
+        let flows = [flow(0.0, 2.5e8), flow(1.0, 1.25e8)];
+        let f = simulate_link(1.0, FULL, &flows, 100.0);
+        // Long flow: 1e9 bits served by t=1; remaining 1e9 at 0.5 Gbps
+        // while short present. Short needs 1e9 shared -> finishes at 3.
+        assert!((f[1] - 3.0).abs() < 1e-7, "{f:?}");
+        // Long then finishes its last 0 bits... remaining at t=3 is
+        // 1e9 - 1e9 = 0: both targets equal, finish together.
+        assert!((f[0] - 3.0).abs() < 1e-7, "{f:?}");
+    }
+
+    #[test]
+    fn unfinished_flow_is_incomplete() {
+        let f = simulate_link(1.0, FULL, &[flow(0.0, 1.25e9)], 5.0);
+        // Needs 10 s on an empty link; duration is 5.
+        assert_eq!(f[0], INCOMPLETE);
+    }
+
+    #[test]
+    fn zero_scale_segment_freezes_progress() {
+        // Dark from 1 to 3 s: a 2 s transfer becomes 4 s.
+        let segments = [
+            ScaleSegment {
+                start_s: 0.0,
+                scale: 1.0,
+            },
+            ScaleSegment {
+                start_s: 1.0,
+                scale: 0.0,
+            },
+            ScaleSegment {
+                start_s: 3.0,
+                scale: 1.0,
+            },
+        ];
+        let f = simulate_link(1.0, &segments, &[flow(0.0, 2.5e8)], 10.0);
+        assert!((f[0] - 4.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn half_scale_doubles_transfer_time() {
+        let segments = [ScaleSegment {
+            start_s: 0.0,
+            scale: 0.5,
+        }];
+        let f = simulate_link(1.0, &segments, &[flow(0.0, 1.25e8)], 10.0);
+        assert!((f[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permanently_dark_link_completes_nothing() {
+        let segments = [ScaleSegment {
+            start_s: 0.0,
+            scale: 0.0,
+        }];
+        let f = simulate_link(1.0, &segments, &[flow(0.0, 8.0), flow(1.0, 8.0)], 10.0);
+        assert_eq!(f, vec![INCOMPLETE, INCOMPLETE]);
+    }
+
+    #[test]
+    fn many_flows_conserve_work() {
+        // 100 back-to-back flows: total service time equals total
+        // bits / capacity once the link saturates.
+        let flows: Vec<LinkFlow> = (0..100).map(|i| flow(0.0, 1e6 * (i + 1) as f64)).collect();
+        let f = simulate_link(1.0, FULL, &flows, 1e6);
+        let total_bits: f64 = flows.iter().map(|x| x.size_bytes * 8.0).sum();
+        let last = f.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((last - total_bits / 1e9).abs() < 1e-6, "{last}");
+        // Shorter flows finish no later than longer ones (same start).
+        for w in f.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

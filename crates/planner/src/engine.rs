@@ -291,6 +291,16 @@ impl<'r> ScenarioEngine<'r> {
         }
     }
 
+    /// Pair indices whose *baseline* path crosses duct `e` — the
+    /// engine's invalidation index. Exposed because it is also the
+    /// crossing index a per-link flow decomposition needs: the set of
+    /// DC pairs whose traffic a duct carries (`iris-simnet` mirrors it
+    /// as `SimTopology::crossing_index` for simulated links).
+    #[must_use]
+    pub fn pairs_crossing(&self, e: EdgeId) -> &[u32] {
+        &self.edge_pairs[e]
+    }
+
     /// Publish the cache counters to the global telemetry registry and
     /// reset the local tallies.
     fn flush_telemetry(&mut self) {
@@ -451,6 +461,31 @@ mod tests {
             engine.cache_hits + engine.cache_invalidations,
             scenarios * n_pairs as u64
         );
+    }
+
+    #[test]
+    fn crossing_index_matches_baseline_paths() {
+        let r = region(7, 4);
+        let goals = DesignGoals::with_cuts(0);
+        let (baseline, _) = scenario_paths(&r, &goals, &[]);
+        let engine = ScenarioEngine::new(&r, &goals);
+        let m = r.map.graph().edge_count();
+        for e in 0..m {
+            let expected: Vec<(usize, usize)> = baseline
+                .iter()
+                .filter(|p| p.edges.contains(&e))
+                .map(|p| (p.a, p.b))
+                .collect();
+            let got: Vec<(usize, usize)> = engine
+                .pairs_crossing(e)
+                .iter()
+                .map(|&idx| {
+                    let s = &engine.slots[idx as usize];
+                    (s.a, s.b)
+                })
+                .collect();
+            assert_eq!(got, expected, "duct {e}");
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!
 //! ## Binary format
 //!
-//! Little-endian, tag-prefixed, no self-description:
+//! Little-endian, tag-prefixed, no self-description, built on the
+//! value-level primitives shared through [`iris_wire::bin`]:
 //!
 //! * enum variant → one `u8` tag (the first payload byte, so a reader
 //!   can classify a response — error or not — without decoding it)
@@ -34,38 +35,7 @@ use crate::api::{
 };
 use iris_errors::{IrisError, IrisResult};
 
-/// A negotiated wire encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Codec {
-    /// Externally-tagged JSON — the boot-time default of every
-    /// connection.
-    #[default]
-    Json,
-    /// The compact binary encoding described in the module docs.
-    Binary,
-}
-
-impl Codec {
-    /// Stable wire name, as carried in `Hello` / `HelloAck`.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Codec::Json => "json",
-            Codec::Binary => "binary",
-        }
-    }
-
-    /// Parse a wire name. Unknown names return `None`; the server turns
-    /// that into a typed `InvalidInput` and stays on the current codec.
-    #[must_use]
-    pub fn from_name(name: &str) -> Option<Codec> {
-        match name {
-            "json" => Some(Codec::Json),
-            "binary" => Some(Codec::Binary),
-            _ => None,
-        }
-    }
-}
+pub use iris_wire::Codec;
 
 /// First payload byte of a binary-encoded error response. Public so the
 /// client and loadgen can classify replies in O(1) on the hot path.
@@ -175,9 +145,10 @@ pub fn response_payload_is_error(codec: Codec, payload: &[u8]) -> bool {
 }
 
 mod bin {
-    //! The binary encoder/decoder proper. Encoding is infallible
-    //! (every value the API can hold is representable); decoding is
-    //! where all the bounds discipline lives.
+    //! The binary encoder/decoder for the service API, built on the
+    //! shared value-level primitives in [`iris_wire::bin`]. Encoding is
+    //! infallible (every value the API can hold is representable); the
+    //! bounds discipline lives in [`iris_wire::bin::Reader`].
 
     use super::decode_err;
     use super::{
@@ -185,6 +156,8 @@ mod bin {
         RecoverySummary, Request, Response, SlowRequestInfo, TopologySummary, TraceDumpInfo,
         TraceEventInfo,
     };
+    pub(super) use iris_wire::bin::Reader;
+    use iris_wire::bin::{w_bool, w_count, w_f64, w_str, w_u32, w_u64, w_u8, w_usize, w_vec_usize};
 
     // ---- request tags ----
     const REQ_GET_PLAN: u8 = 0;
@@ -238,52 +211,6 @@ mod bin {
     const MIN_TRACE_EVENT: usize = 8 + 4 + 4 + 4 + 8 + 8 + 1;
     const MIN_SLOW_REQUEST: usize = 8 + 4 + 8 + 8;
     const MIN_PEER_INFO: usize = 8 + 4 + 1 + 8 + 8 + 8 + 8;
-
-    // ---------------------------------------------------------------
-    // writer
-    // ---------------------------------------------------------------
-
-    fn w_u8(buf: &mut Vec<u8>, v: u8) {
-        buf.push(v);
-    }
-
-    fn w_u32(buf: &mut Vec<u8>, v: u32) {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn w_u64(buf: &mut Vec<u8>, v: u64) {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn w_usize(buf: &mut Vec<u8>, v: usize) {
-        w_u64(buf, v as u64);
-    }
-
-    fn w_f64(buf: &mut Vec<u8>, v: f64) {
-        buf.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-
-    fn w_bool(buf: &mut Vec<u8>, v: bool) {
-        buf.push(u8::from(v));
-    }
-
-    fn w_str(buf: &mut Vec<u8>, s: &str) {
-        // Frame payloads are capped at 1 MiB, far below u32::MAX; the
-        // cast cannot truncate anything that fits a frame.
-        w_u32(buf, s.len() as u32);
-        buf.extend_from_slice(s.as_bytes());
-    }
-
-    fn w_count(buf: &mut Vec<u8>, n: usize) {
-        w_u32(buf, n as u32);
-    }
-
-    fn w_vec_usize(buf: &mut Vec<u8>, v: &[usize]) {
-        w_count(buf, v.len());
-        for &x in v {
-            w_usize(buf, x);
-        }
-    }
 
     pub(super) fn write_request(buf: &mut Vec<u8>, req: &Request) {
         match req {
@@ -588,116 +515,6 @@ mod bin {
                 w_u8(buf, RESP_ERROR);
                 write_error(buf, e);
             }
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // reader
-    // ---------------------------------------------------------------
-
-    /// Cursor over a payload. Every `take` checks remaining bytes
-    /// first; length headers are validated against the remainder before
-    /// any buffer is reserved.
-    pub(super) struct Reader<'a> {
-        b: &'a [u8],
-    }
-
-    impl<'a> Reader<'a> {
-        pub(super) fn new(payload: &'a [u8]) -> Self {
-            Self { b: payload }
-        }
-
-        /// Reject trailing bytes once a value has been decoded.
-        pub(super) fn finish(&self, what: &str) -> IrisResult<()> {
-            if self.b.is_empty() {
-                Ok(())
-            } else {
-                Err(decode_err(format!(
-                    "binary {what}: {} trailing bytes after value",
-                    self.b.len()
-                )))
-            }
-        }
-
-        fn take(&mut self, n: usize, what: &str) -> IrisResult<&'a [u8]> {
-            if self.b.len() < n {
-                return Err(decode_err(format!(
-                    "binary payload truncated reading {what}: need {n} bytes, have {}",
-                    self.b.len()
-                )));
-            }
-            let (head, rest) = self.b.split_at(n);
-            self.b = rest;
-            Ok(head)
-        }
-
-        fn u8(&mut self, what: &str) -> IrisResult<u8> {
-            Ok(self.take(1, what)?[0])
-        }
-
-        fn u32(&mut self, what: &str) -> IrisResult<u32> {
-            let raw = self.take(4, what)?;
-            Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
-        }
-
-        fn u64(&mut self, what: &str) -> IrisResult<u64> {
-            let raw = self.take(8, what)?;
-            let mut bytes = [0u8; 8];
-            bytes.copy_from_slice(raw);
-            Ok(u64::from_le_bytes(bytes))
-        }
-
-        fn usize_(&mut self, what: &str) -> IrisResult<usize> {
-            let v = self.u64(what)?;
-            usize::try_from(v).map_err(|_| decode_err(format!("binary {what}: {v} exceeds usize")))
-        }
-
-        fn f64(&mut self, what: &str) -> IrisResult<f64> {
-            Ok(f64::from_bits(self.u64(what)?))
-        }
-
-        fn bool(&mut self, what: &str) -> IrisResult<bool> {
-            match self.u8(what)? {
-                0 => Ok(false),
-                1 => Ok(true),
-                other => Err(decode_err(format!(
-                    "binary {what}: invalid bool byte {other}"
-                ))),
-            }
-        }
-
-        fn string(&mut self, what: &str) -> IrisResult<String> {
-            let len = self.u32(what)? as usize;
-            // `take` is the pre-allocation bounds check: a length
-            // larger than the remaining payload fails here, before the
-            // String is built.
-            let raw = self.take(len, what)?;
-            std::str::from_utf8(raw)
-                .map(str::to_owned)
-                .map_err(|e| decode_err(format!("binary {what}: invalid UTF-8: {e}")))
-        }
-
-        /// Read an element count, rejecting counts whose minimum
-        /// encoding could not fit the remaining payload (so `Vec`
-        /// capacity is never reserved off attacker-controlled numbers).
-        fn count(&mut self, min_item: usize, what: &str) -> IrisResult<usize> {
-            let n = self.u32(what)? as usize;
-            if n.saturating_mul(min_item) > self.b.len() {
-                return Err(decode_err(format!(
-                    "binary {what}: {n} elements cannot fit {} remaining bytes",
-                    self.b.len()
-                )));
-            }
-            Ok(n)
-        }
-
-        fn vec_usize(&mut self, what: &str) -> IrisResult<Vec<usize>> {
-            let n = self.count(8, what)?;
-            let mut v = Vec::with_capacity(n);
-            for _ in 0..n {
-                v.push(self.usize_(what)?);
-            }
-            Ok(v)
         }
     }
 

@@ -58,7 +58,7 @@
 pub mod api;
 pub mod client;
 pub mod codec;
-pub mod frame;
+pub use iris_wire::frame;
 pub mod loadgen;
 pub mod recovery;
 pub mod server;

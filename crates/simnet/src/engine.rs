@@ -12,8 +12,17 @@
 //! time (~70 ms), reducing each link's available capacity by the moved
 //! traffic fraction. The EPS baseline sees the same arrivals and matrix
 //! changes but never loses capacity.
+//!
+//! The event loop itself ([`drive`]) is parameterized over an
+//! [`EventSource`] so that two producers share one float-identical
+//! implementation: the live RNG-backed source used by
+//! [`Simulator::run`], and the list-backed source used by
+//! [`crate::trace::FlowTrace::replay`] — which is how the decomposed
+//! estimator in `iris-flowsim` validates against this exact simulator
+//! on the *same* arrival sequence.
 
 use crate::topology::SimTopology;
+use crate::trace::{FlowTrace, TraceArrival, TraceFlow};
 use crate::traffic::{pair_index, ChangeModel, TrafficMatrix};
 use crate::workloads::FlowSizeDist;
 use rand::rngs::StdRng;
@@ -70,8 +79,10 @@ pub struct CapacityEvent {
     pub links: Option<Vec<crate::topology::LinkId>>,
 }
 
-/// Full simulation configuration.
-#[derive(Debug, Clone)]
+/// Full simulation configuration. Serializable so a distributed
+/// flow-simulation job can ship the *recipe* for a run (topology +
+/// matrix + config) instead of the run's flows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Simulated seconds.
     pub duration_s: f64,
@@ -162,48 +173,14 @@ impl Simulator {
     }
 
     /// Clamp the matrix so no link's *expected* offered load exceeds its
-    /// capacity. §6.3 assumes "provisioning is sufficient to handle the
-    /// traffic before and after the reconfiguration"; without this, an
-    /// unbounded matrix change could concentrate more load on one
-    /// circuit than it could ever carry and flows would back up without
-    /// bound. The clamp thins the affected pairs' arrivals (traffic that
-    /// the provisioned circuits genuinely cannot admit).
-    fn clamp_matrix_to_capacity(&mut self) {
-        const HEADROOM: f64 = 0.95;
-        let offered_per_weight = self.arrival_rate * self.mean_bits / 1e9; // Gbps at weight 1
-        let n = self.topo.n_dcs;
-        for _ in 0..32 {
-            let mut load = vec![0.0f64; self.topo.links.len()];
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let w = self.matrix.weight(i, j);
-                    for &l in self.topo.route(i, j) {
-                        load[l] += w * offered_per_weight;
-                    }
-                }
-            }
-            let mut factor = vec![1.0f64; crate::traffic::pair_count(n)];
-            let mut any = false;
-            for (l, &ld) in load.iter().enumerate() {
-                let cap = self.topo.links[l].capacity_gbps * HEADROOM;
-                if ld > cap {
-                    any = true;
-                    let f = cap / ld;
-                    for i in 0..n {
-                        for j in (i + 1)..n {
-                            if self.topo.route(i, j).contains(&l) {
-                                let idx = pair_index(n, i, j);
-                                factor[idx] = factor[idx].min(f);
-                            }
-                        }
-                    }
-                }
-            }
-            if !any {
-                break;
-            }
-            self.matrix.rescale(|idx, _| factor[idx]);
-        }
+    /// capacity (see [`clamp_matrix_to_capacity`]).
+    fn clamp_matrix(&mut self) {
+        clamp_matrix_to_capacity(
+            &self.topo,
+            &mut self.matrix,
+            self.arrival_rate,
+            self.mean_bits,
+        );
     }
 
     /// Calibrated global arrival rate, flows/s.
@@ -244,222 +221,88 @@ impl Simulator {
     /// simulated duration.
     #[must_use]
     pub fn run(mut self) -> Vec<FlowRecord> {
-        let telemetry = iris_telemetry::global();
-        let outage_hist = telemetry.histogram("iris_simnet_reconfig_outage_s");
-        let event_wall = telemetry.histogram("iris_simnet_event_wall_s");
-        // The event loop runs ~1 µs per event; shared-atomic updates and
-        // clock reads in it are measurable, so counters accumulate in
-        // locals flushed once after the loop, and the per-event wall
-        // timing is sampled (1 in EVENT_WALL_SAMPLE events).
-        const EVENT_WALL_SAMPLE: u64 = 64;
-        let mut events: u64 = 0;
-        let mut arrivals: u64 = 0;
-        let mut completions: u64 = 0;
-        let mut waterfill_round_sum: u64 = 0;
-        let mut reconfig_outage_count: u64 = 0;
-        let mut active_peak_seen: usize = 0;
+        self.clamp_matrix();
+        let Simulator {
+            topo,
+            matrix,
+            config,
+            arrival_rate,
+            mean_bits,
+        } = self;
+        let duration = config.duration_s;
+        let fabric = config.fabric;
+        let mut src = RngSource::new(
+            &topo,
+            matrix,
+            config.flow_sizes,
+            config.change_model,
+            config.change_interval_s,
+            arrival_rate,
+            mean_bits,
+            config.seed,
+        );
+        drive(&topo, duration, fabric, &config.capacity_events, &mut src)
+    }
 
-        self.clamp_matrix_to_capacity();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut records = Vec::new();
-        let mut flows: Vec<ActiveFlow> = Vec::new();
-        let mut now = 0.0f64;
-        let mut next_arrival = sample_exp(&mut rng, self.arrival_rate);
-        let mut next_change = self.config.change_interval_s.unwrap_or(f64::INFINITY);
-        let mut outage_until = f64::NEG_INFINITY;
-        let mut outage_fraction = 0.0f64;
-        let duration = self.config.duration_s;
-
-        // Boundaries at which scheduled capacity events start or end.
-        let mut event_boundaries: Vec<f64> = self
-            .config
-            .capacity_events
-            .iter()
-            .flat_map(|e| [e.start_s, e.start_s + e.duration_s])
-            .collect();
-        event_boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-
+    /// Materialize this run's *workload* — every admitted arrival with
+    /// its pair and size, every thinned (non-admitted) arrival tick, and
+    /// the moved-traffic fraction of every matrix change — without
+    /// simulating any flow dynamics.
+    ///
+    /// Arrival times, admission decisions and change magnitudes depend
+    /// only on the RNG and the (clamped, evolving) matrix, never on flow
+    /// progress, so this replays exactly the draw sequence
+    /// [`Simulator::run`] would consume. The returned
+    /// [`FlowTrace`] therefore satisfies `trace.replay(&topo) ==
+    /// sim.run()` float-for-float, and is what the decomposed
+    /// per-link estimator consumes. Costs O(flows), no water-filling.
+    #[must_use]
+    pub fn trace(mut self) -> FlowTrace {
+        self.clamp_matrix();
+        let Simulator {
+            topo,
+            matrix,
+            config,
+            arrival_rate,
+            mean_bits,
+        } = self;
+        let duration = config.duration_s;
+        let mut src = RngSource::new(
+            &topo,
+            matrix,
+            config.flow_sizes,
+            config.change_model,
+            config.change_interval_s,
+            arrival_rate,
+            mean_bits,
+            config.seed,
+        );
+        let mut arrivals = Vec::new();
+        let mut change_fractions = Vec::new();
         loop {
-            let iter_start = if events.is_multiple_of(EVENT_WALL_SAMPLE) {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            events += 1;
-            let keep_running = 'event: {
-                // Per-link capacity scaling: reconfiguration outage (global)
-                // times any scheduled events covering the link.
-                let outage_scale = if now < outage_until {
-                    1.0 - outage_fraction
-                } else {
-                    1.0
-                };
-                let mut link_scale = vec![outage_scale; self.topo.links.len()];
-                for ev in &self.config.capacity_events {
-                    if now + 1e-12 >= ev.start_s && now < ev.start_s + ev.duration_s {
-                        match &ev.links {
-                            None => {
-                                for s in &mut link_scale {
-                                    *s *= ev.capacity_factor;
-                                }
-                            }
-                            Some(ids) => {
-                                for &l in ids {
-                                    link_scale[l] *= ev.capacity_factor;
-                                }
-                            }
-                        }
-                    }
-                }
-                let rounds = assign_max_min_rates(&self.topo, &link_scale, &mut flows);
-                waterfill_round_sum += rounds as u64;
-                active_peak_seen = active_peak_seen.max(flows.len());
-
-                // Next event time.
-                let next_completion = flows
-                    .iter()
-                    .filter(|f| f.rate_gbps > 0.0)
-                    .map(|f| now + f.remaining_bits / (f.rate_gbps * 1e9))
-                    .fold(f64::INFINITY, f64::min);
-                let outage_end = if now < outage_until {
-                    outage_until
-                } else {
-                    f64::INFINITY
-                };
-                let next_boundary = event_boundaries
-                    .iter()
-                    .copied()
-                    .find(|&b| b > now + 1e-12)
-                    .unwrap_or(f64::INFINITY);
-                let t = next_arrival
-                    .min(next_completion)
-                    .min(next_change)
-                    .min(outage_end)
-                    .min(next_boundary)
-                    .min(duration);
-
-                // Advance flow progress to t.
-                let dt = t - now;
-                if dt > 0.0 {
-                    for f in &mut flows {
-                        f.remaining_bits = (f.remaining_bits - f.rate_gbps * 1e9 * dt).max(0.0);
-                    }
-                }
-                now = t;
-                if now >= duration {
-                    break 'event false;
-                }
-
-                if now >= next_completion - 1e-15
-                    && next_completion <= next_arrival.min(next_change)
-                {
-                    // Harvest completed flows. Sub-bit residues are float
-                    // noise from the rate * dt advance; without forgiving
-                    // them, a flow can sit epsilon above zero with a
-                    // completion time that rounds back to `now`, spinning
-                    // the event loop forever.
-                    let records_before = records.len();
-                    let before = flows.len();
-                    let rtt = |pair: (usize, usize)| {
-                        self.topo.route_rtt_s[pair_index(self.topo.n_dcs, pair.0, pair.1)]
-                    };
-                    flows.retain(|f| {
-                        if f.remaining_bits <= 1.0 {
-                            records.push(FlowRecord {
-                                pair: f.pair,
-                                size_bytes: f.size_bytes,
-                                start_s: f.start_s,
-                                fct_s: now - f.start_s + rtt(f.pair),
-                            });
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    if flows.len() == before {
-                        // Forced progress: finish the flow the scheduler said
-                        // was done (its residue is pure rounding error).
-                        if let Some(min_idx) = (0..flows.len())
-                            .filter(|&i| flows[i].rate_gbps > 0.0)
-                            .min_by(|&a, &b| {
-                                let ta = flows[a].remaining_bits / flows[a].rate_gbps;
-                                let tb = flows[b].remaining_bits / flows[b].rate_gbps;
-                                ta.partial_cmp(&tb).expect("finite")
-                            })
-                        {
-                            let f = flows.swap_remove(min_idx);
-                            records.push(FlowRecord {
-                                pair: f.pair,
-                                size_bytes: f.size_bytes,
-                                start_s: f.start_s,
-                                fct_s: now - f.start_s + rtt(f.pair),
-                            });
-                        }
-                    }
-                    completions += (records.len() - records_before) as u64;
-                    break 'event true;
-                }
-
-                if now >= next_arrival - 1e-15 && next_arrival <= next_change {
-                    // New flow. `sample_pair` thins arrivals when the clamp
-                    // has reduced the total admitted weight below 1.
-                    if let Some(pair) = sample_pair(&mut rng, &self.matrix) {
-                        let size = self.config.flow_sizes.sample(&mut rng);
-                        flows.push(ActiveFlow {
-                            pair,
-                            size_bytes: size,
-                            remaining_bits: size * 8.0,
-                            start_s: now,
-                            rate_gbps: 0.0,
-                        });
-                        arrivals += 1;
-                    }
-                    next_arrival = now + sample_exp(&mut rng, self.arrival_rate);
-                    break 'event true;
-                }
-
-                if now >= next_change - 1e-15 {
-                    let moved = self.matrix.change(self.config.change_model);
-                    self.clamp_matrix_to_capacity();
-                    if let FabricModel::Iris { outage_s } = self.config.fabric {
-                        outage_fraction = moved.clamp(0.0, 0.9);
-                        if outage_fraction > 0.0 {
-                            outage_until = now + outage_s;
-                            reconfig_outage_count += 1;
-                            outage_hist.record(outage_s);
-                        }
-                    }
-                    next_change = now + self.config.change_interval_s.expect("change scheduled");
-                    break 'event true;
-                }
-                // Otherwise: outage ended; loop back and recompute rates.
-                true
-            };
-            if let Some(start) = iter_start {
-                event_wall.record(start.elapsed().as_secs_f64());
-            }
-            if !keep_running {
+            let ta = src.next_arrival();
+            let tc = src.next_change();
+            if ta.min(tc) >= duration {
                 break;
             }
+            if ta <= tc {
+                let flow = src
+                    .pop_arrival(ta)
+                    .map(|(pair, size_bytes)| TraceFlow { pair, size_bytes });
+                arrivals.push(TraceArrival { start_s: ta, flow });
+            } else {
+                change_fractions.push(src.pop_change(tc));
+            }
         }
-
-        telemetry.counter("iris_simnet_events_total").add(events);
-        telemetry
-            .counter("iris_simnet_arrivals_total")
-            .add(arrivals);
-        telemetry
-            .counter("iris_simnet_flows_completed_total")
-            .add(completions);
-        telemetry
-            .counter("iris_simnet_waterfill_rounds_total")
-            .add(waterfill_round_sum);
-        telemetry
-            .counter("iris_simnet_reconfig_outages_total")
-            .add(reconfig_outage_count);
-        telemetry
-            .gauge("iris_simnet_active_flows_peak")
-            .set_max(active_peak_seen as i64);
-        records
+        FlowTrace {
+            n_dcs: topo.n_dcs,
+            duration_s: duration,
+            change_interval_s: config.change_interval_s,
+            fabric: config.fabric,
+            capacity_events: config.capacity_events,
+            arrivals,
+            change_fractions,
+        }
     }
 }
 
@@ -499,32 +342,452 @@ pub struct SimRun {
     pub records: Vec<FlowRecord>,
 }
 
-/// Progressive water-filling: every flow gets its max-min fair share of
-/// the links on its route, with capacities scaled by `capacity_scale`.
-/// Returns the number of water-filling rounds (bottleneck links fixed).
+/// Clamp the matrix so no link's *expected* offered load exceeds its
+/// capacity. §6.3 assumes "provisioning is sufficient to handle the
+/// traffic before and after the reconfiguration"; without this, an
+/// unbounded matrix change could concentrate more load on one
+/// circuit than it could ever carry and flows would back up without
+/// bound. The clamp thins the affected pairs' arrivals (traffic that
+/// the provisioned circuits genuinely cannot admit).
+pub(crate) fn clamp_matrix_to_capacity(
+    topo: &SimTopology,
+    matrix: &mut TrafficMatrix,
+    arrival_rate: f64,
+    mean_bits: f64,
+) {
+    const HEADROOM: f64 = 0.95;
+    let offered_per_weight = arrival_rate * mean_bits / 1e9; // Gbps at weight 1
+    let n = topo.n_dcs;
+    for _ in 0..32 {
+        let mut load = vec![0.0f64; topo.links.len()];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = matrix.weight(i, j);
+                for &l in topo.route(i, j) {
+                    load[l] += w * offered_per_weight;
+                }
+            }
+        }
+        let mut factor = vec![1.0f64; crate::traffic::pair_count(n)];
+        let mut any = false;
+        for (l, &ld) in load.iter().enumerate() {
+            let cap = topo.links[l].capacity_gbps * HEADROOM;
+            if ld > cap {
+                any = true;
+                let f = cap / ld;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if topo.route(i, j).contains(&l) {
+                            let idx = pair_index(n, i, j);
+                            factor[idx] = factor[idx].min(f);
+                        }
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        matrix.rescale(|idx, _| factor[idx]);
+    }
+}
+
+/// What the event loop pulls from its workload producer: the time of
+/// the next arrival and matrix change, plus the state transitions when
+/// one fires. Implemented by the live RNG source ([`Simulator::run`])
+/// and by the recorded-trace source ([`FlowTrace::replay`]); [`drive`]
+/// contains every other line of the loop, so the two runs perform the
+/// same float operations in the same order.
+pub(crate) trait EventSource {
+    /// Scheduled time of the next flow arrival (admitted or thinned).
+    fn next_arrival(&self) -> f64;
+    /// Scheduled time of the next traffic-matrix change.
+    fn next_change(&self) -> f64;
+    /// Consume the pending arrival at `now`; `Some((pair, size_bytes))`
+    /// when the arrival is admitted, `None` when capacity clamping
+    /// thinned it away.
+    fn pop_arrival(&mut self, now: f64) -> Option<((usize, usize), f64)>;
+    /// Consume the pending matrix change at `now`, returning the moved
+    /// traffic fraction.
+    fn pop_change(&mut self, now: f64) -> f64;
+}
+
+/// The live source: arrivals from a seeded Poisson process, pairs and
+/// sizes drawn per arrival, matrix changes applied and re-clamped in
+/// place.
+pub(crate) struct RngSource<'a> {
+    topo: &'a SimTopology,
+    matrix: TrafficMatrix,
+    flow_sizes: FlowSizeDist,
+    change_model: ChangeModel,
+    change_interval_s: Option<f64>,
+    arrival_rate: f64,
+    mean_bits: f64,
+    rng: StdRng,
+    next_arrival: f64,
+    next_change: f64,
+}
+
+impl<'a> RngSource<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        topo: &'a SimTopology,
+        matrix: TrafficMatrix,
+        flow_sizes: FlowSizeDist,
+        change_model: ChangeModel,
+        change_interval_s: Option<f64>,
+        arrival_rate: f64,
+        mean_bits: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let next_arrival = sample_exp(&mut rng, arrival_rate);
+        Self {
+            topo,
+            matrix,
+            flow_sizes,
+            change_model,
+            change_interval_s,
+            arrival_rate,
+            mean_bits,
+            rng,
+            next_arrival,
+            next_change: change_interval_s.unwrap_or(f64::INFINITY),
+        }
+    }
+}
+
+impl EventSource for RngSource<'_> {
+    fn next_arrival(&self) -> f64 {
+        self.next_arrival
+    }
+
+    fn next_change(&self) -> f64 {
+        self.next_change
+    }
+
+    fn pop_arrival(&mut self, now: f64) -> Option<((usize, usize), f64)> {
+        // `sample_pair` thins arrivals when the clamp has reduced the
+        // total admitted weight below 1.
+        let admitted = sample_pair(&mut self.rng, &self.matrix)
+            .map(|pair| (pair, self.flow_sizes.sample(&mut self.rng)));
+        self.next_arrival = now + sample_exp(&mut self.rng, self.arrival_rate);
+        admitted
+    }
+
+    fn pop_change(&mut self, now: f64) -> f64 {
+        let moved = self.matrix.change(self.change_model);
+        clamp_matrix_to_capacity(
+            self.topo,
+            &mut self.matrix,
+            self.arrival_rate,
+            self.mean_bits,
+        );
+        self.next_change = now + self.change_interval_s.expect("change scheduled");
+        moved
+    }
+}
+
+/// The shared event loop: max-min rate recompute at every event, exact
+/// fluid progress between events, reconfiguration outages under
+/// [`FabricModel::Iris`]. Returns all flows that *finished* within the
+/// simulated duration.
+pub(crate) fn drive<S: EventSource>(
+    topo: &SimTopology,
+    duration: f64,
+    fabric: FabricModel,
+    capacity_events: &[CapacityEvent],
+    src: &mut S,
+) -> Vec<FlowRecord> {
+    let telemetry = iris_telemetry::global();
+    let outage_hist = telemetry.histogram("iris_simnet_reconfig_outage_s");
+    let event_wall = telemetry.histogram("iris_simnet_event_wall_s");
+    // The event loop runs ~1 µs per event; shared-atomic updates and
+    // clock reads in it are measurable, so counters accumulate in
+    // locals flushed once after the loop, and the per-event wall
+    // timing is sampled (1 in EVENT_WALL_SAMPLE events).
+    const EVENT_WALL_SAMPLE: u64 = 64;
+    let mut events: u64 = 0;
+    let mut arrivals: u64 = 0;
+    let mut completions: u64 = 0;
+    let mut waterfill_round_sum: u64 = 0;
+    let mut reconfig_outage_count: u64 = 0;
+    let mut active_peak_seen: usize = 0;
+
+    let mut records = Vec::new();
+    let mut flows: Vec<ActiveFlow> = Vec::new();
+    let mut now = 0.0f64;
+    let mut outage_until = f64::NEG_INFINITY;
+    let mut outage_fraction = 0.0f64;
+
+    // Per-event buffers, allocated once and reused across the run (the
+    // recompute used to allocate four vectors per event; at ~1 µs per
+    // event the allocator traffic dominated).
+    let mut scratch = WaterfillScratch::new();
+    let mut link_scale: Vec<f64> = Vec::new();
+    let mut pairs_buf: Vec<(usize, usize)> = Vec::new();
+
+    // Boundaries at which scheduled capacity events start or end.
+    let mut event_boundaries: Vec<f64> = capacity_events
+        .iter()
+        .flat_map(|e| [e.start_s, e.start_s + e.duration_s])
+        .collect();
+    event_boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    loop {
+        let iter_start = if events.is_multiple_of(EVENT_WALL_SAMPLE) {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        events += 1;
+        let keep_running = 'event: {
+            let next_arrival = src.next_arrival();
+            let next_change = src.next_change();
+            // Per-link capacity scaling: reconfiguration outage (global)
+            // times any scheduled events covering the link.
+            let outage_scale = if now < outage_until {
+                1.0 - outage_fraction
+            } else {
+                1.0
+            };
+            link_scale.clear();
+            link_scale.resize(topo.links.len(), outage_scale);
+            for ev in capacity_events {
+                if now + 1e-12 >= ev.start_s && now < ev.start_s + ev.duration_s {
+                    match &ev.links {
+                        None => {
+                            for s in &mut link_scale {
+                                *s *= ev.capacity_factor;
+                            }
+                        }
+                        Some(ids) => {
+                            for &l in ids {
+                                link_scale[l] *= ev.capacity_factor;
+                            }
+                        }
+                    }
+                }
+            }
+            pairs_buf.clear();
+            pairs_buf.extend(flows.iter().map(|f| f.pair));
+            let rounds = max_min_rates(topo, &link_scale, &pairs_buf, &mut scratch);
+            for (f, &r) in flows.iter_mut().zip(scratch.rates()) {
+                f.rate_gbps = r;
+            }
+            waterfill_round_sum += rounds as u64;
+            active_peak_seen = active_peak_seen.max(flows.len());
+
+            // Next event time.
+            let next_completion = flows
+                .iter()
+                .filter(|f| f.rate_gbps > 0.0)
+                .map(|f| now + f.remaining_bits / (f.rate_gbps * 1e9))
+                .fold(f64::INFINITY, f64::min);
+            let outage_end = if now < outage_until {
+                outage_until
+            } else {
+                f64::INFINITY
+            };
+            let next_boundary = event_boundaries
+                .iter()
+                .copied()
+                .find(|&b| b > now + 1e-12)
+                .unwrap_or(f64::INFINITY);
+            let t = next_arrival
+                .min(next_completion)
+                .min(next_change)
+                .min(outage_end)
+                .min(next_boundary)
+                .min(duration);
+
+            // Advance flow progress to t.
+            let dt = t - now;
+            if dt > 0.0 {
+                for f in &mut flows {
+                    f.remaining_bits = (f.remaining_bits - f.rate_gbps * 1e9 * dt).max(0.0);
+                }
+            }
+            now = t;
+            if now >= duration {
+                break 'event false;
+            }
+
+            if now >= next_completion - 1e-15 && next_completion <= next_arrival.min(next_change) {
+                // Harvest completed flows. Sub-bit residues are float
+                // noise from the rate * dt advance; without forgiving
+                // them, a flow can sit epsilon above zero with a
+                // completion time that rounds back to `now`, spinning
+                // the event loop forever.
+                let records_before = records.len();
+                let before = flows.len();
+                let rtt =
+                    |pair: (usize, usize)| topo.route_rtt_s[pair_index(topo.n_dcs, pair.0, pair.1)];
+                flows.retain(|f| {
+                    if f.remaining_bits <= 1.0 {
+                        records.push(FlowRecord {
+                            pair: f.pair,
+                            size_bytes: f.size_bytes,
+                            start_s: f.start_s,
+                            fct_s: now - f.start_s + rtt(f.pair),
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if flows.len() == before {
+                    // Forced progress: finish the flow the scheduler said
+                    // was done (its residue is pure rounding error).
+                    if let Some(min_idx) = (0..flows.len())
+                        .filter(|&i| flows[i].rate_gbps > 0.0)
+                        .min_by(|&a, &b| {
+                            let ta = flows[a].remaining_bits / flows[a].rate_gbps;
+                            let tb = flows[b].remaining_bits / flows[b].rate_gbps;
+                            ta.partial_cmp(&tb).expect("finite")
+                        })
+                    {
+                        let f = flows.swap_remove(min_idx);
+                        records.push(FlowRecord {
+                            pair: f.pair,
+                            size_bytes: f.size_bytes,
+                            start_s: f.start_s,
+                            fct_s: now - f.start_s + rtt(f.pair),
+                        });
+                    }
+                }
+                completions += (records.len() - records_before) as u64;
+                break 'event true;
+            }
+
+            if now >= next_arrival - 1e-15 && next_arrival <= next_change {
+                if let Some((pair, size)) = src.pop_arrival(now) {
+                    flows.push(ActiveFlow {
+                        pair,
+                        size_bytes: size,
+                        remaining_bits: size * 8.0,
+                        start_s: now,
+                        rate_gbps: 0.0,
+                    });
+                    arrivals += 1;
+                }
+                break 'event true;
+            }
+
+            if now >= next_change - 1e-15 {
+                let moved = src.pop_change(now);
+                if let FabricModel::Iris { outage_s } = fabric {
+                    outage_fraction = moved.clamp(0.0, 0.9);
+                    if outage_fraction > 0.0 {
+                        outage_until = now + outage_s;
+                        reconfig_outage_count += 1;
+                        outage_hist.record(outage_s);
+                    }
+                }
+                break 'event true;
+            }
+            // Otherwise: outage ended; loop back and recompute rates.
+            true
+        };
+        if let Some(start) = iter_start {
+            event_wall.record(start.elapsed().as_secs_f64());
+        }
+        if !keep_running {
+            break;
+        }
+    }
+
+    telemetry.counter("iris_simnet_events_total").add(events);
+    telemetry
+        .counter("iris_simnet_arrivals_total")
+        .add(arrivals);
+    telemetry
+        .counter("iris_simnet_flows_completed_total")
+        .add(completions);
+    telemetry
+        .counter("iris_simnet_waterfill_rounds_total")
+        .add(waterfill_round_sum);
+    telemetry
+        .counter("iris_simnet_reconfig_outages_total")
+        .add(reconfig_outage_count);
+    telemetry
+        .gauge("iris_simnet_active_flows_peak")
+        .set_max(active_peak_seen as i64);
+    records
+}
+
+/// Reusable buffers for [`max_min_rates`] — the engine's answer to the
+/// planner's `DijkstraScratch`. The recompute runs at every simulator
+/// event; allocating its five working vectors per call dominated the
+/// event loop's wall time, so callers hold one scratch for the whole
+/// run and the recompute only ever grows it.
+#[derive(Debug, Default)]
+pub struct WaterfillScratch {
+    residual: Vec<f64>,
+    link_flows: Vec<Vec<u32>>,
+    active_on_link: Vec<usize>,
+    fixed: Vec<bool>,
+    rates: Vec<f64>,
+}
+
+impl WaterfillScratch {
+    /// Empty scratch; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rates (Gbps) computed by the last [`max_min_rates`] call, one
+    /// per input pair.
+    #[must_use]
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+/// Progressive water-filling: every entry of `pairs` is one active flow
+/// that gets its max-min fair share of the links on its route, with
+/// capacities scaled by `link_scale`. Rates land in `scratch.rates()`;
+/// flows with no route get rate 0. Returns the number of water-filling
+/// rounds (bottleneck links fixed).
 ///
 /// Complexity: `O(L^2 + F * pathlen)` — each round saturates one link
 /// and only touches that link's flow list, so the allocator stays fast
 /// even when queues build up at the paper's high-utilization extremes.
-fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [ActiveFlow]) -> usize {
+pub fn max_min_rates(
+    topo: &SimTopology,
+    link_scale: &[f64],
+    pairs: &[(usize, usize)],
+    scratch: &mut WaterfillScratch,
+) -> usize {
     let l_count = topo.links.len();
-    let mut residual: Vec<f64> = topo
-        .links
-        .iter()
-        .zip(link_scale)
-        .map(|(l, &s)| l.capacity_gbps * s)
-        .collect();
-    let mut link_flows: Vec<Vec<u32>> = vec![Vec::new(); l_count];
-    let mut active_on_link = vec![0usize; l_count];
-    let mut fixed = vec![false; flows.len()];
-    for (fi, f) in flows.iter().enumerate() {
-        let route = topo.route(f.pair.0, f.pair.1);
+    scratch.residual.clear();
+    scratch.residual.extend(
+        topo.links
+            .iter()
+            .zip(link_scale)
+            .map(|(l, &s)| l.capacity_gbps * s),
+    );
+    if scratch.link_flows.len() < l_count {
+        scratch.link_flows.resize_with(l_count, Vec::new);
+    }
+    for v in &mut scratch.link_flows[..l_count] {
+        v.clear();
+    }
+    scratch.active_on_link.clear();
+    scratch.active_on_link.resize(l_count, 0);
+    scratch.fixed.clear();
+    scratch.fixed.resize(pairs.len(), false);
+    scratch.rates.clear();
+    scratch.rates.resize(pairs.len(), 0.0);
+    for (fi, &(a, b)) in pairs.iter().enumerate() {
+        let route = topo.route(a, b);
         if route.is_empty() {
-            fixed[fi] = true;
+            scratch.fixed[fi] = true;
         }
         for &l in route {
-            link_flows[l].push(fi as u32);
-            active_on_link[l] += 1;
+            scratch.link_flows[l].push(fi as u32);
+            scratch.active_on_link[l] += 1;
         }
     }
     let mut rounds = 0usize;
@@ -532,10 +795,10 @@ fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [Act
         // Bottleneck link: smallest fair share among links with flows.
         let mut best: Option<(usize, f64)> = None;
         for l in 0..l_count {
-            if active_on_link[l] == 0 {
+            if scratch.active_on_link[l] == 0 {
                 continue;
             }
-            let share = residual[l].max(0.0) / active_on_link[l] as f64;
+            let share = scratch.residual[l].max(0.0) / scratch.active_on_link[l] as f64;
             if best.is_none_or(|(_, s)| share < s) {
                 best = Some((l, share));
             }
@@ -545,21 +808,20 @@ fn assign_max_min_rates(topo: &SimTopology, link_scale: &[f64], flows: &mut [Act
         };
         rounds += 1;
         // Fix every unfixed flow crossing the bottleneck at `share`.
-        let members = std::mem::take(&mut link_flows[bottleneck]);
-        for fi in members {
-            let fi = fi as usize;
-            if fixed[fi] {
+        for m in 0..scratch.link_flows[bottleneck].len() {
+            let fi = scratch.link_flows[bottleneck][m] as usize;
+            if scratch.fixed[fi] {
                 continue;
             }
-            fixed[fi] = true;
-            let f = &mut flows[fi];
-            f.rate_gbps = share;
-            for &l in topo.route(f.pair.0, f.pair.1) {
-                residual[l] -= share;
-                active_on_link[l] -= 1;
+            scratch.fixed[fi] = true;
+            scratch.rates[fi] = share;
+            let (a, b) = pairs[fi];
+            for &l in topo.route(a, b) {
+                scratch.residual[l] -= share;
+                scratch.active_on_link[l] -= 1;
             }
         }
-        debug_assert_eq!(active_on_link[bottleneck], 0);
+        debug_assert_eq!(scratch.active_on_link[bottleneck], 0);
     }
     rounds
 }
@@ -604,76 +866,72 @@ mod tests {
         }
     }
 
+    /// Waterfill over one flow per pair, fresh scratch (the pre-scratch
+    /// call shape, used by the allocator unit tests).
+    fn rates_for(topo: &SimTopology, pairs: &[(usize, usize)]) -> Vec<f64> {
+        let mut scratch = WaterfillScratch::new();
+        max_min_rates(topo, &vec![1.0; topo.links.len()], pairs, &mut scratch);
+        scratch.rates().to_vec()
+    }
+
     #[test]
     fn single_flow_gets_bottleneck_rate() {
         let topo = SimTopology::hub_and_spoke(3, 10.0);
-        let mut flows = vec![ActiveFlow {
-            pair: (0, 1),
-            size_bytes: 1e6,
-            remaining_bits: 8e6,
-            start_s: 0.0,
-            rate_gbps: 0.0,
-        }];
-        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
-        assert!((flows[0].rate_gbps - 10.0).abs() < 1e-9);
+        let rates = rates_for(&topo, &[(0, 1)]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn two_flows_share_common_spoke() {
         let topo = SimTopology::hub_and_spoke(3, 10.0);
-        let mk = |pair| ActiveFlow {
-            pair,
-            size_bytes: 1e6,
-            remaining_bits: 8e6,
-            start_s: 0.0,
-            rate_gbps: 0.0,
-        };
         // Both flows use spoke 0.
-        let mut flows = vec![mk((0, 1)), mk((0, 2))];
-        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
-        assert!((flows[0].rate_gbps - 5.0).abs() < 1e-9);
-        assert!((flows[1].rate_gbps - 5.0).abs() < 1e-9);
+        let rates = rates_for(&topo, &[(0, 1), (0, 2)]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
     }
 
     #[test]
     fn max_min_is_work_conserving_on_disjoint_flows() {
         let topo = SimTopology::hub_and_spoke(4, 10.0);
-        let mk = |pair| ActiveFlow {
-            pair,
-            size_bytes: 1e6,
-            remaining_bits: 8e6,
-            start_s: 0.0,
-            rate_gbps: 0.0,
-        };
-        let mut flows = vec![mk((0, 1)), mk((2, 3))];
-        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
-        for f in &flows {
-            assert!((f.rate_gbps - 10.0).abs() < 1e-9);
+        for r in rates_for(&topo, &[(0, 1), (2, 3)]) {
+            assert!((r - 10.0).abs() < 1e-9);
         }
     }
 
     #[test]
     fn rates_never_exceed_link_capacity() {
         let topo = SimTopology::hub_and_spoke(4, 10.0);
-        let mk = |pair| ActiveFlow {
-            pair,
-            size_bytes: 1e6,
-            remaining_bits: 8e6,
-            start_s: 0.0,
-            rate_gbps: 0.0,
-        };
-        let mut flows: Vec<ActiveFlow> = (0..4)
+        let pairs: Vec<(usize, usize)> = (0..4)
             .flat_map(|i| ((i + 1)..4).map(move |j| (i, j)))
-            .map(mk)
             .collect();
-        assign_max_min_rates(&topo, &vec![1.0; topo.links.len()], &mut flows);
+        let rates = rates_for(&topo, &pairs);
         for l in 0..topo.links.len() {
-            let load: f64 = flows
+            let load: f64 = pairs
                 .iter()
-                .filter(|f| topo.route(f.pair.0, f.pair.1).contains(&l))
-                .map(|f| f.rate_gbps)
+                .zip(&rates)
+                .filter(|((a, b), _)| topo.route(*a, *b).contains(&l))
+                .map(|(_, &r)| r)
                 .sum();
             assert!(load <= 10.0 + 1e-6, "link {l} overloaded: {load}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        let topo = SimTopology::hub_and_spoke(6, 3.0);
+        let pairs: Vec<(usize, usize)> = (0..6)
+            .flat_map(|i| ((i + 1)..6).map(move |j| (i, j)))
+            .cycle()
+            .take(200)
+            .collect();
+        let scale = vec![0.7; topo.links.len()];
+        let mut reused = WaterfillScratch::new();
+        for population in [&pairs[..3], &pairs[..200], &pairs[..50], &pairs[..0]] {
+            let rounds_reused = max_min_rates(&topo, &scale, population, &mut reused);
+            let mut fresh = WaterfillScratch::new();
+            let rounds_fresh = max_min_rates(&topo, &scale, population, &mut fresh);
+            assert_eq!(rounds_reused, rounds_fresh);
+            assert_eq!(reused.rates(), fresh.rates());
         }
     }
 

@@ -32,11 +32,13 @@
 pub mod engine;
 pub mod experiment;
 pub mod topology;
+pub mod trace;
 pub mod traffic;
 pub mod workloads;
 
 pub use engine::{FlowRecord, RunManifest, SimConfig, SimRun, Simulator};
 pub use experiment::{run_comparison, ComparisonResult, ExperimentConfig};
 pub use topology::SimTopology;
+pub use trace::{FlowTrace, TraceArrival, TraceFlow};
 pub use traffic::TrafficMatrix;
 pub use workloads::FlowSizeDist;

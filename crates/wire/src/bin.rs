@@ -1,0 +1,338 @@
+//! Primitives of the compact binary payload encoding.
+//!
+//! Little-endian, tag-prefixed, no self-description — the message
+//! layout lives in the crate that owns the request/response enums;
+//! this module holds the value-level encoding every such crate shares:
+//!
+//! * `u32`/`u64` → fixed-width little-endian; `usize` travels as `u64`
+//! * `f64` → IEEE-754 bits, little-endian
+//! * `bool` → one byte, `0`/`1` only
+//! * `String` → `u32` byte length + UTF-8 bytes
+//! * `Vec<T>` → `u32` element count + elements
+//!
+//! Writer functions keep the terse `w_*` names their call sites read
+//! naturally as (`w_u32(buf, v)` — "write a u32"). Encoding is
+//! infallible; [`Reader`] is where all the bounds discipline lives:
+//! every length/count is checked against the bytes actually remaining
+//! in the payload *before* any allocation, so a hostile 4 GiB string
+//! header inside a 1 MiB frame is rejected without reserving memory.
+
+use iris_errors::{IrisError, IrisResult};
+
+fn decode_err(detail: impl Into<String>) -> IrisError {
+    IrisError::Decode {
+        detail: detail.into(),
+    }
+}
+
+// ---------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------
+
+/// Append one byte (enum tags, small counters).
+pub fn w_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a `u32`, little-endian.
+pub fn w_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+pub fn w_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `usize` as a `u64`.
+pub fn w_usize(buf: &mut Vec<u8>, v: usize) {
+    w_u64(buf, v as u64);
+}
+
+/// Append an `f64` as its IEEE-754 bits, little-endian.
+pub fn w_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a `bool` as one `0`/`1` byte.
+pub fn w_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+/// Append a string as `u32` byte length + UTF-8 bytes.
+pub fn w_str(buf: &mut Vec<u8>, s: &str) {
+    // Frame payloads are capped at 1 MiB, far below u32::MAX; the
+    // cast cannot truncate anything that fits a frame.
+    w_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append an element count as a `u32`.
+pub fn w_count(buf: &mut Vec<u8>, n: usize) {
+    w_u32(buf, n as u32);
+}
+
+/// Append a `Vec<usize>` as count + elements.
+pub fn w_vec_usize(buf: &mut Vec<u8>, v: &[usize]) {
+    w_count(buf, v.len());
+    for &x in v {
+        w_usize(buf, x);
+    }
+}
+
+/// Append a `Vec<f64>` as count + IEEE-754 bit patterns.
+pub fn w_vec_f64(buf: &mut Vec<u8>, v: &[f64]) {
+    w_count(buf, v.len());
+    for &x in v {
+        w_f64(buf, x);
+    }
+}
+
+// ---------------------------------------------------------------
+// reader
+// ---------------------------------------------------------------
+
+/// Cursor over a payload. Every `take` checks remaining bytes
+/// first; length headers are validated against the remainder before
+/// any buffer is reserved.
+pub struct Reader<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Start decoding `payload`.
+    #[must_use]
+    pub fn new(payload: &'a [u8]) -> Self {
+        Self { b: payload }
+    }
+
+    /// Reject trailing bytes once a value has been decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] when bytes remain.
+    pub fn finish(&self, what: &str) -> IrisResult<()> {
+        if self.b.is_empty() {
+            Ok(())
+        } else {
+            Err(decode_err(format!(
+                "binary {what}: {} trailing bytes after value",
+                self.b.len()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> IrisResult<&'a [u8]> {
+        if self.b.len() < n {
+            return Err(decode_err(format!(
+                "binary payload truncated reading {what}: need {n} bytes, have {}",
+                self.b.len()
+            )));
+        }
+        let (head, rest) = self.b.split_at(n);
+        self.b = rest;
+        Ok(head)
+    }
+
+    /// One byte (enum tags).
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation.
+    pub fn u8(&mut self, what: &str) -> IrisResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// A little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation.
+    pub fn u32(&mut self, what: &str) -> IrisResult<u32> {
+        let raw = self.take(4, what)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    /// A little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation.
+    pub fn u64(&mut self, what: &str) -> IrisResult<u64> {
+        let raw = self.take(8, what)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// A `usize` carried as `u64` (rejects values over the platform
+    /// width).
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation or overflow.
+    pub fn usize_(&mut self, what: &str) -> IrisResult<usize> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| decode_err(format!("binary {what}: {v} exceeds usize")))
+    }
+
+    /// An `f64` from its IEEE-754 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation.
+    pub fn f64(&mut self, what: &str) -> IrisResult<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `bool` from one `0`/`1` byte.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation or any other byte value.
+    pub fn bool(&mut self, what: &str) -> IrisResult<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(decode_err(format!(
+                "binary {what}: invalid bool byte {other}"
+            ))),
+        }
+    }
+
+    /// A length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation, a length exceeding the
+    /// remaining payload, or invalid UTF-8.
+    pub fn string(&mut self, what: &str) -> IrisResult<String> {
+        let len = self.u32(what)? as usize;
+        // `take` is the pre-allocation bounds check: a length
+        // larger than the remaining payload fails here, before the
+        // String is built.
+        let raw = self.take(len, what)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|e| decode_err(format!("binary {what}: invalid UTF-8: {e}")))
+    }
+
+    /// Read an element count, rejecting counts whose minimum
+    /// encoding could not fit the remaining payload (so `Vec`
+    /// capacity is never reserved off attacker-controlled numbers).
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation or an impossible count.
+    pub fn count(&mut self, min_item: usize, what: &str) -> IrisResult<usize> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_item) > self.b.len() {
+            return Err(decode_err(format!(
+                "binary {what}: {n} elements cannot fit {} remaining bytes",
+                self.b.len()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// A count-prefixed `Vec<usize>`.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation or an impossible count.
+    pub fn vec_usize(&mut self, what: &str) -> IrisResult<Vec<usize>> {
+        let n = self.count(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.usize_(what)?);
+        }
+        Ok(v)
+    }
+
+    /// A count-prefixed `Vec<f64>`.
+    ///
+    /// # Errors
+    ///
+    /// [`IrisError::Decode`] on truncation or an impossible count.
+    pub fn vec_f64(&mut self, what: &str) -> IrisResult<Vec<f64>> {
+        let n = self.count(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64(what)?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut buf = Vec::new();
+        w_u8(&mut buf, 7);
+        w_u32(&mut buf, 0xDEAD_BEEF);
+        w_u64(&mut buf, u64::MAX - 1);
+        w_usize(&mut buf, 42);
+        w_f64(&mut buf, -0.125);
+        w_bool(&mut buf, true);
+        w_str(&mut buf, "héllo");
+        w_vec_usize(&mut buf, &[1, 2, 3]);
+        w_vec_f64(&mut buf, &[0.5, f64::INFINITY]);
+
+        let mut rd = Reader::new(&buf);
+        assert_eq!(rd.u8("a").unwrap(), 7);
+        assert_eq!(rd.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(rd.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(rd.usize_("d").unwrap(), 42);
+        assert_eq!(rd.f64("e").unwrap(), -0.125);
+        assert!(rd.bool("f").unwrap());
+        assert_eq!(rd.string("g").unwrap(), "héllo");
+        assert_eq!(rd.vec_usize("h").unwrap(), vec![1, 2, 3]);
+        assert_eq!(rd.vec_f64("i").unwrap(), vec![0.5, f64::INFINITY]);
+        rd.finish("all").unwrap();
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let rd = Reader::new(&[0u8]);
+        let err = rd.finish("value").unwrap_err();
+        assert_eq!(err.code(), "decode");
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn hostile_lengths_fail_before_allocation() {
+        // String header claiming u32::MAX bytes inside a tiny payload.
+        let mut buf = Vec::new();
+        w_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(b"hi");
+        let mut rd = Reader::new(&buf);
+        assert_eq!(rd.string("s").unwrap_err().code(), "decode");
+
+        // Vec count claiming 500M elements.
+        let mut buf = Vec::new();
+        w_u32(&mut buf, 500_000_000);
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut rd = Reader::new(&buf);
+        let err = rd.vec_usize("v").unwrap_err();
+        assert!(err.to_string().contains("cannot fit"), "{err}");
+    }
+
+    #[test]
+    fn bad_bool_bytes_are_rejected() {
+        let mut rd = Reader::new(&[2u8]);
+        let err = rd.bool("flag").unwrap_err();
+        assert!(err.to_string().contains("bool"), "{err}");
+    }
+
+    #[test]
+    fn truncation_names_the_field() {
+        let mut rd = Reader::new(&[1u8, 2]);
+        let err = rd.u32("epoch").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("epoch"), "{msg}");
+        assert!(msg.contains("need 4"), "{msg}");
+    }
+}

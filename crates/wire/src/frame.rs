@@ -1,7 +1,7 @@
-//! Length-prefixed frame codec for the service's TCP protocol.
+//! Length-prefixed frame codec shared by every Iris TCP protocol.
 //!
 //! Every message on the wire is one frame: a 4-byte big-endian length
-//! followed by that many bytes of UTF-8 JSON. Frames are bounded by
+//! followed by that many bytes of codec payload. Frames are bounded by
 //! [`MAX_FRAME_LEN`]; the reader checks the prefix *before* allocating,
 //! so a hostile or corrupted length cannot drive an allocation. All
 //! fault paths are typed [`IrisError`]s — a truncated prefix, an
