@@ -5,8 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iris_bench::{build_region, SweepPoint};
 use iris_netgraph::{dijkstra, hose, Dinic};
 use iris_planner::amplifiers::place_amplifiers;
+use iris_planner::workload::{FamilyKind, FamilySpec, MatrixFamily};
 use iris_planner::{
-    plan_eps, plan_iris, provision, provision_with_threads, DesignGoals, ScenarioEngine,
+    plan_eps, plan_iris, provision, provision_robust_with_threads, provision_with_threads,
+    DesignGoals, ScenarioEngine,
 };
 use std::hint::black_box;
 
@@ -56,6 +58,32 @@ fn bench_scenario_engine(c: &mut Criterion) {
     for threads in [1usize, 4] {
         c.bench_function(format!("provision_10dc_1cut_{threads}thread"), |b| {
             b.iter(|| black_box(provision_with_threads(&region, &goals, threads)))
+        });
+    }
+}
+
+/// Robust provisioning over a burst workload family: the family-max
+/// per-edge load replaces the hose max-flow inside Algorithm 1, so this
+/// tracks both the matrix loop and the pair-set memo. The family is
+/// built once outside the timer — matrix generation is not what is
+/// being measured.
+fn bench_robust_provision(c: &mut Criterion) {
+    let region = build_region(&SweepPoint {
+        map_seed: 1,
+        n_dcs: 10,
+        f: 16,
+        lambda: 40,
+    });
+    let goals = DesignGoals::with_cuts(1);
+    let spec = FamilySpec::new(FamilyKind::Burst, 8, 42);
+    let family = MatrixFamily::build(&region, &goals, &spec);
+    for threads in [1usize, 4] {
+        c.bench_function(format!("provision_robust_10dc_1cut_{threads}thread"), |b| {
+            b.iter(|| {
+                black_box(provision_robust_with_threads(
+                    &region, &goals, &family, threads,
+                ))
+            })
         });
     }
 }
@@ -124,6 +152,7 @@ fn bench_graph_primitives(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_algorithm1, bench_scenario_engine, bench_full_plans, bench_graph_primitives
+    targets = bench_algorithm1, bench_scenario_engine, bench_robust_provision, bench_full_plans,
+        bench_graph_primitives
 }
 criterion_main!(benches);

@@ -13,7 +13,8 @@ use iris_errors::{IrisError, IrisResult};
 use iris_fibermap::io::{load_region, save_region};
 use iris_fibermap::siting::{centralized_service_area, distributed_service_area, region_grid};
 use iris_planner::centralized::{plan_centralized, HubHoming};
-use iris_planner::provision;
+use iris_planner::workload::{FamilySpec, MatrixFamily};
+use iris_planner::{provision, provision_robust, shed_fraction};
 use iris_simnet::traffic::ChangeModel;
 use iris_simnet::workloads::FlowSizeDist;
 use std::path::Path;
@@ -72,6 +73,14 @@ pub fn plan(opts: &Options) -> IrisResult<()> {
     let cuts: usize = opts.num("cuts", 2)?;
     apply_threads(opts)?;
     let goals = DesignGoals::with_cuts(cuts);
+    if opts.flag("robust") {
+        return plan_robust(&region, &goals, opts);
+    }
+    if opts.get("matrices").is_some() {
+        return Err(IrisError::InvalidInput {
+            detail: "--matrices only applies to robust planning; add --robust".to_owned(),
+        });
+    }
     let plan = plan_iris(&region, &goals);
     let cost = iris_cost(&plan, &PriceBook::paper_2020());
 
@@ -107,6 +116,77 @@ pub fn plan(opts: &Options) -> IrisResult<()> {
             plan.provisioning.infeasible.len(),
             plan.cuts.unresolved.len(),
             plan.violations.len()
+        );
+    }
+    Ok(())
+}
+
+/// `iris plan --robust` — provision min-cost capacity feasible for every
+/// matrix in a seeded workload family and print the hose-vs-robust cost
+/// and shed-under-surprise comparison. The output is a pure function of
+/// the region, goals and family spec (CI byte-diffs it across thread
+/// counts).
+fn plan_robust(region: &Region, goals: &DesignGoals, opts: &Options) -> IrisResult<()> {
+    let raw = opts.get("matrices").unwrap_or("burst:8@42");
+    let spec: FamilySpec = raw
+        .parse()
+        .map_err(|detail| IrisError::InvalidInput { detail })?;
+    let family = MatrixFamily::build(region, goals, &spec);
+    let surprise = MatrixFamily::build(region, goals, &spec.held_out());
+    let robust = provision_robust(region, goals, &family);
+    let hose = provision(region, goals);
+    let lambda = region.wavelengths_per_fiber;
+
+    let shed = |prov: &iris_planner::Provisioning, fam: &MatrixFamily| {
+        let sheds: Vec<f64> = fam
+            .matrices()
+            .iter()
+            .map(|m| shed_fraction(region, goals, prov, m))
+            .collect();
+        let mean = sheds.iter().sum::<f64>() / sheds.len() as f64;
+        let max = sheds.iter().fold(0.0f64, |a, &b| a.max(b));
+        (mean, max)
+    };
+    let (robust_mean, robust_max) = shed(&robust, &surprise);
+    let (hose_mean, hose_max) = shed(&hose, &surprise);
+
+    println!(
+        "Robust plan ({} DCs, {} cut tolerance, family {})",
+        region.dcs.len(),
+        goals.max_cuts,
+        spec
+    );
+    println!(
+        "  matrices:             {} training + {} held-out surprise",
+        family.len(),
+        surprise.len()
+    );
+    println!(
+        "  peak DC load:         {:.3}x the hose envelope (surprise family)",
+        surprise.peak_dc_load_ratio(region)
+    );
+    println!("  scenarios examined:   {}", robust.scenarios_examined);
+    println!(
+        "  ducts used:           {}/{} (hose plan: {})",
+        robust.used_edges().len(),
+        region.map.duct_count(),
+        hose.used_edges().len()
+    );
+    println!(
+        "  fiber pairs:          {} (hose plan: {})",
+        robust.total_fiber_pairs(lambda),
+        hose.total_fiber_pairs(lambda)
+    );
+    println!(
+        "  surprise shed:        robust mean {robust_mean:.4} max {robust_max:.4} | \
+         hose mean {hose_mean:.4} max {hose_max:.4}"
+    );
+    if robust.infeasible.is_empty() {
+        println!("  status: FEASIBLE for every training matrix in every scenario");
+    } else {
+        println!(
+            "  status: {} SLA-infeasible (pair, scenario) combos",
+            robust.infeasible.len()
         );
     }
     Ok(())
@@ -304,6 +384,13 @@ pub fn simd(opts: &Options) -> IrisResult<()> {
         Some("cache") => FlowSizeDist::facebook_cache(),
         Some(other) => return Err(format!("unknown workload '{other}'").into()),
     };
+    let matrices = match opts.get("matrices") {
+        Some(raw) => Some(
+            raw.parse::<FamilySpec>()
+                .map_err(|detail| IrisError::InvalidInput { detail })?,
+        ),
+        None => None,
+    };
     let backend = match opts.get("workers") {
         None => Backend::InProcess,
         Some(list) => {
@@ -347,7 +434,19 @@ pub fn simd(opts: &Options) -> IrisResult<()> {
 
     let spec_for = |topo: &SimTopology, fabric: FabricModel, interval: f64| WorkSpec {
         topo: topo.clone(),
-        matrix: TrafficMatrix::heavy_tailed(topo.n_dcs, seed),
+        // A workload family replaces the default heavy-tailed matrix
+        // with its mean per-pair rates, so the simulated traffic matches
+        // what `iris plan --robust` provisioned for.
+        matrix: match &matrices {
+            Some(spec) => {
+                let shapes = spec.shapes(topo.n_dcs);
+                let mean: Vec<f64> = (0..shapes[0].len())
+                    .map(|i| shapes.iter().map(|m| m[i]).sum::<f64>() / shapes.len() as f64)
+                    .collect();
+                TrafficMatrix::from_weights(topo.n_dcs, seed, &mean)
+            }
+            None => TrafficMatrix::heavy_tailed(topo.n_dcs, seed),
+        },
         config: SimConfig {
             duration_s: duration,
             utilization: util,
@@ -466,7 +565,7 @@ pub fn simd(opts: &Options) -> IrisResult<()> {
 
     if let Some(out) = opts.get("out") {
         // Deterministic artifact: no wall-clock, no backend identity.
-        let payload = serde_json::json!({
+        let mut payload = serde_json::json!({
             "config": {
                 "dcs": dcs,
                 "utilization": util,
@@ -489,6 +588,11 @@ pub fn simd(opts: &Options) -> IrisResult<()> {
             },
             "sweep": sweep_rows,
         });
+        // Only stamp the family when one was requested, so the default
+        // artifact (the one CI byte-diffs) keeps its exact shape.
+        if let Some(spec) = &matrices {
+            payload["config"]["matrices"] = serde_json::json!(spec.to_string());
+        }
         let text = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
         if let Some(dir) = Path::new(out).parent() {
             if !dir.as_os_str().is_empty() {
@@ -1079,6 +1183,13 @@ pub fn loadgen(opts: &Options) -> IrisResult<()> {
         codec,
         pipeline: opts.num("pipeline", 1)?,
         rate,
+        matrices: match opts.get("matrices") {
+            Some(raw) => Some(
+                raw.parse::<FamilySpec>()
+                    .map_err(|detail| IrisError::InvalidInput { detail })?,
+            ),
+            None => None,
+        },
         ..iris_service::LoadgenConfig::default()
     };
     let out = opts.get("out").unwrap_or("results/service_load.json");

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! iris gen      --seed 7 --dcs 8 --fibers 16 --lambda 40 --out region.json
-//! iris plan     --region region.json [--cuts 2]
+//! iris plan     --region region.json [--cuts 2] [--robust [--matrices SPEC]]
 //! iris compare  --region region.json [--cuts 1]
 //! iris siting   --region region.json
 //! iris simulate --region region.json [--util 0.4] [--interval 5] [--duration 20]
-//! iris simd     [--dcs 8] [--flows 1000000] [--workers A1,A2] [--no-cluster] [--out FILE]
+//! iris simd     [--dcs 8] [--flows 1000000] [--matrices SPEC] [--workers A1,A2]
+//!               [--no-cluster] [--out FILE]
 //! iris testbed
 //! iris chaos    --seed 7 --scenarios 10 [--dcs 6] [--cuts 1] [--out FILE]
 //! iris chaos    --crash [--seed 7] [--scenarios 9] [--batches 8] [--out FILE]
@@ -82,7 +83,15 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "out",
             "telemetry",
         ],
-        "plan" | "compare" => &["region", "cuts", "threads", "telemetry"],
+        "plan" => &[
+            "region",
+            "cuts",
+            "threads",
+            "robust",
+            "matrices",
+            "telemetry",
+        ],
+        "compare" => &["region", "cuts", "threads", "telemetry"],
         "siting" => &["region", "telemetry"],
         "simulate" | "sim" => &[
             "region",
@@ -102,6 +111,7 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "epsilon",
             "workload",
+            "matrices",
             "interval",
             "workers",
             "no-cluster",
@@ -165,6 +175,7 @@ fn accepted_options(command: &str) -> Option<&'static [&'static str]> {
             "codec",
             "pipeline",
             "rate",
+            "matrices",
             "out",
             "telemetry",
         ],
@@ -183,12 +194,14 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     if command == "trace" {
         return run_trace(&argv[1..]);
     }
-    // `--crash`/`--federation` (chaos) and `--follower` (serve) are
-    // boolean switches; everything else is strict `--key value`.
+    // `--crash`/`--federation` (chaos), `--follower` (serve),
+    // `--no-cluster` (simd) and `--robust` (plan) are boolean switches;
+    // everything else is strict `--key value`.
     let flags: &[&str] = match command.as_str() {
         "chaos" => &["crash", "federation"],
         "serve" => &["follower"],
         "simd" => &["no-cluster"],
+        "plan" => &["robust"],
         _ => &[],
     };
     let opts = args::Options::parse_with_flags(&argv[1..], flags)?;
@@ -291,8 +304,14 @@ USAGE:
   iris gen      --seed N --dcs N [--fibers F] [--lambda L] [--huts H] --out FILE
                 generate a synthetic metro region and write it as JSON
   iris plan     --region FILE [--cuts K] [--threads T]
+                [--robust [--matrices SPEC]]
                 plan the region as an Iris all-optical network; print the
-                bill of materials and any constraint violations
+                bill of materials and any constraint violations.
+                --robust provisions for a seeded family of concrete
+                traffic matrices instead of the hose envelope and prints
+                the hose-vs-robust cost and shed-under-surprise
+                comparison; --matrices KIND[:COUNT][@SEED] picks the
+                family (diurnal | burst | hotspot, default burst:8@42)
   iris compare  --region FILE [--cuts K] [--threads T]
                 plan Iris, EPS and centralized designs; print the cost and
                 latency comparison table
@@ -303,7 +322,8 @@ USAGE:
                 paired Iris-vs-EPS flow-level simulation (`sim` for short);
                 --out writes the result plus its reproducibility manifest
   iris simd     [--dcs N] [--util U] [--duration S] [--flows N] [--seed N]
-                [--workload W] [--interval S] [--epsilon E] [--no-cluster]
+                [--workload W] [--matrices SPEC] [--interval S]
+                [--epsilon E] [--no-cluster]
                 [--workers HOST:PORT,..] [--threads T] [--out FILE]
                 the simulate experiment at 10^6+ flows via per-link
                 decomposition: each occupied duct becomes an independent
@@ -315,9 +335,12 @@ USAGE:
                 processes (jobs are retried on worker death). Capacities
                 are scaled so the run offers --flows flows; a small cell
                 is cross-checked against the exact engine and the p50/p99
-                agreement printed. --out writes a deterministic artifact
-                that is byte-identical across backends, worker counts and
-                IRIS_THREADS
+                agreement printed. --matrices KIND[:COUNT][@SEED] replaces
+                the default heavy-tailed traffic matrix with a planner
+                workload family's mean rates, so the simulated traffic
+                matches what `iris plan --robust` provisioned for. --out
+                writes a deterministic artifact that is byte-identical
+                across backends, worker counts and IRIS_THREADS
   iris testbed  replay the Fig. 14 physical-layer experiment
   iris chaos    [--seed N] [--scenarios N] [--dcs D] [--cuts K]
                 [--threads T] [--out FILE]
@@ -401,12 +424,15 @@ USAGE:
                 (peer lag in epochs/ms, reconnect counts)
   iris loadgen  [--addr HOST:PORT] [--seed N] [--requests N]
                 [--connections N] [--cut D1,D2] [--codec json|binary]
-                [--pipeline W] [--rate RPS] [--out FILE]
+                [--pipeline W] [--rate RPS] [--matrices SPEC] [--out FILE]
                 seeded load against a running server, every connection
                 multiplexed on one event loop. Closed loop by default
                 (--pipeline keeps W requests in flight per connection);
                 --rate RPS switches to an open loop with seeded
-                exponential arrivals. Writes the seed-deterministic
+                exponential arrivals; --matrices KIND[:COUNT][@SEED]
+                draws QueryPath/UpdateDemand pairs proportionally to a
+                planner workload family instead of uniformly (this
+                changes the artifact). Writes the seed-deterministic
                 results (byte-identical across runs, codecs, pipeline
                 depths and thread counts) to FILE (default
                 results/service_load.json) and prints wall-clock latency

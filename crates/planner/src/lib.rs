@@ -28,9 +28,15 @@
 //! crosses a failed duct. Algorithm 1 additionally fans scenarios out
 //! across scoped threads (see [`topology::provision_with_threads`]); its
 //! output is bit-identical for every thread count.
+//!
+//! Beyond the hose envelope, [`workload`] generates seeded families of
+//! concrete DC-pair traffic matrices (diurnal, burst, hotspot) and
+//! [`workload::provision_robust`] provisions min-cost capacity feasible
+//! for *every* matrix in a family — the robust topology-engineering mode
+//! described in `docs/PLANNING.md`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod amplifiers;
 pub mod centralized;
@@ -44,6 +50,7 @@ pub mod plan;
 pub mod relaxed;
 pub mod residual;
 pub mod topology;
+pub mod workload;
 
 pub use centralized::{plan_centralized, CentralizedPlan, HubHoming};
 pub use engine::{
@@ -55,3 +62,7 @@ pub use oxc::{plan_oxc, OxcPlan};
 pub use plan::{plan_eps, plan_iris, EpsPlan, IrisPlan};
 pub use relaxed::{route_relaxed, RelaxedRouting};
 pub use topology::{provision, provision_with_threads, Provisioning};
+pub use workload::{
+    provision_robust, provision_robust_with_threads, shed_fraction, FamilyKind, FamilySpec,
+    MatrixFamily,
+};

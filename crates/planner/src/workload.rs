@@ -1,0 +1,1130 @@
+//! Seeded workload engine: families of DC-pair traffic matrices for
+//! robust topology engineering.
+//!
+//! The hose model ([`crate::topology::provision`]) plans for the *worst*
+//! matrix consistent with per-DC aggregate capacities. Operators instead
+//! often plan one topology robust to a *set* of concrete matrices —
+//! forecast snapshots, observed shifts, stress cases (METTEOR, COUDER).
+//! This module generates such sets and provisions for them:
+//!
+//! * a flow-level base demand in the parsimon-eval flowgen idiom: per
+//!   DC pair, flow sizes are inverse-transform sampled from a
+//!   piecewise-linear [`Ecdf`] and inter-arrival gaps are lognormal
+//!   ([`FlowGen`]), which yields a heavy-tailed offered-rate matrix;
+//! * three seeded *families* of matrices derived from that base
+//!   ([`FamilyKind`]): `diurnal` phase-shifts every pair over the family,
+//!   `burst` multiplies a seeded subset of pairs far past their steady
+//!   rate, and `hotspot` concentrates traffic on one hot DC per matrix;
+//! * a calibration step ([`MatrixFamily::build`]) that scales the base
+//!   matrix so its maximum link load is a target fraction of the
+//!   hose-provisioned capacity, making families comparable across
+//!   regions;
+//! * [`provision_robust`] — Algorithm 1 with the hose max-flow replaced
+//!   by the family maximum: every duct is provisioned for the worst load
+//!   any family matrix places on it in any failure scenario. Like the
+//!   hose sweep it reuses the [`ScenarioEngine`]'s incremental-Dijkstra
+//!   path cache and is bit-identical for every thread count.
+//!
+//! Everything here is a pure function of its seed: the same
+//! [`FamilySpec`] always produces the same matrices, so the robust
+//! experiment artifacts are byte-reproducible.
+
+use crate::engine::{self, ScenarioEngine, ScenarioView};
+use crate::goals::DesignGoals;
+use crate::paths::scenario_paths;
+use crate::topology::{provision_with_threads, InfeasiblePair, Provisioning};
+use iris_fibermap::Region;
+use iris_netgraph::{EdgeId, FailureScenarios};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A piecewise-linear empirical CDF over flow sizes in bytes.
+///
+/// Anchors are `(size_bytes, cumulative_probability)` points; sampling
+/// interpolates between them in the log-size domain, which matches how
+/// flow-size distributions are usually published (points on a log-x CDF
+/// plot). The planner carries its own copy rather than reusing the
+/// simulator's because `iris-simnet` depends on this crate, not the
+/// other way around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// `(size_bytes, cum_prob)`, sizes and probabilities both strictly
+    /// increasing, last probability 1.0.
+    anchors: Vec<(f64, f64)>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from `(size_bytes, cum_prob)` anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are positive and strictly increasing,
+    /// probabilities are in `(0, 1]` and strictly increasing, and the
+    /// last probability is 1.0.
+    #[must_use]
+    pub fn from_anchors(anchors: &[(f64, f64)]) -> Self {
+        assert!(!anchors.is_empty(), "an ECDF needs at least one anchor");
+        for w in anchors.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 && w[0].1 < w[1].1,
+                "ECDF anchors must be strictly increasing"
+            );
+        }
+        assert!(anchors[0].0 > 0.0, "flow sizes must be positive");
+        assert!(
+            anchors[0].1 > 0.0 && (anchors[anchors.len() - 1].1 - 1.0).abs() < 1e-9,
+            "cumulative probabilities must lie in (0, 1] and end at 1"
+        );
+        Self {
+            anchors: anchors.to_vec(),
+        }
+    }
+
+    /// The default DC-interconnect mix: mostly small RPC-sized flows by
+    /// count, with replication and bulk-copy elephants carrying most of
+    /// the bytes.
+    #[must_use]
+    pub fn dc_interconnect() -> Self {
+        Self::from_anchors(&[
+            (500.0, 0.15),
+            (2_000.0, 0.40),
+            (10_000.0, 0.60),
+            (100_000.0, 0.78),
+            (1_000_000.0, 0.90),
+            (10_000_000.0, 0.97),
+            (100_000_000.0, 1.0),
+        ])
+    }
+
+    /// Inverse CDF: the flow size at cumulative probability `u` (clamped
+    /// to `[0, 1]`), interpolating between anchors in the log-size
+    /// domain.
+    #[must_use]
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.anchors[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        let last = self.anchors[self.anchors.len() - 1];
+        if u >= last.1 {
+            return last.0;
+        }
+        for w in self.anchors.windows(2) {
+            let ((s0, p0), (s1, p1)) = (w[0], w[1]);
+            if u <= p1 {
+                let t = (u - p0) / (p1 - p0);
+                return (s0.ln() + t * (s1.ln() - s0.ln())).exp();
+            }
+        }
+        self.anchors[self.anchors.len() - 1].0
+    }
+
+    /// Draw one flow size.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.quantile(rng.random::<f64>())
+    }
+
+    /// Mean flow size in bytes, by midpoint integration of the quantile
+    /// function.
+    #[must_use]
+    pub fn mean_bytes(&self) -> f64 {
+        const STEPS: usize = 1024;
+        (0..STEPS)
+            .map(|i| self.quantile((i as f64 + 0.5) / STEPS as f64))
+            .sum::<f64>()
+            / STEPS as f64
+    }
+}
+
+/// A seeded flow generator for one DC pair: ECDF-sampled sizes,
+/// lognormal inter-arrival gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowGen {
+    /// Flow-size distribution.
+    pub sizes: Ecdf,
+    /// Mean of the log of the inter-arrival gap (log-seconds).
+    pub gap_mu: f64,
+    /// Standard deviation of the log of the inter-arrival gap.
+    pub gap_sigma: f64,
+}
+
+/// One standard-normal draw via Box–Muller (the vendored `rand` stub has
+/// no normal distribution).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1 = 1.0 - rng.random::<f64>(); // (0, 1]: ln never sees 0
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl FlowGen {
+    /// Offered rate in Gbps: sample `flows` sizes and gaps and divide
+    /// total bits by total time. A pure function of the seed.
+    #[must_use]
+    pub fn offered_gbps(&self, seed: u64, flows: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = 0.0f64;
+        let mut seconds = 0.0f64;
+        for _ in 0..flows.max(1) {
+            bytes += self.sizes.sample(&mut rng);
+            seconds += (self.gap_mu + self.gap_sigma * standard_normal(&mut rng)).exp();
+        }
+        bytes * 8.0 / seconds.max(1e-12) / 1e9
+    }
+}
+
+/// The three seeded matrix-family shapes.
+///
+/// Each kind has a *structural* layer that depends only on the spec's
+/// `seed` (which pairs are burst-prone, each pair's diurnal phase, the
+/// hotspot rotation order — properties of the workload that are stable
+/// day to day) and a *shock* layer drawn per matrix (which prone pair
+/// bursts today, today's amplitude, today's boost). [`FamilySpec::held_out`]
+/// re-rolls only the shock layer, modeling "same network, different
+/// day" surprise traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FamilyKind {
+    /// Time-of-day shift: every pair's rate follows a triangle wave over
+    /// the family with a structural per-pair phase, so different
+    /// matrices peak on different pairs. Stays inside the hose envelope.
+    Diurnal,
+    /// Transient bursts: a structural ~25% of pairs are burst-prone;
+    /// each matrix multiplies each prone pair, with probability ½, by
+    /// 4–8x its steady rate — surprise traffic that can exceed the
+    /// per-DC aggregates the hose model plans for.
+    Burst,
+    /// Skewed hotspot: each matrix concentrates traffic on one hot DC
+    /// (boosting every pair that touches it, damping the rest), cycling
+    /// through DCs in a structural order.
+    Hotspot,
+}
+
+impl FamilyKind {
+    /// The CLI/JSON name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyKind::Diurnal => "diurnal",
+            FamilyKind::Burst => "burst",
+            FamilyKind::Hotspot => "hotspot",
+        }
+    }
+
+    /// All kinds, in the canonical (CLI listing) order.
+    #[must_use]
+    pub fn all() -> [FamilyKind; 3] {
+        [FamilyKind::Diurnal, FamilyKind::Burst, FamilyKind::Hotspot]
+    }
+}
+
+impl FromStr for FamilyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "diurnal" => Ok(FamilyKind::Diurnal),
+            "burst" => Ok(FamilyKind::Burst),
+            "hotspot" => Ok(FamilyKind::Hotspot),
+            other => Err(format!(
+                "unknown matrix family '{other}' (expected diurnal, burst or hotspot)"
+            )),
+        }
+    }
+}
+
+/// XOR-folded into a spec's shock salt to derive its held-out
+/// (surprise) twin.
+const HELD_OUT_SALT: u64 = 0x5EED_0F57_0B57_AC1E;
+
+/// A matrix-family specification: which shape, how many matrices, which
+/// seed, and the calibration target.
+///
+/// The builder API round-trips through the CLI spec syntax
+/// `KIND[:COUNT][@SEED]`:
+///
+/// ```
+/// use iris_planner::workload::{FamilyKind, FamilySpec};
+///
+/// let spec = FamilySpec::new(FamilyKind::Burst, 6, 42).with_target_load(0.5);
+/// assert_eq!(spec.to_string(), "burst:6@42");
+/// assert_eq!(spec.target_max_link_load, 0.5);
+///
+/// let parsed: FamilySpec = "burst:6@42".parse().unwrap();
+/// assert_eq!(parsed.kind, FamilyKind::Burst);
+/// assert_eq!((parsed.count, parsed.seed), (6, 42));
+///
+/// // Shapes are a pure function of the spec: 6 matrices over 4 DCs,
+/// // one rate per unordered pair.
+/// let shapes = parsed.shapes(4);
+/// assert_eq!(shapes.len(), 6);
+/// assert!(shapes.iter().all(|m| m.len() == 6));
+/// assert_eq!(shapes, parsed.shapes(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySpec {
+    /// Family shape.
+    pub kind: FamilyKind,
+    /// Matrices in the family.
+    pub count: usize,
+    /// Seed for the structural layer (base rates, burst-prone pairs,
+    /// diurnal phases, hotspot order). The whole family is a pure
+    /// function of `(seed, shock)`.
+    pub seed: u64,
+    /// Calibration target: the base matrix is scaled so its maximum
+    /// nominal-route link load is this fraction of the hose-provisioned
+    /// capacity on that link.
+    pub target_max_link_load: f64,
+    /// Salt mixed into the per-matrix *shock* draws only (which prone
+    /// pair bursts, today's amplitude/boost). 0 by default; not part of
+    /// the CLI spec syntax. [`FamilySpec::held_out`] flips it to produce
+    /// surprise matrices with the same structure but fresh shocks.
+    pub shock: u64,
+}
+
+impl FamilySpec {
+    /// A spec with the default calibration target (0.6).
+    #[must_use]
+    pub fn new(kind: FamilyKind, count: usize, seed: u64) -> Self {
+        Self {
+            kind,
+            count,
+            seed,
+            target_max_link_load: 0.6,
+            shock: 0,
+        }
+    }
+
+    /// Replace the calibration target (fraction of hose capacity the
+    /// base matrix's hottest link is driven to).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` is positive and finite.
+    #[must_use]
+    pub fn with_target_load(mut self, target: f64) -> Self {
+        assert!(
+            target > 0.0 && target.is_finite(),
+            "target max-link-load must be positive"
+        );
+        self.target_max_link_load = target;
+        self
+    }
+
+    /// The held-out twin: same structural layer (same base rates,
+    /// burst-prone pairs, phases, hotspot order — the workload's stable
+    /// shape), fresh shock draws — the "surprise" matrices the robust
+    /// experiment evaluates shed against. An involution: calling it
+    /// twice returns the original spec.
+    #[must_use]
+    pub fn held_out(&self) -> Self {
+        Self {
+            shock: self.shock ^ HELD_OUT_SALT,
+            ..self.clone()
+        }
+    }
+
+    /// The un-calibrated family shapes over `n_dcs` DCs: one rate per
+    /// unordered pair (triangular `(a, b)` ascending order, matching
+    /// [`iris_fibermap::Region::dcs`] indices), per matrix. Units are
+    /// relative offered Gbps from the flowgen base; [`MatrixFamily`]
+    /// scales them, and the service load generator / flow simulator
+    /// normalize them into pair-selection weights. Pure function of
+    /// `(self, n_dcs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dcs < 2` or `self.count == 0`.
+    #[must_use]
+    pub fn shapes(&self, n_dcs: usize) -> Vec<Vec<f64>> {
+        assert!(n_dcs >= 2, "a matrix family needs at least two DCs");
+        assert!(self.count > 0, "a matrix family needs at least one matrix");
+        let base = self.base_gbps(n_dcs);
+        let n_pairs = base.len();
+        (0..self.count)
+            .map(|m| {
+                // Shock layer: today's draws. Salted so `held_out()`
+                // re-rolls them while the structural layer stands still.
+                let mut shock_rng = StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_mul(0xA076_1D64_78BD_642F)
+                        .wrapping_add((m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        ^ self.shock,
+                );
+                match self.kind {
+                    FamilyKind::Diurnal => {
+                        // Triangle wave (piecewise linear — no libm sin,
+                        // so artifacts stay byte-stable): structural
+                        // per-pair phase, matrix index = time of day,
+                        // today's amplitude drawn per matrix.
+                        let mut phase_rng = StdRng::seed_from_u64(self.seed ^ 0xD1A1);
+                        let amplitude = shock_rng.random_range(0.35..0.45);
+                        let t = m as f64 / self.count as f64;
+                        base.iter()
+                            .map(|&b| {
+                                let phase: f64 = phase_rng.random();
+                                let x = (t + phase).fract();
+                                let wave = if x < 0.5 {
+                                    4.0 * x - 1.0
+                                } else {
+                                    3.0 - 4.0 * x
+                                };
+                                b * (1.0 + amplitude * wave)
+                            })
+                            .collect()
+                    }
+                    FamilyKind::Burst => {
+                        // Structural burst-prone set; per-matrix coin
+                        // and magnitude per prone pair. The factor is
+                        // drawn unconditionally to keep rng consumption
+                        // independent of the outcomes.
+                        let mut prone_rng = StdRng::seed_from_u64(self.seed ^ 0xB0_B5);
+                        base.iter()
+                            .map(|&b| {
+                                let prone = prone_rng.random::<f64>() < 0.25;
+                                let bursting = shock_rng.random_bool(0.5);
+                                let factor = shock_rng.random_range(4.0..8.0);
+                                if prone && bursting {
+                                    b * factor
+                                } else {
+                                    b
+                                }
+                            })
+                            .collect()
+                    }
+                    FamilyKind::Hotspot => {
+                        // Structural DC order shared by the whole family,
+                        // so `count >= n_dcs` covers every DC as a
+                        // hotspot; today's boost drawn per matrix.
+                        let mut order: Vec<usize> = (0..n_dcs).collect();
+                        let mut order_rng = StdRng::seed_from_u64(self.seed ^ 0x07_5B07);
+                        for i in (1..n_dcs).rev() {
+                            order.swap(i, order_rng.random_range(0..i + 1));
+                        }
+                        let hot = order[m % n_dcs];
+                        let boost = shock_rng.random_range(4.0..6.0);
+                        let mut shaped = Vec::with_capacity(n_pairs);
+                        let mut p = 0;
+                        for a in 0..n_dcs {
+                            for b in (a + 1)..n_dcs {
+                                let f = if a == hot || b == hot { boost } else { 0.5 };
+                                shaped.push(base[p] * f);
+                                p += 1;
+                            }
+                        }
+                        shaped
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The flowgen base matrix: per pair, an offered rate in Gbps from
+    /// ECDF-sampled flow sizes and lognormal inter-arrivals, with a
+    /// seeded per-pair log-rate so a few pairs dominate (heavy tail).
+    fn base_gbps(&self, n_dcs: usize) -> Vec<f64> {
+        let sizes = Ecdf::dc_interconnect();
+        let n_pairs = n_dcs * (n_dcs - 1) / 2;
+        (0..n_pairs)
+            .map(|p| {
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        .rotate_left(23)
+                        .wrapping_add((p as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB)),
+                );
+                // Per-pair mean log-gap spans ~e^6 in rate: heavy tail.
+                let gen = FlowGen {
+                    sizes: sizes.clone(),
+                    gap_mu: rng.random_range(-9.0..-3.0),
+                    gap_sigma: 1.0,
+                };
+                gen.offered_gbps(rng.random::<u64>(), 64)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FamilySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}@{}", self.kind.name(), self.count, self.seed)
+    }
+}
+
+impl FromStr for FamilySpec {
+    type Err = String;
+
+    /// Parse `KIND[:COUNT][@SEED]`, e.g. `burst`, `diurnal:8`,
+    /// `hotspot:8@42`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (head, seed) = match s.split_once('@') {
+            Some((head, seed)) => (
+                head,
+                seed.parse::<u64>()
+                    .map_err(|_| format!("matrix family '{s}': bad seed '{seed}'"))?,
+            ),
+            None => (s, 42),
+        };
+        let (kind, count) = match head.split_once(':') {
+            Some((kind, count)) => (
+                kind,
+                count
+                    .parse::<usize>()
+                    .map_err(|_| format!("matrix family '{s}': bad count '{count}'"))?,
+            ),
+            None => (head, 8),
+        };
+        if count == 0 {
+            return Err(format!("matrix family '{s}': count must be positive"));
+        }
+        Ok(FamilySpec::new(kind.parse()?, count, seed))
+    }
+}
+
+/// A calibrated family of concrete traffic matrices over one region, in
+/// wavelengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixFamily {
+    /// The spec this family was built from.
+    pub spec: FamilySpec,
+    n_dcs: usize,
+    /// `matrices[m][i][j]` — demand of DC pair `(i, j)` in wavelengths;
+    /// only `i < j` entries are populated.
+    matrices: Vec<Vec<Vec<f64>>>,
+}
+
+impl MatrixFamily {
+    /// Build the family for a region: generate the seeded shapes, then
+    /// scale them so the *base* matrix's maximum nominal-route link load
+    /// is `spec.target_max_link_load` of the hose-provisioned (cut
+    /// tolerance 0) capacity on that link. Family modulation rides on
+    /// top, so burst and hotspot matrices can exceed the hose envelope —
+    /// that is the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has fewer than two DCs or no feasible DC
+    /// pair routes any traffic.
+    #[must_use]
+    pub fn build(region: &Region, goals: &DesignGoals, spec: &FamilySpec) -> Self {
+        let n = region.dcs.len();
+        let shapes = spec.shapes(n);
+        let base = spec.base_gbps(n);
+
+        // Calibration reference: nominal routes + hose capacities.
+        let goals0 = DesignGoals {
+            max_cuts: 0,
+            ..goals.clone()
+        };
+        let prov0 = provision_with_threads(region, &goals0, 1);
+        let (paths, _) = scenario_paths(region, &goals0, &[]);
+        let m_edges = region.map.graph().edge_count();
+        let mut load = vec![0.0f64; m_edges];
+        for p in &paths {
+            let d = base[pair_index(n, p.a, p.b)];
+            for &e in &p.edges {
+                load[e] += d;
+            }
+        }
+        let ratio = load
+            .iter()
+            .zip(&prov0.edge_capacity_wl)
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(&l, &c)| l / c)
+            .fold(0.0f64, f64::max);
+        assert!(
+            ratio > 0.0,
+            "matrix family calibration: no feasible DC pair carries traffic"
+        );
+        let scale = spec.target_max_link_load / ratio;
+
+        let matrices = shapes
+            .iter()
+            .map(|shape| {
+                let mut demands = vec![vec![0.0f64; n]; n];
+                let mut p = 0;
+                for (i, row) in demands.iter_mut().enumerate() {
+                    for cell in row.iter_mut().skip(i + 1) {
+                        *cell = shape[p] * scale;
+                        p += 1;
+                    }
+                }
+                demands
+            })
+            .collect();
+        Self {
+            spec: spec.clone(),
+            n_dcs: n,
+            matrices,
+        }
+    }
+
+    /// The matrices, as `demands[i][j]` wavelength grids (`i < j`
+    /// populated) — the shape [`crate::topology::supports_matrix`]
+    /// takes.
+    #[must_use]
+    pub fn matrices(&self) -> &[Vec<Vec<f64>>] {
+        &self.matrices
+    }
+
+    /// Number of matrices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Whether the family is empty (it never is, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matrices.is_empty()
+    }
+
+    /// Number of DCs the matrices cover.
+    #[must_use]
+    pub fn n_dcs(&self) -> usize {
+        self.n_dcs
+    }
+
+    /// The worst per-DC aggregate demand across the family, as a
+    /// fraction of that DC's hose capacity. Values above 1 mean the
+    /// family escapes the hose envelope — hose provisioning will shed
+    /// such matrices.
+    #[must_use]
+    pub fn peak_dc_load_ratio(&self, region: &Region) -> f64 {
+        let n = self.n_dcs;
+        let mut worst = 0.0f64;
+        for demands in &self.matrices {
+            for dc in 0..n {
+                let total: f64 = (0..n)
+                    .filter(|&o| o != dc)
+                    .map(|o| demands[dc.min(o)][dc.max(o)])
+                    .sum();
+                let cap = region.capacity_wavelengths(dc) as f64;
+                if cap > 0.0 {
+                    worst = worst.max(total / cap);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Triangular index of unordered pair `(i, j)`, `i < j` — the same dense
+/// pair order the [`ScenarioEngine`] assigns slot indices in.
+fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Per-chunk accumulator of the robust sweep, merged by
+/// [`provision_robust_with_threads`] exactly like the hose sweep's.
+struct RobustChunk {
+    capacity: Vec<f64>,
+    infeasible: Vec<InfeasiblePair>,
+    scenarios_examined: u64,
+    maxload_lookups: u64,
+    maxload_evals: u64,
+}
+
+/// Robust-provision one contiguous slice of the scenario enumeration.
+///
+/// `demands_by_pair[m][idx]` is matrix `m`'s demand for engine pair
+/// `idx` (triangular order). Per scenario, pairs are grouped by duct via
+/// the engine's paths; each duct's load is the *family maximum* of the
+/// per-matrix demand sums over its crossing pairs, memoized by pair set
+/// just like the hose max-flow (equal pair sets load equally, and across
+/// thousands of scenarios the same sets recur constantly).
+fn robust_chunk(
+    region: &Region,
+    goals: &DesignGoals,
+    demands_by_pair: &[Vec<f64>],
+    chunk: &[Vec<EdgeId>],
+) -> RobustChunk {
+    let m = region.map.graph().edge_count();
+    let mut engine = ScenarioEngine::new(region, goals);
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    let mut memo: HashMap<Box<[u32]>, f64> = HashMap::new();
+    let mut pairs_on_edge: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut touched: Vec<EdgeId> = Vec::new();
+    let mut maxload_lookups = 0u64;
+    let mut maxload_evals = 0u64;
+
+    engine.for_scenarios(chunk, |scenario, view: ScenarioView<'_>| {
+        for pair in view.unreachable() {
+            infeasible.push(InfeasiblePair {
+                pair,
+                scenario: scenario.to_vec(),
+            });
+        }
+        for (idx, p) in view.indexed_paths() {
+            for &e in &p.edges {
+                if pairs_on_edge[e].is_empty() {
+                    touched.push(e);
+                }
+                pairs_on_edge[e].push(idx);
+            }
+        }
+        for &e in &touched {
+            let pairs = &pairs_on_edge[e];
+            maxload_lookups += 1;
+            let load = if let Some(&l) = memo.get(pairs.as_slice()) {
+                l
+            } else {
+                maxload_evals += 1;
+                // Ascending pair-index sum per matrix: a fixed f64
+                // addition order, so the result (and therefore the whole
+                // sweep) is bit-identical however scenarios are chunked.
+                let l = demands_by_pair
+                    .iter()
+                    .map(|d| pairs.iter().map(|&i| d[i as usize]).sum::<f64>())
+                    .fold(0.0f64, f64::max);
+                memo.insert(pairs.clone().into_boxed_slice(), l);
+                l
+            };
+            if load > capacity[e] {
+                capacity[e] = load;
+            }
+        }
+        for e in touched.drain(..) {
+            pairs_on_edge[e].clear();
+        }
+    });
+
+    RobustChunk {
+        capacity,
+        infeasible,
+        scenarios_examined: chunk.len() as u64,
+        maxload_lookups,
+        maxload_evals,
+    }
+}
+
+/// Robust Algorithm 1 with the default thread count
+/// ([`engine::thread_count`]).
+///
+/// Instead of the hose worst case, every duct is provisioned for the
+/// worst load any matrix in `family` places on it across all failure
+/// scenarios — min-cost capacity feasible for *every* family matrix.
+///
+/// # Panics
+///
+/// Panics if `family` was built for a different DC count than `region`.
+#[must_use]
+pub fn provision_robust(
+    region: &Region,
+    goals: &DesignGoals,
+    family: &MatrixFamily,
+) -> Provisioning {
+    provision_robust_with_threads(region, goals, family, engine::thread_count())
+}
+
+/// Robust Algorithm 1 with an explicit thread count.
+///
+/// The scenario enumeration is split into contiguous chunks exactly like
+/// [`provision_with_threads`]; duct capacities merge by elementwise max
+/// and infeasible pairs concatenate in chunk (= global scenario) order,
+/// so the output is **bit-identical for every thread count**.
+///
+/// # Panics
+///
+/// Panics if `family` was built for a different DC count than `region`,
+/// or if a worker thread panics.
+#[must_use]
+pub fn provision_robust_with_threads(
+    region: &Region,
+    goals: &DesignGoals,
+    family: &MatrixFamily,
+    threads: usize,
+) -> Provisioning {
+    let telemetry = iris_telemetry::global();
+    let wall = iris_telemetry::Span::enter_ms(telemetry.histogram("iris_planner_robust_wall_ms"));
+    region.validate();
+    let n = region.dcs.len();
+    assert_eq!(
+        family.n_dcs, n,
+        "matrix family covers {} DCs but the region has {n}",
+        family.n_dcs
+    );
+    let g = region.map.graph();
+    let m = g.edge_count();
+
+    // Flatten each matrix into engine pair-index order once, shared by
+    // every worker.
+    let demands_by_pair: Vec<Vec<f64>> = family
+        .matrices
+        .iter()
+        .map(|demands| {
+            let mut flat = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+            for (i, row) in demands.iter().enumerate() {
+                flat.extend_from_slice(&row[i + 1..]);
+            }
+            flat
+        })
+        .collect();
+
+    let scenarios: Vec<Vec<EdgeId>> = FailureScenarios::new(m, goals.max_cuts).collect();
+    let threads = threads.max(1).min(scenarios.len().max(1));
+
+    let results: Vec<RobustChunk> = if threads == 1 {
+        vec![robust_chunk(region, goals, &demands_by_pair, &scenarios)]
+    } else {
+        let chunk_size = scenarios.len().div_ceil(threads);
+        let chunks: Vec<&[Vec<EdgeId>]> = scenarios.chunks(chunk_size).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let demands = &demands_by_pair;
+                    s.spawn(move || robust_chunk(region, goals, demands, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("robust provision worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut capacity = vec![0.0f64; m];
+    let mut infeasible = Vec::new();
+    let mut scenarios_examined = 0u64;
+    let mut maxload_lookups = 0u64;
+    let mut maxload_evals = 0u64;
+    for r in results {
+        for (c, rc) in capacity.iter_mut().zip(&r.capacity) {
+            if *rc > *c {
+                *c = *rc;
+            }
+        }
+        infeasible.extend(r.infeasible);
+        scenarios_examined += r.scenarios_examined;
+        maxload_lookups += r.maxload_lookups;
+        maxload_evals += r.maxload_evals;
+    }
+
+    telemetry
+        .counter("iris_planner_robust_scenarios_total")
+        .add(scenarios_examined);
+    telemetry
+        .counter("iris_planner_robust_maxload_total")
+        .add(maxload_evals);
+    telemetry
+        .counter("iris_planner_robust_memo_hits_total")
+        .add(maxload_lookups - maxload_evals);
+    wall.finish();
+
+    Provisioning {
+        edge_capacity_wl: capacity,
+        infeasible,
+        scenarios_examined,
+    }
+}
+
+/// The fraction of offered traffic a provisioning sheds under a specific
+/// matrix, routed over nominal shortest paths.
+///
+/// Every overloaded duct scales the pairs crossing it down to fit; a
+/// pair's delivered share is the worst scale along its path, and demand
+/// on unreachable pairs is shed outright. 0 means the matrix fits
+/// entirely; the hose-vs-robust experiment reports this for held-out
+/// (surprise) matrices.
+///
+/// `demands[i][j]` is in wavelengths; only `i < j` entries are read.
+#[must_use]
+pub fn shed_fraction(
+    region: &Region,
+    goals: &DesignGoals,
+    prov: &Provisioning,
+    demands: &[Vec<f64>],
+) -> f64 {
+    let (paths, _) = scenario_paths(region, goals, &[]);
+    let m = region.map.graph().edge_count();
+    let mut load = vec![0.0f64; m];
+    for p in &paths {
+        let d = demands[p.a][p.b];
+        for &e in &p.edges {
+            load[e] += d;
+        }
+    }
+    let scale: Vec<f64> = load
+        .iter()
+        .zip(&prov.edge_capacity_wl)
+        .map(|(&l, &c)| if l > c { c / l } else { 1.0 })
+        .collect();
+    let mut delivered = 0.0f64;
+    for p in &paths {
+        let worst = p.edges.iter().map(|&e| scale[e]).fold(1.0f64, f64::min);
+        delivered += demands[p.a][p.b] * worst;
+    }
+    let n = region.dcs.len();
+    let offered: f64 = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| demands[i][j])
+        .sum();
+    if offered <= 0.0 {
+        0.0
+    } else {
+        1.0 - delivered / offered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{provision, supports_matrix};
+    use iris_fibermap::{synth, MetroParams, PlacementParams};
+
+    fn small_region(n_dcs: usize) -> Region {
+        synth::place_dcs(
+            synth::generate_metro(&MetroParams {
+                n_huts: 10,
+                ..MetroParams::default()
+            }),
+            &PlacementParams {
+                n_dcs,
+                ..PlacementParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ecdf_quantile_is_monotone_and_bounded() {
+        let e = Ecdf::dc_interconnect();
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let q = e.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile must be monotone");
+            last = q;
+        }
+        assert_eq!(e.quantile(0.0), 500.0);
+        assert_eq!(e.quantile(1.0), 100_000_000.0);
+        let mean = e.mean_bytes();
+        assert!(mean > 500.0 && mean < 100_000_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn flowgen_rate_is_seeded_and_scales_with_gap() {
+        let fast = FlowGen {
+            sizes: Ecdf::dc_interconnect(),
+            gap_mu: -6.0,
+            gap_sigma: 1.0,
+        };
+        let slow = FlowGen {
+            gap_mu: -3.0,
+            ..fast.clone()
+        };
+        assert_eq!(fast.offered_gbps(7, 256), fast.offered_gbps(7, 256));
+        assert_ne!(fast.offered_gbps(7, 256), fast.offered_gbps(8, 256));
+        assert!(fast.offered_gbps(7, 256) > slow.offered_gbps(7, 256));
+    }
+
+    #[test]
+    fn each_family_is_a_pure_function_of_its_seed() {
+        for kind in FamilyKind::all() {
+            let spec = FamilySpec::new(kind, 6, 42);
+            assert_eq!(
+                spec.shapes(5),
+                spec.shapes(5),
+                "{} shapes must be deterministic",
+                kind.name()
+            );
+            let reseeded = FamilySpec::new(kind, 6, 43);
+            assert_ne!(
+                spec.shapes(5),
+                reseeded.shapes(5),
+                "{} shapes must depend on the seed",
+                kind.name()
+            );
+            // And the calibrated matrices inherit both properties.
+            let region = small_region(4);
+            let goals = DesignGoals::with_cuts(0);
+            let a = MatrixFamily::build(&region, &goals, &spec);
+            let b = MatrixFamily::build(&region, &goals, &spec);
+            assert_eq!(a, b, "{} family must be deterministic", kind.name());
+            assert_ne!(
+                a,
+                MatrixFamily::build(&region, &goals, &reseeded),
+                "{} family must depend on the seed",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn held_out_spec_rerolls_shocks_but_keeps_structure() {
+        let spec = FamilySpec::new(FamilyKind::Burst, 8, 42);
+        let held = spec.held_out();
+        assert_eq!(held.kind, spec.kind);
+        assert_eq!(held.count, spec.count);
+        assert_eq!(held.seed, spec.seed, "structural seed is shared");
+        assert_ne!(held.shock, spec.shock);
+        assert_eq!(held.held_out(), spec, "held-out is an involution");
+        assert_ne!(held.shapes(5), spec.shapes(5), "shocks must re-roll");
+        // Diurnal phases are structural: with the amplitude the only
+        // shock, held-out diurnal matrices stay close to the training
+        // ones (same peaks, different heights).
+        let diurnal = FamilySpec::new(FamilyKind::Diurnal, 4, 42);
+        let a = diurnal.shapes(5);
+        let b = diurnal.held_out().shapes(5);
+        for (ma, mb) in a.iter().zip(&b) {
+            for (&x, &y) in ma.iter().zip(mb) {
+                assert!((x - y).abs() / x < 0.2, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_and_rejects_junk() {
+        for s in ["diurnal:8@42", "burst:6@7", "hotspot:1@0"] {
+            let spec: FamilySpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        let defaulted: FamilySpec = "burst".parse().unwrap();
+        assert_eq!((defaulted.count, defaulted.seed), (8, 42));
+        assert!("ripple:4@1".parse::<FamilySpec>().is_err());
+        assert!("burst:zero".parse::<FamilySpec>().is_err());
+        assert!("burst:0".parse::<FamilySpec>().is_err());
+        assert!("burst:4@soon".parse::<FamilySpec>().is_err());
+    }
+
+    #[test]
+    fn calibration_hits_the_target_max_link_load() {
+        let region = small_region(5);
+        let goals = DesignGoals::with_cuts(0);
+        let spec = FamilySpec::new(FamilyKind::Diurnal, 4, 42).with_target_load(0.5);
+        let family = MatrixFamily::build(&region, &goals, &spec);
+
+        // Re-derive the base matrix's max link-load ratio: it must be
+        // exactly the target (the family shapes then modulate around it).
+        let base = spec.base_gbps(5);
+        let shapes = spec.shapes(5);
+        let scale_probe = family.matrices()[0][0][1] / shapes[0][0];
+        let prov0 = provision(&region, &goals);
+        let (paths, _) = scenario_paths(&region, &goals, &[]);
+        let mut load = vec![0.0f64; region.map.graph().edge_count()];
+        for p in &paths {
+            let d = base[pair_index(5, p.a, p.b)] * scale_probe;
+            for &e in &p.edges {
+                load[e] += d;
+            }
+        }
+        let ratio = load
+            .iter()
+            .zip(&prov0.edge_capacity_wl)
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(&l, &c)| l / c)
+            .fold(0.0f64, f64::max);
+        assert!((ratio - 0.5).abs() < 1e-9, "calibrated ratio {ratio}");
+    }
+
+    #[test]
+    fn burst_family_escapes_the_hose_envelope() {
+        let region = small_region(5);
+        let goals = DesignGoals::with_cuts(0);
+        let burst =
+            MatrixFamily::build(&region, &goals, &FamilySpec::new(FamilyKind::Burst, 8, 42));
+        let diurnal = MatrixFamily::build(
+            &region,
+            &goals,
+            &FamilySpec::new(FamilyKind::Diurnal, 8, 42),
+        );
+        assert!(
+            burst.peak_dc_load_ratio(&region) > diurnal.peak_dc_load_ratio(&region),
+            "bursts must push DC aggregates harder than diurnal shifts"
+        );
+    }
+
+    #[test]
+    fn robust_provisioning_supports_every_training_matrix() {
+        let region = small_region(5);
+        for kind in FamilyKind::all() {
+            let goals = DesignGoals::with_cuts(1);
+            let spec = FamilySpec::new(kind, 5, 42);
+            let family = MatrixFamily::build(&region, &goals, &spec);
+            let prov = provision_robust(&region, &goals, &family);
+            for (m, demands) in family.matrices().iter().enumerate() {
+                assert!(
+                    supports_matrix(&region, &goals, &prov, demands),
+                    "{} matrix {m} not supported by its own robust plan",
+                    kind.name()
+                );
+                assert!(
+                    (shed_fraction(&region, &goals, &prov, demands) - 0.0).abs() < 1e-12,
+                    "{} matrix {m} sheds under its own robust plan",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_provision_is_bit_identical_across_threads() {
+        let region = small_region(4);
+        let goals = DesignGoals::with_cuts(1);
+        let family =
+            MatrixFamily::build(&region, &goals, &FamilySpec::new(FamilyKind::Hotspot, 6, 7));
+        let seq = provision_robust_with_threads(&region, &goals, &family, 1);
+        for threads in [2, 3, 7] {
+            let par = provision_robust_with_threads(&region, &goals, &family, threads);
+            let seq_bits: Vec<u64> = seq.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+            let par_bits: Vec<u64> = par.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "{threads} threads");
+            assert_eq!(seq.infeasible, par.infeasible, "{threads} threads");
+            assert_eq!(
+                seq.scenarios_examined, par.scenarios_examined,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn hose_sheds_surprise_bursts_robust_sheds_less() {
+        let region = small_region(5);
+        let goals = DesignGoals::with_cuts(1);
+        // At 0.9 the burst multipliers push DC aggregates past the hose
+        // envelope (at the default 0.6 this region absorbs them).
+        let spec = FamilySpec::new(FamilyKind::Burst, 8, 42).with_target_load(0.9);
+        let family = MatrixFamily::build(&region, &goals, &spec);
+        let surprise = MatrixFamily::build(&region, &goals, &spec.held_out());
+
+        let hose = provision(&region, &goals);
+        let robust = provision_robust(&region, &goals, &family);
+        let mean_shed = |prov: &Provisioning| {
+            surprise
+                .matrices()
+                .iter()
+                .map(|m| shed_fraction(&region, &goals, prov, m))
+                .sum::<f64>()
+                / surprise.len() as f64
+        };
+        let (hose_shed, robust_shed) = (mean_shed(&hose), mean_shed(&robust));
+        assert!(
+            hose_shed > 0.0,
+            "surprise bursts must escape the hose envelope (shed {hose_shed})"
+        );
+        assert!(
+            robust_shed < hose_shed,
+            "robust plan must shed less than hose under surprise bursts \
+             ({robust_shed} vs {hose_shed})"
+        );
+    }
+
+    #[test]
+    fn shed_fraction_is_zero_within_capacity_and_positive_beyond() {
+        let region = small_region(4);
+        let goals = DesignGoals::with_cuts(0);
+        let prov = provision(&region, &goals);
+        let n = region.dcs.len();
+        let mut small = vec![vec![0.0; n]; n];
+        small[0][1] = 1.0;
+        assert_eq!(shed_fraction(&region, &goals, &prov, &small), 0.0);
+        let mut huge = vec![vec![0.0; n]; n];
+        huge[0][1] = 1e9;
+        assert!(shed_fraction(&region, &goals, &prov, &huge) > 0.9);
+        let empty = vec![vec![0.0; n]; n];
+        assert_eq!(shed_fraction(&region, &goals, &prov, &empty), 0.0);
+    }
+}

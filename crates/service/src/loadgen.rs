@@ -73,6 +73,13 @@ pub struct LoadgenConfig {
     /// connections, with seeded exponential inter-arrivals; `None` runs
     /// the default closed loop.
     pub rate: Option<f64>,
+    /// Planner workload family biasing pair selection: when set,
+    /// `QueryPath` and `UpdateDemand` draw pairs proportionally to the
+    /// family's mean per-pair rate instead of uniformly, so serving load
+    /// mirrors the traffic matrices the planner provisioned for. `None`
+    /// (the default) keeps the historical uniform mix — and the
+    /// committed `results/service_load.json` — byte-identical.
+    pub matrices: Option<iris_planner::FamilySpec>,
 }
 
 impl Default for LoadgenConfig {
@@ -88,6 +95,7 @@ impl Default for LoadgenConfig {
             codec: Codec::Json,
             pipeline: 1,
             rate: None,
+            matrices: None,
         }
     }
 }
@@ -272,8 +280,42 @@ struct Sample {
     read_during_recovery: bool,
 }
 
+/// Mean per-pair weight of a workload family over the loadgen's pair
+/// universe (the same `(a, b)` indices the server serves); `None` when
+/// the weights degenerate to zero.
+fn family_weights(spec: &iris_planner::FamilySpec, pairs: &[(usize, usize)]) -> Option<Vec<f64>> {
+    let n = pairs.iter().map(|&(a, b)| a.max(b)).max()? + 1;
+    let shapes = spec.shapes(n);
+    // Triangular index of pair (a, b), a < b — the shapes' layout.
+    let idx = |a: usize, b: usize| a * n - a * (a + 1) / 2 + (b - a - 1);
+    let weights: Vec<f64> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let i = idx(a.min(b), a.max(b));
+            shapes.iter().map(|m| m[i]).sum::<f64>() / shapes.len() as f64
+        })
+        .collect();
+    (weights.iter().sum::<f64>() > 0.0).then_some(weights)
+}
+
+/// Draw an index in `0..weights.len()` proportionally to `weights`
+/// (which must sum to a positive total).
+fn weighted_pick(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+    let mut roll: f64 = rng.random_range(0.0..total);
+    for (idx, w) in weights.iter().enumerate() {
+        roll -= w;
+        if roll < 0.0 {
+            return idx;
+        }
+    }
+    weights.len() - 1
+}
+
 /// Generate connection `conn`'s request sequence. Reads draw from every
-/// pair; updates draw only from the connection's owned pairs.
+/// pair; updates draw only from the connection's owned pairs. With
+/// [`LoadgenConfig::matrices`] set, both draws are weighted by the
+/// family's mean rates; otherwise they are uniform (and bit-for-bit
+/// what they always were).
 fn generate_sequence(
     cfg: &LoadgenConfig,
     conn: usize,
@@ -288,6 +330,20 @@ fn generate_sequence(
         .filter(|(i, _)| i % cfg.connections == conn)
         .map(|(_, &p)| p)
         .collect();
+    let weights = cfg
+        .matrices
+        .as_ref()
+        .and_then(|spec| family_weights(spec, pairs));
+    let weighted = weights.as_ref().map(|w| {
+        let owned_w: Vec<f64> = w
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % cfg.connections == conn)
+            .map(|(_, &x)| x)
+            .collect();
+        let owned_total: f64 = owned_w.iter().sum();
+        (w.clone(), w.iter().sum::<f64>(), owned_w, owned_total)
+    });
     let mut seq = Vec::with_capacity(per_conn as usize);
     for _ in 0..per_conn {
         let roll: u32 = rng.random_range(0..100);
@@ -296,10 +352,16 @@ fn generate_sequence(
         } else if roll < 20 {
             Request::GetTopology
         } else if roll < 60 {
-            let (a, b) = pairs[rng.random_range(0..pairs.len())];
+            let (a, b) = match &weighted {
+                Some((w, total, _, _)) => pairs[weighted_pick(&mut rng, w, *total)],
+                None => pairs[rng.random_range(0..pairs.len())],
+            };
             Request::QueryPath { a, b }
         } else if roll < 95 && !owned.is_empty() {
-            let (a, b) = owned[rng.random_range(0..owned.len())];
+            let (a, b) = match &weighted {
+                Some((_, _, ow, ot)) if *ot > 0.0 => owned[weighted_pick(&mut rng, ow, *ot)],
+                _ => owned[rng.random_range(0..owned.len())],
+            };
             let circuits = rng.random_range(1..=cfg.max_circuits.max(1));
             Request::UpdateDemand { a, b, circuits }
         } else {
@@ -1102,6 +1164,51 @@ mod tests {
             &pairs,
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn family_weighting_skews_the_mix_and_stays_deterministic() {
+        let pairs: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let spec = iris_planner::FamilySpec::new(iris_planner::FamilyKind::Hotspot, 4, 42);
+        let cfg = LoadgenConfig {
+            matrices: Some(spec.clone()),
+            connections: 1,
+            ..LoadgenConfig::default()
+        };
+        let a = generate_sequence(&cfg, 0, 2000, &pairs);
+        assert_eq!(a, generate_sequence(&cfg, 0, 2000, &pairs), "seeded");
+        let uniform = generate_sequence(
+            &LoadgenConfig {
+                matrices: None,
+                ..cfg.clone()
+            },
+            0,
+            2000,
+            &pairs,
+        );
+        assert_ne!(a, uniform, "weighting must change the mix");
+
+        // QueryPath draws should concentrate on the family's heavy pairs.
+        let weights = family_weights(&spec, &pairs).expect("weights");
+        let hottest = weights
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .map(|(i, _)| pairs[i])
+            .expect("non-empty");
+        let mut counts: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        for req in &a {
+            if let Request::QueryPath { a, b } = req {
+                *counts.entry((*a, *b)).or_insert(0) += 1;
+            }
+        }
+        let total: u64 = counts.values().sum();
+        let hot = counts.get(&hottest).copied().unwrap_or(0);
+        assert!(
+            hot as f64 > total as f64 / pairs.len() as f64,
+            "hottest pair {hottest:?} drew {hot}/{total}, not above uniform share"
+        );
     }
 
     #[test]

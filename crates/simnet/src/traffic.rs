@@ -86,6 +86,39 @@ impl TrafficMatrix {
         }
     }
 
+    /// A matrix from externally supplied pair weights (triangular
+    /// `i < j` order), normalized to sum to 1 — the bridge from the
+    /// planner's workload-family shapes ([`iris_planner::workload`])
+    /// into the simulator. `seed` drives subsequent
+    /// [`TrafficMatrix::change`] evolution exactly as in
+    /// [`TrafficMatrix::heavy_tailed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dcs < 2`, if `weights.len() != pair_count(n_dcs)`,
+    /// if any weight is negative or non-finite, or if all weights are
+    /// zero.
+    #[must_use]
+    pub fn from_weights(n_dcs: usize, seed: u64, weights: &[f64]) -> Self {
+        assert!(n_dcs >= 2, "a traffic matrix needs at least two DCs");
+        assert_eq!(
+            weights.len(),
+            pair_count(n_dcs),
+            "need one weight per unordered DC pair"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let mut weights = weights.to_vec();
+        normalize(&mut weights);
+        Self {
+            n_dcs,
+            weights,
+            rng: StdRngState { seed, steps: 0 },
+        }
+    }
+
     /// Number of DCs.
     #[must_use]
     pub fn n_dcs(&self) -> usize {
@@ -255,5 +288,23 @@ mod tests {
     #[should_panic(expected = "at least two DCs")]
     fn single_dc_panics() {
         let _ = TrafficMatrix::heavy_tailed(1, 0);
+    }
+
+    #[test]
+    fn from_weights_normalizes_and_evolves_deterministically() {
+        let raw = [3.0, 1.0, 0.0, 4.0, 0.5, 1.5];
+        let mut a = TrafficMatrix::from_weights(4, 9, &raw);
+        assert!((a.total_weight() - 1.0).abs() < 1e-9);
+        assert!((a.weight(0, 1) - 0.3).abs() < 1e-9);
+        let mut b = TrafficMatrix::from_weights(4, 9, &raw);
+        a.change(ChangeModel::Bounded(0.3));
+        b.change(ChangeModel::Bounded(0.3));
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per unordered DC pair")]
+    fn from_weights_rejects_wrong_length() {
+        let _ = TrafficMatrix::from_weights(4, 0, &[1.0; 5]);
     }
 }

@@ -169,6 +169,50 @@ proptest! {
     }
 
     #[test]
+    fn robust_provision_is_feasible_and_thread_invariant(
+        map_seed in 0u64..100,
+        n_dcs in 3usize..6,
+        threads in 2usize..8,
+        family_seed in 0u64..50,
+    ) {
+        use iris_fibermap::{synth, MetroParams, PlacementParams};
+        use iris_planner::workload::{FamilyKind, FamilySpec, MatrixFamily};
+        let region = synth::place_dcs(
+            synth::generate_metro(&MetroParams {
+                seed: map_seed,
+                n_huts: 10,
+                ..MetroParams::default()
+            }),
+            &PlacementParams {
+                seed: map_seed.wrapping_mul(31).wrapping_add(7),
+                n_dcs,
+                ..PlacementParams::default()
+            },
+        );
+        let goals = iris_planner::DesignGoals::with_cuts(1);
+        let spec = FamilySpec::new(FamilyKind::Burst, 4, family_seed);
+        let family = MatrixFamily::build(&region, &goals, &spec);
+        let seq = iris_planner::provision_robust_with_threads(&region, &goals, &family, 1);
+        // Feasible for every training matrix: the per-edge family-max
+        // sums iterate pairs in the same order as the feasibility check,
+        // so this holds bitwise, not just within a tolerance.
+        if seq.infeasible.is_empty() {
+            for demands in family.matrices() {
+                prop_assert!(iris_planner::topology::supports_matrix(
+                    &region, &goals, &seq, demands,
+                ));
+            }
+        }
+        // Bit-identical across thread counts, like the hose planner.
+        let par = iris_planner::provision_robust_with_threads(&region, &goals, &family, threads);
+        let seq_bits: Vec<u64> = seq.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        let par_bits: Vec<u64> = par.edge_capacity_wl.iter().map(|c| c.to_bits()).collect();
+        prop_assert_eq!(seq_bits, par_bits);
+        prop_assert_eq!(seq.infeasible, par.infeasible);
+        prop_assert_eq!(seq.scenarios_examined, par.scenarios_examined);
+    }
+
+    #[test]
     fn residual_packing_is_sound(
         residuals in proptest::collection::vec(0u64..=40, 0..12),
     ) {
